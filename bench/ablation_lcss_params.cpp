@@ -1,0 +1,45 @@
+// Ablation — LCSS parameters (§III.B.I): sweep of the distance threshold ε
+// and the index window δ, measuring merge accuracy and merge yield. Shows
+// the operating region behind the defaults.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/harness.hpp"
+#include "trajectory/matching.hpp"
+
+int main() {
+  using namespace crowdmap;
+  const auto spec = sim::lab1();
+  const auto pool = bench::make_walk_pool(spec, 14, 0.25, 0xAB3);
+
+  std::cout << "=== Ablation: LCSS (epsilon, delta) sweep ===\n";
+  eval::print_table_row(std::cout,
+                        {"epsilon (m)", "delta", "accuracy", "merges"});
+  for (const double epsilon : {0.5, 1.0, 1.5, 2.5}) {
+    for (const int delta : {4, 8, 16}) {
+      trajectory::MatchConfig config;
+      config.lcss.epsilon = epsilon;
+      config.lcss.delta = delta;
+      int merges = 0;
+      int correct = 0;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        for (std::size_t j = i + 1; j < pool.size(); ++j) {
+          const auto outcome = bench::judge_merge(
+              pool[i], pool[j],
+              trajectory::match_trajectories(pool[i], pool[j], config));
+          if (outcome != bench::MergeOutcome::kNoDecision) {
+            ++merges;
+            correct += outcome == bench::MergeOutcome::kCorrect;
+          }
+        }
+      }
+      const double acc = merges ? static_cast<double>(correct) / merges : 0.0;
+      eval::print_table_row(std::cout,
+                            {eval::fmt(epsilon, 1), std::to_string(delta),
+                             eval::pct(acc), std::to_string(merges)});
+    }
+  }
+  std::cout << "# small epsilon starves merges; large epsilon admits junk; "
+               "the defaults sit in the plateau\n";
+  return 0;
+}

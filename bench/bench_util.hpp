@@ -1,0 +1,95 @@
+// Shared helpers for the bench harness: trajectory pools with ground-truth
+// alignment, merge-correctness judgment, and output formatting.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "eval/harness.hpp"
+#include "floorplan/eval.hpp"
+#include "sim/buildings.hpp"
+#include "sim/user_sim.hpp"
+#include "trajectory/matching.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace crowdmap::bench {
+
+using geometry::Pose2;
+using geometry::Vec2;
+
+/// Rigid alignment of a trajectory's local frame onto ground truth,
+/// estimated from its key-frames' (dead-reckoned, true) position pairs.
+[[nodiscard]] inline std::optional<Pose2> local_to_truth(
+    const trajectory::Trajectory& traj) {
+  std::vector<Vec2> from;
+  std::vector<Vec2> to;
+  for (const auto& kf : traj.keyframes) {
+    from.push_back(kf.position);
+    to.push_back(kf.true_position);
+  }
+  return floorplan::kabsch_align(from, to);
+}
+
+/// Ground-truth relative transform mapping b's local frame into a's.
+[[nodiscard]] inline std::optional<Pose2> true_b_to_a(
+    const trajectory::Trajectory& a, const trajectory::Trajectory& b) {
+  const auto align_a = local_to_truth(a);
+  const auto align_b = local_to_truth(b);
+  if (!align_a || !align_b) return std::nullopt;
+  return align_a->inverse().compose(*align_b);
+}
+
+/// Whether an estimated merge transform agrees with the ground truth.
+[[nodiscard]] inline bool transform_correct(const Pose2& est, const Pose2& truth,
+                                            double max_dist = 3.0,
+                                            double max_angle = 0.45) {
+  return est.position.distance_to(truth.position) <= max_dist &&
+         std::abs(common::angle_diff(est.theta, truth.theta)) <= max_angle;
+}
+
+/// Options for generating a pool of labeled hallway-walk trajectories.
+struct WalkPoolOptions {
+  int count = 40;
+  double night_fraction = 0.0;
+  std::uint64_t seed = 0x900Lu;
+  double fps = 3.0;
+  int camera_width = 120;
+  int camera_height = 160;
+};
+
+/// Pool of hallway-walk trajectories over a building (no junk, labeled).
+[[nodiscard]] inline std::vector<trajectory::Trajectory> make_walk_pool(
+    const sim::FloorPlanSpec& spec, int count, double night_fraction,
+    std::uint64_t seed) {
+  const auto scene = sim::Scene::from_spec(spec, seed);
+  common::Rng rng(seed);
+  std::vector<trajectory::Trajectory> pool;
+  pool.reserve(static_cast<std::size_t>(count));
+  sim::SimOptions options;
+  options.fps = 3.0;
+  sim::UserSimulator user(scene, spec, options, rng.fork());
+  for (int i = 0; i < count; ++i) {
+    const auto light = rng.chance(night_fraction) ? sim::Lighting::night()
+                                                  : sim::Lighting::day();
+    pool.push_back(trajectory::extract_trajectory(user.hallway_walk(light)));
+    pool.back().video_id = i;
+  }
+  return pool;
+}
+
+/// Decision of one pairwise merge attempt, judged against ground truth.
+enum class MergeOutcome { kNoDecision, kCorrect, kWrong };
+
+[[nodiscard]] inline MergeOutcome judge_merge(
+    const trajectory::Trajectory& a, const trajectory::Trajectory& b,
+    const std::optional<trajectory::PairMatch>& match) {
+  if (!match) return MergeOutcome::kNoDecision;
+  const auto truth = true_b_to_a(a, b);
+  if (!truth) return MergeOutcome::kWrong;
+  return transform_correct(match->b_to_a, *truth) ? MergeOutcome::kCorrect
+                                                  : MergeOutcome::kWrong;
+}
+
+}  // namespace crowdmap::bench

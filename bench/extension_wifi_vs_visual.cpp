@@ -1,0 +1,63 @@
+// Extension — Wi-Fi-Mark anchors (Walkie-Markie, §VII related work) vs
+// CrowdMap's visual key-frame anchors on the same trajectory pool: placement
+// coverage and mean key-frame error. Quantifies what the paper's visual
+// anchoring buys over radio landmarks.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/harness.hpp"
+#include "sim/scene.hpp"
+#include "wifi/walkie_markie.hpp"
+
+int main() {
+  using namespace crowdmap;
+  const auto spec = sim::lab1();
+  const auto scene = sim::Scene::from_spec(spec, 0x31F1);
+  std::vector<geometry::Segment> walls;
+  for (const auto& wall : scene.walls()) walls.push_back(wall.seg);
+
+  std::cout << "# generating 24 trajectories...\n";
+  const auto pool = bench::make_walk_pool(spec, 24, 0.25, 0x31F5);
+
+  auto mean_error = [&](const trajectory::AggregationResult& result) {
+    const auto align = floorplan::align_to_truth(pool, result);
+    if (!align) return -1.0;
+    double err = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (!result.global_pose[i]) continue;
+      for (const auto& kf : pool[i].keyframes) {
+        err += align->apply(result.global_pose[i]->apply(kf.position))
+                   .distance_to(kf.true_position);
+        ++n;
+      }
+    }
+    return n ? err / n : -1.0;
+  };
+
+  std::cout << "=== Extension: Wi-Fi-Mark vs visual key-frame anchors ===\n";
+  eval::print_table_row(std::cout,
+                        {"Anchoring", "APs", "placed", "mean kf err (m)"});
+  // Visual (CrowdMap).
+  const auto visual = trajectory::aggregate_trajectories(pool, {});
+  eval::print_table_row(std::cout,
+                        {"visual key-frames", "-",
+                         std::to_string(visual.placed_count) + "/" +
+                             std::to_string(pool.size()),
+                         eval::fmt(mean_error(visual), 2)});
+  // Wi-Fi marks at several AP densities.
+  for (const int n_aps : {4, 8, 16}) {
+    const wifi::WifiModel model(wifi::place_access_points(spec, n_aps, 0x31F1),
+                                walls, {}, 0x31F1);
+    common::Rng rng(0x31F6);
+    const auto result = wifi::aggregate_by_wifi_marks(pool, model, {}, rng);
+    eval::print_table_row(std::cout,
+                          {"wifi marks", std::to_string(n_aps),
+                           std::to_string(result.placed_count) + "/" +
+                               std::to_string(pool.size()),
+                           eval::fmt(mean_error(result), 2)});
+  }
+  std::cout << "# expected: visual anchors place more trajectories at lower "
+               "error; Wi-Fi marks improve with AP density but stay coarser\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 9 / §V.D — Structure-from-Motion camera recovery vs CrowdMap's
+// video+inertial approach in textured (Lab) vs featureless (Gym) scenes.
+//
+// Paper's claim: SfM camera locations are unreliable in cluttered,
+// featureless indoor environments, while CrowdMap's key-frame + inertial
+// hybrid stays accurate — the reason CrowdMap beats Jigsaw's SfM front-end.
+#include <iostream>
+
+#include "baselines/sfm_sim.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "eval/harness.hpp"
+
+int main() {
+  using namespace crowdmap;
+
+  std::cout << "=== Fig. 9: SfM vs CrowdMap camera/trajectory accuracy ===\n";
+  eval::print_table_row(std::cout,
+                        {"Building", "SURF feats/frame", "SfM err (m)",
+                         "SfM failures", "CrowdMap median err (m)"});
+  for (const auto& spec : {sim::lab1(), sim::gym()}) {
+    const auto pool = bench::make_walk_pool(spec, 12, 0.0, 0xF16);
+
+    // Simulated SfM per trajectory.
+    common::Rng rng(0xF16);
+    double sfm_err = 0.0;
+    int sfm_failures = 0;
+    int sfm_frames = 0;
+    double features = 0.0;
+    for (const auto& traj : pool) {
+      const auto poses = baselines::simulate_sfm_poses(traj, {}, rng);
+      sfm_err += baselines::mean_aligned_error(poses);
+      for (const auto& p : poses) {
+        sfm_failures += !p.registered;
+        features += static_cast<double>(p.feature_count);
+        ++sfm_frames;
+      }
+    }
+    sfm_err /= static_cast<double>(pool.size());
+
+    // CrowdMap: key-frame aggregation of the same pool, then the median
+    // key-frame position error after rigid alignment onto truth (median, not
+    // mean: the never-orphan placement policy keeps occasional badly-merged
+    // trajectories on the map in feature-poor pools, and one such outlier
+    // should not masquerade as typical accuracy).
+    const auto aggregation = trajectory::aggregate_trajectories(pool, {});
+    const auto align = floorplan::align_to_truth(pool, aggregation);
+    std::vector<double> cm_errors;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (!aggregation.global_pose[i] || !align) continue;
+      for (const auto& kf : pool[i].keyframes) {
+        cm_errors.push_back(
+            align->apply(aggregation.global_pose[i]->apply(kf.position))
+                .distance_to(kf.true_position));
+      }
+    }
+    const double cm_err = common::percentile(cm_errors, 50.0);
+
+    eval::print_table_row(
+        std::cout,
+        {spec.name, eval::fmt(features / std::max(sfm_frames, 1), 1),
+         eval::fmt(sfm_err, 2),
+         std::to_string(sfm_failures) + "/" + std::to_string(sfm_frames),
+         eval::fmt(cm_err, 2)});
+  }
+  std::cout << "# paper shape: SfM degrades sharply in the featureless Gym; "
+               "CrowdMap stays consistent across both\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks of the geometry/mapping hot paths: Delaunay, α-shape,
+// occupancy rasterization, skeleton reconstruction, polygon clipping,
+// raster overlap metrics.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "geometry/alpha_shape.hpp"
+#include "geometry/delaunay.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/raster.hpp"
+#include "mapping/occupancy.hpp"
+#include "mapping/skeleton.hpp"
+
+namespace {
+
+using namespace crowdmap;
+using geometry::Vec2;
+
+std::vector<Vec2> random_points(int n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 40), rng.uniform(0, 30)});
+  }
+  return pts;
+}
+
+void BM_Delaunay(benchmark::State& state) {
+  const auto pts = random_points(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::delaunay_triangulation(pts));
+  }
+}
+BENCHMARK(BM_Delaunay)->Arg(100)->Arg(400);
+
+void BM_AlphaShape(benchmark::State& state) {
+  const auto pts = random_points(static_cast<int>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::alpha_shape(pts, 2.0));
+  }
+}
+BENCHMARK(BM_AlphaShape)->Arg(100)->Arg(400);
+
+void BM_OccupancyPolyline(benchmark::State& state) {
+  mapping::OccupancyGrid grid({{0, 0}, {50, 40}}, 0.5);
+  std::vector<Vec2> path;
+  for (int i = 0; i < 40; ++i) path.push_back({i * 1.0, 10.0 + (i % 3) * 0.3});
+  for (auto _ : state) {
+    grid.add_polyline(path, 1.2);
+  }
+}
+BENCHMARK(BM_OccupancyPolyline);
+
+void BM_SkeletonReconstruction(benchmark::State& state) {
+  mapping::OccupancyGrid grid({{0, 0}, {50, 40}}, 0.5);
+  common::Rng rng(11);
+  for (int k = 0; k < 20; ++k) {
+    const double y = 10 + rng.uniform(-0.8, 0.8);
+    grid.add_polyline({{2, y}, {48, y}}, 1.2);
+    const double x = 25 + rng.uniform(-0.8, 0.8);
+    grid.add_polyline({{x, 2}, {x, 38}}, 1.2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::reconstruct_skeleton(grid, {}));
+  }
+}
+BENCHMARK(BM_SkeletonReconstruction);
+
+void BM_PolygonClip(benchmark::State& state) {
+  const auto a = geometry::Polygon::oriented_rectangle({0, 0}, 5, 4, 0.3);
+  const auto b = geometry::Polygon::oriented_rectangle({1, 1}, 6, 3, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::clip_convex(a, b));
+  }
+}
+BENCHMARK(BM_PolygonClip);
+
+void BM_BestAlignedOverlap(benchmark::State& state) {
+  geometry::BoolRaster a({{0, 0}, {50, 40}}, 0.5);
+  a.fill_polygon(geometry::Polygon::rectangle({25, 10}, 46, 2.4));
+  const auto b = a.shifted(3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::best_aligned_overlap(b, a, 8));
+  }
+}
+BENCHMARK(BM_BestAlignedOverlap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

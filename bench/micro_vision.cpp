@@ -1,0 +1,135 @@
+// Micro-benchmarks of the vision/matching hot paths (google-benchmark):
+// SURF detection, descriptor matching, HOG, the cheap S1 descriptors, NCC,
+// LCSS and panorama stitching.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "imaging/descriptors.hpp"
+#include "imaging/hog.hpp"
+#include "imaging/ncc.hpp"
+#include "sim/buildings.hpp"
+#include "sim/scene.hpp"
+#include "trajectory/lcss.hpp"
+#include "vision/matcher.hpp"
+#include "vision/panorama.hpp"
+#include "vision/similarity.hpp"
+#include "vision/surf.hpp"
+
+namespace {
+
+using namespace crowdmap;
+
+/// A rendered frame from the Lab1 world (realistic texture statistics).
+imaging::ColorImage rendered_frame() {
+  static const auto spec = sim::lab1();
+  static const auto scene = sim::Scene::from_spec(spec, 0xBE9C);
+  sim::CameraIntrinsics intr;
+  common::Rng rng(1);
+  return scene.render({{10.0, 0.0}, 0.0}, intr, sim::Lighting::day(), rng);
+}
+
+void BM_RenderFrame(benchmark::State& state) {
+  const auto spec = sim::lab1();
+  const auto scene = sim::Scene::from_spec(spec, 0xBE9C);
+  sim::CameraIntrinsics intr;
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scene.render({{10.0, 0.0}, 0.0}, intr, sim::Lighting::day(), rng));
+  }
+}
+BENCHMARK(BM_RenderFrame);
+
+void BM_SurfDetect(benchmark::State& state) {
+  const auto gray = rendered_frame().to_gray();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::detect_and_describe(gray));
+  }
+}
+BENCHMARK(BM_SurfDetect);
+
+void BM_SurfMatch(benchmark::State& state) {
+  const auto gray = rendered_frame().to_gray();
+  const auto f1 = vision::detect_and_describe(gray);
+  const auto f2 = vision::detect_and_describe(gray.box_blurred(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::mutual_nn_matches(f1, f2, 0.35, 0.8));
+  }
+}
+BENCHMARK(BM_SurfMatch);
+
+void BM_Hog(benchmark::State& state) {
+  const auto gray = rendered_frame().to_gray();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imaging::hog_descriptor(gray));
+  }
+}
+BENCHMARK(BM_Hog);
+
+void BM_CheapDescriptors(benchmark::State& state) {
+  const auto frame = rendered_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::compute_cheap_descriptors(frame));
+  }
+}
+BENCHMARK(BM_CheapDescriptors);
+
+void BM_SimilarityS1(benchmark::State& state) {
+  const auto frame = rendered_frame();
+  const auto d1 = vision::compute_cheap_descriptors(frame);
+  const auto d2 = vision::compute_cheap_descriptors(frame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::similarity_s1(d1, d2));
+  }
+}
+BENCHMARK(BM_SimilarityS1);
+
+void BM_Ncc(benchmark::State& state) {
+  const auto gray = rendered_frame().to_gray();
+  const auto other = gray.box_blurred(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imaging::normalized_cross_correlation(gray, other));
+  }
+}
+BENCHMARK(BM_Ncc);
+
+void BM_Lcss(benchmark::State& state) {
+  common::Rng rng(7);
+  std::vector<geometry::Vec2> a;
+  std::vector<geometry::Vec2> b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back({i * 0.5, rng.normal(0.0, 0.2)});
+    b.push_back({i * 0.5 + 0.3, rng.normal(0.0, 0.2)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trajectory::lcss_length(a, b, {}));
+  }
+}
+BENCHMARK(BM_Lcss);
+
+void BM_StitchPanorama(benchmark::State& state) {
+  const auto spec = sim::lab1();
+  const auto scene = sim::Scene::from_spec(spec, 0xBE9C);
+  sim::CameraIntrinsics intr;
+  common::Rng rng(1);
+  std::vector<vision::PanoFrame> frames;
+  for (int i = 0; i < 12; ++i) {
+    const double heading = i * 2.0 * 3.14159265358979 / 12;
+    frames.push_back({scene.render({spec.rooms[0].center, heading}, intr,
+                                   sim::Lighting::day(), rng)
+                          .to_gray(),
+                      heading});
+  }
+  vision::StitchParams params;
+  params.output_width = 512;
+  params.output_height = 128;
+  for (auto _ : state) {
+    auto copy = frames;
+    benchmark::DoNotOptimize(vision::stitch_panorama(std::move(copy), params));
+  }
+}
+BENCHMARK(BM_StitchPanorama);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// The application CrowdMap exists for: a newcomer's phone localizing itself
+// on a *reconstructed* floor plan from step events alone. Reconstruct Lab1
+// from a crowd campaign, then track a fresh walker with a particle filter
+// constrained by the reconstructed walkable space.
+//
+//   $ ./build/examples/indoor_navigation
+#include <iostream>
+
+#include "eval/datasets.hpp"
+#include "eval/harness.hpp"
+#include "localize/particle_filter.hpp"
+#include "sensors/dead_reckoning.hpp"
+#include "sim/user_sim.hpp"
+
+int main() {
+  using namespace crowdmap;
+
+  // 1. Reconstruct the building from a crowd campaign.
+  const auto dataset = eval::lab1_dataset(0.5);
+  std::cout << "Reconstructing " << dataset.building.name << "...\n";
+  const auto run =
+      eval::run_experiment(dataset, core::PipelineConfig::fast_profile());
+  std::cout << "  hallway F=" << eval::pct(run.hallway.f_measure) << ", "
+            << run.result.plan.rooms.size() << " rooms\n";
+
+  // 2. A new user walks the hallway; only their step events are observed.
+  const auto scene = sim::Scene::from_spec(dataset.building, 0x0A11CE);
+  sim::SimOptions options;
+  options.fps = 2.0;
+  sim::UserSimulator walker(scene, dataset.building, options,
+                            common::Rng(0x0A11CE));
+  const auto walk =
+      walker.hallway_walk_between({2, 0}, {20, 14}, sim::Lighting::day());
+  const auto steps = sensors::detect_steps(walk.imu);
+  const auto headings = sensors::estimate_headings(walk.imu);
+
+  // 3. Particle filter on the reconstructed plan, unknown start.
+  localize::LocalizerConfig config;
+  config.particle_count = 3000;
+  localize::MapLocalizer localizer(localize::walkable_space(run.result.plan),
+                                   config, common::Rng(7));
+  localizer.initialize_uniform();
+
+  std::cout << "\nTracking a new walker (" << steps.count()
+            << " steps, unknown start):\n";
+  eval::print_table_row(std::cout, {"step", "error (m)", "belief spread (m)"});
+  std::size_t step_index = 0;
+  for (const double t : steps.times) {
+    // Heading at the step time (from the walker's own IMU).
+    std::size_t sample = 0;
+    while (sample + 1 < walk.imu.samples.size() &&
+           walk.imu.samples[sample].t < t) {
+      ++sample;
+    }
+    localizer.on_step(0.66, headings[sample]);
+    ++step_index;
+    if (step_index % 5 == 0 || step_index == steps.count()) {
+      // True position at this time, for reporting only.
+      geometry::Vec2 truth;
+      for (const auto& frame : walk.frames) {
+        if (frame.t <= t) truth = frame.true_pose.position;
+      }
+      const auto belief = localizer.estimate();
+      eval::print_table_row(
+          std::cout, {std::to_string(step_index),
+                      eval::fmt(belief.position.distance_to(truth), 2),
+                      eval::fmt(belief.spread, 2)});
+    }
+  }
+  std::cout << "\nThe belief collapses once the walker's path hits corners "
+               "the corridor topology\ndisambiguates — this is the paper's "
+               "motivating use of crowdsourced floor plans.\n";
+  return 0;
+}

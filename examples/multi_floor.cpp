@@ -1,0 +1,56 @@
+// Multi-floor reconstruction (paper §VI): uploads annotated with their floor
+// number (Task 1) decompose into independent 1-floor reconstructions, linked
+// by the stairwell connector.
+//
+//   $ ./build/examples/multi_floor
+#include <iostream>
+
+#include "core/multifloor.hpp"
+#include "eval/harness.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+int main() {
+  using namespace crowdmap;
+
+  // Floor 1 = Lab1's layout, floor 2 = Lab2's (standing in for two floors of
+  // one building; each floor has its own wall appearance).
+  core::MultiFloorPipeline pipeline(core::PipelineConfig::fast_profile());
+  const std::vector<std::pair<int, sim::FloorPlanSpec>> floors = {
+      {1, sim::lab1()}, {2, sim::lab2()}};
+
+  for (const auto& [floor_no, spec] : floors) {
+    sim::CampaignOptions options;
+    options.users = 4;
+    options.room_videos_per_room = 1;
+    options.hallway_walks = 12;
+    options.sim.fps = 3.0;
+    std::cout << "Recording floor " << floor_no << " (" << spec.rooms.size()
+              << " rooms)...\n";
+    sim::generate_campaign_streaming(
+        spec, options, 0xF100u + static_cast<std::uint64_t>(floor_no),
+        [&pipeline, floor_no = floor_no](sim::SensorRichVideo&& video) {
+          video.floor = floor_no;  // the Task-1 annotation
+          pipeline.ingest(video);
+        });
+  }
+
+  // The stairwell connecting the floors (a known reference point).
+  const core::FloorConnector stairs{1, 2, {20.0, 8.0}};
+
+  const auto results = pipeline.run();
+  for (const auto& fr : results) {
+    const auto& d = fr.result.diagnostics;
+    std::cout << "\n=== Floor " << fr.floor << " ===\n"
+              << "  trajectories placed: " << d.trajectories_placed << "/"
+              << d.trajectories_kept << "\n"
+              << "  rooms reconstructed: " << d.rooms_reconstructed << "\n"
+              << "  hallway skeleton:    "
+              << eval::fmt(fr.result.skeleton.area(), 0) << " m^2\n";
+  }
+  std::cout << "\nFloors link at the stairwell near ("
+            << stairs.position.x << ", " << stairs.position.y
+            << "); navigation across floors chains the per-floor plans "
+               "through it.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Lighting-robustness scenario: the same building surveyed once by a
+// daytime crowd and once by a night crowd (incandescent light, high sensor
+// noise), demonstrating that key-frame matching — and therefore the map —
+// survives the lighting shift (the property behind Fig. 7(b)).
+//
+//   $ ./build/examples/night_shift
+#include <iostream>
+
+#include "eval/datasets.hpp"
+#include "eval/harness.hpp"
+
+int main() {
+  using namespace crowdmap;
+
+  for (const double night_fraction : {0.0, 1.0}) {
+    auto dataset = eval::lab2_dataset(0.75);
+    dataset.options.night_fraction = night_fraction;
+    dataset.seed ^= static_cast<std::uint64_t>(night_fraction * 7 + 1);
+
+    const auto run =
+        eval::run_experiment(dataset, core::PipelineConfig::fast_profile());
+    const auto& d = run.result.diagnostics;
+    std::cout << (night_fraction == 0.0 ? "=== Day shift ===" : "=== Night shift ===")
+              << "\n  placed " << d.trajectories_placed << "/"
+              << d.trajectories_kept << " trajectories, "
+              << d.rooms_reconstructed << " rooms\n"
+              << "  hallway F-measure: " << eval::pct(run.hallway.f_measure)
+              << "\n";
+    if (!run.room_errors.empty()) {
+      double area = 0.0;
+      for (const auto& e : run.room_errors) area += e.area_error;
+      std::cout << "  mean room area error: "
+                << eval::pct(area / run.room_errors.size()) << "\n";
+    }
+  }
+  std::cout << "\nBoth shifts should land in the same quality band: frame\n"
+               "descriptors are exposure-normalized, so night only costs\n"
+               "extra sensor noise, not matchability.\n";
+  return 0;
+}

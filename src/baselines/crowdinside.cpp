@@ -1,0 +1,33 @@
+#include "baselines/crowdinside.hpp"
+
+#include "common/mathutil.hpp"
+
+namespace crowdmap::baselines {
+
+trajectory::AggregationResult aggregate_by_gps_anchor(
+    std::span<const trajectory::Trajectory> trajectories,
+    const GpsAnchorConfig& config, common::Rng& rng) {
+  trajectory::AggregationResult result;
+  result.global_pose.assign(trajectories.size(), std::nullopt);
+  for (std::size_t i = 0; i < trajectories.size(); ++i) {
+    const auto& traj = trajectories[i];
+    if (traj.keyframes.empty()) continue;
+    // Anchor: the true start position corrupted by indoor-GPS error, plus an
+    // absolute heading error from the compass.
+    const auto& first = traj.keyframes.front();
+    const geometry::Vec2 anchor =
+        first.true_position + geometry::Vec2{rng.normal(0.0, config.gps_sigma),
+                                             rng.normal(0.0, config.gps_sigma)};
+    const double dtheta = common::wrap_angle(
+        (first.true_heading + rng.normal(0.0, config.heading_sigma)) -
+        first.heading);
+    // Global pose maps the trajectory's local frame so that its first
+    // key-frame lands on the anchor with the (noisy) absolute heading.
+    const geometry::Vec2 t = anchor - first.position.rotated(dtheta);
+    result.global_pose[i] = geometry::Pose2{t, dtheta};
+    ++result.placed_count;
+  }
+  return result;
+}
+
+}  // namespace crowdmap::baselines

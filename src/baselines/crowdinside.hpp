@@ -1,0 +1,28 @@
+// CrowdInside-style trace-only aggregation baseline: trajectories are placed
+// by coarse absolute anchors (last-known GPS fix + compass) instead of
+// visual key-frame matching. Indoor GPS is meters-noisy, so the resulting
+// occupancy map is blurred — the contrast motivating CrowdMap's key-frame
+// anchoring (§VII).
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "trajectory/aggregate.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace crowdmap::baselines {
+
+struct GpsAnchorConfig {
+  double gps_sigma = 4.0;       // meters of anchor error (indoor GPS)
+  double heading_sigma = 0.15;  // radians of absolute-orientation error
+};
+
+/// Places every trajectory independently by a noisy absolute anchor at its
+/// start (truth + GPS noise). All trajectories are "placed"; no matching is
+/// performed.
+[[nodiscard]] trajectory::AggregationResult aggregate_by_gps_anchor(
+    std::span<const trajectory::Trajectory> trajectories,
+    const GpsAnchorConfig& config, common::Rng& rng);
+
+}  // namespace crowdmap::baselines

@@ -1,0 +1,19 @@
+#include "baselines/inertial_room.hpp"
+
+#include "geometry/obb.hpp"
+
+namespace crowdmap::baselines {
+
+std::optional<InertialRoomEstimate> estimate_room_inertial(
+    std::span<const geometry::Vec2> trace) {
+  const auto box = geometry::oriented_bounding_box(trace);
+  if (!box) return std::nullopt;
+  InertialRoomEstimate est;
+  est.width = box->width;
+  est.depth = box->depth;
+  est.orientation = box->orientation;
+  est.center = box->center;
+  return est;
+}
+
+}  // namespace crowdmap::baselines

@@ -1,0 +1,31 @@
+// Inertial-only room layout baseline (the Jigsaw/CrowdInside approach the
+// paper compares against in Fig. 8a–8b): room shape = oriented bounding box
+// of the user's in-room motion trace. Underestimates systematically because
+// furniture keeps users away from walls — the paper's core argument for
+// visual room modeling.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::baselines {
+
+struct InertialRoomEstimate {
+  double width = 0.0;
+  double depth = 0.0;
+  double orientation = 0.0;  // radians of the principal axis
+  geometry::Vec2 center;
+
+  [[nodiscard]] double area() const noexcept { return width * depth; }
+  [[nodiscard]] double aspect_ratio() const noexcept {
+    return depth > 0 ? width / depth : 0.0;
+  }
+};
+
+/// PCA-oriented bounding box of the trace points; nullopt for < 3 points.
+[[nodiscard]] std::optional<InertialRoomEstimate> estimate_room_inertial(
+    std::span<const geometry::Vec2> trace);
+
+}  // namespace crowdmap::baselines

@@ -1,0 +1,75 @@
+#include "baselines/sfm_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+
+namespace crowdmap::baselines {
+
+std::vector<SfmPose> simulate_sfm_poses(const trajectory::Trajectory& traj,
+                                        const SfmConfig& config,
+                                        common::Rng& rng) {
+  std::vector<SfmPose> poses;
+  poses.reserve(traj.keyframes.size());
+  for (const auto& kf : traj.keyframes) {
+    SfmPose pose;
+    pose.truth = {kf.true_position, kf.true_heading};
+    pose.feature_count = kf.surf.size();
+    const double n = static_cast<double>(std::max<std::size_t>(pose.feature_count, 1));
+    if (pose.feature_count < static_cast<std::size_t>(config.feature_floor) &&
+        rng.chance(config.gross_failure_prob)) {
+      // Mis-registration: the view latched onto the wrong (but similar-
+      // looking) part of the scene.
+      pose.registered = false;
+      pose.estimated = {
+          kf.true_position + geometry::Vec2{rng.normal(0.0, config.gross_error_radius),
+                                            rng.normal(0.0, config.gross_error_radius)},
+          common::wrap_angle(kf.true_heading + rng.uniform(-common::kPi, common::kPi))};
+    } else {
+      const double sigma = config.error_scale / n;
+      pose.estimated = {
+          kf.true_position +
+              geometry::Vec2{rng.normal(0.0, sigma), rng.normal(0.0, sigma)},
+          common::wrap_angle(kf.true_heading + rng.normal(0.0, sigma * 0.3))};
+    }
+    poses.push_back(pose);
+  }
+  return poses;
+}
+
+double mean_aligned_error(const std::vector<SfmPose>& poses) {
+  // Rigid (Kabsch) alignment of estimated onto truth, then residual mean.
+  std::vector<geometry::Vec2> from;
+  std::vector<geometry::Vec2> to;
+  for (const auto& p : poses) {
+    from.push_back(p.estimated.position);
+    to.push_back(p.truth.position);
+  }
+  if (from.size() < 2) return 0.0;
+  geometry::Vec2 cf;
+  geometry::Vec2 ct;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    cf += from[i];
+    ct += to[i];
+  }
+  cf = cf / static_cast<double>(from.size());
+  ct = ct / static_cast<double>(to.size());
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const geometry::Vec2 p = from[i] - cf;
+    const geometry::Vec2 q = to[i] - ct;
+    sxx += p.dot(q);
+    sxy += p.cross(q);
+  }
+  const double theta = std::atan2(sxy, sxx);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const geometry::Vec2 aligned = (from[i] - cf).rotated(theta) + ct;
+    acc += aligned.distance_to(to[i]);
+  }
+  return acc / static_cast<double>(from.size());
+}
+
+}  // namespace crowdmap::baselines

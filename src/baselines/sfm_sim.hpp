@@ -1,0 +1,41 @@
+// Simulated Structure-from-Motion front-end (the Jigsaw comparison of Fig. 9
+// and §V.D). Real SfM degrades sharply in cluttered, featureless indoor
+// scenes [28]; we model per-frame camera-pose recovery whose error grows as
+// detected feature counts fall, with gross failures below a feature floor.
+// Feature counts come from the *actual* SURF detector on the frames, so the
+// Lab (textured) vs Gym (featureless) contrast emerges from the data.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/pose2.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace crowdmap::baselines {
+
+struct SfmConfig {
+  double error_scale = 12.0;       // meters of sigma per 1/feature
+  int feature_floor = 10;          // below this, registration may fail
+  double gross_failure_prob = 0.6; // chance a weak frame gets a wild pose
+  double gross_error_radius = 8.0; // meters for failed registrations
+};
+
+/// One simulated SfM camera estimate.
+struct SfmPose {
+  geometry::Pose2 estimated;
+  geometry::Pose2 truth;
+  std::size_t feature_count = 0;
+  bool registered = true;  // false = SfM dropped/mis-registered the view
+};
+
+/// Simulates SfM camera recovery for a trajectory's key-frames.
+[[nodiscard]] std::vector<SfmPose> simulate_sfm_poses(
+    const trajectory::Trajectory& traj, const SfmConfig& config,
+    common::Rng& rng);
+
+/// Mean position error of the registered poses after rigidly aligning them
+/// onto the truth (SfM's gauge freedom removed, as a real evaluation would).
+[[nodiscard]] double mean_aligned_error(const std::vector<SfmPose>& poses);
+
+}  // namespace crowdmap::baselines

@@ -1,0 +1,71 @@
+#include "cloud/chunking.hpp"
+
+#include <algorithm>
+
+namespace crowdmap::cloud {
+
+std::uint64_t checksum(const Blob& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<Chunk> split_into_chunks(const Blob& data, std::string upload_id,
+                                     std::size_t chunk_size) {
+  std::vector<Chunk> chunks;
+  if (chunk_size == 0) chunk_size = kDefaultChunkSize;
+  const std::size_t total =
+      data.empty() ? 1 : (data.size() + chunk_size - 1) / chunk_size;
+  chunks.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    Chunk c;
+    c.upload_id = upload_id;
+    c.index = static_cast<std::uint32_t>(i);
+    c.total = static_cast<std::uint32_t>(total);
+    const std::size_t begin = i * chunk_size;
+    const std::size_t end = std::min(begin + chunk_size, data.size());
+    if (begin < data.size()) {
+      c.payload.assign(data.begin() + static_cast<long>(begin),
+                       data.begin() + static_cast<long>(end));
+    }
+    c.payload_checksum = checksum(c.payload);
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+ChunkAssembler::Status ChunkAssembler::accept(const Chunk& chunk) {
+  if (status_ == Status::kCorrupt) return status_;
+  if (chunk.total == 0 || chunk.index >= chunk.total ||
+      checksum(chunk.payload) != chunk.payload_checksum) {
+    status_ = Status::kCorrupt;
+    return status_;
+  }
+  if (slots_.empty()) {
+    total_ = chunk.total;
+    slots_.resize(total_);
+  } else if (chunk.total != total_) {
+    status_ = Status::kCorrupt;
+    return status_;
+  }
+  if (!slots_[chunk.index]) {
+    slots_[chunk.index] = chunk.payload;
+    ++received_;
+  }
+  if (received_ == total_) status_ = Status::kComplete;
+  return status_;
+}
+
+std::optional<Blob> ChunkAssembler::assemble() const {
+  if (status_ != Status::kComplete) return std::nullopt;
+  Blob out;
+  for (const auto& slot : slots_) {
+    out.insert(out.end(), slot->begin(), slot->end());
+  }
+  return out;
+}
+
+}  // namespace crowdmap::cloud

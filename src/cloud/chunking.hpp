@@ -1,0 +1,56 @@
+// Chunked upload framing: the mobile front-end zips a dataset and splits it
+// into 5 MB chunks for transmission (paper §IV.1). The backend reassembles
+// chunks that may arrive out of order, verifying per-chunk checksums.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crowdmap::cloud {
+
+using Blob = std::vector<std::uint8_t>;
+
+/// FNV-1a checksum over a byte range.
+[[nodiscard]] std::uint64_t checksum(const Blob& data);
+
+/// One transmission chunk.
+struct Chunk {
+  std::string upload_id;
+  std::uint32_t index = 0;
+  std::uint32_t total = 0;
+  Blob payload;
+  std::uint64_t payload_checksum = 0;
+};
+
+inline constexpr std::size_t kDefaultChunkSize = 5 * 1024 * 1024;  // 5 MB
+
+/// Splits a blob into checksummed chunks.
+[[nodiscard]] std::vector<Chunk> split_into_chunks(
+    const Blob& data, std::string upload_id,
+    std::size_t chunk_size = kDefaultChunkSize);
+
+/// Reassembly buffer for one upload.
+class ChunkAssembler {
+ public:
+  enum class Status { kPending, kComplete, kCorrupt };
+
+  /// Accepts a chunk (any order, duplicates tolerated). Returns the status
+  /// after accepting: kCorrupt on checksum or frame mismatch.
+  Status accept(const Chunk& chunk);
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+  [[nodiscard]] std::size_t received() const noexcept { return received_; }
+
+  /// The reassembled blob; only valid once status() == kComplete.
+  [[nodiscard]] std::optional<Blob> assemble() const;
+
+ private:
+  std::vector<std::optional<Blob>> slots_;
+  std::uint32_t total_ = 0;
+  std::size_t received_ = 0;
+  Status status_ = Status::kPending;
+};
+
+}  // namespace crowdmap::cloud

@@ -1,0 +1,57 @@
+#include "cloud/docstore.hpp"
+
+#include <algorithm>
+
+namespace crowdmap::cloud {
+
+bool DocumentStore::put(Document doc) {
+  std::lock_guard lock(mutex_);
+  const auto it = docs_.find(doc.id);
+  const bool fresh = it == docs_.end();
+  if (!fresh) index_remove_locked(it->second);
+  floor_index_[{doc.building, doc.floor}].push_back(doc.id);
+  docs_[doc.id] = std::move(doc);
+  return fresh;
+}
+
+std::optional<Document> DocumentStore::get(const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DocumentStore::erase(const std::string& id) {
+  std::lock_guard lock(mutex_);
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return false;
+  index_remove_locked(it->second);
+  docs_.erase(it);
+  return true;
+}
+
+void DocumentStore::index_remove_locked(const Document& doc) {
+  auto& ids = floor_index_[{doc.building, doc.floor}];
+  ids.erase(std::remove(ids.begin(), ids.end(), doc.id), ids.end());
+}
+
+std::vector<std::string> DocumentStore::ids_for_floor(const std::string& building,
+                                                      int floor) const {
+  std::lock_guard lock(mutex_);
+  const auto it = floor_index_.find({building, floor});
+  return it == floor_index_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::size_t DocumentStore::size() const {
+  std::lock_guard lock(mutex_);
+  return docs_.size();
+}
+
+std::size_t DocumentStore::total_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, doc] : docs_) n += doc.payload.size();
+  return n;
+}
+
+}  // namespace crowdmap::cloud

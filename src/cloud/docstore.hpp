@@ -1,0 +1,51 @@
+// In-memory document store — the MongoDB stand-in of the cloud backend
+// (paper §IV.2): collections of blob documents with string metadata and a
+// secondary index on (building, floor). Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/chunking.hpp"
+
+namespace crowdmap::cloud {
+
+/// A stored document: payload plus queryable metadata.
+struct Document {
+  std::string id;
+  std::string building;
+  int floor = 1;
+  std::map<std::string, std::string> metadata;
+  Blob payload;
+};
+
+class DocumentStore {
+ public:
+  /// Inserts or replaces by document id. Returns false on replace.
+  bool put(Document doc);
+
+  [[nodiscard]] std::optional<Document> get(const std::string& id) const;
+  bool erase(const std::string& id);
+
+  /// All document ids for one (building, floor) — the unit CrowdMap
+  /// reconstructs.
+  [[nodiscard]] std::vector<std::string> ids_for_floor(
+      const std::string& building, int floor) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t total_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Document> docs_;
+  // Secondary index: (building, floor) -> ids.
+  std::map<std::pair<std::string, int>, std::vector<std::string>> floor_index_;
+
+  void index_remove_locked(const Document& doc);
+};
+
+}  // namespace crowdmap::cloud

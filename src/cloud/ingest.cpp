@@ -1,0 +1,58 @@
+#include "cloud/ingest.hpp"
+
+namespace crowdmap::cloud {
+
+IngestService::IngestService(DocumentStore& store,
+                             std::function<void(const Document&)> on_complete)
+    : store_(store), on_complete_(std::move(on_complete)) {}
+
+void IngestService::open_session(const std::string& upload_id,
+                                 const std::string& building, int floor) {
+  std::lock_guard lock(mutex_);
+  Session session;
+  session.building = building;
+  session.floor = floor;
+  sessions_[upload_id] = std::move(session);
+  ++stats_.sessions_opened;
+}
+
+IngestStatus IngestService::deliver(const Chunk& chunk) {
+  Document completed;
+  bool fire = false;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = sessions_.find(chunk.upload_id);
+    if (it == sessions_.end()) {
+      ++stats_.uploads_rejected;
+      return IngestStatus::kRejected;
+    }
+    ++stats_.chunks_received;
+    stats_.bytes_received += chunk.payload.size();
+    const auto status = it->second.assembler.accept(chunk);
+    if (status == ChunkAssembler::Status::kCorrupt) {
+      sessions_.erase(it);
+      ++stats_.uploads_rejected;
+      return IngestStatus::kRejected;
+    }
+    if (status != ChunkAssembler::Status::kComplete) {
+      return IngestStatus::kAccepted;
+    }
+    completed.id = chunk.upload_id;
+    completed.building = it->second.building;
+    completed.floor = it->second.floor;
+    completed.payload = *it->second.assembler.assemble();
+    sessions_.erase(it);
+    ++stats_.uploads_completed;
+    fire = true;
+  }
+  store_.put(completed);
+  if (fire && on_complete_) on_complete_(completed);
+  return IngestStatus::kUploadComplete;
+}
+
+IngestStats IngestService::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace crowdmap::cloud

@@ -1,0 +1,59 @@
+// Upload ingestion: the Tornado/WebSocket front door of the cloud backend
+// (paper §IV.2). Tracks concurrent chunked upload sessions, validates them,
+// and lands completed datasets in the document store.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "cloud/chunking.hpp"
+#include "cloud/docstore.hpp"
+
+namespace crowdmap::cloud {
+
+/// Outcome of one chunk delivery.
+enum class IngestStatus { kAccepted, kUploadComplete, kRejected };
+
+struct IngestStats {
+  std::size_t sessions_opened = 0;
+  std::size_t uploads_completed = 0;
+  std::size_t uploads_rejected = 0;
+  std::size_t chunks_received = 0;
+  std::size_t bytes_received = 0;
+};
+
+/// Chunked-upload ingestion service. Thread-safe; multiple simulated users
+/// may interleave chunk deliveries.
+class IngestService {
+ public:
+  /// `on_complete` fires once per successfully reassembled upload with its
+  /// metadata-bearing document already persisted in `store`.
+  IngestService(DocumentStore& store,
+                std::function<void(const Document&)> on_complete = {});
+
+  /// Declares an upload session with its Task-1 geo-spatial annotation.
+  void open_session(const std::string& upload_id, const std::string& building,
+                    int floor);
+
+  /// Delivers one chunk; sessions not opened first are rejected.
+  IngestStatus deliver(const Chunk& chunk);
+
+  [[nodiscard]] IngestStats stats() const;
+
+ private:
+  struct Session {
+    std::string building;
+    int floor = 1;
+    ChunkAssembler assembler;
+  };
+
+  DocumentStore& store_;
+  std::function<void(const Document&)> on_complete_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Session> sessions_;
+  IngestStats stats_;
+};
+
+}  // namespace crowdmap::cloud

@@ -1,0 +1,80 @@
+#include "cloud/service.hpp"
+
+#include "common/log.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace crowdmap::cloud {
+
+CrowdMapService::CrowdMapService(core::PipelineConfig config,
+                                 VideoDecoder decoder, std::size_t workers)
+    : config_(std::move(config)), decoder_(std::move(decoder)), pool_(workers) {
+  ingest_ = std::make_unique<IngestService>(
+      store_, [this](const Document& doc) { on_upload_complete(doc); });
+}
+
+void CrowdMapService::open_session(const std::string& upload_id,
+                                   const std::string& building, int floor) {
+  ingest_->open_session(upload_id, building, floor);
+}
+
+IngestStatus CrowdMapService::deliver(const Chunk& chunk) {
+  return ingest_->deliver(chunk);
+}
+
+void CrowdMapService::on_upload_complete(const Document& doc) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.uploads_completed;
+  }
+  // Decode + extract on the worker pool; the ingest thread returns at once.
+  (void)pool_.submit([this, doc] {
+    const auto video = decoder_(doc);
+    {
+      std::lock_guard lock(mutex_);
+      if (!video) {
+        ++stats_.decode_failures;
+        return;
+      }
+      ++stats_.videos_decoded;
+    }
+    auto traj = trajectory::extract_trajectory(*video, config_.extraction);
+    std::lock_guard lock(mutex_);
+    // The same unqualified-data gates the pipeline applies.
+    if (traj.keyframes.size() < config_.min_keyframes) {
+      ++stats_.trajectories_dropped;
+      CROWDMAP_LOG(kInfo, "service")
+          << "dropped unqualified upload " << doc.id;
+      return;
+    }
+    ++stats_.trajectories_extracted;
+    trajectories_[{doc.building, doc.floor}].push_back(std::move(traj));
+  });
+}
+
+void CrowdMapService::drain() { pool_.wait_idle(); }
+
+core::PipelineResult CrowdMapService::build_floor_plan(
+    const std::string& building, int floor,
+    const std::optional<core::WorldFrame>& frame) {
+  drain();
+  core::CrowdMapPipeline pipeline(config_);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = trajectories_.find({building, floor});
+    if (it != trajectories_.end()) {
+      for (const auto& traj : it->second) {
+        pipeline.ingest_trajectory(traj);
+      }
+    }
+  }
+  return pipeline.run(frame);
+}
+
+ServiceStats CrowdMapService::stats() const {
+  std::lock_guard lock(mutex_);
+  ServiceStats out = stats_;
+  out.uploads_rejected = ingest_->stats().uploads_rejected;
+  return out;
+}
+
+}  // namespace crowdmap::cloud

@@ -1,0 +1,80 @@
+// CrowdMapService — the assembled cloud backend (paper §IV.2): chunked
+// uploads land in the document store through the ingestion service; a worker
+// pool extracts trajectories asynchronously (the Spark-cluster stand-in);
+// floor plans are built on demand per (building, floor).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/docstore.hpp"
+#include "cloud/ingest.hpp"
+#include "common/thread_pool.hpp"
+#include "core/pipeline.hpp"
+
+namespace crowdmap::cloud {
+
+/// Decodes an upload payload into a sensor-rich video. The service is
+/// format-agnostic: the deployment supplies the codec (the simulation
+/// harness passes videos by side table; a production system would decode
+/// the zipped recording).
+using VideoDecoder =
+    std::function<std::optional<sim::SensorRichVideo>(const Document&)>;
+
+struct ServiceStats {
+  std::size_t uploads_completed = 0;
+  std::size_t uploads_rejected = 0;
+  std::size_t videos_decoded = 0;
+  std::size_t decode_failures = 0;
+  std::size_t trajectories_extracted = 0;
+  std::size_t trajectories_dropped = 0;
+};
+
+/// End-to-end backend: ingestion -> async feature extraction -> per-floor
+/// reconstruction. Thread-safe.
+class CrowdMapService {
+ public:
+  CrowdMapService(core::PipelineConfig config, VideoDecoder decoder,
+                  std::size_t workers = 2);
+
+  /// Opens an upload session (the Task-1 geo-spatial annotation).
+  void open_session(const std::string& upload_id, const std::string& building,
+                    int floor);
+
+  /// Delivers one chunk; completed uploads are decoded and feature-extracted
+  /// on the worker pool.
+  IngestStatus deliver(const Chunk& chunk);
+
+  /// Blocks until every queued extraction has finished.
+  void drain();
+
+  /// Builds the floor plan for one (building, floor) from every trajectory
+  /// extracted so far. Drains first.
+  [[nodiscard]] core::PipelineResult build_floor_plan(
+      const std::string& building, int floor,
+      const std::optional<core::WorldFrame>& frame = std::nullopt);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const DocumentStore& store() const noexcept { return store_; }
+
+ private:
+  void on_upload_complete(const Document& doc);
+
+  core::PipelineConfig config_;
+  VideoDecoder decoder_;
+  DocumentStore store_;
+  common::ThreadPool pool_;
+  std::unique_ptr<IngestService> ingest_;
+
+  mutable std::mutex mutex_;
+  // Extracted trajectories per (building, floor).
+  std::map<std::pair<std::string, int>, std::vector<trajectory::Trajectory>>
+      trajectories_;
+  ServiceStats stats_;
+};
+
+}  // namespace crowdmap::cloud

@@ -1,0 +1,36 @@
+// Minimal key = value configuration files ('#' comments, blank lines
+// ignored) with typed, validated accessors — used by the CLI so pipeline
+// thresholds can be tuned without recompiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace crowdmap::common {
+
+class ConfigFile {
+ public:
+  /// Parses text; throws std::runtime_error on a malformed line.
+  [[nodiscard]] static ConfigFile parse(const std::string& text);
+  /// Loads and parses a file; throws std::runtime_error on IO failure.
+  [[nodiscard]] static ConfigFile load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters: return `fallback` when absent, throw std::runtime_error
+  /// when present but unparsable.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace crowdmap::common

@@ -1,0 +1,59 @@
+// Minimal expected-style result type (std::expected is C++23; we target C++20).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace crowdmap::common {
+
+/// Error payload: a machine-checkable code plus a human-readable message.
+struct Error {
+  std::string code;
+  std::string message;
+};
+
+/// Value-or-error result. Throws std::logic_error on wrong-side access so
+/// misuse fails loudly in tests rather than silently corrupting state.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Expected::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Expected::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::logic_error("Expected::take on error: " + error().message);
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Expected::error on value");
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience factory mirroring std::unexpected.
+[[nodiscard]] inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace crowdmap::common

@@ -1,0 +1,45 @@
+// Minimal leveled logger. The cloud backend and pipeline use it for progress
+// and drop diagnostics; tests silence it by raising the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace crowdmap::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one line to stderr if `level` passes the global filter.
+/// Thread-safe (single formatted write).
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style helper: LOG(kInfo, "pipeline") << "stage done";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStream() { log_line(level_, component_, buffer_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace crowdmap::common
+
+#define CROWDMAP_LOG(level, component) \
+  ::crowdmap::common::LogStream(::crowdmap::common::LogLevel::level, component)

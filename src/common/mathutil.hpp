@@ -1,0 +1,61 @@
+// Small math helpers shared across modules (angles, interpolation, clamping).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace crowdmap::common {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Degrees to radians.
+[[nodiscard]] constexpr double deg2rad(double deg) noexcept {
+  return deg * kPi / 180.0;
+}
+
+/// Radians to degrees.
+[[nodiscard]] constexpr double rad2deg(double rad) noexcept {
+  return rad * 180.0 / kPi;
+}
+
+/// Wraps an angle to (-pi, pi].
+[[nodiscard]] inline double wrap_angle(double a) noexcept {
+  a = std::fmod(a + kPi, kTwoPi);
+  if (a < 0) a += kTwoPi;
+  return a - kPi;
+}
+
+/// Wraps an angle to [0, 2*pi).
+[[nodiscard]] inline double wrap_angle_2pi(double a) noexcept {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0) a += kTwoPi;
+  return a;
+}
+
+/// Signed smallest difference a-b wrapped to (-pi, pi].
+[[nodiscard]] inline double angle_diff(double a, double b) noexcept {
+  return wrap_angle(a - b);
+}
+
+/// Linear interpolation.
+[[nodiscard]] constexpr double lerp(double a, double b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// True if |a-b| <= tol.
+[[nodiscard]] constexpr bool near(double a, double b, double tol = 1e-9) noexcept {
+  return std::abs(a - b) <= tol;
+}
+
+/// Square.
+[[nodiscard]] constexpr double sq(double x) noexcept { return x * x; }
+
+/// Relative error |value - truth| / |truth|; returns |value| if truth == 0.
+[[nodiscard]] inline double relative_error(double value, double truth) noexcept {
+  if (truth == 0.0) return std::abs(value);
+  return std::abs(value - truth) / std::abs(truth);
+}
+
+}  // namespace crowdmap::common

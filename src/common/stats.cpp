@@ -1,0 +1,103 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace crowdmap::common {
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev(std::span<const double> samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double acc = 0.0;
+  for (double s : samples) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = mean(samples);
+  s.stddev = stddev(samples);
+  s.median = percentile(samples, 50.0);
+  s.p90 = percentile(samples, 90.0);
+  s.p99 = percentile(samples, 99.0);
+  return s;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("quantile of empty CDF");
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[idx == 0 ? 0 : std::min(idx - 1, sorted_.size() - 1)];
+}
+
+std::string EmpiricalCdf::to_table(std::size_t n_rows) const {
+  std::ostringstream out;
+  if (sorted_.empty() || n_rows < 2) return out.str();
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n_rows - 1);
+    const double x = quantile(std::max(q, 1e-9));
+    out << x << '\t' << at(x) << '\n';
+  }
+  return out.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) throw std::invalid_argument("bad histogram range");
+}
+
+void Histogram::add(double x) noexcept {
+  if (x < lo_ || x >= hi_) return;
+  const auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+  counts_[std::min(bin, counts_.size() - 1)]++;
+  total_++;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const { return counts_.at(bin); }
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+}  // namespace crowdmap::common

@@ -1,0 +1,78 @@
+// Descriptive statistics and empirical CDFs used by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crowdmap::common {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes summary statistics; returns a zero Summary for an empty sample.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> samples);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+[[nodiscard]] double stddev(std::span<const double> samples);
+
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> samples, double p);
+
+/// Empirical cumulative distribution function over a fixed sample.
+///
+/// Mirrors how the paper reports Fig. 7(c) and Fig. 8: sorted samples with
+/// F(x) = fraction of samples <= x.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F(x): fraction of samples <= x.
+  [[nodiscard]] double at(double x) const noexcept;
+
+  /// Inverse CDF: smallest sample s with F(s) >= q, q in (0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+  /// Renders "x f(x)" rows at n evenly spaced quantiles — the series a plot
+  /// of the corresponding paper figure would show.
+  [[nodiscard]] std::string to_table(std::size_t n_rows = 11) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Histogram with fixed-width bins over [lo, hi).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace crowdmap::common

@@ -1,0 +1,59 @@
+// Fixed-size worker pool used by the cloud backend's parallel-processing
+// pipeline (the paper's Spark cluster stand-in) and by the evaluation harness.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crowdmap::common {
+
+/// Work-queue thread pool. Tasks are std::function<void()>; submit() returns
+/// a future for the task's result. Destruction drains the queue then joins.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Blocks until every queued and running task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace crowdmap::common

@@ -1,0 +1,46 @@
+// Every tunable of the CrowdMap pipeline in one place, named after the
+// paper's thresholds where it defines them (h_g, h_s, h_d, h_f, h_l, h_α,
+// ε, δ, the 54.4° FoV, the 20,000 layout hypotheses).
+#pragma once
+
+#include "floorplan/arrange.hpp"
+#include "mapping/skeleton.hpp"
+#include "room/layout.hpp"
+#include "room/panorama_select.hpp"
+#include "trajectory/aggregate.hpp"
+#include "trajectory/trajectory.hpp"
+#include "vision/panorama.hpp"
+
+namespace crowdmap::core {
+
+struct PipelineConfig {
+  // §III.B.I — key-frame selection and trajectory extraction.
+  trajectory::ExtractionConfig extraction;
+  // §III.B.I — hierarchical comparison + LCSS aggregation (h_s, h_d, h_f,
+  // ε, δ, h_l live inside).
+  trajectory::AggregationConfig aggregation;
+  // §III.B.II — occupancy grid and skeleton (h_α).
+  double grid_cell_size = 0.5;
+  double trajectory_brush_width = 1.0;  // body width rasterized per pass
+  mapping::SkeletonConfig skeleton;
+  // §III.C — panorama generation and room layout (FoV, 20k hypotheses).
+  // The paper stitches 2048x1024 panoramas; our synthetic frames carry less
+  // detail, so 512x128 keeps the boundary signal dense (see DESIGN.md).
+  room::PanoramaSelectConfig panorama_select;
+  vision::StitchParams stitch{.output_width = 512, .output_height = 128};
+  room::LayoutConfig layout;
+  // §III.D — force-directed arrangement.
+  floorplan::ArrangeConfig arrange;
+  // Data quality gates ("divide and conquer" filtering of unqualified data).
+  std::size_t min_keyframes = 3;   // fewer => upload dropped
+  double min_track_length = 1.0;   // meters of believable motion
+  // Room dedup: panoramas whose implied centers fall this close describe the
+  // same room; the higher-scoring layout wins.
+  double room_merge_distance = 2.5;
+
+  /// A faster profile for unit/integration tests: fewer hypotheses and a
+  /// smaller panorama, same structure.
+  [[nodiscard]] static PipelineConfig fast_profile();
+};
+
+}  // namespace crowdmap::core

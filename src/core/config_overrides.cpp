@@ -1,0 +1,57 @@
+#include "core/config_overrides.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace crowdmap::core {
+
+void apply_config_overrides(PipelineConfig& config,
+                            const common::ConfigFile& file) {
+  static const std::set<std::string> kKnown = {
+      "match.h_s",        "match.h_d",        "match.h_f",
+      "match.h_l",        "match.nn_ratio",   "lcss.epsilon",
+      "lcss.delta",       "grid.cell_size",   "grid.brush_width",
+      "skeleton.alpha",   "skeleton.min_access_count",
+      "skeleton.dilate",  "layout.hypotheses", "layout.corner_weight",
+      "stitch.width",     "stitch.height",    "filter.min_keyframes",
+  };
+  for (const auto& [key, value] : file.entries()) {
+    if (kKnown.count(key) == 0) {
+      throw std::runtime_error("unknown config key: " + key);
+    }
+  }
+
+  auto& match = config.aggregation.match;
+  match.h_s = file.get_double("match.h_s", match.h_s);
+  match.h_d = file.get_double("match.h_d", match.h_d);
+  match.h_f = file.get_double("match.h_f", match.h_f);
+  match.h_l = file.get_double("match.h_l", match.h_l);
+  match.nn_ratio = file.get_double("match.nn_ratio", match.nn_ratio);
+  match.lcss.epsilon = file.get_double("lcss.epsilon", match.lcss.epsilon);
+  match.lcss.delta = file.get_int("lcss.delta", match.lcss.delta);
+
+  config.grid_cell_size = file.get_double("grid.cell_size", config.grid_cell_size);
+  config.trajectory_brush_width =
+      file.get_double("grid.brush_width", config.trajectory_brush_width);
+
+  config.skeleton.alpha = file.get_double("skeleton.alpha", config.skeleton.alpha);
+  config.skeleton.min_access_count = file.get_double(
+      "skeleton.min_access_count", config.skeleton.min_access_count);
+  config.skeleton.final_dilate_cells =
+      file.get_int("skeleton.dilate", config.skeleton.final_dilate_cells);
+
+  config.layout.hypotheses =
+      file.get_int("layout.hypotheses", config.layout.hypotheses);
+  config.layout.corner_weight =
+      file.get_double("layout.corner_weight", config.layout.corner_weight);
+  config.stitch.output_width =
+      file.get_int("stitch.width", config.stitch.output_width);
+  config.stitch.output_height =
+      file.get_int("stitch.height", config.stitch.output_height);
+
+  config.min_keyframes = static_cast<std::size_t>(
+      file.get_int("filter.min_keyframes",
+                   static_cast<int>(config.min_keyframes)));
+}
+
+}  // namespace crowdmap::core

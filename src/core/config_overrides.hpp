@@ -1,0 +1,23 @@
+// Binds configuration-file keys onto PipelineConfig so every paper
+// threshold is tunable at run time (CLI --config). Unknown keys are errors:
+// a typo should fail loudly, not silently run defaults.
+#pragma once
+
+#include "common/config_file.hpp"
+#include "core/config.hpp"
+
+namespace crowdmap::core {
+
+/// Applies overrides in `file` to `config`. Supported keys:
+///   match.h_s match.h_d match.h_f match.h_l match.nn_ratio
+///   lcss.epsilon lcss.delta
+///   grid.cell_size grid.brush_width
+///   skeleton.alpha skeleton.min_access_count skeleton.dilate
+///   layout.hypotheses layout.corner_weight
+///   stitch.width stitch.height
+///   filter.min_keyframes
+/// Throws std::runtime_error on an unknown key or unparsable value.
+void apply_config_overrides(PipelineConfig& config,
+                            const common::ConfigFile& file);
+
+}  // namespace crowdmap::core

@@ -1,0 +1,36 @@
+#include "core/multifloor.hpp"
+
+namespace crowdmap::core {
+
+void MultiFloorPipeline::ingest(const sim::SensorRichVideo& video) {
+  auto it = pipelines_.find(video.floor);
+  if (it == pipelines_.end()) {
+    it = pipelines_.emplace(video.floor, CrowdMapPipeline(config_)).first;
+  }
+  it->second.ingest(video);
+}
+
+std::vector<FloorResult> MultiFloorPipeline::run(
+    const std::map<int, WorldFrame>& frames) {
+  std::vector<FloorResult> results;
+  results.reserve(pipelines_.size());
+  for (auto& [floor, pipeline] : pipelines_) {
+    FloorResult fr;
+    fr.floor = floor;
+    const auto frame_it = frames.find(floor);
+    fr.result = frame_it == frames.end()
+                    ? pipeline.run()
+                    : pipeline.run(frame_it->second);
+    results.push_back(std::move(fr));
+  }
+  return results;
+}
+
+std::vector<int> MultiFloorPipeline::floors() const {
+  std::vector<int> out;
+  out.reserve(pipelines_.size());
+  for (const auto& [floor, pipeline] : pipelines_) out.push_back(floor);
+  return out;
+}
+
+}  // namespace crowdmap::core

@@ -1,0 +1,53 @@
+// Multi-floor reconstruction (paper §VI "Reconstruct Multi-Floors in Single
+// Round"): the task decomposes into one 1-floor reconstruction per (building,
+// floor) — uploads carry that annotation from Task 1 — with floors linked at
+// shared vertical-transport reference points (stairs/elevators).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace crowdmap::core {
+
+/// A vertical connector (stairwell / elevator shaft) linking two floors at
+/// (approximately) the same footprint position.
+struct FloorConnector {
+  int lower_floor = 1;
+  int upper_floor = 2;
+  geometry::Vec2 position;  // in the building's ground-truth frame
+};
+
+/// One floor's reconstruction.
+struct FloorResult {
+  int floor = 1;
+  PipelineResult result;
+};
+
+/// Per-building multi-floor reconstruction.
+class MultiFloorPipeline {
+ public:
+  explicit MultiFloorPipeline(PipelineConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Routes an upload to its floor's pipeline using the Task-1 annotation.
+  void ingest(const sim::SensorRichVideo& video);
+
+  /// Runs every floor's pipeline. Each frame entry (keyed by floor) aligns
+  /// that floor's output; floors without an entry run in their own frame.
+  [[nodiscard]] std::vector<FloorResult> run(
+      const std::map<int, WorldFrame>& frames = {});
+
+  [[nodiscard]] std::vector<int> floors() const;
+  [[nodiscard]] std::size_t floor_count() const noexcept {
+    return pipelines_.size();
+  }
+
+ private:
+  PipelineConfig config_;
+  std::map<int, CrowdMapPipeline> pipelines_;
+};
+
+}  // namespace crowdmap::core

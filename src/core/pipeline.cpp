@@ -1,0 +1,193 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "mapping/occupancy.hpp"
+
+namespace crowdmap::core {
+
+PipelineConfig PipelineConfig::fast_profile() {
+  PipelineConfig config;
+  config.layout.hypotheses = 2000;
+  config.stitch.output_width = 512;
+  config.stitch.output_height = 128;
+  return config;
+}
+
+CrowdMapPipeline::CrowdMapPipeline(PipelineConfig config)
+    : config_(std::move(config)) {}
+
+void CrowdMapPipeline::ingest(const sim::SensorRichVideo& video) {
+  common::Stopwatch timer;
+  trajectory::Trajectory traj =
+      trajectory::extract_trajectory(video, config_.extraction);
+  extract_seconds_ += timer.elapsed_seconds();
+  ingest_trajectory(std::move(traj));
+}
+
+void CrowdMapPipeline::ingest_trajectory(trajectory::Trajectory traj) {
+  ++ingested_;
+  // Unqualified-data gates ("divide and conquer" filtering, §I challenge 1).
+  const bool too_few_frames = traj.keyframes.size() < config_.min_keyframes;
+  const bool no_motion =
+      sensors::track_length(traj.points) < config_.min_track_length &&
+      traj.keyframes.size() < 8;  // SRS-only clips are legitimately stationary
+  if (too_few_frames || no_motion) {
+    ++dropped_;
+    CROWDMAP_LOG(kInfo, "pipeline")
+        << "dropped unqualified upload video_id=" << traj.video_id
+        << " keyframes=" << traj.keyframes.size();
+    return;
+  }
+  trajectories_.push_back(std::move(traj));
+}
+
+PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
+  PipelineResult result;
+  result.diagnostics.videos_ingested = ingested_;
+  result.diagnostics.trajectories_kept = trajectories_.size();
+  result.diagnostics.trajectories_dropped = dropped_;
+  result.diagnostics.extract_seconds = extract_seconds_;
+
+  // ---- Sub-process 1a: key-frame based trajectory aggregation (§III.B.I).
+  common::Stopwatch timer;
+  result.aggregation =
+      trajectory::aggregate_trajectories(trajectories_, config_.aggregation);
+  result.diagnostics.aggregate_seconds = timer.elapsed_seconds();
+  result.diagnostics.trajectories_placed = result.aggregation.placed_count;
+  result.diagnostics.match_edges = result.aggregation.edges.size();
+
+  // Transform into the output frame (identity unless the caller provided an
+  // alignment).
+  const geometry::Pose2 to_world =
+      frame ? frame->global_to_world : geometry::Pose2{};
+
+  // Collect placed points to size the occupancy grid.
+  std::vector<geometry::Vec2> all_points;
+  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+    if (!result.aggregation.global_pose[i]) continue;
+    for (const auto& p : trajectories_[i].points) {
+      all_points.push_back(
+          to_world.apply(result.aggregation.global_pose[i]->apply(p.position)));
+    }
+  }
+
+  geometry::Aabb extent;
+  if (frame) {
+    extent = frame->extent;
+  } else if (!all_points.empty()) {
+    extent = {{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()},
+              {std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()}};
+    for (const auto p : all_points) {
+      extent.min.x = std::min(extent.min.x, p.x);
+      extent.min.y = std::min(extent.min.y, p.y);
+      extent.max.x = std::max(extent.max.x, p.x);
+      extent.max.y = std::max(extent.max.y, p.y);
+    }
+    extent = extent.expanded(3.0);
+  } else {
+    extent = {{0, 0}, {10, 10}};
+  }
+
+  // ---- Sub-process 1b: floor path skeleton reconstruction (§III.B.II).
+  timer.restart();
+  mapping::OccupancyGrid grid(extent, config_.grid_cell_size);
+  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+    if (!result.aggregation.global_pose[i]) continue;
+    std::vector<geometry::Vec2> pts;
+    pts.reserve(trajectories_[i].points.size());
+    for (const auto& p : trajectories_[i].points) {
+      pts.push_back(
+          to_world.apply(result.aggregation.global_pose[i]->apply(p.position)));
+    }
+    grid.add_polyline(pts, config_.trajectory_brush_width);
+  }
+  result.skeleton = mapping::reconstruct_skeleton(grid, config_.skeleton);
+  result.occupancy = grid;
+  result.diagnostics.skeleton_seconds = timer.elapsed_seconds();
+
+  // ---- Sub-process 2: room layout modeling (§III.C).
+  timer.restart();
+  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+    if (!result.aggregation.global_pose[i]) continue;
+    const auto& traj = trajectories_[i];
+    const auto candidates =
+        room::find_panorama_candidates(traj, config_.panorama_select);
+    for (const auto& cand : candidates) {
+      ++result.diagnostics.panoramas_attempted;
+      const auto pano = room::stitch_candidate(traj, cand, config_.stitch);
+      if (pano.coverage < 0.95) continue;
+      ++result.diagnostics.panoramas_stitched;
+
+      // Effective vertical focal of the panorama (see DESIGN.md).
+      room::LayoutConfig layout_config = config_.layout;
+      if (layout_config.focal_px <= 0 && !cand.keyframe_indices.empty()) {
+        const auto& kf = traj.keyframes[cand.keyframe_indices.front()];
+        const double frame_focal =
+            kf.gray.width() / (2.0 * std::tan(config_.stitch.fov / 2.0));
+        layout_config.focal_px = frame_focal *
+                                 static_cast<double>(config_.stitch.output_height) /
+                                 std::max(kf.gray.height(), 1);
+      }
+      const auto layout = room::estimate_layout(pano.image, layout_config);
+      if (!layout) continue;
+
+      ReconstructedRoom rec;
+      rec.layout = *layout;
+      rec.trajectory_index = i;
+      rec.true_room_id = traj.true_room_id;
+      const geometry::Pose2 place =
+          to_world.compose(*result.aggregation.global_pose[i]);
+      rec.camera_global = place.apply(cand.cell_center);
+      // Room center = camera - (camera offset in the room frame rotated into
+      // the panorama frame and then into the world frame).
+      const geometry::Vec2 offset_pano =
+          rec.layout.camera_offset.rotated(rec.layout.orientation);
+      rec.center_global = rec.camera_global - offset_pano.rotated(place.theta);
+      rec.orientation_global = rec.layout.orientation + place.theta;
+      result.rooms.push_back(rec);
+    }
+  }
+  // Room dedup: nearby implied centers are the same room; best score wins.
+  std::sort(result.rooms.begin(), result.rooms.end(),
+            [](const ReconstructedRoom& a, const ReconstructedRoom& b) {
+              return a.layout.score > b.layout.score;
+            });
+  std::vector<ReconstructedRoom> unique_rooms;
+  for (const auto& rec : result.rooms) {
+    const bool duplicate = std::any_of(
+        unique_rooms.begin(), unique_rooms.end(), [&](const ReconstructedRoom& u) {
+          return u.center_global.distance_to(rec.center_global) <
+                 config_.room_merge_distance;
+        });
+    if (!duplicate) unique_rooms.push_back(rec);
+  }
+  result.rooms = std::move(unique_rooms);
+  result.diagnostics.rooms_reconstructed = result.rooms.size();
+  result.diagnostics.rooms_seconds = timer.elapsed_seconds();
+
+  // ---- Sub-process 3: floor plan modeling (§III.D).
+  timer.restart();
+  result.plan.hallway = result.skeleton.raster;
+  for (const auto& rec : result.rooms) {
+    floorplan::PlacedRoom placed;
+    placed.center = rec.center_global;
+    placed.anchor = rec.center_global;
+    placed.width = rec.layout.width;
+    placed.depth = rec.layout.depth;
+    placed.orientation = rec.orientation_global;
+    placed.true_room_id = rec.true_room_id;
+    placed.layout_score = rec.layout.score;
+    result.plan.rooms.push_back(placed);
+  }
+  floorplan::arrange_rooms(result.plan.rooms, result.plan.hallway,
+                           config_.arrange);
+  result.diagnostics.arrange_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace crowdmap::core

@@ -1,0 +1,98 @@
+// CrowdMapPipeline — the public API of the system (paper §II): ingest
+// sensor-rich videos, then run the three cloud sub-processes (indoor path
+// modeling, room layout modeling, floor plan modeling) and return the
+// reconstructed floor plan with diagnostics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "floorplan/floorplan.hpp"
+#include "mapping/occupancy.hpp"
+#include "geometry/pose2.hpp"
+#include "sim/user_sim.hpp"
+#include "trajectory/aggregate.hpp"
+
+namespace crowdmap::core {
+
+/// Optional output frame: the evaluation harness passes the rigid transform
+/// aligning the pipeline's arbitrary global frame onto ground truth plus the
+/// ground-truth grid, so output rasters are directly comparable (the paper
+/// overlays reconstructions on the surveyed plan the same way).
+struct WorldFrame {
+  geometry::Pose2 global_to_world;
+  geometry::Aabb extent;
+};
+
+/// Per-stage wall-clock timings and data-quality counters.
+struct PipelineDiagnostics {
+  std::size_t videos_ingested = 0;
+  std::size_t trajectories_kept = 0;
+  std::size_t trajectories_dropped = 0;   // unqualified-data filter
+  std::size_t trajectories_placed = 0;    // in the main aggregated component
+  std::size_t match_edges = 0;
+  std::size_t panoramas_attempted = 0;
+  std::size_t panoramas_stitched = 0;
+  std::size_t rooms_reconstructed = 0;
+  double extract_seconds = 0.0;
+  double aggregate_seconds = 0.0;
+  double skeleton_seconds = 0.0;
+  double rooms_seconds = 0.0;
+  double arrange_seconds = 0.0;
+};
+
+/// One reconstructed room before floor-plan merge, with provenance.
+struct ReconstructedRoom {
+  room::RoomLayout layout;
+  geometry::Vec2 camera_global;   // where the panorama was taken
+  geometry::Vec2 center_global;   // implied room center
+  double orientation_global = 0.0;
+  std::size_t trajectory_index = 0;
+  int true_room_id = -1;          // evaluation only
+};
+
+/// Full pipeline result.
+struct PipelineResult {
+  floorplan::FloorPlan plan;
+  trajectory::AggregationResult aggregation;
+  mapping::PathSkeleton skeleton;
+  /// The accumulated occupancy evidence (coverage analysis reads it).
+  mapping::OccupancyGrid occupancy{geometry::Aabb{{0, 0}, {1, 1}}, 1.0};
+  std::vector<ReconstructedRoom> rooms;
+  PipelineDiagnostics diagnostics;
+};
+
+class CrowdMapPipeline {
+ public:
+  explicit CrowdMapPipeline(PipelineConfig config = {});
+
+  /// Ingests one upload: extracts the trajectory (dead reckoning +
+  /// key-frames) and discards the raw pixels. Unqualified uploads (too few
+  /// key-frames, implausible motion) are filtered here.
+  void ingest(const sim::SensorRichVideo& video);
+
+  /// Ingests a pre-extracted trajectory (e.g. from a stored dataset).
+  void ingest_trajectory(trajectory::Trajectory traj);
+
+  /// Runs aggregation, skeleton reconstruction, room layout modeling and
+  /// force-directed arrangement over everything ingested so far.
+  [[nodiscard]] PipelineResult run(
+      const std::optional<WorldFrame>& frame = std::nullopt);
+
+  [[nodiscard]] const std::vector<trajectory::Trajectory>& trajectories()
+      const noexcept {
+    return trajectories_;
+  }
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t dropped_count() const noexcept { return dropped_; }
+
+ private:
+  PipelineConfig config_;
+  std::vector<trajectory::Trajectory> trajectories_;
+  std::size_t ingested_ = 0;
+  std::size_t dropped_ = 0;
+  double extract_seconds_ = 0.0;
+};
+
+}  // namespace crowdmap::core

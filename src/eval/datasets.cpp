@@ -1,0 +1,61 @@
+#include "eval/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmap::eval {
+
+namespace {
+
+[[nodiscard]] sim::CampaignOptions scaled_options(int hallway_walks,
+                                                  double night_fraction,
+                                                  double scale) {
+  sim::CampaignOptions options;
+  options.users = 8;
+  options.room_videos_per_room = 1;
+  options.hallway_walks =
+      std::max(4, static_cast<int>(std::lround(hallway_walks * scale)));
+  options.night_fraction = night_fraction;
+  options.junk_fraction = 0.05;
+  options.hallway_distance = 12.0;
+  options.sim.fps = 3.0;
+  options.sim.camera.width = 120;
+  options.sim.camera.height = 160;
+  return options;
+}
+
+}  // namespace
+
+DatasetSpec lab1_dataset(double scale) {
+  DatasetSpec spec;
+  spec.name = "Lab1";
+  spec.building = sim::lab1();
+  spec.options = scaled_options(24, 0.3, scale);
+  spec.seed = 0x1AB1;
+  return spec;
+}
+
+DatasetSpec lab2_dataset(double scale) {
+  DatasetSpec spec;
+  spec.name = "Lab2";
+  spec.building = sim::lab2();
+  spec.options = scaled_options(20, 0.3, scale);
+  spec.seed = 0x1AB2;
+  return spec;
+}
+
+DatasetSpec gym_dataset(double scale) {
+  DatasetSpec spec;
+  spec.name = "Gym";
+  spec.building = sim::gym();
+  spec.options = scaled_options(30, 0.35, scale);
+  spec.options.hallway_distance = 16.0;
+  spec.seed = 0x96A1;
+  return spec;
+}
+
+std::vector<DatasetSpec> all_datasets(double scale) {
+  return {lab1_dataset(scale), lab2_dataset(scale), gym_dataset(scale)};
+}
+
+}  // namespace crowdmap::eval

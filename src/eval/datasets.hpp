@@ -1,0 +1,31 @@
+// Fixed-seed dataset definitions for the three evaluation buildings — the
+// stand-ins for the paper's Lab1 / Lab2 / Gym datasets (§V). A scale knob
+// shrinks campaigns for unit tests and enlarges them for full benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+namespace crowdmap::eval {
+
+struct DatasetSpec {
+  std::string name;
+  sim::FloorPlanSpec building;
+  sim::CampaignOptions options;
+  std::uint64_t seed = 0;
+};
+
+/// scale = 1.0 reproduces the default evaluation campaign; smaller values
+/// proportionally reduce hallway walks and room revisits (floor >= 1 visit
+/// per room so every room still appears).
+[[nodiscard]] DatasetSpec lab1_dataset(double scale = 1.0);
+[[nodiscard]] DatasetSpec lab2_dataset(double scale = 1.0);
+[[nodiscard]] DatasetSpec gym_dataset(double scale = 1.0);
+
+/// All three, in paper order.
+[[nodiscard]] std::vector<DatasetSpec> all_datasets(double scale = 1.0);
+
+}  // namespace crowdmap::eval

@@ -1,0 +1,89 @@
+#include "eval/harness.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/stats.hpp"
+
+namespace crowdmap::eval {
+
+geometry::BoolRaster truth_hallway_raster(const DatasetSpec& dataset,
+                                          double cell_size) {
+  return dataset.building.hallway_raster(cell_size);
+}
+
+ExperimentRun run_experiment(const DatasetSpec& dataset,
+                             const core::PipelineConfig& config) {
+  ExperimentRun run;
+  run.dataset = dataset;
+
+  core::CrowdMapPipeline pipeline(config);
+  sim::generate_campaign_streaming(
+      dataset.building, dataset.options, dataset.seed,
+      [&pipeline](sim::SensorRichVideo&& video) { pipeline.ingest(video); });
+
+  // First pass: aggregate in the pipeline's own frame to estimate the
+  // alignment onto ground truth, then rerun the spatial stages in the truth
+  // frame so rasters are directly comparable (the paper's overlay step).
+  const auto aggregation = trajectory::aggregate_trajectories(
+      pipeline.trajectories(), config.aggregation);
+  const auto alignment =
+      floorplan::align_to_truth(pipeline.trajectories(), aggregation);
+  run.global_to_truth = alignment.value_or(geometry::Pose2{});
+
+  core::WorldFrame frame;
+  frame.global_to_world = run.global_to_truth;
+  frame.extent = dataset.building.extent();
+  run.result = pipeline.run(frame);
+
+  // Table I metrics: cut room paths (the paper does this manually), align
+  // residually, compare.
+  std::vector<geometry::Polygon> room_polys;
+  for (const auto& room : dataset.building.rooms) {
+    room_polys.push_back(room.footprint());
+  }
+  const auto truth = truth_hallway_raster(dataset, config.grid_cell_size);
+  run.hallway =
+      mapping::hallway_shape_metrics(run.result.skeleton, truth, room_polys);
+
+  // Fig. 8 metrics: rooms are already in the truth frame (identity residual).
+  run.room_errors = floorplan::evaluate_rooms(run.result.plan, dataset.building,
+                                              geometry::Pose2{});
+  run.trajectories = pipeline.trajectories();
+  return run;
+}
+
+void print_table_row(std::ostream& out, const std::vector<std::string>& cells,
+                     int cell_width) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out << " | ";
+    out << std::left << std::setw(cell_width) << cells[i];
+  }
+  out << '\n';
+}
+
+void print_cdf(std::ostream& out, const std::string& name,
+               const std::vector<double>& samples, std::size_t rows) {
+  out << "# CDF: " << name << " (n=" << samples.size() << ")\n";
+  if (samples.empty()) return;
+  const common::EmpiricalCdf cdf(samples);
+  out << cdf.to_table(rows);
+  const auto s = common::summarize(samples);
+  out << "# mean=" << s.mean << " median=" << s.median << " p90=" << s.p90
+      << " max=" << s.max << "\n";
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string pct(double ratio, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << ratio * 100.0 << '%';
+  return out.str();
+}
+
+}  // namespace crowdmap::eval

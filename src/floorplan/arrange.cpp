@@ -1,0 +1,112 @@
+#include "floorplan/arrange.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmap::floorplan {
+
+double room_overlap_area(const PlacedRoom& a, const PlacedRoom& b) {
+  const auto fa = a.footprint();
+  const auto fb = b.footprint();
+  if (!fa.bounding_box().intersects(fb.bounding_box())) return 0.0;
+  return geometry::clip_convex(fa, fb).area();
+}
+
+namespace {
+
+/// Hallway intrusion: area of the room footprint covered by hallway cells
+/// and the centroid of that intrusion (sampled on the raster).
+struct Intrusion {
+  double area = 0.0;
+  Vec2 centroid;
+};
+
+[[nodiscard]] Intrusion hallway_intrusion(const PlacedRoom& room,
+                                          const BoolRaster& hallway) {
+  Intrusion out;
+  const auto poly = room.footprint();
+  const auto box = poly.bounding_box();
+  auto [c0, r0] = hallway.cell_of(box.min);
+  auto [c1, r1] = hallway.cell_of(box.max);
+  c0 = std::max(c0, 0);
+  r0 = std::max(r0, 0);
+  c1 = std::min(c1, hallway.width() - 1);
+  r1 = std::min(r1, hallway.height() - 1);
+  Vec2 sum;
+  int n = 0;
+  const double cell_area = hallway.cell_size() * hallway.cell_size();
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      if (!hallway.at(c, r)) continue;
+      const Vec2 p = hallway.cell_center(c, r);
+      if (!poly.contains(p)) continue;
+      sum += p;
+      ++n;
+    }
+  }
+  if (n > 0) {
+    out.area = n * cell_area;
+    out.centroid = sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+ArrangeStats arrange_rooms(std::vector<PlacedRoom>& rooms,
+                           const BoolRaster& hallway,
+                           const ArrangeConfig& config) {
+  ArrangeStats stats;
+  if (rooms.empty()) return stats;
+  std::vector<Vec2> forces(rooms.size());
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    stats.iterations = iter + 1;
+    double max_force = 0.0;
+    for (std::size_t i = 0; i < rooms.size(); ++i) {
+      // Spring attraction toward the anchor.
+      Vec2 f = (rooms[i].anchor - rooms[i].center) * config.spring_k;
+      // Pairwise overlap repulsion.
+      for (std::size_t j = 0; j < rooms.size(); ++j) {
+        if (j == i) continue;
+        const double overlap = room_overlap_area(rooms[i], rooms[j]);
+        if (overlap <= 0) continue;
+        Vec2 away = rooms[i].center - rooms[j].center;
+        if (away.norm() < 1e-6) {
+          // Coincident centers: break the tie deterministically but in
+          // opposite directions for the two rooms.
+          away = i < j ? Vec2{1.0, 0.0} : Vec2{-1.0, 0.0};
+        }
+        f += away.normalized() * (overlap * config.room_repulsion);
+      }
+      // Hallway intrusion repulsion.
+      const auto intr = hallway_intrusion(rooms[i], hallway);
+      if (intr.area > 0) {
+        Vec2 away = rooms[i].center - intr.centroid;
+        if (away.norm() < 1e-6) away = {0.0, 1.0};
+        f += away.normalized() * (intr.area * config.hall_repulsion);
+      }
+      forces[i] = f;
+      max_force = std::max(max_force, f.norm());
+    }
+    // Damped update.
+    const double damping = 1.0 / (1.0 + iter * 0.01);
+    for (std::size_t i = 0; i < rooms.size(); ++i) {
+      Vec2 step = forces[i] * config.step * damping;
+      const double cap = 0.5;  // meters per iteration
+      if (step.norm() > cap) step = step.normalized() * cap;
+      rooms[i].center += step;
+    }
+    stats.final_max_force = max_force;
+    if (max_force < config.converge_force) break;
+  }
+  stats.total_room_overlap = 0.0;
+  for (std::size_t i = 0; i < rooms.size(); ++i) {
+    for (std::size_t j = i + 1; j < rooms.size(); ++j) {
+      stats.total_room_overlap += room_overlap_area(rooms[i], rooms[j]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace crowdmap::floorplan

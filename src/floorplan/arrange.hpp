@@ -1,0 +1,38 @@
+// Force-directed room arrangement (§III.D, after Eades' spring heuristic):
+// rooms are attracted to their evidence anchors and repelled by overlaps
+// with neighboring rooms and with the hallway skeleton, iterated until each
+// room experiences (near) zero net force.
+#pragma once
+
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+
+namespace crowdmap::floorplan {
+
+struct ArrangeConfig {
+  double spring_k = 1.0;        // attraction to the anchor per meter
+  double room_repulsion = 2.5;  // per square meter of pairwise overlap
+  double hall_repulsion = 2.0;  // per square meter of hallway intrusion
+  double step = 0.15;           // integration step (meters per unit force)
+  double converge_force = 0.02; // stop when max net force falls below this
+  int max_iterations = 400;
+};
+
+/// Statistics of one arrangement run.
+struct ArrangeStats {
+  int iterations = 0;
+  double final_max_force = 0.0;
+  double total_room_overlap = 0.0;  // residual pairwise overlap area
+};
+
+/// Adjusts `rooms` centers in place; the hallway raster is the fixed
+/// obstacle. Returns convergence statistics.
+ArrangeStats arrange_rooms(std::vector<PlacedRoom>& rooms,
+                           const BoolRaster& hallway,
+                           const ArrangeConfig& config = {});
+
+/// Pairwise overlap area of two placed rooms (convex clip).
+[[nodiscard]] double room_overlap_area(const PlacedRoom& a, const PlacedRoom& b);
+
+}  // namespace crowdmap::floorplan

@@ -1,0 +1,112 @@
+#include "floorplan/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+
+namespace crowdmap::floorplan {
+
+std::optional<Pose2> kabsch_align(std::span<const Vec2> from,
+                                  std::span<const Vec2> to) {
+  if (from.size() != to.size() || from.size() < 2) return std::nullopt;
+  Vec2 cf;
+  Vec2 ct;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    cf += from[i];
+    ct += to[i];
+  }
+  cf = cf / static_cast<double>(from.size());
+  ct = ct / static_cast<double>(to.size());
+  double sxx = 0.0;  // sum of dot products
+  double sxy = 0.0;  // sum of cross products
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const Vec2 p = from[i] - cf;
+    const Vec2 q = to[i] - ct;
+    sxx += p.dot(q);
+    sxy += p.cross(q);
+  }
+  const double theta = std::atan2(sxy, sxx);
+  const Vec2 t = ct - cf.rotated(theta);
+  return Pose2{t, theta};
+}
+
+std::optional<Pose2> align_to_truth(
+    std::span<const trajectory::Trajectory> trajectories,
+    const trajectory::AggregationResult& aggregation) {
+  std::vector<Vec2> from;
+  std::vector<Vec2> to;
+  for (std::size_t i = 0;
+       i < trajectories.size() && i < aggregation.global_pose.size(); ++i) {
+    if (!aggregation.global_pose[i]) continue;
+    for (const auto& kf : trajectories[i].keyframes) {
+      from.push_back(aggregation.global_pose[i]->apply(kf.position));
+      to.push_back(kf.true_position);
+    }
+  }
+  auto estimate = kabsch_align(from, to);
+  // Robustify: a single mis-merged trajectory must not skew the overlay.
+  // Trim pairs whose residual exceeds 3x the median and re-fit.
+  for (int round = 0; round < 2 && estimate && from.size() >= 4; ++round) {
+    std::vector<double> residuals;
+    residuals.reserve(from.size());
+    for (std::size_t k = 0; k < from.size(); ++k) {
+      residuals.push_back(estimate->apply(from[k]).distance_to(to[k]));
+    }
+    std::vector<double> sorted = residuals;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double cut = std::max(3.0 * sorted[sorted.size() / 2], 1.0);
+    std::vector<Vec2> kept_from;
+    std::vector<Vec2> kept_to;
+    for (std::size_t k = 0; k < from.size(); ++k) {
+      if (residuals[k] <= cut) {
+        kept_from.push_back(from[k]);
+        kept_to.push_back(to[k]);
+      }
+    }
+    if (kept_from.size() == from.size() || kept_from.size() < 2) break;
+    from = std::move(kept_from);
+    to = std::move(kept_to);
+    estimate = kabsch_align(from, to);
+  }
+  return estimate;
+}
+
+double aspect_ratio_error(double est_w, double est_d, double true_w,
+                          double true_d) {
+  if (est_d <= 0 || true_d <= 0 || est_w <= 0 || true_w <= 0) return 1.0;
+  const double truth = true_w / true_d;
+  const double direct = common::relative_error(est_w / est_d, truth);
+  const double swapped = common::relative_error(est_d / est_w, truth);
+  return std::min(direct, swapped);
+}
+
+std::vector<RoomError> evaluate_rooms(const FloorPlan& plan,
+                                      const sim::FloorPlanSpec& spec,
+                                      const Pose2& global_to_truth) {
+  std::vector<RoomError> errors;
+  for (const auto& room : plan.rooms) {
+    if (room.true_room_id < 0) continue;
+    const sim::RoomSpec* truth = nullptr;
+    for (const auto& r : spec.rooms) {
+      if (r.id == room.true_room_id) {
+        truth = &r;
+        break;
+      }
+    }
+    if (truth == nullptr) continue;
+    RoomError e;
+    e.room_id = room.true_room_id;
+    e.area_error =
+        common::relative_error(room.width * room.depth, truth->area());
+    e.aspect_error =
+        aspect_ratio_error(room.width, room.depth, truth->width, truth->depth);
+    e.location_error_m =
+        global_to_truth.apply(room.center).distance_to(truth->center);
+    errors.push_back(e);
+  }
+  return errors;
+}
+
+}  // namespace crowdmap::floorplan

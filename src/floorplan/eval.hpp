@@ -1,0 +1,52 @@
+// Floor plan evaluation (paper §V.B–C): room area / aspect-ratio errors
+// against ground truth and room location error after rigidly aligning the
+// reconstruction's arbitrary global frame onto the ground-truth frame.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+#include "geometry/pose2.hpp"
+#include "sim/spec.hpp"
+#include "trajectory/aggregate.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace crowdmap::floorplan {
+
+using geometry::Pose2;
+
+/// Rigid 2D least-squares alignment (Kabsch) of point pairs: returns the
+/// pose T minimizing sum |T(p_i) - q_i|^2. nullopt for < 2 pairs.
+[[nodiscard]] std::optional<Pose2> kabsch_align(std::span<const Vec2> from,
+                                                std::span<const Vec2> to);
+
+/// Alignment of the aggregation's global frame onto ground truth, estimated
+/// from key-frame (dead-reckoned global, true) position pairs. This mirrors
+/// the paper's overlay of reconstructions onto the surveyed plan.
+[[nodiscard]] std::optional<Pose2> align_to_truth(
+    std::span<const trajectory::Trajectory> trajectories,
+    const trajectory::AggregationResult& aggregation);
+
+/// Per-room evaluation record.
+struct RoomError {
+  int room_id = -1;
+  double area_error = 0.0;        // |est - true| / true
+  double aspect_error = 0.0;      // |est - true| / true, orientation-resolved
+  double location_error_m = 0.0;  // after global alignment
+};
+
+/// Compares placed rooms against the spec. Rooms with true_room_id < 0 are
+/// skipped (no ground-truth identity). `global_to_truth` maps plan
+/// coordinates into the spec frame for the location metric.
+[[nodiscard]] std::vector<RoomError> evaluate_rooms(
+    const FloorPlan& plan, const sim::FloorPlanSpec& spec,
+    const Pose2& global_to_truth);
+
+/// Aspect-ratio error with the width/depth labelling ambiguity resolved:
+/// the estimate may have swapped axes, so the better of (w/d, d/w) is used.
+[[nodiscard]] double aspect_ratio_error(double est_w, double est_d,
+                                        double true_w, double true_d);
+
+}  // namespace crowdmap::floorplan

@@ -1,0 +1,80 @@
+#include "floorplan/floorplan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace crowdmap::floorplan {
+
+std::string FloorPlan::to_ascii(int max_width) const {
+  std::ostringstream out;
+  const int w = hallway.width();
+  const int h = hallway.height();
+  if (w == 0 || h == 0) return out.str();
+  const int stride = std::max(1, (w + max_width - 1) / max_width);
+
+  auto room_mark = [this](Vec2 p) -> char {
+    for (const auto& room : rooms) {
+      const auto poly = room.footprint();
+      if (!poly.contains(p)) continue;
+      // Border when close to any edge.
+      for (const auto& edge : poly.edges()) {
+        if (geometry::distance_point_segment(p, edge) < 0.4) return '+';
+      }
+      return 'R';
+    }
+    return '\0';
+  };
+
+  for (int r = h - 1; r >= 0; r -= stride) {  // +y up
+    for (int c = 0; c < w; c += stride) {
+      const Vec2 p = hallway.cell_center(c, r);
+      const char mark = room_mark(p);
+      if (mark != '\0') {
+        out << mark;
+      } else if (hallway.at(c, r)) {
+        out << '#';
+      } else {
+        out << '.';
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string FloorPlan::to_svg(double px_per_meter) const {
+  std::ostringstream out;
+  const auto& ext = hallway.extent();
+  const double width_px = ext.width() * px_per_meter;
+  const double height_px = ext.height() * px_per_meter;
+  auto sx = [&](double x) { return (x - ext.min.x) * px_per_meter; };
+  auto sy = [&](double y) { return height_px - (y - ext.min.y) * px_per_meter; };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px
+      << "\" height=\"" << height_px << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  // Hallway cells.
+  const double cell_px = hallway.cell_size() * px_per_meter;
+  for (int r = 0; r < hallway.height(); ++r) {
+    for (int c = 0; c < hallway.width(); ++c) {
+      if (!hallway.at(c, r)) continue;
+      const Vec2 p = hallway.cell_center(c, r);
+      out << "<rect x=\"" << sx(p.x) - cell_px / 2 << "\" y=\""
+          << sy(p.y) - cell_px / 2 << "\" width=\"" << cell_px
+          << "\" height=\"" << cell_px << "\" fill=\"#b0c4de\"/>\n";
+    }
+  }
+  // Rooms.
+  for (const auto& room : rooms) {
+    out << "<polygon points=\"";
+    const auto poly = room.footprint();
+    for (const Vec2 v : poly.vertices()) {
+      out << sx(v.x) << ',' << sy(v.y) << ' ';
+    }
+    out << "\" fill=\"none\" stroke=\"#333\" stroke-width=\"2\"/>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace crowdmap::floorplan

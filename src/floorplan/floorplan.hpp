@@ -1,0 +1,45 @@
+// The final floor plan model (§III.D): hallway skeleton + placed rooms, with
+// ASCII and SVG renderers for Fig. 6-style output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/raster.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::floorplan {
+
+using geometry::BoolRaster;
+using geometry::Polygon;
+using geometry::Vec2;
+
+/// A room placed on the floor plan.
+struct PlacedRoom {
+  Vec2 center;               // global frame
+  double width = 0.0;
+  double depth = 0.0;
+  double orientation = 0.0;
+  Vec2 anchor;               // where the evidence says the room should sit
+  int true_room_id = -1;     // evaluation only
+  double layout_score = 0.0; // surface-consistency of the winning layout
+
+  [[nodiscard]] Polygon footprint() const {
+    return Polygon::oriented_rectangle(center, width, depth, orientation);
+  }
+};
+
+/// Complete reconstructed floor plan.
+struct FloorPlan {
+  BoolRaster hallway;
+  std::vector<PlacedRoom> rooms;
+
+  /// Character map: '#' hallway, 'R' room interior, '+' room border, '.' empty.
+  [[nodiscard]] std::string to_ascii(int max_width = 100) const;
+
+  /// Standalone SVG document (hallway cells + room rectangles).
+  [[nodiscard]] std::string to_svg(double px_per_meter = 12.0) const;
+};
+
+}  // namespace crowdmap::floorplan

@@ -1,0 +1,85 @@
+#include "geometry/alpha_shape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace crowdmap::geometry {
+
+namespace {
+using Edge = std::pair<std::size_t, std::size_t>;
+[[nodiscard]] Edge make_edge(std::size_t a, std::size_t b) {
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+}  // namespace
+
+AlphaShape alpha_shape(const std::vector<Vec2>& points, double alpha) {
+  AlphaShape out;
+  const auto tris = delaunay_triangulation(points);
+  const double alpha_sq = alpha * alpha;
+  std::map<Edge, int> edge_count;
+  for (const auto& t : tris) {
+    const auto cc = circumcircle(points[t.v[0]], points[t.v[1]], points[t.v[2]]);
+    if (cc.radius_sq > alpha_sq) continue;
+    out.triangles.push_back(t);
+    edge_count[make_edge(t.v[0], t.v[1])]++;
+    edge_count[make_edge(t.v[1], t.v[2])]++;
+    edge_count[make_edge(t.v[2], t.v[0])]++;
+  }
+  for (const auto& [edge, count] : edge_count) {
+    if (count == 1) {
+      out.boundary.push_back(Segment{points[edge.first], points[edge.second]});
+    }
+  }
+  return out;
+}
+
+bool alpha_shape_contains(const AlphaShape& shape, const std::vector<Vec2>& points,
+                          Vec2 query) {
+  for (const auto& t : shape.triangles) {
+    const Vec2 a = points[t.v[0]];
+    const Vec2 b = points[t.v[1]];
+    const Vec2 c = points[t.v[2]];
+    const double d1 = (b - a).cross(query - a);
+    const double d2 = (c - b).cross(query - b);
+    const double d3 = (a - c).cross(query - c);
+    const bool has_neg = (d1 < -1e-12) || (d2 < -1e-12) || (d3 < -1e-12);
+    const bool has_pos = (d1 > 1e-12) || (d2 > 1e-12) || (d3 > 1e-12);
+    if (!(has_neg && has_pos)) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<Vec2>> chain_boundary(const std::vector<Segment>& boundary,
+                                              double join_tolerance) {
+  std::vector<std::vector<Vec2>> chains;
+  std::vector<bool> used(boundary.size(), false);
+  for (std::size_t start = 0; start < boundary.size(); ++start) {
+    if (used[start]) continue;
+    used[start] = true;
+    std::vector<Vec2> chain = {boundary[start].a, boundary[start].b};
+    // Greedily extend forward from the chain tail.
+    bool extended = true;
+    while (extended) {
+      extended = false;
+      for (std::size_t i = 0; i < boundary.size(); ++i) {
+        if (used[i]) continue;
+        const Vec2 tail = chain.back();
+        if (boundary[i].a.distance_to(tail) < join_tolerance) {
+          chain.push_back(boundary[i].b);
+          used[i] = true;
+          extended = true;
+        } else if (boundary[i].b.distance_to(tail) < join_tolerance) {
+          chain.push_back(boundary[i].a);
+          used[i] = true;
+          extended = true;
+        }
+      }
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace crowdmap::geometry

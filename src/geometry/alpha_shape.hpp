@@ -1,0 +1,36 @@
+// α-shape of a point set (Edelsbrunner et al.), used by the paper's floor
+// path skeleton reconstruction to regularize the occupied-cell boundary
+// (§III.B.II, Fig. 3b–3c).
+#pragma once
+
+#include <vector>
+
+#include "geometry/delaunay.hpp"
+#include "geometry/segment.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::geometry {
+
+/// Result of an α-shape computation.
+struct AlphaShape {
+  /// Triangles retained (circumradius <= alpha).
+  std::vector<Triangle> triangles;
+  /// Boundary edges: edges belonging to exactly one retained triangle.
+  std::vector<Segment> boundary;
+};
+
+/// Computes the α-shape for radius parameter `alpha` (metric units).
+/// A triangle is retained iff its circumradius <= alpha; the α-threshold
+/// h_α of the paper maps directly onto this parameter.
+[[nodiscard]] AlphaShape alpha_shape(const std::vector<Vec2>& points, double alpha);
+
+/// True for points inside (or on) the α-shape's retained triangles.
+[[nodiscard]] bool alpha_shape_contains(const AlphaShape& shape,
+                                        const std::vector<Vec2>& points, Vec2 query);
+
+/// Chains boundary segments into closed/open polylines (each polyline is an
+/// ordered vertex list). Useful for rendering the regularized boundary.
+[[nodiscard]] std::vector<std::vector<Vec2>> chain_boundary(
+    const std::vector<Segment>& boundary, double join_tolerance = 1e-6);
+
+}  // namespace crowdmap::geometry

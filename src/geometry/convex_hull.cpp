@@ -1,0 +1,35 @@
+#include "geometry/convex_hull.hpp"
+
+#include <algorithm>
+
+namespace crowdmap::geometry {
+
+Polygon convex_hull(std::vector<Vec2> points) {
+  std::sort(points.begin(), points.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n < 3) return Polygon(std::move(points));
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 &&
+           (hull[k - 1] - hull[k - 2]).cross(points[i] - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  for (std::size_t i = n - 1, t = k + 1; i > 0; --i) {  // upper hull
+    while (k >= t &&
+           (hull[k - 1] - hull[k - 2]).cross(points[i - 1] - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i - 1];
+  }
+  hull.resize(k - 1);
+  return Polygon(std::move(hull));
+}
+
+}  // namespace crowdmap::geometry

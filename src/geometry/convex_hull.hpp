@@ -1,0 +1,16 @@
+// Convex hull (Andrew monotone chain); used as a fallback boundary when the
+// α parameter exceeds the point-set diameter, and in tests as an α→∞ oracle.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::geometry {
+
+/// Convex hull in CCW order. Returns fewer than 3 vertices for degenerate
+/// inputs (all collinear or fewer than 3 distinct points).
+[[nodiscard]] Polygon convex_hull(std::vector<Vec2> points);
+
+}  // namespace crowdmap::geometry

@@ -1,0 +1,120 @@
+#include "geometry/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace crowdmap::geometry {
+
+Circumcircle circumcircle(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  const double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  Circumcircle out;
+  if (std::abs(d) < 1e-12) {
+    // Degenerate (collinear): infinite circumcircle.
+    out.center = (a + b + c) / 3.0;
+    out.radius_sq = std::numeric_limits<double>::max();
+    return out;
+  }
+  const double a2 = a.norm_sq();
+  const double b2 = b.norm_sq();
+  const double c2 = c.norm_sq();
+  out.center.x = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+  out.center.y = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+  out.radius_sq = (a - out.center).norm_sq();
+  return out;
+}
+
+namespace {
+
+using Edge = std::pair<std::size_t, std::size_t>;
+
+[[nodiscard]] Edge make_edge(std::size_t a, std::size_t b) {
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+}  // namespace
+
+std::vector<Triangle> delaunay_triangulation(const std::vector<Vec2>& points) {
+  if (points.size() < 3) return {};
+
+  // Deduplicate near-coincident points; keep a map back to original indices.
+  std::vector<std::size_t> keep;
+  keep.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dup = false;
+    for (const std::size_t j : keep) {
+      if (points[i].distance_to(points[j]) < 1e-9) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) keep.push_back(i);
+  }
+  if (keep.size() < 3) return {};
+
+  // Super-triangle enclosing all points.
+  Vec2 lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()};
+  Vec2 hi{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()};
+  for (const std::size_t i : keep) {
+    lo.x = std::min(lo.x, points[i].x);
+    lo.y = std::min(lo.y, points[i].y);
+    hi.x = std::max(hi.x, points[i].x);
+    hi.y = std::max(hi.y, points[i].y);
+  }
+  const double span = std::max({hi.x - lo.x, hi.y - lo.y, 1.0});
+  const Vec2 mid = (lo + hi) * 0.5;
+  // Working vertex array: deduped points followed by 3 super vertices.
+  std::vector<Vec2> verts;
+  verts.reserve(keep.size() + 3);
+  for (const std::size_t i : keep) verts.push_back(points[i]);
+  const std::size_t s0 = verts.size();
+  verts.push_back({mid.x - 20.0 * span, mid.y - span});
+  verts.push_back({mid.x + 20.0 * span, mid.y - span});
+  verts.push_back({mid.x, mid.y + 20.0 * span});
+
+  struct WorkTri {
+    std::array<std::size_t, 3> v;
+    Circumcircle cc;
+  };
+  std::vector<WorkTri> tris;
+  tris.push_back({{s0, s0 + 1, s0 + 2},
+                  circumcircle(verts[s0], verts[s0 + 1], verts[s0 + 2])});
+
+  for (std::size_t p = 0; p < s0; ++p) {
+    const Vec2 pt = verts[p];
+    // Collect triangles whose circumcircle contains the point.
+    std::map<Edge, int> edge_count;
+    std::vector<WorkTri> survivors;
+    survivors.reserve(tris.size());
+    for (const auto& t : tris) {
+      if ((pt - t.cc.center).norm_sq() <= t.cc.radius_sq + 1e-12) {
+        edge_count[make_edge(t.v[0], t.v[1])]++;
+        edge_count[make_edge(t.v[1], t.v[2])]++;
+        edge_count[make_edge(t.v[2], t.v[0])]++;
+      } else {
+        survivors.push_back(t);
+      }
+    }
+    tris = std::move(survivors);
+    // Re-triangulate the cavity: edges appearing exactly once are boundary.
+    for (const auto& [edge, count] : edge_count) {
+      if (count != 1) continue;
+      WorkTri nt;
+      nt.v = {edge.first, edge.second, p};
+      nt.cc = circumcircle(verts[edge.first], verts[edge.second], verts[p]);
+      tris.push_back(nt);
+    }
+  }
+
+  std::vector<Triangle> result;
+  result.reserve(tris.size());
+  for (const auto& t : tris) {
+    if (t.v[0] >= s0 || t.v[1] >= s0 || t.v[2] >= s0) continue;  // touches super
+    result.push_back(Triangle{{keep[t.v[0]], keep[t.v[1]], keep[t.v[2]]}});
+  }
+  return result;
+}
+
+}  // namespace crowdmap::geometry

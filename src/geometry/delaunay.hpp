@@ -1,0 +1,35 @@
+// Delaunay triangulation (Bowyer–Watson). The α-shape stage of floor path
+// skeleton reconstruction (paper §III.B.II, Fig. 3b) is built on top of it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::geometry {
+
+/// Triangle as indices into the input point set.
+struct Triangle {
+  std::array<std::size_t, 3> v;
+
+  [[nodiscard]] bool has_vertex(std::size_t idx) const noexcept {
+    return v[0] == idx || v[1] == idx || v[2] == idx;
+  }
+};
+
+/// Circumcircle of three points.
+struct Circumcircle {
+  Vec2 center;
+  double radius_sq = 0.0;
+};
+[[nodiscard]] Circumcircle circumcircle(Vec2 a, Vec2 b, Vec2 c) noexcept;
+
+/// Bowyer–Watson Delaunay triangulation of a point set.
+/// Duplicate and near-duplicate points are tolerated (deduplicated first).
+/// Returns triangles indexing the *original* point vector.
+[[nodiscard]] std::vector<Triangle> delaunay_triangulation(
+    const std::vector<Vec2>& points);
+
+}  // namespace crowdmap::geometry

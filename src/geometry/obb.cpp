@@ -1,0 +1,45 @@
+#include "geometry/obb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmap::geometry {
+
+std::optional<OrientedBox> oriented_bounding_box(std::span<const Vec2> points) {
+  if (points.size() < 3) return std::nullopt;
+  Vec2 mean;
+  for (const auto p : points) mean += p;
+  mean = mean / static_cast<double>(points.size());
+
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+  for (const auto p : points) {
+    const Vec2 d = p - mean;
+    sxx += d.x * d.x;
+    syy += d.y * d.y;
+    sxy += d.x * d.y;
+  }
+  const double theta = 0.5 * std::atan2(2.0 * sxy, sxx - syy);
+
+  double min_u = 1e18;
+  double max_u = -1e18;
+  double min_v = 1e18;
+  double max_v = -1e18;
+  for (const auto p : points) {
+    const Vec2 d = (p - mean).rotated(-theta);
+    min_u = std::min(min_u, d.x);
+    max_u = std::max(max_u, d.x);
+    min_v = std::min(min_v, d.y);
+    max_v = std::max(max_v, d.y);
+  }
+  OrientedBox box;
+  box.width = max_u - min_u;
+  box.depth = max_v - min_v;
+  box.orientation = theta;
+  box.center =
+      mean + Vec2{(min_u + max_u) / 2.0, (min_v + max_v) / 2.0}.rotated(theta);
+  return box;
+}
+
+}  // namespace crowdmap::geometry

@@ -1,0 +1,26 @@
+// PCA-oriented bounding box of a 2D point set; shared by the inertial room
+// baseline and the visual/trace layout fusion.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::geometry {
+
+/// Oriented bounding box: extents along the principal axes.
+struct OrientedBox {
+  Vec2 center;
+  double width = 0.0;        // along the principal axis
+  double depth = 0.0;        // perpendicular
+  double orientation = 0.0;  // principal axis direction, radians
+
+  [[nodiscard]] double area() const noexcept { return width * depth; }
+};
+
+/// PCA-oriented bounding box; nullopt for fewer than 3 points.
+[[nodiscard]] std::optional<OrientedBox> oriented_bounding_box(
+    std::span<const Vec2> points);
+
+}  // namespace crowdmap::geometry

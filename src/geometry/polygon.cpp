@@ -1,0 +1,180 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace crowdmap::geometry {
+
+Polygon Polygon::rectangle(Vec2 center, double width, double height) {
+  const double hw = width * 0.5;
+  const double hh = height * 0.5;
+  return Polygon({{center.x - hw, center.y - hh},
+                  {center.x + hw, center.y - hh},
+                  {center.x + hw, center.y + hh},
+                  {center.x - hw, center.y + hh}});
+}
+
+Polygon Polygon::oriented_rectangle(Vec2 center, double width, double height,
+                                    double theta) {
+  const double hw = width * 0.5;
+  const double hh = height * 0.5;
+  std::vector<Vec2> corners = {
+      {-hw, -hh}, {hw, -hh}, {hw, hh}, {-hw, hh}};
+  for (auto& c : corners) c = center + c.rotated(theta);
+  return Polygon(std::move(corners));
+}
+
+double Polygon::signed_area() const noexcept {
+  if (vertices_.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2 p = vertices_[i];
+    const Vec2 q = vertices_[(i + 1) % vertices_.size()];
+    acc += p.cross(q);
+  }
+  return acc * 0.5;
+}
+
+double Polygon::area() const noexcept { return std::abs(signed_area()); }
+
+Vec2 Polygon::centroid() const noexcept {
+  if (vertices_.empty()) return {};
+  const double a = signed_area();
+  if (std::abs(a) < 1e-12) {
+    // Degenerate: fall back to vertex mean.
+    Vec2 sum;
+    for (const Vec2 v : vertices_) sum += v;
+    return sum / static_cast<double>(vertices_.size());
+  }
+  Vec2 c;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2 p = vertices_[i];
+    const Vec2 q = vertices_[(i + 1) % vertices_.size()];
+    const double w = p.cross(q);
+    c += (p + q) * w;
+  }
+  return c / (6.0 * a);
+}
+
+Aabb Polygon::bounding_box() const {
+  if (vertices_.empty()) throw std::logic_error("bounding_box of empty polygon");
+  Aabb box{{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()},
+           {std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()}};
+  for (const Vec2 v : vertices_) {
+    box.min.x = std::min(box.min.x, v.x);
+    box.min.y = std::min(box.min.y, v.y);
+    box.max.x = std::max(box.max.x, v.x);
+    box.max.y = std::max(box.max.y, v.y);
+  }
+  return box;
+}
+
+bool Polygon::contains(Vec2 p) const noexcept {
+  if (vertices_.size() < 3) return false;
+  bool inside = false;
+  for (std::size_t i = 0, j = vertices_.size() - 1; i < vertices_.size(); j = i++) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[j];
+    // Boundary check first: distance to edge within epsilon counts inside.
+    if (distance_point_segment(p, Segment{a, b}) < 1e-9) return true;
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+std::vector<Segment> Polygon::edges() const {
+  std::vector<Segment> result;
+  result.reserve(vertices_.size());
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    result.push_back({vertices_[i], vertices_[(i + 1) % vertices_.size()]});
+  }
+  return result;
+}
+
+double Polygon::perimeter() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    acc += vertices_[i].distance_to(vertices_[(i + 1) % vertices_.size()]);
+  }
+  return acc;
+}
+
+Polygon Polygon::transformed(const Pose2& pose) const {
+  std::vector<Vec2> out;
+  out.reserve(vertices_.size());
+  for (const Vec2 v : vertices_) out.push_back(pose.apply(v));
+  return Polygon(std::move(out));
+}
+
+Polygon Polygon::ccw() const {
+  if (signed_area() >= 0) return *this;
+  std::vector<Vec2> rev(vertices_.rbegin(), vertices_.rend());
+  return Polygon(std::move(rev));
+}
+
+Polygon clip_convex(const Polygon& subject, const Polygon& convex_clip) {
+  const Polygon clip = convex_clip.ccw();
+  std::vector<Vec2> output = subject.vertices();
+  const auto& cv = clip.vertices();
+  // Sutherland–Hodgman: each clip edge acts as an infinite half-plane
+  // boundary (intersections are with the edge's supporting line, not the
+  // finite segment).
+  auto line_intersection = [](Vec2 p0, Vec2 p1, Vec2 a, Vec2 b) -> Vec2 {
+    const Vec2 d1 = p1 - p0;
+    const Vec2 d2 = b - a;
+    const double denom = d1.cross(d2);
+    const double t = (a - p0).cross(d2) / denom;  // denom != 0: p0/p1 straddle
+    return p0 + d1 * t;
+  };
+  for (std::size_t i = 0; i < cv.size() && !output.empty(); ++i) {
+    const Vec2 ca = cv[i];
+    const Vec2 cb = cv[(i + 1) % cv.size()];
+    const Vec2 edge = cb - ca;
+    std::vector<Vec2> input = std::move(output);
+    output.clear();
+    for (std::size_t j = 0; j < input.size(); ++j) {
+      const Vec2 cur = input[j];
+      const Vec2 prev = input[(j + input.size() - 1) % input.size()];
+      const bool cur_in = edge.cross(cur - ca) >= -1e-12;
+      const bool prev_in = edge.cross(prev - ca) >= -1e-12;
+      if (cur_in) {
+        if (!prev_in) output.push_back(line_intersection(prev, cur, ca, cb));
+        output.push_back(cur);
+      } else if (prev_in) {
+        output.push_back(line_intersection(prev, cur, ca, cb));
+      }
+    }
+  }
+  return Polygon(std::move(output));
+}
+
+double polygon_iou(const Polygon& a, const Polygon& b, int resolution) {
+  if (a.empty() || b.empty()) return 0.0;
+  Aabb box = a.bounding_box();
+  const Aabb bb = b.bounding_box();
+  box.min.x = std::min(box.min.x, bb.min.x);
+  box.min.y = std::min(box.min.y, bb.min.y);
+  box.max.x = std::max(box.max.x, bb.max.x);
+  box.max.y = std::max(box.max.y, bb.max.y);
+  const double side = std::max(box.width(), box.height());
+  if (side <= 0) return 0.0;
+  const double cell = side / resolution;
+  long inter = 0;
+  long uni = 0;
+  for (double y = box.min.y + cell / 2; y < box.max.y; y += cell) {
+    for (double x = box.min.x + cell / 2; x < box.max.x; x += cell) {
+      const bool ia = a.contains({x, y});
+      const bool ib = b.contains({x, y});
+      inter += (ia && ib);
+      uni += (ia || ib);
+    }
+  }
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace crowdmap::geometry

@@ -1,0 +1,84 @@
+// Simple polygons: area, containment, clipping, transforms. Floor plans are
+// unions of rectilinear polygons; rooms are (possibly rotated) rectangles.
+#pragma once
+
+#include <vector>
+
+#include "geometry/pose2.hpp"
+#include "geometry/segment.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::geometry {
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec2 min;
+  Vec2 max;
+
+  [[nodiscard]] double width() const noexcept { return max.x - min.x; }
+  [[nodiscard]] double height() const noexcept { return max.y - min.y; }
+  [[nodiscard]] double area() const noexcept { return width() * height(); }
+  [[nodiscard]] Vec2 center() const noexcept { return (min + max) * 0.5; }
+  [[nodiscard]] bool contains(Vec2 p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  [[nodiscard]] Aabb expanded(double margin) const noexcept {
+    return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+  [[nodiscard]] bool intersects(const Aabb& o) const noexcept {
+    return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y &&
+           o.min.y <= max.y;
+  }
+};
+
+/// Simple polygon given by its vertices in order (either winding).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {}
+
+  /// Axis-aligned rectangle.
+  [[nodiscard]] static Polygon rectangle(Vec2 center, double width, double height);
+  /// Rectangle rotated by theta about its center.
+  [[nodiscard]] static Polygon oriented_rectangle(Vec2 center, double width,
+                                                  double height, double theta);
+
+  [[nodiscard]] const std::vector<Vec2>& vertices() const noexcept { return vertices_; }
+  [[nodiscard]] std::size_t size() const noexcept { return vertices_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return vertices_.empty(); }
+
+  /// Signed area: positive for counter-clockwise winding.
+  [[nodiscard]] double signed_area() const noexcept;
+  [[nodiscard]] double area() const noexcept;
+  [[nodiscard]] Vec2 centroid() const noexcept;
+  [[nodiscard]] Aabb bounding_box() const;
+
+  /// Point-in-polygon by ray casting; boundary points count as inside.
+  [[nodiscard]] bool contains(Vec2 p) const noexcept;
+
+  /// Edges as segments (closing edge included).
+  [[nodiscard]] std::vector<Segment> edges() const;
+
+  /// Perimeter length.
+  [[nodiscard]] double perimeter() const noexcept;
+
+  /// Polygon transformed by a rigid pose.
+  [[nodiscard]] Polygon transformed(const Pose2& pose) const;
+
+  /// Ensures counter-clockwise winding.
+  [[nodiscard]] Polygon ccw() const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// Sutherland–Hodgman clip of `subject` against a *convex* clip polygon.
+[[nodiscard]] Polygon clip_convex(const Polygon& subject, const Polygon& convex_clip);
+
+/// Intersection-over-union of two polygons estimated on a raster of
+/// `resolution` cells along the larger bounding-box side. Exact enough for
+/// evaluation metrics and robust to non-convexity.
+[[nodiscard]] double polygon_iou(const Polygon& a, const Polygon& b,
+                                 int resolution = 256);
+
+}  // namespace crowdmap::geometry

@@ -1,0 +1,43 @@
+// SE(2) rigid transform: camera/user pose on the floor (position + heading).
+#pragma once
+
+#include "common/mathutil.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::geometry {
+
+/// Rigid 2D transform / pose. `theta` is radians CCW from +x.
+struct Pose2 {
+  Vec2 position;
+  double theta = 0.0;
+
+  constexpr Pose2() = default;
+  constexpr Pose2(Vec2 p, double th) : position(p), theta(th) {}
+  Pose2(double x, double y, double th) : position(x, y), theta(th) {}
+
+  /// Applies this transform to a point expressed in the local frame.
+  [[nodiscard]] Vec2 apply(Vec2 local) const noexcept {
+    return position + local.rotated(theta);
+  }
+
+  /// Composition: (this ∘ other), i.e. other expressed in this frame.
+  [[nodiscard]] Pose2 compose(const Pose2& other) const noexcept {
+    return {apply(other.position), common::wrap_angle(theta + other.theta)};
+  }
+
+  /// Inverse transform.
+  [[nodiscard]] Pose2 inverse() const noexcept {
+    const Vec2 p = (-position).rotated(-theta);
+    return {p, common::wrap_angle(-theta)};
+  }
+
+  /// Relative pose taking this to other: this.compose(result) == other.
+  [[nodiscard]] Pose2 between(const Pose2& other) const noexcept {
+    return inverse().compose(other);
+  }
+
+  /// Forward unit direction.
+  [[nodiscard]] Vec2 forward() const noexcept { return Vec2::from_angle(theta); }
+};
+
+}  // namespace crowdmap::geometry

@@ -1,0 +1,146 @@
+#include "geometry/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdmap::geometry {
+
+BoolRaster::BoolRaster(Aabb extent, double cell_size)
+    : extent_(extent), cell_size_(cell_size) {
+  if (cell_size <= 0) throw std::invalid_argument("cell_size must be positive");
+  width_ = std::max(1, static_cast<int>(std::ceil(extent.width() / cell_size)));
+  height_ = std::max(1, static_cast<int>(std::ceil(extent.height() / cell_size)));
+  data_.assign(static_cast<std::size_t>(width_) * height_, 0);
+}
+
+bool BoolRaster::at(int col, int row) const {
+  if (!in_bounds(col, row)) throw std::out_of_range("BoolRaster::at");
+  return data_[static_cast<std::size_t>(row) * width_ + col] != 0;
+}
+
+void BoolRaster::set(int col, int row, bool value) {
+  if (!in_bounds(col, row)) return;
+  data_[static_cast<std::size_t>(row) * width_ + col] = value ? 1 : 0;
+}
+
+Vec2 BoolRaster::cell_center(int col, int row) const noexcept {
+  return {extent_.min.x + (col + 0.5) * cell_size_,
+          extent_.min.y + (row + 0.5) * cell_size_};
+}
+
+std::pair<int, int> BoolRaster::cell_of(Vec2 p) const noexcept {
+  return {static_cast<int>(std::floor((p.x - extent_.min.x) / cell_size_)),
+          static_cast<int>(std::floor((p.y - extent_.min.y) / cell_size_))};
+}
+
+void BoolRaster::fill_polygon(const Polygon& poly) {
+  if (poly.empty()) return;
+  const Aabb box = poly.bounding_box();
+  auto [c0, r0] = cell_of(box.min);
+  auto [c1, r1] = cell_of(box.max);
+  c0 = std::max(c0, 0);
+  r0 = std::max(r0, 0);
+  c1 = std::min(c1, width_ - 1);
+  r1 = std::min(r1, height_ - 1);
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      if (poly.contains(cell_center(c, r))) set(c, r, true);
+    }
+  }
+}
+
+void BoolRaster::draw_segment(const Segment& seg, double thickness) {
+  const double step = cell_size_ * 0.5;
+  const double len = seg.length();
+  const int n = std::max(1, static_cast<int>(std::ceil(len / step)));
+  const int radius_cells =
+      std::max(0, static_cast<int>(std::ceil(thickness / 2.0 / cell_size_)));
+  for (int i = 0; i <= n; ++i) {
+    const Vec2 p = seg.at(static_cast<double>(i) / n);
+    auto [c, r] = cell_of(p);
+    for (int dr = -radius_cells; dr <= radius_cells; ++dr) {
+      for (int dc = -radius_cells; dc <= radius_cells; ++dc) {
+        if (!in_bounds(c + dc, r + dr)) continue;
+        if (cell_center(c + dc, r + dr).distance_to(p) <= thickness / 2.0 + 1e-9) {
+          set(c + dc, r + dr, true);
+        }
+      }
+    }
+    if (radius_cells == 0) set(c, r, true);
+  }
+}
+
+std::size_t BoolRaster::count_set() const noexcept {
+  std::size_t n = 0;
+  for (const auto v : data_) n += (v != 0);
+  return n;
+}
+
+double BoolRaster::set_area() const noexcept {
+  return static_cast<double>(count_set()) * cell_size_ * cell_size_;
+}
+
+BoolRaster BoolRaster::shifted(int dcol, int drow) const {
+  BoolRaster out(extent_, cell_size_);
+  for (int r = 0; r < height_; ++r) {
+    for (int c = 0; c < width_; ++c) {
+      if (at(c, r)) out.set(c + dcol, r + drow, true);
+    }
+  }
+  return out;
+}
+
+OverlapMetrics overlap_metrics(const BoolRaster& generated, const BoolRaster& truth) {
+  if (generated.width() != truth.width() || generated.height() != truth.height()) {
+    throw std::invalid_argument("overlap_metrics: raster size mismatch");
+  }
+  std::size_t inter = 0;
+  std::size_t gen = 0;
+  std::size_t tru = 0;
+  const auto& gd = generated.data();
+  const auto& td = truth.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    const bool g = gd[i] != 0;
+    const bool t = td[i] != 0;
+    inter += (g && t);
+    gen += g;
+    tru += t;
+  }
+  OverlapMetrics m;
+  m.intersection_cells = static_cast<double>(inter);
+  m.precision = gen == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(gen);
+  m.recall = tru == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(tru);
+  m.f_measure = (m.precision + m.recall) > 0
+                    ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+                    : 0.0;
+  return m;
+}
+
+OverlapMetrics best_aligned_overlap(const BoolRaster& generated,
+                                    const BoolRaster& truth, int max_shift_cells) {
+  OverlapMetrics best = overlap_metrics(generated, truth);
+  // Coarse-to-fine: scan a stride-2 grid first, then refine around the peak.
+  int best_dc = 0;
+  int best_dr = 0;
+  for (int dr = -max_shift_cells; dr <= max_shift_cells; dr += 2) {
+    for (int dc = -max_shift_cells; dc <= max_shift_cells; dc += 2) {
+      if (dc == 0 && dr == 0) continue;
+      const auto m = overlap_metrics(generated.shifted(dc, dr), truth);
+      if (m.f_measure > best.f_measure) {
+        best = m;
+        best_dc = dc;
+        best_dr = dr;
+      }
+    }
+  }
+  for (int dr = best_dr - 1; dr <= best_dr + 1; ++dr) {
+    for (int dc = best_dc - 1; dc <= best_dc + 1; ++dc) {
+      const auto m = overlap_metrics(generated.shifted(dc, dr), truth);
+      if (m.f_measure > best.f_measure) best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace crowdmap::geometry

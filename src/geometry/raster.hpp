@@ -1,0 +1,78 @@
+// Boolean raster over a metric extent: polygon rasterization and the
+// overlap metrics used for hallway-shape evaluation (Table I).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::geometry {
+
+/// Boolean occupancy raster covering a metric AABB at fixed cell size.
+class BoolRaster {
+ public:
+  /// Default: a trivial 1x1 unit raster (placeholder for late assignment).
+  BoolRaster() : BoolRaster(Aabb{{0, 0}, {1, 1}}, 1.0) {}
+  BoolRaster(Aabb extent, double cell_size);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+  [[nodiscard]] const Aabb& extent() const noexcept { return extent_; }
+
+  [[nodiscard]] bool at(int col, int row) const;
+  void set(int col, int row, bool value);
+  [[nodiscard]] bool in_bounds(int col, int row) const noexcept {
+    return col >= 0 && col < width_ && row >= 0 && row < height_;
+  }
+
+  /// Metric center of a cell.
+  [[nodiscard]] Vec2 cell_center(int col, int row) const noexcept;
+  /// Cell containing a metric point (may be out of bounds).
+  [[nodiscard]] std::pair<int, int> cell_of(Vec2 p) const noexcept;
+
+  /// Marks all cells whose center lies in the polygon.
+  void fill_polygon(const Polygon& poly);
+  /// Marks cells along the segment with a metric thickness.
+  void draw_segment(const Segment& seg, double thickness);
+
+  [[nodiscard]] std::size_t count_set() const noexcept;
+  /// Metric area of set cells.
+  [[nodiscard]] double set_area() const noexcept;
+
+  /// Translated copy by an integer number of cells (cells shifted outside
+  /// the extent are dropped).
+  [[nodiscard]] BoolRaster shifted(int dcol, int drow) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<std::uint8_t>& data() noexcept { return data_; }
+
+ private:
+  Aabb extent_;
+  double cell_size_;
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Precision/recall/F1 of `generated` against `truth`, the paper's hallway
+/// metrics (eq. 3–5): P = |gen ∩ true| / |gen|, R = |gen ∩ true| / |true|.
+struct OverlapMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  double intersection_cells = 0.0;
+};
+[[nodiscard]] OverlapMetrics overlap_metrics(const BoolRaster& generated,
+                                             const BoolRaster& truth);
+
+/// Searches integer-cell translations within +/- `max_shift_cells` for the
+/// alignment maximizing intersection (the paper overlays reconstructions on
+/// ground truth "to achieve maximum cover area"), then reports metrics.
+[[nodiscard]] OverlapMetrics best_aligned_overlap(const BoolRaster& generated,
+                                                  const BoolRaster& truth,
+                                                  int max_shift_cells = 10);
+
+}  // namespace crowdmap::geometry

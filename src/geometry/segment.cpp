@@ -1,0 +1,44 @@
+#include "geometry/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmap::geometry {
+
+std::optional<Vec2> intersect(const Segment& s1, const Segment& s2) {
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = r.cross(s);
+  const Vec2 qp = s2.a - s1.a;
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // parallel or collinear
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  if (t < -1e-12 || t > 1.0 + 1e-12 || u < -1e-12 || u > 1.0 + 1e-12) {
+    return std::nullopt;
+  }
+  return s1.a + r * std::clamp(t, 0.0, 1.0);
+}
+
+double project_onto(Vec2 p, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const double len_sq = d.norm_sq();
+  if (len_sq < 1e-18) return 0.0;
+  return std::clamp((p - s.a).dot(d) / len_sq, 0.0, 1.0);
+}
+
+double distance_point_segment(Vec2 p, const Segment& s) {
+  return p.distance_to(s.at(project_onto(p, s)));
+}
+
+std::optional<RayHit> ray_segment(Vec2 origin, Vec2 dir, const Segment& s) {
+  const Vec2 v = s.b - s.a;
+  const double denom = dir.cross(v);
+  if (std::abs(denom) < 1e-12) return std::nullopt;
+  const Vec2 qp = s.a - origin;
+  const double dist = qp.cross(v) / denom;
+  const double t = qp.cross(dir) / denom;
+  if (dist < 1e-9 || t < -1e-9 || t > 1.0 + 1e-9) return std::nullopt;
+  return RayHit{dist, std::clamp(t, 0.0, 1.0)};
+}
+
+}  // namespace crowdmap::geometry

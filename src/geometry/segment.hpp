@@ -1,0 +1,40 @@
+// Line segments: intersection, distance, ray casting (used by the synthetic
+// renderer and by line-segment analysis in room layout modeling).
+#pragma once
+
+#include <optional>
+
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::geometry {
+
+/// Closed segment from a to b; no invariant (a == b is a degenerate point).
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const noexcept { return a.distance_to(b); }
+  [[nodiscard]] Vec2 direction() const noexcept { return (b - a).normalized(); }
+  [[nodiscard]] Vec2 midpoint() const noexcept { return (a + b) * 0.5; }
+  /// Point at parameter t in [0,1].
+  [[nodiscard]] Vec2 at(double t) const noexcept { return a + (b - a) * t; }
+};
+
+/// Proper segment-segment intersection point, if any (including touching).
+[[nodiscard]] std::optional<Vec2> intersect(const Segment& s1, const Segment& s2);
+
+/// Distance from point p to the segment (not the infinite line).
+[[nodiscard]] double distance_point_segment(Vec2 p, const Segment& s);
+
+/// Parameter t of the projection of p onto the segment, clamped to [0,1].
+[[nodiscard]] double project_onto(Vec2 p, const Segment& s);
+
+/// Ray from `origin` along unit `dir` against segment; returns distance along
+/// the ray to the hit and the parameter t on the segment, or nullopt.
+struct RayHit {
+  double distance = 0.0;  // along the ray
+  double t = 0.0;         // parameter on the segment in [0,1]
+};
+[[nodiscard]] std::optional<RayHit> ray_segment(Vec2 origin, Vec2 dir, const Segment& s);
+
+}  // namespace crowdmap::geometry

@@ -1,0 +1,65 @@
+// 2D vector type used throughout CrowdMap (trajectories, floor plans, grids).
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace crowdmap::geometry {
+
+/// Plain 2D vector/point; value type, no invariant.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) noexcept { x *= s; y *= s; return *this; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  /// z-component of the 3D cross product; >0 when o is CCW from *this.
+  [[nodiscard]] constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return x * x + y * y; }
+  [[nodiscard]] double distance_to(Vec2 o) const noexcept { return (*this - o).norm(); }
+
+  /// Unit vector; returns (0,0) for the zero vector.
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Rotation by `angle` radians counter-clockwise.
+  [[nodiscard]] Vec2 rotated(double angle) const noexcept {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  /// Perpendicular (90° CCW).
+  [[nodiscard]] constexpr Vec2 perp() const noexcept { return {-y, x}; }
+
+  /// Heading angle atan2(y, x) in radians.
+  [[nodiscard]] double angle() const noexcept { return std::atan2(y, x); }
+
+  /// Unit vector pointing at `heading` radians.
+  [[nodiscard]] static Vec2 from_angle(double heading) noexcept {
+    return {std::cos(heading), std::sin(heading)};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace crowdmap::geometry

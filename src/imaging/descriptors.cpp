@@ -1,0 +1,180 @@
+#include "imaging/descriptors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace crowdmap::imaging {
+
+std::vector<float> color_histogram(const ColorImage& img, int bins_per_channel) {
+  if (bins_per_channel <= 0) throw std::invalid_argument("bad bins_per_channel");
+  std::vector<float> hist(static_cast<std::size_t>(bins_per_channel) *
+                              bins_per_channel * bins_per_channel,
+                          0.0f);
+  if (img.empty()) return hist;
+  auto bin_of = [bins_per_channel](float v) {
+    const int b = static_cast<int>(std::clamp(v, 0.0f, 0.999f) * bins_per_channel);
+    return std::min(b, bins_per_channel - 1);
+  };
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const auto& px = img.at(x, y);
+      const std::size_t idx =
+          (static_cast<std::size_t>(bin_of(px[0])) * bins_per_channel +
+           bin_of(px[1])) *
+              bins_per_channel +
+          bin_of(px[2]);
+      hist[idx] += 1.0f;
+    }
+  }
+  const float total = static_cast<float>(img.width()) * img.height();
+  for (float& v : hist) v /= total;
+  return hist;
+}
+
+double histogram_intersection(const std::vector<float>& a,
+                              const std::vector<float>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("histogram size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::min(a[i], b[i]);
+  }
+  return acc;
+}
+
+std::vector<float> shape_descriptor(const Image& img, int grid) {
+  if (grid <= 0) throw std::invalid_argument("bad grid");
+  constexpr int kBins = 8;
+  std::vector<float> desc(static_cast<std::size_t>(grid) * grid * kBins, 0.0f);
+  if (img.empty()) return desc;
+  const auto grads = sobel_gradients(img);
+  for (int y = 0; y < img.height(); ++y) {
+    const int cy = std::min(y * grid / img.height(), grid - 1);
+    for (int x = 0; x < img.width(); ++x) {
+      const int cx = std::min(x * grid / img.width(), grid - 1);
+      const double gx = grads.gx.at(x, y);
+      const double gy = grads.gy.at(x, y);
+      const double mag = std::hypot(gx, gy);
+      if (mag < 1e-6) continue;
+      double angle = std::atan2(gy, gx);  // [-pi, pi]
+      if (angle < 0) angle += 2.0 * 3.14159265358979323846;
+      const int bin =
+          std::min(kBins - 1, static_cast<int>(angle / (2.0 * 3.14159265358979323846) * kBins));
+      desc[(static_cast<std::size_t>(cy) * grid + cx) * kBins + bin] +=
+          static_cast<float>(mag);
+    }
+  }
+  double norm_sq = 0.0;
+  for (const float v : desc) norm_sq += v * v;
+  const double norm = std::sqrt(norm_sq) + 1e-9;
+  for (float& v : desc) v = static_cast<float>(v / norm);
+  return desc;
+}
+
+double shape_similarity(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("shape size mismatch");
+  double dist_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    dist_sq += d * d;
+  }
+  // Both descriptors are unit-norm, so distance is in [0, 2].
+  return std::max(0.0, 1.0 - std::sqrt(dist_sq) / 2.0);
+}
+
+void haar_decompose(Image& img) {
+  const int n = img.width();
+  if (n != img.height() || (n & (n - 1)) != 0 || n == 0) {
+    throw std::invalid_argument("haar_decompose needs a square power-of-two image");
+  }
+  std::vector<float> tmp(static_cast<std::size_t>(n));
+  const float inv_sqrt2 = 1.0f / std::sqrt(2.0f);
+  for (int len = n; len > 1; len /= 2) {
+    // Rows.
+    for (int y = 0; y < len; ++y) {
+      for (int i = 0; i < len / 2; ++i) {
+        const float a = img.at(2 * i, y);
+        const float b = img.at(2 * i + 1, y);
+        tmp[i] = (a + b) * inv_sqrt2;
+        tmp[len / 2 + i] = (a - b) * inv_sqrt2;
+      }
+      for (int i = 0; i < len; ++i) img.at(i, y) = tmp[i];
+    }
+    // Columns.
+    for (int x = 0; x < len; ++x) {
+      for (int i = 0; i < len / 2; ++i) {
+        const float a = img.at(x, 2 * i);
+        const float b = img.at(x, 2 * i + 1);
+        tmp[i] = (a + b) * inv_sqrt2;
+        tmp[len / 2 + i] = (a - b) * inv_sqrt2;
+      }
+      for (int i = 0; i < len; ++i) img.at(x, i) = tmp[i];
+    }
+  }
+}
+
+WaveletSignature wavelet_signature(const Image& img, int size, int keep) {
+  if ((size & (size - 1)) != 0 || size <= 0) {
+    throw std::invalid_argument("wavelet size must be a power of two");
+  }
+  WaveletSignature sig;
+  sig.size = size;
+  if (img.empty()) return sig;
+  Image work = img.resized(size, size);
+  haar_decompose(work);
+  sig.dc = work.at(0, 0) / static_cast<float>(size);
+
+  struct Coeff {
+    int pos;
+    float value;
+  };
+  std::vector<Coeff> coeffs;
+  coeffs.reserve(static_cast<std::size_t>(size) * size - 1);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      if (x == 0 && y == 0) continue;  // DC handled separately
+      coeffs.push_back({y * size + x, work.at(x, y)});
+    }
+  }
+  const auto kth = coeffs.begin() + std::min<std::size_t>(keep, coeffs.size());
+  std::partial_sort(coeffs.begin(), kth, coeffs.end(),
+                    [](const Coeff& a, const Coeff& b) {
+                      return std::abs(a.value) > std::abs(b.value);
+                    });
+  coeffs.erase(kth, coeffs.end());
+  std::sort(coeffs.begin(), coeffs.end(),
+            [](const Coeff& a, const Coeff& b) { return a.pos < b.pos; });
+  for (const auto& c : coeffs) {
+    sig.positions.push_back(c.pos);
+    sig.signs.push_back(c.value >= 0 ? 1 : -1);
+  }
+  return sig;
+}
+
+double wavelet_similarity(const WaveletSignature& a, const WaveletSignature& b) {
+  if (a.size != b.size) throw std::invalid_argument("wavelet size mismatch");
+  if (a.positions.empty() && b.positions.empty()) return 1.0;
+  // Count coefficients retained by both with matching sign.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t matches = 0;
+  while (i < a.positions.size() && j < b.positions.size()) {
+    if (a.positions[i] == b.positions[j]) {
+      if (a.signs[i] == b.signs[j]) ++matches;
+      ++i;
+      ++j;
+    } else if (a.positions[i] < b.positions[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const double denom =
+      static_cast<double>(std::max(a.positions.size(), b.positions.size()));
+  const double coeff_score = denom > 0 ? static_cast<double>(matches) / denom : 1.0;
+  const double dc_penalty = std::min(1.0, static_cast<double>(std::abs(a.dc - b.dc)));
+  return std::max(0.0, coeff_score - 0.5 * dc_penalty);
+}
+
+}  // namespace crowdmap::imaging

@@ -1,0 +1,58 @@
+// The three cheap retrieval descriptors of the paper's first-stage key-frame
+// comparison (§III.B.I): color-indexing histograms (Swain–Ballard), shape
+// matching (edge-orientation sketch, Kato et al.), and Haar wavelet
+// signatures (Jacobs et al., "fast multiresolution image querying").
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace crowdmap::imaging {
+
+// ---------------------------------------------------------------- color ---
+
+/// 3D RGB histogram with `bins_per_channel`^3 cells, L1-normalized.
+[[nodiscard]] std::vector<float> color_histogram(const ColorImage& img,
+                                                 int bins_per_channel = 8);
+
+/// Swain–Ballard histogram intersection in [0, 1].
+[[nodiscard]] double histogram_intersection(const std::vector<float>& a,
+                                            const std::vector<float>& b);
+
+// ---------------------------------------------------------------- shape ---
+
+/// Edge-orientation histogram over a spatial grid: the image is divided into
+/// grid x grid cells; each cell contributes an 8-bin edge-direction
+/// histogram weighted by gradient magnitude. L2-normalized.
+[[nodiscard]] std::vector<float> shape_descriptor(const Image& img, int grid = 4);
+
+/// Shape similarity in [0, 1]: 1 - normalized L2 distance.
+[[nodiscard]] double shape_similarity(const std::vector<float>& a,
+                                      const std::vector<float>& b);
+
+// -------------------------------------------------------------- wavelet ---
+
+/// Haar wavelet signature: the image is resized to a power-of-two square,
+/// fully Haar-decomposed, and the `keep` largest-magnitude coefficients are
+/// retained as (index, sign) pairs plus the DC average (Jacobs et al.).
+struct WaveletSignature {
+  float dc = 0.0f;                 // overall average intensity
+  std::vector<int> positions;      // flattened coefficient indices, sorted
+  std::vector<signed char> signs;  // +1 / -1 per retained coefficient
+  int size = 0;                    // decomposition side length
+};
+
+[[nodiscard]] WaveletSignature wavelet_signature(const Image& img, int size = 64,
+                                                 int keep = 60);
+
+/// Similarity in [0, 1]: fraction of matching signed coefficients minus a
+/// DC penalty (matching the spirit of the Jacobs scoring function).
+[[nodiscard]] double wavelet_similarity(const WaveletSignature& a,
+                                        const WaveletSignature& b);
+
+/// Full in-place 2D Haar decomposition of a square power-of-two image.
+/// Exposed for tests.
+void haar_decompose(Image& img);
+
+}  // namespace crowdmap::imaging

@@ -1,0 +1,109 @@
+#include "imaging/hog.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace crowdmap::imaging {
+
+std::vector<float> hog_descriptor(const Image& img, const HogParams& params) {
+  if (params.cell_size <= 0 || params.bins <= 0 || params.block_size <= 0) {
+    throw std::invalid_argument("bad HOG params");
+  }
+  const int cells_x = img.width() / params.cell_size;
+  const int cells_y = img.height() / params.cell_size;
+  if (cells_x == 0 || cells_y == 0) return {};
+
+  const auto grads = sobel_gradients(img);
+  const double range = params.signed_gradients ? 2.0 * std::numbers::pi
+                                               : std::numbers::pi;
+
+  // Per-cell orientation histograms with linear bin interpolation.
+  std::vector<float> cell_hist(
+      static_cast<std::size_t>(cells_x) * cells_y * params.bins, 0.0f);
+  auto hist_at = [&](int cx, int cy, int bin) -> float& {
+    return cell_hist[(static_cast<std::size_t>(cy) * cells_x + cx) * params.bins + bin];
+  };
+  for (int y = 0; y < cells_y * params.cell_size; ++y) {
+    for (int x = 0; x < cells_x * params.cell_size; ++x) {
+      const double gx = grads.gx.at(x, y);
+      const double gy = grads.gy.at(x, y);
+      const double mag = std::hypot(gx, gy);
+      if (mag < 1e-9) continue;
+      double angle = std::atan2(gy, gx);
+      if (!params.signed_gradients && angle < 0) angle += std::numbers::pi;
+      if (params.signed_gradients && angle < 0) angle += 2.0 * std::numbers::pi;
+      const double bin_f = angle / range * params.bins;
+      const int b0 = static_cast<int>(bin_f) % params.bins;
+      const int b1 = (b0 + 1) % params.bins;
+      const double frac = bin_f - std::floor(bin_f);
+      hist_at(x / params.cell_size, y / params.cell_size, b0) +=
+          static_cast<float>(mag * (1.0 - frac));
+      hist_at(x / params.cell_size, y / params.cell_size, b1) +=
+          static_cast<float>(mag * frac);
+    }
+  }
+
+  // Block normalization (L2-hys style without clipping).
+  std::vector<float> descriptor;
+  const int blocks_x = cells_x - params.block_size + 1;
+  const int blocks_y = cells_y - params.block_size + 1;
+  if (blocks_x <= 0 || blocks_y <= 0) {
+    // Image smaller than one block: return globally normalized cell hists.
+    double norm_sq = 0.0;
+    for (const float v : cell_hist) norm_sq += v * v;
+    const double norm = std::sqrt(norm_sq) + 1e-6;
+    for (float& v : cell_hist) v = static_cast<float>(v / norm);
+    return cell_hist;
+  }
+  descriptor.reserve(static_cast<std::size_t>(blocks_x) * blocks_y *
+                     params.block_size * params.block_size * params.bins);
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      const std::size_t start = descriptor.size();
+      for (int cy = by; cy < by + params.block_size; ++cy) {
+        for (int cx = bx; cx < bx + params.block_size; ++cx) {
+          for (int b = 0; b < params.bins; ++b) {
+            descriptor.push_back(hist_at(cx, cy, b));
+          }
+        }
+      }
+      double norm_sq = 0.0;
+      for (std::size_t i = start; i < descriptor.size(); ++i) {
+        norm_sq += descriptor[i] * descriptor[i];
+      }
+      const double norm = std::sqrt(norm_sq) + 1e-6;
+      for (std::size_t i = start; i < descriptor.size(); ++i) {
+        descriptor[i] = static_cast<float>(descriptor[i] / norm);
+      }
+    }
+  }
+  return descriptor;
+}
+
+double descriptor_cosine_similarity(const std::vector<float>& a,
+                                    const std::vector<float>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  double num = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na < 1e-12 || nb < 1e-12) return na < 1e-12 && nb < 1e-12 ? 1.0 : 0.0;
+  return num / std::sqrt(na * nb);
+}
+
+double descriptor_distance(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("descriptor size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace crowdmap::imaging

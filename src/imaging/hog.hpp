@@ -1,0 +1,33 @@
+// Histogram of Oriented Gradients (Dalal & Triggs), used by the paper for
+// key-frame selection: consecutive frames with near-identical HOG responses
+// are collapsed (§III.B.I "Video Key-frame Selection").
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace crowdmap::imaging {
+
+/// HOG parameters. Defaults follow the classic 8x8-cell, 9-bin,
+/// 2x2-block/L2 normalization configuration.
+struct HogParams {
+  int cell_size = 8;        // pixels per cell side
+  int bins = 9;             // orientation bins over [0, pi)
+  int block_size = 2;       // cells per block side
+  bool signed_gradients = false;
+};
+
+/// Dense HOG descriptor of the whole image, block-normalized, concatenated.
+[[nodiscard]] std::vector<float> hog_descriptor(const Image& img,
+                                                const HogParams& params = {});
+
+/// Cosine similarity between two descriptors of equal length; 0 for empty.
+[[nodiscard]] double descriptor_cosine_similarity(const std::vector<float>& a,
+                                                  const std::vector<float>& b);
+
+/// Euclidean distance between equal-length descriptors.
+[[nodiscard]] double descriptor_distance(const std::vector<float>& a,
+                                         const std::vector<float>& b);
+
+}  // namespace crowdmap::imaging

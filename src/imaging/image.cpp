@@ -1,0 +1,141 @@
+#include "imaging/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdmap::imaging {
+
+Image::Image(int width, int height, float fill)
+    : width_(width), height_(height) {
+  if (width < 0 || height < 0) throw std::invalid_argument("negative image size");
+  data_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+float Image::at_clamped(int x, int y) const noexcept {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+float Image::sample_bilinear(double x, double y) const noexcept {
+  x = std::clamp(x, 0.0, static_cast<double>(width_ - 1));
+  y = std::clamp(y, 0.0, static_cast<double>(height_ - 1));
+  const int x0 = static_cast<int>(x);
+  const int y0 = static_cast<int>(y);
+  const int x1 = std::min(x0 + 1, width_ - 1);
+  const int y1 = std::min(y0 + 1, height_ - 1);
+  const double fx = x - x0;
+  const double fy = y - y0;
+  const double top = at(x0, y0) * (1 - fx) + at(x1, y0) * fx;
+  const double bot = at(x0, y1) * (1 - fx) + at(x1, y1) * fx;
+  return static_cast<float>(top * (1 - fy) + bot * fy);
+}
+
+Image Image::resized(int new_width, int new_height) const {
+  Image out(new_width, new_height);
+  if (empty() || new_width == 0 || new_height == 0) return out;
+  for (int y = 0; y < new_height; ++y) {
+    const double sy = (y + 0.5) * height_ / new_height - 0.5;
+    for (int x = 0; x < new_width; ++x) {
+      const double sx = (x + 0.5) * width_ / new_width - 0.5;
+      out.at(x, y) = sample_bilinear(sx, sy);
+    }
+  }
+  return out;
+}
+
+Image Image::crop(int x0, int y0, int w, int h) const {
+  x0 = std::clamp(x0, 0, width_);
+  y0 = std::clamp(y0, 0, height_);
+  w = std::clamp(w, 0, width_ - x0);
+  h = std::clamp(h, 0, height_ - y0);
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) out.at(x, y) = at(x0 + x, y0 + y);
+  }
+  return out;
+}
+
+Image Image::box_blurred(int iterations) const {
+  Image src = *this;
+  for (int it = 0; it < iterations; ++it) {
+    Image dst(width_, height_);
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        float acc = 0.0f;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            acc += src.at_clamped(x + dx, y + dy);
+          }
+        }
+        dst.at(x, y) = acc / 9.0f;
+      }
+    }
+    src = std::move(dst);
+  }
+  return src;
+}
+
+float Image::mean() const noexcept {
+  if (data_.empty()) return 0.0f;
+  double acc = 0.0;
+  for (const float v : data_) acc += v;
+  return static_cast<float>(acc / static_cast<double>(data_.size()));
+}
+
+float Image::stddev() const noexcept {
+  if (data_.size() < 2) return 0.0f;
+  const double m = mean();
+  double acc = 0.0;
+  for (const float v : data_) acc += (v - m) * (v - m);
+  return static_cast<float>(std::sqrt(acc / static_cast<double>(data_.size())));
+}
+
+Gradients sobel_gradients(const Image& img) {
+  Gradients g{Image(img.width(), img.height()), Image(img.width(), img.height())};
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float tl = img.at_clamped(x - 1, y - 1);
+      const float tc = img.at_clamped(x, y - 1);
+      const float tr = img.at_clamped(x + 1, y - 1);
+      const float ml = img.at_clamped(x - 1, y);
+      const float mr = img.at_clamped(x + 1, y);
+      const float bl = img.at_clamped(x - 1, y + 1);
+      const float bc = img.at_clamped(x, y + 1);
+      const float br = img.at_clamped(x + 1, y + 1);
+      g.gx.at(x, y) = (tr + 2 * mr + br) - (tl + 2 * ml + bl);
+      g.gy.at(x, y) = (bl + 2 * bc + br) - (tl + 2 * tc + tr);
+    }
+  }
+  return g;
+}
+
+Image gradient_magnitude(const Gradients& g) {
+  Image out(g.gx.width(), g.gx.height());
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      out.at(x, y) = std::hypot(g.gx.at(x, y), g.gy.at(x, y));
+    }
+  }
+  return out;
+}
+
+ColorImage::ColorImage(int width, int height, std::array<float, 3> fill)
+    : width_(width), height_(height) {
+  if (width < 0 || height < 0) throw std::invalid_argument("negative image size");
+  data_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+Image ColorImage::to_gray() const {
+  Image out(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const auto& px = at(x, y);
+      out.at(x, y) = 0.299f * px[0] + 0.587f * px[1] + 0.114f * px[2];
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdmap::imaging

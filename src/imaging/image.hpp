@@ -1,0 +1,90 @@
+// Image containers for the vision stack: single-channel float images (all
+// feature extraction) and 3-channel color images (color-indexing histograms,
+// lighting simulation).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace crowdmap::imaging {
+
+/// Row-major single-channel float image. Pixel values are nominally in
+/// [0, 1] but the container does not enforce it (gradients go negative).
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t pixel_count() const noexcept { return data_.size(); }
+
+  [[nodiscard]] float at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  float& at(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  /// Clamped access: out-of-bounds coordinates are clamped to the border.
+  [[nodiscard]] float at_clamped(int x, int y) const noexcept;
+  /// Bilinear sample at sub-pixel coordinates (clamped).
+  [[nodiscard]] float sample_bilinear(double x, double y) const noexcept;
+
+  [[nodiscard]] const std::vector<float>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<float>& data() noexcept { return data_; }
+
+  /// Nearest/bilinear resize.
+  [[nodiscard]] Image resized(int new_width, int new_height) const;
+  /// Sub-rectangle copy; clamps to bounds.
+  [[nodiscard]] Image crop(int x0, int y0, int w, int h) const;
+  /// 3x3 box blur, `iterations` times.
+  [[nodiscard]] Image box_blurred(int iterations = 1) const;
+
+  [[nodiscard]] float mean() const noexcept;
+  [[nodiscard]] float stddev() const noexcept;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+/// Sobel gradients: returns (gx, gy) image pair.
+struct Gradients {
+  Image gx;
+  Image gy;
+};
+[[nodiscard]] Gradients sobel_gradients(const Image& img);
+
+/// Gradient magnitude image from Sobel gradients.
+[[nodiscard]] Image gradient_magnitude(const Gradients& g);
+
+/// RGB color image, values nominally in [0,1].
+class ColorImage {
+ public:
+  ColorImage() = default;
+  ColorImage(int width, int height, std::array<float, 3> fill = {0, 0, 0});
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] const std::array<float, 3>& at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  std::array<float, 3>& at(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Luminance (Rec. 601) grayscale conversion.
+  [[nodiscard]] Image to_gray() const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::array<float, 3>> data_;
+};
+
+}  // namespace crowdmap::imaging

@@ -1,0 +1,36 @@
+#include "imaging/integral.hpp"
+
+#include <algorithm>
+
+namespace crowdmap::imaging {
+
+IntegralImage::IntegralImage(const Image& img)
+    : width_(img.width()), height_(img.height()) {
+  table_.assign(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0.0);
+  for (int y = 0; y < height_; ++y) {
+    double row_sum = 0.0;
+    for (int x = 0; x < width_; ++x) {
+      row_sum += img.at(x, y);
+      table_[static_cast<std::size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+          s(x + 1, y) + row_sum;
+    }
+  }
+}
+
+double IntegralImage::box_sum(int x0, int y0, int x1, int y1) const noexcept {
+  x0 = std::clamp(x0, 0, width_ - 1);
+  x1 = std::clamp(x1, 0, width_ - 1);
+  y0 = std::clamp(y0, 0, height_ - 1);
+  y1 = std::clamp(y1, 0, height_ - 1);
+  if (x1 < x0 || y1 < y0) return 0.0;
+  return s(x1 + 1, y1 + 1) - s(x0, y1 + 1) - s(x1 + 1, y0) + s(x0, y0);
+}
+
+double IntegralImage::box_mean(int x0, int y0, int x1, int y1) const noexcept {
+  const int w = std::max(0, std::min(x1, width_ - 1) - std::max(x0, 0) + 1);
+  const int h = std::max(0, std::min(y1, height_ - 1) - std::max(y0, 0) + 1);
+  const long n = static_cast<long>(w) * h;
+  return n == 0 ? 0.0 : box_sum(x0, y0, x1, y1) / static_cast<double>(n);
+}
+
+}  // namespace crowdmap::imaging

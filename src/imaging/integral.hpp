@@ -1,0 +1,35 @@
+// Integral image (summed-area table) — the backbone of the SURF-style
+// detector's constant-time box filters.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace crowdmap::imaging {
+
+/// Summed-area table: S(x, y) = sum of pixels in [0,x) x [0,y).
+/// Stored with one extra row/column of zeros so box sums need no branches.
+class IntegralImage {
+ public:
+  explicit IntegralImage(const Image& img);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  /// Sum of the inclusive pixel rectangle [x0, x1] x [y0, y1].
+  /// Coordinates are clamped to the image bounds.
+  [[nodiscard]] double box_sum(int x0, int y0, int x1, int y1) const noexcept;
+
+  /// Mean over the same rectangle.
+  [[nodiscard]] double box_mean(int x0, int y0, int x1, int y1) const noexcept;
+
+ private:
+  [[nodiscard]] double s(int x, int y) const noexcept {
+    return table_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> table_;
+};
+
+}  // namespace crowdmap::imaging

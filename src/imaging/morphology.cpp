@@ -1,0 +1,169 @@
+#include "imaging/morphology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace crowdmap::imaging {
+
+namespace {
+
+/// Offsets within a disc of the given radius.
+[[nodiscard]] std::vector<std::pair<int, int>> disc_offsets(int radius) {
+  std::vector<std::pair<int, int>> offsets;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy <= radius * radius) offsets.emplace_back(dx, dy);
+    }
+  }
+  return offsets;
+}
+
+}  // namespace
+
+BoolRaster dilate(const BoolRaster& src, int radius) {
+  if (radius <= 0) return src;
+  BoolRaster out(src.extent(), src.cell_size());
+  const auto offsets = disc_offsets(radius);
+  for (int r = 0; r < src.height(); ++r) {
+    for (int c = 0; c < src.width(); ++c) {
+      if (!src.at(c, r)) continue;
+      for (const auto& [dx, dy] : offsets) out.set(c + dx, r + dy, true);
+    }
+  }
+  return out;
+}
+
+BoolRaster erode(const BoolRaster& src, int radius) {
+  if (radius <= 0) return src;
+  BoolRaster out(src.extent(), src.cell_size());
+  const auto offsets = disc_offsets(radius);
+  for (int r = 0; r < src.height(); ++r) {
+    for (int c = 0; c < src.width(); ++c) {
+      bool all = true;
+      for (const auto& [dx, dy] : offsets) {
+        const int cc = c + dx;
+        const int rr = r + dy;
+        if (!src.in_bounds(cc, rr) || !src.at(cc, rr)) {
+          all = false;
+          break;
+        }
+      }
+      out.set(c, r, all);
+    }
+  }
+  return out;
+}
+
+BoolRaster close(const BoolRaster& src, int radius) {
+  return erode(dilate(src, radius), radius);
+}
+
+BoolRaster open(const BoolRaster& src, int radius) {
+  return dilate(erode(src, radius), radius);
+}
+
+Components connected_components(const BoolRaster& src) {
+  Components out;
+  const int w = src.width();
+  const int h = src.height();
+  out.labels.assign(static_cast<std::size_t>(w) * h, 0);
+  out.sizes.push_back(0);  // label 0 placeholder
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      if (!src.at(c, r) || out.labels[static_cast<std::size_t>(r) * w + c] != 0) {
+        continue;
+      }
+      const int label = ++out.count;
+      std::size_t size = 0;
+      std::deque<std::pair<int, int>> frontier{{c, r}};
+      out.labels[static_cast<std::size_t>(r) * w + c] = label;
+      while (!frontier.empty()) {
+        const auto [cc, cr] = frontier.front();
+        frontier.pop_front();
+        ++size;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const int nc = cc + dx;
+            const int nr = cr + dy;
+            if (!src.in_bounds(nc, nr) || !src.at(nc, nr)) continue;
+            auto& lbl = out.labels[static_cast<std::size_t>(nr) * w + nc];
+            if (lbl == 0) {
+              lbl = label;
+              frontier.emplace_back(nc, nr);
+            }
+          }
+        }
+      }
+      out.sizes.push_back(size);
+    }
+  }
+  return out;
+}
+
+BoolRaster remove_small_components(const BoolRaster& src, std::size_t min_cells) {
+  const auto comps = connected_components(src);
+  BoolRaster out(src.extent(), src.cell_size());
+  const int w = src.width();
+  for (int r = 0; r < src.height(); ++r) {
+    for (int c = 0; c < w; ++c) {
+      const int label = comps.labels[static_cast<std::size_t>(r) * w + c];
+      if (label > 0 && comps.sizes[static_cast<std::size_t>(label)] >= min_cells) {
+        out.set(c, r, true);
+      }
+    }
+  }
+  return out;
+}
+
+BoolRaster bridge_gaps(const BoolRaster& src, int max_gap_cells) {
+  BoolRaster out = src;
+  for (int iteration = 0; iteration < 32; ++iteration) {  // hard safety bound
+    const auto comps = connected_components(out);
+    if (comps.count <= 1) break;
+    // Find the closest pair of cells in distinct components.
+    const int w = out.width();
+    struct Cell {
+      int c;
+      int r;
+      int label;
+    };
+    std::vector<Cell> cells;
+    for (int r = 0; r < out.height(); ++r) {
+      for (int c = 0; c < w; ++c) {
+        const int label = comps.labels[static_cast<std::size_t>(r) * w + c];
+        if (label > 0) cells.push_back({c, r, label});
+      }
+    }
+    double best_dist = std::numeric_limits<double>::max();
+    Cell best_a{0, 0, 0};
+    Cell best_b{0, 0, 0};
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      for (std::size_t j = i + 1; j < cells.size(); ++j) {
+        if (cells[i].label == cells[j].label) continue;
+        const double dc = cells[i].c - cells[j].c;
+        const double dr = cells[i].r - cells[j].r;
+        const double d = std::sqrt(dc * dc + dr * dr);
+        if (d < best_dist) {
+          best_dist = d;
+          best_a = cells[i];
+          best_b = cells[j];
+        }
+      }
+    }
+    if (best_dist > max_gap_cells) break;
+    // Draw a straight bridge.
+    const int steps = std::max(1, static_cast<int>(std::ceil(best_dist * 2)));
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      const int c = static_cast<int>(std::lround(best_a.c + t * (best_b.c - best_a.c)));
+      const int r = static_cast<int>(std::lround(best_a.r + t * (best_b.r - best_a.r)));
+      out.set(c, r, true);
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdmap::imaging

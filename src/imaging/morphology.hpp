@@ -1,0 +1,45 @@
+// Binary morphology on BoolRaster: dilation/erosion/closing, connected
+// components and gap bridging — the "repairing the unconnected paths" step
+// of the floor path skeleton reconstruction (§III.B.II step 6).
+#pragma once
+
+#include <vector>
+
+#include "geometry/raster.hpp"
+
+namespace crowdmap::imaging {
+
+using geometry::BoolRaster;
+
+/// Dilation with a disc structuring element of `radius` cells.
+[[nodiscard]] BoolRaster dilate(const BoolRaster& src, int radius);
+
+/// Erosion with a disc structuring element of `radius` cells.
+[[nodiscard]] BoolRaster erode(const BoolRaster& src, int radius);
+
+/// Morphological closing: dilate then erode.
+[[nodiscard]] BoolRaster close(const BoolRaster& src, int radius);
+
+/// Morphological opening: erode then dilate.
+[[nodiscard]] BoolRaster open(const BoolRaster& src, int radius);
+
+/// 8-connected component labelling. Returns per-cell labels (0 = background,
+/// components numbered from 1) and the number of components.
+struct Components {
+  std::vector<int> labels;  // row-major, size = width * height
+  int count = 0;
+  std::vector<std::size_t> sizes;  // indexed by label (sizes[0] unused)
+};
+[[nodiscard]] Components connected_components(const BoolRaster& src);
+
+/// Removes set components smaller than `min_cells`.
+[[nodiscard]] BoolRaster remove_small_components(const BoolRaster& src,
+                                                 std::size_t min_cells);
+
+/// Bridges distinct components whose nearest cells are within
+/// `max_gap_cells` by drawing a straight 1-cell-wide path between them.
+/// Repeats until no such pair remains. This implements the paper's path
+/// normalization ("repairing the unconnected paths").
+[[nodiscard]] BoolRaster bridge_gaps(const BoolRaster& src, int max_gap_cells);
+
+}  // namespace crowdmap::imaging

@@ -1,0 +1,68 @@
+#include "imaging/ncc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdmap::imaging {
+
+double normalized_cross_correlation(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("NCC: image size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  const double ma = a.mean();
+  const double mb = b.mean();
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) {
+    const double va = ad[i] - ma;
+    const double vb = bd[i] - mb;
+    num += va * vb;
+    da += va * va;
+    db += vb * vb;
+  }
+  if (da < 1e-12 && db < 1e-12) return 1.0;  // both constant: identical up to offset
+  if (da < 1e-12 || db < 1e-12) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+double shifted_ncc(const Image& a, const Image& b, int dx, int dy) {
+  // Overlap region in a's coordinates.
+  const int x0 = std::max(0, dx);
+  const int y0 = std::max(0, dy);
+  const int x1 = std::min(a.width(), b.width() + dx);
+  const int y1 = std::min(a.height(), b.height() + dy);
+  if (x1 - x0 < 2 || y1 - y0 < 2) return 0.0;
+
+  double sa = 0.0;
+  double sb = 0.0;
+  const long n = static_cast<long>(x1 - x0) * (y1 - y0);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      sa += a.at(x, y);
+      sb += b.at(x - dx, y - dy);
+    }
+  }
+  const double ma = sa / n;
+  const double mb = sb / n;
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const double va = a.at(x, y) - ma;
+      const double vb = b.at(x - dx, y - dy) - mb;
+      num += va * vb;
+      da += va * va;
+      db += vb * vb;
+    }
+  }
+  if (da < 1e-12 || db < 1e-12) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace crowdmap::imaging

@@ -1,0 +1,18 @@
+// Normalized cross-correlation — the paper's frame-similarity score S_cc used
+// during key-frame selection (§III.B.I).
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace crowdmap::imaging {
+
+/// Zero-mean normalized cross-correlation between two equal-size images.
+/// Result in [-1, 1]; returns 0 when either image has zero variance and
+/// 1 when both are constant and equal.
+[[nodiscard]] double normalized_cross_correlation(const Image& a, const Image& b);
+
+/// NCC of `b` against `a` shifted by (dx, dy); only the overlapping region
+/// is scored. Used by the panorama compositor for fine alignment.
+[[nodiscard]] double shifted_ncc(const Image& a, const Image& b, int dx, int dy);
+
+}  // namespace crowdmap::imaging

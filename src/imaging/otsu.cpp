@@ -1,0 +1,62 @@
+#include "imaging/otsu.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace crowdmap::imaging {
+
+namespace {
+
+constexpr int kBins = 256;
+
+/// Otsu on a histogram: returns the bin index maximizing between-class
+/// variance (threshold is "<= bin" vs "> bin").
+[[nodiscard]] int otsu_bin(const std::array<double, kBins>& hist, double total) {
+  double sum_all = 0.0;
+  for (int i = 0; i < kBins; ++i) sum_all += i * hist[i];
+  double sum_b = 0.0;
+  double w_b = 0.0;
+  double best_var = -1.0;
+  int best_bin = 0;
+  for (int i = 0; i < kBins; ++i) {
+    w_b += hist[i];
+    if (w_b <= 0) continue;
+    const double w_f = total - w_b;
+    if (w_f <= 0) break;
+    sum_b += i * hist[i];
+    const double mean_b = sum_b / w_b;
+    const double mean_f = (sum_all - sum_b) / w_f;
+    const double var_between = w_b * w_f * (mean_b - mean_f) * (mean_b - mean_f);
+    if (var_between > best_var) {
+      best_var = var_between;
+      best_bin = i;
+    }
+  }
+  return best_bin;
+}
+
+}  // namespace
+
+double otsu_threshold(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  const double max_v = *std::max_element(samples.begin(), samples.end());
+  if (max_v <= 0.0) return 0.0;
+  std::array<double, kBins> hist{};
+  for (const double s : samples) {
+    const int bin = std::min(kBins - 1, static_cast<int>(s / max_v * (kBins - 1)));
+    hist[std::max(0, bin)] += 1.0;
+  }
+  const int bin = otsu_bin(hist, static_cast<double>(samples.size()));
+  return (bin + 0.5) / (kBins - 1) * max_v;
+}
+
+float otsu_threshold(const Image& img) {
+  std::vector<double> samples;
+  samples.reserve(img.pixel_count());
+  for (const float v : img.data()) samples.push_back(static_cast<double>(v));
+  return static_cast<float>(otsu_threshold(std::span<const double>(samples)));
+}
+
+}  // namespace crowdmap::imaging

@@ -1,0 +1,19 @@
+// Otsu's automatic threshold selection (paper §III.B.II step 3: binarizing
+// the occupancy grid's access probabilities).
+#pragma once
+
+#include <span>
+
+#include "imaging/image.hpp"
+
+namespace crowdmap::imaging {
+
+/// Otsu threshold over arbitrary nonnegative samples. Builds a 256-bin
+/// histogram over [0, max(sample)] and returns the threshold value that
+/// maximizes between-class variance. Returns 0 for empty/constant input.
+[[nodiscard]] double otsu_threshold(std::span<const double> samples);
+
+/// Otsu threshold over image pixels (values assumed in [0, 1]).
+[[nodiscard]] float otsu_threshold(const Image& img);
+
+}  // namespace crowdmap::imaging

@@ -1,0 +1,78 @@
+#include "io/image_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace crowdmap::io {
+
+namespace {
+
+[[nodiscard]] std::uint8_t to_byte(float v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+}
+
+}  // namespace
+
+bool write_pgm(const std::string& path, const imaging::Image& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.put(static_cast<char>(to_byte(img.at(x, y))));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_ppm(const std::string& path, const imaging::ColorImage& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const auto& px = img.at(x, y);
+      out.put(static_cast<char>(to_byte(px[0])));
+      out.put(static_cast<char>(to_byte(px[1])));
+      out.put(static_cast<char>(to_byte(px[2])));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_pgm(const std::string& path, const geometry::BoolRaster& raster) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P5\n" << raster.width() << ' ' << raster.height() << "\n255\n";
+  for (int row = raster.height() - 1; row >= 0; --row) {  // +y up -> top row
+    for (int col = 0; col < raster.width(); ++col) {
+      out.put(raster.at(col, row) ? '\xFF' : '\0');
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+imaging::Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") throw std::runtime_error("not a binary PGM: " + path);
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  in >> width >> height >> maxval;
+  if (width <= 0 || height <= 0 || maxval != 255) {
+    throw std::runtime_error("unsupported PGM header: " + path);
+  }
+  in.get();  // single whitespace after the header
+  imaging::Image img(width, height);
+  for (auto& v : img.data()) {
+    const int byte = in.get();
+    if (byte < 0) throw std::runtime_error("truncated PGM: " + path);
+    v = static_cast<float>(byte) / 255.0f;
+  }
+  return img;
+}
+
+}  // namespace crowdmap::io

@@ -1,0 +1,25 @@
+// Plain PGM/PPM image export (and PGM import) for inspecting rendered
+// frames, panoramas and occupancy rasters without any image library.
+#pragma once
+
+#include <string>
+
+#include "geometry/raster.hpp"
+#include "imaging/image.hpp"
+
+namespace crowdmap::io {
+
+/// Writes a grayscale image as binary PGM (P5). Returns false on IO failure.
+bool write_pgm(const std::string& path, const imaging::Image& img);
+
+/// Writes a color image as binary PPM (P6).
+bool write_ppm(const std::string& path, const imaging::ColorImage& img);
+
+/// Writes a boolean raster as a black/white PGM (top row = max y).
+bool write_pgm(const std::string& path, const geometry::BoolRaster& raster);
+
+/// Reads a binary PGM (P5, maxval 255). Throws std::runtime_error on
+/// malformed input or IO failure.
+[[nodiscard]] imaging::Image read_pgm(const std::string& path);
+
+}  // namespace crowdmap::io

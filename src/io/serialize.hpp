@@ -1,0 +1,83 @@
+// Versioned binary serialization for the data the cloud backend persists:
+// inertial streams, extracted trajectories (including key-frame images and
+// descriptors) and reconstructed floor plans. Little-endian, magic-tagged,
+// explicitly versioned; decoding validates structure and throws
+// io::DecodeError on malformed input rather than reading garbage.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+#include "sensors/imu.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace crowdmap::io {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown on malformed/truncated/incompatible input.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte writer.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void f32(float v);
+  void f64(double v);
+  void str(const std::string& s);       // u32 length + bytes
+  void bytes_raw(const Bytes& b);       // no length prefix
+
+  [[nodiscard]] Bytes take() && { return std::move(buffer_); }
+  [[nodiscard]] const Bytes& buffer() const noexcept { return buffer_; }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Bounds-checked byte reader.
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32();
+  [[nodiscard]] float f32();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n);
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ top level ---
+
+/// Inertial stream <-> bytes.
+[[nodiscard]] Bytes encode_imu(const sensors::ImuStream& stream);
+[[nodiscard]] sensors::ImuStream decode_imu(const Bytes& data);
+
+/// Extracted trajectory <-> bytes. Key-frame gray images are quantized to
+/// 8 bits (their only consumer, panorama stitching, is insensitive to the
+/// quantization); descriptors are stored exactly.
+[[nodiscard]] Bytes encode_trajectory(const trajectory::Trajectory& traj);
+[[nodiscard]] trajectory::Trajectory decode_trajectory(const Bytes& data);
+
+/// Floor plan <-> bytes.
+[[nodiscard]] Bytes encode_floorplan(const floorplan::FloorPlan& plan);
+[[nodiscard]] floorplan::FloorPlan decode_floorplan(const Bytes& data);
+
+}  // namespace crowdmap::io

@@ -1,0 +1,137 @@
+#include "localize/particle_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crowdmap::localize {
+
+BoolRaster walkable_space(const floorplan::FloorPlan& plan) {
+  BoolRaster walkable = plan.hallway;
+  for (const auto& room : plan.rooms) {
+    walkable.fill_polygon(room.footprint());
+  }
+  return walkable;
+}
+
+MapLocalizer::MapLocalizer(BoolRaster walkable, LocalizerConfig config,
+                           common::Rng rng)
+    : walkable_(std::move(walkable)), config_(config), rng_(rng) {
+  for (int row = 0; row < walkable_.height(); ++row) {
+    for (int col = 0; col < walkable_.width(); ++col) {
+      if (walkable_.at(col, row)) {
+        walkable_cells_.push_back(walkable_.cell_center(col, row));
+      }
+    }
+  }
+  if (walkable_cells_.empty()) {
+    throw std::invalid_argument("MapLocalizer: no walkable cells");
+  }
+}
+
+void MapLocalizer::initialize_uniform() {
+  particles_.clear();
+  particles_.reserve(static_cast<std::size_t>(config_.particle_count));
+  const double half = walkable_.cell_size() / 2.0;
+  for (int i = 0; i < config_.particle_count; ++i) {
+    const auto& cell = walkable_cells_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(walkable_cells_.size()) - 1))];
+    particles_.push_back(
+        {cell + Vec2{rng_.uniform(-half, half), rng_.uniform(-half, half)}, 1.0});
+  }
+}
+
+void MapLocalizer::initialize_at(Vec2 position, double sigma) {
+  particles_.clear();
+  particles_.reserve(static_cast<std::size_t>(config_.particle_count));
+  for (int i = 0; i < config_.particle_count; ++i) {
+    particles_.push_back(
+        {position + Vec2{rng_.normal(0.0, sigma), rng_.normal(0.0, sigma)}, 1.0});
+  }
+}
+
+bool MapLocalizer::walkable_at(Vec2 p) const {
+  const auto [col, row] = walkable_.cell_of(p);
+  return walkable_.in_bounds(col, row) && walkable_.at(col, row);
+}
+
+void MapLocalizer::on_step(double stride, double heading) {
+  if (particles_.empty()) initialize_uniform();
+  for (auto& particle : particles_) {
+    if (particle.weight <= 0) continue;
+    const double s = stride * (1.0 + rng_.normal(0.0, config_.stride_sigma));
+    const double h = heading + rng_.normal(0.0, config_.heading_sigma);
+    const Vec2 next = particle.position + Vec2::from_angle(h) * s;
+    // Wall constraint: both the destination and the midpoint must stay in
+    // walkable space (a cheap swept test at step scale).
+    if (walkable_at(next) &&
+        walkable_at(particle.position + (next - particle.position) * 0.5)) {
+      particle.position = next;
+    } else {
+      particle.weight = 0.0;
+    }
+  }
+  normalize_and_maybe_resample();
+}
+
+void MapLocalizer::normalize_and_maybe_resample() {
+  double total = 0.0;
+  for (const auto& p : particles_) total += p.weight;
+  if (total <= 0) {
+    // Belief died (all particles hit walls): recover by re-scattering.
+    initialize_uniform();
+    return;
+  }
+  double sum_sq = 0.0;
+  for (auto& p : particles_) {
+    p.weight /= total;
+    sum_sq += p.weight * p.weight;
+  }
+  const double effective = 1.0 / sum_sq;
+  if (effective >= config_.resample_threshold * particles_.size()) return;
+
+  // Systematic resampling.
+  std::vector<Particle> next;
+  next.reserve(particles_.size());
+  const double step = 1.0 / static_cast<double>(particles_.size());
+  double cursor = rng_.uniform(0.0, step);
+  double cumulative = 0.0;
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    while (cumulative + particles_[index].weight < cursor &&
+           index + 1 < particles_.size()) {
+      cumulative += particles_[index].weight;
+      ++index;
+    }
+    Particle p = particles_[index];
+    p.weight = 1.0;
+    // Tiny roughening to avoid sample impoverishment.
+    p.position += {rng_.normal(0.0, 0.05), rng_.normal(0.0, 0.05)};
+    next.push_back(p);
+    cursor += step;
+  }
+  particles_ = std::move(next);
+}
+
+BeliefEstimate MapLocalizer::estimate() const {
+  BeliefEstimate out;
+  if (particles_.empty()) return out;
+  double total = 0.0;
+  Vec2 mean;
+  for (const auto& p : particles_) {
+    mean += p.position * p.weight;
+    total += p.weight;
+  }
+  if (total <= 0) return out;
+  mean = mean / total;
+  double var = 0.0;
+  for (const auto& p : particles_) {
+    var += p.weight * mean.distance_to(p.position) * mean.distance_to(p.position);
+  }
+  out.position = mean;
+  out.spread = std::sqrt(var / total);
+  out.in_map_fraction =
+      total / static_cast<double>(particles_.size());
+  return out;
+}
+
+}  // namespace crowdmap::localize

@@ -1,0 +1,78 @@
+// Map-constrained pedestrian localization — the downstream application the
+// paper motivates ("[a floor plan] plays an essential role in many indoor
+// mobile applications, such as localization and navigation"). A particle
+// filter tracks a walker from step events (stride + heading) alone, using
+// the reconstructed floor plan as the constraint: particles that walk
+// through walls die, and the corridor topology disambiguates position.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "floorplan/floorplan.hpp"
+#include "geometry/raster.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::localize {
+
+using geometry::BoolRaster;
+using geometry::Vec2;
+
+struct LocalizerConfig {
+  int particle_count = 1500;
+  double stride_sigma = 0.10;   // relative stride noise per step
+  double heading_sigma = 0.10;  // radians of heading noise per step
+  /// Resample when the effective sample size falls below this fraction.
+  double resample_threshold = 0.5;
+};
+
+/// Current belief summary.
+struct BeliefEstimate {
+  Vec2 position;        // weighted mean
+  double spread = 0.0;  // RMS distance of particles from the mean (meters)
+  double in_map_fraction = 0.0;  // surviving probability mass
+};
+
+/// Walkable-space raster of a floor plan: the hallway skeleton plus every
+/// placed room footprint.
+[[nodiscard]] BoolRaster walkable_space(const floorplan::FloorPlan& plan);
+
+class MapLocalizer {
+ public:
+  /// The walkable raster constrains motion. Throws std::invalid_argument if
+  /// it has no walkable cells.
+  MapLocalizer(BoolRaster walkable, LocalizerConfig config, common::Rng rng);
+
+  /// Scatters particles uniformly over walkable cells (unknown start).
+  void initialize_uniform();
+
+  /// Initializes around a known position (e.g. an entrance).
+  void initialize_at(Vec2 position, double sigma = 1.0);
+
+  /// One detected step of the tracked user: advances every particle by the
+  /// (noisy) stride along the (noisy) absolute heading, kills wall-crossers,
+  /// and resamples when the belief degenerates.
+  void on_step(double stride, double heading);
+
+  [[nodiscard]] BeliefEstimate estimate() const;
+  [[nodiscard]] std::size_t particle_count() const noexcept {
+    return particles_.size();
+  }
+
+ private:
+  struct Particle {
+    Vec2 position;
+    double weight = 1.0;
+  };
+
+  [[nodiscard]] bool walkable_at(Vec2 p) const;
+  void normalize_and_maybe_resample();
+
+  BoolRaster walkable_;
+  LocalizerConfig config_;
+  common::Rng rng_;
+  std::vector<Particle> particles_;
+  std::vector<Vec2> walkable_cells_;  // centers, for uniform initialization
+};
+
+}  // namespace crowdmap::localize

@@ -1,0 +1,128 @@
+#include "mapping/coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/morphology.hpp"
+
+namespace crowdmap::mapping {
+
+CoverageReport coverage_report(const OccupancyGrid& grid,
+                               const geometry::BoolRaster& skeleton,
+                               double confident_count) {
+  CoverageReport report{geometry::BoolRaster(skeleton.extent(),
+                                             skeleton.cell_size()),
+                        0.0, 0};
+  std::size_t confident = 0;
+  for (int row = 0; row < skeleton.height(); ++row) {
+    for (int col = 0; col < skeleton.width(); ++col) {
+      if (!skeleton.at(col, row)) continue;
+      ++report.skeleton_cells;
+      // Map the skeleton cell into grid coordinates (they share the metric
+      // frame but may differ in resolution).
+      const auto center = skeleton.cell_center(col, row);
+      const auto [gc, gr] = geometry::BoolRaster(grid.extent(), grid.cell_size())
+                                .cell_of(center);
+      double count = 0.0;
+      if (gc >= 0 && gr >= 0 && gc < grid.width() && gr < grid.height()) {
+        count = grid.count_at(gc, gr);
+      }
+      if (count >= confident_count) {
+        ++confident;
+      } else {
+        report.thin.set(col, row, true);
+      }
+    }
+  }
+  report.confident_fraction =
+      report.skeleton_cells == 0
+          ? 1.0
+          : static_cast<double>(confident) /
+                static_cast<double>(report.skeleton_cells);
+  return report;
+}
+
+namespace {
+
+/// Centers of the thin-coverage connected components, largest first.
+[[nodiscard]] std::vector<geometry::Vec2> thin_cluster_centers(
+    const geometry::BoolRaster& thin) {
+  const auto comps = imaging::connected_components(thin);
+  std::vector<geometry::Vec2> sums(static_cast<std::size_t>(comps.count) + 1);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(comps.count) + 1, 0);
+  for (int row = 0; row < thin.height(); ++row) {
+    for (int col = 0; col < thin.width(); ++col) {
+      const int label =
+          comps.labels[static_cast<std::size_t>(row) * thin.width() + col];
+      if (label <= 0) continue;
+      sums[static_cast<std::size_t>(label)] += thin.cell_center(col, row);
+      counts[static_cast<std::size_t>(label)]++;
+    }
+  }
+  std::vector<std::pair<std::size_t, geometry::Vec2>> clusters;
+  for (std::size_t label = 1; label < sums.size(); ++label) {
+    if (counts[label] == 0) continue;
+    clusters.emplace_back(counts[label],
+                          sums[label] / static_cast<double>(counts[label]));
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<geometry::Vec2> centers;
+  centers.reserve(clusters.size());
+  for (const auto& [size, center] : clusters) centers.push_back(center);
+  return centers;
+}
+
+/// Thin cells within one cell-size of the segment from..to.
+[[nodiscard]] double path_gain(const geometry::BoolRaster& thin,
+                               geometry::Vec2 from, geometry::Vec2 to) {
+  double gain = 0.0;
+  const geometry::Segment seg{from, to};
+  for (int row = 0; row < thin.height(); ++row) {
+    for (int col = 0; col < thin.width(); ++col) {
+      if (!thin.at(col, row)) continue;
+      if (geometry::distance_point_segment(thin.cell_center(col, row), seg) <=
+          1.5 * thin.cell_size()) {
+        gain += 1.0;
+      }
+    }
+  }
+  return gain;
+}
+
+}  // namespace
+
+std::vector<TaskSuggestion> suggest_walk_tasks(const CoverageReport& report,
+                                               std::size_t max_tasks) {
+  std::vector<TaskSuggestion> tasks;
+  const auto centers = thin_cluster_centers(report.thin);
+  if (centers.empty()) return tasks;
+  if (centers.size() == 1) {
+    // A single thin cluster: suggest a pass through it.
+    TaskSuggestion t;
+    t.from = centers[0] + geometry::Vec2{-2.0, 0.0};
+    t.to = centers[0] + geometry::Vec2{2.0, 0.0};
+    t.expected_gain = path_gain(report.thin, t.from, t.to);
+    tasks.push_back(t);
+    return tasks;
+  }
+  // Greedy: best pairs by straight-path gain.
+  std::vector<std::pair<double, std::pair<std::size_t, std::size_t>>> scored;
+  const std::size_t limit = std::min<std::size_t>(centers.size(), 8);
+  for (std::size_t i = 0; i < limit; ++i) {
+    for (std::size_t j = i + 1; j < limit; ++j) {
+      scored.push_back(
+          {path_gain(report.thin, centers[i], centers[j]), {i, j}});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [gain, pair] : scored) {
+    if (tasks.size() >= max_tasks) break;
+    if (gain <= 0) continue;
+    tasks.push_back({centers[pair.first], centers[pair.second], gain});
+  }
+  return tasks;
+}
+
+}  // namespace crowdmap::mapping

@@ -1,0 +1,45 @@
+// Campaign coverage analysis: which parts of the (partially) mapped floor
+// still need data. CrowdMap is proactive crowdsourcing (§II) — the operator
+// hands out SRS/SWS tasks — so the backend should say *where* to send the
+// next contributors: corridor cells with thin evidence, and rooms without a
+// usable panorama.
+#pragma once
+
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "geometry/vec2.hpp"
+#include "mapping/occupancy.hpp"
+
+namespace crowdmap::mapping {
+
+/// Coverage classification per mapped cell.
+struct CoverageReport {
+  /// Cells on the reconstructed skeleton whose access count is below the
+  /// confidence threshold (one stray pass could have painted them).
+  geometry::BoolRaster thin;
+  /// Fraction of skeleton cells with confident (>= threshold) evidence.
+  double confident_fraction = 0.0;
+  /// Total skeleton cells.
+  std::size_t skeleton_cells = 0;
+};
+
+/// Classifies skeleton cells by evidence strength.
+[[nodiscard]] CoverageReport coverage_report(const OccupancyGrid& grid,
+                                             const geometry::BoolRaster& skeleton,
+                                             double confident_count = 3.0);
+
+/// A suggested SWS task: walk between two thin-coverage waypoints.
+struct TaskSuggestion {
+  geometry::Vec2 from;
+  geometry::Vec2 to;
+  double expected_gain = 0.0;  // thin cells near the straight path
+};
+
+/// Greedy task suggestions: repeatedly picks the pair of thin-coverage
+/// cluster centers whose connecting segment passes the most remaining thin
+/// cells. Returns at most `max_tasks` suggestions, highest gain first.
+[[nodiscard]] std::vector<TaskSuggestion> suggest_walk_tasks(
+    const CoverageReport& report, std::size_t max_tasks = 4);
+
+}  // namespace crowdmap::mapping

@@ -1,0 +1,136 @@
+#include "mapping/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "imaging/otsu.hpp"
+
+namespace crowdmap::mapping {
+
+OccupancyGrid::OccupancyGrid(Aabb extent, double cell_size)
+    : extent_(extent), cell_size_(cell_size) {
+  if (cell_size <= 0) throw std::invalid_argument("cell_size must be positive");
+  width_ = std::max(1, static_cast<int>(std::ceil(extent.width() / cell_size)));
+  height_ = std::max(1, static_cast<int>(std::ceil(extent.height() / cell_size)));
+  counts_.assign(static_cast<std::size_t>(width_) * height_, 0.0);
+}
+
+Vec2 OccupancyGrid::cell_center(int col, int row) const noexcept {
+  return {extent_.min.x + (col + 0.5) * cell_size_,
+          extent_.min.y + (row + 0.5) * cell_size_};
+}
+
+void OccupancyGrid::add_point(Vec2 p, double brush_width) {
+  const int c0 = static_cast<int>(std::floor((p.x - extent_.min.x) / cell_size_));
+  const int r0 = static_cast<int>(std::floor((p.y - extent_.min.y) / cell_size_));
+  const int radius =
+      std::max(0, static_cast<int>(std::ceil(brush_width / 2.0 / cell_size_)));
+  for (int dr = -radius; dr <= radius; ++dr) {
+    for (int dc = -radius; dc <= radius; ++dc) {
+      const int c = c0 + dc;
+      const int r = r0 + dr;
+      if (c < 0 || r < 0 || c >= width_ || r >= height_) continue;
+      if (cell_center(c, r).distance_to(p) <= brush_width / 2.0 + 1e-9) {
+        counts_[static_cast<std::size_t>(r) * width_ + c] += 1.0;
+      }
+    }
+  }
+  if (radius == 0 && c0 >= 0 && r0 >= 0 && c0 < width_ && r0 < height_) {
+    counts_[static_cast<std::size_t>(r0) * width_ + c0] += 1.0;
+  }
+}
+
+void OccupancyGrid::add_polyline(const std::vector<Vec2>& points,
+                                 double brush_width) {
+  if (points.empty()) return;
+  // One hit per cell per trajectory: accumulate into a visited mask first so
+  // a trajectory lingering in a cell does not over-weight it.
+  std::vector<std::uint8_t> visited(counts_.size(), 0);
+  auto mark = [&](Vec2 p) {
+    const int c0 = static_cast<int>(std::floor((p.x - extent_.min.x) / cell_size_));
+    const int r0 = static_cast<int>(std::floor((p.y - extent_.min.y) / cell_size_));
+    const int radius =
+        std::max(0, static_cast<int>(std::ceil(brush_width / 2.0 / cell_size_)));
+    for (int dr = -radius; dr <= radius; ++dr) {
+      for (int dc = -radius; dc <= radius; ++dc) {
+        const int c = c0 + dc;
+        const int r = r0 + dr;
+        if (c < 0 || r < 0 || c >= width_ || r >= height_) continue;
+        if (cell_center(c, r).distance_to(p) <= brush_width / 2.0 + 1e-9) {
+          visited[static_cast<std::size_t>(r) * width_ + c] = 1;
+        }
+      }
+    }
+    if (radius == 0 && c0 >= 0 && r0 >= 0 && c0 < width_ && r0 < height_) {
+      visited[static_cast<std::size_t>(r0) * width_ + c0] = 1;
+    }
+  };
+  mark(points.front());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const Vec2 from = points[i - 1];
+    const Vec2 to = points[i];
+    const double len = from.distance_to(to);
+    const int steps = std::max(1, static_cast<int>(std::ceil(len / (cell_size_ / 2))));
+    for (int s = 1; s <= steps; ++s) {
+      mark(from + (to - from) * (static_cast<double>(s) / steps));
+    }
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += visited[i];
+}
+
+double OccupancyGrid::count_at(int col, int row) const {
+  if (col < 0 || row < 0 || col >= width_ || row >= height_) {
+    throw std::out_of_range("OccupancyGrid::count_at");
+  }
+  return counts_[static_cast<std::size_t>(row) * width_ + col];
+}
+
+double OccupancyGrid::max_count() const noexcept {
+  double m = 0.0;
+  for (const double c : counts_) m = std::max(m, c);
+  return m;
+}
+
+std::vector<double> OccupancyGrid::probabilities() const {
+  std::vector<double> probs(counts_.size(), 0.0);
+  const double m = max_count();
+  if (m <= 0) return probs;
+  for (std::size_t i = 0; i < counts_.size(); ++i) probs[i] = counts_[i] / m;
+  return probs;
+}
+
+BoolRaster OccupancyGrid::binarize(double max_count_threshold) const {
+  const auto probs = probabilities();
+  // Otsu over the nonzero cells only: zeros (unvisited space) dominate the
+  // grid and would otherwise pull the threshold to nothing.
+  std::vector<double> nonzero;
+  nonzero.reserve(probs.size());
+  for (const double p : probs) {
+    if (p > 0) nonzero.push_back(p);
+  }
+  double threshold = imaging::otsu_threshold(std::span<const double>(nonzero));
+  // Otsu separates "weak" evidence (single stray pass) from "strong"
+  // (repeatedly travelled). Popularity skew caps the threshold: a cell
+  // independently crossed `max_count_threshold` times is accessible no
+  // matter how busy the busiest junction is.
+  const double max = max_count();
+  if (max > 0) threshold = std::min(threshold, max_count_threshold / max);
+  return binarize_at(std::min(threshold, 0.999));
+}
+
+BoolRaster OccupancyGrid::binarize_at(double threshold) const {
+  BoolRaster out(extent_, cell_size_);
+  const auto probs = probabilities();
+  for (int r = 0; r < height_; ++r) {
+    for (int c = 0; c < width_; ++c) {
+      if (probs[static_cast<std::size_t>(r) * width_ + c] >= threshold &&
+          probs[static_cast<std::size_t>(r) * width_ + c] > 0) {
+        out.set(c, r, true);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdmap::mapping

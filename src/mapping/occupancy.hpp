@@ -1,0 +1,61 @@
+// Occupancy grid (Thrun-style) over the floor extent: aggregated trajectories
+// are rasterized into per-cell access counts that approximate "how accessible
+// the location is" (§III.B.II steps 1–2).
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/raster.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::mapping {
+
+using geometry::Aabb;
+using geometry::BoolRaster;
+using geometry::Vec2;
+
+class OccupancyGrid {
+ public:
+  OccupancyGrid(Aabb extent, double cell_size);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+  [[nodiscard]] const Aabb& extent() const noexcept { return extent_; }
+
+  /// Adds one trajectory: every cell touched by the polyline (with a metric
+  /// brush width approximating body width) gets its count increased. Cells
+  /// hit by multiple trajectories accumulate higher access probability.
+  void add_polyline(const std::vector<Vec2>& points, double brush_width = 0.6);
+
+  /// Adds a single visited point.
+  void add_point(Vec2 p, double brush_width = 0.6);
+
+  [[nodiscard]] double count_at(int col, int row) const;
+  [[nodiscard]] double max_count() const noexcept;
+
+  /// Access probabilities: counts normalized by the maximum (0 when empty).
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// Otsu-binarized occupancy (paper step 3): cells whose access probability
+  /// clears the automatically selected threshold. The threshold is capped at
+  /// `max_count_threshold` trajectory passes so that legitimately visited
+  /// but unpopular corridor cells survive when a few cells (junctions) are
+  /// traversed far more often than the rest.
+  [[nodiscard]] BoolRaster binarize(double max_count_threshold = 2.0) const;
+
+  /// Binarization with an explicit probability threshold in [0,1].
+  [[nodiscard]] BoolRaster binarize_at(double threshold) const;
+
+  [[nodiscard]] Vec2 cell_center(int col, int row) const noexcept;
+
+ private:
+  Aabb extent_;
+  double cell_size_;
+  int width_;
+  int height_;
+  std::vector<double> counts_;
+};
+
+}  // namespace crowdmap::mapping

@@ -1,0 +1,105 @@
+#include "mapping/skeleton.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "imaging/morphology.hpp"
+
+namespace crowdmap::mapping {
+
+namespace {
+
+/// Fills raster cells covered by a triangle.
+void fill_triangle(geometry::BoolRaster& raster, Vec2 a, Vec2 b, Vec2 c) {
+  const double min_x = std::min({a.x, b.x, c.x});
+  const double max_x = std::max({a.x, b.x, c.x});
+  const double min_y = std::min({a.y, b.y, c.y});
+  const double max_y = std::max({a.y, b.y, c.y});
+  auto [c0, r0] = raster.cell_of({min_x, min_y});
+  auto [c1, r1] = raster.cell_of({max_x, max_y});
+  c0 = std::max(c0, 0);
+  r0 = std::max(r0, 0);
+  c1 = std::min(c1, raster.width() - 1);
+  r1 = std::min(r1, raster.height() - 1);
+  for (int r = r0; r <= r1; ++r) {
+    for (int col = c0; col <= c1; ++col) {
+      const Vec2 p = raster.cell_center(col, r);
+      const double d1 = (b - a).cross(p - a);
+      const double d2 = (c - b).cross(p - b);
+      const double d3 = (a - c).cross(p - c);
+      const bool has_neg = (d1 < -1e-12) || (d2 < -1e-12) || (d3 < -1e-12);
+      const bool has_pos = (d1 > 1e-12) || (d2 > 1e-12) || (d3 > 1e-12);
+      if (!(has_neg && has_pos)) raster.set(col, r, true);
+    }
+  }
+}
+
+}  // namespace
+
+PathSkeleton reconstruct_skeleton(const OccupancyGrid& grid,
+                                  const SkeletonConfig& config) {
+  // Steps 1–3: accumulate (done by caller), binarize with Otsu.
+  geometry::BoolRaster binary = grid.binarize(config.min_access_count);
+
+  // Step 4: α-shape over accessible cell centers (Delaunay-based).
+  std::vector<Vec2> points;
+  for (int r = 0; r < binary.height(); ++r) {
+    for (int c = 0; c < binary.width(); ++c) {
+      if (binary.at(c, r)) points.push_back(binary.cell_center(c, r));
+    }
+  }
+  PathSkeleton skeleton{geometry::BoolRaster(grid.extent(), grid.cell_size()),
+                        binary,
+                        {}};
+  if (points.size() < 3) {
+    skeleton.raster = binary;
+    return skeleton;
+  }
+  const auto shape = geometry::alpha_shape(points, config.alpha);
+  skeleton.boundary = shape.boundary;
+
+  // Step 5: regularized interior = union of retained triangles.
+  for (const auto& tri : shape.triangles) {
+    fill_triangle(skeleton.raster, points[tri.v[0]], points[tri.v[1]],
+                  points[tri.v[2]]);
+  }
+  // Keep isolated accessible cells the triangulation could not cover.
+  for (const Vec2 p : points) {
+    auto [c, r] = skeleton.raster.cell_of(p);
+    skeleton.raster.set(c, r, true);
+  }
+
+  // Step 6: normalize — close pinholes, drop stray blobs, repair gaps.
+  skeleton.raster = imaging::close(skeleton.raster, config.close_radius);
+  skeleton.raster =
+      imaging::remove_small_components(skeleton.raster, config.min_component_cells);
+  skeleton.raster =
+      imaging::bridge_gaps(skeleton.raster, config.bridge_max_gap_cells);
+  skeleton.raster = imaging::dilate(skeleton.raster, config.final_dilate_cells);
+  return skeleton;
+}
+
+geometry::OverlapMetrics hallway_shape_metrics(
+    const PathSkeleton& skeleton, const geometry::BoolRaster& truth_hallway,
+    const std::vector<geometry::Polygon>& rooms_to_cut, int max_shift_cells) {
+  if (skeleton.raster.width() != truth_hallway.width() ||
+      skeleton.raster.height() != truth_hallway.height()) {
+    throw std::invalid_argument("hallway_shape_metrics: raster grids differ");
+  }
+  geometry::BoolRaster cut = skeleton.raster;
+  for (int r = 0; r < cut.height(); ++r) {
+    for (int c = 0; c < cut.width(); ++c) {
+      if (!cut.at(c, r)) continue;
+      const Vec2 p = cut.cell_center(c, r);
+      for (const auto& room : rooms_to_cut) {
+        if (room.contains(p)) {
+          cut.set(c, r, false);
+          break;
+        }
+      }
+    }
+  }
+  return geometry::best_aligned_overlap(cut, truth_hallway, max_shift_cells);
+}
+
+}  // namespace crowdmap::mapping

@@ -1,0 +1,47 @@
+// Floor path skeleton reconstruction (§III.B.II, Fig. 3a–3d):
+// occupancy grid → Otsu binarization → α-shape over accessible cells →
+// α-threshold regularized boundary → repair of unconnected paths.
+#pragma once
+
+#include <vector>
+
+#include "geometry/alpha_shape.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/raster.hpp"
+#include "mapping/occupancy.hpp"
+
+namespace crowdmap::mapping {
+
+struct SkeletonConfig {
+  double min_access_count = 2.0;       // binarization cap (passes per cell)
+  double alpha = 1.6;                  // h_α, meters (α-shape circumradius)
+  int close_radius = 1;                // morphological closing radius, cells
+  int bridge_max_gap_cells = 10;       // repair: max gap to bridge
+  std::size_t min_component_cells = 6; // outlier blob suppression
+  /// Final dilation: the paper's grid approximation makes the skeleton
+  /// slightly larger than the true hallway (its recall exceeds precision).
+  int final_dilate_cells = 1;
+};
+
+/// Reconstructed floor path skeleton.
+struct PathSkeleton {
+  geometry::BoolRaster raster;          // final repaired skeleton
+  geometry::BoolRaster binarized;       // post-Otsu intermediate (Fig. 3a)
+  std::vector<geometry::Segment> boundary;  // α-shape boundary (Fig. 3c)
+
+  [[nodiscard]] double area() const noexcept { return raster.set_area(); }
+};
+
+/// Full skeleton reconstruction from an occupancy grid.
+[[nodiscard]] PathSkeleton reconstruct_skeleton(const OccupancyGrid& grid,
+                                                const SkeletonConfig& config = {});
+
+/// Hallway-shape evaluation (Table I): parts of the generated skeleton lying
+/// inside ground-truth room footprints are cut off (the paper does this
+/// manually), the remainder is alignment-searched against the ground-truth
+/// hallway raster, and precision/recall/F are reported.
+[[nodiscard]] geometry::OverlapMetrics hallway_shape_metrics(
+    const PathSkeleton& skeleton, const geometry::BoolRaster& truth_hallway,
+    const std::vector<geometry::Polygon>& rooms_to_cut, int max_shift_cells = 8);
+
+}  // namespace crowdmap::mapping

@@ -1,0 +1,55 @@
+#include "room/corners.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "vision/lines.hpp"
+
+namespace crowdmap::room {
+
+std::vector<double> detect_corner_columns(const imaging::Image& panorama,
+                                          std::size_t max_corners) {
+  const auto segments = vision::detect_line_segments(panorama);
+  return vision::vertical_line_columns(segments, panorama.width(),
+                                       /*verticality_tolerance=*/0.3,
+                                       max_corners);
+}
+
+std::vector<double> predict_corner_columns(const LayoutHypothesis& hyp,
+                                           int pano_width) {
+  std::vector<double> columns;
+  columns.reserve(4);
+  const double hw = hyp.width / 2.0;
+  const double hd = hyp.depth / 2.0;
+  for (const double sx : {-1.0, 1.0}) {
+    for (const double sy : {-1.0, 1.0}) {
+      // Corner position relative to the camera, in the panorama frame.
+      const geometry::Vec2 corner_room{sx * hw - hyp.camera_offset.x,
+                                       sy * hd - hyp.camera_offset.y};
+      const geometry::Vec2 corner = corner_room.rotated(hyp.orientation);
+      const double angle = common::wrap_angle_2pi(corner.angle());
+      columns.push_back(angle / common::kTwoPi * pano_width);
+    }
+  }
+  std::sort(columns.begin(), columns.end());
+  return columns;
+}
+
+double corner_cost(const std::vector<double>& detected,
+                   const std::vector<double>& predicted, int pano_width) {
+  if (detected.empty() || predicted.empty() || pano_width <= 0) return 0.0;
+  double acc = 0.0;
+  for (const double p : predicted) {
+    double best = pano_width;  // upper bound
+    for (const double d : detected) {
+      double diff = std::abs(p - d);
+      diff = std::min(diff, pano_width - diff);  // circular distance
+      best = std::min(best, diff);
+    }
+    acc += best;
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+}  // namespace crowdmap::room

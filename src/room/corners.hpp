@@ -1,0 +1,32 @@
+// Room-corner detection on panoramas (paper §III.C.II, Fig. 5): line
+// segments (LSD-style) are detected on the panorama, near-vertical ones are
+// accumulated into candidate corner columns (the "line segments along the
+// vanishing direction"), and a layout hypothesis can be scored against them:
+// a rectangular room seen from inside shows exactly four vertical wall-joint
+// lines, at panorama columns determined by the room geometry.
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "room/layout.hpp"
+
+namespace crowdmap::room {
+
+/// Detected candidate corner columns (pixels, sorted ascending).
+[[nodiscard]] std::vector<double> detect_corner_columns(
+    const imaging::Image& panorama, std::size_t max_corners = 8);
+
+/// Panorama columns where a hypothesis' four wall joints appear.
+/// Columns are in [0, pano_width).
+[[nodiscard]] std::vector<double> predict_corner_columns(
+    const LayoutHypothesis& hyp, int pano_width);
+
+/// Corner-consistency cost: mean circular column distance (pixels) from each
+/// predicted corner to the nearest detected corner column. Returns 0 when
+/// no corners were detected (no evidence, no penalty).
+[[nodiscard]] double corner_cost(const std::vector<double>& detected,
+                                 const std::vector<double>& predicted,
+                                 int pano_width);
+
+}  // namespace crowdmap::room

@@ -1,0 +1,58 @@
+#include "room/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+
+namespace crowdmap::room {
+
+std::optional<FusedRoom> fuse_layout_with_trace(
+    const std::optional<RoomLayout>& visual,
+    std::span<const geometry::Vec2> in_room_trace, const FusionConfig& config) {
+  const auto trace_box = geometry::oriented_bounding_box(in_room_trace);
+  if (!visual && !trace_box) return std::nullopt;
+
+  FusedRoom out;
+  if (visual && !trace_box) {
+    out.width = visual->width;
+    out.depth = visual->depth;
+    out.orientation = visual->orientation;
+    out.visual_weight = 1.0;
+    return out;
+  }
+  // Trace-only, or trace to blend with: inflate by the furniture margin.
+  const double trace_w =
+      trace_box ? trace_box->width + 2.0 * config.trace_margin : 0.0;
+  const double trace_d =
+      trace_box ? trace_box->depth + 2.0 * config.trace_margin : 0.0;
+  if (!visual) {
+    out.width = trace_w;
+    out.depth = trace_d;
+    out.orientation = trace_box->orientation;
+    out.visual_weight = 0.0;
+    return out;
+  }
+
+  // Confidence from the surface-consistency score: logistic with its middle
+  // at half_weight_score.
+  const double w =
+      1.0 / (1.0 + std::exp(-(visual->score - config.half_weight_score) /
+                            (config.half_weight_score / 2.0)));
+  // Blend in the visual layout's frame; the trace box's axes may be swapped
+  // relative to the visual layout's, so align them first.
+  double tw = trace_w;
+  double td = trace_d;
+  const double axis_diff = std::abs(common::wrap_angle(
+      trace_box->orientation - visual->orientation));
+  if (axis_diff > common::kPi / 4 && axis_diff < 3 * common::kPi / 4) {
+    std::swap(tw, td);
+  }
+  out.width = w * visual->width + (1 - w) * tw;
+  out.depth = w * visual->depth + (1 - w) * td;
+  out.orientation = visual->orientation;
+  out.visual_weight = w;
+  return out;
+}
+
+}  // namespace crowdmap::room

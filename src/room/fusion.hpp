@@ -1,0 +1,42 @@
+// Joint visual + trajectory room modeling — the paper's proposed remedy for
+// rooms that break the rectangular assumption (§VI "Reconstruct
+// Non-Rectangular Shaped Room", solution i): when the panorama's rectangular
+// fit is poor, lean on the user's in-room motion trace; when the fit is
+// strong, trust the panorama (which sees walls the user cannot reach).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geometry/obb.hpp"
+#include "room/layout.hpp"
+
+namespace crowdmap::room {
+
+struct FusionConfig {
+  /// Surface-consistency score at which the visual layout gets half weight;
+  /// well-fit rectangles score ~0.2+, degenerate fits ~0.05.
+  double half_weight_score = 0.10;
+  /// The trace underestimates each side by roughly twice the furniture
+  /// margin; its extents are inflated by this many meters per side.
+  double trace_margin = 0.55;
+};
+
+/// A fused room estimate with its provenance mix.
+struct FusedRoom {
+  double width = 0.0;
+  double depth = 0.0;
+  double orientation = 0.0;
+  double visual_weight = 0.0;  // 1 = panorama only, 0 = trace only
+
+  [[nodiscard]] double area() const noexcept { return width * depth; }
+};
+
+/// Fuses the panorama layout with the in-room motion trace. Either input may
+/// be missing; nullopt only when both are.
+[[nodiscard]] std::optional<FusedRoom> fuse_layout_with_trace(
+    const std::optional<RoomLayout>& visual,
+    std::span<const geometry::Vec2> in_room_trace,
+    const FusionConfig& config = {});
+
+}  // namespace crowdmap::room

@@ -1,0 +1,82 @@
+// Room layout generation from a 360° panorama (§III.C.II, Fig. 5): detect
+// line structure, sample rectangular 3D layout hypotheses, and keep the one
+// maximizing a pixel-wise surface-consistency score against the observed
+// wall-floor boundary (PanoContext-style whole-room scoring).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "imaging/image.hpp"
+#include "vision/lines.hpp"
+
+namespace crowdmap::room {
+
+/// Estimated rectangular room layout in the panorama's reference frame
+/// (panorama column 0 = global angle 0 of the stitching headings).
+struct RoomLayout {
+  double width = 0.0;        // meters (along the room's local x)
+  double depth = 0.0;        // meters (along the room's local y)
+  double orientation = 0.0;  // room x-axis direction, radians in [0, pi/2)
+  geometry::Vec2 camera_offset;  // camera position relative to room center
+  double score = 0.0;            // surface-consistency of the winning model
+  double coverage = 0.0;         // fraction of columns with observed boundary
+
+  [[nodiscard]] double area() const noexcept { return width * depth; }
+  [[nodiscard]] double aspect_ratio() const noexcept {
+    return depth > 0 ? width / depth : 0.0;
+  }
+};
+
+struct LayoutConfig {
+  int hypotheses = 20000;        // the paper samples 20,000 models
+  double camera_height = 1.5;    // meters (phone held in front of the chest)
+  double pitch = 0.15;           // camera downward pitch (must match capture)
+  double boundary_height = 0.21; // baseboard-top height the detector locks onto
+  double min_side = 1.8;         // sampled room side range, meters
+  double max_side = 16.0;
+  double max_center_offset = 0.35;  // camera offset as a fraction of side
+  std::uint64_t seed = 0x900DF00Du; // hypothesis sampler seed
+  /// Data-driven seed hypotheses from the boundary point cloud (on by
+  /// default). Disable to measure pure random-sampling convergence (the
+  /// ablation behind the paper's 20,000-model figure).
+  bool use_seed_hypotheses = true;
+  /// Weight of the corner-consistency term (Fig. 5's vertical wall-joint
+  /// lines) in the hypothesis score; 0 scores the wall-floor boundary only.
+  double corner_weight = 0.05;
+  /// Effective focal length of the panorama in pixels per radian-equivalent;
+  /// must match the stitcher: f = frame_focal * pano_height / frame_height.
+  double focal_px = 0.0;  // <= 0: derived from panorama width (W / 2*pi)
+};
+
+/// Per-column observed wall-floor boundary rows (NaN where undetected).
+/// `horizon_row` is where the (pitch-shifted) horizon sits; the boundary is
+/// searched below it.
+[[nodiscard]] std::vector<double> detect_floor_boundary(
+    const imaging::Image& panorama, double horizon_row = -1.0);
+
+/// Predicted boundary row for a hypothesis at one panorama column.
+struct LayoutHypothesis {
+  double width = 0.0;
+  double depth = 0.0;
+  double orientation = 0.0;
+  geometry::Vec2 camera_offset;
+};
+[[nodiscard]] double predict_boundary_row(const LayoutHypothesis& hyp,
+                                          double angle, double horizon_row,
+                                          double focal_px, double camera_height,
+                                          double boundary_height);
+
+/// Distance from the camera to the room's rectangle boundary along `angle`
+/// (global frame). Returns a large value if the camera is outside the rect.
+[[nodiscard]] double rect_boundary_distance(const LayoutHypothesis& hyp,
+                                            double angle);
+
+/// Full estimator: boundary detection, hypothesis sampling, consistency
+/// scoring, local refinement of the winner. nullopt when too few boundary
+/// columns were detected (panorama unusable).
+[[nodiscard]] std::optional<RoomLayout> estimate_layout(
+    const imaging::Image& panorama, const LayoutConfig& config = {});
+
+}  // namespace crowdmap::room

@@ -1,0 +1,73 @@
+#include "sensors/dead_reckoning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmap::sensors {
+
+std::vector<TrackPoint> dead_reckon(const ImuStream& stream,
+                                    const DeadReckoningParams& params) {
+  std::vector<TrackPoint> track;
+  const auto& samples = stream.samples;
+  if (samples.empty()) return track;
+
+  const auto steps = detect_steps(stream, params.step);
+  const auto headings = estimate_headings(stream, params.heading);
+
+  // Index into samples for a given time (samples are time-ordered).
+  auto sample_index = [&samples](double t) -> std::size_t {
+    const auto it = std::lower_bound(
+        samples.begin(), samples.end(), t,
+        [](const ImuSample& s, double tt) { return s.t < tt; });
+    return std::min(static_cast<std::size_t>(it - samples.begin()),
+                    samples.size() - 1);
+  };
+
+  TrackPoint origin;
+  origin.t = samples.front().t;
+  origin.heading = headings.front();
+  track.push_back(origin);
+
+  geometry::Vec2 pos;
+  double prev_step_time = samples.front().t;
+  for (const double step_time : steps.times) {
+    const std::size_t idx = sample_index(step_time);
+    const double heading = headings[idx];
+
+    double stride = params.default_stride;
+    if (params.amplitude_stride) {
+      // Bounce amplitude inside the step window.
+      const std::size_t lo = sample_index(prev_step_time);
+      double amax = samples[lo].accel_magnitude;
+      double amin = samples[lo].accel_magnitude;
+      for (std::size_t i = lo; i <= idx; ++i) {
+        amax = std::max(amax, samples[i].accel_magnitude);
+        amin = std::min(amin, samples[i].accel_magnitude);
+      }
+      const double est = stride_length_from_amplitude(amax - amin);
+      if (est > 0.2 && est < 1.2) stride = est;
+    }
+
+    pos += geometry::Vec2::from_angle(heading) * stride;
+    track.push_back({pos, step_time, heading});
+    prev_step_time = step_time;
+  }
+
+  // Closing stay point at stream end.
+  TrackPoint last;
+  last.position = pos;
+  last.t = samples.back().t;
+  last.heading = headings.back();
+  track.push_back(last);
+  return track;
+}
+
+double track_length(const std::vector<TrackPoint>& track) {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < track.size(); ++i) {
+    acc += track[i].position.distance_to(track[i - 1].position);
+  }
+  return acc;
+}
+
+}  // namespace crowdmap::sensors

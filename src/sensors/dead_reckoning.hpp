@@ -1,0 +1,37 @@
+// Pedestrian dead reckoning: steps + per-step heading + stride length →
+// the user trajectory triples {(x_i, y_i, t_i)} of the SWS task (§III.A).
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "sensors/heading.hpp"
+#include "sensors/imu.hpp"
+#include "sensors/step_detector.hpp"
+
+namespace crowdmap::sensors {
+
+/// One dead-reckoned trajectory sample.
+struct TrackPoint {
+  geometry::Vec2 position;
+  double t = 0.0;
+  double heading = 0.0;
+};
+
+struct DeadReckoningParams {
+  StepDetectorParams step;
+  HeadingFilterParams heading;
+  double default_stride = 0.7;  // meters, used when amplitude is degenerate
+  bool amplitude_stride = true; // Weinberg stride from bounce amplitude
+};
+
+/// Reconstructs a trajectory from an inertial stream. The first point is the
+/// local origin (0,0) at the stream start; one point is emitted per step
+/// plus the start and end stay points.
+[[nodiscard]] std::vector<TrackPoint> dead_reckon(
+    const ImuStream& stream, const DeadReckoningParams& params = {});
+
+/// Total travelled distance of a track.
+[[nodiscard]] double track_length(const std::vector<TrackPoint>& track);
+
+}  // namespace crowdmap::sensors

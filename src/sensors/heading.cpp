@@ -1,0 +1,38 @@
+#include "sensors/heading.hpp"
+
+#include "common/mathutil.hpp"
+
+namespace crowdmap::sensors {
+
+std::vector<double> estimate_headings(const ImuStream& stream,
+                                      const HeadingFilterParams& params) {
+  std::vector<double> headings;
+  const auto& s = stream.samples;
+  headings.reserve(s.size());
+  if (s.empty()) return headings;
+
+  double heading = params.use_compass_initial ? s.front().compass
+                                              : params.initial_heading;
+  headings.push_back(heading);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const double dt = s[i].t - s[i - 1].t;
+    heading += s[i].gyro_z * dt;
+    // Pull toward the compass proportionally to elapsed time.
+    const double error = common::angle_diff(s[i].compass, heading);
+    heading += params.compass_gain * dt * error;
+    heading = common::wrap_angle(heading);
+    headings.push_back(heading);
+  }
+  return headings;
+}
+
+double integrated_rotation(const ImuStream& stream) {
+  const auto& s = stream.samples;
+  double total = 0.0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    total += s[i].gyro_z * (s[i].t - s[i - 1].t);
+  }
+  return total;
+}
+
+}  // namespace crowdmap::sensors

@@ -1,0 +1,29 @@
+// Heading estimation: gyro integration corrected toward the compass with a
+// complementary filter — "the direction change of each step Δω is calculated
+// by jointly using compass, gyroscope and accelerometer" (paper §III.A,
+// following Roy et al. [12]).
+#pragma once
+
+#include <vector>
+
+#include "sensors/imu.hpp"
+
+namespace crowdmap::sensors {
+
+struct HeadingFilterParams {
+  /// Complementary-filter gain pulling the integrated gyro heading toward
+  /// the compass per second. 0 disables compass correction (pure gyro).
+  double compass_gain = 0.05;
+  double initial_heading = 0.0;
+  bool use_compass_initial = true;  // seed from the first compass sample
+};
+
+/// Per-sample heading estimates for a stream.
+[[nodiscard]] std::vector<double> estimate_headings(
+    const ImuStream& stream, const HeadingFilterParams& params = {});
+
+/// Total rotation angle over the stream from gyro integration alone — the
+/// SRS task's spin angle ω, which the paper reads from the gyroscope.
+[[nodiscard]] double integrated_rotation(const ImuStream& stream);
+
+}  // namespace crowdmap::sensors

@@ -1,0 +1,30 @@
+// Inertial sensor sample types. The mobile front-end records accelerometer,
+// gyroscope and compass alongside the video (paper §III.A, Task 2).
+#pragma once
+
+#include <vector>
+
+namespace crowdmap::sensors {
+
+/// One synchronized inertial sample. The simulator and the dead-reckoning
+/// stack use a planar model: gyro_z is the yaw rate; accel_magnitude carries
+/// the gait signal used for step counting.
+struct ImuSample {
+  double t = 0.0;                // seconds since recording start
+  double accel_magnitude = 9.81; // |a| in m/s^2 (gravity + gait bounce)
+  double gyro_z = 0.0;           // yaw rate, rad/s
+  double compass = 0.0;          // absolute heading, radians (noisy, disturbed)
+};
+
+/// A recorded inertial stream at (approximately) fixed rate.
+struct ImuStream {
+  std::vector<ImuSample> samples;
+  double sample_rate_hz = 100.0;
+
+  [[nodiscard]] bool empty() const noexcept { return samples.empty(); }
+  [[nodiscard]] double duration() const noexcept {
+    return samples.empty() ? 0.0 : samples.back().t - samples.front().t;
+  }
+};
+
+}  // namespace crowdmap::sensors

@@ -1,0 +1,42 @@
+// Inertial noise models used by the simulator: white noise plus bias random
+// walk (gyro drift is the dominant trajectory error source the paper's
+// key-frame calibration corrects).
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace crowdmap::sensors {
+
+/// First-order sensor error model: y = x + bias(t) + white, where bias
+/// follows a random walk.
+class NoiseModel {
+ public:
+  NoiseModel(double white_sigma, double bias_walk_sigma, common::Rng rng)
+      : white_sigma_(white_sigma), bias_walk_sigma_(bias_walk_sigma), rng_(rng) {}
+
+  /// Corrupts one sample; dt advances the bias random walk.
+  [[nodiscard]] double corrupt(double value, double dt) noexcept {
+    bias_ += rng_.normal(0.0, bias_walk_sigma_ * std::max(dt, 0.0));
+    return value + bias_ + rng_.normal(0.0, white_sigma_);
+  }
+
+  [[nodiscard]] double bias() const noexcept { return bias_; }
+
+ private:
+  double white_sigma_;
+  double bias_walk_sigma_;
+  double bias_ = 0.0;
+  common::Rng rng_;
+};
+
+/// Default error magnitudes for a consumer smartphone IMU (values consistent
+/// with the dead-reckoning literature the paper builds on [2], [12]).
+struct ImuNoiseConfig {
+  double gyro_white_sigma = 0.005;     // rad/s
+  double gyro_bias_walk = 0.0012;      // rad/s per sqrt(s)
+  double compass_white_sigma = 0.12;   // rad (indoor magnetic disturbance)
+  double accel_white_sigma = 0.25;     // m/s^2
+  double stride_length_sigma = 0.06;   // relative stride-length error
+};
+
+}  // namespace crowdmap::sensors

@@ -1,0 +1,44 @@
+#include "sensors/step_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmap::sensors {
+
+StepEvents detect_steps(const ImuStream& stream, const StepDetectorParams& params) {
+  StepEvents events;
+  const auto& s = stream.samples;
+  if (s.size() < 3) return events;
+
+  // Moving-average smoothing of |a|.
+  const int w = std::max(1, params.smoothing_window);
+  std::vector<double> smooth(s.size());
+  double acc = 0.0;
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    acc += s[i].accel_magnitude;
+    if (i >= static_cast<std::size_t>(w)) {
+      acc -= s[i - w].accel_magnitude;
+      lo = i - w + 1;
+    }
+    smooth[i] = acc / static_cast<double>(i - lo + 1);
+  }
+
+  double last_step_time = -1e9;
+  for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+    const bool is_peak = smooth[i] > smooth[i - 1] && smooth[i] >= smooth[i + 1];
+    if (!is_peak) continue;
+    if (smooth[i] < params.peak_threshold) continue;
+    if (s[i].t - last_step_time < params.min_step_interval) continue;
+    events.times.push_back(s[i].t);
+    last_step_time = s[i].t;
+  }
+  return events;
+}
+
+double stride_length_from_amplitude(double amplitude, double k) {
+  // Weinberg: L = k * (a_max - a_min)^(1/4).
+  return k * std::pow(std::max(amplitude, 0.0), 0.25);
+}
+
+}  // namespace crowdmap::sensors

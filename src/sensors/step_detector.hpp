@@ -1,0 +1,34 @@
+// Step counting from accelerometer magnitude — the walking-distance estimator
+// of the SWS task (paper §III.A: "the walking distance |AB| is calculated by
+// the step counting method").
+#pragma once
+
+#include <vector>
+
+#include "sensors/imu.hpp"
+
+namespace crowdmap::sensors {
+
+struct StepDetectorParams {
+  double peak_threshold = 10.8;   // m/s^2 above which a peak may be a step
+  double min_step_interval = 0.3; // seconds between steps (max ~3.3 steps/s)
+  int smoothing_window = 7;       // moving-average samples
+};
+
+/// Detected heel strikes (times in stream coordinates).
+struct StepEvents {
+  std::vector<double> times;
+  [[nodiscard]] std::size_t count() const noexcept { return times.size(); }
+};
+
+/// Peak detection on the smoothed accelerometer magnitude.
+[[nodiscard]] StepEvents detect_steps(const ImuStream& stream,
+                                      const StepDetectorParams& params = {});
+
+/// Weinberg-style stride length estimate from the bounce amplitude around a
+/// step; returns meters. `amplitude` is max-min accel magnitude in the step
+/// window.
+[[nodiscard]] double stride_length_from_amplitude(double amplitude,
+                                                  double k = 0.41);
+
+}  // namespace crowdmap::sensors

@@ -1,0 +1,29 @@
+// The three evaluation buildings (paper §V: Lab1, Lab2, Gym datasets) plus a
+// randomized generator for property tests and ablations.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sim/spec.hpp"
+
+namespace crowdmap::sim {
+
+/// Lab building 1: comb layout — one long double-loaded corridor with a
+/// perpendicular spur, 12 offices. High wall feature density.
+[[nodiscard]] FloorPlanSpec lab1();
+
+/// Lab building 2: L-shaped corridor with 10 offices. High feature density.
+[[nodiscard]] FloorPlanSpec lab2();
+
+/// Gym building: wide U-shaped circulation, 5 large sporadic rooms, and
+/// feature-poor walls (the environment where the paper reports SfM failing
+/// and its own room-location error peaking at 5 m).
+[[nodiscard]] FloorPlanSpec gym();
+
+/// Randomized comb-style building (for property tests / ablations):
+/// `n_rooms` offices on a straight corridor, sizes jittered by `rng`.
+[[nodiscard]] FloorPlanSpec random_building(int n_rooms, common::Rng& rng);
+
+/// Corridor rectangle from a centerline (axis-aligned) and width.
+[[nodiscard]] Polygon corridor(Vec2 from, Vec2 to, double width);
+
+}  // namespace crowdmap::sim

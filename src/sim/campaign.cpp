@@ -1,0 +1,70 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+
+namespace crowdmap::sim {
+
+void generate_campaign_streaming(
+    const FloorPlanSpec& spec, const CampaignOptions& options, std::uint64_t seed,
+    const std::function<void(SensorRichVideo&&)>& sink) {
+  const Scene scene = Scene::from_spec(spec, seed);
+
+  common::Rng rng(seed);
+  // One persistent simulator per user so per-user sensor biases persist
+  // across that user's uploads.
+  std::vector<UserSimulator> users;
+  users.reserve(static_cast<std::size_t>(std::max(options.users, 1)));
+  for (int u = 0; u < std::max(options.users, 1); ++u) {
+    SimOptions sim = options.sim;
+    // Per-user gait variation.
+    common::Rng user_rng = rng.stream(0x5EED0000u + static_cast<std::uint64_t>(u));
+    sim.walk_speed *= user_rng.uniform(0.85, 1.15);
+    sim.step_frequency *= user_rng.uniform(0.92, 1.08);
+    users.emplace_back(scene, spec, sim, user_rng.fork());
+  }
+
+  auto lighting = [&rng, &options] {
+    return rng.chance(options.night_fraction) ? Lighting::night()
+                                              : Lighting::day();
+  };
+  int user_cursor = 0;
+  auto next_user = [&]() -> std::pair<UserSimulator&, int> {
+    const int id = user_cursor;
+    UserSimulator& u = users[static_cast<std::size_t>(user_cursor)];
+    user_cursor = (user_cursor + 1) % static_cast<int>(users.size());
+    return {u, id};
+  };
+
+  // Room visits.
+  for (const auto& room : spec.rooms) {
+    for (int k = 0; k < options.room_videos_per_room; ++k) {
+      auto [user, id] = next_user();
+      auto video = user.room_visit(room, options.hallway_distance, lighting());
+      video.user_id = id;
+      sink(std::move(video));
+    }
+  }
+  // Hallway walks.
+  for (int k = 0; k < options.hallway_walks; ++k) {
+    auto [user, id] = next_user();
+    SensorRichVideo video = rng.chance(options.junk_fraction)
+                                ? user.junk_video(lighting())
+                                : user.hallway_walk(lighting());
+    video.user_id = id;
+    sink(std::move(video));
+  }
+}
+
+Campaign generate_campaign(const FloorPlanSpec& spec,
+                           const CampaignOptions& options, std::uint64_t seed) {
+  Campaign campaign;
+  campaign.spec = spec;
+  campaign.scene = Scene::from_spec(spec, seed);
+  generate_campaign_streaming(spec, options, seed,
+                              [&campaign](SensorRichVideo&& video) {
+                                campaign.videos.push_back(std::move(video));
+                              });
+  return campaign;
+}
+
+}  // namespace crowdmap::sim

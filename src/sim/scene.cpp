@@ -1,0 +1,295 @@
+#include "sim/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+
+namespace crowdmap::sim {
+
+namespace {
+
+using common::hash_combine;
+using common::hash_to_unit;
+using common::hash_u64;
+
+[[nodiscard]] std::uint64_t lattice_hash(long ix, long iy, std::uint64_t seed) {
+  return hash_combine(seed, hash_combine(static_cast<std::uint64_t>(ix) * 0x9e37u,
+                                         static_cast<std::uint64_t>(iy)));
+}
+
+}  // namespace
+
+double value_noise(double x, double y, std::uint64_t seed) {
+  const long x0 = static_cast<long>(std::floor(x));
+  const long y0 = static_cast<long>(std::floor(y));
+  const double fx = x - x0;
+  const double fy = y - y0;
+  // Smoothstep fade for C1 continuity.
+  const double ux = fx * fx * (3 - 2 * fx);
+  const double uy = fy * fy * (3 - 2 * fy);
+  const double v00 = hash_to_unit(lattice_hash(x0, y0, seed));
+  const double v10 = hash_to_unit(lattice_hash(x0 + 1, y0, seed));
+  const double v01 = hash_to_unit(lattice_hash(x0, y0 + 1, seed));
+  const double v11 = hash_to_unit(lattice_hash(x0 + 1, y0 + 1, seed));
+  const double top = v00 + (v10 - v00) * ux;
+  const double bot = v01 + (v11 - v01) * ux;
+  return top + (bot - top) * uy;
+}
+
+Scene Scene::from_spec(const FloorPlanSpec& spec, std::uint64_t seed) {
+  Scene scene;
+  scene.feature_density_ = spec.feature_density;
+  scene.wall_height_ = spec.wall_height;
+  scene.seed_ = seed;
+
+  // Room walls: 4 edges; the edge nearest the door carries the door panel.
+  for (const auto& room : spec.rooms) {
+    const auto edges = room.footprint().edges();
+    // Find the edge closest to the declared door position.
+    std::size_t door_edge = 0;
+    double best = 1e18;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const double d = geometry::distance_point_segment(room.door, edges[i]);
+      if (d < best) {
+        best = d;
+        door_edge = i;
+      }
+    }
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      Wall w;
+      w.seg = edges[i];
+      w.texture_seed = hash_combine(seed, hash_combine(0xA001,
+          hash_combine(static_cast<std::uint64_t>(room.id), i)));
+      if (i == door_edge) {
+        const double t = geometry::project_onto(room.door, edges[i]);
+        const double s = t * edges[i].length();
+        w.door_s0 = std::max(0.0, s - room.door_width / 2.0);
+        w.door_s1 = std::min(edges[i].length(), s + room.door_width / 2.0);
+      }
+      scene.walls_.push_back(w);
+    }
+  }
+
+  // Hallway outline walls, plus protruding clutter (bins, benches, drinking
+  // fountains) along long corridor walls. The clutter occludes the far view
+  // differently from different positions, which is what makes real corridor
+  // frames position-distinctive; without it every view down a straight
+  // corridor aliases onto every other.
+  std::size_t hall_idx = 0;
+  for (const auto& hall : spec.hallways) {
+    const Polygon ccw_hall = hall.ccw();
+    const auto edges = ccw_hall.edges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      Wall w;
+      w.seg = edges[i];
+      w.texture_seed = hash_combine(seed, hash_combine(0xB002,
+          hash_combine(hall_idx, i)));
+      scene.walls_.push_back(w);
+
+      const double len = edges[i].length();
+      if (len < 6.0) continue;
+      const Vec2 dir = edges[i].direction();
+      const Vec2 inward = dir.perp();  // CCW polygon: interior to the left
+      const int n_stubs = static_cast<int>(
+          len / 5.0 * std::max(spec.feature_density, 0.3));
+      for (int j = 0; j < n_stubs; ++j) {
+        const std::uint64_t sj =
+            hash_combine(w.texture_seed, 0x57B0u + static_cast<std::uint64_t>(j));
+        const double s = (0.06 + 0.88 * hash_to_unit(sj)) * len;
+        const double depth = 0.25 + 0.25 * hash_to_unit(hash_u64(sj));
+        const Vec2 base = edges[i].at(s / len);
+        Wall stub;
+        stub.seg = {base, base + inward * depth};
+        stub.texture_seed = hash_combine(sj, 0xC1A7u);
+        scene.walls_.push_back(stub);
+      }
+    }
+    ++hall_idx;
+  }
+  return scene;
+}
+
+std::optional<Scene::Hit> Scene::raycast(Vec2 origin, Vec2 dir) const {
+  std::optional<Hit> best;
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    const auto hit = geometry::ray_segment(origin, dir, walls_[i].seg);
+    if (!hit) continue;
+    if (!best || hit->distance < best->distance) {
+      best = Hit{hit->distance, i, hit->t * walls_[i].seg.length()};
+    }
+  }
+  return best;
+}
+
+std::array<double, 3> Scene::wall_texture_rgb(const Wall& wall, double s,
+                                              double v) const {
+  const double density = feature_density_;
+  // Per-wall base tint: institutional paint varies wall to wall.
+  const std::uint64_t tint_seed = hash_combine(wall.texture_seed, 0x717F7u);
+  const double tr = 0.78 + 0.22 * hash_to_unit(tint_seed);
+  const double tg = 0.78 + 0.22 * hash_to_unit(hash_u64(tint_seed));
+  const double tb = 0.78 + 0.22 * hash_to_unit(hash_combine(tint_seed, 3));
+
+  // Baseboard and crown bands.
+  if (v < 0.07) return {0.22, 0.20, 0.18};
+  double value = v > 0.92 ? 0.48 : 0.55;
+
+  // Door panel: dark colored panel with a frame and a handle blob.
+  if (wall.door_s0 >= 0 && s >= wall.door_s0 && s <= wall.door_s1 && v < 0.72) {
+    const double ds = (s - wall.door_s0) / std::max(wall.door_s1 - wall.door_s0, 1e-9);
+    const std::uint64_t door_seed = hash_combine(wall.texture_seed, 0xD00Du);
+    // Door paint: a saturated hue unique to the room.
+    const double hr = 0.25 + 0.7 * hash_to_unit(door_seed);
+    const double hg = 0.25 + 0.7 * hash_to_unit(hash_u64(door_seed));
+    const double hb = 0.25 + 0.7 * hash_to_unit(hash_combine(door_seed, 5));
+    double door = 0.55;
+    if (ds < 0.07 || ds > 0.93) door = 0.25;               // frame
+    if (v > 0.66) door = 0.25;                             // top frame
+    const double handle = std::hypot(ds - 0.85, (v - 0.35) * 3.0);
+    if (handle < 0.08) return {0.85, 0.82, 0.4};           // brass handle
+    // Name plate: high-contrast stripes, a per-door "number".
+    if (ds > 0.3 && ds < 0.7 && v > 0.52 && v < 0.62) {
+      const double glyph =
+          std::sin(ds * (40.0 + 50.0 * hash_to_unit(hash_combine(door_seed, 7)))) >
+                  0.2
+              ? 0.95
+              : 0.1;
+      return {glyph, glyph, glyph};
+    }
+    return {door * hr, door * hg, door * hb};
+  }
+
+  // Posters / signage: hash-positioned rectangles with saturated colors and
+  // a per-poster pattern — the visual landmarks frame matching latches onto.
+  const double wall_len = wall.seg.length();
+  const int n_posters = static_cast<int>(wall_len / 1.8 * density);
+  for (int j = 0; j < n_posters; ++j) {
+    const std::uint64_t pj = hash_combine(wall.texture_seed, 0xC000u + j);
+    const double pc = hash_to_unit(pj) * wall_len;
+    const double pw = 0.5 + hash_to_unit(hash_u64(pj)) * 1.1;
+    const double v0 = 0.3 + hash_to_unit(hash_combine(pj, 1)) * 0.25;
+    const double v1 = v0 + 0.18 + hash_to_unit(hash_combine(pj, 2)) * 0.25;
+    if (s > pc - pw / 2 && s < pc + pw / 2 && v > v0 && v < v1) {
+      const double freq = 5.0 + hash_to_unit(hash_combine(pj, 4)) * 25.0;
+      const double phase = hash_to_unit(hash_combine(pj, 6)) * 6.28;
+      const double pat =
+          0.5 + 0.45 * std::sin(s * freq + phase) * std::sin(v * freq * 1.7);
+      // Saturated per-poster color.
+      const double pr = 0.15 + 0.85 * hash_to_unit(hash_combine(pj, 8));
+      const double pg = 0.15 + 0.85 * hash_to_unit(hash_combine(pj, 9));
+      const double pb = 0.15 + 0.85 * hash_to_unit(hash_combine(pj, 10));
+      return {std::clamp(pat * pr, 0.03, 0.97), std::clamp(pat * pg, 0.03, 0.97),
+              std::clamp(pat * pb, 0.03, 0.97)};
+    }
+  }
+
+  // Fine texture grain (scaled by density so Gym walls are nearly flat).
+  value += (value_noise(s * 2.7, v * 2.7, wall.texture_seed) - 0.5) * 0.3 * density;
+  value += (value_noise(s * 11.0, v * 11.0, hash_u64(wall.texture_seed)) - 0.5) *
+           0.08 * density;
+  value = std::clamp(value, 0.02, 0.98);
+  return {value * tr, value * tg, value * tb};
+}
+
+double Scene::wall_texture(const Wall& wall, double s, double v) const {
+  const auto rgb = wall_texture_rgb(wall, s, v);
+  return 0.299 * rgb[0] + 0.587 * rgb[1] + 0.114 * rgb[2];
+}
+
+imaging::ColorImage Scene::render(const Pose2& camera, const CameraIntrinsics& intr,
+                                  const Lighting& light, common::Rng& rng) const {
+  imaging::ColorImage img(intr.width, intr.height);
+  const double focal = intr.width / (2.0 * std::tan(intr.h_fov / 2.0));
+  // Downward pitch as a vertical shear: rows shift up by focal * tan(pitch).
+  const double shift = focal * std::tan(intr.pitch);
+  const double brightness = std::clamp(light.lux / 300.0, 0.25, 1.2);
+  const double noise_sigma =
+      intr.pixel_noise * (light.incandescent ? 1.8 : 1.0) / std::sqrt(brightness);
+  // Warm tint for incandescent night lighting.
+  const double tint_r = light.incandescent ? 1.05 : 1.0;
+  const double tint_g = light.incandescent ? 0.92 : 1.0;
+  const double tint_b = light.incandescent ? 0.78 : 1.0;
+
+  for (int c = 0; c < intr.width; ++c) {
+    // Column angle: leftmost column looks to the left of the heading.
+    const double angle =
+        camera.theta + intr.h_fov / 2.0 - (c + 0.5) / intr.width * intr.h_fov;
+    const Vec2 dir = Vec2::from_angle(angle);
+    const auto hit = raycast(camera.position, dir);
+
+    double wall_dist = 1e9;
+    double y_floor = intr.height;   // row of the wall-floor boundary
+    double y_ceil = -1;
+    const Wall* wall = nullptr;
+    double hit_s = 0.0;
+    if (hit) {
+      // Perpendicular ("cylindrical") distance keeps vertical lines vertical.
+      wall_dist = std::max(hit->distance, 0.15);
+      wall = &walls_[hit->wall_index];
+      hit_s = hit->s;
+      y_floor = intr.height / 2.0 + focal * intr.cam_height / wall_dist - shift;
+      y_ceil = intr.height / 2.0 -
+               focal * (wall_height_ - intr.cam_height) / wall_dist - shift;
+    }
+
+    for (int r = 0; r < intr.height; ++r) {
+      std::array<double, 3> rgb;
+      double dist;
+      if (r >= y_floor) {  // floor
+        const double drow = std::max(r - intr.height / 2.0 + shift, 1.0);
+        dist = focal * intr.cam_height / drow;
+        const Vec2 p = camera.position + dir * dist;
+        const double value =
+            0.42 + (value_noise(p.x * 1.3, p.y * 1.3, seed_ ^ 0xF100) - 0.5) * 0.1;
+        rgb = {value * 0.95, value * 0.9, value * 0.85};
+      } else if (r <= y_ceil) {  // ceiling with panel stripes
+        const double drow = std::max(intr.height / 2.0 - r - shift, 1.0);
+        dist = focal * (wall_height_ - intr.cam_height) / drow;
+        const Vec2 p = camera.position + dir * dist;
+        const double panel = std::abs(std::fmod(p.x + p.y, 1.2)) < 0.08 ? 0.6 : 0.82;
+        rgb = {panel, panel, panel};
+      } else if (wall != nullptr) {  // wall
+        dist = wall_dist;
+        const double v = (y_floor - r) / std::max(y_floor - y_ceil, 1e-9);
+        rgb = wall_texture_rgb(*wall, hit_s, v);
+      } else {  // escaped the building: dark haze
+        rgb = {0.08, 0.08, 0.08};
+        dist = 30.0;
+      }
+      // Distance attenuation and global brightness.
+      const double atten = 1.0 / (1.0 + 0.06 * dist);
+      const double gain = atten * brightness;
+      auto& px = img.at(c, r);
+      px[0] = static_cast<float>(rgb[0] * gain * tint_r);
+      px[1] = static_cast<float>(rgb[1] * gain * tint_g);
+      px[2] = static_cast<float>(rgb[2] * gain * tint_b);
+    }
+  }
+
+  // Auto-exposure: smartphone cameras normalize scene luminance, so a night
+  // frame is not uniformly darker — it is noisier (higher ISO) and warmer.
+  double mean_lum = 0.0;
+  for (int r = 0; r < intr.height; ++r) {
+    for (int c = 0; c < intr.width; ++c) {
+      const auto& px = img.at(c, r);
+      mean_lum += 0.299 * px[0] + 0.587 * px[1] + 0.114 * px[2];
+    }
+  }
+  mean_lum /= static_cast<double>(intr.width) * intr.height;
+  const double exposure =
+      std::clamp(0.45 / std::max(mean_lum, 1e-3), 0.6, 4.0);
+  const double iso_noise = noise_sigma * std::sqrt(exposure);
+  for (int r = 0; r < intr.height; ++r) {
+    for (int c = 0; c < intr.width; ++c) {
+      auto& px = img.at(c, r);
+      for (int ch = 0; ch < 3; ++ch) {
+        px[ch] = static_cast<float>(std::clamp(
+            px[ch] * exposure + rng.normal(0.0, iso_noise), 0.0, 1.0));
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace crowdmap::sim

@@ -1,0 +1,107 @@
+// Synthetic indoor scene: wall geometry with a procedural texture field, and
+// a cylindrical-projection renderer producing the "video frames" the vision
+// stack consumes.
+//
+// This module replaces the paper's real crowdsourced video. Appearance is a
+// deterministic function of camera pose, wall identity and lighting, so
+// frame matching, panorama stitching and layout scoring all behave the way
+// they would on real footage: nearby poses look similar, distinct rooms look
+// different, feature-poor buildings (Gym) yield weak descriptors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/pose2.hpp"
+#include "geometry/segment.hpp"
+#include "imaging/image.hpp"
+#include "sim/spec.hpp"
+
+namespace crowdmap::sim {
+
+using geometry::Pose2;
+using geometry::Segment;
+
+/// One opaque wall with its texture identity. Doors render as in-wall panels
+/// (visually distinctive landmarks), matching how closed office doors look.
+struct Wall {
+  Segment seg;
+  std::uint64_t texture_seed = 0;
+  double door_s0 = -1.0;  // door panel interval along the wall, meters
+  double door_s1 = -1.0;  // (negative = no door on this wall)
+};
+
+/// Lighting condition of a recording (paper §V.A: daylight 100–500 lux,
+/// night incandescent 75–200 lux).
+struct Lighting {
+  double lux = 300.0;
+  bool incandescent = false;  // warm tint + higher sensor noise at night
+
+  [[nodiscard]] static Lighting day() { return {300.0, false}; }
+  [[nodiscard]] static Lighting night() { return {120.0, true}; }
+};
+
+/// Camera model: the paper's 35 mm-equivalent smartphone lens with 54.4°
+/// horizontal FoV. Users naturally record indoor video in portrait with the
+/// phone pitched slightly down, which keeps the wall-floor boundary in frame
+/// even near walls — the room-layout stage depends on seeing it.
+struct CameraIntrinsics {
+  int width = 120;            // portrait orientation
+  int height = 160;
+  double h_fov = 0.9495;      // 54.4 degrees in radians
+  double cam_height = 1.5;    // meters above the floor
+  double pitch = 0.15;        // radians pitched down (~8.6 degrees)
+  double pixel_noise = 0.01;  // base sensor noise sigma (scaled up at night)
+};
+
+/// Smooth 2D value noise in [0,1] keyed by an integer lattice hash.
+[[nodiscard]] double value_noise(double x, double y, std::uint64_t seed);
+
+/// Renderable world built from a ground-truth spec.
+class Scene {
+ public:
+  /// Builds walls from the spec: 4 walls per room (door panel on the door
+  /// edge) and the hallway rectangle outlines. `seed` keys all textures.
+  [[nodiscard]] static Scene from_spec(const FloorPlanSpec& spec,
+                                       std::uint64_t seed);
+
+  struct Hit {
+    double distance = 0.0;
+    std::size_t wall_index = 0;
+    double s = 0.0;  // metric position along the wall
+  };
+
+  /// Nearest wall along a ray; nullopt if the ray escapes the building.
+  [[nodiscard]] std::optional<Hit> raycast(Vec2 origin, Vec2 dir) const;
+
+  /// Renders a frame from a camera pose. `rng` supplies sensor noise only;
+  /// all structural appearance is deterministic in the pose.
+  [[nodiscard]] imaging::ColorImage render(const Pose2& camera,
+                                           const CameraIntrinsics& intr,
+                                           const Lighting& light,
+                                           common::Rng& rng) const;
+
+  /// Texture value in [0,1] on a wall at (s meters along, v fraction up).
+  [[nodiscard]] double wall_texture(const Wall& wall, double s, double v) const;
+
+  /// Full RGB texture: grayscale structure from wall_texture plus per-wall
+  /// tint and saturated poster colors. Location-distinctive color content is
+  /// what makes the color-indexing stage (S1) informative, as in real
+  /// buildings.
+  [[nodiscard]] std::array<double, 3> wall_texture_rgb(const Wall& wall, double s,
+                                                       double v) const;
+
+  [[nodiscard]] const std::vector<Wall>& walls() const noexcept { return walls_; }
+  [[nodiscard]] double feature_density() const noexcept { return feature_density_; }
+  [[nodiscard]] double wall_height() const noexcept { return wall_height_; }
+
+ private:
+  std::vector<Wall> walls_;
+  double feature_density_ = 0.8;
+  double wall_height_ = 3.0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace crowdmap::sim

@@ -1,0 +1,50 @@
+#include "sim/spec.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace crowdmap::sim {
+
+Aabb FloorPlanSpec::extent(double margin) const {
+  Aabb box{{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()},
+           {std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()}};
+  auto grow = [&box](const Polygon& poly) {
+    const Aabb b = poly.bounding_box();
+    box.min.x = std::min(box.min.x, b.min.x);
+    box.min.y = std::min(box.min.y, b.min.y);
+    box.max.x = std::max(box.max.x, b.max.x);
+    box.max.y = std::max(box.max.y, b.max.y);
+  };
+  for (const auto& h : hallways) grow(h);
+  for (const auto& r : rooms) grow(r.footprint());
+  if (hallways.empty() && rooms.empty()) {
+    throw std::logic_error("extent of empty FloorPlanSpec");
+  }
+  return box.expanded(margin);
+}
+
+bool FloorPlanSpec::in_hallway(Vec2 p) const {
+  for (const auto& h : hallways) {
+    if (h.contains(p)) return true;
+  }
+  return false;
+}
+
+BoolRaster FloorPlanSpec::hallway_raster(double cell_size) const {
+  BoolRaster raster(extent(), cell_size);
+  for (const auto& h : hallways) raster.fill_polygon(h);
+  return raster;
+}
+
+double FloorPlanSpec::hallway_area(double cell_size) const {
+  return hallway_raster(cell_size).set_area();
+}
+
+const RoomSpec& FloorPlanSpec::room_by_id(int id) const {
+  for (const auto& r : rooms) {
+    if (r.id == id) return r;
+  }
+  throw std::out_of_range("unknown room id");
+}
+
+}  // namespace crowdmap::sim

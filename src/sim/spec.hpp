@@ -1,0 +1,65 @@
+// Ground-truth building model. The paper evaluates against surveyed floor
+// plans of three college buildings (Lab1, Lab2, Gym); our stand-ins are
+// parametric specs from which both the synthetic world (scene geometry,
+// textures) and the evaluation ground truth (hallway raster, room layouts)
+// are derived.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/raster.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::sim {
+
+using geometry::Aabb;
+using geometry::BoolRaster;
+using geometry::Polygon;
+using geometry::Vec2;
+
+/// Ground-truth description of one room.
+struct RoomSpec {
+  int id = 0;
+  std::string name;
+  Vec2 center;
+  double width = 4.0;    // along x before rotation
+  double depth = 5.0;    // along y before rotation
+  double theta = 0.0;    // rotation (rare; most campus rooms are axis-aligned)
+  Vec2 door;             // door center, on the room boundary
+  double door_width = 1.0;
+
+  [[nodiscard]] double area() const noexcept { return width * depth; }
+  [[nodiscard]] double aspect_ratio() const noexcept { return width / depth; }
+  [[nodiscard]] Polygon footprint() const {
+    return Polygon::oriented_rectangle(center, width, depth, theta);
+  }
+};
+
+/// Ground-truth description of one floor.
+struct FloorPlanSpec {
+  std::string name;
+  std::vector<Polygon> hallways;  // union of axis-aligned corridor rectangles
+  std::vector<RoomSpec> rooms;
+  double feature_density = 0.8;   // wall texture richness in [0,1]
+  double wall_height = 3.0;       // meters
+
+  /// Bounding box over hallways and rooms with a margin.
+  [[nodiscard]] Aabb extent(double margin = 2.0) const;
+
+  /// True if a point lies in any hallway rectangle.
+  [[nodiscard]] bool in_hallway(Vec2 p) const;
+
+  /// Ground-truth hallway raster at the given resolution (for Table I).
+  [[nodiscard]] BoolRaster hallway_raster(double cell_size = 0.25) const;
+
+  /// Total hallway area (with overlap between rectangles counted once, via
+  /// rasterization).
+  [[nodiscard]] double hallway_area(double cell_size = 0.1) const;
+
+  /// Room lookup; throws std::out_of_range for unknown ids.
+  [[nodiscard]] const RoomSpec& room_by_id(int id) const;
+};
+
+}  // namespace crowdmap::sim

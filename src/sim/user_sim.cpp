@@ -1,0 +1,444 @@
+#include "sim/user_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/mathutil.hpp"
+
+namespace crowdmap::sim {
+
+namespace {
+
+/// Centerline of an axis-aligned corridor rectangle: midline of the long axis.
+[[nodiscard]] geometry::Segment centerline_of(const Polygon& rect) {
+  const auto box = rect.bounding_box();
+  const Vec2 c = box.center();
+  if (box.width() >= box.height()) {
+    return {{box.min.x, c.y}, {box.max.x, c.y}};
+  }
+  return {{c.x, box.min.y}, {c.x, box.max.y}};
+}
+
+}  // namespace
+
+HallwayRouter::HallwayRouter(const FloorPlanSpec& spec) {
+  for (const auto& hall : spec.hallways) {
+    centerlines_.push_back(centerline_of(hall));
+  }
+  // Nodes: centerline endpoints and pairwise intersections.
+  auto add_node = [this](Vec2 p) -> std::size_t {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].distance_to(p) < 1e-6) return i;
+    }
+    nodes_.push_back(p);
+    return nodes_.size() - 1;
+  };
+  for (const auto& cl : centerlines_) {
+    add_node(cl.a);
+    add_node(cl.b);
+  }
+  for (std::size_t i = 0; i < centerlines_.size(); ++i) {
+    for (std::size_t j = i + 1; j < centerlines_.size(); ++j) {
+      if (const auto p = geometry::intersect(centerlines_[i], centerlines_[j])) {
+        add_node(*p);
+      }
+    }
+  }
+  // Adjacency: nodes on the same centerline, consecutive by parameter.
+  adjacency_.assign(nodes_.size(), {});
+  for (const auto& cl : centerlines_) {
+    std::vector<std::pair<double, std::size_t>> on_line;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      if (geometry::distance_point_segment(nodes_[n], cl) < 1e-6) {
+        on_line.emplace_back(geometry::project_onto(nodes_[n], cl), n);
+      }
+    }
+    std::sort(on_line.begin(), on_line.end());
+    for (std::size_t k = 1; k < on_line.size(); ++k) {
+      const std::size_t a = on_line[k - 1].second;
+      const std::size_t b = on_line[k].second;
+      adjacency_[a].push_back(b);
+      adjacency_[b].push_back(a);
+    }
+  }
+}
+
+Vec2 HallwayRouter::snap(Vec2 p) const {
+  Vec2 best = p;
+  double best_dist = std::numeric_limits<double>::max();
+  for (const auto& cl : centerlines_) {
+    const double t = geometry::project_onto(p, cl);
+    const Vec2 q = cl.at(t);
+    const double d = p.distance_to(q);
+    if (d < best_dist) {
+      best_dist = d;
+      best = q;
+    }
+  }
+  return best;
+}
+
+Vec2 HallwayRouter::random_point(common::Rng& rng) const {
+  if (centerlines_.empty()) return {};
+  // Length-weighted segment choice.
+  double total = 0.0;
+  for (const auto& cl : centerlines_) total += cl.length();
+  double pick = rng.uniform(0.0, total);
+  for (const auto& cl : centerlines_) {
+    if (pick <= cl.length()) return cl.at(pick / std::max(cl.length(), 1e-9));
+    pick -= cl.length();
+  }
+  return centerlines_.back().b;
+}
+
+std::size_t HallwayRouter::nearest_node(Vec2 p) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const double d = nodes_[i].distance_to(p);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<Vec2> HallwayRouter::route(Vec2 from, Vec2 to) const {
+  if (nodes_.empty()) return {};
+  const Vec2 start = snap(from);
+  const Vec2 goal = snap(to);
+
+  // Dijkstra between the nearest graph nodes.
+  const std::size_t s = nearest_node(start);
+  const std::size_t g = nearest_node(goal);
+  std::vector<double> dist(nodes_.size(), std::numeric_limits<double>::max());
+  std::vector<std::size_t> prev(nodes_.size(), nodes_.size());
+  using QE = std::pair<double, std::size_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[s] = 0.0;
+  pq.push({0.0, s});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == g) break;
+    for (const std::size_t v : adjacency_[u]) {
+      const double nd = d + nodes_[u].distance_to(nodes_[v]);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        pq.push({nd, v});
+      }
+    }
+  }
+  if (dist[g] == std::numeric_limits<double>::max() && s != g) return {};
+
+  std::vector<Vec2> path;
+  for (std::size_t cur = g; cur != nodes_.size(); cur = prev[cur]) {
+    path.push_back(nodes_[cur]);
+    if (cur == s) break;
+  }
+  std::reverse(path.begin(), path.end());
+
+  // Splice the exact snapped endpoints, dropping a first/last graph node the
+  // snap point already lies beyond (avoids walking backwards).
+  auto collinear_between = [](Vec2 p, Vec2 a, Vec2 b) {
+    return geometry::distance_point_segment(p, {a, b}) < 1e-6;
+  };
+  if (path.size() >= 2 && collinear_between(start, path[0], path[1])) {
+    path.erase(path.begin());
+  }
+  if (path.size() >= 2 &&
+      collinear_between(goal, path[path.size() - 2], path.back())) {
+    path.pop_back();
+  }
+  path.insert(path.begin(), start);
+  path.push_back(goal);
+  // Deduplicate consecutive identical way-points.
+  std::vector<Vec2> clean;
+  for (const Vec2 p : path) {
+    if (clean.empty() || clean.back().distance_to(p) > 1e-6) clean.push_back(p);
+  }
+  return clean;
+}
+
+UserSimulator::UserSimulator(const Scene& scene, const FloorPlanSpec& spec,
+                             SimOptions options, common::Rng rng)
+    : scene_(scene), spec_(spec), options_(options), rng_(rng), router_(spec) {}
+
+namespace {
+
+/// Offsets each waypoint perpendicular to its outgoing segment; people drift
+/// within the corridor and cut corners rather than walking the centerline.
+[[nodiscard]] std::vector<Vec2> laterally_offset(const std::vector<Vec2>& waypoints,
+                                                 double offset) {
+  if (std::abs(offset) < 1e-9 || waypoints.size() < 2) return waypoints;
+  std::vector<Vec2> out;
+  out.reserve(waypoints.size());
+  for (std::size_t i = 0; i < waypoints.size(); ++i) {
+    const Vec2 dir = i + 1 < waypoints.size()
+                         ? (waypoints[i + 1] - waypoints[i]).normalized()
+                         : (waypoints[i] - waypoints[i - 1]).normalized();
+    out.push_back(waypoints[i] + dir.perp() * offset);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<UserSimulator::ScriptStep> UserSimulator::walk_script(
+    const std::vector<Vec2>& waypoints, double initial_heading) const {
+  std::vector<ScriptStep> script;
+  double heading = initial_heading;
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    const Vec2 from = waypoints[i - 1];
+    const Vec2 to = waypoints[i];
+    const double d = from.distance_to(to);
+    if (d < 0.05) continue;
+    ScriptStep step;
+    step.kind = ScriptStep::Kind::kWalk;
+    step.duration = d / options_.walk_speed;
+    step.from = from;
+    step.to = to;
+    step.heading0 = heading;
+    heading = (to - from).angle();
+    script.push_back(step);
+  }
+  return script;
+}
+
+SensorRichVideo UserSimulator::execute(const std::vector<ScriptStep>& script,
+                                       const Lighting& light, bool shaky) {
+  SensorRichVideo video;
+  video.building = spec_.name;
+  video.video_id = next_video_id_++;
+  video.lighting = light;
+  video.junk = shaky;
+  video.imu.sample_rate_hz = options_.imu_rate_hz;
+
+  sensors::NoiseModel gyro_noise(options_.noise.gyro_white_sigma,
+                                 options_.noise.gyro_bias_walk, rng_.fork());
+  sensors::NoiseModel compass_noise(options_.noise.compass_white_sigma, 0.0,
+                                    rng_.fork());
+  // Slow magnetic disturbance field (steel structure), varies with position.
+  const std::uint64_t mag_seed = rng_.next_u64();
+
+  const double dt = 1.0 / options_.imu_rate_hz;
+  const double frame_interval = 1.0 / options_.fps;
+  double t = 0.0;
+  double next_frame_t = 0.0;
+  double prev_heading = std::numeric_limits<double>::quiet_NaN();
+
+  // Gait amplitude tuned so the Weinberg stride matches speed/step_frequency.
+  const double target_stride = options_.walk_speed / options_.step_frequency;
+  const double amplitude =
+      0.5 * std::pow(target_stride / 0.41, 4.0);  // (a_max - a_min) / 2
+
+  common::Rng frame_rng = rng_.fork();
+
+  for (const auto& step : script) {
+    const double step_start = t;
+    while (t - step_start < step.duration) {
+      // True pose at time t within this step.
+      const double frac = std::min((t - step_start) / step.duration, 1.0);
+      Vec2 pos;
+      double heading = step.heading0;
+      double accel = 9.81;
+      switch (step.kind) {
+        case ScriptStep::Kind::kStay:
+          pos = step.from;
+          heading = step.heading0;
+          accel += rng_.normal(0.0, 0.05);
+          break;
+        case ScriptStep::Kind::kSpin:
+          pos = step.from;
+          heading = step.heading0 + step.spin_angle * frac;
+          accel += 0.15 * std::sin(2.0 * common::kPi * 1.1 * t) +
+                   rng_.normal(0.0, 0.05);
+          break;
+        case ScriptStep::Kind::kWalk: {
+          pos = step.from + (step.to - step.from) * frac;
+          const double walk_dir = (step.to - step.from).angle();
+          heading = walk_dir + options_.heading_sway *
+                                   std::sin(2.0 * common::kPi *
+                                            options_.step_frequency / 2.0 * t);
+          accel += amplitude *
+                       std::sin(2.0 * common::kPi * options_.step_frequency * t) +
+                   rng_.normal(0.0, options_.noise.accel_white_sigma);
+          break;
+        }
+      }
+
+      // IMU sample.
+      sensors::ImuSample sample;
+      sample.t = t;
+      sample.accel_magnitude = accel;
+      const double true_rate = std::isnan(prev_heading)
+                                   ? 0.0
+                                   : common::angle_diff(heading, prev_heading) / dt;
+      sample.gyro_z = gyro_noise.corrupt(true_rate, dt);
+      const double mag_disturb =
+          (value_noise(pos.x * 0.15, pos.y * 0.15, mag_seed) - 0.5) * 0.5;
+      sample.compass = common::wrap_angle(
+          compass_noise.corrupt(heading + mag_disturb, dt));
+      video.imu.samples.push_back(sample);
+      prev_heading = heading;
+
+      // Frame capture.
+      if (t >= next_frame_t) {
+        Pose2 cam{pos, heading};
+        if (shaky) {
+          cam.theta += frame_rng.normal(0.0, 0.35);
+          cam.position += {frame_rng.normal(0.0, 0.2), frame_rng.normal(0.0, 0.2)};
+        }
+        VideoFrame frame;
+        frame.t = t;
+        frame.true_pose = {pos, heading};
+        frame.image = scene_.render(cam, options_.camera, light, frame_rng);
+        if (shaky) {
+          // Motion blur from camera shake.
+          imaging::Image gray = frame.image.to_gray().box_blurred(3);
+          for (int y = 0; y < gray.height(); ++y) {
+            for (int x = 0; x < gray.width(); ++x) {
+              auto& px = frame.image.at(x, y);
+              px[0] = px[1] = px[2] = gray.at(x, y);
+            }
+          }
+        }
+        video.frames.push_back(std::move(frame));
+        next_frame_t += frame_interval;
+      }
+      t += dt;
+    }
+  }
+  return video;
+}
+
+SensorRichVideo UserSimulator::room_visit(const RoomSpec& room,
+                                          double hallway_distance,
+                                          const Lighting& light) {
+  // Camera stands near the room center with a little jitter.
+  const Vec2 stand = room.center + Vec2{rng_.normal(0.0, 0.25),
+                                        rng_.normal(0.0, 0.25)};
+  const double heading0 = rng_.uniform(-common::kPi, common::kPi);
+
+  std::vector<ScriptStep> script;
+  script.push_back({ScriptStep::Kind::kStay, options_.stay_duration, stand,
+                    stand, 0.0, heading0});
+  // SRS: full spin plus a small overlap margin so the panorama closes.
+  ScriptStep spin;
+  spin.kind = ScriptStep::Kind::kSpin;
+  spin.duration = options_.spin_duration;
+  spin.from = stand;
+  spin.spin_angle = 2.0 * common::kPi * 1.05;
+  spin.heading0 = heading0;
+  script.push_back(spin);
+
+  // Walk out the door and along the hallway.
+  const Vec2 door_out = router_.snap(room.door);
+  std::vector<Vec2> waypoints = {stand, room.door, door_out};
+  // Extend along the hallway toward a random target, trimmed to distance.
+  const Vec2 target = router_.random_point(rng_);
+  auto hall_route = laterally_offset(
+      router_.route(door_out, target),
+      rng_.uniform(-options_.lateral_spread, options_.lateral_spread));
+  double acc = 0.0;
+  for (std::size_t i = 1; i < hall_route.size() && acc < hallway_distance; ++i) {
+    const double d = hall_route[i].distance_to(hall_route[i - 1]);
+    if (acc + d > hallway_distance) {
+      const double keep = (hallway_distance - acc) / d;
+      waypoints.push_back(hall_route[i - 1] +
+                          (hall_route[i] - hall_route[i - 1]) * keep);
+      break;
+    }
+    waypoints.push_back(hall_route[i]);
+    acc += d;
+  }
+  auto walk = walk_script(waypoints, heading0 + spin.spin_angle);
+  script.insert(script.end(), walk.begin(), walk.end());
+  script.push_back({ScriptStep::Kind::kStay, options_.stay_duration,
+                    waypoints.back(), waypoints.back(), 0.0,
+                    walk.empty() ? heading0 : (waypoints.back() -
+                                               waypoints[waypoints.size() - 2])
+                                                  .angle()});
+
+  SensorRichVideo video = execute(script, light, /*shaky=*/false);
+  video.true_room_id = room.id;
+  return video;
+}
+
+SensorRichVideo UserSimulator::hallway_walk(const Lighting& light) {
+  const Vec2 from = router_.random_point(rng_);
+  Vec2 to = router_.random_point(rng_);
+  // Ensure a non-trivial walk.
+  for (int attempt = 0; attempt < 8 && from.distance_to(to) < 6.0; ++attempt) {
+    to = router_.random_point(rng_);
+  }
+  return hallway_walk_between(from, to, light);
+}
+
+SensorRichVideo UserSimulator::hallway_walk_between(Vec2 from, Vec2 to,
+                                                    const Lighting& light) {
+  const auto waypoints = laterally_offset(
+      router_.route(from, to),
+      rng_.uniform(-options_.lateral_spread, options_.lateral_spread));
+  std::vector<ScriptStep> script;
+  if (waypoints.size() >= 2) {
+    const double h0 = (waypoints[1] - waypoints[0]).angle();
+    script.push_back({ScriptStep::Kind::kStay, options_.stay_duration,
+                      waypoints.front(), waypoints.front(), 0.0, h0});
+    auto walk = walk_script(waypoints, h0);
+    script.insert(script.end(), walk.begin(), walk.end());
+    script.push_back({ScriptStep::Kind::kStay, options_.stay_duration,
+                      waypoints.back(), waypoints.back(), 0.0,
+                      (waypoints.back() - waypoints[waypoints.size() - 2]).angle()});
+  }
+  return execute(script, light, /*shaky=*/false);
+}
+
+SensorRichVideo UserSimulator::room_wander(const RoomSpec& room,
+                                           const Lighting& light) {
+  // Furniture keeps the walkable loop away from the walls: per-side margins
+  // (desks, shelves — the paper's argument for visual room modeling).
+  const double m_left = rng_.uniform(0.25, 0.85);
+  const double m_right = rng_.uniform(0.25, 0.85);
+  const double m_bottom = rng_.uniform(0.25, 0.85);
+  const double m_top = rng_.uniform(0.25, 0.85);
+  const double hw = std::max(room.width / 2.0 - 0.3, 0.3);
+  const double hd = std::max(room.depth / 2.0 - 0.3, 0.3);
+  const Vec2 bl = room.center + Vec2{-hw + m_left, -hd + m_bottom}.rotated(room.theta);
+  const Vec2 br = room.center + Vec2{hw - m_right, -hd + m_bottom}.rotated(room.theta);
+  const Vec2 tr = room.center + Vec2{hw - m_right, hd - m_top}.rotated(room.theta);
+  const Vec2 tl = room.center + Vec2{-hw + m_left, hd - m_top}.rotated(room.theta);
+  const std::vector<Vec2> waypoints = {bl, br, tr, tl, bl};
+
+  std::vector<ScriptStep> script;
+  const double h0 = (br - bl).angle();
+  script.push_back({ScriptStep::Kind::kStay, options_.stay_duration, bl, bl,
+                    0.0, h0});
+  auto walk = walk_script(waypoints, h0);
+  script.insert(script.end(), walk.begin(), walk.end());
+  script.push_back({ScriptStep::Kind::kStay, options_.stay_duration, bl, bl,
+                    0.0, h0});
+  SensorRichVideo video = execute(script, light, /*shaky=*/false);
+  video.true_room_id = room.id;
+  return video;
+}
+
+SensorRichVideo UserSimulator::junk_video(const Lighting& light) {
+  const Vec2 from = router_.random_point(rng_);
+  const Vec2 to = router_.random_point(rng_);
+  const auto waypoints = router_.route(from, to);
+  std::vector<ScriptStep> script;
+  if (waypoints.size() >= 2) {
+    const double h0 = (waypoints[1] - waypoints[0]).angle();
+    auto walk = walk_script(waypoints, h0);
+    script.insert(script.end(), walk.begin(), walk.end());
+  }
+  return execute(script, light, /*shaky=*/true);
+}
+
+}  // namespace crowdmap::sim

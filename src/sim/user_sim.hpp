@@ -1,0 +1,145 @@
+// Simulated crowdsourcing users executing the paper's data-collection tasks:
+// SRS (Stay-Rotate-Stay) and SWS (Stay-Walk-Stay), producing sensor-rich
+// videos: rendered frames plus a noisy inertial stream (§II, §III.A).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/pose2.hpp"
+#include "sensors/imu.hpp"
+#include "sensors/noise.hpp"
+#include "sim/scene.hpp"
+#include "sim/spec.hpp"
+
+namespace crowdmap::sim {
+
+/// One captured video frame with its hidden ground-truth pose (evaluation
+/// only; the pipeline never reads true_pose).
+struct VideoFrame {
+  imaging::ColorImage image;
+  double t = 0.0;
+  Pose2 true_pose;
+};
+
+/// A complete sensor-rich video upload: frames + synchronized IMU + the
+/// geo-spatial annotation of Task 1 (building/floor).
+struct SensorRichVideo {
+  int user_id = 0;
+  int video_id = 0;
+  std::string building;
+  int floor = 1;
+  std::vector<VideoFrame> frames;
+  sensors::ImuStream imu;
+  Lighting lighting = Lighting::day();
+  /// Ground truth for evaluation: room this video surveys (-1 = hallway-only).
+  int true_room_id = -1;
+  /// Deliberately unqualified upload (shaky camera / wrong floor).
+  bool junk = false;
+};
+
+/// Motion/recording parameters of one simulated user.
+struct SimOptions {
+  double walk_speed = 1.2;       // m/s
+  double step_frequency = 1.8;   // Hz
+  double imu_rate_hz = 100.0;
+  double fps = 4.0;              // video key-framing happens downstream
+  double spin_duration = 10.0;   // seconds for a 360° SRS rotation
+  double stay_duration = 0.8;    // stationary bookends of each task
+  double heading_sway = 0.06;    // radians of gait sway
+  /// Real users spread across the corridor width instead of tracing the
+  /// centerline; each walk picks a lateral offset within this bound (m).
+  double lateral_spread = 0.55;
+  CameraIntrinsics camera;
+  sensors::ImuNoiseConfig noise;
+};
+
+/// Routing over the hallway network (shortest paths along corridor
+/// centerlines). Built once per building.
+class HallwayRouter {
+ public:
+  explicit HallwayRouter(const FloorPlanSpec& spec);
+
+  /// Way-points from `from` to `to`, both snapped onto the centerline
+  /// network; empty if either snaps nowhere.
+  [[nodiscard]] std::vector<Vec2> route(Vec2 from, Vec2 to) const;
+
+  /// Nearest point on any centerline.
+  [[nodiscard]] Vec2 snap(Vec2 p) const;
+
+  /// A random point on the centerline network.
+  [[nodiscard]] Vec2 random_point(common::Rng& rng) const;
+
+  [[nodiscard]] const std::vector<geometry::Segment>& centerlines() const noexcept {
+    return centerlines_;
+  }
+
+ private:
+  std::vector<geometry::Segment> centerlines_;
+  // Node graph: nodes are segment endpoints + pairwise intersections.
+  std::vector<Vec2> nodes_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+
+  [[nodiscard]] std::size_t nearest_node(Vec2 p) const;
+};
+
+/// Simulates one user's recordings in a building.
+class UserSimulator {
+ public:
+  UserSimulator(const Scene& scene, const FloorPlanSpec& spec,
+                SimOptions options, common::Rng rng);
+
+  /// Full room-visit task: SRS spin at the room center, then walk out the
+  /// door and `hallway_distance` meters along the hallway (the paper's
+  /// example user story in §II).
+  [[nodiscard]] SensorRichVideo room_visit(const RoomSpec& room,
+                                           double hallway_distance,
+                                           const Lighting& light);
+
+  /// Hallway-only SWS walk between two random hallway points.
+  [[nodiscard]] SensorRichVideo hallway_walk(const Lighting& light);
+
+  /// Hallway SWS walk along an explicit route.
+  [[nodiscard]] SensorRichVideo hallway_walk_between(Vec2 from, Vec2 to,
+                                                     const Lighting& light);
+
+  /// Unqualified upload: violently shaky camera (frames blurred and heading
+  /// jittered) — exercises the pipeline's data filtering.
+  [[nodiscard]] SensorRichVideo junk_video(const Lighting& light);
+
+  /// Inertial-baseline task: the user wanders a loop inside the room, kept
+  /// away from walls by furniture (random accessibility margin per side) —
+  /// the motion-trace-only data CrowdInside/Jigsaw-style room estimation
+  /// consumes. Fig. 8(a)(b)'s "Inertial Data" curves come from this.
+  [[nodiscard]] SensorRichVideo room_wander(const RoomSpec& room,
+                                            const Lighting& light);
+
+  [[nodiscard]] const HallwayRouter& router() const noexcept { return router_; }
+
+ private:
+  /// Timed pose script: piecewise segments of (duration, motion).
+  struct ScriptStep {
+    enum class Kind { kStay, kWalk, kSpin } kind = Kind::kStay;
+    double duration = 0.0;
+    Vec2 from;
+    Vec2 to;            // kWalk
+    double spin_angle = 0.0;  // kSpin, radians (signed)
+    double heading0 = 0.0;
+  };
+
+  [[nodiscard]] SensorRichVideo execute(const std::vector<ScriptStep>& script,
+                                        const Lighting& light, bool shaky);
+  [[nodiscard]] std::vector<ScriptStep> walk_script(
+      const std::vector<Vec2>& waypoints, double initial_heading) const;
+
+  const Scene& scene_;
+  const FloorPlanSpec& spec_;
+  SimOptions options_;
+  common::Rng rng_;
+  HallwayRouter router_;
+  int next_video_id_ = 0;
+};
+
+}  // namespace crowdmap::sim

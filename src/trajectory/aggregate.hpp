@@ -1,0 +1,57 @@
+// Multi-trajectory aggregation: pairwise matches become a pose graph; the
+// largest connected component is placed into one global frame (key-frames
+// act as the "anchor points" of §III.B.I).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "trajectory/matching.hpp"
+
+namespace crowdmap::trajectory {
+
+/// Aggregation method selector (Fig. 7(a) compares the two).
+enum class AggregationMethod { kSequenceBased, kSingleImage };
+
+struct AggregationConfig {
+  MatchConfig match;
+  AggregationMethod method = AggregationMethod::kSequenceBased;
+  /// Pose-graph relaxation sweeps after spanning-tree placement (0 disables);
+  /// averages each trajectory's pose over all incident edges so one noisy
+  /// edge cannot skew a whole chain.
+  int relaxation_sweeps = 40;
+  /// Edges whose transform disagrees with the relaxed poses by more than
+  /// this are discarded as wrong merges, and placement reruns once.
+  double edge_outlier_dist = 3.0;   // meters
+  double edge_outlier_angle = 0.4;  // radians
+};
+
+/// An accepted pairwise match in the pose graph.
+struct MatchEdge {
+  std::size_t a = 0;  // trajectory indices
+  std::size_t b = 0;
+  Pose2 b_to_a;
+  double s3 = 0.0;
+  std::size_t anchor_count = 0;
+};
+
+/// Result of aggregating a set of trajectories.
+struct AggregationResult {
+  /// Per-trajectory transform into the global frame; nullopt for
+  /// trajectories that never matched the main component.
+  std::vector<std::optional<Pose2>> global_pose;
+  std::vector<MatchEdge> edges;
+  std::size_t placed_count = 0;
+
+  /// All placed motion-trace points in the global frame.
+  [[nodiscard]] std::vector<Vec2> global_points(
+      std::span<const Trajectory> trajectories) const;
+};
+
+/// Aggregates trajectories: O(n^2) pairwise matching, union of accepted
+/// matches, then BFS placement of the largest component from its root.
+[[nodiscard]] AggregationResult aggregate_trajectories(
+    std::span<const Trajectory> trajectories, const AggregationConfig& config);
+
+}  // namespace crowdmap::trajectory

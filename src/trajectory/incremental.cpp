@@ -1,0 +1,40 @@
+#include "trajectory/incremental.hpp"
+
+namespace crowdmap::trajectory {
+
+std::size_t IncrementalAggregator::add(Trajectory traj) {
+  const std::size_t index = trajectories_.size();
+  trajectories_.push_back(std::move(traj));
+  // Match the newcomer against everything already present; older pairs stay
+  // memoized untouched.
+  for (std::size_t i = 0; i < index; ++i) {
+    auto match =
+        config_.method == AggregationMethod::kSequenceBased
+            ? match_trajectories(trajectories_[i], trajectories_[index],
+                                 config_.match)
+            : match_single_image(trajectories_[i], trajectories_[index],
+                                 config_.match);
+    ++stats_.pair_matches_computed;
+    memo_[{i, index}] = std::move(match);
+  }
+  return index;
+}
+
+AggregationResult IncrementalAggregator::aggregate() const {
+  std::vector<MatchEdge> edges;
+  for (const auto& [key, match] : memo_) {
+    if (!match) continue;
+    MatchEdge edge;
+    edge.a = key.first;
+    edge.b = key.second;
+    edge.b_to_a = match->b_to_a;
+    edge.s3 = match->s3;
+    edge.anchor_count = match->anchors.size();
+    edges.push_back(edge);
+  }
+  // Every edge served from the memo rather than re-matched.
+  stats_.pair_matches_cached += edges.size();
+  return place_edges(trajectories_.size(), std::move(edges), config_);
+}
+
+}  // namespace crowdmap::trajectory

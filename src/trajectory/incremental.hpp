@@ -1,0 +1,57 @@
+// Incremental aggregation — the production shape of the backend: uploads
+// trickle in over months (the paper's campaign spanned six), and re-running
+// O(n^2) pairwise matching from scratch on every new video wastes the
+// cluster. IncrementalAggregator memoizes pairwise match decisions by video
+// identity, so adding one trajectory costs O(n) new matches; placement
+// (spanning tree + relaxation) is recomputed from the cached edge set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "trajectory/aggregate.hpp"
+
+namespace crowdmap::trajectory {
+
+struct IncrementalStats {
+  std::size_t pair_matches_computed = 0;  // actual matcher invocations
+  std::size_t pair_matches_cached = 0;    // served from the memo
+};
+
+class IncrementalAggregator {
+ public:
+  explicit IncrementalAggregator(AggregationConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Adds one trajectory; matches it against everything already added.
+  /// Returns its index in the aggregate.
+  std::size_t add(Trajectory traj);
+
+  /// Current placement over everything added so far (spanning tree +
+  /// relaxation + outlier rejection over the cached edges).
+  [[nodiscard]] AggregationResult aggregate() const;
+
+  [[nodiscard]] const std::vector<Trajectory>& trajectories() const noexcept {
+    return trajectories_;
+  }
+  [[nodiscard]] IncrementalStats stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return trajectories_.size(); }
+
+ private:
+  AggregationConfig config_;
+  std::vector<Trajectory> trajectories_;
+  /// Memoized pairwise decisions keyed by (i, j) indices, i < j.
+  std::map<std::pair<std::size_t, std::size_t>, std::optional<PairMatch>> memo_;
+  mutable IncrementalStats stats_;  // cache-hit counting in const aggregate()
+};
+
+/// Re-places a cached edge set without re-matching: exposed so callers can
+/// re-run placement with different robustness settings cheaply.
+[[nodiscard]] AggregationResult place_edges(std::size_t n,
+                                            std::vector<MatchEdge> edges,
+                                            const AggregationConfig& config);
+
+}  // namespace crowdmap::trajectory

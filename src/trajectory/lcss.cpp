@@ -1,0 +1,74 @@
+#include "trajectory/lcss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmap::trajectory {
+
+std::size_t lcss_length(const std::vector<Vec2>& a, const std::vector<Vec2>& b,
+                        const LcssParams& params, int index_offset) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return 0;
+  // Rolling two-row DP.
+  std::vector<std::size_t> prev(m + 1, 0);
+  std::vector<std::size_t> cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const long aligned_j = static_cast<long>(j) + index_offset;
+      const bool index_ok =
+          std::labs(static_cast<long>(i) - aligned_j) < params.delta;
+      if (index_ok && a[i - 1].distance_to(b[j - 1]) <= params.epsilon) {
+        cur[j] = 1 + prev[j - 1];
+      } else {
+        cur[j] = std::max(cur[j - 1], prev[j]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double similarity_s3(const std::vector<Vec2>& a, const std::vector<Vec2>& b,
+                     const std::vector<TransformCandidate>& candidates,
+                     const LcssParams& params) {
+  if (a.empty() || b.empty() || candidates.empty()) return 0.0;
+  double best = 0.0;
+  const double denom = static_cast<double>(std::min(a.size(), b.size()));
+  for (const auto& cand : candidates) {
+    std::vector<Vec2> tb;
+    tb.reserve(b.size());
+    for (const Vec2 p : b) tb.push_back(cand.b_to_a.apply(p));
+    const std::size_t len = lcss_length(a, tb, params, cand.index_offset);
+    best = std::max(best, static_cast<double>(len) / denom);
+  }
+  return best;
+}
+
+std::vector<Vec2> resample_polyline(const std::vector<Vec2>& points,
+                                    double spacing) {
+  std::vector<Vec2> out;
+  if (points.empty() || spacing <= 0) return out;
+  out.push_back(points.front());
+  double residual = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    Vec2 from = points[i - 1];
+    const Vec2 to = points[i];
+    double seg_len = from.distance_to(to);
+    while (residual + seg_len >= spacing) {
+      const double need = spacing - residual;
+      const Vec2 dir = (to - from).normalized();
+      from = from + dir * need;
+      out.push_back(from);
+      seg_len -= need;
+      residual = 0.0;
+    }
+    residual += seg_len;
+  }
+  if (out.back().distance_to(points.back()) > spacing * 0.25) {
+    out.push_back(points.back());
+  }
+  return out;
+}
+
+}  // namespace crowdmap::trajectory

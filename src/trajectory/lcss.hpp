@@ -1,0 +1,52 @@
+// Longest Common Subsequence similarity over trajectories — the paper's
+// sequence-based aggregation metric (§III.B.I):
+//
+//   L(Ta_i, Tb_j) = 0                                   if i = 0 or j = 0
+//                 = 1 + L(Ta_{i-1}, Tb_{j-1})           if d(ta_i, tb_j) <= eps
+//                                                       and |i - j| < delta
+//                 = max(L(Ta_i, Tb_{j-1}), L(Ta_{i-1}, Tb_j))  otherwise
+//
+//   S3 = max_{f in F} L(Ta, f(Tb)) / min(i, j)          (eq. 2)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/pose2.hpp"
+#include "geometry/vec2.hpp"
+
+namespace crowdmap::trajectory {
+
+using geometry::Pose2;
+using geometry::Vec2;
+
+struct LcssParams {
+  double epsilon = 1.5;  // distance threshold eps (meters)
+  int delta = 8;         // max index difference between matched samples
+};
+
+/// LCSS length between two point sequences. `index_offset` shifts b's
+/// indices before the |i-j| < delta test, so sequences can be aligned at an
+/// anchor correspondence rather than at their starts.
+[[nodiscard]] std::size_t lcss_length(const std::vector<Vec2>& a,
+                                      const std::vector<Vec2>& b,
+                                      const LcssParams& params,
+                                      int index_offset = 0);
+
+/// S3 for a fixed candidate transform set F: each candidate maps b into a's
+/// frame (and realigns indices); the best normalized LCSS wins.
+struct TransformCandidate {
+  Pose2 b_to_a;          // rigid transform applied to b's points
+  int index_offset = 0;  // index realignment for the delta window
+};
+[[nodiscard]] double similarity_s3(const std::vector<Vec2>& a,
+                                   const std::vector<Vec2>& b,
+                                   const std::vector<TransformCandidate>& candidates,
+                                   const LcssParams& params);
+
+/// Uniformly resamples a polyline to `spacing` meters between points (LCSS
+/// index distance then approximates arc-length distance).
+[[nodiscard]] std::vector<Vec2> resample_polyline(const std::vector<Vec2>& points,
+                                                  double spacing);
+
+}  // namespace crowdmap::trajectory

@@ -1,0 +1,124 @@
+#include "trajectory/trajectory.hpp"
+
+#include <algorithm>
+
+#include "imaging/ncc.hpp"
+#include "sensors/heading.hpp"
+
+namespace crowdmap::trajectory {
+
+sensors::TrackPoint track_at(const std::vector<sensors::TrackPoint>& track,
+                             double t) {
+  if (track.empty()) return {};
+  if (t <= track.front().t) return track.front();
+  if (t >= track.back().t) return track.back();
+  const auto it = std::lower_bound(
+      track.begin(), track.end(), t,
+      [](const sensors::TrackPoint& p, double tt) { return p.t < tt; });
+  const auto hi = it;
+  const auto lo = it - 1;
+  const double span = hi->t - lo->t;
+  const double frac = span > 1e-12 ? (t - lo->t) / span : 0.0;
+  sensors::TrackPoint out;
+  out.t = t;
+  out.position = lo->position + (hi->position - lo->position) * frac;
+  out.heading = lo->heading + frac * (hi->heading - lo->heading);
+  return out;
+}
+
+Trajectory extract_trajectory(const sim::SensorRichVideo& video,
+                              const ExtractionConfig& config) {
+  Trajectory traj;
+  traj.video_id = video.video_id;
+  traj.user_id = video.user_id;
+  traj.building = video.building;
+  traj.true_room_id = video.true_room_id;
+  traj.true_junk = video.junk;
+  traj.lighting = video.lighting;
+
+  // Motion trace from inertial data.
+  traj.points = sensors::dead_reckon(video.imu, config.dead_reckoning);
+  // Per-sample heading estimates for key-frame headings.
+  const auto headings = sensors::estimate_headings(
+      video.imu, config.dead_reckoning.heading);
+
+  auto heading_at = [&](double t) -> double {
+    if (video.imu.samples.empty()) return 0.0;
+    const auto it = std::lower_bound(
+        video.imu.samples.begin(), video.imu.samples.end(), t,
+        [](const sensors::ImuSample& s, double tt) { return s.t < tt; });
+    const std::size_t idx = std::min(
+        static_cast<std::size_t>(it - video.imu.samples.begin()),
+        headings.size() - 1);
+    return headings[idx];
+  };
+
+  // Key-frame selection: HOG + NCC against the last kept frame (§III.B.I).
+  // Pass 1 picks indices cheaply; descriptors are computed only for the
+  // frames that survive selection and decimation.
+  std::vector<std::size_t> selected;
+  std::vector<imaging::Image> selected_gray;
+  {
+    std::vector<float> last_hog;
+    const imaging::Image* last_gray = nullptr;
+    for (std::size_t i = 0; i < video.frames.size(); ++i) {
+      imaging::Image gray = video.frames[i].image.to_gray();
+
+      // Unqualified-data gate: blurred/featureless frames carry no anchors.
+      if (gray.stddev() < config.min_frame_stddev) continue;
+
+      const auto hog = imaging::hog_descriptor(gray, config.hog);
+      if (last_gray != nullptr) {
+        const double hog_dist = imaging::descriptor_distance(hog, last_hog);
+        const double ncc = imaging::normalized_cross_correlation(gray, *last_gray);
+        const bool extremely_similar = ncc > config.keyframe_ncc_max &&
+                                       hog_dist < config.keyframe_hog_min;
+        if (extremely_similar) continue;
+      }
+      selected.push_back(i);
+      selected_gray.push_back(std::move(gray));
+      last_gray = &selected_gray.back();
+      last_hog = hog;
+    }
+  }
+  // Uniform decimation to the key-frame budget.
+  if (config.max_keyframes > 0 && selected.size() > config.max_keyframes) {
+    std::vector<std::size_t> kept;
+    std::vector<imaging::Image> kept_gray;
+    for (std::size_t k = 0; k < config.max_keyframes; ++k) {
+      const std::size_t idx =
+          k * (selected.size() - 1) / (config.max_keyframes - 1);
+      if (!kept.empty() && kept.back() == selected[idx]) continue;
+      kept.push_back(selected[idx]);
+      kept_gray.push_back(std::move(selected_gray[idx]));
+    }
+    selected = std::move(kept);
+    selected_gray = std::move(kept_gray);
+  }
+
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    const std::size_t i = selected[k];
+    const auto& frame = video.frames[i];
+    KeyFrame kf;
+    kf.frame_index = i;
+    kf.t = frame.t;
+    const auto tp = track_at(traj.points, frame.t);
+    kf.position = tp.position;
+    kf.heading = heading_at(frame.t);
+    kf.cheap = vision::compute_cheap_descriptors(frame.image);
+    kf.surf = vision::detect_and_describe(selected_gray[k], config.surf);
+    kf.true_position = frame.true_pose.position;
+    kf.true_heading = frame.true_pose.theta;
+    kf.gray = std::move(selected_gray[k]);
+    traj.keyframes.push_back(std::move(kf));
+  }
+  return traj;
+}
+
+double keyframe_ratio(const Trajectory& traj, std::size_t source_frames) {
+  if (source_frames == 0) return 0.0;
+  return static_cast<double>(traj.keyframes.size()) /
+         static_cast<double>(source_frames);
+}
+
+}  // namespace crowdmap::trajectory

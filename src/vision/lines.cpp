@@ -1,0 +1,233 @@
+#include "vision/lines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numbers>
+
+#include "common/mathutil.hpp"
+
+namespace crowdmap::vision {
+
+double LineSegment::length() const noexcept {
+  return std::hypot(x1 - x0, y1 - y0);
+}
+
+double LineSegment::angle() const noexcept {
+  double a = std::atan2(y1 - y0, x1 - x0);
+  if (a < 0) a += std::numbers::pi;
+  if (a >= std::numbers::pi) a -= std::numbers::pi;
+  return a;
+}
+
+std::vector<LineSegment> detect_line_segments(const imaging::Image& img,
+                                              const LsdParams& params) {
+  std::vector<LineSegment> segments;
+  if (img.width() < 4 || img.height() < 4) return segments;
+  const auto grads = imaging::sobel_gradients(img);
+  const int w = img.width();
+  const int h = img.height();
+
+  // Level-line angle (perpendicular to gradient) and magnitude per pixel.
+  std::vector<double> angle(static_cast<std::size_t>(w) * h, 0.0);
+  std::vector<double> mag(static_cast<std::size_t>(w) * h, 0.0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double gx = grads.gx.at(x, y);
+      const double gy = grads.gy.at(x, y);
+      const std::size_t idx = static_cast<std::size_t>(y) * w + x;
+      mag[idx] = std::hypot(gx, gy);
+      angle[idx] = std::atan2(gx, -gy);  // level-line direction
+    }
+  }
+
+  // Visit pixels in decreasing magnitude order (pseudo-ordering by buckets,
+  // as in LSD).
+  std::vector<std::size_t> order(static_cast<std::size_t>(w) * h);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&mag](std::size_t a, std::size_t b) { return mag[a] > mag[b]; });
+
+  std::vector<bool> used(static_cast<std::size_t>(w) * h, false);
+  auto angle_close = [&](double a, double b) {
+    double d = std::abs(a - b);
+    while (d > std::numbers::pi) d = std::abs(d - 2.0 * std::numbers::pi);
+    // Level-line angles are mod pi for segment purposes.
+    if (d > std::numbers::pi / 2) d = std::numbers::pi - d;
+    return d <= params.angle_tolerance;
+  };
+
+  for (const std::size_t seed : order) {
+    if (used[seed] || mag[seed] < params.magnitude_threshold) continue;
+    // Region growing.
+    std::vector<std::size_t> region;
+    std::deque<std::size_t> frontier{seed};
+    used[seed] = true;
+    double region_angle = angle[seed];
+    double sum_cos = std::cos(2.0 * region_angle);
+    double sum_sin = std::sin(2.0 * region_angle);
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop_front();
+      region.push_back(cur);
+      const int cx = static_cast<int>(cur % w);
+      const int cy = static_cast<int>(cur / w);
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = cx + dx;
+          const int ny = cy + dy;
+          if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+          const std::size_t nidx = static_cast<std::size_t>(ny) * w + nx;
+          if (used[nidx] || mag[nidx] < params.magnitude_threshold) continue;
+          if (!angle_close(angle[nidx], region_angle)) continue;
+          used[nidx] = true;
+          frontier.push_back(nidx);
+          // Update the region angle (doubled-angle mean for mod-pi data).
+          sum_cos += std::cos(2.0 * angle[nidx]);
+          sum_sin += std::sin(2.0 * angle[nidx]);
+          region_angle = 0.5 * std::atan2(sum_sin, sum_cos);
+        }
+      }
+    }
+    if (static_cast<int>(region.size()) < params.min_region_size) continue;
+
+    // PCA fit of the region weighted by gradient magnitude.
+    double wsum = 0.0;
+    double mx = 0.0;
+    double my = 0.0;
+    for (const std::size_t idx : region) {
+      const double wt = mag[idx];
+      mx += wt * static_cast<double>(idx % w);
+      my += wt * static_cast<double>(idx / w);
+      wsum += wt;
+    }
+    mx /= wsum;
+    my /= wsum;
+    double sxx = 0.0;
+    double syy = 0.0;
+    double sxy = 0.0;
+    for (const std::size_t idx : region) {
+      const double wt = mag[idx];
+      const double dx = static_cast<double>(idx % w) - mx;
+      const double dy = static_cast<double>(idx / w) - my;
+      sxx += wt * dx * dx;
+      syy += wt * dy * dy;
+      sxy += wt * dx * dy;
+    }
+    const double theta = 0.5 * std::atan2(2.0 * sxy, sxx - syy);
+    const double ux = std::cos(theta);
+    const double uy = std::sin(theta);
+    double tmin = 0.0;
+    double tmax = 0.0;
+    for (const std::size_t idx : region) {
+      const double t = (static_cast<double>(idx % w) - mx) * ux +
+                       (static_cast<double>(idx / w) - my) * uy;
+      tmin = std::min(tmin, t);
+      tmax = std::max(tmax, t);
+    }
+    LineSegment seg;
+    seg.x0 = mx + tmin * ux;
+    seg.y0 = my + tmin * uy;
+    seg.x1 = mx + tmax * ux;
+    seg.y1 = my + tmax * uy;
+    seg.strength = wsum;
+    if (seg.length() >= params.min_length) segments.push_back(seg);
+  }
+  return segments;
+}
+
+std::vector<HoughLine> hough_lines(const std::vector<LineSegment>& segments,
+                                   int theta_bins, double rho_resolution,
+                                   std::size_t max_peaks) {
+  std::vector<HoughLine> peaks;
+  if (segments.empty()) return peaks;
+  double max_rho = 0.0;
+  for (const auto& s : segments) {
+    max_rho = std::max({max_rho, std::hypot(s.x0, s.y0), std::hypot(s.x1, s.y1)});
+  }
+  const int rho_bins = std::max(4, static_cast<int>(2.0 * max_rho / rho_resolution) + 1);
+  std::vector<double> acc(static_cast<std::size_t>(theta_bins) * rho_bins, 0.0);
+  auto acc_at = [&](int t, int r) -> double& {
+    return acc[static_cast<std::size_t>(t) * rho_bins + r];
+  };
+  for (const auto& s : segments) {
+    // Each segment votes along its own normal direction with its strength.
+    const double seg_angle = s.angle();
+    double normal = seg_angle + std::numbers::pi / 2.0;
+    if (normal >= std::numbers::pi) normal -= std::numbers::pi;
+    const int t = std::min(theta_bins - 1,
+                           static_cast<int>(normal / std::numbers::pi * theta_bins));
+    const double midx = (s.x0 + s.x1) / 2.0;
+    const double midy = (s.y0 + s.y1) / 2.0;
+    const double theta = (t + 0.5) * std::numbers::pi / theta_bins;
+    const double rho = midx * std::cos(theta) + midy * std::sin(theta);
+    const int r = std::clamp(
+        static_cast<int>((rho + max_rho) / rho_resolution), 0, rho_bins - 1);
+    acc_at(t, r) += s.strength * s.length();
+  }
+  // Peak extraction with 3x3 non-max suppression.
+  for (std::size_t n = 0; n < max_peaks; ++n) {
+    double best = 0.0;
+    int bt = -1;
+    int br = -1;
+    for (int t = 0; t < theta_bins; ++t) {
+      for (int r = 0; r < rho_bins; ++r) {
+        if (acc_at(t, r) > best) {
+          best = acc_at(t, r);
+          bt = t;
+          br = r;
+        }
+      }
+    }
+    if (bt < 0 || best <= 0.0) break;
+    HoughLine line;
+    line.theta = (bt + 0.5) * std::numbers::pi / theta_bins;
+    line.rho = br * rho_resolution - max_rho;
+    line.votes = best;
+    peaks.push_back(line);
+    for (int dt = -2; dt <= 2; ++dt) {
+      for (int dr = -2; dr <= 2; ++dr) {
+        const int t = (bt + dt + theta_bins) % theta_bins;
+        const int r = br + dr;
+        if (r >= 0 && r < rho_bins) acc_at(t, r) = 0.0;
+      }
+    }
+  }
+  return peaks;
+}
+
+std::vector<double> vertical_line_columns(const std::vector<LineSegment>& segments,
+                                          int image_width,
+                                          double verticality_tolerance,
+                                          std::size_t max_columns) {
+  std::vector<double> votes(static_cast<std::size_t>(std::max(image_width, 1)), 0.0);
+  for (const auto& s : segments) {
+    const double a = s.angle();  // [0, pi); vertical is pi/2
+    if (std::abs(a - std::numbers::pi / 2.0) > verticality_tolerance) continue;
+    const int col = std::clamp(static_cast<int>((s.x0 + s.x1) / 2.0), 0,
+                               image_width - 1);
+    votes[static_cast<std::size_t>(col)] += s.strength * s.length();
+  }
+  std::vector<double> columns;
+  const int suppress = std::max(2, image_width / 64);
+  for (std::size_t n = 0; n < max_columns; ++n) {
+    double best = 0.0;
+    int bc = -1;
+    for (int c = 0; c < image_width; ++c) {
+      if (votes[static_cast<std::size_t>(c)] > best) {
+        best = votes[static_cast<std::size_t>(c)];
+        bc = c;
+      }
+    }
+    if (bc < 0 || best <= 0.0) break;
+    columns.push_back(static_cast<double>(bc));
+    for (int c = std::max(0, bc - suppress);
+         c <= std::min(image_width - 1, bc + suppress); ++c) {
+      votes[static_cast<std::size_t>(c)] = 0.0;
+    }
+  }
+  std::sort(columns.begin(), columns.end());
+  return columns;
+}
+
+}  // namespace crowdmap::vision

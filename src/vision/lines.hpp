@@ -1,0 +1,56 @@
+// Line-segment detection (LSD-style gradient-orientation region growing, von
+// Gioi et al.) and a Hough transform for dominant/vanishing line directions.
+// Used by the room layout modeling module (§III.C.II, Fig. 5).
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace crowdmap::vision {
+
+/// Detected 2D line segment in pixel coordinates.
+struct LineSegment {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+  double strength = 0.0;  // accumulated gradient magnitude
+
+  [[nodiscard]] double length() const noexcept;
+  [[nodiscard]] double angle() const noexcept;  // [0, pi)
+};
+
+struct LsdParams {
+  double magnitude_threshold = 0.08;  // min gradient magnitude
+  double angle_tolerance = 0.3927;    // 22.5 degrees, as in LSD
+  int min_region_size = 12;           // pixels per region
+  double min_length = 6.0;            // pixels
+};
+
+/// LSD-style detector: groups pixels of similar gradient orientation into
+/// line-support regions and fits a segment to each via PCA.
+[[nodiscard]] std::vector<LineSegment> detect_line_segments(
+    const imaging::Image& img, const LsdParams& params = {});
+
+/// Classical (rho, theta) Hough transform over the detected segments
+/// (segments vote with their strength). Returns accumulator peaks as
+/// (theta, rho, votes), strongest first.
+struct HoughLine {
+  double theta = 0.0;  // [0, pi)
+  double rho = 0.0;
+  double votes = 0.0;
+};
+[[nodiscard]] std::vector<HoughLine> hough_lines(
+    const std::vector<LineSegment>& segments, int theta_bins = 180,
+    double rho_resolution = 2.0, std::size_t max_peaks = 8);
+
+/// Columns of a panorama where vertical (wall-corner) lines concentrate:
+/// histogram of near-vertical segment midpoints over panorama columns with
+/// non-max suppression. These are the "five line segments along the
+/// vanishing direction" candidates of the paper.
+[[nodiscard]] std::vector<double> vertical_line_columns(
+    const std::vector<LineSegment>& segments, int image_width,
+    double verticality_tolerance = 0.35, std::size_t max_columns = 16);
+
+}  // namespace crowdmap::vision

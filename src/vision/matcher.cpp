@@ -1,0 +1,72 @@
+#include "vision/matcher.hpp"
+
+#include <limits>
+
+namespace crowdmap::vision {
+
+namespace {
+
+struct TwoNearest {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::max();
+  double second_dist = std::numeric_limits<double>::max();
+};
+
+/// Nearest and second-nearest neighbors of `query` in `set`, honoring the
+/// Laplacian-sign fast reject. best == set.size() when no candidate exists.
+[[nodiscard]] TwoNearest two_nearest(const SurfFeature& query,
+                                     const std::vector<SurfFeature>& set) {
+  TwoNearest out;
+  out.best = set.size();
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].keypoint.laplacian_positive != query.keypoint.laplacian_positive) {
+      continue;
+    }
+    const double d = descriptor_distance(query.descriptor, set[i].descriptor);
+    if (d < out.best_dist) {
+      out.second_dist = out.best_dist;
+      out.best_dist = d;
+      out.best = i;
+    } else if (d < out.second_dist) {
+      out.second_dist = d;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FeatureMatch> mutual_nn_matches(const std::vector<SurfFeature>& f1,
+                                            const std::vector<SurfFeature>& f2,
+                                            double distance_threshold,
+                                            double nn_ratio) {
+  std::vector<FeatureMatch> matches;
+  if (f1.empty() || f2.empty()) return matches;
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    const auto fwd = two_nearest(f1[i], f2);
+    if (fwd.best >= f2.size()) continue;
+    if (fwd.best_dist >= distance_threshold) continue;
+    if (nn_ratio < 1.0 && fwd.second_dist > 0 &&
+        fwd.best_dist / fwd.second_dist >= nn_ratio) {
+      continue;  // ambiguous: nearly as close to a second feature
+    }
+    const auto back = two_nearest(f2[fwd.best], f1);
+    if (back.best != i) continue;  // not mutual
+    matches.push_back({i, fwd.best, fwd.best_dist});
+  }
+  return matches;
+}
+
+double similarity_s2(std::size_t matches, std::size_t n1, std::size_t n2) noexcept {
+  const std::size_t uni = n1 + n2 - matches;
+  return uni == 0 ? 0.0 : static_cast<double>(matches) / static_cast<double>(uni);
+}
+
+double match_score_s2(const std::vector<SurfFeature>& f1,
+                      const std::vector<SurfFeature>& f2,
+                      double distance_threshold, double nn_ratio) {
+  const auto matches = mutual_nn_matches(f1, f2, distance_threshold, nn_ratio);
+  return similarity_s2(matches.size(), f1.size(), f2.size());
+}
+
+}  // namespace crowdmap::vision

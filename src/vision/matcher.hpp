@@ -1,0 +1,42 @@
+// Algorithm 1 of the paper: mutual-nearest-neighbor SURF descriptor matching
+// with a distance gate h_d, and the similarity score
+//   S2(F1, F2) = |A| / |F1 ∪ F2|.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vision/surf.hpp"
+
+namespace crowdmap::vision {
+
+/// A good match: indices into the two feature sets.
+struct FeatureMatch {
+  std::size_t index1 = 0;
+  std::size_t index2 = 0;
+  double distance = 0.0;
+};
+
+/// Mutual-nearest-neighbor matching (the paper's Algorithm 1):
+/// f2 = NN(f1, F2); f* = NN(f2, F1); keep (f1, f2) iff f* == f1 and
+/// d(f1, f2) < distance_threshold. The Laplacian sign is used as a fast
+/// reject, as in the original SURF paper. `nn_ratio` additionally applies
+/// Lowe's ratio test (d1/d2 < ratio against the second-nearest neighbor);
+/// pass 1.0 to disable — the paper's Algorithm 1 uses the absolute gate
+/// only, but repetitive indoor texture needs the ratio gate in practice.
+[[nodiscard]] std::vector<FeatureMatch> mutual_nn_matches(
+    const std::vector<SurfFeature>& f1, const std::vector<SurfFeature>& f2,
+    double distance_threshold, double nn_ratio = 1.0);
+
+/// S2 = |A| / |F1 ∪ F2| = |A| / (|F1| + |F2| - |A|)  (eq. 1).
+/// The match set A is one-to-one, so |F1 ∪ F2| counts matched pairs once.
+[[nodiscard]] double similarity_s2(std::size_t matches, std::size_t n1,
+                                   std::size_t n2) noexcept;
+
+/// Convenience: match then score.
+[[nodiscard]] double match_score_s2(const std::vector<SurfFeature>& f1,
+                                    const std::vector<SurfFeature>& f2,
+                                    double distance_threshold,
+                                    double nn_ratio = 1.0);
+
+}  // namespace crowdmap::vision

@@ -1,0 +1,127 @@
+#include "vision/panorama.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/mathutil.hpp"
+#include "imaging/ncc.hpp"
+
+namespace crowdmap::vision {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Panorama column of a global angle, with wraparound.
+[[nodiscard]] int column_of(double angle, int width) {
+  double a = std::fmod(angle, kTwoPi);
+  if (a < 0) a += kTwoPi;
+  return static_cast<int>(a / kTwoPi * width) % width;
+}
+
+}  // namespace
+
+CoverageCheck check_angular_coverage(std::vector<double> headings, double fov) {
+  CoverageCheck out;
+  if (headings.empty()) return out;
+  for (double& h : headings) h = crowdmap::common::wrap_angle_2pi(h);
+  std::sort(headings.begin(), headings.end());
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < headings.size(); ++i) {
+    const double next =
+        i + 1 < headings.size() ? headings[i + 1] : headings[0] + kTwoPi;
+    max_gap = std::max(max_gap, next - headings[i]);
+  }
+  out.max_gap = max_gap;
+  out.adjacent_overlap = max_gap < fov;   // frame centers closer than one FoV
+  out.full_cover = max_gap < fov;         // then the union covers 360 degrees
+  return out;
+}
+
+Panorama stitch_panorama(std::vector<PanoFrame> frames, const StitchParams& params) {
+  Panorama out;
+  out.image = imaging::Image(params.output_width, params.output_height, 0.0f);
+  if (frames.empty()) return out;
+
+  std::sort(frames.begin(), frames.end(), [](const PanoFrame& a, const PanoFrame& b) {
+    return crowdmap::common::wrap_angle_2pi(a.heading) <
+           crowdmap::common::wrap_angle_2pi(b.heading);
+  });
+
+  // Resample every frame to a canonical angular slice: fov worth of panorama
+  // columns at output height.
+  const int slice_width = std::max(
+      2, static_cast<int>(std::lround(params.fov / kTwoPi * params.output_width)));
+  std::vector<imaging::Image> slices;
+  slices.reserve(frames.size());
+  for (const auto& f : frames) {
+    slices.push_back(f.image.resized(slice_width, params.output_height));
+  }
+
+  // Refine headings pairwise: the NCC-optimal column shift between adjacent
+  // overlapping slices corrects gyro error, like AutoStitch's feature
+  // alignment. The first frame anchors the chain.
+  std::vector<double> headings;
+  headings.reserve(frames.size());
+  for (const auto& f : frames) {
+    headings.push_back(crowdmap::common::wrap_angle_2pi(f.heading));
+  }
+  if (params.refine_alignment && frames.size() > 1) {
+    const double col_angle = kTwoPi / params.output_width;
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+      const double gap = headings[i] - headings[i - 1];
+      const int gap_cols = static_cast<int>(std::lround(gap / col_angle));
+      if (gap_cols >= slice_width) continue;  // no overlap, keep IMU heading
+      double best_ncc = -2.0;
+      int best_shift = 0;
+      for (int shift = -params.max_refine_px; shift <= params.max_refine_px; ++shift) {
+        const double ncc =
+            imaging::shifted_ncc(slices[i - 1], slices[i], gap_cols + shift, 0);
+        if (ncc > best_ncc) {
+          best_ncc = ncc;
+          best_shift = shift;
+        }
+      }
+      if (best_ncc > 0.2) headings[i] += best_shift * col_angle;
+    }
+  }
+
+  // Feather-blended composite.
+  std::vector<float> acc(static_cast<std::size_t>(params.output_width) *
+                             params.output_height,
+                         0.0f);
+  std::vector<float> weight(acc.size(), 0.0f);
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const int start_col =
+        column_of(headings[i] - params.fov / 2.0, params.output_width);
+    for (int sc = 0; sc < slice_width; ++sc) {
+      const int pc = (start_col + sc) % params.output_width;
+      // Feather weight: triangular, peaking at slice center.
+      const float wgt = 1.0f - std::abs(2.0f * sc / slice_width - 1.0f) * 0.9f;
+      for (int row = 0; row < params.output_height; ++row) {
+        const std::size_t idx =
+            static_cast<std::size_t>(row) * params.output_width + pc;
+        acc[idx] += wgt * slices[i].at(sc, row);
+        weight[idx] += wgt;
+      }
+    }
+  }
+  int covered = 0;
+  for (int col = 0; col < params.output_width; ++col) {
+    bool any = false;
+    for (int row = 0; row < params.output_height; ++row) {
+      const std::size_t idx = static_cast<std::size_t>(row) * params.output_width + col;
+      if (weight[idx] > 0) {
+        out.image.at(col, row) = acc[idx] / weight[idx];
+        any = true;
+      }
+    }
+    covered += any;
+  }
+  out.coverage = static_cast<double>(covered) / params.output_width;
+  out.headings = std::move(headings);
+  return out;
+}
+
+}  // namespace crowdmap::vision

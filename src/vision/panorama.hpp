@@ -1,0 +1,52 @@
+// 360° panorama composition from overlapping frames with (noisy) headings —
+// the AutoStitch stand-in of the room layout modeling module (§III.C.I).
+//
+// Frames are treated as angular slices (the synthetic camera is a cylindrical
+// projection, so a frame spanning `fov` radians maps linearly onto panorama
+// columns). Pairwise NCC alignment refines the inertial heading estimates,
+// then the slices are feather-blended.
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace crowdmap::vision {
+
+/// One input frame for stitching.
+struct PanoFrame {
+  imaging::Image image;    // grayscale frame
+  double heading = 0.0;    // estimated camera heading (radians), from IMU
+};
+
+struct StitchParams {
+  int output_width = 1024;     // panorama columns spanning 2*pi
+  int output_height = 256;     // rows (frames are resampled vertically)
+  double fov = 0.9495;         // 54.4 degrees, the paper's lens model
+  int max_refine_px = 12;      // NCC heading-refinement search radius
+  bool refine_alignment = true;
+};
+
+/// Stitching result.
+struct Panorama {
+  imaging::Image image;            // output_width x output_height
+  std::vector<double> headings;    // refined per-frame headings
+  double coverage = 0.0;           // fraction of columns covered by >= 1 frame
+};
+
+/// Composites frames into a 360° panorama. Frames may arrive in any order;
+/// they are processed sorted by heading.
+[[nodiscard]] Panorama stitch_panorama(std::vector<PanoFrame> frames,
+                                       const StitchParams& params = {});
+
+/// Checks the paper's two panorama-candidate criteria over a set of frame
+/// headings: (i) adjacent frames overlap, (ii) the set covers 360°.
+struct CoverageCheck {
+  bool adjacent_overlap = false;
+  bool full_cover = false;
+  double max_gap = 0.0;  // largest angular gap between adjacent frames
+};
+[[nodiscard]] CoverageCheck check_angular_coverage(std::vector<double> headings,
+                                                   double fov);
+
+}  // namespace crowdmap::vision

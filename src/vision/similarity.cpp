@@ -1,0 +1,26 @@
+#include "vision/similarity.hpp"
+
+#include <algorithm>
+
+namespace crowdmap::vision {
+
+CheapDescriptors compute_cheap_descriptors(const imaging::ColorImage& frame) {
+  CheapDescriptors out;
+  out.color_hist = imaging::color_histogram(frame);
+  const imaging::Image gray = frame.to_gray();
+  out.shape = imaging::shape_descriptor(gray);
+  out.wavelet = imaging::wavelet_signature(gray);
+  return out;
+}
+
+double similarity_s1(const CheapDescriptors& a, const CheapDescriptors& b,
+                     const S1Weights& weights) {
+  const double color = imaging::histogram_intersection(a.color_hist, b.color_hist);
+  const double shape = imaging::shape_similarity(a.shape, b.shape);
+  const double wavelet = imaging::wavelet_similarity(a.wavelet, b.wavelet);
+  const double s1 =
+      weights.color * color + weights.shape * shape + weights.wavelet * wavelet;
+  return std::clamp(s1, 0.0, 1.0);
+}
+
+}  // namespace crowdmap::vision

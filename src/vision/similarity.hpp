@@ -1,0 +1,36 @@
+// First-stage (cheap) key-frame similarity S1: a weighted linear combination
+// of color-indexing histogram intersection, shape matching and wavelet
+// signature similarity (§III.B.I "Key-frame Comparison", step 1).
+#pragma once
+
+#include "imaging/descriptors.hpp"
+#include "imaging/image.hpp"
+
+namespace crowdmap::vision {
+
+/// Weights for the linear combination; the paper assigns "a weight for each
+/// of the algorithm". Defaults treat the three channels equally.
+struct S1Weights {
+  double color = 1.0 / 3.0;
+  double shape = 1.0 / 3.0;
+  double wavelet = 1.0 / 3.0;
+};
+
+/// Precomputed cheap descriptors of one frame (computed once per key-frame,
+/// reused across all pairwise comparisons).
+struct CheapDescriptors {
+  std::vector<float> color_hist;
+  std::vector<float> shape;
+  imaging::WaveletSignature wavelet;
+};
+
+/// Computes the three cheap descriptors of a frame.
+[[nodiscard]] CheapDescriptors compute_cheap_descriptors(
+    const imaging::ColorImage& frame);
+
+/// S1 in [0, 1].
+[[nodiscard]] double similarity_s1(const CheapDescriptors& a,
+                                   const CheapDescriptors& b,
+                                   const S1Weights& weights = {});
+
+}  // namespace crowdmap::vision

@@ -1,0 +1,54 @@
+// SURF-style interest points (Bay et al., ECCV'06): Hessian blob detection on
+// integral-image box filters, orientation assignment, and a 64-dimensional
+// Haar-response descriptor. This is the paper's second-stage key-frame
+// matching feature (§III.B.I, Algorithm 1).
+//
+// Implemented from scratch; faithful to the SURF design (box-filter Hessian,
+// 4x4 subregions of (Σdx, Σdy, Σ|dx|, Σ|dy|)) at reduced octave count, which
+// is sufficient for the 64–256 px frames the simulator produces.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "imaging/integral.hpp"
+
+namespace crowdmap::vision {
+
+/// Detected interest point.
+struct SurfKeypoint {
+  double x = 0.0;
+  double y = 0.0;
+  double scale = 1.2;       // approximated Gaussian scale of the filter
+  double orientation = 0.0; // radians
+  double response = 0.0;    // Hessian determinant response
+  bool laplacian_positive = false;  // sign of trace, speeds up matching
+};
+
+/// 64-dimensional SURF descriptor.
+using SurfDescriptor = std::array<float, 64>;
+
+/// Keypoint with descriptor.
+struct SurfFeature {
+  SurfKeypoint keypoint;
+  SurfDescriptor descriptor{};
+};
+
+/// Detector/descriptor parameters.
+struct SurfParams {
+  double hessian_threshold = 4e-4;  // on normalized det(H)
+  int octaves = 2;                  // box filter sizes 9,15,21,27 / 15,27,39,51
+  int max_features = 400;           // keep strongest N
+  bool upright = false;             // skip orientation (U-SURF) when true
+};
+
+/// Detects keypoints and computes descriptors.
+[[nodiscard]] std::vector<SurfFeature> detect_and_describe(
+    const imaging::Image& img, const SurfParams& params = {});
+
+/// Euclidean distance between descriptors.
+[[nodiscard]] double descriptor_distance(const SurfDescriptor& a,
+                                         const SurfDescriptor& b) noexcept;
+
+}  // namespace crowdmap::vision

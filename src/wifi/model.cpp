@@ -1,0 +1,86 @@
+#include "wifi/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/scene.hpp"
+
+namespace crowdmap::wifi {
+
+WifiModel::WifiModel(std::vector<AccessPoint> aps,
+                     std::vector<geometry::Segment> walls,
+                     PropagationParams params, std::uint64_t seed)
+    : aps_(std::move(aps)), walls_(std::move(walls)), params_(params),
+      seed_(seed) {}
+
+int WifiModel::walls_crossed(Vec2 a, Vec2 b) const {
+  int crossings = 0;
+  const geometry::Segment link{a, b};
+  for (const auto& wall : walls_) {
+    if (geometry::intersect(link, wall)) ++crossings;
+  }
+  return crossings;
+}
+
+double WifiModel::shadowing(int ap_id, Vec2 p) const {
+  // Position-stable log-normal shadowing via smooth value noise keyed by the
+  // AP: the same spot always measures the same bias, as in reality.
+  const double u = sim::value_noise(
+      p.x * 0.35, p.y * 0.35,
+      common::hash_combine(seed_, static_cast<std::uint64_t>(ap_id)));
+  return (u - 0.5) * 2.0 * params_.shadow_sigma_db * 1.73;  // ~sigma std
+}
+
+double WifiModel::rssi(const AccessPoint& ap, Vec2 p, common::Rng& rng) const {
+  const double d = std::max(ap.position.distance_to(p), 0.5);
+  double level = ap.tx_dbm - 10.0 * params_.path_loss_exponent * std::log10(d);
+  level -= params_.wall_attenuation_db * walls_crossed(ap.position, p);
+  level += shadowing(ap.id, p);
+  level += rng.normal(0.0, params_.noise_sigma_db);
+  return std::max(level, params_.sensitivity_dbm);
+}
+
+std::vector<double> WifiModel::scan(Vec2 p, common::Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(aps_.size());
+  for (const auto& ap : aps_) out.push_back(rssi(ap, p, rng));
+  return out;
+}
+
+std::vector<AccessPoint> place_access_points(const sim::FloorPlanSpec& spec,
+                                             int count, std::uint64_t seed) {
+  std::vector<AccessPoint> aps;
+  if (count <= 0) return aps;
+  // Collect hallway centerline length and place APs at even arc-length
+  // intervals with a small jitter.
+  std::vector<geometry::Segment> centerlines;
+  double total = 0.0;
+  for (const auto& hall : spec.hallways) {
+    const auto box = hall.bounding_box();
+    const Vec2 c = box.center();
+    const geometry::Segment line =
+        box.width() >= box.height()
+            ? geometry::Segment{{box.min.x, c.y}, {box.max.x, c.y}}
+            : geometry::Segment{{c.x, box.min.y}, {c.x, box.max.y}};
+    centerlines.push_back(line);
+    total += line.length();
+  }
+  common::Rng rng(seed);
+  for (int k = 0; k < count; ++k) {
+    double target = (k + 0.5) * total / count + rng.uniform(-1.0, 1.0);
+    target = std::clamp(target, 0.0, total - 1e-6);
+    for (const auto& line : centerlines) {
+      if (target <= line.length()) {
+        AccessPoint ap;
+        ap.id = k;
+        ap.position = line.at(target / std::max(line.length(), 1e-9));
+        aps.push_back(ap);
+        break;
+      }
+      target -= line.length();
+    }
+  }
+  return aps;
+}
+
+}  // namespace crowdmap::wifi

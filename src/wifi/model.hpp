@@ -1,0 +1,71 @@
+// Wi-Fi propagation substrate: access points and a log-distance path-loss
+// model with wall attenuation and position-stable shadow fading. The paper's
+// related work (§VII) contrasts CrowdMap's visual anchors with Wi-Fi-based
+// systems (Walkie-Markie [6], room fingerprints [7]); this module provides
+// the radio environment those baselines need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/segment.hpp"
+#include "geometry/vec2.hpp"
+#include "sim/spec.hpp"
+
+namespace crowdmap::wifi {
+
+using geometry::Vec2;
+
+/// One deployed access point.
+struct AccessPoint {
+  int id = 0;
+  Vec2 position;
+  double tx_dbm = -40.0;  // received power at 1 m
+};
+
+struct PropagationParams {
+  double path_loss_exponent = 2.6;  // indoor with obstacles
+  double wall_attenuation_db = 4.0; // per wall crossed
+  double shadow_sigma_db = 3.0;     // position-stable (log-normal shadowing)
+  double noise_sigma_db = 2.0;      // per-measurement
+  double sensitivity_dbm = -92.0;   // below this the AP is not heard
+};
+
+/// The radio environment of a floor.
+class WifiModel {
+ public:
+  WifiModel(std::vector<AccessPoint> aps, std::vector<geometry::Segment> walls,
+            PropagationParams params, std::uint64_t seed);
+
+  /// RSSI of one AP at a position (dBm), with measurement noise from `rng`.
+  /// Returns sensitivity_dbm when out of range.
+  [[nodiscard]] double rssi(const AccessPoint& ap, Vec2 p,
+                            common::Rng& rng) const;
+
+  /// Full scan: one RSSI per AP, ordered by AP index.
+  [[nodiscard]] std::vector<double> scan(Vec2 p, common::Rng& rng) const;
+
+  [[nodiscard]] const std::vector<AccessPoint>& access_points() const noexcept {
+    return aps_;
+  }
+  [[nodiscard]] const PropagationParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  [[nodiscard]] int walls_crossed(Vec2 a, Vec2 b) const;
+  [[nodiscard]] double shadowing(int ap_id, Vec2 p) const;
+
+  std::vector<AccessPoint> aps_;
+  std::vector<geometry::Segment> walls_;
+  PropagationParams params_;
+  std::uint64_t seed_;
+};
+
+/// Deploys `count` access points spread along the building's hallway
+/// centerlines (where campus APs live).
+[[nodiscard]] std::vector<AccessPoint> place_access_points(
+    const sim::FloorPlanSpec& spec, int count, std::uint64_t seed);
+
+}  // namespace crowdmap::wifi

@@ -1,0 +1,100 @@
+#include "wifi/walkie_markie.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace crowdmap::wifi {
+
+std::vector<WifiMark> detect_marks(const trajectory::Trajectory& traj,
+                                   const WifiModel& model, common::Rng& rng,
+                                   const MarkDetectionParams& params) {
+  std::vector<WifiMark> marks;
+  const auto& kfs = traj.keyframes;
+  if (kfs.size() < 3) return marks;
+  for (const auto& ap : model.access_points()) {
+    // RSSI trace along the walk, measured at true positions.
+    std::vector<double> trace;
+    trace.reserve(kfs.size());
+    for (const auto& kf : kfs) {
+      trace.push_back(model.rssi(ap, kf.true_position, rng));
+    }
+    // Peak and its prominence over the trace edges.
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      if (trace[i] > trace[peak]) peak = i;
+    }
+    if (peak == 0 || peak + 1 == trace.size()) continue;  // monotone: no mark
+    const double edge = std::max(trace.front(), trace.back());
+    const double prominence = trace[peak] - edge;
+    if (prominence < params.min_prominence_db ||
+        trace[peak] < params.min_peak_dbm) {
+      continue;
+    }
+    marks.push_back({ap.id, peak, trace[peak], prominence});
+  }
+  return marks;
+}
+
+trajectory::AggregationResult aggregate_by_wifi_marks(
+    std::span<const trajectory::Trajectory> trajectories, const WifiModel& model,
+    const WifiAggregationConfig& config, common::Rng& rng) {
+  const std::size_t n = trajectories.size();
+  // Per-trajectory marks.
+  std::vector<std::vector<WifiMark>> marks;
+  marks.reserve(n);
+  for (const auto& traj : trajectories) {
+    marks.push_back(detect_marks(traj, model, rng, config.marks));
+  }
+
+  // Pairwise: shared APs imply candidate translations (dead-reckoned frames
+  // are compass-aligned, so rotation is ~0 — the Walkie-Markie assumption).
+  std::vector<trajectory::MatchEdge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::map<int, const WifiMark*> by_ap;
+    for (const auto& m : marks[i]) by_ap[m.ap_id] = &m;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::vector<geometry::Vec2> translations;
+      for (const auto& mj : marks[j]) {
+        const auto it = by_ap.find(mj.ap_id);
+        if (it == by_ap.end()) continue;
+        const auto& mi = *it->second;
+        translations.push_back(
+            trajectories[i].keyframes[mi.keyframe_index].position -
+            trajectories[j].keyframes[mj.keyframe_index].position);
+      }
+      if (static_cast<int>(translations.size()) < config.min_common_marks) {
+        continue;
+      }
+      // Consensus: the largest cluster of mutually close translations.
+      std::size_t best_support = 0;
+      geometry::Vec2 best_mean;
+      for (const auto& candidate : translations) {
+        geometry::Vec2 sum;
+        std::size_t support = 0;
+        for (const auto& other : translations) {
+          if (candidate.distance_to(other) <= config.consensus_dist) {
+            sum += other;
+            ++support;
+          }
+        }
+        if (support > best_support) {
+          best_support = support;
+          best_mean = sum / static_cast<double>(support);
+        }
+      }
+      if (static_cast<int>(best_support) < config.min_common_marks) continue;
+      trajectory::MatchEdge edge;
+      edge.a = i;
+      edge.b = j;
+      edge.b_to_a = geometry::Pose2{best_mean, 0.0};
+      edge.s3 = static_cast<double>(best_support) /
+                static_cast<double>(translations.size());
+      edge.anchor_count = best_support;
+      edges.push_back(edge);
+    }
+  }
+  return trajectory::place_edges(n, std::move(edges), config.placement);
+}
+
+}  // namespace crowdmap::wifi

@@ -1,0 +1,173 @@
+// Tests for the comparison baselines: inertial-only room estimation,
+// simulated SfM and GPS-anchor (CrowdInside-style) aggregation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/crowdinside.hpp"
+#include "baselines/inertial_room.hpp"
+#include "baselines/sfm_sim.hpp"
+#include "common/rng.hpp"
+#include "sim/buildings.hpp"
+#include "sim/user_sim.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace cb = crowdmap::baselines;
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+using crowdmap::geometry::Vec2;
+
+// ---------------------------------------------------------- inertial room ---
+
+TEST(InertialRoom, AxisAlignedLoop) {
+  std::vector<Vec2> trace;
+  // Perimeter loop of a 6x4 walkable region.
+  for (double x = 0; x <= 6; x += 0.25) trace.push_back({x, 0});
+  for (double y = 0; y <= 4; y += 0.25) trace.push_back({6, y});
+  for (double x = 6; x >= 0; x -= 0.25) trace.push_back({x, 4});
+  for (double y = 4; y >= 0; y -= 0.25) trace.push_back({0, y});
+  const auto est = cb::estimate_room_inertial(trace);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->width, 6.0, 0.3);
+  EXPECT_NEAR(est->depth, 4.0, 0.3);
+  EXPECT_NEAR(est->center.x, 3.0, 0.3);
+  EXPECT_NEAR(est->center.y, 2.0, 0.3);
+}
+
+TEST(InertialRoom, RotatedLoopRecoversOrientation) {
+  std::vector<Vec2> trace;
+  const double theta = 0.6;
+  for (double x = 0; x <= 6; x += 0.25) trace.push_back(Vec2{x, 0}.rotated(theta));
+  for (double y = 0; y <= 3; y += 0.25) trace.push_back(Vec2{6, y}.rotated(theta));
+  for (double x = 6; x >= 0; x -= 0.25) trace.push_back(Vec2{x, 3}.rotated(theta));
+  for (double y = 3; y >= 0; y -= 0.25) trace.push_back(Vec2{0, y}.rotated(theta));
+  const auto est = cb::estimate_room_inertial(trace);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->width * est->depth, 18.0, 2.0);
+  // Orientation mod pi/2.
+  const double diff = std::abs(std::remainder(est->orientation - theta, M_PI / 2));
+  EXPECT_LT(diff, 0.1);
+}
+
+TEST(InertialRoom, TooFewPoints) {
+  EXPECT_FALSE(cb::estimate_room_inertial(std::vector<Vec2>{{0, 0}, {1, 1}})
+                   .has_value());
+}
+
+TEST(InertialRoom, UnderestimatesWhenFurnitureBlocksEdges) {
+  // The room is 6x5 but the walkable loop stays 1 m from every wall:
+  // bounding box of the trace is 4x3 -> area underestimated.
+  std::vector<Vec2> trace;
+  for (double x = 1; x <= 5; x += 0.25) trace.push_back({x, 1});
+  for (double y = 1; y <= 4; y += 0.25) trace.push_back({5, y});
+  for (double x = 5; x >= 1; x -= 0.25) trace.push_back({x, 4});
+  for (double y = 4; y >= 1; y -= 0.25) trace.push_back({1, y});
+  const auto est = cb::estimate_room_inertial(trace);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LT(est->area(), 30.0 * 0.6);  // systematic underestimate
+}
+
+// -------------------------------------------------------------- SfM sim ---
+
+namespace {
+
+crowdmap::trajectory::Trajectory extract_walk(const cs::FloorPlanSpec& spec,
+                                              std::uint64_t seed) {
+  const auto scene = cs::Scene::from_spec(spec, seed);
+  cs::SimOptions options;
+  options.fps = 3.0;
+  cs::UserSimulator user(scene, spec, options, cc::Rng(seed));
+  return crowdmap::trajectory::extract_trajectory(
+      user.hallway_walk(cs::Lighting::day()));
+}
+
+}  // namespace
+
+TEST(SfmSim, FeatureRichSceneTracksWell) {
+  const auto traj = extract_walk(cs::lab1(), 191);
+  cc::Rng rng(191);
+  const auto poses = cb::simulate_sfm_poses(traj, {}, rng);
+  ASSERT_EQ(poses.size(), traj.keyframes.size());
+}
+
+TEST(SfmSim, FeaturePoorSceneDegrades) {
+  const auto lab = extract_walk(cs::lab1(), 193);
+  const auto gym = extract_walk(cs::gym(), 193);
+  cc::Rng rng1(193);
+  cc::Rng rng2(193);
+  const auto lab_poses = cb::simulate_sfm_poses(lab, {}, rng1);
+  const auto gym_poses = cb::simulate_sfm_poses(gym, {}, rng2);
+  const double lab_err = cb::mean_aligned_error(lab_poses);
+  const double gym_err = cb::mean_aligned_error(gym_poses);
+  EXPECT_LT(lab_err, gym_err);
+}
+
+TEST(SfmSim, GrossFailuresBelowFeatureFloor) {
+  const auto traj = extract_walk(cs::gym(), 195);
+  cb::SfmConfig config;
+  config.feature_floor = 100000;  // everything is "weak"
+  config.gross_failure_prob = 1.0;
+  cc::Rng rng(195);
+  const auto poses = cb::simulate_sfm_poses(traj, config, rng);
+  for (const auto& p : poses) EXPECT_FALSE(p.registered);
+}
+
+TEST(SfmSim, AlignedErrorZeroForPerfectPoses) {
+  std::vector<cb::SfmPose> poses;
+  for (int i = 0; i < 10; ++i) {
+    cb::SfmPose p;
+    p.truth = {{static_cast<double>(i), 0.0}, 0.0};
+    p.estimated = p.truth;
+    poses.push_back(p);
+  }
+  EXPECT_NEAR(cb::mean_aligned_error(poses), 0.0, 1e-9);
+}
+
+TEST(SfmSim, AlignedErrorGaugeInvariant) {
+  // A rigidly transformed (but internally perfect) estimate has zero
+  // aligned error — SfM's gauge freedom must not count as error.
+  const crowdmap::geometry::Pose2 gauge{{5, -3}, 0.9};
+  std::vector<cb::SfmPose> poses;
+  for (int i = 0; i < 10; ++i) {
+    cb::SfmPose p;
+    p.truth = {{static_cast<double>(i), i % 3 * 0.7}, 0.0};
+    p.estimated = {gauge.apply(p.truth.position), 0.9};
+    poses.push_back(p);
+  }
+  EXPECT_NEAR(cb::mean_aligned_error(poses), 0.0, 1e-6);
+}
+
+// ------------------------------------------------------------ CrowdInside ---
+
+TEST(GpsAnchor, PlacesEveryTrajectory) {
+  std::vector<crowdmap::trajectory::Trajectory> trajectories;
+  trajectories.push_back(extract_walk(cs::lab1(), 197));
+  trajectories.push_back(extract_walk(cs::lab1(), 198));
+  cc::Rng rng(197);
+  const auto result = cb::aggregate_by_gps_anchor(trajectories, {}, rng);
+  EXPECT_EQ(result.placed_count, 2u);
+}
+
+TEST(GpsAnchor, ErrorScalesWithGpsSigma) {
+  std::vector<crowdmap::trajectory::Trajectory> trajectories;
+  for (std::uint64_t s = 200; s < 206; ++s) {
+    trajectories.push_back(extract_walk(cs::lab1(), s));
+  }
+  auto placement_error = [&](double sigma) {
+    cb::GpsAnchorConfig config;
+    config.gps_sigma = sigma;
+    config.heading_sigma = 0.0;
+    cc::Rng rng(209);
+    const auto result = cb::aggregate_by_gps_anchor(trajectories, config, rng);
+    double err = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < trajectories.size(); ++i) {
+      for (const auto& kf : trajectories[i].keyframes) {
+        err += result.global_pose[i]->apply(kf.position).distance_to(kf.true_position);
+        ++n;
+      }
+    }
+    return err / n;
+  };
+  EXPECT_LT(placement_error(0.5), placement_error(8.0));
+}

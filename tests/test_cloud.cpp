@@ -1,0 +1,266 @@
+// Tests for the cloud substrate: chunked uploads, document store, ingestion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cloud/chunking.hpp"
+#include "cloud/docstore.hpp"
+#include "cloud/ingest.hpp"
+#include "common/rng.hpp"
+
+namespace cl = crowdmap::cloud;
+namespace cc = crowdmap::common;
+
+namespace {
+
+cl::Blob make_blob(std::size_t size, std::uint64_t seed = 1) {
+  cl::Blob blob(size);
+  cc::Rng rng(seed);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+  return blob;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- chunking ---
+
+TEST(Checksum, StableAndSensitive) {
+  const auto blob = make_blob(1000);
+  EXPECT_EQ(cl::checksum(blob), cl::checksum(blob));
+  auto tampered = blob;
+  tampered[500] ^= 0xFF;
+  EXPECT_NE(cl::checksum(blob), cl::checksum(tampered));
+  EXPECT_EQ(cl::checksum({}), cl::checksum({}));
+}
+
+TEST(Chunking, SplitSizes) {
+  const auto blob = make_blob(2500);
+  const auto chunks = cl::split_into_chunks(blob, "u1", 1000);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].payload.size(), 1000u);
+  EXPECT_EQ(chunks[2].payload.size(), 500u);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.total, 3u);
+    EXPECT_EQ(c.upload_id, "u1");
+  }
+}
+
+TEST(Chunking, EmptyBlobOneChunk) {
+  const auto chunks = cl::split_into_chunks({}, "u2", 1000);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_TRUE(chunks[0].payload.empty());
+}
+
+TEST(Assembler, InOrderReassembly) {
+  const auto blob = make_blob(2500, 3);
+  const auto chunks = cl::split_into_chunks(blob, "u3", 1000);
+  cl::ChunkAssembler assembler;
+  for (const auto& c : chunks) assembler.accept(c);
+  EXPECT_EQ(assembler.status(), cl::ChunkAssembler::Status::kComplete);
+  EXPECT_EQ(*assembler.assemble(), blob);
+}
+
+TEST(Assembler, OutOfOrderReassembly) {
+  const auto blob = make_blob(3500, 5);
+  auto chunks = cl::split_into_chunks(blob, "u4", 1000);
+  std::swap(chunks[0], chunks[3]);
+  std::swap(chunks[1], chunks[2]);
+  cl::ChunkAssembler assembler;
+  for (const auto& c : chunks) assembler.accept(c);
+  EXPECT_EQ(*assembler.assemble(), blob);
+}
+
+TEST(Assembler, DuplicatesTolerated) {
+  const auto blob = make_blob(1500, 7);
+  const auto chunks = cl::split_into_chunks(blob, "u5", 1000);
+  cl::ChunkAssembler assembler;
+  assembler.accept(chunks[0]);
+  assembler.accept(chunks[0]);  // duplicate
+  assembler.accept(chunks[1]);
+  EXPECT_EQ(assembler.status(), cl::ChunkAssembler::Status::kComplete);
+  EXPECT_EQ(*assembler.assemble(), blob);
+}
+
+TEST(Assembler, CorruptChunkRejected) {
+  const auto blob = make_blob(1500, 9);
+  auto chunks = cl::split_into_chunks(blob, "u6", 1000);
+  chunks[0].payload[10] ^= 0xFF;  // corrupt without fixing the checksum
+  cl::ChunkAssembler assembler;
+  EXPECT_EQ(assembler.accept(chunks[0]), cl::ChunkAssembler::Status::kCorrupt);
+  EXPECT_FALSE(assembler.assemble().has_value());
+}
+
+TEST(Assembler, FrameMismatchRejected) {
+  cl::Chunk c1;
+  c1.index = 0;
+  c1.total = 2;
+  c1.payload_checksum = cl::checksum(c1.payload);
+  cl::Chunk c2;
+  c2.index = 1;
+  c2.total = 3;  // inconsistent total
+  c2.payload_checksum = cl::checksum(c2.payload);
+  cl::ChunkAssembler assembler;
+  assembler.accept(c1);
+  EXPECT_EQ(assembler.accept(c2), cl::ChunkAssembler::Status::kCorrupt);
+}
+
+TEST(Assembler, IncompleteNotAssemblable) {
+  const auto chunks = cl::split_into_chunks(make_blob(3000, 11), "u7", 1000);
+  cl::ChunkAssembler assembler;
+  assembler.accept(chunks[0]);
+  EXPECT_EQ(assembler.status(), cl::ChunkAssembler::Status::kPending);
+  EXPECT_FALSE(assembler.assemble().has_value());
+}
+
+// --------------------------------------------------------------- docstore ---
+
+TEST(DocStore, PutGetErase) {
+  cl::DocumentStore store;
+  cl::Document doc;
+  doc.id = "d1";
+  doc.building = "Lab1";
+  doc.floor = 2;
+  doc.payload = make_blob(100);
+  EXPECT_TRUE(store.put(doc));
+  EXPECT_FALSE(store.put(doc));  // replace
+  ASSERT_TRUE(store.get("d1").has_value());
+  EXPECT_EQ(store.get("d1")->floor, 2);
+  EXPECT_FALSE(store.get("missing").has_value());
+  EXPECT_TRUE(store.erase("d1"));
+  EXPECT_FALSE(store.erase("d1"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(DocStore, FloorIndex) {
+  cl::DocumentStore store;
+  for (int i = 0; i < 5; ++i) {
+    cl::Document doc;
+    doc.id = "d" + std::to_string(i);
+    doc.building = i < 3 ? "Lab1" : "Lab2";
+    doc.floor = 1;
+    store.put(doc);
+  }
+  EXPECT_EQ(store.ids_for_floor("Lab1", 1).size(), 3u);
+  EXPECT_EQ(store.ids_for_floor("Lab2", 1).size(), 2u);
+  EXPECT_TRUE(store.ids_for_floor("Lab1", 9).empty());
+  store.erase("d0");
+  EXPECT_EQ(store.ids_for_floor("Lab1", 1).size(), 2u);
+}
+
+TEST(DocStore, ReplaceUpdatesIndex) {
+  cl::DocumentStore store;
+  cl::Document doc;
+  doc.id = "d1";
+  doc.building = "Lab1";
+  doc.floor = 1;
+  store.put(doc);
+  doc.floor = 2;  // moves floors
+  store.put(doc);
+  EXPECT_TRUE(store.ids_for_floor("Lab1", 1).empty());
+  EXPECT_EQ(store.ids_for_floor("Lab1", 2).size(), 1u);
+}
+
+TEST(DocStore, TotalBytes) {
+  cl::DocumentStore store;
+  cl::Document doc;
+  doc.id = "d1";
+  doc.payload = make_blob(123);
+  store.put(doc);
+  EXPECT_EQ(store.total_bytes(), 123u);
+}
+
+// ----------------------------------------------------------------- ingest ---
+
+TEST(Ingest, HappyPathCompletesUpload) {
+  cl::DocumentStore store;
+  std::atomic<int> completions{0};
+  cl::IngestService ingest(store, [&completions](const cl::Document& doc) {
+    EXPECT_EQ(doc.building, "Lab1");
+    completions.fetch_add(1);
+  });
+  ingest.open_session("up1", "Lab1", 3);
+  const auto blob = make_blob(2500, 13);
+  for (const auto& c : cl::split_into_chunks(blob, "up1", 1000)) {
+    ingest.deliver(c);
+  }
+  EXPECT_EQ(completions.load(), 1);
+  ASSERT_TRUE(store.get("up1").has_value());
+  EXPECT_EQ(store.get("up1")->payload, blob);
+  EXPECT_EQ(store.get("up1")->floor, 3);
+  const auto stats = ingest.stats();
+  EXPECT_EQ(stats.uploads_completed, 1u);
+  EXPECT_EQ(stats.chunks_received, 3u);
+}
+
+TEST(Ingest, UnknownSessionRejected) {
+  cl::DocumentStore store;
+  cl::IngestService ingest(store);
+  cl::Chunk c;
+  c.upload_id = "ghost";
+  c.total = 1;
+  c.payload_checksum = cl::checksum(c.payload);
+  EXPECT_EQ(ingest.deliver(c), cl::IngestStatus::kRejected);
+  EXPECT_EQ(ingest.stats().uploads_rejected, 1u);
+}
+
+TEST(Ingest, CorruptUploadDroppedAndCounted) {
+  cl::DocumentStore store;
+  cl::IngestService ingest(store);
+  ingest.open_session("up2", "Lab1", 1);
+  auto chunks = cl::split_into_chunks(make_blob(1500, 15), "up2", 1000);
+  chunks[0].payload[0] ^= 0xFF;
+  EXPECT_EQ(ingest.deliver(chunks[0]), cl::IngestStatus::kRejected);
+  // Session is gone; the remaining chunk is rejected too.
+  EXPECT_EQ(ingest.deliver(chunks[1]), cl::IngestStatus::kRejected);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(Ingest, ConcurrentUploadsInterleaved) {
+  cl::DocumentStore store;
+  cl::IngestService ingest(store);
+  const auto blob_a = make_blob(2000, 17);
+  const auto blob_b = make_blob(3000, 19);
+  ingest.open_session("a", "Lab1", 1);
+  ingest.open_session("b", "Lab1", 1);
+  const auto chunks_a = cl::split_into_chunks(blob_a, "a", 1000);
+  const auto chunks_b = cl::split_into_chunks(blob_b, "b", 1000);
+  // Interleave.
+  ingest.deliver(chunks_a[0]);
+  ingest.deliver(chunks_b[0]);
+  ingest.deliver(chunks_b[1]);
+  ingest.deliver(chunks_a[1]);
+  ingest.deliver(chunks_b[2]);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.get("a")->payload, blob_a);
+  EXPECT_EQ(store.get("b")->payload, blob_b);
+}
+
+TEST(Ingest, ParallelDeliveryThreadSafe) {
+  cl::DocumentStore store;
+  cl::IngestService ingest(store);
+  constexpr int kUploads = 8;
+  std::vector<cl::Blob> blobs;
+  std::vector<std::vector<cl::Chunk>> chunk_sets;
+  for (int u = 0; u < kUploads; ++u) {
+    const std::string id = "p" + std::to_string(u);
+    ingest.open_session(id, "Lab1", 1);
+    blobs.push_back(make_blob(5000, 100 + static_cast<std::uint64_t>(u)));
+    chunk_sets.push_back(cl::split_into_chunks(blobs.back(), id, 700));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kUploads);
+  for (int u = 0; u < kUploads; ++u) {
+    threads.emplace_back([&ingest, &chunk_sets, u] {
+      for (const auto& c : chunk_sets[static_cast<std::size_t>(u)]) {
+        ingest.deliver(c);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kUploads));
+  for (int u = 0; u < kUploads; ++u) {
+    EXPECT_EQ(store.get("p" + std::to_string(u))->payload,
+              blobs[static_cast<std::size_t>(u)]);
+  }
+}

@@ -1,0 +1,78 @@
+// Tests for configuration files and pipeline config overrides.
+#include <gtest/gtest.h>
+
+#include "common/config_file.hpp"
+#include "core/config_overrides.hpp"
+
+namespace cc = crowdmap::common;
+namespace co = crowdmap::core;
+
+TEST(ConfigFile, ParsesKeysCommentsAndBlanks) {
+  const auto config = cc::ConfigFile::parse(
+      "# a comment\n"
+      "alpha = 1.5\n"
+      "\n"
+      "name = hello world  # trailing comment\n"
+      "flag=true\n");
+  EXPECT_TRUE(config.has("alpha"));
+  EXPECT_EQ(*config.get("name"), "hello world");
+  EXPECT_EQ(config.get_double("alpha", 0.0), 1.5);
+  EXPECT_TRUE(config.get_bool("flag", false));
+  EXPECT_FALSE(config.has("missing"));
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+}
+
+TEST(ConfigFile, MalformedLineThrows) {
+  EXPECT_THROW((void)cc::ConfigFile::parse("no equals sign"), std::runtime_error);
+  EXPECT_THROW((void)cc::ConfigFile::parse("= valueless"), std::runtime_error);
+}
+
+TEST(ConfigFile, TypeErrorsThrow) {
+  const auto config = cc::ConfigFile::parse("x = abc\ny = 1.5zz\n");
+  EXPECT_THROW((void)config.get_double("x", 0), std::runtime_error);
+  EXPECT_THROW((void)config.get_int("y", 0), std::runtime_error);
+  EXPECT_THROW((void)config.get_bool("x", false), std::runtime_error);
+}
+
+TEST(ConfigFile, MissingFileThrows) {
+  EXPECT_THROW((void)cc::ConfigFile::load("/nonexistent/conf"), std::runtime_error);
+}
+
+TEST(ConfigOverrides, AppliesKnownKeys) {
+  co::PipelineConfig config;
+  const auto file = cc::ConfigFile::parse(
+      "match.h_s = 0.7\n"
+      "match.h_f = 0.12\n"
+      "lcss.epsilon = 2.0\n"
+      "lcss.delta = 12\n"
+      "grid.cell_size = 0.25\n"
+      "skeleton.alpha = 2.5\n"
+      "layout.hypotheses = 500\n"
+      "stitch.width = 256\n"
+      "filter.min_keyframes = 5\n");
+  co::apply_config_overrides(config, file);
+  EXPECT_EQ(config.aggregation.match.h_s, 0.7);
+  EXPECT_EQ(config.aggregation.match.h_f, 0.12);
+  EXPECT_EQ(config.aggregation.match.lcss.epsilon, 2.0);
+  EXPECT_EQ(config.aggregation.match.lcss.delta, 12);
+  EXPECT_EQ(config.grid_cell_size, 0.25);
+  EXPECT_EQ(config.skeleton.alpha, 2.5);
+  EXPECT_EQ(config.layout.hypotheses, 500);
+  EXPECT_EQ(config.stitch.output_width, 256);
+  EXPECT_EQ(config.min_keyframes, 5u);
+}
+
+TEST(ConfigOverrides, UnknownKeyThrows) {
+  co::PipelineConfig config;
+  const auto file = cc::ConfigFile::parse("match.hs = 0.7\n");  // typo
+  EXPECT_THROW(co::apply_config_overrides(config, file), std::runtime_error);
+}
+
+TEST(ConfigOverrides, AbsentKeysLeaveDefaults) {
+  co::PipelineConfig config;
+  const co::PipelineConfig defaults;
+  co::apply_config_overrides(config, cc::ConfigFile::parse(""));
+  EXPECT_EQ(config.aggregation.match.h_s, defaults.aggregation.match.h_s);
+  EXPECT_EQ(config.grid_cell_size, defaults.grid_cell_size);
+  EXPECT_EQ(config.layout.hypotheses, defaults.layout.hypotheses);
+}

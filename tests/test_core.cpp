@@ -1,0 +1,128 @@
+// Tests for the CrowdMapPipeline public API: ingestion gates, configuration
+// and a small end-to-end run.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+namespace co = crowdmap::core;
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+
+namespace {
+
+cs::CampaignOptions small_campaign_options() {
+  cs::CampaignOptions options;
+  options.users = 3;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 8;
+  options.junk_fraction = 0.0;
+  options.night_fraction = 0.2;
+  options.sim.fps = 3.0;
+  return options;
+}
+
+}  // namespace
+
+TEST(PipelineConfig, FastProfileShrinksWork) {
+  const auto fast = co::PipelineConfig::fast_profile();
+  const co::PipelineConfig full;
+  EXPECT_LT(fast.layout.hypotheses, full.layout.hypotheses);
+}
+
+TEST(Pipeline, JunkUploadDropped) {
+  const auto spec = cs::random_building(3, *[] {
+    static cc::Rng rng(211);
+    return &rng;
+  }());
+  const auto scene = cs::Scene::from_spec(spec, 211);
+  cs::SimOptions options;
+  options.fps = 3.0;
+  cs::UserSimulator user(scene, spec, options, cc::Rng(211));
+
+  co::CrowdMapPipeline pipeline(co::PipelineConfig::fast_profile());
+  pipeline.ingest(user.junk_video(cs::Lighting::day()));
+  pipeline.ingest(user.hallway_walk(cs::Lighting::day()));
+  EXPECT_EQ(pipeline.trajectories().size() + pipeline.dropped_count(), 2u);
+  EXPECT_GE(pipeline.trajectories().size(), 1u);
+}
+
+TEST(Pipeline, IngestTrajectoryGates) {
+  co::CrowdMapPipeline pipeline(co::PipelineConfig::fast_profile());
+  crowdmap::trajectory::Trajectory empty;
+  pipeline.ingest_trajectory(empty);  // no keyframes -> dropped
+  EXPECT_EQ(pipeline.dropped_count(), 1u);
+  EXPECT_TRUE(pipeline.trajectories().empty());
+}
+
+TEST(Pipeline, RunOnEmptyInputProducesEmptyPlan) {
+  co::CrowdMapPipeline pipeline(co::PipelineConfig::fast_profile());
+  const auto result = pipeline.run();
+  EXPECT_EQ(result.diagnostics.trajectories_kept, 0u);
+  EXPECT_TRUE(result.plan.rooms.empty());
+  EXPECT_EQ(result.plan.hallway.count_set(), 0u);
+}
+
+TEST(Pipeline, EndToEndSmallCampaign) {
+  // A 4-room random building with a small crowd: the pipeline must place
+  // most trajectories, reconstruct a skeleton and at least half the rooms.
+  cc::Rng rng(223);
+  const auto spec = cs::random_building(4, rng);
+  const auto options = small_campaign_options();
+
+  co::CrowdMapPipeline pipeline(co::PipelineConfig::fast_profile());
+  cs::generate_campaign_streaming(
+      spec, options, 223,
+      [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
+
+  co::WorldFrame frame;
+  frame.global_to_world = crowdmap::geometry::Pose2{};
+  frame.extent = spec.extent();
+  // Run in the pipeline's own frame (no truth alignment): structure checks
+  // only.
+  const auto result = pipeline.run();
+
+  const auto& d = result.diagnostics;
+  EXPECT_EQ(d.videos_ingested, spec.rooms.size() + 8);
+  EXPECT_GE(d.trajectories_placed, d.trajectories_kept / 2);
+  EXPECT_GT(result.skeleton.raster.count_set(), 20u);
+  EXPECT_GE(result.rooms.size(), spec.rooms.size() / 2);
+  EXPECT_EQ(result.plan.rooms.size(), result.rooms.size());
+  // Diagnostics timing fields populated.
+  EXPECT_GT(d.aggregate_seconds + d.skeleton_seconds + d.rooms_seconds, 0.0);
+}
+
+TEST(Pipeline, WorldFrameControlsExtent) {
+  cc::Rng rng(227);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options = small_campaign_options();
+  options.hallway_walks = 4;
+  co::CrowdMapPipeline pipeline(co::PipelineConfig::fast_profile());
+  cs::generate_campaign_streaming(
+      spec, options, 227,
+      [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
+  co::WorldFrame frame;
+  frame.extent = spec.extent();
+  auto result = pipeline.run(frame);
+  EXPECT_NEAR(result.plan.hallway.extent().min.x, spec.extent().min.x, 1e-9);
+  EXPECT_NEAR(result.plan.hallway.extent().max.y, spec.extent().max.y, 1e-9);
+}
+
+TEST(Pipeline, RoomDedupMergesRevisits) {
+  // Two visits to the same room must produce one reconstructed room.
+  cc::Rng rng(229);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options = small_campaign_options();
+  options.room_videos_per_room = 2;
+  options.hallway_walks = 6;
+  co::CrowdMapPipeline pipeline(co::PipelineConfig::fast_profile());
+  cs::generate_campaign_streaming(
+      spec, options, 229,
+      [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
+  const auto result = pipeline.run();
+  // No more reconstructed rooms than real rooms (dedup worked), allowing one
+  // spurious extra in the worst case.
+  EXPECT_LE(result.rooms.size(), spec.rooms.size() + 1);
+}

@@ -1,0 +1,99 @@
+// Tests for room-corner detection and the corner-consistency cost (Fig. 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "room/corners.hpp"
+#include "sim/buildings.hpp"
+#include "sim/scene.hpp"
+#include "vision/panorama.hpp"
+
+namespace cr = crowdmap::room;
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+
+TEST(PredictCorners, SquareFromCenterQuarters) {
+  cr::LayoutHypothesis hyp;
+  hyp.width = 4.0;
+  hyp.depth = 4.0;
+  const auto columns = cr::predict_corner_columns(hyp, 360);
+  ASSERT_EQ(columns.size(), 4u);
+  // Corners of a centered square sit at 45, 135, 225, 315 degrees.
+  EXPECT_NEAR(columns[0], 45.0, 1.0);
+  EXPECT_NEAR(columns[1], 135.0, 1.0);
+  EXPECT_NEAR(columns[2], 225.0, 1.0);
+  EXPECT_NEAR(columns[3], 315.0, 1.0);
+}
+
+TEST(PredictCorners, OrientationShiftsColumns) {
+  cr::LayoutHypothesis hyp;
+  hyp.width = 4.0;
+  hyp.depth = 4.0;
+  hyp.orientation = cc::deg2rad(30.0);
+  const auto columns = cr::predict_corner_columns(hyp, 360);
+  EXPECT_NEAR(columns[0], 75.0, 1.0);  // 45 + 30
+}
+
+TEST(CornerCost, ZeroWhenAligned) {
+  const std::vector<double> detected = {45, 135, 225, 315};
+  cr::LayoutHypothesis hyp;
+  hyp.width = 4.0;
+  hyp.depth = 4.0;
+  const auto predicted = cr::predict_corner_columns(hyp, 360);
+  EXPECT_LT(cr::corner_cost(detected, predicted, 360), 1.5);
+}
+
+TEST(CornerCost, CircularDistance) {
+  // Prediction at column 359 against detection at column 1: distance 2.
+  EXPECT_NEAR(cr::corner_cost({1.0}, {359.0}, 360), 2.0, 1e-9);
+}
+
+TEST(CornerCost, NoEvidenceNoPenalty) {
+  EXPECT_EQ(cr::corner_cost({}, {10.0, 20.0}, 360), 0.0);
+}
+
+TEST(DetectCorners, FindsWallJointsOnRealPanorama) {
+  // Panorama from a room center: the four wall joints should register as
+  // vertical-line columns near their predicted positions.
+  cs::FloorPlanSpec spec;
+  spec.name = "single";
+  spec.feature_density = 0.75;
+  cs::RoomSpec room;
+  room.id = 1;
+  room.center = {0, 0};
+  room.width = 6.0;
+  room.depth = 4.0;
+  room.door = {0, -2.0};
+  spec.rooms.push_back(room);
+  spec.hallways.push_back(cs::corridor({-6, -3.2}, {6, -3.2}, 2.4));
+  const auto scene = cs::Scene::from_spec(spec, 881);
+
+  cs::CameraIntrinsics intr;
+  cc::Rng rng(881);
+  std::vector<crowdmap::vision::PanoFrame> frames;
+  for (int i = 0; i < 16; ++i) {
+    const double heading = i * cc::kTwoPi / 16;
+    frames.push_back({scene.render({room.center, heading}, intr,
+                                   cs::Lighting::day(), rng)
+                          .to_gray(),
+                      heading});
+  }
+  crowdmap::vision::StitchParams sp;
+  sp.output_width = 512;
+  sp.output_height = 128;
+  const auto pano = crowdmap::vision::stitch_panorama(std::move(frames), sp);
+
+  const auto detected = cr::detect_corner_columns(pano.image);
+  ASSERT_GE(detected.size(), 2u);
+
+  cr::LayoutHypothesis truth;
+  truth.width = room.width;
+  truth.depth = room.depth;
+  const auto predicted = cr::predict_corner_columns(truth, sp.output_width);
+  // Detected columns should be closer to the truth than a uniformly wrong
+  // hypothesis's corners would be on average.
+  const double cost_truth = cr::corner_cost(detected, predicted, sp.output_width);
+  EXPECT_LT(cost_truth, 30.0);
+}

@@ -1,0 +1,86 @@
+// Tests for campaign coverage analysis and walk-task suggestions.
+#include <gtest/gtest.h>
+
+#include "mapping/coverage.hpp"
+
+namespace cm = crowdmap::mapping;
+namespace cg = crowdmap::geometry;
+using cg::Vec2;
+
+namespace {
+
+/// Grid + skeleton where the left half of a corridor is well travelled and
+/// the right half has a single pass.
+struct Scenario {
+  cm::OccupancyGrid grid{cg::Aabb{{0, 0}, {30, 10}}, 0.5};
+  cg::BoolRaster skeleton{cg::Aabb{{0, 0}, {30, 10}}, 0.5};
+
+  Scenario() {
+    for (int k = 0; k < 6; ++k) grid.add_polyline({{1, 5}, {15, 5}}, 1.0);
+    grid.add_polyline({{15, 5}, {29, 5}}, 1.0);  // one pass only
+    skeleton.fill_polygon(cg::Polygon::rectangle({15, 5}, 28, 2));
+  }
+};
+
+}  // namespace
+
+TEST(Coverage, SplitsConfidentFromThin) {
+  Scenario s;
+  const auto report = cm::coverage_report(s.grid, s.skeleton, 3.0);
+  EXPECT_GT(report.skeleton_cells, 100u);
+  EXPECT_GT(report.confident_fraction, 0.15);
+  EXPECT_LT(report.confident_fraction, 0.85);
+  // Left-half center is confident, right-half center is thin.
+  {
+    const auto [c, r] = report.thin.cell_of({8.0, 5.0});
+    EXPECT_FALSE(report.thin.at(c, r));
+  }
+  {
+    const auto [c, r] = report.thin.cell_of({25.0, 5.0});
+    EXPECT_TRUE(report.thin.at(c, r));
+  }
+}
+
+TEST(Coverage, FullyConfidentWhenEverythingTravelled) {
+  cm::OccupancyGrid grid{cg::Aabb{{0, 0}, {10, 10}}, 0.5};
+  cg::BoolRaster skeleton{cg::Aabb{{0, 0}, {10, 10}}, 0.5};
+  for (int k = 0; k < 5; ++k) grid.add_polyline({{1, 5}, {9, 5}}, 2.0);
+  skeleton.fill_polygon(cg::Polygon::rectangle({5, 5}, 8, 1.6));
+  const auto report = cm::coverage_report(grid, skeleton, 3.0);
+  EXPECT_GT(report.confident_fraction, 0.95);
+  EXPECT_TRUE(cm::suggest_walk_tasks(report).size() <= 1);
+}
+
+TEST(Coverage, EmptySkeleton) {
+  cm::OccupancyGrid grid{cg::Aabb{{0, 0}, {10, 10}}, 0.5};
+  cg::BoolRaster skeleton{cg::Aabb{{0, 0}, {10, 10}}, 0.5};
+  const auto report = cm::coverage_report(grid, skeleton);
+  EXPECT_EQ(report.skeleton_cells, 0u);
+  EXPECT_EQ(report.confident_fraction, 1.0);
+  EXPECT_TRUE(cm::suggest_walk_tasks(report).empty());
+}
+
+TEST(Coverage, SuggestsWalkThroughThinArea) {
+  Scenario s;
+  const auto report = cm::coverage_report(s.grid, s.skeleton, 3.0);
+  const auto tasks = cm::suggest_walk_tasks(report, 3);
+  ASSERT_FALSE(tasks.empty());
+  EXPECT_GT(tasks.front().expected_gain, 0.0);
+  // The best task touches the thin (right) half.
+  const double reach =
+      std::max(tasks.front().from.x, tasks.front().to.x);
+  EXPECT_GT(reach, 15.0);
+}
+
+TEST(Coverage, TasksSortedByGain) {
+  Scenario s;
+  // Punch two separate thin clusters by marking extra skeleton away from
+  // any travel.
+  s.skeleton.fill_polygon(cg::Polygon::rectangle({5, 8.5}, 6, 1.0));
+  s.skeleton.fill_polygon(cg::Polygon::rectangle({25, 1.5}, 6, 1.0));
+  const auto report = cm::coverage_report(s.grid, s.skeleton, 3.0);
+  const auto tasks = cm::suggest_walk_tasks(report, 4);
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_GE(tasks[i - 1].expected_gain, tasks[i].expected_gain);
+  }
+}

@@ -1,0 +1,194 @@
+// Delaunay triangulation, α-shape and convex hull tests, including the
+// empty-circumcircle property check on random point sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "geometry/alpha_shape.hpp"
+#include "geometry/convex_hull.hpp"
+#include "geometry/delaunay.hpp"
+
+namespace cg = crowdmap::geometry;
+namespace cc = crowdmap::common;
+using cg::Vec2;
+
+TEST(Circumcircle, EquilateralTriangle) {
+  const auto cc1 = cg::circumcircle({0, 0}, {2, 0}, {1, std::sqrt(3.0)});
+  EXPECT_NEAR(cc1.center.x, 1.0, 1e-9);
+  EXPECT_NEAR(cc1.center.y, 1.0 / std::sqrt(3.0), 1e-9);
+  const double r = std::sqrt(cc1.radius_sq);
+  EXPECT_NEAR(r, 2.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(Circumcircle, CollinearDegenerates) {
+  const auto cc1 = cg::circumcircle({0, 0}, {1, 0}, {2, 0});
+  EXPECT_GT(cc1.radius_sq, 1e100);
+}
+
+TEST(Delaunay, TooFewPoints) {
+  EXPECT_TRUE(cg::delaunay_triangulation({}).empty());
+  EXPECT_TRUE(cg::delaunay_triangulation({{0, 0}, {1, 1}}).empty());
+}
+
+TEST(Delaunay, SingleTriangle) {
+  const auto tris = cg::delaunay_triangulation({{0, 0}, {1, 0}, {0, 1}});
+  ASSERT_EQ(tris.size(), 1u);
+}
+
+TEST(Delaunay, SquareGivesTwoTriangles) {
+  const auto tris =
+      cg::delaunay_triangulation({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(tris.size(), 2u);
+}
+
+TEST(Delaunay, DuplicatePointsTolerated) {
+  const auto tris = cg::delaunay_triangulation(
+      {{0, 0}, {1, 0}, {0, 1}, {0, 0}, {1, 0}});
+  EXPECT_EQ(tris.size(), 1u);
+}
+
+namespace {
+
+/// Total area of a triangulation.
+double triangulation_area(const std::vector<Vec2>& pts,
+                          const std::vector<cg::Triangle>& tris) {
+  double acc = 0.0;
+  for (const auto& t : tris) {
+    const Vec2 a = pts[t.v[0]];
+    const Vec2 b = pts[t.v[1]];
+    const Vec2 c = pts[t.v[2]];
+    acc += std::abs((b - a).cross(c - a)) / 2.0;
+  }
+  return acc;
+}
+
+}  // namespace
+
+TEST(Delaunay, EmptyCircumcirclePropertyOnRandomSets) {
+  cc::Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 40; ++i) {
+      pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+    }
+    const auto tris = cg::delaunay_triangulation(pts);
+    ASSERT_FALSE(tris.empty());
+    for (const auto& t : tris) {
+      const auto circle = cg::circumcircle(pts[t.v[0]], pts[t.v[1]], pts[t.v[2]]);
+      for (std::size_t p = 0; p < pts.size(); ++p) {
+        if (t.has_vertex(p)) continue;
+        // No other point strictly inside the circumcircle.
+        EXPECT_GT((pts[p] - circle.center).norm_sq(), circle.radius_sq - 1e-6)
+            << "point " << p << " violates the empty-circle property";
+      }
+    }
+  }
+}
+
+TEST(Delaunay, CoversConvexHullArea) {
+  cc::Rng rng(22);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(0, 8), rng.uniform(0, 8)});
+  }
+  const auto tris = cg::delaunay_triangulation(pts);
+  const auto hull = cg::convex_hull(pts);
+  EXPECT_NEAR(triangulation_area(pts, tris), hull.area(), 1e-6);
+}
+
+TEST(AlphaShape, LargeAlphaEqualsHull) {
+  cc::Rng rng(23);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(0, 5), rng.uniform(0, 5)});
+  }
+  const auto shape = cg::alpha_shape(pts, 100.0);
+  const auto hull = cg::convex_hull(pts);
+  double area = 0.0;
+  for (const auto& t : shape.triangles) {
+    area += std::abs((pts[t.v[1]] - pts[t.v[0]]).cross(pts[t.v[2]] - pts[t.v[0]])) / 2;
+  }
+  EXPECT_NEAR(area, hull.area(), 1e-6);
+}
+
+TEST(AlphaShape, SmallAlphaRemovesLongTriangles) {
+  // Two dense clusters far apart: small alpha must not bridge them.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      pts.push_back({i * 0.4, j * 0.4});
+      pts.push_back({20 + i * 0.4, j * 0.4});
+    }
+  }
+  const auto shape = cg::alpha_shape(pts, 1.0);
+  for (const auto& t : shape.triangles) {
+    // Every retained triangle stays within one cluster.
+    const double x0 = pts[t.v[0]].x;
+    const double x1 = pts[t.v[1]].x;
+    const double x2 = pts[t.v[2]].x;
+    const bool left = x0 < 10 && x1 < 10 && x2 < 10;
+    const bool right = x0 > 10 && x1 > 10 && x2 > 10;
+    EXPECT_TRUE(left || right);
+  }
+}
+
+TEST(AlphaShape, BoundaryEdgesBelongToOneTriangle) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) pts.push_back({i * 1.0, j * 1.0});
+  }
+  const auto shape = cg::alpha_shape(pts, 1.5);
+  // A 6x6 grid with alpha 1.5 keeps everything; the boundary should trace
+  // the square outline: 5 edges per side x 4 sides = 20 edges.
+  EXPECT_EQ(shape.boundary.size(), 20u);
+}
+
+TEST(AlphaShape, ContainsQueries) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) pts.push_back({i * 1.0, j * 1.0});
+  }
+  const auto shape = cg::alpha_shape(pts, 1.5);
+  EXPECT_TRUE(cg::alpha_shape_contains(shape, pts, {2.5, 2.5}));
+  EXPECT_FALSE(cg::alpha_shape_contains(shape, pts, {12.0, 2.5}));
+}
+
+TEST(AlphaShape, ChainBoundaryFormsLoops) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) pts.push_back({i * 1.0, j * 1.0});
+  }
+  const auto shape = cg::alpha_shape(pts, 1.5);
+  const auto chains = cg::chain_boundary(shape.boundary);
+  ASSERT_FALSE(chains.empty());
+  // The outer boundary chain should close on itself.
+  const auto& chain = chains.front();
+  EXPECT_GT(chain.size(), 4u);
+  EXPECT_LT(chain.front().distance_to(chain.back()), 1e-6);
+}
+
+TEST(ConvexHull, Square) {
+  const auto hull =
+      cg::convex_hull({{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}, {0.5, 0.5}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(hull.area(), 4.0, 1e-9);
+  EXPECT_GT(hull.signed_area(), 0.0);  // CCW
+}
+
+TEST(ConvexHull, CollinearDegenerate) {
+  const auto hull = cg::convex_hull({{0, 0}, {1, 0}, {2, 0}});
+  EXPECT_LT(hull.size(), 3u);
+}
+
+TEST(ConvexHull, ContainsAllPoints) {
+  cc::Rng rng(24);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 80; ++i) {
+    pts.push_back({rng.uniform(-3, 3), rng.uniform(-3, 3)});
+  }
+  const auto hull = cg::convex_hull(pts);
+  for (const auto p : pts) {
+    EXPECT_TRUE(hull.contains(p));
+  }
+}

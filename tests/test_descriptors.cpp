@@ -1,0 +1,199 @@
+// Tests for HOG and the cheap retrieval descriptors (color histograms,
+// shape, Haar wavelet signatures) that drive the S1 key-frame gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "imaging/descriptors.hpp"
+#include "imaging/hog.hpp"
+
+namespace ci = crowdmap::imaging;
+namespace cc = crowdmap::common;
+
+namespace {
+
+ci::Image vertical_edge(int w, int h) {
+  ci::Image img(w, h, 0.0f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = w / 2; x < w; ++x) img.at(x, y) = 1.0f;
+  }
+  return img;
+}
+
+ci::Image horizontal_edge(int w, int h) {
+  ci::Image img(w, h, 0.0f);
+  for (int y = h / 2; y < h; ++y) {
+    for (int x = 0; x < w; ++x) img.at(x, y) = 1.0f;
+  }
+  return img;
+}
+
+ci::ColorImage solid_color(int w, int h, float r, float g, float b) {
+  return ci::ColorImage(w, h, {r, g, b});
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- HOG ---
+
+TEST(Hog, DescriptorSizeMatchesGeometry) {
+  const auto img = vertical_edge(64, 64);
+  ci::HogParams params;
+  const auto desc = ci::hog_descriptor(img, params);
+  // 8 cells/side, 7x7 blocks of 2x2 cells x 9 bins.
+  EXPECT_EQ(desc.size(), 7u * 7u * 2u * 2u * 9u);
+}
+
+TEST(Hog, EmptyForTinyImage) {
+  EXPECT_TRUE(ci::hog_descriptor(ci::Image(4, 4)).empty());
+}
+
+TEST(Hog, OrientationSelectivity) {
+  const auto v = ci::hog_descriptor(vertical_edge(64, 64));
+  const auto h = ci::hog_descriptor(horizontal_edge(64, 64));
+  const auto v2 = ci::hog_descriptor(vertical_edge(64, 64));
+  EXPECT_GT(ci::descriptor_cosine_similarity(v, v2), 0.999);
+  EXPECT_LT(ci::descriptor_cosine_similarity(v, h),
+            ci::descriptor_cosine_similarity(v, v2) - 0.1);
+}
+
+TEST(Hog, InvariantToGlobalBrightness) {
+  auto a = vertical_edge(64, 64);
+  ci::Image b(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) b.at(x, y) = 0.2f + 0.5f * a.at(x, y);
+  }
+  const auto da = ci::hog_descriptor(a);
+  const auto db = ci::hog_descriptor(b);
+  EXPECT_GT(ci::descriptor_cosine_similarity(da, db), 0.99);
+}
+
+TEST(Hog, DistanceMismatchedSizesThrows) {
+  EXPECT_THROW((void)ci::descriptor_distance({1.0f}, {1.0f, 2.0f}),
+               std::invalid_argument);
+}
+
+TEST(Hog, BadParamsThrow) {
+  ci::HogParams params;
+  params.cell_size = 0;
+  EXPECT_THROW((void)ci::hog_descriptor(vertical_edge(32, 32), params),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- color indexing ---
+
+TEST(ColorHistogram, SumsToOne) {
+  cc::Rng rng(41);
+  ci::ColorImage img(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      img.at(x, y) = {static_cast<float>(rng.uniform()),
+                      static_cast<float>(rng.uniform()),
+                      static_cast<float>(rng.uniform())};
+    }
+  }
+  const auto hist = ci::color_histogram(img);
+  EXPECT_NEAR(std::accumulate(hist.begin(), hist.end(), 0.0), 1.0, 1e-5);
+}
+
+TEST(ColorHistogram, IntersectionIdentityIsOne) {
+  const auto img = solid_color(8, 8, 0.9f, 0.1f, 0.1f);
+  const auto hist = ci::color_histogram(img);
+  EXPECT_NEAR(ci::histogram_intersection(hist, hist), 1.0, 1e-6);
+}
+
+TEST(ColorHistogram, DistinctColorsDoNotIntersect) {
+  const auto red = ci::color_histogram(solid_color(8, 8, 0.9f, 0.1f, 0.1f));
+  const auto blue = ci::color_histogram(solid_color(8, 8, 0.1f, 0.1f, 0.9f));
+  EXPECT_NEAR(ci::histogram_intersection(red, blue), 0.0, 1e-6);
+}
+
+TEST(ColorHistogram, SizeMismatchThrows) {
+  const auto a = ci::color_histogram(solid_color(4, 4, 1, 0, 0), 4);
+  const auto b = ci::color_histogram(solid_color(4, 4, 1, 0, 0), 8);
+  EXPECT_THROW((void)ci::histogram_intersection(a, b), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ shape ---
+
+TEST(ShapeDescriptor, UnitNorm) {
+  const auto desc = ci::shape_descriptor(vertical_edge(32, 32));
+  double norm = 0.0;
+  for (const float v : desc) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+}
+
+TEST(ShapeDescriptor, SimilarityBoundsAndSelectivity) {
+  const auto v = ci::shape_descriptor(vertical_edge(32, 32));
+  const auto h = ci::shape_descriptor(horizontal_edge(32, 32));
+  const double self = ci::shape_similarity(v, v);
+  const double cross = ci::shape_similarity(v, h);
+  EXPECT_NEAR(self, 1.0, 1e-9);
+  EXPECT_LT(cross, self);
+  EXPECT_GE(cross, 0.0);
+}
+
+// ---------------------------------------------------------------- wavelet ---
+
+TEST(Haar, PreservesEnergy) {
+  cc::Rng rng(43);
+  ci::Image img(16, 16);
+  for (auto& v : img.data()) v = static_cast<float>(rng.uniform());
+  double before = 0.0;
+  for (const float v : img.data()) before += static_cast<double>(v) * v;
+  ci::haar_decompose(img);
+  double after = 0.0;
+  for (const float v : img.data()) after += static_cast<double>(v) * v;
+  EXPECT_NEAR(before, after, 1e-3);  // orthonormal transform
+}
+
+TEST(Haar, RequiresPowerOfTwoSquare) {
+  ci::Image bad(12, 12);
+  EXPECT_THROW(ci::haar_decompose(bad), std::invalid_argument);
+  ci::Image rect(16, 8);
+  EXPECT_THROW(ci::haar_decompose(rect), std::invalid_argument);
+}
+
+TEST(WaveletSignature, SelfSimilarityIsHighest) {
+  cc::Rng rng(44);
+  ci::Image a(32, 32);
+  ci::Image b(32, 32);
+  for (auto& v : a.data()) v = static_cast<float>(rng.uniform());
+  for (auto& v : b.data()) v = static_cast<float>(rng.uniform());
+  const auto sa = ci::wavelet_signature(a);
+  const auto sb = ci::wavelet_signature(b);
+  EXPECT_GT(ci::wavelet_similarity(sa, sa), ci::wavelet_similarity(sa, sb));
+  EXPECT_NEAR(ci::wavelet_similarity(sa, sa), 1.0, 1e-9);
+}
+
+TEST(WaveletSignature, KeepsRequestedCoefficients) {
+  cc::Rng rng(45);
+  ci::Image img(32, 32);
+  for (auto& v : img.data()) v = static_cast<float>(rng.uniform());
+  const auto sig = ci::wavelet_signature(img, 64, 40);
+  EXPECT_EQ(sig.positions.size(), 40u);
+  EXPECT_EQ(sig.signs.size(), 40u);
+  // Positions sorted for the merge-style comparison.
+  EXPECT_TRUE(std::is_sorted(sig.positions.begin(), sig.positions.end()));
+}
+
+TEST(WaveletSignature, SizeMismatchThrows) {
+  const auto a = ci::wavelet_signature(ci::Image(16, 16, 0.5f), 32);
+  const auto b = ci::wavelet_signature(ci::Image(16, 16, 0.5f), 64);
+  EXPECT_THROW((void)ci::wavelet_similarity(a, b), std::invalid_argument);
+}
+
+TEST(WaveletSignature, BrightnessShiftPenalized) {
+  cc::Rng rng(46);
+  ci::Image a(32, 32);
+  for (auto& v : a.data()) v = static_cast<float>(rng.uniform() * 0.3);
+  ci::Image bright = a;
+  for (auto& v : bright.data()) v += 0.5f;
+  const auto sa = ci::wavelet_signature(a);
+  const auto sb = ci::wavelet_signature(bright);
+  // Same structure, different DC: similarity below self.
+  EXPECT_LT(ci::wavelet_similarity(sa, sb), 1.0);
+  EXPECT_GT(ci::wavelet_similarity(sa, sb), 0.3);  // structure still matches
+}

@@ -1,0 +1,115 @@
+// Tests for the evaluation harness itself (datasets, table/CDF printing) and
+// the vision S1 similarity stack that the harness exercises indirectly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "eval/datasets.hpp"
+#include "eval/harness.hpp"
+#include "sim/scene.hpp"
+#include "vision/similarity.hpp"
+
+namespace ce = crowdmap::eval;
+namespace cv = crowdmap::vision;
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+
+TEST(Datasets, ScaleReducesHallwayWalks) {
+  const auto full = ce::lab1_dataset(1.0);
+  const auto half = ce::lab1_dataset(0.5);
+  EXPECT_LT(half.options.hallway_walks, full.options.hallway_walks);
+  EXPECT_GE(half.options.hallway_walks, 4);  // floor
+  // Every room still gets visited.
+  EXPECT_EQ(half.options.room_videos_per_room, 1);
+}
+
+TEST(Datasets, AllThreePresent) {
+  const auto datasets = ce::all_datasets(1.0);
+  ASSERT_EQ(datasets.size(), 3u);
+  EXPECT_EQ(datasets[0].name, "Lab1");
+  EXPECT_EQ(datasets[1].name, "Lab2");
+  EXPECT_EQ(datasets[2].name, "Gym");
+}
+
+TEST(Harness, TruthRasterGridMatchesConfig) {
+  const auto dataset = ce::lab2_dataset(1.0);
+  const auto raster = ce::truth_hallway_raster(dataset, 0.5);
+  EXPECT_NEAR(raster.cell_size(), 0.5, 1e-12);
+  EXPECT_GT(raster.count_set(), 100u);
+}
+
+TEST(Harness, TableRowFormatting) {
+  std::ostringstream out;
+  ce::print_table_row(out, {"a", "bb", "ccc"}, 5);
+  EXPECT_EQ(out.str(), "a     | bb    | ccc  \n");
+}
+
+TEST(Harness, CdfPrintsHeaderAndSummary) {
+  std::ostringstream out;
+  ce::print_cdf(out, "demo", {1.0, 2.0, 3.0}, 3);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# CDF: demo (n=3)"), std::string::npos);
+  EXPECT_NE(text.find("mean="), std::string::npos);
+}
+
+TEST(Harness, CdfEmptySamplesNoCrash) {
+  std::ostringstream out;
+  ce::print_cdf(out, "empty", {}, 3);
+  EXPECT_NE(out.str().find("n=0"), std::string::npos);
+}
+
+TEST(Harness, FormatHelpers) {
+  EXPECT_EQ(ce::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(ce::pct(0.876, 1), "87.6%");
+}
+
+// ----------------------------------------------------- S1 similarity stack ---
+
+namespace {
+
+crowdmap::imaging::ColorImage frame_at(const cs::Scene& scene,
+                                       crowdmap::geometry::Vec2 pos,
+                                       double heading, std::uint64_t noise) {
+  cs::CameraIntrinsics intr;
+  cc::Rng rng(noise);
+  return scene.render({pos, heading}, intr, cs::Lighting::day(), rng);
+}
+
+}  // namespace
+
+TEST(SimilarityS1, SamePoseScoresHigh) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 901);
+  const auto a = cv::compute_cheap_descriptors(frame_at(scene, {10, 0}, 0.0, 1));
+  const auto b = cv::compute_cheap_descriptors(frame_at(scene, {10, 0}, 0.0, 2));
+  EXPECT_GT(cv::similarity_s1(a, b), 0.85);
+}
+
+TEST(SimilarityS1, DifferentSceneScoresLower) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 902);
+  const auto a = cv::compute_cheap_descriptors(frame_at(scene, {10, 0}, 0.0, 1));
+  const auto far = cv::compute_cheap_descriptors(
+      frame_at(scene, spec.rooms[0].center, 2.0, 1));
+  const auto same = cv::compute_cheap_descriptors(frame_at(scene, {10, 0}, 0.0, 3));
+  EXPECT_LT(cv::similarity_s1(a, far), cv::similarity_s1(a, same));
+}
+
+TEST(SimilarityS1, WeightsRespected) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 903);
+  const auto a = cv::compute_cheap_descriptors(frame_at(scene, {8, 0}, 0.1, 1));
+  const auto b = cv::compute_cheap_descriptors(frame_at(scene, {24, 0}, 3.0, 2));
+  cv::S1Weights color_only;
+  color_only.color = 1.0;
+  color_only.shape = 0.0;
+  color_only.wavelet = 0.0;
+  const double c = cv::similarity_s1(a, b, color_only);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+  // All-zero weights -> zero similarity.
+  cv::S1Weights zero;
+  zero.color = zero.shape = zero.wavelet = 0.0;
+  EXPECT_EQ(cv::similarity_s1(a, b, zero), 0.0);
+}

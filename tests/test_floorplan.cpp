@@ -1,0 +1,229 @@
+// Tests for floor plan modeling: Kabsch alignment, force-directed room
+// arrangement, metrics and rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "floorplan/arrange.hpp"
+#include "floorplan/eval.hpp"
+#include "floorplan/floorplan.hpp"
+#include "sim/buildings.hpp"
+
+namespace cf = crowdmap::floorplan;
+namespace cg = crowdmap::geometry;
+namespace cc = crowdmap::common;
+using cg::Vec2;
+
+// ---------------------------------------------------------------- Kabsch ---
+
+TEST(Kabsch, RecoversKnownTransform) {
+  cc::Rng rng(181);
+  const cg::Pose2 truth{{3.5, -2.0}, 0.7};
+  std::vector<Vec2> from;
+  std::vector<Vec2> to;
+  for (int i = 0; i < 30; ++i) {
+    const Vec2 p{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    from.push_back(p);
+    to.push_back(truth.apply(p));
+  }
+  const auto est = cf::kabsch_align(from, to);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->position.x, truth.position.x, 1e-9);
+  EXPECT_NEAR(est->position.y, truth.position.y, 1e-9);
+  EXPECT_NEAR(cc::angle_diff(est->theta, truth.theta), 0.0, 1e-9);
+}
+
+TEST(Kabsch, RobustToNoise) {
+  cc::Rng rng(182);
+  const cg::Pose2 truth{{1.0, 2.0}, -0.4};
+  std::vector<Vec2> from;
+  std::vector<Vec2> to;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    from.push_back(p);
+    to.push_back(truth.apply(p) + Vec2{rng.normal(0, 0.3), rng.normal(0, 0.3)});
+  }
+  const auto est = cf::kabsch_align(from, to);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->position.x, truth.position.x, 0.15);
+  EXPECT_NEAR(cc::angle_diff(est->theta, truth.theta), 0.0, 0.02);
+}
+
+TEST(Kabsch, DegenerateInputs) {
+  EXPECT_FALSE(cf::kabsch_align({}, {}).has_value());
+  const std::vector<Vec2> one = {{1, 1}};
+  EXPECT_FALSE(cf::kabsch_align(one, one).has_value());
+  const std::vector<Vec2> two = {{1, 1}, {2, 2}};
+  const std::vector<Vec2> three = {{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_FALSE(cf::kabsch_align(two, three).has_value());
+}
+
+// ------------------------------------------------------------ aspect error ---
+
+TEST(AspectError, ExactMatch) {
+  EXPECT_NEAR(cf::aspect_ratio_error(4, 2, 4, 2), 0.0, 1e-12);
+}
+
+TEST(AspectError, SwappedAxesResolved) {
+  // Estimated 2x4 against truth 4x2: the labelling is ambiguous; error 0.
+  EXPECT_NEAR(cf::aspect_ratio_error(2, 4, 4, 2), 0.0, 1e-12);
+}
+
+TEST(AspectError, GenuineMismatch) {
+  // Truth aspect 2.0, estimate 3.0 (or 1/3): min(|3-2|/2, |1/3-2|/2) = 0.5.
+  EXPECT_NEAR(cf::aspect_ratio_error(6, 2, 4, 2), 0.5, 1e-9);
+}
+
+TEST(AspectError, DegenerateInputs) {
+  EXPECT_EQ(cf::aspect_ratio_error(0, 2, 4, 2), 1.0);
+  EXPECT_EQ(cf::aspect_ratio_error(4, 2, 4, 0), 1.0);
+}
+
+// ---------------------------------------------------------------- arrange ---
+
+namespace {
+
+cf::PlacedRoom make_room(Vec2 center, double w = 4, double d = 4) {
+  cf::PlacedRoom room;
+  room.center = center;
+  room.anchor = center;
+  room.width = w;
+  room.depth = d;
+  return room;
+}
+
+cg::BoolRaster empty_hallway() {
+  return cg::BoolRaster(cg::Aabb{{-20, -20}, {20, 20}}, 0.5);
+}
+
+}  // namespace
+
+TEST(Arrange, OverlapArea) {
+  const auto a = make_room({0, 0});
+  const auto b = make_room({2, 0});
+  EXPECT_NEAR(cf::room_overlap_area(a, b), 8.0, 1e-6);
+  const auto far = make_room({20, 0});
+  EXPECT_EQ(cf::room_overlap_area(a, far), 0.0);
+}
+
+TEST(Arrange, SeparatesOverlappingRooms) {
+  std::vector<cf::PlacedRoom> rooms = {make_room({0, 0}), make_room({1.0, 0})};
+  const auto hallway = empty_hallway();
+  const auto stats = cf::arrange_rooms(rooms, hallway);
+  EXPECT_LT(cf::room_overlap_area(rooms[0], rooms[1]), 2.0);
+  EXPECT_LT(stats.total_room_overlap, 2.0);
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST(Arrange, AnchoredRoomStaysPut) {
+  std::vector<cf::PlacedRoom> rooms = {make_room({5, 5})};
+  const auto hallway = empty_hallway();
+  (void)cf::arrange_rooms(rooms, hallway);
+  EXPECT_LT(rooms[0].center.distance_to({5, 5}), 0.1);
+}
+
+TEST(Arrange, HallwayPushesIntrudingRoom) {
+  auto hallway = empty_hallway();
+  // Corridor band along y = 0.
+  hallway.fill_polygon(cg::Polygon::rectangle({0, 0}, 30, 2.4));
+  // Room whose footprint dips into the corridor.
+  std::vector<cf::PlacedRoom> rooms = {make_room({0, 2.0})};
+  (void)cf::arrange_rooms(rooms, hallway);
+  // Room should have been pushed away from the corridor (up).
+  EXPECT_GT(rooms[0].center.y, 2.0);
+}
+
+TEST(Arrange, EmptyRoomsNoCrash) {
+  std::vector<cf::PlacedRoom> rooms;
+  const auto stats = cf::arrange_rooms(rooms, empty_hallway());
+  EXPECT_EQ(stats.iterations, 0);
+}
+
+TEST(Arrange, CoincidentRoomsSeparate) {
+  std::vector<cf::PlacedRoom> rooms = {make_room({0, 0}), make_room({0, 0})};
+  (void)cf::arrange_rooms(rooms, empty_hallway());
+  EXPECT_GT(rooms[0].center.distance_to(rooms[1].center), 0.5);
+}
+
+// ------------------------------------------------------------- evaluation ---
+
+TEST(EvaluateRooms, ComputesAllThreeErrors) {
+  const auto spec = crowdmap::sim::lab1();
+  cf::FloorPlan plan;
+  plan.hallway = cg::BoolRaster(spec.extent(), 0.5);
+  // Perfect reconstruction of room 1, shifted reconstruction of room 2.
+  const auto& r1 = spec.rooms[0];
+  const auto& r2 = spec.rooms[1];
+  cf::PlacedRoom p1;
+  p1.center = r1.center;
+  p1.width = r1.width;
+  p1.depth = r1.depth;
+  p1.true_room_id = r1.id;
+  cf::PlacedRoom p2;
+  p2.center = r2.center + Vec2{1.0, 0.0};
+  p2.width = r2.width * 1.1;  // 10% width error
+  p2.depth = r2.depth;
+  p2.true_room_id = r2.id;
+  plan.rooms = {p1, p2};
+  const auto errors = cf::evaluate_rooms(plan, spec, cg::Pose2{});
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NEAR(errors[0].area_error, 0.0, 1e-9);
+  EXPECT_NEAR(errors[0].location_error_m, 0.0, 1e-9);
+  EXPECT_NEAR(errors[1].area_error, 0.1, 1e-6);
+  EXPECT_NEAR(errors[1].location_error_m, 1.0, 1e-9);
+}
+
+TEST(EvaluateRooms, SkipsUnknownRooms) {
+  const auto spec = crowdmap::sim::lab1();
+  cf::FloorPlan plan;
+  plan.hallway = cg::BoolRaster(spec.extent(), 0.5);
+  cf::PlacedRoom unknown;
+  unknown.true_room_id = -1;
+  plan.rooms = {unknown};
+  EXPECT_TRUE(cf::evaluate_rooms(plan, spec, cg::Pose2{}).empty());
+}
+
+TEST(EvaluateRooms, AlignmentTransformApplied) {
+  const auto spec = crowdmap::sim::lab1();
+  const auto& r1 = spec.rooms[0];
+  cf::FloorPlan plan;
+  plan.hallway = cg::BoolRaster(spec.extent(), 0.5);
+  // Plan in a frame shifted by (10, 0): alignment undoes the shift.
+  cf::PlacedRoom p;
+  p.center = r1.center - Vec2{10, 0};
+  p.width = r1.width;
+  p.depth = r1.depth;
+  p.true_room_id = r1.id;
+  plan.rooms = {p};
+  const auto errors =
+      cf::evaluate_rooms(plan, spec, cg::Pose2{{10, 0}, 0.0});
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NEAR(errors[0].location_error_m, 0.0, 1e-9);
+}
+
+// -------------------------------------------------------------- rendering ---
+
+TEST(Render, AsciiShowsHallwayAndRooms) {
+  cf::FloorPlan plan;
+  plan.hallway = cg::BoolRaster(cg::Aabb{{0, 0}, {20, 20}}, 0.5);
+  plan.hallway.fill_polygon(cg::Polygon::rectangle({10, 5}, 16, 2.4));
+  plan.rooms = {make_room({10, 12}, 6, 5)};
+  const std::string ascii = plan.to_ascii(60);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+  EXPECT_NE(ascii.find('R'), std::string::npos);
+  EXPECT_NE(ascii.find('+'), std::string::npos);
+}
+
+TEST(Render, SvgWellFormed) {
+  cf::FloorPlan plan;
+  plan.hallway = cg::BoolRaster(cg::Aabb{{0, 0}, {10, 10}}, 0.5);
+  plan.hallway.set(5, 5, true);
+  plan.rooms = {make_room({5, 5}, 2, 2)};
+  const std::string svg = plan.to_svg();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+}

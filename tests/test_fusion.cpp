@@ -1,0 +1,112 @@
+// Tests for the joint visual + trajectory room fusion (§VI future work) and
+// the shared oriented-bounding-box primitive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "geometry/obb.hpp"
+#include "room/fusion.hpp"
+
+namespace cr = crowdmap::room;
+namespace cg = crowdmap::geometry;
+namespace cc = crowdmap::common;
+using cg::Vec2;
+
+namespace {
+
+std::vector<Vec2> rect_loop(double w, double d, double theta,
+                            Vec2 center = {}) {
+  std::vector<Vec2> pts;
+  for (double x = -w / 2; x <= w / 2; x += 0.25) {
+    pts.push_back(center + Vec2{x, -d / 2}.rotated(theta));
+    pts.push_back(center + Vec2{x, d / 2}.rotated(theta));
+  }
+  for (double y = -d / 2; y <= d / 2; y += 0.25) {
+    pts.push_back(center + Vec2{-w / 2, y}.rotated(theta));
+    pts.push_back(center + Vec2{w / 2, y}.rotated(theta));
+  }
+  return pts;
+}
+
+cr::RoomLayout layout(double w, double d, double score, double orient = 0.0) {
+  cr::RoomLayout out;
+  out.width = w;
+  out.depth = d;
+  out.orientation = orient;
+  out.score = score;
+  return out;
+}
+
+}  // namespace
+
+TEST(OrientedBox, RecoversRotatedRectangle) {
+  const auto box = cg::oriented_bounding_box(rect_loop(6, 3, 0.5));
+  ASSERT_TRUE(box.has_value());
+  EXPECT_NEAR(box->width, 6.0, 0.2);
+  EXPECT_NEAR(box->depth, 3.0, 0.2);
+  EXPECT_NEAR(std::abs(std::remainder(box->orientation - 0.5, cc::kPi)), 0.0,
+              0.05);
+}
+
+TEST(OrientedBox, TooFewPoints) {
+  EXPECT_FALSE(cg::oriented_bounding_box(std::vector<Vec2>{{0, 0}, {1, 1}})
+                   .has_value());
+}
+
+TEST(Fusion, BothMissingIsNothing) {
+  EXPECT_FALSE(cr::fuse_layout_with_trace(std::nullopt, {}, {}).has_value());
+}
+
+TEST(Fusion, VisualOnlyPassesThrough) {
+  const auto fused =
+      cr::fuse_layout_with_trace(layout(5, 4, 0.3), {}, {});
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_EQ(fused->width, 5.0);
+  EXPECT_EQ(fused->visual_weight, 1.0);
+}
+
+TEST(Fusion, TraceOnlyInflatedByMargin) {
+  cr::FusionConfig config;
+  config.trace_margin = 0.5;
+  const auto fused =
+      cr::fuse_layout_with_trace(std::nullopt, rect_loop(4, 3, 0.0), config);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_NEAR(fused->width, 5.0, 0.3);  // 4 + 2 * 0.5
+  EXPECT_NEAR(fused->depth, 4.0, 0.3);
+  EXPECT_EQ(fused->visual_weight, 0.0);
+}
+
+TEST(Fusion, HighScoreTrustsVisual) {
+  const auto fused = cr::fuse_layout_with_trace(
+      layout(6, 5, 0.5), rect_loop(3, 2, 0.0), {});
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_GT(fused->visual_weight, 0.95);
+  EXPECT_NEAR(fused->width, 6.0, 0.3);
+}
+
+TEST(Fusion, LowScoreLeansOnTrace) {
+  cr::FusionConfig config;
+  config.trace_margin = 0.5;
+  // A degenerate visual fit (non-rectangular room): score near zero.
+  const auto fused = cr::fuse_layout_with_trace(
+      layout(14, 2, 0.01), rect_loop(4, 3, 0.0), config);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_LT(fused->visual_weight, 0.25);
+  // Mostly the trace's inflated extents.
+  EXPECT_NEAR(fused->width, 5.0, 1.6);
+  EXPECT_NEAR(fused->depth, 4.0, 1.2);
+}
+
+TEST(Fusion, SwappedTraceAxesAligned) {
+  // The trace's principal axis is the visual layout's depth direction; the
+  // blend must not average width against depth.
+  cr::FusionConfig config;
+  config.trace_margin = 0.0;
+  const auto fused = cr::fuse_layout_with_trace(
+      layout(3, 8, 0.01, 0.0), rect_loop(8, 3, cc::kPi / 2), config);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_NEAR(fused->width, 3.0, 0.8);
+  EXPECT_NEAR(fused->depth, 8.0, 0.8);
+}

@@ -1,0 +1,246 @@
+// Unit and property tests for crowdmap::geometry — vectors, poses, segments,
+// polygons.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/pose2.hpp"
+#include "geometry/segment.hpp"
+#include "geometry/vec2.hpp"
+
+namespace cg = crowdmap::geometry;
+namespace cc = crowdmap::common;
+using cg::Vec2;
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2};
+  const Vec2 b{3, -1};
+  EXPECT_EQ(a + b, Vec2(4, 1));
+  EXPECT_EQ(a - b, Vec2(-2, 3));
+  EXPECT_EQ(a * 2.0, Vec2(2, 4));
+  EXPECT_EQ(2.0 * a, Vec2(2, 4));
+  EXPECT_EQ(-a, Vec2(-1, -2));
+}
+
+TEST(Vec2, DotCrossNorm) {
+  const Vec2 a{3, 4};
+  EXPECT_NEAR(a.norm(), 5.0, 1e-12);
+  EXPECT_NEAR(a.norm_sq(), 25.0, 1e-12);
+  EXPECT_NEAR(Vec2(1, 0).dot({0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(Vec2(1, 0).cross({0, 1}), 1.0, 1e-12);  // CCW positive
+  EXPECT_NEAR(Vec2(0, 1).cross({1, 0}), -1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  cc::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 v{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const double angle = rng.uniform(-10, 10);
+    EXPECT_NEAR(v.rotated(angle).norm(), v.norm(), 1e-9);
+  }
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 v{1, 0};
+  const Vec2 r = v.rotated(cc::kPi / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_EQ(v.perp(), Vec2(0, 1));
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ(Vec2(0, 0).normalized(), Vec2(0, 0));
+  EXPECT_NEAR(Vec2(5, 0).normalized().x, 1.0, 1e-12);
+}
+
+TEST(Vec2, AngleFromAngleRoundTrip) {
+  for (double a = -3.0; a < 3.0; a += 0.17) {
+    EXPECT_NEAR(Vec2::from_angle(a).angle(), a, 1e-9);
+  }
+}
+
+TEST(Pose2, IdentityLeavesPointsAlone) {
+  const cg::Pose2 id;
+  EXPECT_EQ(id.apply({3, 4}), Vec2(3, 4));
+}
+
+TEST(Pose2, ApplyRotatesThenTranslates) {
+  const cg::Pose2 p{{1, 0}, cc::kPi / 2};
+  const Vec2 out = p.apply({1, 0});
+  EXPECT_NEAR(out.x, 1.0, 1e-12);
+  EXPECT_NEAR(out.y, 1.0, 1e-12);
+}
+
+TEST(Pose2, ComposeMatchesSequentialApply) {
+  cc::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const cg::Pose2 a{{rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(-3, 3)};
+    const cg::Pose2 b{{rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(-3, 3)};
+    const Vec2 p{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec2 via_compose = a.compose(b).apply(p);
+    const Vec2 via_sequence = a.apply(b.apply(p));
+    EXPECT_NEAR(via_compose.x, via_sequence.x, 1e-9);
+    EXPECT_NEAR(via_compose.y, via_sequence.y, 1e-9);
+  }
+}
+
+TEST(Pose2, InverseRoundTrip) {
+  cc::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const cg::Pose2 p{{rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(-3, 3)};
+    const Vec2 q{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec2 back = p.inverse().apply(p.apply(q));
+    EXPECT_NEAR(back.x, q.x, 1e-9);
+    EXPECT_NEAR(back.y, q.y, 1e-9);
+  }
+}
+
+TEST(Pose2, BetweenRecoversRelative) {
+  const cg::Pose2 a{{1, 2}, 0.5};
+  const cg::Pose2 b{{-1, 3}, -0.7};
+  const cg::Pose2 rel = a.between(b);
+  const cg::Pose2 b2 = a.compose(rel);
+  EXPECT_NEAR(b2.position.x, b.position.x, 1e-9);
+  EXPECT_NEAR(b2.position.y, b.position.y, 1e-9);
+  EXPECT_NEAR(cc::angle_diff(b2.theta, b.theta), 0.0, 1e-9);
+}
+
+TEST(Segment, LengthAndMidpoint) {
+  const cg::Segment s{{0, 0}, {3, 4}};
+  EXPECT_NEAR(s.length(), 5.0, 1e-12);
+  EXPECT_EQ(s.midpoint(), Vec2(1.5, 2));
+  EXPECT_EQ(s.at(0.0), Vec2(0, 0));
+  EXPECT_EQ(s.at(1.0), Vec2(3, 4));
+}
+
+TEST(Segment, IntersectCrossing) {
+  const auto p = cg::intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+}
+
+TEST(Segment, IntersectParallelAndDisjoint) {
+  EXPECT_FALSE(cg::intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}).has_value());
+  EXPECT_FALSE(cg::intersect({{0, 0}, {1, 0}}, {{2, -1}, {2, 1}}).has_value());
+}
+
+TEST(Segment, IntersectTouchingEndpoint) {
+  const auto p = cg::intersect({{0, 0}, {1, 0}}, {{1, 0}, {1, 1}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-9);
+}
+
+TEST(Segment, DistancePointSegment) {
+  const cg::Segment s{{0, 0}, {10, 0}};
+  EXPECT_NEAR(cg::distance_point_segment({5, 3}, s), 3.0, 1e-12);
+  EXPECT_NEAR(cg::distance_point_segment({-3, 4}, s), 5.0, 1e-12);  // clamps
+  EXPECT_NEAR(cg::distance_point_segment({13, 4}, s), 5.0, 1e-12);
+}
+
+TEST(Segment, RayHitsAndMisses) {
+  const cg::Segment wall{{5, -1}, {5, 1}};
+  const auto hit = cg::ray_segment({0, 0}, {1, 0}, wall);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->distance, 5.0, 1e-9);
+  EXPECT_NEAR(hit->t, 0.5, 1e-9);
+  EXPECT_FALSE(cg::ray_segment({0, 0}, {-1, 0}, wall).has_value());  // behind
+  EXPECT_FALSE(cg::ray_segment({0, 5}, {1, 0}, wall).has_value());   // above
+}
+
+TEST(Polygon, RectangleAreaCentroid) {
+  const auto r = cg::Polygon::rectangle({2, 3}, 4, 6);
+  EXPECT_NEAR(r.area(), 24.0, 1e-12);
+  EXPECT_NEAR(r.centroid().x, 2.0, 1e-9);
+  EXPECT_NEAR(r.centroid().y, 3.0, 1e-9);
+  EXPECT_NEAR(r.perimeter(), 20.0, 1e-12);
+}
+
+TEST(Polygon, OrientedRectanglePreservesArea) {
+  cc::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const double w = rng.uniform(1, 10);
+    const double h = rng.uniform(1, 10);
+    const auto r = cg::Polygon::oriented_rectangle(
+        {rng.uniform(-5, 5), rng.uniform(-5, 5)}, w, h, rng.uniform(0, 3));
+    EXPECT_NEAR(r.area(), w * h, 1e-9);
+  }
+}
+
+TEST(Polygon, ContainsInteriorAndBoundary) {
+  const auto r = cg::Polygon::rectangle({0, 0}, 2, 2);
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({1, 0}));   // on edge
+  EXPECT_TRUE(r.contains({1, 1}));   // corner
+  EXPECT_FALSE(r.contains({1.01, 0}));
+  EXPECT_FALSE(r.contains({5, 5}));
+}
+
+TEST(Polygon, SignedAreaWinding) {
+  const cg::Polygon ccw({{0, 0}, {1, 0}, {1, 1}});
+  EXPECT_GT(ccw.signed_area(), 0.0);
+  const cg::Polygon cw({{0, 0}, {1, 1}, {1, 0}});
+  EXPECT_LT(cw.signed_area(), 0.0);
+  EXPECT_GT(cw.ccw().signed_area(), 0.0);
+}
+
+TEST(Polygon, BoundingBox) {
+  const cg::Polygon p({{1, 2}, {5, -1}, {3, 4}});
+  const auto box = p.bounding_box();
+  EXPECT_EQ(box.min, Vec2(1, -1));
+  EXPECT_EQ(box.max, Vec2(5, 4));
+  EXPECT_THROW((void)cg::Polygon().bounding_box(), std::logic_error);
+}
+
+TEST(Polygon, TransformedRigid) {
+  const auto r = cg::Polygon::rectangle({0, 0}, 2, 2);
+  const auto moved = r.transformed({{10, 0}, 0.0});
+  EXPECT_NEAR(moved.centroid().x, 10.0, 1e-9);
+  EXPECT_NEAR(moved.area(), r.area(), 1e-9);
+}
+
+TEST(Polygon, ClipConvexOverlap) {
+  const auto a = cg::Polygon::rectangle({0, 0}, 4, 4);
+  const auto b = cg::Polygon::rectangle({2, 0}, 4, 4);
+  const auto inter = cg::clip_convex(a, b);
+  EXPECT_NEAR(inter.area(), 8.0, 1e-9);  // 2 x 4 overlap
+}
+
+TEST(Polygon, ClipConvexDisjointEmpty) {
+  const auto a = cg::Polygon::rectangle({0, 0}, 2, 2);
+  const auto b = cg::Polygon::rectangle({10, 10}, 2, 2);
+  EXPECT_NEAR(cg::clip_convex(a, b).area(), 0.0, 1e-9);
+}
+
+TEST(Polygon, ClipConvexContained) {
+  const auto outer = cg::Polygon::rectangle({0, 0}, 10, 10);
+  const auto inner = cg::Polygon::rectangle({1, 1}, 2, 2);
+  EXPECT_NEAR(cg::clip_convex(inner, outer).area(), 4.0, 1e-9);
+  EXPECT_NEAR(cg::clip_convex(outer, inner).area(), 4.0, 1e-9);
+}
+
+TEST(Polygon, IouIdenticalIsOne) {
+  const auto r = cg::Polygon::rectangle({0, 0}, 3, 5);
+  EXPECT_GT(cg::polygon_iou(r, r, 128), 0.97);
+}
+
+TEST(Polygon, IouHalfOverlap) {
+  const auto a = cg::Polygon::rectangle({0, 0}, 2, 2);
+  const auto b = cg::Polygon::rectangle({1, 0}, 2, 2);
+  // overlap 2, union 6 -> 1/3.
+  EXPECT_NEAR(cg::polygon_iou(a, b, 256), 1.0 / 3.0, 0.03);
+}
+
+TEST(Aabb, IntersectsAndExpand) {
+  const cg::Aabb a{{0, 0}, {2, 2}};
+  const cg::Aabb b{{1, 1}, {3, 3}};
+  const cg::Aabb c{{5, 5}, {6, 6}};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.expanded(4.0).intersects(c));
+  EXPECT_NEAR(a.area(), 4.0, 1e-12);
+  EXPECT_EQ(a.center(), Vec2(1, 1));
+}

@@ -1,0 +1,227 @@
+// Tests for the imaging base layer: Image, integral images, Otsu, NCC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "imaging/image.hpp"
+#include "imaging/integral.hpp"
+#include "imaging/ncc.hpp"
+#include "imaging/otsu.hpp"
+
+namespace ci = crowdmap::imaging;
+namespace cc = crowdmap::common;
+
+namespace {
+
+ci::Image gradient_image(int w, int h) {
+  ci::Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.at(x, y) = static_cast<float>(x) / w;
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+TEST(Image, ConstructionAndFill) {
+  const ci::Image img(4, 3, 0.5f);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.pixel_count(), 12u);
+  EXPECT_FLOAT_EQ(img.at(3, 2), 0.5f);
+  EXPECT_THROW(ci::Image(-1, 2), std::invalid_argument);
+}
+
+TEST(Image, ClampedAccess) {
+  auto img = gradient_image(8, 8);
+  EXPECT_FLOAT_EQ(img.at_clamped(-5, 0), img.at(0, 0));
+  EXPECT_FLOAT_EQ(img.at_clamped(100, 100), img.at(7, 7));
+}
+
+TEST(Image, BilinearInterpolatesBetweenPixels) {
+  ci::Image img(2, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(1, 0) = 1.0f;
+  EXPECT_NEAR(img.sample_bilinear(0.5, 0.0), 0.5, 1e-6);
+  EXPECT_NEAR(img.sample_bilinear(0.25, 0.0), 0.25, 1e-6);
+}
+
+TEST(Image, ResizePreservesMean) {
+  const auto img = gradient_image(64, 64);
+  const auto small = img.resized(16, 16);
+  EXPECT_EQ(small.width(), 16);
+  EXPECT_NEAR(small.mean(), img.mean(), 0.02);
+}
+
+TEST(Image, CropBounds) {
+  const auto img = gradient_image(10, 10);
+  const auto crop = img.crop(2, 3, 4, 5);
+  EXPECT_EQ(crop.width(), 4);
+  EXPECT_EQ(crop.height(), 5);
+  EXPECT_FLOAT_EQ(crop.at(0, 0), img.at(2, 3));
+  // Out-of-range crop clamps.
+  const auto edge = img.crop(8, 8, 10, 10);
+  EXPECT_EQ(edge.width(), 2);
+  EXPECT_EQ(edge.height(), 2);
+}
+
+TEST(Image, BoxBlurSmoothsVariance) {
+  cc::Rng rng(31);
+  ci::Image img(32, 32);
+  for (auto& v : img.data()) v = static_cast<float>(rng.uniform());
+  const auto blurred = img.box_blurred(2);
+  EXPECT_LT(blurred.stddev(), img.stddev());
+  EXPECT_NEAR(blurred.mean(), img.mean(), 0.02);
+}
+
+TEST(Image, MeanStddev) {
+  ci::Image img(2, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(1, 0) = 1.0f;
+  EXPECT_NEAR(img.mean(), 0.5, 1e-6);
+  EXPECT_NEAR(img.stddev(), 0.5, 1e-6);
+}
+
+TEST(Gradients, SobelOnRamp) {
+  const auto img = gradient_image(16, 16);
+  const auto g = ci::sobel_gradients(img);
+  // Horizontal ramp: gx positive away from borders, gy ~ 0.
+  EXPECT_GT(g.gx.at(8, 8), 0.0f);
+  EXPECT_NEAR(g.gy.at(8, 8), 0.0f, 1e-5);
+}
+
+TEST(Gradients, MagnitudeCombines) {
+  ci::Image img(8, 8, 0.0f);
+  img.at(4, 4) = 1.0f;
+  const auto mag = ci::gradient_magnitude(ci::sobel_gradients(img));
+  EXPECT_GT(mag.at(3, 4), 0.0f);
+  EXPECT_FLOAT_EQ(mag.at(0, 0), 0.0f);
+}
+
+TEST(ColorImage, ToGrayLuminance) {
+  ci::ColorImage img(1, 1);
+  img.at(0, 0) = {1.0f, 0.0f, 0.0f};
+  EXPECT_NEAR(img.to_gray().at(0, 0), 0.299, 1e-5);
+  img.at(0, 0) = {1.0f, 1.0f, 1.0f};
+  EXPECT_NEAR(img.to_gray().at(0, 0), 1.0, 1e-5);
+}
+
+// --------------------------------------------------------- IntegralImage ---
+
+TEST(IntegralImage, BoxSumMatchesNaive) {
+  cc::Rng rng(33);
+  ci::Image img(23, 17);
+  for (auto& v : img.data()) v = static_cast<float>(rng.uniform());
+  const ci::IntegralImage ii(img);
+  for (int trial = 0; trial < 200; ++trial) {
+    int x0 = rng.uniform_int(0, 22);
+    int x1 = rng.uniform_int(0, 22);
+    int y0 = rng.uniform_int(0, 16);
+    int y1 = rng.uniform_int(0, 16);
+    if (x1 < x0) std::swap(x0, x1);
+    if (y1 < y0) std::swap(y0, y1);
+    double naive = 0.0;
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) naive += img.at(x, y);
+    }
+    EXPECT_NEAR(ii.box_sum(x0, y0, x1, y1), naive, 1e-6);
+  }
+}
+
+TEST(IntegralImage, ClampsOutOfBounds) {
+  ci::Image img(4, 4, 1.0f);
+  const ci::IntegralImage ii(img);
+  EXPECT_NEAR(ii.box_sum(-5, -5, 100, 100), 16.0, 1e-9);
+  EXPECT_NEAR(ii.box_mean(0, 0, 3, 3), 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ Otsu ---
+
+TEST(Otsu, SeparatesBimodal) {
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(0.1);
+  for (int i = 0; i < 100; ++i) samples.push_back(0.9);
+  const double t = ci::otsu_threshold(std::span<const double>(samples));
+  EXPECT_GT(t, 0.1);
+  EXPECT_LT(t, 0.9);
+}
+
+TEST(Otsu, DegenerateInputs) {
+  EXPECT_EQ(ci::otsu_threshold(std::span<const double>()), 0.0);
+  const std::vector<double> zeros(10, 0.0);
+  EXPECT_EQ(ci::otsu_threshold(std::span<const double>(zeros)), 0.0);
+}
+
+TEST(Otsu, ImageOverload) {
+  ci::Image img(10, 10, 0.2f);
+  for (int x = 0; x < 10; ++x) img.at(x, 9) = 0.9f;
+  const float t = ci::otsu_threshold(img);
+  // The optimal boundary may sit at the lower mode's bin edge.
+  EXPECT_GT(t, 0.15f);
+  EXPECT_LT(t, 0.9f);
+}
+
+// ------------------------------------------------------------------- NCC ---
+
+TEST(Ncc, IdenticalImagesScoreOne) {
+  const auto img = gradient_image(16, 16);
+  EXPECT_NEAR(ci::normalized_cross_correlation(img, img), 1.0, 1e-9);
+}
+
+TEST(Ncc, InvariantToGainAndOffset) {
+  const auto img = gradient_image(16, 16);
+  ci::Image scaled(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) scaled.at(x, y) = 0.3f + 0.4f * img.at(x, y);
+  }
+  EXPECT_NEAR(ci::normalized_cross_correlation(img, scaled), 1.0, 1e-5);
+}
+
+TEST(Ncc, InvertedScoresMinusOne) {
+  const auto img = gradient_image(16, 16);
+  ci::Image inv(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) inv.at(x, y) = 1.0f - img.at(x, y);
+  }
+  EXPECT_NEAR(ci::normalized_cross_correlation(img, inv), -1.0, 1e-5);
+}
+
+TEST(Ncc, UncorrelatedNoiseNearZero) {
+  cc::Rng rng(35);
+  ci::Image a(32, 32);
+  ci::Image b(32, 32);
+  for (auto& v : a.data()) v = static_cast<float>(rng.uniform());
+  for (auto& v : b.data()) v = static_cast<float>(rng.uniform());
+  EXPECT_LT(std::abs(ci::normalized_cross_correlation(a, b)), 0.15);
+}
+
+TEST(Ncc, SizeMismatchThrows) {
+  EXPECT_THROW((void)ci::normalized_cross_correlation(ci::Image(2, 2),
+                                                      ci::Image(3, 3)),
+               std::invalid_argument);
+}
+
+TEST(ShiftedNcc, PeaksAtTrueShift) {
+  cc::Rng rng(36);
+  ci::Image base(48, 24);
+  for (auto& v : base.data()) v = static_cast<float>(rng.uniform());
+  // b is base shifted right by 5 pixels.
+  ci::Image b(48, 24);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 48; ++x) b.at(x, y) = base.at_clamped(x + 5, y);
+  }
+  double best = -2;
+  int best_dx = 0;
+  for (int dx = -8; dx <= 8; ++dx) {
+    const double score = ci::shifted_ncc(base, b, dx, 0);
+    if (score > best) {
+      best = score;
+      best_dx = dx;
+    }
+  }
+  EXPECT_EQ(best_dx, 5);
+  EXPECT_GT(best, 0.9);
+}

@@ -1,0 +1,117 @@
+// Tests for the incremental aggregation cache.
+#include <gtest/gtest.h>
+
+#include "bench_util.hpp"
+#include "trajectory/incremental.hpp"
+
+
+namespace ct = crowdmap::trajectory;
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+
+namespace {
+
+std::vector<ct::Trajectory> pool() {
+  static const auto cached =
+      crowdmap::bench::make_walk_pool(cs::lab1(), 8, 0.0, 0xC0FFEE);
+  return cached;
+}
+
+}  // namespace
+
+TEST(Incremental, MatchCountIsIncremental) {
+  ct::IncrementalAggregator agg;
+  const auto trajectories = pool();
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < trajectories.size(); ++i) {
+    EXPECT_EQ(agg.add(trajectories[i]), i);
+    expected += i;  // newcomer matches everything before it
+    EXPECT_EQ(agg.stats().pair_matches_computed, expected);
+  }
+  // Full batch would also be n*(n-1)/2 — same total, but spread over adds.
+  EXPECT_EQ(expected, trajectories.size() * (trajectories.size() - 1) / 2);
+}
+
+TEST(Incremental, AggregateMatchesBatchResult) {
+  const auto trajectories = pool();
+  ct::IncrementalAggregator agg;
+  for (const auto& t : trajectories) agg.add(t);
+  const auto incremental = agg.aggregate();
+  const auto batch = ct::aggregate_trajectories(trajectories, {});
+  EXPECT_EQ(incremental.placed_count, batch.placed_count);
+  EXPECT_EQ(incremental.edges.size(), batch.edges.size());
+  // Identical placements (both are deterministic over the same edge set).
+  ASSERT_EQ(incremental.global_pose.size(), batch.global_pose.size());
+  for (std::size_t i = 0; i < batch.global_pose.size(); ++i) {
+    ASSERT_EQ(incremental.global_pose[i].has_value(),
+              batch.global_pose[i].has_value());
+    if (batch.global_pose[i]) {
+      EXPECT_NEAR(incremental.global_pose[i]->position.x,
+                  batch.global_pose[i]->position.x, 1e-9);
+      EXPECT_NEAR(incremental.global_pose[i]->theta,
+                  batch.global_pose[i]->theta, 1e-9);
+    }
+  }
+}
+
+TEST(Incremental, AggregateIsRepeatableWithoutRematching) {
+  const auto trajectories = pool();
+  ct::IncrementalAggregator agg;
+  for (const auto& t : trajectories) agg.add(t);
+  const auto computed_before = agg.stats().pair_matches_computed;
+  (void)agg.aggregate();
+  (void)agg.aggregate();
+  EXPECT_EQ(agg.stats().pair_matches_computed, computed_before);
+  EXPECT_GT(agg.stats().pair_matches_cached, 0u);
+}
+
+TEST(Incremental, EmptyAggregate) {
+  ct::IncrementalAggregator agg;
+  const auto result = agg.aggregate();
+  EXPECT_EQ(result.placed_count, 0u);
+  EXPECT_TRUE(result.edges.empty());
+}
+
+TEST(PlaceEdges, SyntheticChainPlacesAll) {
+  // Three nodes in a chain: 0 -(b_to_a = +x 5)- 1 -(+x 5)- 2.
+  std::vector<ct::MatchEdge> edges;
+  ct::MatchEdge e01;
+  e01.a = 0;
+  e01.b = 1;
+  e01.b_to_a = {{5, 0}, 0.0};
+  e01.s3 = 0.9;
+  e01.anchor_count = 4;
+  ct::MatchEdge e12 = e01;
+  e12.a = 1;
+  e12.b = 2;
+  edges = {e01, e12};
+  const auto result = ct::place_edges(3, edges, {});
+  EXPECT_EQ(result.placed_count, 3u);
+  ASSERT_TRUE(result.global_pose[2].has_value());
+  // Node 2 sits at +10 x relative to node 0 (the gauge).
+  EXPECT_NEAR(result.global_pose[2]->position.x -
+                  result.global_pose[0]->position.x,
+              10.0, 1e-6);
+}
+
+TEST(PlaceEdges, InconsistentEdgeRejected) {
+  // A triangle where one edge contradicts the other two: after relaxation
+  // the bad edge must be discarded, leaving a consistent placement.
+  auto edge = [](std::size_t a, std::size_t b, double tx) {
+    ct::MatchEdge e;
+    e.a = a;
+    e.b = b;
+    e.b_to_a = {{tx, 0}, 0.0};
+    e.s3 = 0.9;
+    e.anchor_count = 4;
+    return e;
+  };
+  std::vector<ct::MatchEdge> edges = {edge(0, 1, 5), edge(1, 2, 5),
+                                      edge(0, 2, 30)};  // liar
+  const auto result = ct::place_edges(3, edges, {});
+  EXPECT_EQ(result.placed_count, 3u);
+  EXPECT_EQ(result.edges.size(), 2u);  // the liar was pruned
+  EXPECT_NEAR(result.global_pose[2]->position.x -
+                  result.global_pose[0]->position.x,
+              10.0, 1.0);
+}

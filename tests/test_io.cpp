@@ -1,0 +1,202 @@
+// Tests for serialization (round trips, versioning, malformed input) and
+// PGM/PPM image IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "io/image_io.hpp"
+#include "io/serialize.hpp"
+#include "sim/buildings.hpp"
+#include "sim/user_sim.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace cio = crowdmap::io;
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+
+namespace {
+
+cs::SensorRichVideo sample_video() {
+  static const auto spec = cs::lab1();
+  static const auto scene = cs::Scene::from_spec(spec, 601);
+  cs::SimOptions options;
+  options.fps = 3.0;
+  cs::UserSimulator user(scene, spec, options, cc::Rng(601));
+  return user.hallway_walk_between({2, 0}, {14, 0}, cs::Lighting::day());
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ primitives ---
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  cio::Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.f32(3.25f);
+  w.f64(-2.5e-8);
+  w.str("hello");
+  const auto bytes = std::move(w).take();
+  cio::Reader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.f32(), 3.25f);
+  EXPECT_EQ(r.f64(), -2.5e-8);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, TruncatedReadThrows) {
+  cio::Writer w;
+  w.u32(7);
+  const auto bytes = std::move(w).take();
+  cio::Reader r(bytes);
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), cio::DecodeError);
+}
+
+// ------------------------------------------------------------------- IMU ---
+
+TEST(Serialize, ImuRoundTrip) {
+  const auto video = sample_video();
+  const auto bytes = cio::encode_imu(video.imu);
+  const auto decoded = cio::decode_imu(bytes);
+  ASSERT_EQ(decoded.samples.size(), video.imu.samples.size());
+  EXPECT_EQ(decoded.sample_rate_hz, video.imu.sample_rate_hz);
+  for (std::size_t i = 0; i < decoded.samples.size(); i += 97) {
+    EXPECT_EQ(decoded.samples[i].t, video.imu.samples[i].t);
+    EXPECT_EQ(decoded.samples[i].gyro_z, video.imu.samples[i].gyro_z);
+    EXPECT_EQ(decoded.samples[i].compass, video.imu.samples[i].compass);
+  }
+}
+
+TEST(Serialize, ImuWrongMagicThrows) {
+  cio::Bytes garbage = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_THROW((void)cio::decode_imu(garbage), cio::DecodeError);
+}
+
+// ------------------------------------------------------------ trajectory ---
+
+TEST(Serialize, TrajectoryRoundTrip) {
+  const auto traj = crowdmap::trajectory::extract_trajectory(sample_video());
+  const auto bytes = cio::encode_trajectory(traj);
+  const auto decoded = cio::decode_trajectory(bytes);
+
+  EXPECT_EQ(decoded.video_id, traj.video_id);
+  EXPECT_EQ(decoded.building, traj.building);
+  EXPECT_EQ(decoded.true_room_id, traj.true_room_id);
+  ASSERT_EQ(decoded.points.size(), traj.points.size());
+  ASSERT_EQ(decoded.keyframes.size(), traj.keyframes.size());
+  for (std::size_t i = 0; i < decoded.keyframes.size(); ++i) {
+    const auto& a = decoded.keyframes[i];
+    const auto& b = traj.keyframes[i];
+    EXPECT_EQ(a.position.x, b.position.x);
+    EXPECT_EQ(a.heading, b.heading);
+    ASSERT_EQ(a.surf.size(), b.surf.size());
+    for (std::size_t k = 0; k < a.surf.size(); ++k) {
+      EXPECT_EQ(a.surf[k].descriptor, b.surf[k].descriptor);
+      EXPECT_EQ(a.surf[k].keypoint.laplacian_positive,
+                b.surf[k].keypoint.laplacian_positive);
+    }
+    // Gray image quantized to 8 bits: equal to within half a step.
+    ASSERT_EQ(a.gray.width(), b.gray.width());
+    for (std::size_t p = 0; p < a.gray.data().size(); p += 131) {
+      EXPECT_NEAR(a.gray.data()[p], b.gray.data()[p], 1.0 / 255.0);
+    }
+    EXPECT_EQ(a.cheap.color_hist, b.cheap.color_hist);
+    EXPECT_EQ(a.cheap.wavelet.positions, b.cheap.wavelet.positions);
+  }
+}
+
+TEST(Serialize, TrajectoryTamperedLengthThrows) {
+  const auto traj = crowdmap::trajectory::extract_trajectory(sample_video());
+  auto bytes = cio::encode_trajectory(traj);
+  // Corrupt a length field deep inside: set four consecutive bytes to 0xFF.
+  for (std::size_t i = 40; i < 44 && i < bytes.size(); ++i) bytes[i] = 0xFF;
+  EXPECT_THROW((void)cio::decode_trajectory(bytes), cio::DecodeError);
+}
+
+// ------------------------------------------------------------- floor plan ---
+
+TEST(Serialize, FloorPlanRoundTrip) {
+  crowdmap::floorplan::FloorPlan plan;
+  plan.hallway =
+      crowdmap::geometry::BoolRaster({{0, 0}, {20, 12}}, 0.5);
+  plan.hallway.fill_polygon(
+      crowdmap::geometry::Polygon::rectangle({10, 6}, 16, 2.4));
+  crowdmap::floorplan::PlacedRoom room;
+  room.center = {5, 9};
+  room.width = 4.5;
+  room.depth = 3.5;
+  room.orientation = 0.2;
+  room.true_room_id = 7;
+  room.layout_score = 0.31;
+  plan.rooms.push_back(room);
+
+  const auto bytes = cio::encode_floorplan(plan);
+  const auto decoded = cio::decode_floorplan(bytes);
+  EXPECT_EQ(decoded.hallway.count_set(), plan.hallway.count_set());
+  EXPECT_EQ(decoded.hallway.width(), plan.hallway.width());
+  ASSERT_EQ(decoded.rooms.size(), 1u);
+  EXPECT_EQ(decoded.rooms[0].center.x, 5.0);
+  EXPECT_EQ(decoded.rooms[0].width, 4.5);
+  EXPECT_EQ(decoded.rooms[0].true_room_id, 7);
+  // Cell-exact raster round trip.
+  EXPECT_EQ(decoded.hallway.data(), plan.hallway.data());
+}
+
+TEST(Serialize, FloorPlanWrongMagicThrows) {
+  const auto traj = crowdmap::trajectory::extract_trajectory(sample_video());
+  const auto bytes = cio::encode_trajectory(traj);
+  EXPECT_THROW((void)cio::decode_floorplan(bytes), cio::DecodeError);
+}
+
+// --------------------------------------------------------------- image IO ---
+
+TEST(ImageIo, PgmRoundTrip) {
+  crowdmap::imaging::Image img(17, 9);
+  cc::Rng rng(611);
+  for (auto& v : img.data()) v = static_cast<float>(rng.uniform());
+  const auto path = temp_path("crowdmap_test.pgm");
+  ASSERT_TRUE(cio::write_pgm(path, img));
+  const auto back = cio::read_pgm(path);
+  ASSERT_EQ(back.width(), 17);
+  ASSERT_EQ(back.height(), 9);
+  for (std::size_t i = 0; i < img.data().size(); ++i) {
+    EXPECT_NEAR(back.data()[i], img.data()[i], 1.0 / 255.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmWrites) {
+  crowdmap::imaging::ColorImage img(8, 8, {0.2f, 0.5f, 0.9f});
+  const auto path = temp_path("crowdmap_test.ppm");
+  ASSERT_TRUE(cio::write_ppm(path, img));
+  EXPECT_GT(std::filesystem::file_size(path), 8u * 8u * 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, RasterPgm) {
+  crowdmap::geometry::BoolRaster raster({{0, 0}, {8, 8}}, 1.0);
+  raster.set(3, 4, true);
+  const auto path = temp_path("crowdmap_raster.pgm");
+  ASSERT_TRUE(cio::write_pgm(path, raster));
+  const auto back = cio::read_pgm(path);
+  // +y up convention: row 4 of the raster is image row (8-1-4) = 3.
+  EXPECT_GT(back.at(3, 3), 0.9f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, ReadMissingFileThrows) {
+  EXPECT_THROW((void)cio::read_pgm("/nonexistent/nope.pgm"), std::runtime_error);
+}

@@ -1,0 +1,132 @@
+// Tests for LSD-style line segment detection, Hough transform and the
+// vertical (vanishing) line column finder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "imaging/image.hpp"
+#include "vision/lines.hpp"
+
+namespace cv = crowdmap::vision;
+namespace ci = crowdmap::imaging;
+
+namespace {
+
+/// Image with one bright vertical stripe at column x0.
+ci::Image vertical_stripe(int w, int h, int x0, int thickness = 2) {
+  ci::Image img(w, h, 0.2f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = x0; x < x0 + thickness && x < w; ++x) img.at(x, y) = 0.9f;
+  }
+  return img;
+}
+
+ci::Image horizontal_stripe(int w, int h, int y0, int thickness = 2) {
+  ci::Image img(w, h, 0.2f);
+  for (int y = y0; y < y0 + thickness && y < h; ++y) {
+    for (int x = 0; x < w; ++x) img.at(x, y) = 0.9f;
+  }
+  return img;
+}
+
+}  // namespace
+
+TEST(LineSegment, LengthAndAngle) {
+  const cv::LineSegment s{0, 0, 3, 4, 1.0};
+  EXPECT_NEAR(s.length(), 5.0, 1e-9);
+  const cv::LineSegment vert{5, 0, 5, 10, 1.0};
+  EXPECT_NEAR(vert.angle(), std::numbers::pi / 2, 1e-9);
+  const cv::LineSegment horiz{0, 5, 10, 5, 1.0};
+  EXPECT_NEAR(horiz.angle(), 0.0, 1e-9);
+}
+
+TEST(Lsd, DetectsVerticalStripe) {
+  const auto img = vertical_stripe(64, 64, 30);
+  const auto segments = cv::detect_line_segments(img);
+  ASSERT_FALSE(segments.empty());
+  bool found = false;
+  for (const auto& s : segments) {
+    if (std::abs(s.angle() - std::numbers::pi / 2) < 0.15 &&
+        std::abs((s.x0 + s.x1) / 2 - 30.5) < 4 && s.length() > 30) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lsd, DetectsHorizontalStripe) {
+  const auto img = horizontal_stripe(64, 64, 40);
+  const auto segments = cv::detect_line_segments(img);
+  bool found = false;
+  for (const auto& s : segments) {
+    if (s.angle() < 0.15 && std::abs((s.y0 + s.y1) / 2 - 40.5) < 4 &&
+        s.length() > 30) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lsd, FlatImageNoSegments) {
+  EXPECT_TRUE(cv::detect_line_segments(ci::Image(64, 64, 0.5f)).empty());
+}
+
+TEST(Lsd, TinyImageNoCrash) {
+  EXPECT_TRUE(cv::detect_line_segments(ci::Image(3, 3, 0.5f)).empty());
+}
+
+TEST(Lsd, MinLengthRespected) {
+  cv::LsdParams params;
+  params.min_length = 500.0;  // nothing is this long in a 64 px image
+  EXPECT_TRUE(cv::detect_line_segments(vertical_stripe(64, 64, 20), params).empty());
+}
+
+TEST(Hough, PeakForDominantDirection) {
+  std::vector<cv::LineSegment> segments;
+  // Three collinear-ish vertical segments at x = 20.
+  segments.push_back({20, 0, 20, 20, 5.0});
+  segments.push_back({20, 25, 20, 45, 5.0});
+  segments.push_back({20, 50, 20, 63, 5.0});
+  const auto peaks = cv::hough_lines(segments);
+  ASSERT_FALSE(peaks.empty());
+  // Normal of a vertical line is horizontal: theta near 0 (or pi).
+  const double t = peaks.front().theta;
+  EXPECT_TRUE(t < 0.2 || t > std::numbers::pi - 0.2);
+  EXPECT_NEAR(std::abs(peaks.front().rho), 20.0, 3.0);
+}
+
+TEST(Hough, EmptyInput) {
+  EXPECT_TRUE(cv::hough_lines({}).empty());
+}
+
+TEST(Hough, MaxPeaksRespected) {
+  std::vector<cv::LineSegment> segments;
+  for (int i = 0; i < 10; ++i) {
+    segments.push_back({i * 6.0, 0, i * 6.0, 40, 2.0});
+  }
+  const auto peaks = cv::hough_lines(segments, 180, 2.0, 3);
+  EXPECT_LE(peaks.size(), 3u);
+}
+
+TEST(VerticalColumns, FindsStripeColumns) {
+  std::vector<cv::LineSegment> segments;
+  segments.push_back({20, 0, 20, 50, 4.0});   // vertical at 20
+  segments.push_back({47, 5, 48, 60, 4.0});   // vertical at ~47
+  segments.push_back({0, 30, 60, 30, 4.0});   // horizontal, ignored
+  const auto cols = cv::vertical_line_columns(segments, 64);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_NEAR(cols[0], 20.0, 2.0);
+  EXPECT_NEAR(cols[1], 47.5, 2.0);
+}
+
+TEST(VerticalColumns, SortedAndSuppressed) {
+  std::vector<cv::LineSegment> segments;
+  // Two near-identical columns: suppression keeps one.
+  segments.push_back({30, 0, 30, 50, 4.0});
+  segments.push_back({31, 0, 31, 50, 3.0});
+  segments.push_back({10, 0, 10, 50, 2.0});
+  const auto cols = cv::vertical_line_columns(segments, 64);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+}

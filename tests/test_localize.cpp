@@ -1,0 +1,104 @@
+// Tests for the particle-filter localizer on reconstructed floor plans.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "localize/particle_filter.hpp"
+
+namespace cl = crowdmap::localize;
+namespace cg = crowdmap::geometry;
+namespace cc = crowdmap::common;
+using cg::Vec2;
+
+namespace {
+
+/// L-shaped corridor map: along +x then up +y.
+cg::BoolRaster l_corridor() {
+  cg::BoolRaster map(cg::Aabb{{0, 0}, {30, 20}}, 0.5);
+  map.fill_polygon(cg::Polygon::rectangle({10, 1.2}, 20, 2.4));
+  map.fill_polygon(cg::Polygon::rectangle({18.8, 8}, 2.4, 16));
+  return map;
+}
+
+}  // namespace
+
+TEST(WalkableSpace, UnionOfHallwayAndRooms) {
+  crowdmap::floorplan::FloorPlan plan;
+  plan.hallway = cg::BoolRaster(cg::Aabb{{0, 0}, {20, 20}}, 0.5);
+  plan.hallway.fill_polygon(cg::Polygon::rectangle({10, 5}, 16, 2.4));
+  crowdmap::floorplan::PlacedRoom room;
+  room.center = {10, 10};
+  room.width = 4;
+  room.depth = 4;
+  plan.rooms.push_back(room);
+  const auto walkable = cl::walkable_space(plan);
+  EXPECT_GT(walkable.count_set(), plan.hallway.count_set());
+  const auto [c, r] = walkable.cell_of({10.0, 10.0});
+  EXPECT_TRUE(walkable.at(c, r));
+}
+
+TEST(MapLocalizer, ThrowsOnEmptyMap) {
+  cg::BoolRaster empty(cg::Aabb{{0, 0}, {5, 5}}, 0.5);
+  EXPECT_THROW(cl::MapLocalizer(empty, {}, cc::Rng(1)), std::invalid_argument);
+}
+
+TEST(MapLocalizer, KnownStartTracksWalk) {
+  cl::MapLocalizer localizer(l_corridor(), {}, cc::Rng(3));
+  localizer.initialize_at({2, 1.2}, 0.5);
+  // Walk 10 m east in 0.7 m steps.
+  Vec2 truth{2, 1.2};
+  for (int i = 0; i < 14; ++i) {
+    localizer.on_step(0.7, 0.0);
+    truth += {0.7, 0.0};
+  }
+  const auto belief = localizer.estimate();
+  EXPECT_LT(belief.position.distance_to(truth), 1.0);
+  EXPECT_LT(belief.spread, 1.5);
+}
+
+TEST(MapLocalizer, UniformBeliefConvergesAfterTurn) {
+  // An unknown start on an L corridor is ambiguous along the straight leg;
+  // turning the corner collapses the belief.
+  cl::LocalizerConfig config;
+  config.particle_count = 3000;
+  cl::MapLocalizer localizer(l_corridor(), config, cc::Rng(5));
+  localizer.initialize_uniform();
+
+  Vec2 truth{4, 1.2};
+  // East along the corridor.
+  for (int i = 0; i < 18; ++i) {
+    localizer.on_step(0.7, 0.0);
+    truth += {0.7, 0.0};
+  }
+  const double spread_before = localizer.estimate().spread;
+  // Turn north and climb the vertical leg.
+  for (int i = 0; i < 16; ++i) {
+    localizer.on_step(0.7, 1.5707963);
+    truth += {0.0, 0.7};
+  }
+  const auto belief = localizer.estimate();
+  EXPECT_LT(belief.spread, spread_before);
+  EXPECT_LT(belief.position.distance_to(truth), 2.5);
+}
+
+TEST(MapLocalizer, WallsKillImpossibleParticles) {
+  cl::MapLocalizer localizer(l_corridor(), {}, cc::Rng(7));
+  localizer.initialize_at({10, 1.2}, 0.2);
+  // March due north: corridor is only 2.4 m wide, so after a few steps every
+  // original particle has hit the wall and the filter must recover.
+  for (int i = 0; i < 12; ++i) localizer.on_step(0.7, 1.5707963);
+  const auto belief = localizer.estimate();
+  // Belief survives (auto-recovery), and it lives in walkable space.
+  EXPECT_GT(belief.in_map_fraction, 0.0);
+}
+
+TEST(MapLocalizer, StepBeforeInitializationSelfInitializes) {
+  cl::MapLocalizer localizer(l_corridor(), {}, cc::Rng(9));
+  localizer.on_step(0.7, 0.0);  // must not crash
+  EXPECT_GT(localizer.particle_count(), 0u);
+}
+
+TEST(MapLocalizer, EstimateOnEmptyBelief) {
+  cl::MapLocalizer localizer(l_corridor(), {}, cc::Rng(11));
+  const auto belief = localizer.estimate();
+  EXPECT_EQ(belief.spread, 0.0);
+}

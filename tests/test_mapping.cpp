@@ -1,0 +1,179 @@
+// Tests for the occupancy grid and floor path skeleton reconstruction.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "imaging/morphology.hpp"
+#include "mapping/occupancy.hpp"
+#include "mapping/skeleton.hpp"
+#include "sim/buildings.hpp"
+
+namespace cm = crowdmap::mapping;
+namespace cg = crowdmap::geometry;
+namespace cc = crowdmap::common;
+using cg::Vec2;
+
+namespace {
+
+cm::OccupancyGrid make_grid() {
+  return cm::OccupancyGrid(cg::Aabb{{0, 0}, {20, 20}}, 0.5);
+}
+
+}  // namespace
+
+TEST(OccupancyGrid, Construction) {
+  const auto grid = make_grid();
+  EXPECT_EQ(grid.width(), 40);
+  EXPECT_EQ(grid.height(), 40);
+  EXPECT_EQ(grid.max_count(), 0.0);
+  EXPECT_THROW(cm::OccupancyGrid(cg::Aabb{{0, 0}, {1, 1}}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(OccupancyGrid, AddPointIncrementsNeighborhood) {
+  auto grid = make_grid();
+  grid.add_point({10, 10}, 1.0);
+  EXPECT_GT(grid.max_count(), 0.0);
+  EXPECT_THROW((void)grid.count_at(-1, 0), std::out_of_range);
+}
+
+TEST(OccupancyGrid, PolylineCountsOncePerTrajectory) {
+  auto grid = make_grid();
+  // A polyline that lingers: doubles back over the same cells.
+  const std::vector<Vec2> path = {{2, 10}, {18, 10}, {2, 10}};
+  grid.add_polyline(path, 0.5);
+  // Each cell on the line is hit at most once by this single trajectory.
+  EXPECT_NEAR(grid.max_count(), 1.0, 1e-9);
+}
+
+TEST(OccupancyGrid, MultipleTrajectoriesAccumulate) {
+  auto grid = make_grid();
+  for (int k = 0; k < 3; ++k) {
+    grid.add_polyline({{2, 10}, {18, 10}}, 0.5);
+  }
+  EXPECT_NEAR(grid.max_count(), 3.0, 1e-9);
+}
+
+TEST(OccupancyGrid, ProbabilitiesNormalized) {
+  auto grid = make_grid();
+  grid.add_polyline({{2, 10}, {18, 10}}, 0.5);
+  grid.add_polyline({{2, 10}, {10, 10}}, 0.5);
+  const auto probs = grid.probabilities();
+  double max_p = 0.0;
+  for (const double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    max_p = std::max(max_p, p);
+  }
+  EXPECT_NEAR(max_p, 1.0, 1e-9);
+}
+
+TEST(OccupancyGrid, BinarizeAtThreshold) {
+  auto grid = make_grid();
+  grid.add_polyline({{2, 10}, {18, 10}}, 0.5);   // visited once
+  grid.add_polyline({{2, 10}, {10, 10}}, 0.5);   // left half visited twice
+  const auto strict = grid.binarize_at(0.9);     // only the double-visited half
+  const auto lenient = grid.binarize_at(0.1);
+  EXPECT_LT(strict.count_set(), lenient.count_set());
+}
+
+TEST(OccupancyGrid, BinarizeCapKeepsTwiceVisited) {
+  auto grid = make_grid();
+  // A busy junction visited 10x and a side corridor visited 2x.
+  for (int k = 0; k < 10; ++k) grid.add_polyline({{2, 10}, {6, 10}}, 0.5);
+  for (int k = 0; k < 2; ++k) grid.add_polyline({{14, 10}, {18, 10}}, 0.5);
+  const auto binary = grid.binarize(2.0);
+  // The side corridor must survive despite the popularity skew.
+  const auto [c, r] = binary.cell_of({16.0, 10.0});
+  EXPECT_TRUE(binary.at(c, r));
+}
+
+TEST(Skeleton, ReconstructsCorridorShape) {
+  // Synthetic corridor: many straight passes with lateral spread.
+  auto grid = make_grid();
+  cc::Rng rng(141);
+  for (int k = 0; k < 20; ++k) {
+    const double y = 10.0 + rng.uniform(-0.8, 0.8);
+    grid.add_polyline({{2, y}, {18, y}}, 1.0);
+  }
+  const auto skeleton = cm::reconstruct_skeleton(grid, {});
+  EXPECT_GT(skeleton.raster.count_set(), 50u);
+  EXPECT_FALSE(skeleton.boundary.empty());
+
+  // Compare against the true corridor band.
+  cg::BoolRaster truth(grid.extent(), grid.cell_size());
+  truth.fill_polygon(cg::Polygon::rectangle({10, 10}, 16, 2.4));
+  const auto metrics = cm::hallway_shape_metrics(skeleton, truth, {});
+  EXPECT_GT(metrics.recall, 0.7);
+  EXPECT_GT(metrics.precision, 0.5);
+}
+
+TEST(Skeleton, OutlierBlobsRemoved) {
+  auto grid = make_grid();
+  for (int k = 0; k < 6; ++k) grid.add_polyline({{2, 10}, {18, 10}}, 1.0);
+  // One stray point far away (drifted junk trajectory).
+  grid.add_point({2, 2}, 0.5);
+  cm::SkeletonConfig config;
+  config.bridge_max_gap_cells = 3;  // do not bridge 8 m
+  const auto skeleton = cm::reconstruct_skeleton(grid, config);
+  const auto [c, r] = skeleton.raster.cell_of({2.0, 2.0});
+  EXPECT_FALSE(skeleton.raster.at(c, r));
+}
+
+TEST(Skeleton, EmptyGridYieldsEmptySkeleton) {
+  const auto skeleton = cm::reconstruct_skeleton(make_grid(), {});
+  EXPECT_EQ(skeleton.raster.count_set(), 0u);
+}
+
+TEST(Skeleton, GapRepairBridgesBrokenCorridor) {
+  auto grid = make_grid();
+  for (int k = 0; k < 4; ++k) {
+    grid.add_polyline({{2, 10}, {8, 10}}, 1.0);
+    grid.add_polyline({{11, 10}, {18, 10}}, 1.0);  // 3 m gap
+  }
+  cm::SkeletonConfig config;
+  config.bridge_max_gap_cells = 10;
+  const auto skeleton = cm::reconstruct_skeleton(grid, config);
+  const auto comps = crowdmap::imaging::connected_components(skeleton.raster);
+  EXPECT_EQ(comps.count, 1);
+}
+
+TEST(HallwayMetrics, RoomCutRemovesRoomCells) {
+  auto grid = make_grid();
+  for (int k = 0; k < 4; ++k) {
+    grid.add_polyline({{2, 10}, {18, 10}}, 1.0);   // corridor
+    grid.add_polyline({{10, 10}, {10, 15}}, 1.0);  // into a "room"
+  }
+  const auto skeleton = cm::reconstruct_skeleton(grid, {});
+  cg::BoolRaster truth(grid.extent(), grid.cell_size());
+  truth.fill_polygon(cg::Polygon::rectangle({10, 10}, 16, 2.4));
+  const auto room = cg::Polygon::rectangle({10, 14}, 6, 5);
+  const auto with_cut = cm::hallway_shape_metrics(skeleton, truth, {room});
+  const auto without_cut = cm::hallway_shape_metrics(skeleton, truth, {});
+  // Cutting the room path removes false-positive area -> precision rises.
+  EXPECT_GE(with_cut.precision, without_cut.precision);
+}
+
+TEST(HallwayMetrics, GridMismatchThrows) {
+  const auto skeleton = cm::reconstruct_skeleton(make_grid(), {});
+  cg::BoolRaster other(cg::Aabb{{0, 0}, {5, 5}}, 0.5);
+  EXPECT_THROW((void)cm::hallway_shape_metrics(skeleton, other, {}),
+               std::invalid_argument);
+}
+
+TEST(Skeleton, MapsRealBuildingTruthfully) {
+  // End-to-end sanity on ground-truth trajectories (no sensor noise): walk
+  // the exact centerlines of Lab1 many times; the skeleton should score
+  // high against the hallway raster.
+  const auto spec = crowdmap::sim::lab1();
+  cm::OccupancyGrid grid(spec.extent(), 0.5);
+  cc::Rng rng(151);
+  for (int k = 0; k < 30; ++k) {
+    const double off = rng.uniform(-0.8, 0.8);
+    grid.add_polyline({{0, off}, {40, off}}, 1.0);
+    grid.add_polyline({{20 + off, 0}, {20 + off, 16}}, 1.0);
+  }
+  const auto skeleton = cm::reconstruct_skeleton(grid, {});
+  const auto truth = spec.hallway_raster(0.5);
+  const auto metrics = cm::hallway_shape_metrics(skeleton, truth, {});
+  EXPECT_GT(metrics.f_measure, 0.7);
+}

@@ -1,0 +1,130 @@
+// Tests for binary morphology, connected components and gap bridging — the
+// skeleton repair toolbox.
+#include <gtest/gtest.h>
+
+#include "imaging/morphology.hpp"
+
+namespace ci = crowdmap::imaging;
+namespace cg = crowdmap::geometry;
+
+namespace {
+
+cg::BoolRaster blank(int size = 20) {
+  return cg::BoolRaster(
+      cg::Aabb{{0, 0}, {static_cast<double>(size), static_cast<double>(size)}},
+      1.0);
+}
+
+}  // namespace
+
+TEST(Morphology, DilateGrowsRegion) {
+  auto r = blank();
+  r.set(10, 10, true);
+  const auto d = ci::dilate(r, 2);
+  EXPECT_GT(d.count_set(), r.count_set());
+  EXPECT_TRUE(d.at(10, 10));
+  EXPECT_TRUE(d.at(12, 10));
+  EXPECT_FALSE(d.at(13, 10));
+}
+
+TEST(Morphology, ErodeShrinksRegion) {
+  auto r = blank();
+  for (int y = 5; y <= 15; ++y) {
+    for (int x = 5; x <= 15; ++x) r.set(x, y, true);
+  }
+  const auto e = ci::erode(r, 2);
+  EXPECT_LT(e.count_set(), r.count_set());
+  EXPECT_TRUE(e.at(10, 10));
+  EXPECT_FALSE(e.at(5, 5));
+}
+
+TEST(Morphology, ErodeDilateZeroRadiusIdentity) {
+  auto r = blank();
+  r.set(3, 3, true);
+  EXPECT_EQ(ci::dilate(r, 0).count_set(), 1u);
+  EXPECT_EQ(ci::erode(r, 0).count_set(), 1u);
+}
+
+TEST(Morphology, CloseFillsHoles) {
+  auto r = blank();
+  // A ring with a hole in the middle.
+  for (int y = 8; y <= 12; ++y) {
+    for (int x = 8; x <= 12; ++x) {
+      if (x == 10 && y == 10) continue;
+      r.set(x, y, true);
+    }
+  }
+  const auto closed = ci::close(r, 1);
+  EXPECT_TRUE(closed.at(10, 10));
+}
+
+TEST(Morphology, OpenRemovesSpeckles) {
+  auto r = blank();
+  r.set(3, 3, true);  // lone speckle
+  for (int y = 8; y <= 14; ++y) {
+    for (int x = 8; x <= 14; ++x) r.set(x, y, true);
+  }
+  const auto opened = ci::open(r, 1);
+  EXPECT_FALSE(opened.at(3, 3));
+  EXPECT_TRUE(opened.at(11, 11));
+}
+
+TEST(Components, CountsDistinctBlobs) {
+  auto r = blank();
+  r.set(2, 2, true);
+  r.set(2, 3, true);
+  r.set(10, 10, true);
+  r.set(17, 5, true);
+  const auto comps = ci::connected_components(r);
+  EXPECT_EQ(comps.count, 3);
+  EXPECT_EQ(comps.sizes.size(), 4u);  // label 0 placeholder + 3
+}
+
+TEST(Components, EightConnectivity) {
+  auto r = blank();
+  r.set(5, 5, true);
+  r.set(6, 6, true);  // diagonal neighbor
+  const auto comps = ci::connected_components(r);
+  EXPECT_EQ(comps.count, 1);
+}
+
+TEST(Components, EmptyRaster) {
+  const auto comps = ci::connected_components(blank());
+  EXPECT_EQ(comps.count, 0);
+}
+
+TEST(RemoveSmall, DropsBelowThreshold) {
+  auto r = blank();
+  r.set(2, 2, true);  // size 1
+  for (int x = 10; x < 15; ++x) r.set(x, 10, true);  // size 5
+  const auto cleaned = ci::remove_small_components(r, 3);
+  EXPECT_FALSE(cleaned.at(2, 2));
+  EXPECT_TRUE(cleaned.at(12, 10));
+}
+
+TEST(BridgeGaps, ConnectsNearbyComponents) {
+  auto r = blank();
+  for (int x = 2; x <= 6; ++x) r.set(x, 10, true);
+  for (int x = 10; x <= 14; ++x) r.set(x, 10, true);  // gap of 3 cells
+  const auto bridged = ci::bridge_gaps(r, 5);
+  const auto comps = ci::connected_components(bridged);
+  EXPECT_EQ(comps.count, 1);
+}
+
+TEST(BridgeGaps, LeavesDistantComponentsAlone) {
+  auto r = blank();
+  r.set(1, 1, true);
+  r.set(18, 18, true);  // ~24 cell gap
+  const auto bridged = ci::bridge_gaps(r, 5);
+  EXPECT_EQ(ci::connected_components(bridged).count, 2);
+}
+
+TEST(BridgeGaps, ChainsMultipleBridges) {
+  auto r = blank();
+  r.set(2, 10, true);
+  r.set(6, 10, true);
+  r.set(10, 10, true);
+  r.set(14, 10, true);
+  const auto bridged = ci::bridge_gaps(r, 5);
+  EXPECT_EQ(ci::connected_components(bridged).count, 1);
+}

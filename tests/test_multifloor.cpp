@@ -1,0 +1,81 @@
+// Tests for the multi-floor decomposition (paper §VI): uploads route to
+// per-floor pipelines by their Task-1 annotation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/multifloor.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+namespace co = crowdmap::core;
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+
+namespace {
+
+/// Small two-floor campaign: floor 1 uses one random building, floor 2
+/// another (different wall seeds, like a real building's distinct floors).
+std::vector<cs::SensorRichVideo> two_floor_campaign() {
+  std::vector<cs::SensorRichVideo> videos;
+  cc::Rng rng(401);
+  for (int floor = 1; floor <= 2; ++floor) {
+    const auto spec = cs::random_building(2, rng);
+    cs::CampaignOptions options;
+    options.users = 2;
+    options.room_videos_per_room = 1;
+    options.hallway_walks = 4;
+    options.junk_fraction = 0.0;
+    options.sim.fps = 3.0;
+    cs::generate_campaign_streaming(
+        spec, options, 500 + static_cast<std::uint64_t>(floor),
+        [&videos, floor](cs::SensorRichVideo&& video) {
+          video.floor = floor;
+          videos.push_back(std::move(video));
+        });
+  }
+  return videos;
+}
+
+}  // namespace
+
+TEST(MultiFloor, RoutesUploadsByFloor) {
+  co::MultiFloorPipeline pipeline(co::PipelineConfig::fast_profile());
+  const auto videos = two_floor_campaign();
+  for (const auto& video : videos) pipeline.ingest(video);
+  EXPECT_EQ(pipeline.floor_count(), 2u);
+  const auto floors = pipeline.floors();
+  ASSERT_EQ(floors.size(), 2u);
+  EXPECT_EQ(floors[0], 1);
+  EXPECT_EQ(floors[1], 2);
+}
+
+TEST(MultiFloor, RunsEveryFloorIndependently) {
+  co::MultiFloorPipeline pipeline(co::PipelineConfig::fast_profile());
+  for (const auto& video : two_floor_campaign()) pipeline.ingest(video);
+  const auto results = pipeline.run();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& fr : results) {
+    EXPECT_GT(fr.result.diagnostics.trajectories_kept, 0u);
+    EXPECT_GT(fr.result.skeleton.raster.count_set(), 0u);
+  }
+}
+
+TEST(MultiFloor, EmptyPipelineRunsToNothing) {
+  co::MultiFloorPipeline pipeline(co::PipelineConfig::fast_profile());
+  EXPECT_TRUE(pipeline.run().empty());
+  EXPECT_EQ(pipeline.floor_count(), 0u);
+}
+
+TEST(MultiFloor, PerFloorWorldFrames) {
+  co::MultiFloorPipeline pipeline(co::PipelineConfig::fast_profile());
+  for (const auto& video : two_floor_campaign()) pipeline.ingest(video);
+  std::map<int, co::WorldFrame> frames;
+  co::WorldFrame f1;
+  f1.extent = {{-5, -5}, {45, 25}};
+  frames[1] = f1;
+  const auto results = pipeline.run(frames);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NEAR(results[0].result.plan.hallway.extent().min.x, -5.0, 1e-9);
+  // Floor 2 had no frame: its extent is data-derived, not the given one.
+  EXPECT_NE(results[1].result.plan.hallway.extent().min.x, -5.0);
+}

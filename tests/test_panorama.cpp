@@ -1,0 +1,123 @@
+// Tests for angular coverage checking and panorama stitching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "sim/buildings.hpp"
+#include "sim/scene.hpp"
+#include "vision/panorama.hpp"
+
+namespace cv = crowdmap::vision;
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+
+TEST(CoverageCheck, FullRingCovers) {
+  std::vector<double> headings;
+  for (int i = 0; i < 12; ++i) headings.push_back(i * cc::kTwoPi / 12);
+  const auto check = cv::check_angular_coverage(headings, 0.9495);
+  EXPECT_TRUE(check.full_cover);
+  EXPECT_TRUE(check.adjacent_overlap);
+  EXPECT_NEAR(check.max_gap, cc::kTwoPi / 12, 1e-9);
+}
+
+TEST(CoverageCheck, GapBreaksCoverage) {
+  std::vector<double> headings;
+  for (int i = 0; i < 8; ++i) headings.push_back(i * 0.3);  // covers ~2.1 rad
+  const auto check = cv::check_angular_coverage(headings, 0.9495);
+  EXPECT_FALSE(check.full_cover);
+  EXPECT_GT(check.max_gap, 0.9495);
+}
+
+TEST(CoverageCheck, EmptyInput) {
+  const auto check = cv::check_angular_coverage({}, 0.9495);
+  EXPECT_FALSE(check.full_cover);
+}
+
+TEST(CoverageCheck, WrapsNegativeHeadings) {
+  std::vector<double> headings;
+  for (int i = 0; i < 12; ++i) {
+    headings.push_back(i * cc::kTwoPi / 12 - cc::kPi);  // [-pi, pi)
+  }
+  EXPECT_TRUE(cv::check_angular_coverage(headings, 0.9495).full_cover);
+}
+
+namespace {
+
+/// Renders a ring of frames around a room center from a real scene.
+std::vector<cv::PanoFrame> render_ring(int n_frames, double heading_noise,
+                                       std::uint64_t seed) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, seed);
+  cs::CameraIntrinsics intr;
+  cc::Rng rng(seed);
+  std::vector<cv::PanoFrame> frames;
+  const crowdmap::geometry::Vec2 stand = spec.rooms[0].center;
+  for (int i = 0; i < n_frames; ++i) {
+    const double heading = i * cc::kTwoPi / n_frames;
+    cv::PanoFrame frame;
+    frame.image =
+        scene.render({stand, heading}, intr, cs::Lighting::day(), rng).to_gray();
+    frame.heading = heading + rng.normal(0.0, heading_noise);
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace
+
+TEST(Stitch, FullCoverageFromRing) {
+  const auto pano = cv::stitch_panorama(render_ring(14, 0.0, 51),
+                                        {.output_width = 512, .output_height = 128});
+  EXPECT_NEAR(pano.coverage, 1.0, 1e-9);
+  EXPECT_EQ(pano.image.width(), 512);
+  EXPECT_EQ(pano.image.height(), 128);
+  EXPECT_GT(pano.image.stddev(), 0.02f);  // real content, not blank
+}
+
+TEST(Stitch, EmptyInput) {
+  const auto pano = cv::stitch_panorama({}, {});
+  EXPECT_EQ(pano.coverage, 0.0);
+}
+
+TEST(Stitch, PartialRingPartialCoverage) {
+  auto frames = render_ring(14, 0.0, 53);
+  frames.resize(5);  // only ~1/3 of the circle
+  const auto pano = cv::stitch_panorama(std::move(frames),
+                                        {.output_width = 512, .output_height = 128});
+  EXPECT_LT(pano.coverage, 0.8);
+  EXPECT_GT(pano.coverage, 0.2);
+}
+
+TEST(Stitch, RefinementImprovesNoisyHeadings) {
+  // With noisy headings, NCC refinement should produce a panorama closer to
+  // the clean one than stitching trusts-IMU-only.
+  cv::StitchParams params{.output_width = 512, .output_height = 128};
+  const auto clean = cv::stitch_panorama(render_ring(14, 0.0, 55), params);
+
+  cv::StitchParams no_refine = params;
+  no_refine.refine_alignment = false;
+  const auto noisy_raw =
+      cv::stitch_panorama(render_ring(14, 0.04, 55), no_refine);
+  const auto noisy_refined =
+      cv::stitch_panorama(render_ring(14, 0.04, 55), params);
+
+  auto mse = [](const crowdmap::imaging::Image& a,
+                const crowdmap::imaging::Image& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+      const double d = a.data()[i] - b.data()[i];
+      acc += d * d;
+    }
+    return acc / static_cast<double>(a.data().size());
+  };
+  EXPECT_LE(mse(noisy_refined.image, clean.image),
+            mse(noisy_raw.image, clean.image) * 1.2);
+}
+
+TEST(Stitch, HeadingsReturnedPerFrame) {
+  const auto pano = cv::stitch_panorama(render_ring(10, 0.0, 57),
+                                        {.output_width = 256, .output_height = 64});
+  EXPECT_EQ(pano.headings.size(), 10u);
+}

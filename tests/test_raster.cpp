@@ -1,0 +1,126 @@
+// Tests for BoolRaster and the overlap (Table I) metrics.
+#include <gtest/gtest.h>
+
+#include "geometry/raster.hpp"
+
+namespace cg = crowdmap::geometry;
+using cg::Vec2;
+
+namespace {
+
+cg::BoolRaster make_raster() {
+  return cg::BoolRaster(cg::Aabb{{0, 0}, {10, 10}}, 1.0);
+}
+
+}  // namespace
+
+TEST(BoolRaster, DimensionsFromExtent) {
+  const auto r = make_raster();
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 10);
+  EXPECT_EQ(r.count_set(), 0u);
+  EXPECT_THROW(cg::BoolRaster(cg::Aabb{{0, 0}, {1, 1}}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(BoolRaster, SetGetBounds) {
+  auto r = make_raster();
+  r.set(3, 4, true);
+  EXPECT_TRUE(r.at(3, 4));
+  EXPECT_FALSE(r.at(4, 3));
+  r.set(-1, 0, true);   // silently ignored
+  r.set(100, 0, true);  // silently ignored
+  EXPECT_EQ(r.count_set(), 1u);
+  EXPECT_THROW((void)r.at(-1, 0), std::out_of_range);
+}
+
+TEST(BoolRaster, CellCenterAndCellOfRoundTrip) {
+  const auto r = make_raster();
+  const Vec2 c = r.cell_center(3, 7);
+  EXPECT_NEAR(c.x, 3.5, 1e-12);
+  EXPECT_NEAR(c.y, 7.5, 1e-12);
+  const auto [col, row] = r.cell_of(c);
+  EXPECT_EQ(col, 3);
+  EXPECT_EQ(row, 7);
+}
+
+TEST(BoolRaster, FillPolygonCoversArea) {
+  auto r = make_raster();
+  r.fill_polygon(cg::Polygon::rectangle({5, 5}, 4, 4));
+  // 4x4 meters at 1 m cells -> ~16 cells.
+  EXPECT_NEAR(static_cast<double>(r.count_set()), 16.0, 4.0);
+  EXPECT_NEAR(r.set_area(), 16.0, 4.0);
+}
+
+TEST(BoolRaster, DrawSegmentMarksLine) {
+  auto r = make_raster();
+  r.draw_segment({{0.5, 5.5}, {9.5, 5.5}}, 0.1);
+  EXPECT_GE(r.count_set(), 9u);
+  for (int c = 1; c < 9; ++c) EXPECT_TRUE(r.at(c, 5));
+}
+
+TEST(BoolRaster, DrawSegmentThickness) {
+  auto thin = make_raster();
+  auto thick = make_raster();
+  thin.draw_segment({{1, 5}, {9, 5}}, 0.1);
+  thick.draw_segment({{1, 5}, {9, 5}}, 3.0);
+  EXPECT_GT(thick.count_set(), thin.count_set());
+}
+
+TEST(BoolRaster, ShiftedMovesCells) {
+  auto r = make_raster();
+  r.set(2, 2, true);
+  const auto s = r.shifted(3, -1);
+  EXPECT_TRUE(s.at(5, 1));
+  EXPECT_EQ(s.count_set(), 1u);
+  // Shift off the edge drops the cell.
+  EXPECT_EQ(r.shifted(100, 0).count_set(), 0u);
+}
+
+TEST(OverlapMetrics, PerfectMatch) {
+  auto a = make_raster();
+  a.fill_polygon(cg::Polygon::rectangle({5, 5}, 6, 2));
+  const auto m = cg::overlap_metrics(a, a);
+  EXPECT_NEAR(m.precision, 1.0, 1e-12);
+  EXPECT_NEAR(m.recall, 1.0, 1e-12);
+  EXPECT_NEAR(m.f_measure, 1.0, 1e-12);
+}
+
+TEST(OverlapMetrics, Disjoint) {
+  auto a = make_raster();
+  auto b = make_raster();
+  a.set(1, 1, true);
+  b.set(8, 8, true);
+  const auto m = cg::overlap_metrics(a, b);
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.f_measure, 0.0);
+}
+
+TEST(OverlapMetrics, PrecisionRecallAsymmetry) {
+  auto generated = make_raster();
+  auto truth = make_raster();
+  // Generated covers twice the truth: perfect recall, half precision.
+  generated.fill_polygon(cg::Polygon::rectangle({5, 5}, 8, 4));
+  truth.fill_polygon(cg::Polygon::rectangle({5, 5}, 8, 2));
+  const auto m = cg::overlap_metrics(generated, truth);
+  EXPECT_NEAR(m.recall, 1.0, 0.05);
+  EXPECT_NEAR(m.precision, 0.5, 0.1);
+}
+
+TEST(OverlapMetrics, SizeMismatchThrows) {
+  const auto a = make_raster();
+  const cg::BoolRaster b(cg::Aabb{{0, 0}, {5, 5}}, 1.0);
+  EXPECT_THROW((void)cg::overlap_metrics(a, b), std::invalid_argument);
+}
+
+TEST(BestAlignedOverlap, RecoversShift) {
+  auto truth = make_raster();
+  truth.fill_polygon(cg::Polygon::rectangle({5, 5}, 6, 2));
+  // Generated is the truth shifted by (2, 1) cells.
+  const auto generated = truth.shifted(2, 1);
+  const auto naive = cg::overlap_metrics(generated, truth);
+  const auto aligned = cg::best_aligned_overlap(generated, truth, 4);
+  EXPECT_GT(aligned.f_measure, naive.f_measure);
+  EXPECT_GT(aligned.f_measure, 0.9);
+}

@@ -1,0 +1,181 @@
+// Tests for the inertial stack: step detection, heading filtering, dead
+// reckoning, noise models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "sensors/dead_reckoning.hpp"
+#include "sensors/heading.hpp"
+#include "sensors/imu.hpp"
+#include "sensors/noise.hpp"
+#include "sensors/step_detector.hpp"
+
+namespace cs = crowdmap::sensors;
+namespace cc = crowdmap::common;
+
+namespace {
+
+/// Synthesizes a clean walking IMU stream: constant heading, sinusoidal gait.
+cs::ImuStream walking_stream(double duration, double step_freq, double heading,
+                             double amplitude = 3.0, double rate = 100.0) {
+  cs::ImuStream stream;
+  stream.sample_rate_hz = rate;
+  for (double t = 0.0; t < duration; t += 1.0 / rate) {
+    cs::ImuSample s;
+    s.t = t;
+    s.accel_magnitude = 9.81 + amplitude * std::sin(2.0 * cc::kPi * step_freq * t);
+    s.gyro_z = 0.0;
+    s.compass = heading;
+    stream.samples.push_back(s);
+  }
+  return stream;
+}
+
+}  // namespace
+
+TEST(StepDetector, CountsGaitCycles) {
+  // 10 seconds at 2 steps/s -> ~20 peaks.
+  const auto stream = walking_stream(10.0, 2.0, 0.0);
+  const auto steps = cs::detect_steps(stream);
+  EXPECT_NEAR(static_cast<double>(steps.count()), 20.0, 2.0);
+}
+
+TEST(StepDetector, SilentWhenStationary) {
+  cs::ImuStream stream;
+  for (double t = 0.0; t < 5.0; t += 0.01) {
+    stream.samples.push_back({t, 9.81, 0.0, 0.0});
+  }
+  EXPECT_EQ(cs::detect_steps(stream).count(), 0u);
+}
+
+TEST(StepDetector, RespectsMinInterval) {
+  // Very fast oscillation cannot produce steps faster than min interval.
+  const auto stream = walking_stream(5.0, 8.0, 0.0);
+  const auto steps = cs::detect_steps(stream);
+  for (std::size_t i = 1; i < steps.times.size(); ++i) {
+    EXPECT_GE(steps.times[i] - steps.times[i - 1], 0.3 - 1e-9);
+  }
+}
+
+TEST(StepDetector, EmptyStream) {
+  EXPECT_EQ(cs::detect_steps(cs::ImuStream{}).count(), 0u);
+}
+
+TEST(StrideLength, MonotoneInAmplitude) {
+  const double small = cs::stride_length_from_amplitude(2.0);
+  const double large = cs::stride_length_from_amplitude(8.0);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.0);
+  EXPECT_EQ(cs::stride_length_from_amplitude(-1.0), 0.0);
+}
+
+TEST(HeadingFilter, IntegratesGyro) {
+  cs::ImuStream stream;
+  // Constant yaw rate of 0.5 rad/s for 2 s -> 1 rad.
+  for (double t = 0.0; t <= 2.0; t += 0.01) {
+    stream.samples.push_back({t, 9.81, 0.5, 0.5 * t});
+  }
+  cs::HeadingFilterParams params;
+  params.compass_gain = 0.0;  // pure gyro
+  params.use_compass_initial = false;
+  const auto headings = cs::estimate_headings(stream, params);
+  EXPECT_NEAR(headings.back(), 1.0, 0.02);
+}
+
+TEST(HeadingFilter, CompassBoundsDrift) {
+  // Biased gyro (0.05 rad/s error) with truthful compass: the filter should
+  // stay near the compass while pure integration drifts.
+  cs::ImuStream stream;
+  for (double t = 0.0; t <= 60.0; t += 0.01) {
+    stream.samples.push_back({t, 9.81, 0.05, 0.0});  // true heading 0
+  }
+  cs::HeadingFilterParams fused;
+  fused.compass_gain = 0.05;
+  const auto fused_headings = cs::estimate_headings(stream, fused);
+  cs::HeadingFilterParams gyro_only;
+  gyro_only.compass_gain = 0.0;
+  const auto gyro_headings = cs::estimate_headings(stream, gyro_only);
+  EXPECT_LT(std::abs(fused_headings.back()), 1.1);
+  EXPECT_GT(std::abs(gyro_headings.back()), 2.0);
+}
+
+TEST(HeadingFilter, SeedsFromCompass) {
+  cs::ImuStream stream;
+  stream.samples.push_back({0.0, 9.81, 0.0, 1.2});
+  const auto headings = cs::estimate_headings(stream);
+  ASSERT_EQ(headings.size(), 1u);
+  EXPECT_NEAR(headings[0], 1.2, 1e-9);
+}
+
+TEST(IntegratedRotation, FullSpin) {
+  cs::ImuStream stream;
+  // 2*pi over 10 s.
+  const double rate = 2.0 * cc::kPi / 10.0;
+  for (double t = 0.0; t <= 10.0; t += 0.01) {
+    stream.samples.push_back({t, 9.81, rate, 0.0});
+  }
+  EXPECT_NEAR(cs::integrated_rotation(stream), 2.0 * cc::kPi, 0.05);
+}
+
+TEST(DeadReckoning, StraightWalkRecoversDistanceAndDirection) {
+  const double heading = 0.7;
+  auto stream = walking_stream(10.0, 1.8, heading, 3.5);
+  const auto track = cs::dead_reckon(stream);
+  ASSERT_GT(track.size(), 10u);
+  const auto end = track.back().position;
+  // ~18 steps at the Weinberg stride for amplitude 7 => roughly 10-14 m.
+  const double dist = end.norm();
+  EXPECT_GT(dist, 6.0);
+  EXPECT_LT(dist, 18.0);
+  EXPECT_NEAR(end.angle(), heading, 0.1);
+}
+
+TEST(DeadReckoning, EmptyStream) {
+  EXPECT_TRUE(cs::dead_reckon(cs::ImuStream{}).empty());
+}
+
+TEST(DeadReckoning, StationaryStaysAtOrigin) {
+  cs::ImuStream stream;
+  for (double t = 0.0; t < 3.0; t += 0.01) {
+    stream.samples.push_back({t, 9.81, 0.0, 0.0});
+  }
+  const auto track = cs::dead_reckon(stream);
+  ASSERT_GE(track.size(), 2u);
+  EXPECT_LT(track.back().position.norm(), 1e-9);
+  EXPECT_LT(cs::track_length(track), 1e-9);
+}
+
+TEST(DeadReckoning, TrackTimesMonotone) {
+  const auto track = cs::dead_reckon(walking_stream(8.0, 1.8, 0.0, 3.5));
+  for (std::size_t i = 1; i < track.size(); ++i) {
+    EXPECT_GE(track[i].t, track[i - 1].t);
+  }
+}
+
+TEST(NoiseModel, WhiteNoiseStatistics) {
+  cs::NoiseModel model(0.1, 0.0, cc::Rng(61));
+  std::vector<double> errors;
+  for (int i = 0; i < 5000; ++i) {
+    errors.push_back(model.corrupt(5.0, 0.01) - 5.0);
+  }
+  EXPECT_NEAR(cc::mean(errors), 0.0, 0.01);
+  EXPECT_NEAR(cc::stddev(errors), 0.1, 0.01);
+}
+
+TEST(NoiseModel, BiasRandomWalkGrows) {
+  cs::NoiseModel model(0.0, 0.05, cc::Rng(62));
+  for (int i = 0; i < 10000; ++i) (void)model.corrupt(0.0, 0.01);
+  // After 100 s of random walk at 0.05/sqrt(s), |bias| is very likely > 0.
+  EXPECT_NE(model.bias(), 0.0);
+}
+
+TEST(ImuStream, Duration) {
+  cs::ImuStream stream;
+  EXPECT_EQ(stream.duration(), 0.0);
+  stream.samples.push_back({1.0, 9.81, 0, 0});
+  stream.samples.push_back({4.5, 9.81, 0, 0});
+  EXPECT_NEAR(stream.duration(), 3.5, 1e-12);
+}

@@ -1,0 +1,127 @@
+// Tests for the assembled cloud backend: concurrent chunked uploads through
+// ingestion, async extraction on the worker pool, per-floor plan builds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "cloud/service.hpp"
+#include "common/rng.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+namespace cl = crowdmap::cloud;
+namespace cs = crowdmap::sim;
+namespace co = crowdmap::core;
+namespace cc = crowdmap::common;
+
+namespace {
+
+/// Harness: videos travel by side table keyed by upload id; the wire payload
+/// is the serialized IMU stream (pixels stay in "blob storage").
+struct Fixture {
+  std::map<std::string, cs::SensorRichVideo> videos;
+
+  cl::VideoDecoder decoder() {
+    return [this](const cl::Document& doc) -> std::optional<cs::SensorRichVideo> {
+      const auto it = videos.find(doc.id);
+      if (it == videos.end()) return std::nullopt;
+      return it->second;
+    };
+  }
+};
+
+std::vector<cs::SensorRichVideo> small_campaign(std::uint64_t seed) {
+  std::vector<cs::SensorRichVideo> out;
+  cc::Rng rng(seed);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options;
+  options.users = 2;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 5;
+  options.junk_fraction = 0.0;
+  options.sim.fps = 3.0;
+  cs::generate_campaign_streaming(spec, options, seed,
+                                  [&out](cs::SensorRichVideo&& video) {
+                                    out.push_back(std::move(video));
+                                  });
+  return out;
+}
+
+}  // namespace
+
+TEST(Service, EndToEndUploadsBuildPlan) {
+  Fixture fixture;
+  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
+                              fixture.decoder(), 2);
+  const auto videos = small_campaign(701);
+  for (std::size_t v = 0; v < videos.size(); ++v) {
+    const std::string id = "u" + std::to_string(v);
+    fixture.videos[id] = videos[v];
+    service.open_session(id, videos[v].building, videos[v].floor);
+    const cl::Blob payload(256, static_cast<std::uint8_t>(v));
+    for (const auto& chunk : cl::split_into_chunks(payload, id, 100)) {
+      EXPECT_NE(service.deliver(chunk), cl::IngestStatus::kRejected);
+    }
+  }
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.uploads_completed, videos.size());
+  EXPECT_EQ(stats.videos_decoded, videos.size());
+  EXPECT_GT(stats.trajectories_extracted, 0u);
+
+  const auto result =
+      service.build_floor_plan(videos.front().building, videos.front().floor);
+  EXPECT_GT(result.diagnostics.trajectories_kept, 0u);
+  EXPECT_GT(result.skeleton.raster.count_set(), 0u);
+}
+
+TEST(Service, DecodeFailureCounted) {
+  Fixture fixture;  // empty side table: every decode fails
+  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
+                              fixture.decoder(), 1);
+  service.open_session("ghost", "Lab1", 1);
+  const cl::Blob payload(64, 7);
+  for (const auto& chunk : cl::split_into_chunks(payload, "ghost", 32)) {
+    service.deliver(chunk);
+  }
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.uploads_completed, 1u);
+  EXPECT_EQ(stats.decode_failures, 1u);
+  EXPECT_EQ(stats.trajectories_extracted, 0u);
+}
+
+TEST(Service, UnknownFloorBuildsEmptyPlan) {
+  Fixture fixture;
+  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
+                              fixture.decoder(), 1);
+  const auto result = service.build_floor_plan("Nowhere", 9);
+  EXPECT_EQ(result.diagnostics.trajectories_kept, 0u);
+}
+
+TEST(Service, ConcurrentDeliveryFromManyClients) {
+  Fixture fixture;
+  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
+                              fixture.decoder(), 2);
+  const auto videos = small_campaign(703);
+  // Register sessions and payloads first.
+  std::vector<std::vector<cl::Chunk>> chunk_sets;
+  for (std::size_t v = 0; v < videos.size(); ++v) {
+    const std::string id = "c" + std::to_string(v);
+    fixture.videos[id] = videos[v];
+    service.open_session(id, videos[v].building, videos[v].floor);
+    chunk_sets.push_back(
+        cl::split_into_chunks(cl::Blob(512, static_cast<std::uint8_t>(v)), id, 64));
+  }
+  std::vector<std::thread> clients;
+  for (auto& chunks : chunk_sets) {
+    clients.emplace_back([&service, &chunks] {
+      for (const auto& chunk : chunks) service.deliver(chunk);
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.drain();
+  EXPECT_EQ(service.stats().uploads_completed, videos.size());
+  EXPECT_EQ(service.store().size(), videos.size());
+}

@@ -1,0 +1,374 @@
+// Tests for the simulation substrate: buildings, scene rendering, routing,
+// user simulation and campaign generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "imaging/ncc.hpp"
+#include "sensors/heading.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+#include "sim/scene.hpp"
+#include "sim/spec.hpp"
+#include "sim/user_sim.hpp"
+
+namespace cs = crowdmap::sim;
+namespace cc = crowdmap::common;
+using crowdmap::geometry::Vec2;
+
+// ------------------------------------------------------------- buildings ---
+
+TEST(Buildings, AllThreeAreWellFormed) {
+  for (const auto& spec : {cs::lab1(), cs::lab2(), cs::gym()}) {
+    EXPECT_FALSE(spec.hallways.empty());
+    EXPECT_FALSE(spec.rooms.empty());
+    EXPECT_GT(spec.hallway_area(), 10.0);
+    for (const auto& room : spec.rooms) {
+      EXPECT_GT(room.area(), 4.0);
+      // The door sits on the room boundary.
+      double min_edge_dist = 1e18;
+      for (const auto& edge : room.footprint().edges()) {
+        min_edge_dist = std::min(
+            min_edge_dist, crowdmap::geometry::distance_point_segment(room.door, edge));
+      }
+      EXPECT_LT(min_edge_dist, 0.1) << spec.name << " room " << room.id;
+      // The door opens onto a hallway: its outward neighborhood touches one.
+      EXPECT_TRUE(spec.in_hallway(room.door + (room.door - room.center).normalized() * 0.5))
+          << spec.name << " room " << room.id;
+    }
+  }
+}
+
+TEST(Buildings, RoomsDoNotOverlapEachOther) {
+  for (const auto& spec : {cs::lab1(), cs::lab2(), cs::gym()}) {
+    for (std::size_t i = 0; i < spec.rooms.size(); ++i) {
+      for (std::size_t j = i + 1; j < spec.rooms.size(); ++j) {
+        const auto inter = crowdmap::geometry::clip_convex(
+            spec.rooms[i].footprint(), spec.rooms[j].footprint());
+        EXPECT_LT(inter.area(), 0.01)
+            << spec.name << " rooms " << spec.rooms[i].id << "," << spec.rooms[j].id;
+      }
+    }
+  }
+}
+
+TEST(Buildings, RoomsDoNotIntrudeHallways) {
+  for (const auto& spec : {cs::lab1(), cs::lab2(), cs::gym()}) {
+    for (const auto& room : spec.rooms) {
+      // Room center must be outside every hallway.
+      EXPECT_FALSE(spec.in_hallway(room.center)) << spec.name << room.id;
+    }
+  }
+}
+
+TEST(Buildings, RandomBuildingRespectsRoomCount) {
+  cc::Rng rng(71);
+  const auto spec = cs::random_building(6, rng);
+  EXPECT_EQ(spec.rooms.size(), 6u);
+  EXPECT_THROW((void)cs::random_building(0, rng), std::invalid_argument);
+}
+
+TEST(Buildings, CorridorAxisAlignedOnly) {
+  EXPECT_THROW((void)cs::corridor({0, 0}, {3, 4}, 2.0), std::invalid_argument);
+  const auto h = cs::corridor({0, 0}, {10, 0}, 2.0);
+  EXPECT_NEAR(h.area(), 20.0, 1e-9);
+}
+
+TEST(FloorPlanSpec, ExtentCoversEverything) {
+  const auto spec = cs::lab1();
+  const auto box = spec.extent(2.0);
+  for (const auto& room : spec.rooms) {
+    EXPECT_TRUE(box.contains(room.center));
+  }
+  EXPECT_THROW((void)cs::FloorPlanSpec{}.extent(), std::logic_error);
+}
+
+TEST(FloorPlanSpec, HallwayRasterMatchesArea) {
+  const auto spec = cs::lab2();
+  const auto raster = spec.hallway_raster(0.25);
+  EXPECT_NEAR(raster.set_area(), spec.hallway_area(0.25), 1.0);
+}
+
+TEST(FloorPlanSpec, RoomLookup) {
+  const auto spec = cs::lab1();
+  EXPECT_EQ(spec.room_by_id(spec.rooms[2].id).id, spec.rooms[2].id);
+  EXPECT_THROW((void)spec.room_by_id(99999), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- scene ---
+
+TEST(ValueNoise, RangeAndDeterminism) {
+  for (double x = -3; x < 3; x += 0.37) {
+    for (double y = -3; y < 3; y += 0.41) {
+      const double v = cs::value_noise(x, y, 77);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_EQ(v, cs::value_noise(x, y, 77));
+    }
+  }
+  EXPECT_NE(cs::value_noise(0.5, 0.5, 1), cs::value_noise(0.5, 0.5, 2));
+}
+
+TEST(ValueNoise, Continuity) {
+  const double eps = 1e-4;
+  for (double x = 0.1; x < 2.0; x += 0.3) {
+    EXPECT_NEAR(cs::value_noise(x, 0.7, 5), cs::value_noise(x + eps, 0.7, 5), 0.01);
+  }
+}
+
+TEST(Scene, RaycastHitsRoomWall) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 81);
+  const auto& room = spec.rooms[0];
+  // Ray from the room center along +x must hit within the room's half-width
+  // (allowing for wall clutter).
+  const auto hit = scene.raycast(room.center, {1, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_LE(hit->distance, room.width / 2 + 0.1);
+}
+
+TEST(Scene, RaycastEscapesOutside) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 82);
+  const auto hit = scene.raycast({-100, -100}, {-1, 0});
+  EXPECT_FALSE(hit.has_value());
+}
+
+TEST(Scene, WallsIncludeRoomsAndHallways) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 83);
+  // At least 4 per room + 4 per hallway.
+  EXPECT_GE(scene.walls().size(), spec.rooms.size() * 4 + spec.hallways.size() * 4);
+}
+
+TEST(Scene, TextureDeterministicAndBounded) {
+  const auto scene = cs::Scene::from_spec(cs::lab1(), 84);
+  const auto& wall = scene.walls().front();
+  for (double s = 0.1; s < wall.seg.length(); s += 0.3) {
+    for (double v = 0.05; v < 1.0; v += 0.13) {
+      const double t = scene.wall_texture(wall, s, v);
+      EXPECT_GE(t, 0.0);
+      EXPECT_LE(t, 1.0);
+      EXPECT_EQ(t, scene.wall_texture(wall, s, v));
+    }
+  }
+}
+
+TEST(Scene, RenderProducesStructuredImage) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 85);
+  cs::CameraIntrinsics intr;
+  cc::Rng rng(1);
+  const auto img = scene.render({spec.rooms[0].center, 0.0}, intr,
+                                cs::Lighting::day(), rng);
+  EXPECT_EQ(img.width(), intr.width);
+  EXPECT_EQ(img.height(), intr.height);
+  const auto gray = img.to_gray();
+  EXPECT_GT(gray.stddev(), 0.05f);  // walls/floor/ceiling structure
+  EXPECT_GT(gray.mean(), 0.2f);     // auto-exposure keeps it visible
+}
+
+TEST(Scene, NightFramesAreNoisierNotDarker) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 86);
+  cs::CameraIntrinsics intr;
+  cc::Rng rng1(2);
+  cc::Rng rng2(2);
+  const auto day = scene.render({spec.rooms[0].center, 0.5}, intr,
+                                cs::Lighting::day(), rng1).to_gray();
+  const auto night = scene.render({spec.rooms[0].center, 0.5}, intr,
+                                  cs::Lighting::night(), rng2).to_gray();
+  // Auto-exposure: means comparable.
+  EXPECT_NEAR(day.mean(), night.mean(), 0.15);
+}
+
+TEST(Scene, NearbyPosesLookSimilarFarPosesDiffer) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 87);
+  cs::CameraIntrinsics intr;
+  cc::Rng rng(3);
+  const Vec2 hall_point{10, 0};
+  const auto base = scene.render({hall_point, 0.0}, intr, cs::Lighting::day(), rng)
+                        .to_gray();
+  const auto near_img =
+      scene.render({hall_point + Vec2{0.1, 0.0}, 0.02}, intr, cs::Lighting::day(), rng)
+          .to_gray();
+  const auto far_img =
+      scene.render({hall_point + Vec2{12.0, 0.0}, 0.0}, intr, cs::Lighting::day(), rng)
+          .to_gray();
+  const double near_sim = crowdmap::imaging::normalized_cross_correlation(base, near_img);
+  const double far_sim = crowdmap::imaging::normalized_cross_correlation(base, far_img);
+  EXPECT_GT(near_sim, far_sim);
+  EXPECT_GT(near_sim, 0.7);
+}
+
+// --------------------------------------------------------------- router ---
+
+TEST(Router, SnapOntoCenterline) {
+  const auto spec = cs::lab1();
+  const cs::HallwayRouter router(spec);
+  const Vec2 snapped = router.snap({10.0, 0.9});
+  EXPECT_NEAR(snapped.y, 0.0, 1e-9);
+  EXPECT_NEAR(snapped.x, 10.0, 1e-9);
+}
+
+TEST(Router, RouteAlongSingleCorridor) {
+  const auto spec = cs::lab1();
+  const cs::HallwayRouter router(spec);
+  const auto route = router.route({2, 0}, {30, 0});
+  ASSERT_GE(route.size(), 2u);
+  EXPECT_NEAR(route.front().x, 2.0, 0.1);
+  EXPECT_NEAR(route.back().x, 30.0, 0.1);
+  double len = 0;
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    len += route[i].distance_to(route[i - 1]);
+  }
+  EXPECT_NEAR(len, 28.0, 0.5);  // no detours
+}
+
+TEST(Router, RouteAroundCorner) {
+  const auto spec = cs::lab2();  // L-shape
+  const cs::HallwayRouter router(spec);
+  const auto route = router.route({2, 0}, {30, 15});
+  ASSERT_GE(route.size(), 3u);  // must pass the corner at (30, 0)
+  double len = 0;
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    len += route[i].distance_to(route[i - 1]);
+  }
+  EXPECT_NEAR(len, 28.0 + 15.0, 1.0);
+}
+
+TEST(Router, RandomPointOnNetwork) {
+  const auto spec = cs::gym();
+  const cs::HallwayRouter router(spec);
+  cc::Rng rng(91);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 p = router.random_point(rng);
+    EXPECT_LT(p.distance_to(router.snap(p)), 1e-6);
+  }
+}
+
+// ------------------------------------------------------------- user sim ---
+
+namespace {
+
+cs::UserSimulator make_user(const cs::Scene& scene, const cs::FloorPlanSpec& spec,
+                            std::uint64_t seed = 95) {
+  cs::SimOptions options;
+  options.fps = 3.0;
+  return cs::UserSimulator(scene, spec, options, cc::Rng(seed));
+}
+
+}  // namespace
+
+TEST(UserSim, RoomVisitProducesFramesAndImu) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 95);
+  auto user = make_user(scene, spec);
+  const auto video = user.room_visit(spec.rooms[0], 8.0, cs::Lighting::day());
+  EXPECT_GT(video.frames.size(), 20u);
+  EXPECT_GT(video.imu.samples.size(), 1000u);
+  EXPECT_EQ(video.true_room_id, spec.rooms[0].id);
+  EXPECT_FALSE(video.junk);
+  // Frame times strictly increasing and within IMU span.
+  for (std::size_t i = 1; i < video.frames.size(); ++i) {
+    EXPECT_GT(video.frames[i].t, video.frames[i - 1].t);
+  }
+}
+
+TEST(UserSim, SrsSpinsApproximatelyFullCircle) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 96);
+  auto user = make_user(scene, spec);
+  const auto video = user.room_visit(spec.rooms[1], 6.0, cs::Lighting::day());
+  // Gyro integration over the SRS segment recovers >= 2*pi total rotation.
+  const double rotation = crowdmap::sensors::integrated_rotation(video.imu);
+  EXPECT_GT(std::abs(rotation), 1.8 * cc::kPi);
+}
+
+TEST(UserSim, HallwayWalkStaysInHallwayNeighborhood) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 97);
+  auto user = make_user(scene, spec);
+  const auto video = user.hallway_walk_between({2, 0}, {30, 0}, cs::Lighting::day());
+  EXPECT_EQ(video.true_room_id, -1);
+  for (const auto& frame : video.frames) {
+    // Lateral spread keeps users within ~1 m of the corridor.
+    EXPECT_LT(std::abs(frame.true_pose.position.y), 1.3);
+  }
+}
+
+TEST(UserSim, JunkVideoIsMarked) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 98);
+  auto user = make_user(scene, spec);
+  const auto junk = user.junk_video(cs::Lighting::day());
+  EXPECT_TRUE(junk.junk);
+}
+
+TEST(UserSim, RoomWanderStaysInsideRoom) {
+  const auto spec = cs::lab1();
+  const auto scene = cs::Scene::from_spec(spec, 99);
+  auto user = make_user(scene, spec);
+  const auto video = user.room_wander(spec.rooms[0], cs::Lighting::day());
+  EXPECT_EQ(video.true_room_id, spec.rooms[0].id);
+  const auto footprint = spec.rooms[0].footprint();
+  for (const auto& frame : video.frames) {
+    EXPECT_TRUE(footprint.contains(frame.true_pose.position));
+  }
+}
+
+// --------------------------------------------------------------- campaign ---
+
+TEST(Campaign, GeneratesExpectedVideoCount) {
+  cs::CampaignOptions options;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 5;
+  options.sim.fps = 2.0;
+  options.sim.camera.width = 60;
+  options.sim.camera.height = 80;
+  const auto spec = cs::lab1();
+  const auto campaign = cs::generate_campaign(spec, options, 101);
+  EXPECT_EQ(campaign.videos.size(), spec.rooms.size() + 5);
+  EXPECT_GT(campaign.frame_count(), 100u);
+}
+
+TEST(Campaign, StreamingMatchesBatch) {
+  cs::CampaignOptions options;
+  options.room_videos_per_room = 0;
+  options.hallway_walks = 3;
+  options.sim.fps = 2.0;
+  options.sim.camera.width = 60;
+  options.sim.camera.height = 80;
+  const auto spec = cs::lab2();
+  const auto batch = cs::generate_campaign(spec, options, 103);
+  std::vector<std::size_t> streamed_sizes;
+  cs::generate_campaign_streaming(spec, options, 103,
+                                  [&](cs::SensorRichVideo&& v) {
+                                    streamed_sizes.push_back(v.frames.size());
+                                  });
+  ASSERT_EQ(streamed_sizes.size(), batch.videos.size());
+  for (std::size_t i = 0; i < streamed_sizes.size(); ++i) {
+    EXPECT_EQ(streamed_sizes[i], batch.videos[i].frames.size());
+  }
+}
+
+TEST(Campaign, DeterministicInSeed) {
+  cs::CampaignOptions options;
+  options.room_videos_per_room = 0;
+  options.hallway_walks = 2;
+  options.sim.fps = 2.0;
+  options.sim.camera.width = 60;
+  options.sim.camera.height = 80;
+  const auto spec = cs::lab1();
+  const auto a = cs::generate_campaign(spec, options, 107);
+  const auto b = cs::generate_campaign(spec, options, 107);
+  ASSERT_EQ(a.videos.size(), b.videos.size());
+  for (std::size_t i = 0; i < a.videos.size(); ++i) {
+    ASSERT_EQ(a.videos[i].imu.samples.size(), b.videos[i].imu.samples.size());
+    EXPECT_EQ(a.videos[i].imu.samples.back().compass,
+              b.videos[i].imu.samples.back().compass);
+  }
+}

@@ -1,0 +1,165 @@
+// Tests for the SURF-style detector/descriptor and the Algorithm 1 matcher.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "imaging/image.hpp"
+#include "vision/matcher.hpp"
+#include "vision/surf.hpp"
+
+namespace cv = crowdmap::vision;
+namespace ci = crowdmap::imaging;
+namespace cc = crowdmap::common;
+
+namespace {
+
+/// Textured test image: blobs at hash positions over a midtone background.
+ci::Image textured_image(int w, int h, std::uint64_t seed, int dx = 0, int dy = 0) {
+  ci::Image img(w, h, 0.5f);
+  cc::Rng rng(seed);
+  for (int blob = 0; blob < 24; ++blob) {
+    const int bx = rng.uniform_int(8, w - 9) + dx;
+    const int by = rng.uniform_int(8, h - 9) + dy;
+    const double radius = rng.uniform(2.0, 5.0);
+    const float value = rng.chance(0.5) ? 0.95f : 0.05f;
+    for (int y = -8; y <= 8; ++y) {
+      for (int x = -8; x <= 8; ++x) {
+        const int px = bx + x;
+        const int py = by + y;
+        if (px < 0 || py < 0 || px >= w || py >= h) continue;
+        const double d = std::hypot(x, y);
+        if (d < radius) img.at(px, py) = value;
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+TEST(Surf, DetectsBlobs) {
+  const auto img = textured_image(128, 96, 7);
+  const auto features = cv::detect_and_describe(img);
+  EXPECT_GT(features.size(), 10u);
+}
+
+TEST(Surf, NoFeaturesOnFlatImage) {
+  const ci::Image flat(128, 96, 0.5f);
+  EXPECT_TRUE(cv::detect_and_describe(flat).empty());
+}
+
+TEST(Surf, TinyImageReturnsEmpty) {
+  EXPECT_TRUE(cv::detect_and_describe(ci::Image(16, 16, 0.5f)).empty());
+}
+
+TEST(Surf, DeterministicAcrossCalls) {
+  const auto img = textured_image(128, 96, 9);
+  const auto f1 = cv::detect_and_describe(img);
+  const auto f2 = cv::detect_and_describe(img);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].keypoint.x, f2[i].keypoint.x);
+    EXPECT_EQ(f1[i].descriptor, f2[i].descriptor);
+  }
+}
+
+TEST(Surf, DescriptorsAreUnitNorm) {
+  const auto features = cv::detect_and_describe(textured_image(128, 96, 11));
+  for (const auto& f : features) {
+    double norm = 0.0;
+    for (const float v : f.descriptor) norm += static_cast<double>(v) * v;
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+  }
+}
+
+TEST(Surf, RespectsMaxFeatures) {
+  cv::SurfParams params;
+  params.max_features = 5;
+  const auto features =
+      cv::detect_and_describe(textured_image(128, 96, 13), params);
+  EXPECT_LE(features.size(), 5u);
+}
+
+TEST(Surf, StrongestFirst) {
+  const auto features = cv::detect_and_describe(textured_image(128, 96, 15));
+  for (std::size_t i = 1; i < features.size(); ++i) {
+    EXPECT_GE(features[i - 1].keypoint.response, features[i].keypoint.response);
+  }
+}
+
+TEST(Surf, DescriptorDistanceBasics) {
+  cv::SurfDescriptor a{};
+  cv::SurfDescriptor b{};
+  a[0] = 1.0f;
+  b[1] = 1.0f;
+  EXPECT_NEAR(cv::descriptor_distance(a, a), 0.0, 1e-9);
+  EXPECT_NEAR(cv::descriptor_distance(a, b), std::sqrt(2.0), 1e-6);
+}
+
+TEST(Surf, TranslatedImageMatchesWithOffset) {
+  const auto img1 = textured_image(128, 96, 17, 0, 0);
+  const auto img2 = textured_image(128, 96, 17, 6, 0);  // blobs shifted +6 px
+  const auto f1 = cv::detect_and_describe(img1);
+  const auto f2 = cv::detect_and_describe(img2);
+  const auto matches = cv::mutual_nn_matches(f1, f2, 0.35, 0.8);
+  ASSERT_GT(matches.size(), 5u);
+  // Most matched pairs should be ~6 px apart in x.
+  int good = 0;
+  for (const auto& m : matches) {
+    const double dx = f2[m.index2].keypoint.x - f1[m.index1].keypoint.x;
+    const double dy = f2[m.index2].keypoint.y - f1[m.index1].keypoint.y;
+    if (std::abs(dx - 6.0) < 3.0 && std::abs(dy) < 3.0) ++good;
+  }
+  EXPECT_GT(static_cast<double>(good) / matches.size(), 0.6);
+}
+
+TEST(Matcher, MutualityIsEnforced) {
+  const auto f1 = cv::detect_and_describe(textured_image(128, 96, 19));
+  const auto f2 = cv::detect_and_describe(textured_image(128, 96, 19));
+  const auto matches = cv::mutual_nn_matches(f1, f2, 0.35);
+  // Identical images: every match maps a feature to itself; one-to-one.
+  std::vector<bool> used2(f2.size(), false);
+  for (const auto& m : matches) {
+    EXPECT_FALSE(used2[m.index2]) << "match target reused";
+    used2[m.index2] = true;
+    EXPECT_LT(m.distance, 1e-5);
+  }
+  EXPECT_EQ(matches.size(), f1.size());
+}
+
+TEST(Matcher, UnrelatedImagesFewMatches) {
+  const auto f1 = cv::detect_and_describe(textured_image(128, 96, 21));
+  const auto f2 = cv::detect_and_describe(textured_image(128, 96, 22));
+  const auto matches = cv::mutual_nn_matches(f1, f2, 0.25, 0.8);
+  const double s2 = cv::similarity_s2(matches.size(), f1.size(), f2.size());
+  EXPECT_LT(s2, 0.2);
+}
+
+TEST(Matcher, RatioTestPrunes) {
+  const auto f1 = cv::detect_and_describe(textured_image(128, 96, 23));
+  const auto f2 = cv::detect_and_describe(textured_image(128, 96, 24));
+  const auto loose = cv::mutual_nn_matches(f1, f2, 0.6, 1.0);
+  const auto strict = cv::mutual_nn_matches(f1, f2, 0.6, 0.6);
+  EXPECT_LE(strict.size(), loose.size());
+}
+
+TEST(Matcher, EmptyInputs) {
+  const auto f1 = cv::detect_and_describe(textured_image(128, 96, 25));
+  EXPECT_TRUE(cv::mutual_nn_matches({}, f1, 0.35).empty());
+  EXPECT_TRUE(cv::mutual_nn_matches(f1, {}, 0.35).empty());
+}
+
+TEST(SimilarityS2, Formula) {
+  // |A| / (|F1| + |F2| - |A|)  (eq. 1).
+  EXPECT_NEAR(cv::similarity_s2(10, 20, 30), 10.0 / 40.0, 1e-12);
+  EXPECT_NEAR(cv::similarity_s2(0, 20, 30), 0.0, 1e-12);
+  EXPECT_NEAR(cv::similarity_s2(20, 20, 20), 1.0, 1e-12);
+  EXPECT_EQ(cv::similarity_s2(0, 0, 0), 0.0);
+}
+
+TEST(SimilarityS2, MatchScoreIdenticalIsHigh) {
+  const auto img = textured_image(128, 96, 27);
+  const auto f = cv::detect_and_describe(img);
+  EXPECT_GT(cv::match_score_s2(f, f, 0.35), 0.9);
+}

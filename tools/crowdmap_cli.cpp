@@ -1,0 +1,188 @@
+// crowdmap_cli — run CrowdMap on a synthetic building and write artifacts.
+//
+//   crowdmap_cli [--building lab1|lab2|gym|random] [--rooms N] [--scale S]
+//                [--seed N] [--config FILE] [--fast]
+//                [--svg OUT.svg] [--pgm OUT.pgm] [--plan OUT.cmplan]
+//                [--ascii]
+//
+// Prints the Table-I metrics and room-error summary; optionally writes an
+// SVG floor plan, a PGM of the hallway skeleton, and the binary plan.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/config_file.hpp"
+#include "core/config_overrides.hpp"
+#include "eval/datasets.hpp"
+#include "eval/harness.hpp"
+#include "mapping/coverage.hpp"
+#include "io/image_io.hpp"
+#include "io/serialize.hpp"
+#include "sim/buildings.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: crowdmap_cli [options]\n"
+      "  --building NAME   lab1 (default) | lab2 | gym | random\n"
+      "  --rooms N         rooms for --building random (default 6)\n"
+      "  --scale S         campaign scale factor (default 1.0)\n"
+      "  --seed N          simulation seed override\n"
+      "  --config FILE     key=value pipeline overrides (see config_overrides.hpp)\n"
+      "  --fast            fast pipeline profile (fewer layout hypotheses)\n"
+      "  --svg FILE        write the reconstructed plan as SVG\n"
+      "  --pgm FILE        write the hallway skeleton as PGM\n"
+      "  --plan FILE       write the binary floor plan\n"
+      "  --ascii           print the ASCII floor plan\n"
+      "  --coverage        print coverage analysis + suggested walk tasks\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crowdmap;
+
+  std::string building = "lab1";
+  int random_rooms = 6;
+  double scale = 1.0;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  bool fast = false;
+  bool ascii = false;
+  bool coverage = false;
+  std::string config_path;
+  std::string svg_path;
+  std::string pgm_path;
+  std::string plan_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--building") {
+      building = next();
+    } else if (arg == "--rooms") {
+      random_rooms = std::stoi(next());
+    } else if (arg == "--scale") {
+      scale = std::stod(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+      have_seed = true;
+    } else if (arg == "--config") {
+      config_path = next();
+    } else if (arg == "--fast") {
+      fast = true;
+    } else if (arg == "--ascii") {
+      ascii = true;
+    } else if (arg == "--coverage") {
+      coverage = true;
+    } else if (arg == "--svg") {
+      svg_path = next();
+    } else if (arg == "--pgm") {
+      pgm_path = next();
+    } else if (arg == "--plan") {
+      plan_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  eval::DatasetSpec dataset;
+  if (building == "lab1") {
+    dataset = eval::lab1_dataset(scale);
+  } else if (building == "lab2") {
+    dataset = eval::lab2_dataset(scale);
+  } else if (building == "gym") {
+    dataset = eval::gym_dataset(scale);
+  } else if (building == "random") {
+    dataset = eval::lab1_dataset(scale);
+    common::Rng rng(have_seed ? seed : 0xC11u);
+    dataset.building = sim::random_building(random_rooms, rng);
+    dataset.name = dataset.building.name;
+  } else {
+    std::cerr << "unknown building: " << building << "\n";
+    return 2;
+  }
+  if (have_seed) dataset.seed = seed;
+
+  core::PipelineConfig config =
+      fast ? core::PipelineConfig::fast_profile() : core::PipelineConfig{};
+  if (!config_path.empty()) {
+    try {
+      core::apply_config_overrides(config, common::ConfigFile::load(config_path));
+    } catch (const std::exception& e) {
+      std::cerr << "config error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::cout << "Reconstructing " << dataset.name << " (seed " << dataset.seed
+            << ", scale " << scale << ")...\n";
+  const auto run = eval::run_experiment(dataset, config);
+
+  const auto& d = run.result.diagnostics;
+  std::cout << "uploads " << d.videos_ingested << "  placed "
+            << d.trajectories_placed << "/" << d.trajectories_kept
+            << "  rooms " << d.rooms_reconstructed << "/"
+            << dataset.building.rooms.size() << "\n";
+  std::cout << "hallway  P=" << eval::pct(run.hallway.precision)
+            << "  R=" << eval::pct(run.hallway.recall)
+            << "  F=" << eval::pct(run.hallway.f_measure) << "\n";
+  if (!run.room_errors.empty()) {
+    double area = 0.0;
+    double aspect = 0.0;
+    double loc = 0.0;
+    for (const auto& e : run.room_errors) {
+      area += e.area_error;
+      aspect += e.aspect_error;
+      loc += e.location_error_m;
+    }
+    const double n = static_cast<double>(run.room_errors.size());
+    std::cout << "rooms    area=" << eval::pct(area / n)
+              << "  aspect=" << eval::pct(aspect / n)
+              << "  location=" << eval::fmt(loc / n, 2) << " m\n";
+  }
+
+  if (ascii) std::cout << "\n" << run.result.plan.to_ascii(100);
+  if (coverage) {
+    const auto report =
+        mapping::coverage_report(run.result.occupancy, run.result.skeleton.raster);
+    std::cout << "coverage " << eval::pct(report.confident_fraction)
+              << " of " << report.skeleton_cells << " skeleton cells confident\n";
+    for (const auto& task : mapping::suggest_walk_tasks(report)) {
+      std::cout << "  suggest SWS walk (" << eval::fmt(task.from.x, 1) << ", "
+                << eval::fmt(task.from.y, 1) << ") -> ("
+                << eval::fmt(task.to.x, 1) << ", " << eval::fmt(task.to.y, 1)
+                << ")  [covers ~" << static_cast<int>(task.expected_gain)
+                << " thin cells]\n";
+    }
+  }
+  if (!svg_path.empty()) {
+    std::ofstream(svg_path) << run.result.plan.to_svg();
+    std::cout << "wrote " << svg_path << "\n";
+  }
+  if (!pgm_path.empty()) {
+    io::write_pgm(pgm_path, run.result.skeleton.raster);
+    std::cout << "wrote " << pgm_path << "\n";
+  }
+  if (!plan_path.empty()) {
+    const auto bytes = io::encode_floorplan(run.result.plan);
+    std::ofstream out(plan_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::cout << "wrote " << plan_path << " (" << bytes.size() << " bytes)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_corner_term.cpp" "bench/CMakeFiles/ablation_corner_term.dir/ablation_corner_term.cpp.o" "gcc" "bench/CMakeFiles/ablation_corner_term.dir/ablation_corner_term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crowdmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/crowdmap_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/crowdmap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/crowdmap_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/crowdmap_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/crowdmap_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/crowdmap_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/room/CMakeFiles/crowdmap_room.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/crowdmap_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/crowdmap_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crowdmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/crowdmap_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/crowdmap_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/crowdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crowdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_corner_term.dir/ablation_corner_term.cpp.o"
+  "CMakeFiles/ablation_corner_term.dir/ablation_corner_term.cpp.o.d"
+  "ablation_corner_term"
+  "ablation_corner_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_corner_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

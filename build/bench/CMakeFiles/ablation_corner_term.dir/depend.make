@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_corner_term.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grid_resolution.dir/ablation_grid_resolution.cpp.o"
+  "CMakeFiles/ablation_grid_resolution.dir/ablation_grid_resolution.cpp.o.d"
+  "ablation_grid_resolution"
+  "ablation_grid_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grid_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hierarchical_match.dir/ablation_hierarchical_match.cpp.o"
+  "CMakeFiles/ablation_hierarchical_match.dir/ablation_hierarchical_match.cpp.o.d"
+  "ablation_hierarchical_match"
+  "ablation_hierarchical_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hierarchical_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

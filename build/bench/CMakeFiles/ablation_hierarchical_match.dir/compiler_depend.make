@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_hierarchical_match.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_keyframe_selection.dir/ablation_keyframe_selection.cpp.o"
+  "CMakeFiles/ablation_keyframe_selection.dir/ablation_keyframe_selection.cpp.o.d"
+  "ablation_keyframe_selection"
+  "ablation_keyframe_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_keyframe_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lcss_params.dir/ablation_lcss_params.cpp.o"
+  "CMakeFiles/ablation_lcss_params.dir/ablation_lcss_params.cpp.o.d"
+  "ablation_lcss_params"
+  "ablation_lcss_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lcss_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_panorama_hypotheses.dir/ablation_panorama_hypotheses.cpp.o"
+  "CMakeFiles/ablation_panorama_hypotheses.dir/ablation_panorama_hypotheses.cpp.o.d"
+  "ablation_panorama_hypotheses"
+  "ablation_panorama_hypotheses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_panorama_hypotheses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

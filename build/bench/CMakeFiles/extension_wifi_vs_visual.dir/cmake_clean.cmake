@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_wifi_vs_visual.dir/extension_wifi_vs_visual.cpp.o"
+  "CMakeFiles/extension_wifi_vs_visual.dir/extension_wifi_vs_visual.cpp.o.d"
+  "extension_wifi_vs_visual"
+  "extension_wifi_vs_visual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_wifi_vs_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

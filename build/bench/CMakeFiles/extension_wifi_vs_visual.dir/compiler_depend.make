@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extension_wifi_vs_visual.
+# This may be replaced when dependencies are built.

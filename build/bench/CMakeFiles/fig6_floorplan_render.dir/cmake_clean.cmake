@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_floorplan_render.dir/fig6_floorplan_render.cpp.o"
+  "CMakeFiles/fig6_floorplan_render.dir/fig6_floorplan_render.cpp.o.d"
+  "fig6_floorplan_render"
+  "fig6_floorplan_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_floorplan_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

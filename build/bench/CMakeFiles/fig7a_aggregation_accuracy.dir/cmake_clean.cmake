@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_aggregation_accuracy.dir/fig7a_aggregation_accuracy.cpp.o"
+  "CMakeFiles/fig7a_aggregation_accuracy.dir/fig7a_aggregation_accuracy.cpp.o.d"
+  "fig7a_aggregation_accuracy"
+  "fig7a_aggregation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_aggregation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_lighting_tolerance.dir/fig7b_lighting_tolerance.cpp.o"
+  "CMakeFiles/fig7b_lighting_tolerance.dir/fig7b_lighting_tolerance.cpp.o.d"
+  "fig7b_lighting_tolerance"
+  "fig7b_lighting_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_lighting_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_matching_latency.dir/fig7c_matching_latency.cpp.o"
+  "CMakeFiles/fig7c_matching_latency.dir/fig7c_matching_latency.cpp.o.d"
+  "fig7c_matching_latency"
+  "fig7c_matching_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_matching_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_room_area_error.dir/fig8a_room_area_error.cpp.o"
+  "CMakeFiles/fig8a_room_area_error.dir/fig8a_room_area_error.cpp.o.d"
+  "fig8a_room_area_error"
+  "fig8a_room_area_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_room_area_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8a_room_area_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_room_aspect_error.dir/fig8b_room_aspect_error.cpp.o"
+  "CMakeFiles/fig8b_room_aspect_error.dir/fig8b_room_aspect_error.cpp.o.d"
+  "fig8b_room_aspect_error"
+  "fig8b_room_aspect_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_room_aspect_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

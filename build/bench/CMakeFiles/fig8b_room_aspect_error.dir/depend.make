@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_room_aspect_error.
+# This may be replaced when dependencies are built.

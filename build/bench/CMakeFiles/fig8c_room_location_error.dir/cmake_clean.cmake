@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_room_location_error.dir/fig8c_room_location_error.cpp.o"
+  "CMakeFiles/fig8c_room_location_error.dir/fig8c_room_location_error.cpp.o.d"
+  "fig8c_room_location_error"
+  "fig8c_room_location_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_room_location_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8c_room_location_error.
+# This may be replaced when dependencies are built.

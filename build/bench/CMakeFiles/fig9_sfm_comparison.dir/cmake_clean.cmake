@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sfm_comparison.dir/fig9_sfm_comparison.cpp.o"
+  "CMakeFiles/fig9_sfm_comparison.dir/fig9_sfm_comparison.cpp.o.d"
+  "fig9_sfm_comparison"
+  "fig9_sfm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sfm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_geometry.dir/micro_geometry.cpp.o"
+  "CMakeFiles/micro_geometry.dir/micro_geometry.cpp.o.d"
+  "micro_geometry"
+  "micro_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

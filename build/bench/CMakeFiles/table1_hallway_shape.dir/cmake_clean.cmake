@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hallway_shape.dir/table1_hallway_shape.cpp.o"
+  "CMakeFiles/table1_hallway_shape.dir/table1_hallway_shape.cpp.o.d"
+  "table1_hallway_shape"
+  "table1_hallway_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hallway_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

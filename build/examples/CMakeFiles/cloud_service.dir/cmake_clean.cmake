@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_service.dir/cloud_service.cpp.o"
+  "CMakeFiles/cloud_service.dir/cloud_service.cpp.o.d"
+  "cloud_service"
+  "cloud_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gym_campaign.dir/gym_campaign.cpp.o"
+  "CMakeFiles/gym_campaign.dir/gym_campaign.cpp.o.d"
+  "gym_campaign"
+  "gym_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gym_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

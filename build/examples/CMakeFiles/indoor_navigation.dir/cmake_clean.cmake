@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indoor_navigation.dir/indoor_navigation.cpp.o"
+  "CMakeFiles/indoor_navigation.dir/indoor_navigation.cpp.o.d"
+  "indoor_navigation"
+  "indoor_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indoor_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

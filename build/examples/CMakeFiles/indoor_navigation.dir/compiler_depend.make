@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for indoor_navigation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_building.dir/lab_building.cpp.o"
+  "CMakeFiles/lab_building.dir/lab_building.cpp.o.d"
+  "lab_building"
+  "lab_building.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_building.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

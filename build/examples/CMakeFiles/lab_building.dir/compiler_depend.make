@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lab_building.
+# This may be replaced when dependencies are built.

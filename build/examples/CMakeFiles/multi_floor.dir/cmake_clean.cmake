@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_floor.dir/multi_floor.cpp.o"
+  "CMakeFiles/multi_floor.dir/multi_floor.cpp.o.d"
+  "multi_floor"
+  "multi_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for night_shift.
+# This may be replaced when dependencies are built.

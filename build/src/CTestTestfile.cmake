@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geometry")
+subdirs("imaging")
+subdirs("vision")
+subdirs("sensors")
+subdirs("sim")
+subdirs("trajectory")
+subdirs("mapping")
+subdirs("room")
+subdirs("floorplan")
+subdirs("cloud")
+subdirs("baselines")
+subdirs("core")
+subdirs("eval")
+subdirs("io")
+subdirs("localize")
+subdirs("wifi")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_baselines.dir/crowdinside.cpp.o"
+  "CMakeFiles/crowdmap_baselines.dir/crowdinside.cpp.o.d"
+  "CMakeFiles/crowdmap_baselines.dir/inertial_room.cpp.o"
+  "CMakeFiles/crowdmap_baselines.dir/inertial_room.cpp.o.d"
+  "CMakeFiles/crowdmap_baselines.dir/sfm_sim.cpp.o"
+  "CMakeFiles/crowdmap_baselines.dir/sfm_sim.cpp.o.d"
+  "libcrowdmap_baselines.a"
+  "libcrowdmap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_cloud.dir/chunking.cpp.o"
+  "CMakeFiles/crowdmap_cloud.dir/chunking.cpp.o.d"
+  "CMakeFiles/crowdmap_cloud.dir/docstore.cpp.o"
+  "CMakeFiles/crowdmap_cloud.dir/docstore.cpp.o.d"
+  "CMakeFiles/crowdmap_cloud.dir/ingest.cpp.o"
+  "CMakeFiles/crowdmap_cloud.dir/ingest.cpp.o.d"
+  "CMakeFiles/crowdmap_cloud.dir/service.cpp.o"
+  "CMakeFiles/crowdmap_cloud.dir/service.cpp.o.d"
+  "libcrowdmap_cloud.a"
+  "libcrowdmap_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_common.dir/config_file.cpp.o"
+  "CMakeFiles/crowdmap_common.dir/config_file.cpp.o.d"
+  "CMakeFiles/crowdmap_common.dir/log.cpp.o"
+  "CMakeFiles/crowdmap_common.dir/log.cpp.o.d"
+  "CMakeFiles/crowdmap_common.dir/rng.cpp.o"
+  "CMakeFiles/crowdmap_common.dir/rng.cpp.o.d"
+  "CMakeFiles/crowdmap_common.dir/stats.cpp.o"
+  "CMakeFiles/crowdmap_common.dir/stats.cpp.o.d"
+  "CMakeFiles/crowdmap_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/crowdmap_common.dir/thread_pool.cpp.o.d"
+  "libcrowdmap_common.a"
+  "libcrowdmap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_core.dir/config_overrides.cpp.o"
+  "CMakeFiles/crowdmap_core.dir/config_overrides.cpp.o.d"
+  "CMakeFiles/crowdmap_core.dir/multifloor.cpp.o"
+  "CMakeFiles/crowdmap_core.dir/multifloor.cpp.o.d"
+  "CMakeFiles/crowdmap_core.dir/pipeline.cpp.o"
+  "CMakeFiles/crowdmap_core.dir/pipeline.cpp.o.d"
+  "libcrowdmap_core.a"
+  "libcrowdmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

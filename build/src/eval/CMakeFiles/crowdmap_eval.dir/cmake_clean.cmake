@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_eval.dir/datasets.cpp.o"
+  "CMakeFiles/crowdmap_eval.dir/datasets.cpp.o.d"
+  "CMakeFiles/crowdmap_eval.dir/harness.cpp.o"
+  "CMakeFiles/crowdmap_eval.dir/harness.cpp.o.d"
+  "libcrowdmap_eval.a"
+  "libcrowdmap_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_floorplan.dir/arrange.cpp.o"
+  "CMakeFiles/crowdmap_floorplan.dir/arrange.cpp.o.d"
+  "CMakeFiles/crowdmap_floorplan.dir/eval.cpp.o"
+  "CMakeFiles/crowdmap_floorplan.dir/eval.cpp.o.d"
+  "CMakeFiles/crowdmap_floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/crowdmap_floorplan.dir/floorplan.cpp.o.d"
+  "libcrowdmap_floorplan.a"
+  "libcrowdmap_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

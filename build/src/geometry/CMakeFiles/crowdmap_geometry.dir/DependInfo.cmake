@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/alpha_shape.cpp" "src/geometry/CMakeFiles/crowdmap_geometry.dir/alpha_shape.cpp.o" "gcc" "src/geometry/CMakeFiles/crowdmap_geometry.dir/alpha_shape.cpp.o.d"
+  "/root/repo/src/geometry/convex_hull.cpp" "src/geometry/CMakeFiles/crowdmap_geometry.dir/convex_hull.cpp.o" "gcc" "src/geometry/CMakeFiles/crowdmap_geometry.dir/convex_hull.cpp.o.d"
+  "/root/repo/src/geometry/delaunay.cpp" "src/geometry/CMakeFiles/crowdmap_geometry.dir/delaunay.cpp.o" "gcc" "src/geometry/CMakeFiles/crowdmap_geometry.dir/delaunay.cpp.o.d"
+  "/root/repo/src/geometry/obb.cpp" "src/geometry/CMakeFiles/crowdmap_geometry.dir/obb.cpp.o" "gcc" "src/geometry/CMakeFiles/crowdmap_geometry.dir/obb.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/geometry/CMakeFiles/crowdmap_geometry.dir/polygon.cpp.o" "gcc" "src/geometry/CMakeFiles/crowdmap_geometry.dir/polygon.cpp.o.d"
+  "/root/repo/src/geometry/raster.cpp" "src/geometry/CMakeFiles/crowdmap_geometry.dir/raster.cpp.o" "gcc" "src/geometry/CMakeFiles/crowdmap_geometry.dir/raster.cpp.o.d"
+  "/root/repo/src/geometry/segment.cpp" "src/geometry/CMakeFiles/crowdmap_geometry.dir/segment.cpp.o" "gcc" "src/geometry/CMakeFiles/crowdmap_geometry.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_geometry.dir/alpha_shape.cpp.o"
+  "CMakeFiles/crowdmap_geometry.dir/alpha_shape.cpp.o.d"
+  "CMakeFiles/crowdmap_geometry.dir/convex_hull.cpp.o"
+  "CMakeFiles/crowdmap_geometry.dir/convex_hull.cpp.o.d"
+  "CMakeFiles/crowdmap_geometry.dir/delaunay.cpp.o"
+  "CMakeFiles/crowdmap_geometry.dir/delaunay.cpp.o.d"
+  "CMakeFiles/crowdmap_geometry.dir/obb.cpp.o"
+  "CMakeFiles/crowdmap_geometry.dir/obb.cpp.o.d"
+  "CMakeFiles/crowdmap_geometry.dir/polygon.cpp.o"
+  "CMakeFiles/crowdmap_geometry.dir/polygon.cpp.o.d"
+  "CMakeFiles/crowdmap_geometry.dir/raster.cpp.o"
+  "CMakeFiles/crowdmap_geometry.dir/raster.cpp.o.d"
+  "CMakeFiles/crowdmap_geometry.dir/segment.cpp.o"
+  "CMakeFiles/crowdmap_geometry.dir/segment.cpp.o.d"
+  "libcrowdmap_geometry.a"
+  "libcrowdmap_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/descriptors.cpp" "src/imaging/CMakeFiles/crowdmap_imaging.dir/descriptors.cpp.o" "gcc" "src/imaging/CMakeFiles/crowdmap_imaging.dir/descriptors.cpp.o.d"
+  "/root/repo/src/imaging/hog.cpp" "src/imaging/CMakeFiles/crowdmap_imaging.dir/hog.cpp.o" "gcc" "src/imaging/CMakeFiles/crowdmap_imaging.dir/hog.cpp.o.d"
+  "/root/repo/src/imaging/image.cpp" "src/imaging/CMakeFiles/crowdmap_imaging.dir/image.cpp.o" "gcc" "src/imaging/CMakeFiles/crowdmap_imaging.dir/image.cpp.o.d"
+  "/root/repo/src/imaging/integral.cpp" "src/imaging/CMakeFiles/crowdmap_imaging.dir/integral.cpp.o" "gcc" "src/imaging/CMakeFiles/crowdmap_imaging.dir/integral.cpp.o.d"
+  "/root/repo/src/imaging/morphology.cpp" "src/imaging/CMakeFiles/crowdmap_imaging.dir/morphology.cpp.o" "gcc" "src/imaging/CMakeFiles/crowdmap_imaging.dir/morphology.cpp.o.d"
+  "/root/repo/src/imaging/ncc.cpp" "src/imaging/CMakeFiles/crowdmap_imaging.dir/ncc.cpp.o" "gcc" "src/imaging/CMakeFiles/crowdmap_imaging.dir/ncc.cpp.o.d"
+  "/root/repo/src/imaging/otsu.cpp" "src/imaging/CMakeFiles/crowdmap_imaging.dir/otsu.cpp.o" "gcc" "src/imaging/CMakeFiles/crowdmap_imaging.dir/otsu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdmap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/crowdmap_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

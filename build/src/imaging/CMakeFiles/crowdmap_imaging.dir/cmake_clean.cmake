@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_imaging.dir/descriptors.cpp.o"
+  "CMakeFiles/crowdmap_imaging.dir/descriptors.cpp.o.d"
+  "CMakeFiles/crowdmap_imaging.dir/hog.cpp.o"
+  "CMakeFiles/crowdmap_imaging.dir/hog.cpp.o.d"
+  "CMakeFiles/crowdmap_imaging.dir/image.cpp.o"
+  "CMakeFiles/crowdmap_imaging.dir/image.cpp.o.d"
+  "CMakeFiles/crowdmap_imaging.dir/integral.cpp.o"
+  "CMakeFiles/crowdmap_imaging.dir/integral.cpp.o.d"
+  "CMakeFiles/crowdmap_imaging.dir/morphology.cpp.o"
+  "CMakeFiles/crowdmap_imaging.dir/morphology.cpp.o.d"
+  "CMakeFiles/crowdmap_imaging.dir/ncc.cpp.o"
+  "CMakeFiles/crowdmap_imaging.dir/ncc.cpp.o.d"
+  "CMakeFiles/crowdmap_imaging.dir/otsu.cpp.o"
+  "CMakeFiles/crowdmap_imaging.dir/otsu.cpp.o.d"
+  "libcrowdmap_imaging.a"
+  "libcrowdmap_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

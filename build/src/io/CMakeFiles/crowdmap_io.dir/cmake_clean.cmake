@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_io.dir/image_io.cpp.o"
+  "CMakeFiles/crowdmap_io.dir/image_io.cpp.o.d"
+  "CMakeFiles/crowdmap_io.dir/serialize.cpp.o"
+  "CMakeFiles/crowdmap_io.dir/serialize.cpp.o.d"
+  "libcrowdmap_io.a"
+  "libcrowdmap_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

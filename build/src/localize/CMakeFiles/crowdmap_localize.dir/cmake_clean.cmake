@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_localize.dir/particle_filter.cpp.o"
+  "CMakeFiles/crowdmap_localize.dir/particle_filter.cpp.o.d"
+  "libcrowdmap_localize.a"
+  "libcrowdmap_localize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_localize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_mapping.dir/coverage.cpp.o"
+  "CMakeFiles/crowdmap_mapping.dir/coverage.cpp.o.d"
+  "CMakeFiles/crowdmap_mapping.dir/occupancy.cpp.o"
+  "CMakeFiles/crowdmap_mapping.dir/occupancy.cpp.o.d"
+  "CMakeFiles/crowdmap_mapping.dir/skeleton.cpp.o"
+  "CMakeFiles/crowdmap_mapping.dir/skeleton.cpp.o.d"
+  "libcrowdmap_mapping.a"
+  "libcrowdmap_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_room.dir/corners.cpp.o"
+  "CMakeFiles/crowdmap_room.dir/corners.cpp.o.d"
+  "CMakeFiles/crowdmap_room.dir/fusion.cpp.o"
+  "CMakeFiles/crowdmap_room.dir/fusion.cpp.o.d"
+  "CMakeFiles/crowdmap_room.dir/layout.cpp.o"
+  "CMakeFiles/crowdmap_room.dir/layout.cpp.o.d"
+  "CMakeFiles/crowdmap_room.dir/panorama_select.cpp.o"
+  "CMakeFiles/crowdmap_room.dir/panorama_select.cpp.o.d"
+  "libcrowdmap_room.a"
+  "libcrowdmap_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

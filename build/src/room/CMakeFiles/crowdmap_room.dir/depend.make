@@ -1,0 +1,2 @@
+# Empty dependencies file for crowdmap_room.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/dead_reckoning.cpp" "src/sensors/CMakeFiles/crowdmap_sensors.dir/dead_reckoning.cpp.o" "gcc" "src/sensors/CMakeFiles/crowdmap_sensors.dir/dead_reckoning.cpp.o.d"
+  "/root/repo/src/sensors/heading.cpp" "src/sensors/CMakeFiles/crowdmap_sensors.dir/heading.cpp.o" "gcc" "src/sensors/CMakeFiles/crowdmap_sensors.dir/heading.cpp.o.d"
+  "/root/repo/src/sensors/step_detector.cpp" "src/sensors/CMakeFiles/crowdmap_sensors.dir/step_detector.cpp.o" "gcc" "src/sensors/CMakeFiles/crowdmap_sensors.dir/step_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdmap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/crowdmap_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_sensors.dir/dead_reckoning.cpp.o"
+  "CMakeFiles/crowdmap_sensors.dir/dead_reckoning.cpp.o.d"
+  "CMakeFiles/crowdmap_sensors.dir/heading.cpp.o"
+  "CMakeFiles/crowdmap_sensors.dir/heading.cpp.o.d"
+  "CMakeFiles/crowdmap_sensors.dir/step_detector.cpp.o"
+  "CMakeFiles/crowdmap_sensors.dir/step_detector.cpp.o.d"
+  "libcrowdmap_sensors.a"
+  "libcrowdmap_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/buildings.cpp" "src/sim/CMakeFiles/crowdmap_sim.dir/buildings.cpp.o" "gcc" "src/sim/CMakeFiles/crowdmap_sim.dir/buildings.cpp.o.d"
+  "/root/repo/src/sim/campaign.cpp" "src/sim/CMakeFiles/crowdmap_sim.dir/campaign.cpp.o" "gcc" "src/sim/CMakeFiles/crowdmap_sim.dir/campaign.cpp.o.d"
+  "/root/repo/src/sim/scene.cpp" "src/sim/CMakeFiles/crowdmap_sim.dir/scene.cpp.o" "gcc" "src/sim/CMakeFiles/crowdmap_sim.dir/scene.cpp.o.d"
+  "/root/repo/src/sim/spec.cpp" "src/sim/CMakeFiles/crowdmap_sim.dir/spec.cpp.o" "gcc" "src/sim/CMakeFiles/crowdmap_sim.dir/spec.cpp.o.d"
+  "/root/repo/src/sim/user_sim.cpp" "src/sim/CMakeFiles/crowdmap_sim.dir/user_sim.cpp.o" "gcc" "src/sim/CMakeFiles/crowdmap_sim.dir/user_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crowdmap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/crowdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/crowdmap_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/crowdmap_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

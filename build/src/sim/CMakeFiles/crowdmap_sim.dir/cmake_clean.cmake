@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_sim.dir/buildings.cpp.o"
+  "CMakeFiles/crowdmap_sim.dir/buildings.cpp.o.d"
+  "CMakeFiles/crowdmap_sim.dir/campaign.cpp.o"
+  "CMakeFiles/crowdmap_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/crowdmap_sim.dir/scene.cpp.o"
+  "CMakeFiles/crowdmap_sim.dir/scene.cpp.o.d"
+  "CMakeFiles/crowdmap_sim.dir/spec.cpp.o"
+  "CMakeFiles/crowdmap_sim.dir/spec.cpp.o.d"
+  "CMakeFiles/crowdmap_sim.dir/user_sim.cpp.o"
+  "CMakeFiles/crowdmap_sim.dir/user_sim.cpp.o.d"
+  "libcrowdmap_sim.a"
+  "libcrowdmap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdmap_sim.a"
+)

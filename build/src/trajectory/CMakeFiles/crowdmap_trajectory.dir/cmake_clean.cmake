@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_trajectory.dir/aggregate.cpp.o"
+  "CMakeFiles/crowdmap_trajectory.dir/aggregate.cpp.o.d"
+  "CMakeFiles/crowdmap_trajectory.dir/incremental.cpp.o"
+  "CMakeFiles/crowdmap_trajectory.dir/incremental.cpp.o.d"
+  "CMakeFiles/crowdmap_trajectory.dir/lcss.cpp.o"
+  "CMakeFiles/crowdmap_trajectory.dir/lcss.cpp.o.d"
+  "CMakeFiles/crowdmap_trajectory.dir/matching.cpp.o"
+  "CMakeFiles/crowdmap_trajectory.dir/matching.cpp.o.d"
+  "CMakeFiles/crowdmap_trajectory.dir/trajectory.cpp.o"
+  "CMakeFiles/crowdmap_trajectory.dir/trajectory.cpp.o.d"
+  "libcrowdmap_trajectory.a"
+  "libcrowdmap_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

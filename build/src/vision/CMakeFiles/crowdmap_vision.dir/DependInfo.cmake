@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/lines.cpp" "src/vision/CMakeFiles/crowdmap_vision.dir/lines.cpp.o" "gcc" "src/vision/CMakeFiles/crowdmap_vision.dir/lines.cpp.o.d"
+  "/root/repo/src/vision/matcher.cpp" "src/vision/CMakeFiles/crowdmap_vision.dir/matcher.cpp.o" "gcc" "src/vision/CMakeFiles/crowdmap_vision.dir/matcher.cpp.o.d"
+  "/root/repo/src/vision/panorama.cpp" "src/vision/CMakeFiles/crowdmap_vision.dir/panorama.cpp.o" "gcc" "src/vision/CMakeFiles/crowdmap_vision.dir/panorama.cpp.o.d"
+  "/root/repo/src/vision/similarity.cpp" "src/vision/CMakeFiles/crowdmap_vision.dir/similarity.cpp.o" "gcc" "src/vision/CMakeFiles/crowdmap_vision.dir/similarity.cpp.o.d"
+  "/root/repo/src/vision/surf.cpp" "src/vision/CMakeFiles/crowdmap_vision.dir/surf.cpp.o" "gcc" "src/vision/CMakeFiles/crowdmap_vision.dir/surf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imaging/CMakeFiles/crowdmap_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/crowdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crowdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_vision.dir/lines.cpp.o"
+  "CMakeFiles/crowdmap_vision.dir/lines.cpp.o.d"
+  "CMakeFiles/crowdmap_vision.dir/matcher.cpp.o"
+  "CMakeFiles/crowdmap_vision.dir/matcher.cpp.o.d"
+  "CMakeFiles/crowdmap_vision.dir/panorama.cpp.o"
+  "CMakeFiles/crowdmap_vision.dir/panorama.cpp.o.d"
+  "CMakeFiles/crowdmap_vision.dir/similarity.cpp.o"
+  "CMakeFiles/crowdmap_vision.dir/similarity.cpp.o.d"
+  "CMakeFiles/crowdmap_vision.dir/surf.cpp.o"
+  "CMakeFiles/crowdmap_vision.dir/surf.cpp.o.d"
+  "libcrowdmap_vision.a"
+  "libcrowdmap_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

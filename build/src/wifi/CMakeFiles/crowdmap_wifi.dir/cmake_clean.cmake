@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_wifi.dir/model.cpp.o"
+  "CMakeFiles/crowdmap_wifi.dir/model.cpp.o.d"
+  "CMakeFiles/crowdmap_wifi.dir/walkie_markie.cpp.o"
+  "CMakeFiles/crowdmap_wifi.dir/walkie_markie.cpp.o.d"
+  "libcrowdmap_wifi.a"
+  "libcrowdmap_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

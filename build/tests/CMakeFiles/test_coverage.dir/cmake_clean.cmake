@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage.dir/test_coverage.cpp.o"
+  "CMakeFiles/test_coverage.dir/test_coverage.cpp.o.d"
+  "test_coverage"
+  "test_coverage.pdb"
+  "test_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_descriptors.dir/test_descriptors.cpp.o"
+  "CMakeFiles/test_descriptors.dir/test_descriptors.cpp.o.d"
+  "test_descriptors"
+  "test_descriptors.pdb"
+  "test_descriptors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_descriptors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

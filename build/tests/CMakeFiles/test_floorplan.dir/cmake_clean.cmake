@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floorplan.dir/test_floorplan.cpp.o"
+  "CMakeFiles/test_floorplan.dir/test_floorplan.cpp.o.d"
+  "test_floorplan"
+  "test_floorplan.pdb"
+  "test_floorplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion.dir/test_fusion.cpp.o"
+  "CMakeFiles/test_fusion.dir/test_fusion.cpp.o.d"
+  "test_fusion"
+  "test_fusion.pdb"
+  "test_fusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

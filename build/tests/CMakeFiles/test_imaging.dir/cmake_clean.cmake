@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imaging.dir/test_imaging.cpp.o"
+  "CMakeFiles/test_imaging.dir/test_imaging.cpp.o.d"
+  "test_imaging"
+  "test_imaging.pdb"
+  "test_imaging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

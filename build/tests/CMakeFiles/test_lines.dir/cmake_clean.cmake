@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lines.dir/test_lines.cpp.o"
+  "CMakeFiles/test_lines.dir/test_lines.cpp.o.d"
+  "test_lines"
+  "test_lines.pdb"
+  "test_lines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

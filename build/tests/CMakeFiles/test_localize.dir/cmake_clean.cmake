@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_localize.dir/test_localize.cpp.o"
+  "CMakeFiles/test_localize.dir/test_localize.cpp.o.d"
+  "test_localize"
+  "test_localize.pdb"
+  "test_localize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_localize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

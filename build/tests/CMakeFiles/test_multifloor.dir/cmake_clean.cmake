@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multifloor.dir/test_multifloor.cpp.o"
+  "CMakeFiles/test_multifloor.dir/test_multifloor.cpp.o.d"
+  "test_multifloor"
+  "test_multifloor.pdb"
+  "test_multifloor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multifloor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_panorama.dir/test_panorama.cpp.o"
+  "CMakeFiles/test_panorama.dir/test_panorama.cpp.o.d"
+  "test_panorama"
+  "test_panorama.pdb"
+  "test_panorama[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_panorama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

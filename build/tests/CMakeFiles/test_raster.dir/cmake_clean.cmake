@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raster.dir/test_raster.cpp.o"
+  "CMakeFiles/test_raster.dir/test_raster.cpp.o.d"
+  "test_raster"
+  "test_raster.pdb"
+  "test_raster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_room.dir/test_room.cpp.o"
+  "CMakeFiles/test_room.dir/test_room.cpp.o.d"
+  "test_room"
+  "test_room.pdb"
+  "test_room[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensors.dir/test_sensors.cpp.o"
+  "CMakeFiles/test_sensors.dir/test_sensors.cpp.o.d"
+  "test_sensors"
+  "test_sensors.pdb"
+  "test_sensors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

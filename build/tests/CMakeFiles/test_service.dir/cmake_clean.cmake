@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service.dir/test_service.cpp.o"
+  "CMakeFiles/test_service.dir/test_service.cpp.o.d"
+  "test_service"
+  "test_service.pdb"
+  "test_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surf.dir/test_surf.cpp.o"
+  "CMakeFiles/test_surf.dir/test_surf.cpp.o.d"
+  "test_surf"
+  "test_surf.pdb"
+  "test_surf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trajectory.dir/test_trajectory.cpp.o"
+  "CMakeFiles/test_trajectory.dir/test_trajectory.cpp.o.d"
+  "test_trajectory"
+  "test_trajectory.pdb"
+  "test_trajectory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi.dir/test_wifi.cpp.o"
+  "CMakeFiles/test_wifi.dir/test_wifi.cpp.o.d"
+  "test_wifi"
+  "test_wifi.pdb"
+  "test_wifi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdmap_cli.dir/crowdmap_cli.cpp.o"
+  "CMakeFiles/crowdmap_cli.dir/crowdmap_cli.cpp.o.d"
+  "crowdmap_cli"
+  "crowdmap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdmap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

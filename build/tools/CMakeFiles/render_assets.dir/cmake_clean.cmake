@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_assets.dir/render_assets.cpp.o"
+  "CMakeFiles/render_assets.dir/render_assets.cpp.o.d"
+  "render_assets"
+  "render_assets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_assets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

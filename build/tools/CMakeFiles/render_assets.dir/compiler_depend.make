@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for render_assets.
+# This may be replaced when dependencies are built.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "eval/datasets.hpp"
 #include "eval/harness.hpp"
@@ -70,6 +71,11 @@ int main() {
         std::cout,
         {eval::fmt(weight, 2), eval::pct(common::mean(area_errors)),
          eval::pct(common::mean(aspect_errors))});
+    bench::emit_bench_json("ablation_corner_term",
+                           "area_error.w=" + eval::fmt(weight, 2), area_errors);
+    bench::emit_bench_json("ablation_corner_term",
+                           "aspect_error.w=" + eval::fmt(weight, 2),
+                           aspect_errors);
   }
   std::cout << "# corner evidence mostly sharpens orientation/aspect; the "
                "boundary term carries area\n";

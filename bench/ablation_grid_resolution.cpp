@@ -2,6 +2,7 @@
 // trades hallway precision against recall. Sweeps the cell size on Lab1.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "eval/datasets.hpp"
 #include "eval/harness.hpp"
 
@@ -26,6 +27,9 @@ int main() {
                           {eval::fmt(cell, 2), eval::pct(run.hallway.precision),
                            eval::pct(run.hallway.recall),
                            eval::pct(run.hallway.f_measure)});
+    bench::emit_bench_scalar("ablation_grid_resolution",
+                             "f_measure.cell=" + eval::fmt(cell, 2),
+                             run.hallway.f_measure);
   }
   std::cout << "# coarse grids inflate the skeleton (recall up, precision "
                "down); fine grids fragment it\n";

@@ -48,10 +48,15 @@ int main() {
         }
       }
     }
+    const double elapsed = timer.elapsed_seconds();
     const double acc = merges ? static_cast<double>(correct) / merges : 0.0;
-    eval::print_table_row(std::cout, {variant.name,
-                                      eval::fmt(timer.elapsed_seconds(), 2),
+    eval::print_table_row(std::cout, {variant.name, eval::fmt(elapsed, 2),
                                       eval::pct(acc), std::to_string(merges)});
+    bench::emit_bench_scalar("ablation_hierarchical_match",
+                             std::string(variant.name) + ".match_seconds",
+                             elapsed);
+    bench::emit_bench_scalar("ablation_hierarchical_match",
+                             std::string(variant.name) + ".accuracy", acc);
   }
   std::cout << "# the gate should cut time substantially at equal or better "
                "accuracy\n";

@@ -72,6 +72,16 @@ int main() {
                           {variant.name, std::to_string(frames),
                            eval::fmt(extract_s, 1), eval::fmt(match_s, 1),
                            eval::pct(acc)});
+    const std::string series(variant.name);
+    bench::emit_bench_scalar("ablation_keyframe_selection",
+                             series + ".frames_kept",
+                             static_cast<double>(frames));
+    bench::emit_bench_scalar("ablation_keyframe_selection",
+                             series + ".extract_seconds", extract_s);
+    bench::emit_bench_scalar("ablation_keyframe_selection",
+                             series + ".match_seconds", match_s);
+    bench::emit_bench_scalar("ablation_keyframe_selection", series + ".accuracy",
+                             acc);
   }
   std::cout << "# selection should cut frames (and cost) with comparable "
                "matching accuracy\n";

@@ -37,6 +37,10 @@ int main() {
       eval::print_table_row(std::cout,
                             {eval::fmt(epsilon, 1), std::to_string(delta),
                              eval::pct(acc), std::to_string(merges)});
+      bench::emit_bench_scalar("ablation_lcss_params",
+                               "accuracy.eps=" + eval::fmt(epsilon, 1) +
+                                   ",delta=" + std::to_string(delta),
+                               acc);
     }
   }
   std::cout << "# small epsilon starves merges; large epsilon admits junk; "

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "eval/datasets.hpp"
 #include "eval/harness.hpp"
@@ -70,6 +71,9 @@ int main() {
     eval::print_table_row(std::cout, {std::to_string(hypotheses),
                                       eval::pct(summary.mean),
                                       eval::pct(summary.p90)});
+    bench::emit_bench_json("ablation_panorama_hypotheses",
+                           "area_error.hypotheses=" + std::to_string(hypotheses),
+                           errors);
   }
   std::cout << "# error should fall steeply with more samples and flatten "
                "well before 20k (the paper's setting is conservative)\n";

@@ -1,0 +1,55 @@
+// Shared main() for the google-benchmark micro benches: runs the registered
+// benchmarks with the normal console output, then emits one machine-readable
+// `BENCH_<bench>.json {...}` line per benchmark (mean real seconds per
+// iteration) so drivers can scrape micro timings the same way as the
+// table/figure benches.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace crowdmap::bench {
+
+/// Console reporter that additionally remembers per-benchmark mean real time.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      collected_.emplace_back(run.benchmark_name(),
+                              run.real_accumulated_time / iters);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& collected()
+      const {
+    return collected_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> collected_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body with JSON-line emission.
+inline int run_benchmarks_with_json(const std::string& bench, int argc,
+                                    char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  for (const auto& [name, seconds] : reporter.collected()) {
+    emit_bench_scalar(bench, name + ".real_seconds", seconds);
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace crowdmap::bench

@@ -2,11 +2,17 @@
 // alignment, merge-correctness judgment, and output formatting.
 #pragma once
 
+#include <iostream>
 #include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/mathutil.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "eval/harness.hpp"
 #include "floorplan/eval.hpp"
 #include "sim/buildings.hpp"
@@ -77,6 +83,48 @@ struct WalkPoolOptions {
     pool.back().video_id = i;
   }
   return pool;
+}
+
+// ---------------------------------------------------- result emission ---
+
+/// Escapes a string for embedding in a JSON string literal.
+[[nodiscard]] inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Emits one machine-readable result line:
+///   BENCH_<bench>.json {"name":"<series>","samples":N,"mean":...,...}
+/// Every bench target reports its headline numbers through this helper, so
+/// the repo's perf/accuracy trajectory can be tracked by grepping `BENCH_`
+/// out of CI logs from PR 1 onward.
+inline void emit_bench_json(std::string_view bench, std::string_view series,
+                            std::span<const double> samples,
+                            std::ostream& out = std::cout) {
+  const common::Summary s = common::summarize(samples);
+  std::ostringstream line;
+  line.precision(9);
+  line << "BENCH_" << bench << ".json {\"name\":\"" << json_escape(series)
+       << "\",\"samples\":" << s.count << ",\"mean\":" << s.mean
+       << ",\"stddev\":" << s.stddev << ",\"min\":" << s.min
+       << ",\"max\":" << s.max << ",\"median\":" << s.median
+       << ",\"p90\":" << s.p90 << ",\"p99\":" << s.p99 << "}";
+  out << line.str() << '\n';
+}
+
+/// Single-value convenience for scalar results (accuracy ratios, totals).
+inline void emit_bench_scalar(std::string_view bench, std::string_view series,
+                              double value, std::ostream& out = std::cout) {
+  emit_bench_json(bench, series, std::span<const double>(&value, 1), out);
 }
 
 /// Decision of one pairwise merge attempt, judged against ground truth.

@@ -45,6 +45,8 @@ int main() {
                          std::to_string(visual.placed_count) + "/" +
                              std::to_string(pool.size()),
                          eval::fmt(mean_error(visual), 2)});
+  bench::emit_bench_scalar("extension_wifi_vs_visual", "visual.mean_kf_err_m",
+                           mean_error(visual));
   // Wi-Fi marks at several AP densities.
   for (const int n_aps : {4, 8, 16}) {
     const wifi::WifiModel model(wifi::place_access_points(spec, n_aps, 0x31F1),
@@ -56,6 +58,10 @@ int main() {
                            std::to_string(result.placed_count) + "/" +
                                std::to_string(pool.size()),
                            eval::fmt(mean_error(result), 2)});
+    bench::emit_bench_scalar("extension_wifi_vs_visual",
+                             "wifi_marks.aps=" + std::to_string(n_aps) +
+                                 ".mean_kf_err_m",
+                             mean_error(result));
   }
   std::cout << "# expected: visual anchors place more trajectories at lower "
                "error; Wi-Fi marks improve with AP density but stay coarser\n";

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "eval/datasets.hpp"
 #include "eval/harness.hpp"
 
@@ -35,5 +36,9 @@ int main() {
   std::cout << "# hallway F-measure " << eval::pct(run.hallway.f_measure)
             << ", rooms reconstructed " << run.result.plan.rooms.size() << "/"
             << dataset.building.rooms.size() << '\n';
+  bench::emit_bench_scalar("fig6_floorplan_render", "hallway_f_measure",
+                           run.hallway.f_measure);
+  bench::emit_bench_scalar("fig6_floorplan_render", "rooms_reconstructed",
+                           static_cast<double>(run.result.plan.rooms.size()));
   return 0;
 }

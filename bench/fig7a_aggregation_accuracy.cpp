@@ -57,6 +57,8 @@ int main() {
   std::cout << "=== Fig. 7(a): Matching accuracy vs #user trajectories ===\n";
   eval::print_table_row(std::cout, {"#Trajectories", "SingleImage acc",
                                     "SequenceBased acc", "(merges s/q)"});
+  std::vector<double> seq_accs;
+  std::vector<double> single_accs;
   for (int n = 35; n <= kMaxTrajectories; n += 10) {
     int seq_correct = 0;
     int seq_total = 0;
@@ -82,8 +84,14 @@ int main() {
     eval::print_table_row(
         std::cout, {std::to_string(n), eval::pct(single_acc), eval::pct(seq_acc),
                     std::to_string(single_total) + "/" + std::to_string(seq_total)});
+    seq_accs.push_back(seq_acc);
+    single_accs.push_back(single_acc);
   }
   std::cout << "# paper shape: sequence-based > single-image everywhere; "
                "single-image decays past ~65 trajectories\n";
+  bench::emit_bench_json("fig7a_aggregation_accuracy", "sequence_accuracy",
+                         seq_accs);
+  bench::emit_bench_json("fig7a_aggregation_accuracy", "single_image_accuracy",
+                         single_accs);
   return 0;
 }

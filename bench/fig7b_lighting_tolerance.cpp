@@ -39,6 +39,7 @@ int main() {
   std::cout << "=== Fig. 7(b): Aggregation error rate vs % night trajectories ===\n";
   eval::print_table_row(std::cout,
                         {"Night fraction", "Error rate", "(wrong/merges)"});
+  std::vector<double> error_rates;
   for (int night_pct = 0; night_pct <= 100; night_pct += 10) {
     // Mixed set of kGroupSize trajectories: first take night, then day.
     const int n_night = kGroupSize * night_pct / 100;
@@ -64,7 +65,10 @@ int main() {
     eval::print_table_row(std::cout,
                           {std::to_string(night_pct) + "%", eval::pct(rate),
                            std::to_string(wrong) + "/" + std::to_string(merges)});
+    error_rates.push_back(rate);
   }
   std::cout << "# paper shape: error rate stays low (<~10%) across the sweep\n";
+  bench::emit_bench_json("fig7b_lighting_tolerance", "aggregation_error_rate",
+                         error_rates);
   return 0;
 }

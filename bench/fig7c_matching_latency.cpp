@@ -65,5 +65,11 @@ int main() {
             << " trajectories: " << eval::fmt(aggregation_seconds, 1) << " s\n";
   std::cout << "# paper: ~0.8 s mean per key-frame match; 40-50 s full "
                "aggregation (their hardware; compare distribution shape)\n";
+  bench::emit_bench_json("fig7c_matching_latency", "keyframe_pair_match_seconds",
+                         frame_latencies);
+  bench::emit_bench_json("fig7c_matching_latency",
+                         "trajectory_pair_match_seconds", pair_latencies);
+  bench::emit_bench_scalar("fig7c_matching_latency", "full_aggregation_seconds",
+                           aggregation_seconds);
   return 0;
 }

@@ -6,6 +6,7 @@
 // the real walls while the panorama sees the walls directly.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "eval/harness.hpp"
 #include "fig8_util.hpp"
@@ -23,5 +24,9 @@ int main() {
   eval::print_cdf(std::cout, "Visual Data: room area error (%)", visual_pct);
   eval::print_cdf(std::cout, "Inertial Data: room area error (%)", inertial_pct);
   std::cout << "# paper: visual mean ~9.8%, inertial mean ~22.5%\n";
+  bench::emit_bench_json("fig8a_room_area_error", "visual_area_error_pct",
+                         visual_pct);
+  bench::emit_bench_json("fig8a_room_area_error", "inertial_area_error_pct",
+                         inertial_pct);
   return 0;
 }

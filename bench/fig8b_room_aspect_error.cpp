@@ -3,6 +3,7 @@
 // Paper: visual mean ~6.5% vs inertial ~15.1%.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "eval/harness.hpp"
 #include "fig8_util.hpp"
@@ -20,5 +21,9 @@ int main() {
   eval::print_cdf(std::cout, "Visual Data: aspect ratio error (%)", visual_pct);
   eval::print_cdf(std::cout, "Inertial Data: aspect ratio error (%)", inertial_pct);
   std::cout << "# paper: visual mean ~6.5%, inertial mean ~15.1%\n";
+  bench::emit_bench_json("fig8b_room_aspect_error", "visual_aspect_error_pct",
+                         visual_pct);
+  bench::emit_bench_json("fig8b_room_aspect_error", "inertial_aspect_error_pct",
+                         inertial_pct);
   return 0;
 }

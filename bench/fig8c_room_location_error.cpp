@@ -5,6 +5,7 @@
 // make centers hard to localize, one room reaching ~5 m.
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "eval/datasets.hpp"
 #include "eval/harness.hpp"
 
@@ -17,6 +18,8 @@ int main() {
     std::vector<double> errors;
     for (const auto& e : run.room_errors) errors.push_back(e.location_error_m);
     eval::print_cdf(std::cout, dataset.name + ": room location error (m)", errors);
+    bench::emit_bench_json("fig8c_room_location_error",
+                           dataset.name + ".location_error_m", errors);
   }
   std::cout << "# paper means: Lab1 1.2 m, Lab2 1.5 m, Gym 1.2 m (max ~5 m)\n";
   return 0;

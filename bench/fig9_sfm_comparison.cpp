@@ -62,6 +62,10 @@ int main() {
          eval::fmt(sfm_err, 2),
          std::to_string(sfm_failures) + "/" + std::to_string(sfm_frames),
          eval::fmt(cm_err, 2)});
+    bench::emit_bench_scalar("fig9_sfm_comparison", spec.name + ".sfm_mean_err_m",
+                             sfm_err);
+    bench::emit_bench_scalar("fig9_sfm_comparison",
+                             spec.name + ".crowdmap_median_err_m", cm_err);
   }
   std::cout << "# paper shape: SfM degrades sharply in the featureless Gym; "
                "CrowdMap stays consistent across both\n";

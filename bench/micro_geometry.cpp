@@ -3,6 +3,7 @@
 // raster overlap metrics.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
 #include "common/rng.hpp"
 #include "geometry/alpha_shape.hpp"
 #include "geometry/delaunay.hpp"
@@ -88,4 +89,7 @@ BENCHMARK(BM_BestAlignedOverlap);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return crowdmap::bench::run_benchmarks_with_json("micro_geometry", argc,
+                                                   argv);
+}

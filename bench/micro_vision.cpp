@@ -3,6 +3,7 @@
 // LCSS and panorama stitching.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
 #include "common/rng.hpp"
 #include "imaging/descriptors.hpp"
 #include "imaging/hog.hpp"
@@ -132,4 +133,6 @@ BENCHMARK(BM_StitchPanorama);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return crowdmap::bench::run_benchmarks_with_json("micro_vision", argc, argv);
+}

@@ -8,6 +8,7 @@
 //   Gym  : P 84.3%  R 88.8%  F 86.5%
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "eval/datasets.hpp"
 #include "eval/harness.hpp"
 
@@ -23,6 +24,12 @@ int main() {
                           {dataset.name, eval::pct(run.hallway.precision),
                            eval::pct(run.hallway.recall),
                            eval::pct(run.hallway.f_measure)});
+    bench::emit_bench_scalar("table1_hallway_shape", dataset.name + ".precision",
+                             run.hallway.precision);
+    bench::emit_bench_scalar("table1_hallway_shape", dataset.name + ".recall",
+                             run.hallway.recall);
+    bench::emit_bench_scalar("table1_hallway_shape", dataset.name + ".f_measure",
+                             run.hallway.f_measure);
   }
   std::cout << "# paper: Lab1 87.5/93.3/90.3  Lab2 92.2/95.9/94.0  "
                "Gym 84.3/88.8/86.5\n";

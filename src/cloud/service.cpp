@@ -1,13 +1,47 @@
 #include "cloud/service.hpp"
 
 #include "common/log.hpp"
+#include "common/stopwatch.hpp"
 #include "trajectory/trajectory.hpp"
 
 namespace crowdmap::cloud {
 
 CrowdMapService::CrowdMapService(core::PipelineConfig config,
-                                 VideoDecoder decoder, std::size_t workers)
-    : config_(std::move(config)), decoder_(std::move(decoder)), pool_(workers) {
+                                 VideoDecoder decoder, std::size_t workers,
+                                 std::shared_ptr<obs::MetricsRegistry> registry)
+    : config_(std::move(config)),
+      decoder_(std::move(decoder)),
+      registry_(registry ? std::move(registry)
+                         : std::make_shared<obs::MetricsRegistry>()),
+      pool_(workers) {
+  uploads_completed_ = &registry_->counter(
+      "crowdmap_uploads_completed_total", {}, "Chunked uploads reassembled");
+  uploads_rejected_ = &registry_->counter(
+      "crowdmap_uploads_rejected_total", {},
+      "Chunk deliveries rejected by ingestion");
+  videos_decoded_ = &registry_->counter(
+      "crowdmap_videos_decoded_total", {}, "Uploads decoded into videos");
+  decode_failures_ = &registry_->counter(
+      "crowdmap_decode_failures_total", {}, "Uploads the decoder rejected");
+  trajectories_extracted_ = &registry_->counter(
+      "crowdmap_trajectories_extracted_total", {},
+      "Trajectories extracted and retained");
+  trajectories_dropped_ = &registry_->counter(
+      "crowdmap_trajectories_dropped_total", {},
+      "Extracted trajectories failing the unqualified-data gates");
+  queue_depth_ = &registry_->gauge("crowdmap_worker_queue_depth", {},
+                                   "Extraction tasks waiting in the pool");
+  extract_seconds_ = &registry_->histogram(
+      "crowdmap_extract_seconds", {}, {},
+      "Per-upload trajectory extraction latency");
+  obs::Histogram& task_seconds = registry_->histogram(
+      "crowdmap_worker_task_seconds", {}, {},
+      "Worker-pool task wall-clock latency");
+  pool_.set_queue_observer([gauge = queue_depth_](std::size_t depth) {
+    gauge->set(static_cast<double>(depth));
+  });
+  pool_.set_task_observer(
+      [&task_seconds](double seconds) { task_seconds.observe(seconds); });
   ingest_ = std::make_unique<IngestService>(
       store_, [this](const Document& doc) { on_upload_complete(doc); });
 }
@@ -18,35 +52,33 @@ void CrowdMapService::open_session(const std::string& upload_id,
 }
 
 IngestStatus CrowdMapService::deliver(const Chunk& chunk) {
-  return ingest_->deliver(chunk);
+  const IngestStatus status = ingest_->deliver(chunk);
+  if (status == IngestStatus::kRejected) uploads_rejected_->increment();
+  return status;
 }
 
 void CrowdMapService::on_upload_complete(const Document& doc) {
-  {
-    std::lock_guard lock(mutex_);
-    ++stats_.uploads_completed;
-  }
+  uploads_completed_->increment();
   // Decode + extract on the worker pool; the ingest thread returns at once.
   (void)pool_.submit([this, doc] {
     const auto video = decoder_(doc);
-    {
-      std::lock_guard lock(mutex_);
-      if (!video) {
-        ++stats_.decode_failures;
-        return;
-      }
-      ++stats_.videos_decoded;
+    if (!video) {
+      decode_failures_->increment();
+      return;
     }
+    videos_decoded_->increment();
+    common::Stopwatch timer;
     auto traj = trajectory::extract_trajectory(*video, config_.extraction);
-    std::lock_guard lock(mutex_);
+    extract_seconds_->observe(timer.elapsed_seconds());
     // The same unqualified-data gates the pipeline applies.
     if (traj.keyframes.size() < config_.min_keyframes) {
-      ++stats_.trajectories_dropped;
+      trajectories_dropped_->increment();
       CROWDMAP_LOG(kInfo, "service")
           << "dropped unqualified upload " << doc.id;
       return;
     }
-    ++stats_.trajectories_extracted;
+    trajectories_extracted_->increment();
+    std::lock_guard lock(mutex_);
     trajectories_[{doc.building, doc.floor}].push_back(std::move(traj));
   });
 }
@@ -71,9 +103,13 @@ core::PipelineResult CrowdMapService::build_floor_plan(
 }
 
 ServiceStats CrowdMapService::stats() const {
-  std::lock_guard lock(mutex_);
-  ServiceStats out = stats_;
-  out.uploads_rejected = ingest_->stats().uploads_rejected;
+  ServiceStats out;
+  out.uploads_completed = uploads_completed_->value();
+  out.uploads_rejected = uploads_rejected_->value();
+  out.videos_decoded = videos_decoded_->value();
+  out.decode_failures = decode_failures_->value();
+  out.trajectories_extracted = trajectories_extracted_->value();
+  out.trajectories_dropped = trajectories_dropped_->value();
   return out;
 }
 

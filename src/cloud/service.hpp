@@ -15,6 +15,7 @@
 #include "cloud/ingest.hpp"
 #include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 
 namespace crowdmap::cloud {
 
@@ -25,6 +26,9 @@ namespace crowdmap::cloud {
 using VideoDecoder =
     std::function<std::optional<sim::SensorRichVideo>(const Document&)>;
 
+/// Snapshot of the service's health counters. A view over the service's
+/// MetricsRegistry — stats() reads the same counters the Prometheus export
+/// reports, so the two can never disagree.
 struct ServiceStats {
   std::size_t uploads_completed = 0;
   std::size_t uploads_rejected = 0;
@@ -38,8 +42,11 @@ struct ServiceStats {
 /// reconstruction. Thread-safe.
 class CrowdMapService {
  public:
+  /// `registry` defaults to a fresh service-local registry; pass a shared
+  /// one to co-locate several services behind one exporter endpoint.
   CrowdMapService(core::PipelineConfig config, VideoDecoder decoder,
-                  std::size_t workers = 2);
+                  std::size_t workers = 2,
+                  std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
 
   /// Opens an upload session (the Task-1 geo-spatial annotation).
   void open_session(const std::string& upload_id, const std::string& building,
@@ -61,12 +68,31 @@ class CrowdMapService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const DocumentStore& store() const noexcept { return store_; }
 
+  /// Service-level metrics: per-upload ingest/decode/extract counters, the
+  /// worker-pool queue-depth gauge, extraction and task latency histograms.
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics_registry()
+      const noexcept {
+    return registry_;
+  }
+
  private:
   void on_upload_complete(const Document& doc);
 
   core::PipelineConfig config_;
   VideoDecoder decoder_;
   DocumentStore store_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter* uploads_completed_ = nullptr;
+  obs::Counter* uploads_rejected_ = nullptr;
+  obs::Counter* videos_decoded_ = nullptr;
+  obs::Counter* decode_failures_ = nullptr;
+  obs::Counter* trajectories_extracted_ = nullptr;
+  obs::Counter* trajectories_dropped_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* extract_seconds_ = nullptr;
   common::ThreadPool pool_;
   std::unique_ptr<IngestService> ingest_;
 
@@ -74,7 +100,6 @@ class CrowdMapService {
   // Extracted trajectories per (building, floor).
   std::map<std::pair<std::string, int>, std::vector<trajectory::Trajectory>>
       trajectories_;
-  ServiceStats stats_;
 };
 
 }  // namespace crowdmap::cloud

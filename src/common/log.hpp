@@ -1,5 +1,8 @@
 // Minimal leveled logger. The cloud backend and pipeline use it for progress
-// and drop diagnostics; tests silence it by raising the level.
+// and drop diagnostics; tests silence it by raising the level. The initial
+// level honors the CROWDMAP_LOG_LEVEL environment variable (debug | info |
+// warn | error | off, case-insensitive; default warn), so services and test
+// runs control verbosity without code changes.
 #pragma once
 
 #include <sstream>
@@ -14,28 +17,42 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Writes one line to stderr if `level` passes the global filter.
+/// Parses a CROWDMAP_LOG_LEVEL-style name; `fallback` if unrecognized/empty.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name,
+                                       LogLevel fallback = LogLevel::kWarn) noexcept;
+
+/// Writes one line to stderr if `level` passes the global filter:
+///   2026-08-05T12:34:56.789Z [INFO] (t03) component: message
 /// Thread-safe (single formatted write).
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
 /// Stream-style helper: LOG(kInfo, "pipeline") << "stage done";
+/// Checks the global filter once at construction; below-threshold streams
+/// skip all formatting work, so hot paths may log freely.
 class LogStream {
  public:
   LogStream(LogLevel level, std::string_view component)
-      : level_(level), component_(component) {}
-  ~LogStream() { log_line(level_, component_, buffer_.str()); }
+      : level_(level),
+        component_(component),
+        enabled_(static_cast<int>(level) >= static_cast<int>(log_level())) {}
+  ~LogStream() {
+    if (enabled_) log_line(level_, component_, buffer_.str());
+  }
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
 
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
   template <typename T>
   LogStream& operator<<(const T& value) {
-    buffer_ << value;
+    if (enabled_) buffer_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
   std::string component_;
+  bool enabled_;
   std::ostringstream buffer_;
 };
 

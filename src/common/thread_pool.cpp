@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace crowdmap::common {
 
@@ -21,6 +22,16 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::set_queue_observer(QueueObserver observer) {
+  std::lock_guard lock(mutex_);
+  queue_observer_ = std::move(observer);
+}
+
+void ThreadPool::set_task_observer(TaskObserver observer) {
+  std::lock_guard lock(mutex_);
+  task_observer_ = std::move(observer);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -34,11 +45,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (queue_observer_) queue_observer_(queue_.size());
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     {
       std::lock_guard lock(mutex_);
       --active_;
+      if (task_observer_) task_observer_(seconds);
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }

@@ -17,11 +17,21 @@ namespace crowdmap::common {
 /// a future for the task's result. Destruction drains the queue then joins.
 class ThreadPool {
  public:
+  /// Fires with the queue depth after every enqueue/dequeue. Invoked under
+  /// the pool lock: must be cheap and must not call back into the pool
+  /// (feeding an obs::Gauge is the intended use).
+  using QueueObserver = std::function<void(std::size_t depth)>;
+  /// Fires with a task's wall-clock seconds after it finishes. Same rules.
+  using TaskObserver = std::function<void(double seconds)>;
+
   explicit ThreadPool(std::size_t workers);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void set_queue_observer(QueueObserver observer);
+  void set_task_observer(TaskObserver observer);
 
   /// Enqueues a callable; returns a future for its result.
   template <typename F>
@@ -33,6 +43,7 @@ class ThreadPool {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
+      if (queue_observer_) queue_observer_(queue_.size());
     }
     cv_.notify_one();
     return future;
@@ -52,6 +63,8 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
+  QueueObserver queue_observer_;
+  TaskObserver task_observer_;
   std::size_t active_ = 0;
   bool stopping_ = false;
 };

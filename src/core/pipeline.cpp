@@ -5,7 +5,6 @@
 #include <limits>
 
 #include "common/log.hpp"
-#include "common/stopwatch.hpp"
 #include "mapping/occupancy.hpp"
 
 namespace crowdmap::core {
@@ -18,48 +17,88 @@ PipelineConfig PipelineConfig::fast_profile() {
   return config;
 }
 
-CrowdMapPipeline::CrowdMapPipeline(PipelineConfig config)
-    : config_(std::move(config)) {}
+CrowdMapPipeline::CrowdMapPipeline(PipelineConfig config,
+                                   std::shared_ptr<obs::MetricsRegistry> registry)
+    : config_(std::move(config)),
+      registry_(registry ? std::move(registry)
+                         : std::make_shared<obs::MetricsRegistry>()),
+      trace_(std::make_shared<obs::Trace>("pipeline")) {
+  videos_ingested_ = &registry_->counter(
+      "crowdmap_videos_ingested_total", {}, "Uploads presented to the pipeline");
+  trajectories_kept_ = &registry_->counter(
+      "crowdmap_trajectories_kept_total", {},
+      "Trajectories surviving the unqualified-data filter");
+  trajectories_dropped_ = &registry_->counter(
+      "crowdmap_trajectories_dropped_total", {},
+      "Uploads rejected by the unqualified-data filter");
+  trajectories_placed_ = &registry_->counter(
+      "crowdmap_trajectories_placed_total", {},
+      "Trajectories placed in the main aggregated component");
+  match_edges_ = &registry_->counter(
+      "crowdmap_match_edges_total", {}, "Accepted pairwise match edges");
+  panoramas_attempted_ = &registry_->counter(
+      "crowdmap_panoramas_attempted_total", {}, "SRS panorama stitch attempts");
+  panoramas_stitched_ = &registry_->counter(
+      "crowdmap_panoramas_stitched_total", {},
+      "Panoramas with sufficient angular coverage");
+  rooms_reconstructed_ = &registry_->counter(
+      "crowdmap_rooms_reconstructed_total", {},
+      "Rooms surviving layout estimation and dedup");
+}
+
+obs::Histogram& CrowdMapPipeline::stage_histogram(const char* stage) {
+  return registry_->histogram("crowdmap_stage_seconds", {{"stage", stage}}, {},
+                              "Per-stage wall-clock latency");
+}
 
 void CrowdMapPipeline::ingest(const sim::SensorRichVideo& video) {
-  common::Stopwatch timer;
+  auto span = trace_->scoped("extract");
   trajectory::Trajectory traj =
       trajectory::extract_trajectory(video, config_.extraction);
-  extract_seconds_ += timer.elapsed_seconds();
+  stage_histogram("extract").observe(span.end());
   ingest_trajectory(std::move(traj));
 }
 
 void CrowdMapPipeline::ingest_trajectory(trajectory::Trajectory traj) {
-  ++ingested_;
+  videos_ingested_->increment();
   // Unqualified-data gates ("divide and conquer" filtering, §I challenge 1).
   const bool too_few_frames = traj.keyframes.size() < config_.min_keyframes;
   const bool no_motion =
       sensors::track_length(traj.points) < config_.min_track_length &&
       traj.keyframes.size() < 8;  // SRS-only clips are legitimately stationary
   if (too_few_frames || no_motion) {
-    ++dropped_;
+    trajectories_dropped_->increment();
     CROWDMAP_LOG(kInfo, "pipeline")
         << "dropped unqualified upload video_id=" << traj.video_id
         << " keyframes=" << traj.keyframes.size();
     return;
   }
+  trajectories_kept_->increment();
   trajectories_.push_back(std::move(traj));
 }
 
 PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   PipelineResult result;
-  result.diagnostics.videos_ingested = ingested_;
-  result.diagnostics.trajectories_kept = trajectories_.size();
-  result.diagnostics.trajectories_dropped = dropped_;
-  result.diagnostics.extract_seconds = extract_seconds_;
+  // Counters are cumulative over the pipeline's lifetime; remember the
+  // starting values so the diagnostics view reports this run's deltas.
+  const std::uint64_t placed_before = trajectories_placed_->value();
+  const std::uint64_t edges_before = match_edges_->value();
+  const std::uint64_t attempted_before = panoramas_attempted_->value();
+  const std::uint64_t stitched_before = panoramas_stitched_->value();
+  const std::uint64_t rooms_before = rooms_reconstructed_->value();
+
+  auto run_span = trace_->scoped("run");
 
   // ---- Sub-process 1a: key-frame based trajectory aggregation (§III.B.I).
-  common::Stopwatch timer;
-  result.aggregation =
-      trajectory::aggregate_trajectories(trajectories_, config_.aggregation);
-  result.diagnostics.aggregate_seconds = timer.elapsed_seconds();
-  result.diagnostics.trajectories_placed = result.aggregation.placed_count;
-  result.diagnostics.match_edges = result.aggregation.edges.size();
+  {
+    auto span = trace_->scoped("aggregate");
+    result.aggregation =
+        trajectory::aggregate_trajectories(trajectories_, config_.aggregation);
+    result.diagnostics.aggregate_seconds = span.end();
+    stage_histogram("aggregate").observe(result.diagnostics.aggregate_seconds);
+  }
+  trajectories_placed_->increment(result.aggregation.placed_count);
+  match_edges_->increment(result.aggregation.edges.size());
 
   // Transform into the output frame (identity unless the caller provided an
   // alignment).
@@ -94,99 +133,125 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   }
 
   // ---- Sub-process 1b: floor path skeleton reconstruction (§III.B.II).
-  timer.restart();
-  mapping::OccupancyGrid grid(extent, config_.grid_cell_size);
-  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
-    if (!result.aggregation.global_pose[i]) continue;
-    std::vector<geometry::Vec2> pts;
-    pts.reserve(trajectories_[i].points.size());
-    for (const auto& p : trajectories_[i].points) {
-      pts.push_back(
-          to_world.apply(result.aggregation.global_pose[i]->apply(p.position)));
+  {
+    auto span = trace_->scoped("skeleton");
+    mapping::OccupancyGrid grid(extent, config_.grid_cell_size);
+    for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+      if (!result.aggregation.global_pose[i]) continue;
+      std::vector<geometry::Vec2> pts;
+      pts.reserve(trajectories_[i].points.size());
+      for (const auto& p : trajectories_[i].points) {
+        pts.push_back(
+            to_world.apply(result.aggregation.global_pose[i]->apply(p.position)));
+      }
+      grid.add_polyline(pts, config_.trajectory_brush_width);
     }
-    grid.add_polyline(pts, config_.trajectory_brush_width);
+    result.skeleton = mapping::reconstruct_skeleton(grid, config_.skeleton);
+    result.occupancy = grid;
+    result.diagnostics.skeleton_seconds = span.end();
+    stage_histogram("skeleton").observe(result.diagnostics.skeleton_seconds);
   }
-  result.skeleton = mapping::reconstruct_skeleton(grid, config_.skeleton);
-  result.occupancy = grid;
-  result.diagnostics.skeleton_seconds = timer.elapsed_seconds();
 
   // ---- Sub-process 2: room layout modeling (§III.C).
-  timer.restart();
-  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
-    if (!result.aggregation.global_pose[i]) continue;
-    const auto& traj = trajectories_[i];
-    const auto candidates =
-        room::find_panorama_candidates(traj, config_.panorama_select);
-    for (const auto& cand : candidates) {
-      ++result.diagnostics.panoramas_attempted;
-      const auto pano = room::stitch_candidate(traj, cand, config_.stitch);
-      if (pano.coverage < 0.95) continue;
-      ++result.diagnostics.panoramas_stitched;
+  {
+    auto span = trace_->scoped("rooms");
+    for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+      if (!result.aggregation.global_pose[i]) continue;
+      const auto& traj = trajectories_[i];
+      const auto candidates =
+          room::find_panorama_candidates(traj, config_.panorama_select);
+      for (const auto& cand : candidates) {
+        panoramas_attempted_->increment();
+        const auto pano = room::stitch_candidate(traj, cand, config_.stitch);
+        if (pano.coverage < 0.95) continue;
+        panoramas_stitched_->increment();
 
-      // Effective vertical focal of the panorama (see DESIGN.md).
-      room::LayoutConfig layout_config = config_.layout;
-      if (layout_config.focal_px <= 0 && !cand.keyframe_indices.empty()) {
-        const auto& kf = traj.keyframes[cand.keyframe_indices.front()];
-        const double frame_focal =
-            kf.gray.width() / (2.0 * std::tan(config_.stitch.fov / 2.0));
-        layout_config.focal_px = frame_focal *
-                                 static_cast<double>(config_.stitch.output_height) /
-                                 std::max(kf.gray.height(), 1);
+        // Effective vertical focal of the panorama (see DESIGN.md).
+        room::LayoutConfig layout_config = config_.layout;
+        if (layout_config.focal_px <= 0 && !cand.keyframe_indices.empty()) {
+          const auto& kf = traj.keyframes[cand.keyframe_indices.front()];
+          const double frame_focal =
+              kf.gray.width() / (2.0 * std::tan(config_.stitch.fov / 2.0));
+          layout_config.focal_px = frame_focal *
+                                   static_cast<double>(config_.stitch.output_height) /
+                                   std::max(kf.gray.height(), 1);
+        }
+        const auto layout = room::estimate_layout(pano.image, layout_config);
+        if (!layout) continue;
+
+        ReconstructedRoom rec;
+        rec.layout = *layout;
+        rec.trajectory_index = i;
+        rec.true_room_id = traj.true_room_id;
+        const geometry::Pose2 place =
+            to_world.compose(*result.aggregation.global_pose[i]);
+        rec.camera_global = place.apply(cand.cell_center);
+        // Room center = camera - (camera offset in the room frame rotated into
+        // the panorama frame and then into the world frame).
+        const geometry::Vec2 offset_pano =
+            rec.layout.camera_offset.rotated(rec.layout.orientation);
+        rec.center_global = rec.camera_global - offset_pano.rotated(place.theta);
+        rec.orientation_global = rec.layout.orientation + place.theta;
+        result.rooms.push_back(rec);
       }
-      const auto layout = room::estimate_layout(pano.image, layout_config);
-      if (!layout) continue;
-
-      ReconstructedRoom rec;
-      rec.layout = *layout;
-      rec.trajectory_index = i;
-      rec.true_room_id = traj.true_room_id;
-      const geometry::Pose2 place =
-          to_world.compose(*result.aggregation.global_pose[i]);
-      rec.camera_global = place.apply(cand.cell_center);
-      // Room center = camera - (camera offset in the room frame rotated into
-      // the panorama frame and then into the world frame).
-      const geometry::Vec2 offset_pano =
-          rec.layout.camera_offset.rotated(rec.layout.orientation);
-      rec.center_global = rec.camera_global - offset_pano.rotated(place.theta);
-      rec.orientation_global = rec.layout.orientation + place.theta;
-      result.rooms.push_back(rec);
     }
+    // Room dedup: nearby implied centers are the same room; best score wins.
+    std::sort(result.rooms.begin(), result.rooms.end(),
+              [](const ReconstructedRoom& a, const ReconstructedRoom& b) {
+                return a.layout.score > b.layout.score;
+              });
+    std::vector<ReconstructedRoom> unique_rooms;
+    for (const auto& rec : result.rooms) {
+      const bool duplicate = std::any_of(
+          unique_rooms.begin(), unique_rooms.end(), [&](const ReconstructedRoom& u) {
+            return u.center_global.distance_to(rec.center_global) <
+                   config_.room_merge_distance;
+          });
+      if (!duplicate) unique_rooms.push_back(rec);
+    }
+    result.rooms = std::move(unique_rooms);
+    rooms_reconstructed_->increment(result.rooms.size());
+    result.diagnostics.rooms_seconds = span.end();
+    stage_histogram("rooms").observe(result.diagnostics.rooms_seconds);
   }
-  // Room dedup: nearby implied centers are the same room; best score wins.
-  std::sort(result.rooms.begin(), result.rooms.end(),
-            [](const ReconstructedRoom& a, const ReconstructedRoom& b) {
-              return a.layout.score > b.layout.score;
-            });
-  std::vector<ReconstructedRoom> unique_rooms;
-  for (const auto& rec : result.rooms) {
-    const bool duplicate = std::any_of(
-        unique_rooms.begin(), unique_rooms.end(), [&](const ReconstructedRoom& u) {
-          return u.center_global.distance_to(rec.center_global) <
-                 config_.room_merge_distance;
-        });
-    if (!duplicate) unique_rooms.push_back(rec);
-  }
-  result.rooms = std::move(unique_rooms);
-  result.diagnostics.rooms_reconstructed = result.rooms.size();
-  result.diagnostics.rooms_seconds = timer.elapsed_seconds();
 
   // ---- Sub-process 3: floor plan modeling (§III.D).
-  timer.restart();
-  result.plan.hallway = result.skeleton.raster;
-  for (const auto& rec : result.rooms) {
-    floorplan::PlacedRoom placed;
-    placed.center = rec.center_global;
-    placed.anchor = rec.center_global;
-    placed.width = rec.layout.width;
-    placed.depth = rec.layout.depth;
-    placed.orientation = rec.orientation_global;
-    placed.true_room_id = rec.true_room_id;
-    placed.layout_score = rec.layout.score;
-    result.plan.rooms.push_back(placed);
+  {
+    auto span = trace_->scoped("arrange");
+    result.plan.hallway = result.skeleton.raster;
+    for (const auto& rec : result.rooms) {
+      floorplan::PlacedRoom placed;
+      placed.center = rec.center_global;
+      placed.anchor = rec.center_global;
+      placed.width = rec.layout.width;
+      placed.depth = rec.layout.depth;
+      placed.orientation = rec.orientation_global;
+      placed.true_room_id = rec.true_room_id;
+      placed.layout_score = rec.layout.score;
+      result.plan.rooms.push_back(placed);
+    }
+    floorplan::arrange_rooms(result.plan.rooms, result.plan.hallway,
+                             config_.arrange);
+    result.diagnostics.arrange_seconds = span.end();
+    stage_histogram("arrange").observe(result.diagnostics.arrange_seconds);
   }
-  floorplan::arrange_rooms(result.plan.rooms, result.plan.hallway,
-                           config_.arrange);
-  result.diagnostics.arrange_seconds = timer.elapsed_seconds();
+  run_span.end();
+
+  // Diagnostics view: cumulative counters for ingest-side numbers, this
+  // run's deltas for run-side numbers, span durations for stage timings.
+  result.trace = trace_->snapshot();
+  result.diagnostics.videos_ingested = videos_ingested_->value();
+  result.diagnostics.trajectories_kept = trajectories_kept_->value();
+  result.diagnostics.trajectories_dropped = trajectories_dropped_->value();
+  result.diagnostics.trajectories_placed = trajectories_placed_->value() - placed_before;
+  result.diagnostics.match_edges = match_edges_->value() - edges_before;
+  result.diagnostics.panoramas_attempted =
+      panoramas_attempted_->value() - attempted_before;
+  result.diagnostics.panoramas_stitched =
+      panoramas_stitched_->value() - stitched_before;
+  result.diagnostics.rooms_reconstructed =
+      rooms_reconstructed_->value() - rooms_before;
+  result.diagnostics.extract_seconds = result.trace.total_seconds("extract");
   return result;
 }
 

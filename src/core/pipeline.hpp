@@ -4,6 +4,7 @@
 // reconstructed floor plan with diagnostics.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "floorplan/floorplan.hpp"
 #include "mapping/occupancy.hpp"
 #include "geometry/pose2.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/user_sim.hpp"
 #include "trajectory/aggregate.hpp"
 
@@ -25,7 +28,10 @@ struct WorldFrame {
   geometry::Aabb extent;
 };
 
-/// Per-stage wall-clock timings and data-quality counters.
+/// Per-stage wall-clock timings and data-quality counters. Since the
+/// observability layer landed this is a *view*: run() computes it from the
+/// pipeline's MetricsRegistry counters and the trace span durations rather
+/// than from ad-hoc member fields.
 struct PipelineDiagnostics {
   std::size_t videos_ingested = 0;
   std::size_t trajectories_kept = 0;
@@ -61,11 +67,17 @@ struct PipelineResult {
   mapping::OccupancyGrid occupancy{geometry::Aabb{{0, 0}, {1, 1}}, 1.0};
   std::vector<ReconstructedRoom> rooms;
   PipelineDiagnostics diagnostics;
+  /// Span tree of this pipeline's lifetime: per-upload "extract" spans plus
+  /// one "run" span with the stage spans beneath it.
+  obs::SpanRecord trace;
 };
 
 class CrowdMapPipeline {
  public:
-  explicit CrowdMapPipeline(PipelineConfig config = {});
+  /// `registry` defaults to a fresh per-pipeline registry so counters don't
+  /// bleed across runs; pass a shared one to aggregate several pipelines.
+  explicit CrowdMapPipeline(PipelineConfig config = {},
+                            std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
 
   /// Ingests one upload: extracts the trajectory (dead reckoning +
   /// key-frames) and discards the raw pixels. Unqualified uploads (too few
@@ -85,14 +97,36 @@ class CrowdMapPipeline {
     return trajectories_;
   }
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
-  [[nodiscard]] std::size_t dropped_count() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t dropped_count() const noexcept {
+    return trajectories_dropped_->value();
+  }
+
+  /// The pipeline's metrics registry (counters, stage latency histograms).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics_registry()
+      const noexcept {
+    return registry_;
+  }
+  /// Live trace; PipelineResult::trace is its snapshot at the end of run().
+  [[nodiscard]] const obs::Trace& trace() const noexcept { return *trace_; }
 
  private:
+  [[nodiscard]] obs::Histogram& stage_histogram(const char* stage);
+
   PipelineConfig config_;
   std::vector<trajectory::Trajectory> trajectories_;
-  std::size_t ingested_ = 0;
-  std::size_t dropped_ = 0;
-  double extract_seconds_ = 0.0;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::shared_ptr<obs::Trace> trace_;
+  obs::Counter* videos_ingested_ = nullptr;
+  obs::Counter* trajectories_kept_ = nullptr;
+  obs::Counter* trajectories_dropped_ = nullptr;
+  obs::Counter* trajectories_placed_ = nullptr;
+  obs::Counter* match_edges_ = nullptr;
+  obs::Counter* panoramas_attempted_ = nullptr;
+  obs::Counter* panoramas_stitched_ = nullptr;
+  obs::Counter* rooms_reconstructed_ = nullptr;
 };
 
 }  // namespace crowdmap::core

@@ -51,6 +51,7 @@ ExperimentRun run_experiment(const DatasetSpec& dataset,
   run.room_errors = floorplan::evaluate_rooms(run.result.plan, dataset.building,
                                               geometry::Pose2{});
   run.trajectories = pipeline.trajectories();
+  run.metrics = pipeline.metrics().snapshot();
   return run;
 }
 

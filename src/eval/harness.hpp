@@ -13,6 +13,7 @@
 #include "floorplan/eval.hpp"
 #include "geometry/raster.hpp"
 #include "mapping/skeleton.hpp"
+#include "obs/metrics.hpp"
 
 namespace crowdmap::eval {
 
@@ -24,6 +25,10 @@ struct ExperimentRun {
   geometry::OverlapMetrics hallway;      // Table I metrics
   std::vector<floorplan::RoomError> room_errors;  // Fig. 8 metrics
   std::vector<trajectory::Trajectory> trajectories;  // kept extracted data
+  /// Dump of the pipeline's metrics registry at the end of the run, so
+  /// experiment records carry their counters and stage latencies (export
+  /// with obs::to_prometheus / obs::to_json; the trace is in result.trace).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Streams the dataset's videos through a pipeline and evaluates the result

@@ -1,0 +1,118 @@
+#include "obs/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace crowdmap::obs {
+
+// ----------------------------------------------------------- SpanRecord ---
+
+double SpanRecord::exclusive_seconds() const {
+  double children_total = 0.0;
+  for (const auto& child : children) children_total += child.duration_seconds;
+  return duration_seconds - children_total;
+}
+
+const SpanRecord* SpanRecord::find(std::string_view target) const {
+  if (name == target) return this;
+  for (const auto& child : children) {
+    if (const SpanRecord* hit = child.find(target)) return hit;
+  }
+  return nullptr;
+}
+
+double SpanRecord::total_seconds(std::string_view target) const {
+  double total = (name == target) ? duration_seconds : 0.0;
+  for (const auto& child : children) total += child.total_seconds(target);
+  return total;
+}
+
+namespace {
+
+void render(const SpanRecord& span, int depth, std::ostringstream& out) {
+  out << std::string(static_cast<std::size_t>(depth) * 2, ' ') << span.name
+      << "  " << std::fixed << std::setprecision(3)
+      << span.duration_seconds * 1e3 << " ms";
+  if (!span.children.empty()) {
+    out << " (self " << span.exclusive_seconds() * 1e3 << " ms)";
+  }
+  out << '\n';
+  for (const auto& child : span.children) render(child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string SpanRecord::to_string() const {
+  std::ostringstream out;
+  render(*this, 0, out);
+  return out.str();
+}
+
+// ------------------------------------------------------------ ScopedSpan ---
+
+ScopedSpan::ScopedSpan(Trace& trace, std::string name) : trace_(&trace) {
+  trace_->begin_span(std::move(name));
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_) trace_->end_span();
+}
+
+double ScopedSpan::end() {
+  if (!trace_) return 0.0;
+  Trace* trace = trace_;
+  trace_ = nullptr;
+  return trace->end_span();
+}
+
+// ----------------------------------------------------------------- Trace ---
+
+Trace::Trace(std::string name) {
+  root_.name = std::move(name);
+  root_.start = Clock::now();
+  open_ = &root_;
+}
+
+void Trace::begin_span(std::string name) {
+  std::lock_guard lock(mutex_);
+  auto node = std::make_unique<Node>();
+  node->name = std::move(name);
+  node->start = Clock::now();
+  node->parent = open_;
+  Node* raw = node.get();
+  open_->children.push_back(std::move(node));
+  open_ = raw;
+}
+
+double Trace::end_span() {
+  std::lock_guard lock(mutex_);
+  if (open_ == &root_) return 0.0;  // unbalanced end: ignore
+  open_->end = Clock::now();
+  open_->closed = true;
+  const double seconds =
+      std::chrono::duration<double>(open_->end - open_->start).count();
+  open_ = open_->parent;
+  return seconds;
+}
+
+SpanRecord Trace::snapshot_node(const Node& node, Clock::time_point now) const {
+  SpanRecord record;
+  record.name = node.name;
+  record.start_seconds =
+      std::chrono::duration<double>(node.start - root_.start).count();
+  const Clock::time_point end = node.closed ? node.end : now;
+  record.duration_seconds =
+      std::chrono::duration<double>(end - node.start).count();
+  record.children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    record.children.push_back(snapshot_node(*child, now));
+  }
+  return record;
+}
+
+SpanRecord Trace::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return snapshot_node(root_, Clock::now());
+}
+
+}  // namespace crowdmap::obs

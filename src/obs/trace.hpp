@@ -1,0 +1,97 @@
+// Hierarchical trace spans for one pipeline run: begin/end pairs build a
+// tree of timed stages ("run" > "aggregate" > ...), snapshotted into plain
+// SpanRecord data for reports and for computing PipelineDiagnostics.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdmap::obs {
+
+/// Plain, copyable snapshot of one span (and its subtree).
+struct SpanRecord {
+  std::string name;
+  double start_seconds = 0.0;     // offset from the trace epoch
+  double duration_seconds = 0.0;  // inclusive wall-clock time
+  std::vector<SpanRecord> children;
+
+  /// Inclusive time minus the children's inclusive times (self time).
+  [[nodiscard]] double exclusive_seconds() const;
+
+  /// First span named `name` in pre-order (this node included); null if none.
+  [[nodiscard]] const SpanRecord* find(std::string_view name) const;
+
+  /// Sum of inclusive times over every span named `name` in the subtree —
+  /// e.g. total "extract" time across many ingest spans.
+  [[nodiscard]] double total_seconds(std::string_view name) const;
+
+  /// Indented tree report with inclusive/exclusive milliseconds per span.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Trace;
+
+/// RAII span: closes on destruction; end() closes early and returns the
+/// inclusive duration (useful for feeding a latency histogram).
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace& trace, std::string name);
+  ~ScopedSpan();
+  ScopedSpan(ScopedSpan&& other) noexcept : trace_(other.trace_) {
+    other.trace_ = nullptr;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
+
+  double end();
+
+ private:
+  Trace* trace_;
+};
+
+/// Records a tree of timed spans. Thread-safe, but spans form one stack:
+/// interleaved begin/end from concurrent threads would nest arbitrarily, so
+/// keep one Trace per logical run (the pipeline does). Non-copyable.
+class Trace {
+ public:
+  explicit Trace(std::string name = "run");
+
+  /// Opens a child span of the innermost open span.
+  void begin_span(std::string name);
+  /// Closes the innermost open span; returns its inclusive seconds.
+  double end_span();
+  /// RAII convenience for begin/end pairs.
+  [[nodiscard]] ScopedSpan scoped(std::string name) {
+    return ScopedSpan(*this, std::move(name));
+  }
+
+  /// Copies the tree; still-open spans (root included) are reported as
+  /// running up to "now".
+  [[nodiscard]] SpanRecord snapshot() const;
+  [[nodiscard]] std::string to_string() const { return snapshot().to_string(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Node {
+    std::string name;
+    Clock::time_point start;
+    Clock::time_point end;
+    bool closed = false;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  SpanRecord snapshot_node(const Node& node, Clock::time_point now) const;
+
+  mutable std::mutex mutex_;
+  Node root_;
+  Node* open_ = nullptr;  // innermost open span
+};
+
+}  // namespace crowdmap::obs

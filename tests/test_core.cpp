@@ -10,6 +10,7 @@
 namespace co = crowdmap::core;
 namespace cs = crowdmap::sim;
 namespace cc = crowdmap::common;
+namespace obs = crowdmap::obs;
 
 namespace {
 
@@ -92,6 +93,52 @@ TEST(Pipeline, EndToEndSmallCampaign) {
   EXPECT_EQ(result.plan.rooms.size(), result.rooms.size());
   // Diagnostics timing fields populated.
   EXPECT_GT(d.aggregate_seconds + d.skeleton_seconds + d.rooms_seconds, 0.0);
+}
+
+TEST(Pipeline, TraceAgreesWithDiagnostics) {
+  // The per-stage diagnostics and the trace tree are fed by the same spans,
+  // so their timings must agree (the acceptance bound is 1 ms; here the
+  // values are byte-identical by construction).
+  cc::Rng rng(233);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options = small_campaign_options();
+  options.hallway_walks = 4;
+  co::CrowdMapPipeline pipeline(co::PipelineConfig::fast_profile());
+  cs::generate_campaign_streaming(
+      spec, options, 233,
+      [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
+  const auto result = pipeline.run();
+
+  const auto& d = result.diagnostics;
+  const auto& trace = result.trace;
+  ASSERT_NE(trace.find("run"), nullptr);
+  EXPECT_NEAR(trace.total_seconds("aggregate"), d.aggregate_seconds, 1e-3);
+  EXPECT_NEAR(trace.total_seconds("skeleton"), d.skeleton_seconds, 1e-3);
+  EXPECT_NEAR(trace.total_seconds("rooms"), d.rooms_seconds, 1e-3);
+  EXPECT_NEAR(trace.total_seconds("arrange"), d.arrange_seconds, 1e-3);
+  EXPECT_NEAR(trace.total_seconds("extract"), d.extract_seconds, 1e-3);
+
+  // The registry's stage histogram saw one observation per run() stage.
+  const auto snap = pipeline.metrics().snapshot();
+  const auto* stages = snap.find("crowdmap_stage_seconds");
+  ASSERT_NE(stages, nullptr);
+  for (const char* stage : {"aggregate", "skeleton", "rooms", "arrange"}) {
+    bool found = false;
+    for (const auto& series : stages->series) {
+      if (series.labels == obs::Labels{{"stage", stage}}) {
+        EXPECT_EQ(series.histogram.count, 1u) << stage;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << stage;
+  }
+  // Counters track the run's outcome.
+  EXPECT_EQ(static_cast<std::size_t>(
+                snap.value("crowdmap_videos_ingested_total")),
+            d.videos_ingested);
+  EXPECT_EQ(static_cast<std::size_t>(
+                snap.value("crowdmap_trajectories_placed_total")),
+            d.trajectories_placed);
 }
 
 TEST(Pipeline, WorldFrameControlsExtent) {

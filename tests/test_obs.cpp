@@ -1,0 +1,272 @@
+// Tests for the observability layer: metric semantics (counter / gauge /
+// histogram), registry identity and type safety, concurrent updates, trace
+// span nesting and exclusive-time math, and golden-format checks of the
+// Prometheus and JSON exporters.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace obs = crowdmap::obs;
+
+// ------------------------------------------------------------- metrics ---
+
+TEST(Metrics, CounterIncrements) {
+  obs::MetricsRegistry registry;
+  auto& c = registry.counter("events_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.increment(4);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  obs::MetricsRegistry registry;
+  auto& g = registry.gauge("depth");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveCeilings) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("lat_seconds", {}, {0.1, 1.0});
+  h.observe(0.05);  // <= 0.1
+  h.observe(0.1);   // boundary lands in the 0.1 bucket, not the next
+  h.observe(0.5);   // <= 1.0
+  h.observe(7.0);   // +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 7.65, 1e-12);
+}
+
+TEST(Metrics, HistogramDefaultsToLatencyBuckets) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("stage_seconds");
+  EXPECT_EQ(h.upper_bounds(), obs::Histogram::default_latency_buckets());
+  EXPECT_GE(h.upper_bounds().size(), 10u);
+}
+
+TEST(Metrics, SameNameAndLabelsReturnsSameHandle) {
+  obs::MetricsRegistry registry;
+  auto& a = registry.counter("hits_total", {{"kind", "x"}});
+  auto& b = registry.counter("hits_total", {{"kind", "x"}});
+  auto& other = registry.counter("hits_total", {{"kind", "y"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.increment();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(Metrics, LabelOrderDoesNotSplitSeries) {
+  obs::MetricsRegistry registry;
+  auto& a = registry.counter("multi_total", {{"b", "2"}, {"a", "1"}});
+  auto& b = registry.counter("multi_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, TypeConflictThrows) {
+  obs::MetricsRegistry registry;
+  (void)registry.counter("dual");
+  EXPECT_THROW((void)registry.gauge("dual"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("dual"), std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotValueLookup) {
+  obs::MetricsRegistry registry;
+  registry.counter("a_total", {{"k", "v"}}).increment(3);
+  registry.gauge("b").set(1.5);
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("a_total", {{"k", "v"}}), 3.0);
+  EXPECT_DOUBLE_EQ(snap.value("b"), 1.5);
+  EXPECT_DOUBLE_EQ(snap.value("missing"), 0.0);
+  ASSERT_NE(snap.find("a_total"), nullptr);
+  EXPECT_EQ(snap.find("a_total")->type, obs::MetricType::kCounter);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  obs::MetricsRegistry registry;
+  auto& c = registry.counter("spam_total");
+  auto& h = registry.histogram("spam_seconds", {}, {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.increment();
+        h.observe(i % 2 ? 0.1 : 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket_count(0) + h.bucket_count(1), h.count());
+}
+
+TEST(Metrics, ConcurrentRegistrationIsSafe) {
+  obs::MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 200; ++i) {
+        registry.counter("shared_total").increment();
+        (void)registry.snapshot();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared_total").value(), 8u * 200u);
+}
+
+// --------------------------------------------------------------- trace ---
+
+TEST(Trace, SpansNestIntoATree) {
+  obs::Trace trace("run");
+  {
+    auto outer = trace.scoped("aggregate");
+    {
+      auto inner = trace.scoped("match");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  const auto snap = trace.snapshot();
+  EXPECT_EQ(snap.name, "run");
+  ASSERT_EQ(snap.children.size(), 1u);
+  EXPECT_EQ(snap.children[0].name, "aggregate");
+  ASSERT_EQ(snap.children[0].children.size(), 1u);
+  EXPECT_EQ(snap.children[0].children[0].name, "match");
+  // Inclusive times nest: parent covers the child.
+  EXPECT_GE(snap.children[0].duration_seconds,
+            snap.children[0].children[0].duration_seconds);
+  EXPECT_GT(snap.children[0].children[0].duration_seconds, 0.0);
+}
+
+TEST(Trace, ScopedEndReturnsInclusiveSeconds) {
+  obs::Trace trace;
+  auto span = trace.scoped("stage");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double seconds = span.end();
+  EXPECT_GT(seconds, 0.0);
+  const auto snap = trace.snapshot();
+  ASSERT_NE(snap.find("stage"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("stage")->duration_seconds, seconds);
+}
+
+TEST(Trace, ExclusiveTimeSubtractsChildren) {
+  obs::SpanRecord parent;
+  parent.name = "run";
+  parent.duration_seconds = 1.0;
+  obs::SpanRecord a;
+  a.name = "a";
+  a.duration_seconds = 0.3;
+  obs::SpanRecord b;
+  b.name = "b";
+  b.duration_seconds = 0.2;
+  parent.children = {a, b};
+  EXPECT_NEAR(parent.exclusive_seconds(), 0.5, 1e-12);
+  EXPECT_NEAR(a.exclusive_seconds(), 0.3, 1e-12);  // leaf: all self time
+}
+
+TEST(Trace, TotalSecondsSumsRepeatedSpans) {
+  obs::SpanRecord root;
+  root.name = "run";
+  for (const double d : {0.1, 0.2, 0.3}) {
+    obs::SpanRecord child;
+    child.name = "extract";
+    child.duration_seconds = d;
+    root.children.push_back(child);
+  }
+  EXPECT_NEAR(root.total_seconds("extract"), 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(root.total_seconds("missing"), 0.0);
+}
+
+TEST(Trace, EndSpanOnRootIsANoOp) {
+  obs::Trace trace;
+  EXPECT_DOUBLE_EQ(trace.end_span(), 0.0);  // nothing open besides the root
+  const auto snap = trace.snapshot();
+  EXPECT_TRUE(snap.children.empty());
+}
+
+TEST(Trace, ToStringRendersTheTree) {
+  obs::Trace trace("run");
+  { auto span = trace.scoped("aggregate"); }
+  const std::string report = trace.to_string();
+  EXPECT_NE(report.find("run"), std::string::npos);
+  EXPECT_NE(report.find("  aggregate"), std::string::npos);  // indented child
+  EXPECT_NE(report.find("ms"), std::string::npos);
+}
+
+// ----------------------------------------------------------- exporters ---
+
+TEST(Export, PrometheusGolden) {
+  obs::MetricsRegistry registry;
+  registry.gauge("test_gauge", {}, "current level").set(2.5);
+  auto& h = registry.histogram("test_seconds", {}, {0.1, 1.0}, "latency");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  registry.counter("test_total", {{"kind", "a"}}, "events").increment(3);
+
+  const std::string expected =
+      "# HELP test_gauge current level\n"
+      "# TYPE test_gauge gauge\n"
+      "test_gauge 2.5\n"
+      "# HELP test_seconds latency\n"
+      "# TYPE test_seconds histogram\n"
+      "test_seconds_bucket{le=\"0.1\"} 1\n"
+      "test_seconds_bucket{le=\"1\"} 2\n"
+      "test_seconds_bucket{le=\"+Inf\"} 3\n"
+      "test_seconds_sum 5.55\n"
+      "test_seconds_count 3\n"
+      "# HELP test_total events\n"
+      "# TYPE test_total counter\n"
+      "test_total{kind=\"a\"} 3\n";
+  EXPECT_EQ(obs::to_prometheus(registry.snapshot()), expected);
+}
+
+TEST(Export, JsonGoldenCounter) {
+  obs::MetricsRegistry registry;
+  registry.counter("c_total", {{"k", "v"}}, "h").increment(2);
+  const std::string expected =
+      "{\"metrics\":[\n"
+      "{\"name\":\"c_total\",\"type\":\"counter\",\"help\":\"h\","
+      "\"series\":[{\"labels\":{\"k\":\"v\"},\"value\":2}]}\n"
+      "]}\n";
+  EXPECT_EQ(obs::to_json(registry.snapshot()), expected);
+}
+
+TEST(Export, JsonGoldenHistogram) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("h_seconds", {}, {0.5});
+  h.observe(0.25);
+  h.observe(2.0);
+  const std::string expected =
+      "{\"metrics\":[\n"
+      "{\"name\":\"h_seconds\",\"type\":\"histogram\",\"help\":\"\","
+      "\"series\":[{\"labels\":{},\"count\":2,\"sum\":2.25,"
+      "\"buckets\":[{\"le\":0.5,\"count\":1},{\"le\":\"+Inf\",\"count\":2}]}"
+      "]}\n"
+      "]}\n";
+  EXPECT_EQ(obs::to_json(registry.snapshot()), expected);
+}
+
+TEST(Export, EscapesSpecialCharacters) {
+  obs::MetricsRegistry registry;
+  registry.counter("esc_total", {{"path", "a\"b\\c\nd"}}).increment();
+  const std::string prom = obs::to_prometheus(registry.snapshot());
+  EXPECT_NE(prom.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}

@@ -76,6 +76,50 @@ TEST(Service, EndToEndUploadsBuildPlan) {
   EXPECT_GT(result.skeleton.raster.count_set(), 0u);
 }
 
+TEST(Service, StatsMatchMetricsRegistry) {
+  Fixture fixture;
+  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
+                              fixture.decoder(), 2);
+  const auto videos = small_campaign(702);
+  for (std::size_t v = 0; v < videos.size(); ++v) {
+    const std::string id = "m" + std::to_string(v);
+    fixture.videos[id] = videos[v];
+    service.open_session(id, videos[v].building, videos[v].floor);
+    for (const auto& chunk :
+         cl::split_into_chunks(cl::Blob(128, static_cast<std::uint8_t>(v)), id,
+                               64)) {
+      service.deliver(chunk);
+    }
+  }
+  service.drain();
+
+  // stats() is a view over the registry, so the two must agree exactly.
+  const auto stats = service.stats();
+  const auto snap = service.metrics().snapshot();
+  EXPECT_EQ(stats.uploads_completed,
+            static_cast<std::size_t>(snap.value("crowdmap_uploads_completed_total")));
+  EXPECT_EQ(stats.uploads_rejected,
+            static_cast<std::size_t>(snap.value("crowdmap_uploads_rejected_total")));
+  EXPECT_EQ(stats.videos_decoded,
+            static_cast<std::size_t>(snap.value("crowdmap_videos_decoded_total")));
+  EXPECT_EQ(stats.decode_failures,
+            static_cast<std::size_t>(snap.value("crowdmap_decode_failures_total")));
+  EXPECT_EQ(stats.trajectories_extracted,
+            static_cast<std::size_t>(
+                snap.value("crowdmap_trajectories_extracted_total")));
+  EXPECT_EQ(stats.trajectories_dropped,
+            static_cast<std::size_t>(
+                snap.value("crowdmap_trajectories_dropped_total")));
+
+  // The extraction histogram saw one observation per decoded video, and the
+  // drained pool leaves the queue-depth gauge at zero.
+  const auto* extract = snap.find("crowdmap_extract_seconds");
+  ASSERT_NE(extract, nullptr);
+  ASSERT_EQ(extract->series.size(), 1u);
+  EXPECT_EQ(extract->series[0].histogram.count, stats.videos_decoded);
+  EXPECT_DOUBLE_EQ(snap.value("crowdmap_worker_queue_depth"), 0.0);
+}
+
 TEST(Service, DecodeFailureCounted) {
   Fixture fixture;  // empty side table: every decode fails
   cl::CrowdMapService service(co::PipelineConfig::fast_profile(),

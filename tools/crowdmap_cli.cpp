@@ -3,10 +3,11 @@
 //   crowdmap_cli [--building lab1|lab2|gym|random] [--rooms N] [--scale S]
 //                [--seed N] [--config FILE] [--fast]
 //                [--svg OUT.svg] [--pgm OUT.pgm] [--plan OUT.cmplan]
-//                [--ascii]
+//                [--ascii] [--metrics-out OUT.prom] [--trace]
 //
 // Prints the Table-I metrics and room-error summary; optionally writes an
-// SVG floor plan, a PGM of the hallway skeleton, and the binary plan.
+// SVG floor plan, a PGM of the hallway skeleton, the binary plan, and the
+// pipeline's metrics registry in Prometheus text format.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -19,6 +20,7 @@
 #include "mapping/coverage.hpp"
 #include "io/image_io.hpp"
 #include "io/serialize.hpp"
+#include "obs/export.hpp"
 #include "sim/buildings.hpp"
 
 namespace {
@@ -36,7 +38,9 @@ void usage() {
       "  --pgm FILE        write the hallway skeleton as PGM\n"
       "  --plan FILE       write the binary floor plan\n"
       "  --ascii           print the ASCII floor plan\n"
-      "  --coverage        print coverage analysis + suggested walk tasks\n";
+      "  --coverage        print coverage analysis + suggested walk tasks\n"
+      "  --metrics-out F   write the pipeline metrics (Prometheus text) to F\n"
+      "  --trace           print the pipeline trace tree (per-stage timings)\n";
 }
 
 }  // namespace
@@ -52,10 +56,12 @@ int main(int argc, char** argv) {
   bool fast = false;
   bool ascii = false;
   bool coverage = false;
+  bool trace = false;
   std::string config_path;
   std::string svg_path;
   std::string pgm_path;
   std::string plan_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -89,6 +95,10 @@ int main(int argc, char** argv) {
       pgm_path = next();
     } else if (arg == "--plan") {
       plan_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -155,6 +165,10 @@ int main(int argc, char** argv) {
               << "  location=" << eval::fmt(loc / n, 2) << " m\n";
   }
 
+  if (trace) {
+    std::cout << "\ntrace (inclusive ms, self ms):\n"
+              << run.result.trace.to_string();
+  }
   if (ascii) std::cout << "\n" << run.result.plan.to_ascii(100);
   if (coverage) {
     const auto report =
@@ -168,6 +182,15 @@ int main(int argc, char** argv) {
                 << ")  [covers ~" << static_cast<int>(task.expected_gain)
                 << " thin cells]\n";
     }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << obs::to_prometheus(run.metrics);
+    if (!out) {
+      std::cerr << "failed to write " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << metrics_path << "\n";
   }
   if (!svg_path.empty()) {
     std::ofstream(svg_path) << run.result.plan.to_svg();

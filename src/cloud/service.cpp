@@ -90,6 +90,12 @@ core::PipelineResult CrowdMapService::build_floor_plan(
     const std::optional<core::WorldFrame>& frame) {
   drain();
   core::CrowdMapPipeline pipeline(config_);
+  // The extraction pool just drained, so lend it to the pipeline's parallel
+  // stages instead of paying for a second pool — unless the config demands
+  // serial execution (threads == 1).
+  if (config_.parallel.threads != 1 && pool_.worker_count() > 0) {
+    pipeline.set_thread_pool(&pool_);
+  }
   {
     std::lock_guard lock(mutex_);
     const auto it = trajectories_.find({building, floor});

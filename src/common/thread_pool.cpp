@@ -35,6 +35,8 @@ void ThreadPool::set_task_observer(TaskObserver observer) {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth = 0;
+    QueueObserver queue_observer;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -45,19 +47,25 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
-      if (queue_observer_) queue_observer_(queue_.size());
+      depth = queue_.size();
+      queue_observer = queue_observer_;
     }
+    // Observers run outside the lock: a slow exporter must not serialize the
+    // workers, and an observer may call back into the pool (e.g. pending()).
+    if (queue_observer) queue_observer(depth);
     const auto start = std::chrono::steady_clock::now();
     task();
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    TaskObserver task_observer;
     {
       std::lock_guard lock(mutex_);
       --active_;
-      if (task_observer_) task_observer_(seconds);
+      task_observer = task_observer_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
+    if (task_observer) task_observer(seconds);
   }
 }
 

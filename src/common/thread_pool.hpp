@@ -2,11 +2,14 @@
 // pipeline (the paper's Spark cluster stand-in) and by the evaluation harness.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,11 +20,13 @@ namespace crowdmap::common {
 /// a future for the task's result. Destruction drains the queue then joins.
 class ThreadPool {
  public:
-  /// Fires with the queue depth after every enqueue/dequeue. Invoked under
-  /// the pool lock: must be cheap and must not call back into the pool
-  /// (feeding an obs::Gauge is the intended use).
+  /// Fires with a snapshot of the queue depth after every enqueue/dequeue.
+  /// Invoked OUTSIDE the pool lock so a slow observer cannot serialize the
+  /// workers; consecutive depths may therefore arrive out of order (feeding
+  /// an obs::Gauge, which only keeps the latest value, is the intended use).
   using QueueObserver = std::function<void(std::size_t depth)>;
-  /// Fires with a task's wall-clock seconds after it finishes. Same rules.
+  /// Fires with a task's wall-clock seconds after it finishes. Also invoked
+  /// outside the lock.
   using TaskObserver = std::function<void(double seconds)>;
 
   explicit ThreadPool(std::size_t workers);
@@ -39,13 +44,17 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     auto future = task->get_future();
+    std::size_t depth = 0;
+    QueueObserver observer;
     {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
-      if (queue_observer_) queue_observer_(queue_.size());
+      depth = queue_.size();
+      observer = queue_observer_;
     }
     cv_.notify_one();
+    if (observer) observer(depth);
     return future;
   }
 
@@ -68,5 +77,79 @@ class ThreadPool {
   std::size_t active_ = 0;
   bool stopping_ = false;
 };
+
+/// Runs fn(i) for every i in [0, n), fanning chunks of `grain` indices out
+/// over `pool`'s workers while the calling thread participates as well — a
+/// null pool (or a trivially small loop) degrades to the plain serial loop.
+///
+/// Scheduling is dynamic (a shared atomic chunk cursor), so WHICH thread runs
+/// a given index is nondeterministic; callers that need deterministic results
+/// must make fn(i) write only to per-index state (slot i) and merge in index
+/// order afterwards. The first exception thrown by fn is captured, the
+/// remaining chunks are cancelled, and the exception is rethrown here.
+///
+/// Nesting is safe: because the caller drains the chunk cursor itself, every
+/// parallel_for completes even when all pool workers are blocked inside other
+/// parallel_for calls — queued helper tasks that arrive after the loop is
+/// done find the cursor exhausted and return without touching fn.
+template <typename F>
+void parallel_for(ThreadPool* pool, std::size_t n, F&& fn,
+                  std::size_t grain = 1) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (pool == nullptr || pool->worker_count() == 0 || chunks < 2) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared by value with the helper tasks so a helper that only gets
+  // scheduled after this call returned still finds live state.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::size_t active = 0;  // helpers currently inside the chunk loop
+    std::mutex mutex;
+    std::condition_variable idle;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  auto drain = [shared, n, grain, &fn] {
+    for (;;) {
+      const std::size_t start = shared->next.fetch_add(grain);
+      if (start >= n) return;
+      const std::size_t stop = std::min(n, start + grain);
+      try {
+        for (std::size_t i = start; i < stop; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(shared->mutex);
+        if (!shared->error) shared->error = std::current_exception();
+        shared->next.store(n);  // cancel the remaining chunks
+      }
+    }
+  };
+  const std::size_t helpers = std::min(pool->worker_count(), chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    (void)pool->submit([shared, drain] {
+      {
+        std::lock_guard lock(shared->mutex);
+        ++shared->active;
+      }
+      drain();
+      {
+        std::lock_guard lock(shared->mutex);
+        --shared->active;
+      }
+      shared->idle.notify_all();
+    });
+  }
+  drain();  // the calling thread always participates
+  {
+    // Helpers that have not bumped `active` yet can no longer reach fn (the
+    // cursor is exhausted), so waiting for active == 0 is sufficient — and it
+    // cannot deadlock on a saturated pool the way joining futures would.
+    std::unique_lock lock(shared->mutex);
+    shared->idle.wait(lock, [&shared] { return shared->active == 0; });
+    if (shared->error) std::rethrow_exception(shared->error);
+  }
+}
 
 }  // namespace crowdmap::common

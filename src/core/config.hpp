@@ -3,6 +3,8 @@
 // ε, δ, the 54.4° FoV, the 20,000 layout hypotheses).
 #pragma once
 
+#include <cstddef>
+
 #include "floorplan/arrange.hpp"
 #include "mapping/skeleton.hpp"
 #include "room/layout.hpp"
@@ -12,6 +14,27 @@
 #include "vision/panorama.hpp"
 
 namespace crowdmap::core {
+
+/// Parallel execution of the cloud hot paths (the paper runs these on a
+/// Spark cluster; we run them on a shared ThreadPool). Every parallel path
+/// is bit-deterministic: the same results at any thread count, including 1.
+struct ParallelConfig {
+  /// Threads driving run(): pool workers + the calling thread. 0 derives the
+  /// count from std::thread::hardware_concurrency(); 1 executes everything
+  /// serially on the calling thread (exact legacy behavior, no pool at all).
+  std::size_t threads = 0;
+  /// Fan the O(N^2) pairwise trajectory matching of aggregation out over the
+  /// pool (per-pair results merge deterministically in pair order).
+  bool pairwise_matching = true;
+  /// Reconstruct rooms (panorama stitch + layout search) in parallel, and
+  /// let each layout search shard its hypothesis scoring over the same pool.
+  bool room_reconstruction = true;
+  /// Entries in the bounded S2 SURF match-score memo cache shared by every
+  /// aggregation this pipeline runs (0 disables). Hits skip the expensive
+  /// mutual-NN evaluation for key-frame pairs seen in earlier rounds or
+  /// re-runs; hit/miss totals are exported through the metrics registry.
+  std::size_t s2_cache_capacity = 1 << 15;
+};
 
 struct PipelineConfig {
   // §III.B.I — key-frame selection and trajectory extraction.
@@ -37,9 +60,18 @@ struct PipelineConfig {
   // Room dedup: panoramas whose implied centers fall this close describe the
   // same room; the higher-scoring layout wins.
   double room_merge_distance = 2.5;
+  /// Explicit ceiling applied to layout.hypotheses at run time (0 = no cap).
+  /// The paper's 20,000-model default is affordable now that scoring is
+  /// sharded across the worker pool; this cap exists only so reduced-fidelity
+  /// profiles (fast_profile, latency experiments) state their cut openly
+  /// instead of silently overwriting the sampled-model count.
+  int layout_hypothesis_cap = 0;
+  /// Worker pool, matching fan-out and S2 memo cache settings.
+  ParallelConfig parallel;
 
-  /// A faster profile for unit/integration tests: fewer hypotheses and a
-  /// smaller panorama, same structure.
+  /// A faster profile for unit/integration tests: the layout sweep capped at
+  /// 2,000 hypotheses (a documented 10x fidelity cut vs the paper's 20,000)
+  /// and a smaller panorama, same structure.
   [[nodiscard]] static PipelineConfig fast_profile();
 };
 

@@ -13,7 +13,9 @@ void apply_config_overrides(PipelineConfig& config,
       "lcss.delta",       "grid.cell_size",   "grid.brush_width",
       "skeleton.alpha",   "skeleton.min_access_count",
       "skeleton.dilate",  "layout.hypotheses", "layout.corner_weight",
+      "layout.shards",    "layout.hypothesis_cap",
       "stitch.width",     "stitch.height",    "filter.min_keyframes",
+      "parallel.threads", "parallel.s2_cache",
   };
   for (const auto& [key, value] : file.entries()) {
     if (kKnown.count(key) == 0) {
@@ -44,6 +46,10 @@ void apply_config_overrides(PipelineConfig& config,
       file.get_int("layout.hypotheses", config.layout.hypotheses);
   config.layout.corner_weight =
       file.get_double("layout.corner_weight", config.layout.corner_weight);
+  config.layout.scoring_shards =
+      file.get_int("layout.shards", config.layout.scoring_shards);
+  config.layout_hypothesis_cap =
+      file.get_int("layout.hypothesis_cap", config.layout_hypothesis_cap);
   config.stitch.output_width =
       file.get_int("stitch.width", config.stitch.output_width);
   config.stitch.output_height =
@@ -52,6 +58,13 @@ void apply_config_overrides(PipelineConfig& config,
   config.min_keyframes = static_cast<std::size_t>(
       file.get_int("filter.min_keyframes",
                    static_cast<int>(config.min_keyframes)));
+
+  config.parallel.threads = static_cast<std::size_t>(
+      file.get_int("parallel.threads",
+                   static_cast<int>(config.parallel.threads)));
+  config.parallel.s2_cache_capacity = static_cast<std::size_t>(
+      file.get_int("parallel.s2_cache",
+                   static_cast<int>(config.parallel.s2_cache_capacity)));
 }
 
 }  // namespace crowdmap::core

@@ -13,9 +13,11 @@ namespace crowdmap::core {
 ///   lcss.epsilon lcss.delta
 ///   grid.cell_size grid.brush_width
 ///   skeleton.alpha skeleton.min_access_count skeleton.dilate
-///   layout.hypotheses layout.corner_weight
+///   layout.hypotheses layout.corner_weight layout.shards
+///   layout.hypothesis_cap
 ///   stitch.width stitch.height
 ///   filter.min_keyframes
+///   parallel.threads parallel.s2_cache
 /// Throws std::runtime_error on an unknown key or unparsable value.
 void apply_config_overrides(PipelineConfig& config,
                             const common::ConfigFile& file);

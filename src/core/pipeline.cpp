@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "common/log.hpp"
 #include "mapping/occupancy.hpp"
@@ -11,7 +12,10 @@ namespace crowdmap::core {
 
 PipelineConfig PipelineConfig::fast_profile() {
   PipelineConfig config;
-  config.layout.hypotheses = 2000;
+  // The paper's 20,000-hypothesis sweep stays in config.layout; the test
+  // profile declares its 10x fidelity cut through the explicit cap instead of
+  // silently overwriting the sampled-model count.
+  config.layout_hypothesis_cap = 2000;
   config.stitch.output_width = 512;
   config.stitch.output_height = 128;
   return config;
@@ -44,6 +48,30 @@ CrowdMapPipeline::CrowdMapPipeline(PipelineConfig config,
   rooms_reconstructed_ = &registry_->counter(
       "crowdmap_rooms_reconstructed_total", {},
       "Rooms surviving layout estimation and dedup");
+  s2_cache_hits_ = &registry_->counter(
+      "crowdmap_s2_cache_hits_total", {},
+      "S2 SURF match-score memo cache hits");
+  s2_cache_misses_ = &registry_->counter(
+      "crowdmap_s2_cache_misses_total", {},
+      "S2 SURF match-score memo cache misses");
+  if (config_.parallel.s2_cache_capacity > 0) {
+    s2_cache_ = std::make_unique<common::BoundedMemoCache>(
+        config_.parallel.s2_cache_capacity);
+  }
+}
+
+common::ThreadPool* CrowdMapPipeline::worker_pool() {
+  if (external_pool_ != nullptr) return external_pool_;
+  if (owned_pool_) return owned_pool_.get();
+  std::size_t threads = config_.parallel.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  // threads counts the calling thread, so a pool only pays off above 1; the
+  // serial path (no pool) is the exact legacy execution order.
+  if (threads <= 1) return nullptr;
+  owned_pool_ = std::make_unique<common::ThreadPool>(threads - 1);
+  return owned_pool_.get();
 }
 
 obs::Histogram& CrowdMapPipeline::stage_histogram(const char* stage) {
@@ -86,14 +114,20 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   const std::uint64_t attempted_before = panoramas_attempted_->value();
   const std::uint64_t stitched_before = panoramas_stitched_->value();
   const std::uint64_t rooms_before = rooms_reconstructed_->value();
+  const std::uint64_t cache_hits_before = s2_cache_ ? s2_cache_->hits() : 0;
+  const std::uint64_t cache_misses_before = s2_cache_ ? s2_cache_->misses() : 0;
 
   auto run_span = trace_->scoped("run");
 
   // ---- Sub-process 1a: key-frame based trajectory aggregation (§III.B.I).
   {
     auto span = trace_->scoped("aggregate");
-    result.aggregation =
-        trajectory::aggregate_trajectories(trajectories_, config_.aggregation);
+    trajectory::AggregationRuntime agg_runtime;
+    agg_runtime.pool =
+        config_.parallel.pairwise_matching ? worker_pool() : nullptr;
+    agg_runtime.s2_cache = s2_cache_.get();
+    result.aggregation = trajectory::aggregate_trajectories(
+        trajectories_, config_.aggregation, agg_runtime);
     result.diagnostics.aggregate_seconds = span.end();
     stage_histogram("aggregate").observe(result.diagnostics.aggregate_seconds);
   }
@@ -155,45 +189,71 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   // ---- Sub-process 2: room layout modeling (§III.C).
   {
     auto span = trace_->scoped("rooms");
+    // Candidate discovery is cheap and order-defining; run it serially, then
+    // fan the expensive stitch + layout search out per candidate. Each item
+    // writes only its own slot, and slots merge in discovery order, so the
+    // room list is identical at any thread count.
+    struct RoomItem {
+      std::size_t traj_index;
+      room::PanoramaCandidate candidate;
+    };
+    std::vector<RoomItem> items;
     for (std::size_t i = 0; i < trajectories_.size(); ++i) {
       if (!result.aggregation.global_pose[i]) continue;
-      const auto& traj = trajectories_[i];
-      const auto candidates =
-          room::find_panorama_candidates(traj, config_.panorama_select);
-      for (const auto& cand : candidates) {
-        panoramas_attempted_->increment();
-        const auto pano = room::stitch_candidate(traj, cand, config_.stitch);
-        if (pano.coverage < 0.95) continue;
-        panoramas_stitched_->increment();
-
-        // Effective vertical focal of the panorama (see DESIGN.md).
-        room::LayoutConfig layout_config = config_.layout;
-        if (layout_config.focal_px <= 0 && !cand.keyframe_indices.empty()) {
-          const auto& kf = traj.keyframes[cand.keyframe_indices.front()];
-          const double frame_focal =
-              kf.gray.width() / (2.0 * std::tan(config_.stitch.fov / 2.0));
-          layout_config.focal_px = frame_focal *
-                                   static_cast<double>(config_.stitch.output_height) /
-                                   std::max(kf.gray.height(), 1);
-        }
-        const auto layout = room::estimate_layout(pano.image, layout_config);
-        if (!layout) continue;
-
-        ReconstructedRoom rec;
-        rec.layout = *layout;
-        rec.trajectory_index = i;
-        rec.true_room_id = traj.true_room_id;
-        const geometry::Pose2 place =
-            to_world.compose(*result.aggregation.global_pose[i]);
-        rec.camera_global = place.apply(cand.cell_center);
-        // Room center = camera - (camera offset in the room frame rotated into
-        // the panorama frame and then into the world frame).
-        const geometry::Vec2 offset_pano =
-            rec.layout.camera_offset.rotated(rec.layout.orientation);
-        rec.center_global = rec.camera_global - offset_pano.rotated(place.theta);
-        rec.orientation_global = rec.layout.orientation + place.theta;
-        result.rooms.push_back(rec);
+      for (auto& cand : room::find_panorama_candidates(trajectories_[i],
+                                                       config_.panorama_select)) {
+        items.push_back({i, std::move(cand)});
       }
+    }
+
+    room::LayoutConfig base_layout = config_.layout;
+    if (config_.layout_hypothesis_cap > 0) {
+      base_layout.hypotheses =
+          std::min(base_layout.hypotheses, config_.layout_hypothesis_cap);
+    }
+    common::ThreadPool* rooms_pool =
+        config_.parallel.room_reconstruction ? worker_pool() : nullptr;
+
+    std::vector<std::optional<ReconstructedRoom>> slots(items.size());
+    common::parallel_for(rooms_pool, items.size(), [&](std::size_t idx) {
+      const auto& [i, cand] = items[idx];
+      const auto& traj = trajectories_[i];
+      panoramas_attempted_->increment();
+      const auto pano = room::stitch_candidate(traj, cand, config_.stitch);
+      if (pano.coverage < 0.95) return;
+      panoramas_stitched_->increment();
+
+      // Effective vertical focal of the panorama (see DESIGN.md).
+      room::LayoutConfig layout_config = base_layout;
+      if (layout_config.focal_px <= 0 && !cand.keyframe_indices.empty()) {
+        const auto& kf = traj.keyframes[cand.keyframe_indices.front()];
+        const double frame_focal =
+            kf.gray.width() / (2.0 * std::tan(config_.stitch.fov / 2.0));
+        layout_config.focal_px = frame_focal *
+                                 static_cast<double>(config_.stitch.output_height) /
+                                 std::max(kf.gray.height(), 1);
+      }
+      const auto layout =
+          room::estimate_layout(pano.image, layout_config, rooms_pool);
+      if (!layout) return;
+
+      ReconstructedRoom rec;
+      rec.layout = *layout;
+      rec.trajectory_index = i;
+      rec.true_room_id = traj.true_room_id;
+      const geometry::Pose2 place =
+          to_world.compose(*result.aggregation.global_pose[i]);
+      rec.camera_global = place.apply(cand.cell_center);
+      // Room center = camera - (camera offset in the room frame rotated into
+      // the panorama frame and then into the world frame).
+      const geometry::Vec2 offset_pano =
+          rec.layout.camera_offset.rotated(rec.layout.orientation);
+      rec.center_global = rec.camera_global - offset_pano.rotated(place.theta);
+      rec.orientation_global = rec.layout.orientation + place.theta;
+      slots[idx] = rec;
+    });
+    for (auto& slot : slots) {
+      if (slot) result.rooms.push_back(std::move(*slot));
     }
     // Room dedup: nearby implied centers are the same room; best score wins.
     std::sort(result.rooms.begin(), result.rooms.end(),
@@ -251,6 +311,13 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
       panoramas_stitched_->value() - stitched_before;
   result.diagnostics.rooms_reconstructed =
       rooms_reconstructed_->value() - rooms_before;
+  if (s2_cache_) {
+    result.diagnostics.s2_cache_hits = s2_cache_->hits() - cache_hits_before;
+    result.diagnostics.s2_cache_misses =
+        s2_cache_->misses() - cache_misses_before;
+    s2_cache_hits_->increment(result.diagnostics.s2_cache_hits);
+    s2_cache_misses_->increment(result.diagnostics.s2_cache_misses);
+  }
   result.diagnostics.extract_seconds = result.trace.total_seconds("extract");
   return result;
 }

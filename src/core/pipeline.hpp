@@ -8,6 +8,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/memo_cache.hpp"
+#include "common/thread_pool.hpp"
 #include "core/config.hpp"
 #include "floorplan/floorplan.hpp"
 #include "mapping/occupancy.hpp"
@@ -46,6 +48,9 @@ struct PipelineDiagnostics {
   double skeleton_seconds = 0.0;
   double rooms_seconds = 0.0;
   double arrange_seconds = 0.0;
+  /// S2 memo cache traffic during this run (0/0 when the cache is disabled).
+  std::size_t s2_cache_hits = 0;
+  std::size_t s2_cache_misses = 0;
 };
 
 /// One reconstructed room before floor-plan merge, with provenance.
@@ -88,9 +93,24 @@ class CrowdMapPipeline {
   void ingest_trajectory(trajectory::Trajectory traj);
 
   /// Runs aggregation, skeleton reconstruction, room layout modeling and
-  /// force-directed arrangement over everything ingested so far.
+  /// force-directed arrangement over everything ingested so far. The
+  /// parallel stages are bit-deterministic: the same config produces the
+  /// same result at any thread count (see docs/PERFORMANCE.md).
   [[nodiscard]] PipelineResult run(
       const std::optional<WorldFrame>& frame = std::nullopt);
+
+  /// Shares an external worker pool (e.g. CrowdMapService's extraction pool)
+  /// instead of the pipeline lazily creating its own from
+  /// config.parallel.threads. Not owned; must outlive the pipeline. Pass
+  /// nullptr to return to the config-driven pool.
+  void set_thread_pool(common::ThreadPool* pool) noexcept {
+    external_pool_ = pool;
+  }
+
+  /// The pool run() fans work out on: the external pool if one was shared,
+  /// else a lazily created config-sized pool, else nullptr when
+  /// config.parallel.threads == 1 (serial legacy execution).
+  [[nodiscard]] common::ThreadPool* worker_pool();
 
   [[nodiscard]] const std::vector<trajectory::Trajectory>& trajectories()
       const noexcept {
@@ -119,6 +139,9 @@ class CrowdMapPipeline {
   std::vector<trajectory::Trajectory> trajectories_;
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::shared_ptr<obs::Trace> trace_;
+  common::ThreadPool* external_pool_ = nullptr;
+  std::unique_ptr<common::ThreadPool> owned_pool_;
+  std::unique_ptr<common::BoundedMemoCache> s2_cache_;
   obs::Counter* videos_ingested_ = nullptr;
   obs::Counter* trajectories_kept_ = nullptr;
   obs::Counter* trajectories_dropped_ = nullptr;
@@ -127,6 +150,8 @@ class CrowdMapPipeline {
   obs::Counter* panoramas_attempted_ = nullptr;
   obs::Counter* panoramas_stitched_ = nullptr;
   obs::Counter* rooms_reconstructed_ = nullptr;
+  obs::Counter* s2_cache_hits_ = nullptr;
+  obs::Counter* s2_cache_misses_ = nullptr;
 };
 
 }  // namespace crowdmap::core

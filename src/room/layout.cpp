@@ -174,10 +174,25 @@ namespace {
   return seeds;
 }
 
+/// One random layout model drawn from the paper's 5-parameter sampling
+/// distribution; pulled out so the serial and sharded sweeps share it.
+[[nodiscard]] LayoutHypothesis sample_hypothesis(common::Rng& rng,
+                                                 const LayoutConfig& config) {
+  LayoutHypothesis hyp;
+  hyp.width = rng.uniform(config.min_side, config.max_side);
+  hyp.depth = rng.uniform(config.min_side, config.max_side);
+  hyp.orientation = rng.uniform(0.0, common::kPi / 2.0);
+  hyp.camera_offset = {
+      hyp.width * rng.uniform(-config.max_center_offset, config.max_center_offset),
+      hyp.depth * rng.uniform(-config.max_center_offset, config.max_center_offset)};
+  return hyp;
+}
+
 }  // namespace
 
 std::optional<RoomLayout> estimate_layout(const imaging::Image& panorama,
-                                          const LayoutConfig& config) {
+                                          const LayoutConfig& config,
+                                          common::ThreadPool* pool) {
   if (panorama.empty()) return std::nullopt;
   const int w = panorama.width();
   const int h = panorama.height();
@@ -209,7 +224,6 @@ std::optional<RoomLayout> estimate_layout(const imaging::Image& panorama,
     return err;
   };
 
-  common::Rng rng(config.seed);
   LayoutHypothesis best;
   double best_err = std::numeric_limits<double>::max();
   if (config.use_seed_hypotheses) {
@@ -224,23 +238,57 @@ std::optional<RoomLayout> estimate_layout(const imaging::Image& panorama,
       }
     }
   }
+
+  // Random sweep over config.hypotheses models (the paper's 20,000). The
+  // sampling stream is untouched by parallelism: every model is drawn up
+  // front from the single Rng(seed) sequence — sampling is a handful of
+  // uniform draws per model, while the per-column scoring dominates — and
+  // only the scoring fans out, in scoring_shards contiguous index slices
+  // reduced by an (error, global index) argmin. Any shard count on any
+  // thread count (including no pool) therefore reproduces the serial
+  // pre-parallelism sweep bit for bit.
+  common::Rng rng(config.seed);
+  std::vector<LayoutHypothesis> models;
+  models.reserve(static_cast<std::size_t>(std::max(config.hypotheses, 0)));
   for (int k = 0; k < config.hypotheses; ++k) {
-    LayoutHypothesis hyp;
-    hyp.width = rng.uniform(config.min_side, config.max_side);
-    hyp.depth = rng.uniform(config.min_side, config.max_side);
-    hyp.orientation = rng.uniform(0.0, common::kPi / 2.0);
-    hyp.camera_offset = {
-        hyp.width * rng.uniform(-config.max_center_offset, config.max_center_offset),
-        hyp.depth * rng.uniform(-config.max_center_offset, config.max_center_offset)};
-    const double err = scored_error(hyp, stride);
-    if (err < best_err) {
-      best_err = err;
-      best = hyp;
+    models.push_back(sample_hypothesis(rng, config));
+  }
+
+  struct ShardBest {
+    double err = std::numeric_limits<double>::max();
+    std::size_t index = std::numeric_limits<std::size_t>::max();
+  };
+  const std::size_t shards = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::max(config.scoring_shards, 1)), 1,
+      std::max<std::size_t>(models.size(), 1));
+  std::vector<ShardBest> shard_best(shards);
+  common::parallel_for(pool, shards, [&](std::size_t s) {
+    const std::size_t begin = models.size() * s / shards;
+    const std::size_t end = models.size() * (s + 1) / shards;
+    ShardBest local;
+    for (std::size_t k = begin; k < end; ++k) {
+      const double err = scored_error(models[k], stride);
+      if (err < local.err) {
+        local.err = err;
+        local.index = k;
+      }
+    }
+    shard_best[s] = local;
+  });
+  for (const ShardBest& sb : shard_best) {
+    // Strict less in shard (= global index) order: ties keep the lowest
+    // global index, exactly what the serial ascending-k pass picks.
+    if (sb.index != std::numeric_limits<std::size_t>::max() &&
+        sb.err < best_err) {
+      best_err = sb.err;
+      best = models[sb.index];
     }
   }
   if (best_err > 1e8) return std::nullopt;
 
-  // Local refinement of the winner: shrinking random perturbations.
+  // Local refinement of the winner: shrinking random perturbations. Serial
+  // by design (each round perturbs the current winner); `rng` continues the
+  // sweep's sampling sequence, so refinement draws are also unchanged.
   double radius = 0.35;
   for (int round = 0; round < 4; ++round) {
     for (int k = 0; k < 60; ++k) {

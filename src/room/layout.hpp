@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "geometry/vec2.hpp"
 #include "imaging/image.hpp"
 #include "vision/lines.hpp"
@@ -48,6 +49,14 @@ struct LayoutConfig {
   /// Effective focal length of the panorama in pixels per radian-equivalent;
   /// must match the stitcher: f = frame_focal * pano_height / frame_height.
   double focal_px = 0.0;  // <= 0: derived from panorama width (W / 2*pi)
+  /// Hypothesis-scoring shards: all models are sampled up front from the
+  /// single Rng(seed) sequence (sampling is cheap; scoring dominates), then
+  /// scoring splits into this many contiguous index slices whose winners
+  /// reduce via an (error, global index) argmin. The winning layout is
+  /// independent of the shard count AND the thread count — any ThreadPool
+  /// passed to estimate_layout, including none, reproduces the serial sweep
+  /// bit for bit. The knob only tunes work granularity on the pool.
+  int scoring_shards = 16;
 };
 
 /// Per-column observed wall-floor boundary rows (NaN where undetected).
@@ -75,8 +84,11 @@ struct LayoutHypothesis {
 
 /// Full estimator: boundary detection, hypothesis sampling, consistency
 /// scoring, local refinement of the winner. nullopt when too few boundary
-/// columns were detected (panorama unusable).
+/// columns were detected (panorama unusable). `pool` parallelizes the
+/// sharded hypothesis sweep (see LayoutConfig::scoring_shards); the result
+/// is independent of the pool and its thread count.
 [[nodiscard]] std::optional<RoomLayout> estimate_layout(
-    const imaging::Image& panorama, const LayoutConfig& config = {});
+    const imaging::Image& panorama, const LayoutConfig& config = {},
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace crowdmap::room

@@ -27,6 +27,10 @@ void generate_campaign_streaming(
     return rng.chance(options.night_fraction) ? Lighting::night()
                                               : Lighting::day();
   };
+  // Campaign-wide upload ids: each simulator numbers its own videos from 0,
+  // which would collide across users; the cloud side (and the S2 memo cache)
+  // relies on upload identity being unique.
+  int next_video_id = 0;
   int user_cursor = 0;
   auto next_user = [&]() -> std::pair<UserSimulator&, int> {
     const int id = user_cursor;
@@ -41,6 +45,7 @@ void generate_campaign_streaming(
       auto [user, id] = next_user();
       auto video = user.room_visit(room, options.hallway_distance, lighting());
       video.user_id = id;
+      video.video_id = next_video_id++;
       sink(std::move(video));
     }
   }
@@ -51,6 +56,7 @@ void generate_campaign_streaming(
                                 ? user.junk_video(lighting())
                                 : user.hallway_walk(lighting());
     video.user_id = id;
+    video.video_id = next_video_id++;
     sink(std::move(video));
   }
 }

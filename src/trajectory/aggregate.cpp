@@ -229,26 +229,50 @@ AggregationResult place_edges(std::size_t n, std::vector<MatchEdge> edges,
   return result;
 }
 
+bool s2_cache_usable(std::span<const Trajectory> trajectories) {
+  std::vector<int> ids;
+  ids.reserve(trajectories.size());
+  for (const auto& traj : trajectories) ids.push_back(traj.video_id);
+  std::sort(ids.begin(), ids.end());
+  return std::adjacent_find(ids.begin(), ids.end()) == ids.end();
+}
+
 AggregationResult aggregate_trajectories(std::span<const Trajectory> trajectories,
-                                         const AggregationConfig& config) {
+                                         const AggregationConfig& config,
+                                         const AggregationRuntime& runtime) {
   const std::size_t n = trajectories.size();
-  // Pairwise matching.
-  std::vector<MatchEdge> edges;
+  common::BoundedMemoCache* s2_cache =
+      runtime.s2_cache && s2_cache_usable(trajectories) ? runtime.s2_cache
+                                                        : nullptr;
+  // Pairwise matching, fanned out over the pool. Each (i, j) pair owns slot p
+  // in lexicographic pair order and the merge below walks slots in that same
+  // order, so the edge list is identical to the serial nested loop's.
+  const std::size_t n_pairs = n * (n - 1) / 2;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n_pairs);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const auto match =
-          config.method == AggregationMethod::kSequenceBased
-              ? match_trajectories(trajectories[i], trajectories[j], config.match)
-              : match_single_image(trajectories[i], trajectories[j], config.match);
-      if (!match) continue;
-      MatchEdge edge;
-      edge.a = i;
-      edge.b = j;
-      edge.b_to_a = match->b_to_a;
-      edge.s3 = match->s3;
-      edge.anchor_count = match->anchors.size();
-      edges.push_back(edge);
-    }
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  std::vector<std::optional<PairMatch>> slots(n_pairs);
+  common::parallel_for(runtime.pool, n_pairs, [&](std::size_t p) {
+    const auto [i, j] = pairs[p];
+    slots[p] =
+        config.method == AggregationMethod::kSequenceBased
+            ? match_trajectories(trajectories[i], trajectories[j], config.match,
+                                 s2_cache)
+            : match_single_image(trajectories[i], trajectories[j], config.match,
+                                 s2_cache);
+  });
+  std::vector<MatchEdge> edges;
+  for (std::size_t p = 0; p < n_pairs; ++p) {
+    if (!slots[p]) continue;
+    MatchEdge edge;
+    edge.a = pairs[p].first;
+    edge.b = pairs[p].second;
+    edge.b_to_a = slots[p]->b_to_a;
+    edge.s3 = slots[p]->s3;
+    edge.anchor_count = slots[p]->anchors.size();
+    edges.push_back(edge);
   }
   return place_edges(n, std::move(edges), config);
 }

@@ -6,16 +6,23 @@ std::size_t IncrementalAggregator::add(Trajectory traj) {
   const std::size_t index = trajectories_.size();
   trajectories_.push_back(std::move(traj));
   // Match the newcomer against everything already present; older pairs stay
-  // memoized untouched.
-  for (std::size_t i = 0; i < index; ++i) {
-    auto match =
+  // memoized untouched. The new pairs are independent, so they fan out over
+  // the runtime pool into per-pair slots merged in index order.
+  common::BoundedMemoCache* s2_cache =
+      runtime_.s2_cache && s2_cache_usable(trajectories_) ? runtime_.s2_cache
+                                                          : nullptr;
+  std::vector<std::optional<PairMatch>> slots(index);
+  common::parallel_for(runtime_.pool, index, [&](std::size_t i) {
+    slots[i] =
         config_.method == AggregationMethod::kSequenceBased
             ? match_trajectories(trajectories_[i], trajectories_[index],
-                                 config_.match)
+                                 config_.match, s2_cache)
             : match_single_image(trajectories_[i], trajectories_[index],
-                                 config_.match);
+                                 config_.match, s2_cache);
+  });
+  for (std::size_t i = 0; i < index; ++i) {
     ++stats_.pair_matches_computed;
-    memo_[{i, index}] = std::move(match);
+    memo_[{i, index}] = std::move(slots[i]);
   }
   return index;
 }

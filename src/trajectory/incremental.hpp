@@ -23,10 +23,17 @@ struct IncrementalStats {
 
 class IncrementalAggregator {
  public:
-  explicit IncrementalAggregator(AggregationConfig config = {})
-      : config_(std::move(config)) {}
+  explicit IncrementalAggregator(AggregationConfig config = {},
+                                 AggregationRuntime runtime = {})
+      : config_(std::move(config)), runtime_(runtime) {}
 
-  /// Adds one trajectory; matches it against everything already added.
+  /// Swaps the worker pool / S2 memo the aggregator matches with. The memo
+  /// carries scores across add() calls, so incremental re-runs never repeat
+  /// a SURF evaluation for a pair of key-frames already seen.
+  void set_runtime(const AggregationRuntime& runtime) { runtime_ = runtime; }
+
+  /// Adds one trajectory; matches it against everything already added (the
+  /// O(n) new pairs fan out over the runtime pool, merged in index order).
   /// Returns its index in the aggregate.
   std::size_t add(Trajectory traj);
 
@@ -42,6 +49,7 @@ class IncrementalAggregator {
 
  private:
   AggregationConfig config_;
+  AggregationRuntime runtime_;
   std::vector<Trajectory> trajectories_;
   /// Memoized pairwise decisions keyed by (i, j) indices, i < j.
   std::map<std::pair<std::size_t, std::size_t>, std::optional<PairMatch>> memo_;

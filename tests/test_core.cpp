@@ -30,7 +30,12 @@ cs::CampaignOptions small_campaign_options() {
 TEST(PipelineConfig, FastProfileShrinksWork) {
   const auto fast = co::PipelineConfig::fast_profile();
   const co::PipelineConfig full;
-  EXPECT_LT(fast.layout.hypotheses, full.layout.hypotheses);
+  // The paper's 20,000-model sweep stays the declared default everywhere; the
+  // fast profile cuts fidelity through the explicit cap instead.
+  EXPECT_EQ(fast.layout.hypotheses, full.layout.hypotheses);
+  EXPECT_EQ(full.layout_hypothesis_cap, 0);
+  EXPECT_GT(fast.layout_hypothesis_cap, 0);
+  EXPECT_LT(fast.layout_hypothesis_cap, full.layout.hypotheses);
 }
 
 TEST(Pipeline, JunkUploadDropped) {

@@ -33,7 +33,8 @@ void usage() {
       "  --scale S         campaign scale factor (default 1.0)\n"
       "  --seed N          simulation seed override\n"
       "  --config FILE     key=value pipeline overrides (see config_overrides.hpp)\n"
-      "  --fast            fast pipeline profile (fewer layout hypotheses)\n"
+      "  --fast            fast pipeline profile (capped layout hypotheses)\n"
+      "  --threads N       pipeline threads (0 = all cores, 1 = serial)\n"
       "  --svg FILE        write the reconstructed plan as SVG\n"
       "  --pgm FILE        write the hallway skeleton as PGM\n"
       "  --plan FILE       write the binary floor plan\n"
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool have_seed = false;
   bool fast = false;
+  long threads = -1;
   bool ascii = false;
   bool coverage = false;
   bool trace = false;
@@ -85,6 +87,12 @@ int main(int argc, char** argv) {
       config_path = next();
     } else if (arg == "--fast") {
       fast = true;
+    } else if (arg == "--threads") {
+      threads = std::stol(next());
+      if (threads < 0) {
+        std::cerr << "--threads must be >= 0\n";
+        return 2;
+      }
     } else if (arg == "--ascii") {
       ascii = true;
     } else if (arg == "--coverage") {
@@ -129,6 +137,7 @@ int main(int argc, char** argv) {
 
   core::PipelineConfig config =
       fast ? core::PipelineConfig::fast_profile() : core::PipelineConfig{};
+  if (threads >= 0) config.parallel.threads = static_cast<std::size_t>(threads);
   if (!config_path.empty()) {
     try {
       core::apply_config_overrides(config, common::ConfigFile::load(config_path));

@@ -5,7 +5,7 @@
 namespace crowdmap::cloud {
 
 bool DocumentStore::put(Document doc) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = docs_.find(doc.id);
   const bool fresh = it == docs_.end();
   if (!fresh) index_remove_locked(it->second);
@@ -15,14 +15,14 @@ bool DocumentStore::put(Document doc) {
 }
 
 std::optional<Document> DocumentStore::get(const std::string& id) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = docs_.find(id);
   if (it == docs_.end()) return std::nullopt;
   return it->second;
 }
 
 bool DocumentStore::erase(const std::string& id) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = docs_.find(id);
   if (it == docs_.end()) return false;
   index_remove_locked(it->second);
@@ -37,18 +37,18 @@ void DocumentStore::index_remove_locked(const Document& doc) {
 
 std::vector<std::string> DocumentStore::ids_for_floor(const std::string& building,
                                                       int floor) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = floor_index_.find({building, floor});
   return it == floor_index_.end() ? std::vector<std::string>{} : it->second;
 }
 
 std::size_t DocumentStore::size() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return docs_.size();
 }
 
 std::size_t DocumentStore::total_bytes() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [id, doc] : docs_) n += doc.payload.size();
   return n;

@@ -5,12 +5,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cloud/chunking.hpp"
+#include "common/annotations.hpp"
 
 namespace crowdmap::cloud {
 
@@ -26,26 +26,28 @@ struct Document {
 class DocumentStore {
  public:
   /// Inserts or replaces by document id. Returns false on replace.
-  bool put(Document doc);
+  bool put(Document doc) CM_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::optional<Document> get(const std::string& id) const;
-  bool erase(const std::string& id);
+  [[nodiscard]] std::optional<Document> get(const std::string& id) const
+      CM_EXCLUDES(mutex_);
+  bool erase(const std::string& id) CM_EXCLUDES(mutex_);
 
   /// All document ids for one (building, floor) — the unit CrowdMap
   /// reconstructs.
   [[nodiscard]] std::vector<std::string> ids_for_floor(
-      const std::string& building, int floor) const;
+      const std::string& building, int floor) const CM_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t total_bytes() const;
+  [[nodiscard]] std::size_t size() const CM_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t total_bytes() const CM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Document> docs_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Document> docs_ CM_GUARDED_BY(mutex_);
   // Secondary index: (building, floor) -> ids.
-  std::map<std::pair<std::string, int>, std::vector<std::string>> floor_index_;
+  std::map<std::pair<std::string, int>, std::vector<std::string>> floor_index_
+      CM_GUARDED_BY(mutex_);
 
-  void index_remove_locked(const Document& doc);
+  void index_remove_locked(const Document& doc) CM_REQUIRES(mutex_);
 };
 
 }  // namespace crowdmap::cloud

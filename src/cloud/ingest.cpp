@@ -8,7 +8,7 @@ IngestService::IngestService(DocumentStore& store,
 
 void IngestService::open_session(const std::string& upload_id,
                                  const std::string& building, int floor) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Session session;
   session.building = building;
   session.floor = floor;
@@ -20,7 +20,7 @@ IngestStatus IngestService::deliver(const Chunk& chunk) {
   Document completed;
   bool fire = false;
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     const auto it = sessions_.find(chunk.upload_id);
     if (it == sessions_.end()) {
       ++stats_.uploads_rejected;
@@ -51,7 +51,7 @@ IngestStatus IngestService::deliver(const Chunk& chunk) {
 }
 
 IngestStats IngestService::stats() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 

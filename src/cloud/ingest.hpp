@@ -5,11 +5,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "cloud/chunking.hpp"
 #include "cloud/docstore.hpp"
+#include "common/annotations.hpp"
 
 namespace crowdmap::cloud {
 
@@ -35,12 +35,14 @@ class IngestService {
 
   /// Declares an upload session with its Task-1 geo-spatial annotation.
   void open_session(const std::string& upload_id, const std::string& building,
-                    int floor);
+                    int floor) CM_EXCLUDES(mutex_);
 
-  /// Delivers one chunk; sessions not opened first are rejected.
-  IngestStatus deliver(const Chunk& chunk);
+  /// Delivers one chunk; sessions not opened first are rejected. The session
+  /// lock is released before the store write and the completion callback, so
+  /// mutex_ never nests around the DocumentStore or service locks.
+  IngestStatus deliver(const Chunk& chunk) CM_EXCLUDES(mutex_);
 
-  [[nodiscard]] IngestStats stats() const;
+  [[nodiscard]] IngestStats stats() const CM_EXCLUDES(mutex_);
 
  private:
   struct Session {
@@ -51,9 +53,9 @@ class IngestService {
 
   DocumentStore& store_;
   std::function<void(const Document&)> on_complete_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Session> sessions_;
-  IngestStats stats_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Session> sessions_ CM_GUARDED_BY(mutex_);
+  IngestStats stats_ CM_GUARDED_BY(mutex_);
 };
 
 }  // namespace crowdmap::cloud

@@ -78,7 +78,7 @@ void CrowdMapService::on_upload_complete(const Document& doc) {
       return;
     }
     trajectories_extracted_->increment();
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     trajectories_[{doc.building, doc.floor}].push_back(std::move(traj));
   });
 }
@@ -97,7 +97,7 @@ core::PipelineResult CrowdMapService::build_floor_plan(
     pipeline.set_thread_pool(&pool_);
   }
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     const auto it = trajectories_.find({building, floor});
     if (it != trajectories_.end()) {
       for (const auto& traj : it->second) {

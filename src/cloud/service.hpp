@@ -7,12 +7,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cloud/docstore.hpp"
 #include "cloud/ingest.hpp"
+#include "common/annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
@@ -60,10 +60,12 @@ class CrowdMapService {
   void drain();
 
   /// Builds the floor plan for one (building, floor) from every trajectory
-  /// extracted so far. Drains first.
+  /// extracted so far. Drains first. mutex_ is only held while copying the
+  /// trajectories into the pipeline, never across the run itself.
   [[nodiscard]] core::PipelineResult build_floor_plan(
       const std::string& building, int floor,
-      const std::optional<core::WorldFrame>& frame = std::nullopt);
+      const std::optional<core::WorldFrame>& frame = std::nullopt)
+      CM_EXCLUDES(mutex_);
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const DocumentStore& store() const noexcept { return store_; }
@@ -79,7 +81,9 @@ class CrowdMapService {
   }
 
  private:
-  void on_upload_complete(const Document& doc);
+  /// Runs on the ingest thread; hands decode + extraction to the pool. The
+  /// extraction task takes mutex_ only for the final trajectory append.
+  void on_upload_complete(const Document& doc) CM_EXCLUDES(mutex_);
 
   core::PipelineConfig config_;
   VideoDecoder decoder_;
@@ -96,10 +100,10 @@ class CrowdMapService {
   common::ThreadPool pool_;
   std::unique_ptr<IngestService> ingest_;
 
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   // Extracted trajectories per (building, floor).
   std::map<std::pair<std::string, int>, std::vector<trajectory::Trajectory>>
-      trajectories_;
+      trajectories_ CM_GUARDED_BY(mutex_);
 };
 
 }  // namespace crowdmap::cloud

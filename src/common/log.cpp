@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <mutex>
+
+#include "common/annotations.hpp"
 
 namespace crowdmap::common {
 
@@ -18,7 +19,7 @@ LogLevel level_from_env() noexcept {
 }
 
 std::atomic<LogLevel> g_level{level_from_env()};
-std::mutex g_write_mutex;
+Mutex g_write_mutex;
 
 [[nodiscard]] const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -39,9 +40,10 @@ std::mutex g_write_mutex;
 }
 
 /// ISO-8601 UTC with milliseconds, e.g. "2026-08-05T12:34:56.789Z".
+/// Wall-clock time is fine here: log timestamps never feed scores or output.
 void format_timestamp(char* buf, std::size_t size) noexcept {
-  const auto now = std::chrono::system_clock::now();
-  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto now = std::chrono::system_clock::now();    // crowdmap-lint: allow(wall-clock)
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);  // crowdmap-lint: allow(wall-clock)
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       now.time_since_epoch())
                       .count() %
@@ -76,7 +78,7 @@ void log_line(LogLevel level, std::string_view component, std::string_view messa
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   char timestamp[96];
   format_timestamp(timestamp, sizeof(timestamp));
-  std::lock_guard lock(g_write_mutex);
+  MutexLock lock(g_write_mutex);
   std::fprintf(stderr, "%s [%s] (t%02u) %.*s: %.*s\n", timestamp,
                level_name(level), thread_number(),
                static_cast<int>(component.size()), component.data(),

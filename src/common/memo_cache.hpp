@@ -18,11 +18,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace crowdmap::common {
 
@@ -44,7 +45,7 @@ class BoundedMemoCache {
   /// Cached value for `key`, or nullopt. Counts a hit or a miss.
   [[nodiscard]] std::optional<double> lookup(std::uint64_t key) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -59,7 +60,7 @@ class BoundedMemoCache {
   /// (memoized functions are pure, so both writers carry the same number).
   void insert(std::uint64_t key, double value) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (!shard.map.emplace(key, value).second) return;
     shard.order.push_back(key);
     if (shard.order.size() > per_shard_capacity_) {
@@ -91,7 +92,7 @@ class BoundedMemoCache {
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       total += shard.map.size();
     }
     return total;
@@ -99,7 +100,7 @@ class BoundedMemoCache {
 
   void clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       shard.map.clear();
       shard.order.clear();
     }
@@ -107,9 +108,12 @@ class BoundedMemoCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, double> map;
-    std::deque<std::uint64_t> order;  // insertion order, for FIFO eviction
+    mutable Mutex mutex;
+    // Entries are only ever looked up by key, never iterated in an
+    // order-sensitive way, so hash-ordering nondeterminism cannot escape.
+    // crowdmap-lint: allow(unordered-container)
+    std::unordered_map<std::uint64_t, double> map CM_GUARDED_BY(mutex);
+    std::deque<std::uint64_t> order CM_GUARDED_BY(mutex);  // FIFO eviction
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t key) noexcept {

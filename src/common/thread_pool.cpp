@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -23,12 +23,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::set_queue_observer(QueueObserver observer) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   queue_observer_ = std::move(observer);
 }
 
 void ThreadPool::set_task_observer(TaskObserver observer) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   task_observer_ = std::move(observer);
 }
 
@@ -38,8 +38,8 @@ void ThreadPool::worker_loop() {
     std::size_t depth = 0;
     QueueObserver queue_observer;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -58,24 +58,29 @@ void ThreadPool::worker_loop() {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    // The observer fires before the task stops counting as active, so
+    // wait_idle() cannot return while an observer call is still in flight.
     TaskObserver task_observer;
     {
-      std::lock_guard lock(mutex_);
-      --active_;
+      MutexLock lock(mutex_);
       task_observer = task_observer_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
     if (task_observer) task_observer(seconds);
+    {
+      MutexLock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mutex_);
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 

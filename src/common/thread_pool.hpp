@@ -3,16 +3,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace crowdmap::common {
 
@@ -35,8 +35,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void set_queue_observer(QueueObserver observer);
-  void set_task_observer(TaskObserver observer);
+  void set_queue_observer(QueueObserver observer) CM_EXCLUDES(mutex_);
+  void set_task_observer(TaskObserver observer) CM_EXCLUDES(mutex_);
 
   /// Enqueues a callable; returns a future for its result.
   template <typename F>
@@ -47,7 +47,7 @@ class ThreadPool {
     std::size_t depth = 0;
     QueueObserver observer;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
       depth = queue_.size();
@@ -59,23 +59,23 @@ class ThreadPool {
   }
 
   /// Blocks until every queued and running task has finished.
-  void wait_idle();
+  void wait_idle() CM_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const CM_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() CM_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  QueueObserver queue_observer_;
-  TaskObserver task_observer_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  ConditionVariable cv_;
+  ConditionVariable idle_cv_;
+  std::deque<std::function<void()>> queue_ CM_GUARDED_BY(mutex_);
+  std::vector<std::thread> threads_;  // written only before/after the workers run
+  QueueObserver queue_observer_ CM_GUARDED_BY(mutex_);
+  TaskObserver task_observer_ CM_GUARDED_BY(mutex_);
+  std::size_t active_ CM_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CM_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for every i in [0, n), fanning chunks of `grain` indices out
@@ -106,10 +106,10 @@ void parallel_for(ThreadPool* pool, std::size_t n, F&& fn,
   // scheduled after this call returned still finds live state.
   struct Shared {
     std::atomic<std::size_t> next{0};
-    std::size_t active = 0;  // helpers currently inside the chunk loop
-    std::mutex mutex;
-    std::condition_variable idle;
-    std::exception_ptr error;
+    Mutex mutex;
+    ConditionVariable idle;
+    std::size_t active CM_GUARDED_BY(mutex) = 0;  // helpers inside the loop
+    std::exception_ptr error CM_GUARDED_BY(mutex);
   };
   auto shared = std::make_shared<Shared>();
   auto drain = [shared, n, grain, &fn] {
@@ -120,7 +120,7 @@ void parallel_for(ThreadPool* pool, std::size_t n, F&& fn,
       try {
         for (std::size_t i = start; i < stop; ++i) fn(i);
       } catch (...) {
-        std::lock_guard lock(shared->mutex);
+        MutexLock lock(shared->mutex);
         if (!shared->error) shared->error = std::current_exception();
         shared->next.store(n);  // cancel the remaining chunks
       }
@@ -130,12 +130,12 @@ void parallel_for(ThreadPool* pool, std::size_t n, F&& fn,
   for (std::size_t h = 0; h < helpers; ++h) {
     (void)pool->submit([shared, drain] {
       {
-        std::lock_guard lock(shared->mutex);
+        MutexLock lock(shared->mutex);
         ++shared->active;
       }
       drain();
       {
-        std::lock_guard lock(shared->mutex);
+        MutexLock lock(shared->mutex);
         --shared->active;
       }
       shared->idle.notify_all();
@@ -146,8 +146,8 @@ void parallel_for(ThreadPool* pool, std::size_t n, F&& fn,
     // Helpers that have not bumped `active` yet can no longer reach fn (the
     // cursor is exhausted), so waiting for active == 0 is sufficient — and it
     // cannot deadlock on a saturated pool the way joining futures would.
-    std::unique_lock lock(shared->mutex);
-    shared->idle.wait(lock, [&shared] { return shared->active == 0; });
+    MutexLock lock(shared->mutex);
+    while (shared->active != 0) shared->idle.wait(shared->mutex);
     if (shared->error) std::rethrow_exception(shared->error);
   }
 }

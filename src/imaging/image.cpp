@@ -63,13 +63,13 @@ Image Image::box_blurred(int iterations) const {
     Image dst(width_, height_);
     for (int y = 0; y < height_; ++y) {
       for (int x = 0; x < width_; ++x) {
-        float acc = 0.0f;
+        double acc = 0.0;
         for (int dy = -1; dy <= 1; ++dy) {
           for (int dx = -1; dx <= 1; ++dx) {
             acc += src.at_clamped(x + dx, y + dy);
           }
         }
-        dst.at(x, y) = acc / 9.0f;
+        dst.at(x, y) = static_cast<float>(acc / 9.0);
       }
     }
     src = std::move(dst);

@@ -57,7 +57,7 @@ MetricsRegistry::Family& MetricsRegistry::family_for(std::string_view name,
 
 Counter& MetricsRegistry::counter(std::string_view name, Labels labels,
                                   std::string_view help) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Family& family = family_for(name, MetricType::kCounter, help);
   auto& slot = family.counters[sorted(std::move(labels))];
   if (!slot) slot = std::make_unique<Counter>();
@@ -66,7 +66,7 @@ Counter& MetricsRegistry::counter(std::string_view name, Labels labels,
 
 Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels,
                               std::string_view help) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Family& family = family_for(name, MetricType::kGauge, help);
   auto& slot = family.gauges[sorted(std::move(labels))];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -76,7 +76,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels,
 Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
                                       std::vector<double> upper_bounds,
                                       std::string_view help) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Family& family = family_for(name, MetricType::kHistogram, help);
   auto& slot = family.histograms[sorted(std::move(labels))];
   if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
@@ -84,7 +84,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   MetricsSnapshot out;
   out.families.reserve(families_.size());
   for (const auto& [name, family] : families_) {

@@ -9,10 +9,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace crowdmap::obs {
 
@@ -132,14 +133,16 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   [[nodiscard]] Counter& counter(std::string_view name, Labels labels = {},
-                                 std::string_view help = "");
+                                 std::string_view help = "")
+      CM_EXCLUDES(mutex_);
   [[nodiscard]] Gauge& gauge(std::string_view name, Labels labels = {},
-                             std::string_view help = "");
+                             std::string_view help = "") CM_EXCLUDES(mutex_);
   [[nodiscard]] Histogram& histogram(std::string_view name, Labels labels = {},
                                      std::vector<double> upper_bounds = {},
-                                     std::string_view help = "");
+                                     std::string_view help = "")
+      CM_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const CM_EXCLUDES(mutex_);
 
   /// Process-wide default registry (long-lived daemons; tests and pipelines
   /// normally use their own instance so numbers don't bleed across runs).
@@ -155,10 +158,10 @@ class MetricsRegistry {
   };
 
   Family& family_for(std::string_view name, MetricType type,
-                     std::string_view help);
+                     std::string_view help) CM_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family, std::less<>> families_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_ CM_GUARDED_BY(mutex_);
 };
 
 }  // namespace crowdmap::obs

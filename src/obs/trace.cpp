@@ -74,7 +74,7 @@ Trace::Trace(std::string name) {
 }
 
 void Trace::begin_span(std::string name) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto node = std::make_unique<Node>();
   node->name = std::move(name);
   node->start = Clock::now();
@@ -85,7 +85,7 @@ void Trace::begin_span(std::string name) {
 }
 
 double Trace::end_span() {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (open_ == &root_) return 0.0;  // unbalanced end: ignore
   open_->end = Clock::now();
   open_->closed = true;
@@ -111,7 +111,7 @@ SpanRecord Trace::snapshot_node(const Node& node, Clock::time_point now) const {
 }
 
 SpanRecord Trace::snapshot() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return snapshot_node(root_, Clock::now());
 }
 

@@ -5,10 +5,11 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace crowdmap::obs {
 
@@ -62,9 +63,9 @@ class Trace {
   explicit Trace(std::string name = "run");
 
   /// Opens a child span of the innermost open span.
-  void begin_span(std::string name);
+  void begin_span(std::string name) CM_EXCLUDES(mutex_);
   /// Closes the innermost open span; returns its inclusive seconds.
-  double end_span();
+  double end_span() CM_EXCLUDES(mutex_);
   /// RAII convenience for begin/end pairs.
   [[nodiscard]] ScopedSpan scoped(std::string name) {
     return ScopedSpan(*this, std::move(name));
@@ -72,7 +73,7 @@ class Trace {
 
   /// Copies the tree; still-open spans (root included) are reported as
   /// running up to "now".
-  [[nodiscard]] SpanRecord snapshot() const;
+  [[nodiscard]] SpanRecord snapshot() const CM_EXCLUDES(mutex_);
   [[nodiscard]] std::string to_string() const { return snapshot().to_string(); }
 
  private:
@@ -87,11 +88,12 @@ class Trace {
     std::vector<std::unique_ptr<Node>> children;
   };
 
-  SpanRecord snapshot_node(const Node& node, Clock::time_point now) const;
+  SpanRecord snapshot_node(const Node& node, Clock::time_point now) const
+      CM_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  Node root_;
-  Node* open_ = nullptr;  // innermost open span
+  mutable common::Mutex mutex_;
+  Node root_ CM_GUARDED_BY(mutex_);
+  Node* open_ CM_GUARDED_BY(mutex_) = nullptr;  // innermost open span
 };
 
 }  // namespace crowdmap::obs

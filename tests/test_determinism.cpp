@@ -1,0 +1,62 @@
+// Locks in the invariant the lint rules and thread-safety annotations exist
+// to protect: a seeded pipeline is a pure function of (spec, seed, config).
+// Two independent in-process runs — fresh pipeline, fresh pool, fresh caches
+// — must produce byte-identical serialized FloorPlans, and the thread count
+// must not leak into the bytes either.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "io/serialize.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+namespace cc = crowdmap::common;
+namespace co = crowdmap::core;
+namespace cs = crowdmap::sim;
+
+namespace {
+
+/// One complete seeded run: build the campaign, ingest, reconstruct, and
+/// return the serialized floor plan. Everything (building layout, user
+/// behaviour, sensor noise, hypothesis sampling) derives from `seed`.
+crowdmap::io::Bytes serialized_run(std::uint64_t seed, std::size_t threads) {
+  cc::Rng rng(seed);
+  const auto spec = cs::random_building(3, rng);
+  cs::CampaignOptions options;
+  options.users = 3;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 6;
+  options.junk_fraction = 0.0;
+  options.night_fraction = 0.2;
+  options.sim.fps = 3.0;
+
+  co::PipelineConfig config = co::PipelineConfig::fast_profile();
+  config.parallel.threads = threads;
+  co::CrowdMapPipeline pipeline(config);
+  cs::generate_campaign_streaming(
+      spec, options, seed,
+      [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
+  return crowdmap::io::encode_floorplan(pipeline.run().plan);
+}
+
+}  // namespace
+
+TEST(Determinism, RepeatedRunsSerializeIdentically) {
+  const auto first = serialized_run(271, 2);
+  const auto second = serialized_run(271, 2);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // byte-for-byte, not approximately
+}
+
+TEST(Determinism, ThreadCountDoesNotLeakIntoTheBytes) {
+  const auto serial = serialized_run(277, 1);
+  const auto pooled = serialized_run(277, 3);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentPlans) {
+  // Guards against the degenerate pass where serialization ignores its input.
+  EXPECT_NE(serialized_run(271, 2), serialized_run(911, 2));
+}

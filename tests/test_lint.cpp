@@ -1,0 +1,242 @@
+// Tests for the crowdmap_lint rule engine: every rule fires on a minimal
+// offending snippet, the inline allow(<rule>) escape suppresses it, comment
+// and string-literal mentions never trip the scan, and clean content comes
+// back finding-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "lint/lint.hpp"
+
+namespace cl = crowdmap::lint;
+
+namespace {
+
+bool has_rule(const std::vector<cl::Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const cl::Finding& f) { return f.rule == rule; });
+}
+
+}  // namespace
+
+TEST(Lint, CleanFileHasNoFindings) {
+  const auto findings = cl::lint_content("src/foo/bar.cpp",
+                                         "#include \"foo.hpp\"\n"
+                                         "int add(int a, int b) { return a + b; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ------------------------------------------------------------------ raw-rng ---
+
+TEST(Lint, RawRngFiresOnRand) {
+  const auto findings =
+      cl::lint_content("src/sim/x.cpp", "int x = rand() % 6;\n");
+  ASSERT_TRUE(has_rule(findings, "raw-rng"));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(Lint, RawRngFiresOnMt19937AndRandomDevice) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp", "std::mt19937 gen(std::random_device{}());\n"),
+      "raw-rng"));
+}
+
+TEST(Lint, RawRngExemptInsideRngSources) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/common/rng.cpp", "int x = rand();\n"), "raw-rng"));
+}
+
+TEST(Lint, RawRngIgnoresIdentifierSuffixes) {
+  // "brand(" and "operand(" must not match the rand() pattern.
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp", "int y = brand() + operand(2);\n"),
+      "raw-rng"));
+}
+
+// --------------------------------------------------------------- wall-clock ---
+
+TEST(Lint, WallClockFiresOnSystemClock) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "auto t = std::chrono::system_clock::now();\n"),
+      "wall-clock"));
+}
+
+TEST(Lint, WallClockFiresOnTimeCall) {
+  EXPECT_TRUE(has_rule(cl::lint_content("src/a.cpp", "long t = time(nullptr);\n"),
+                       "wall-clock"));
+}
+
+TEST(Lint, WallClockAllowsSteadyClock) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "auto t = std::chrono::steady_clock::now();\n"),
+      "wall-clock"));
+}
+
+TEST(Lint, WallClockAllowsTimeLikeIdentifiers) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "gmtime_r(&s, &utc); auto x = to_time_t_like(1);\n"),
+      "wall-clock"));
+}
+
+// ------------------------------------------------------ unordered-container ---
+
+TEST(Lint, UnorderedContainerFires) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp", "std::unordered_map<int, int> m;\n"),
+      "unordered-container"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp", "std::unordered_set<int> s;\n"),
+      "unordered-container"));
+}
+
+// ---------------------------------------------------------------- naked-new ---
+
+TEST(Lint, NakedNewFires) {
+  EXPECT_TRUE(has_rule(cl::lint_content("src/a.cpp", "int* p = new int(3);\n"),
+                       "naked-new"));
+  EXPECT_TRUE(
+      has_rule(cl::lint_content("src/a.cpp", "delete p;\n"), "naked-new"));
+}
+
+TEST(Lint, DeletedMemberFunctionsAreNotNakedDelete) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.hpp",
+                       "#pragma once\n"
+                       "struct S { S(const S&) = delete; };\n"),
+      "naked-new"));
+}
+
+TEST(Lint, NewInIdentifiersDoesNotFire) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp", "int new_width = renew(old_width);\n"),
+      "naked-new"));
+}
+
+// -------------------------------------------------------- float-accumulator ---
+
+TEST(Lint, FloatAccumulatorFires) {
+  EXPECT_TRUE(has_rule(cl::lint_content("src/a.cpp", "float acc = 0.0f;\n"),
+                       "float-accumulator"));
+  EXPECT_TRUE(has_rule(cl::lint_content("src/a.cpp", "float score_sum = 0;\n"),
+                       "float-accumulator"));
+}
+
+TEST(Lint, FloatNonAccumulatorsPass) {
+  // A zero-initialized float without an accumulator-style name, and a
+  // non-zero-initialized float either way.
+  EXPECT_FALSE(has_rule(cl::lint_content("src/a.cpp", "float dc = 0.0f;\n"),
+                        "float-accumulator"));
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp", "const float total = w * h;\n"),
+      "float-accumulator"));
+}
+
+// -------------------------------------------------------------- pragma-once ---
+
+TEST(Lint, HeaderWithoutPragmaOnceFires) {
+  const auto findings = cl::lint_content("src/a.hpp", "struct S {};\n");
+  ASSERT_TRUE(has_rule(findings, "pragma-once"));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(Lint, HeaderWithPragmaOncePasses) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.hpp", "// doc\n#pragma once\nstruct S {};\n"),
+      "pragma-once"));
+}
+
+TEST(Lint, SourceFilesDoNotNeedPragmaOnce) {
+  EXPECT_FALSE(
+      has_rule(cl::lint_content("src/a.cpp", "int x;\n"), "pragma-once"));
+}
+
+// ------------------------------------------------------------------ escapes ---
+
+TEST(Lint, SameLineEscapeSuppresses) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content(
+          "src/a.cpp",
+          "int x = rand();  // crowdmap-lint: allow(raw-rng)\n"),
+      "raw-rng"));
+}
+
+TEST(Lint, PreviousLineEscapeSuppresses) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "// crowdmap-lint: allow(unordered-container)\n"
+                       "std::unordered_map<int, int> m;\n"),
+      "unordered-container"));
+}
+
+TEST(Lint, EscapeListsMultipleRules) {
+  const auto findings = cl::lint_content(
+      "src/a.cpp",
+      "// crowdmap-lint: allow(raw-rng, wall-clock)\n"
+      "long t = time(nullptr) + rand();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, EscapeForOtherRuleDoesNotSuppress) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content(
+          "src/a.cpp",
+          "int x = rand();  // crowdmap-lint: allow(wall-clock)\n"),
+      "raw-rng"));
+}
+
+TEST(Lint, EscapeDoesNotLeakBeyondTheNextLine) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "// crowdmap-lint: allow(raw-rng)\n"
+                       "int ok = 1;\n"
+                       "int x = rand();\n"),
+      "raw-rng"));
+}
+
+// --------------------------------------------- comments and string literals ---
+
+TEST(Lint, CommentMentionsDoNotFire) {
+  EXPECT_TRUE(cl::lint_content("src/a.cpp",
+                               "// Chosen over std::mt19937 because ...\n"
+                               "/* delete new rand() system_clock */\n")
+                  .empty());
+}
+
+TEST(Lint, StringLiteralMentionsDoNotFire) {
+  EXPECT_TRUE(cl::lint_content(
+                  "src/a.cpp",
+                  "const char* msg = \"never call rand() or new here\";\n")
+                  .empty());
+}
+
+TEST(Lint, CodeAfterBlockCommentStillFires) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp", "/* why not */ int x = rand();\n"),
+      "raw-rng"));
+}
+
+// ------------------------------------------------------------------ catalog ---
+
+TEST(Lint, CatalogNamesEveryFiringRule) {
+  const auto& catalog = cl::rule_catalog();
+  const auto known = [&](const std::string& rule) {
+    return std::any_of(catalog.begin(), catalog.end(),
+                       [&](const cl::RuleInfo& r) { return r.name == rule; });
+  };
+  for (const auto& finding : cl::lint_content(
+           "src/a.hpp",
+           "std::unordered_map<int, int> m;\n"
+           "float acc = 0.f;\n"
+           "int* p = new int(rand() + int(time(nullptr)));\n")) {
+    EXPECT_TRUE(known(finding.rule)) << finding.rule;
+  }
+}
+
+TEST(Lint, FormatIsCompilerStyle) {
+  cl::Finding f{"src/a.cpp", 12, "raw-rng", "msg"};
+  EXPECT_EQ(cl::format(f), "src/a.cpp:12: [raw-rng] msg");
+}

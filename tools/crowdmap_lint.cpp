@@ -1,0 +1,102 @@
+// crowdmap_lint binary: walks the given files/directories (default: the
+// src/, tools/ and bench/ trees of the working directory), applies every
+// project lint rule and prints compiler-style diagnostics. Exits 1 when any
+// finding survives, so CI can gate on it. See tools/lint/lint.hpp for the
+// rule engine and docs/STATIC_ANALYSIS.md for the catalog.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::vector<fs::path> collect(const std::vector<std::string>& roots,
+                              bool& ok) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      std::fprintf(stderr, "crowdmap_lint: no such file or directory: %s\n",
+                   root.c_str());
+      ok = false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void print_rules() {
+  std::printf("crowdmap_lint rules (suppress with "
+              "'// crowdmap-lint: allow(<rule>)'):\n");
+  for (const auto& rule : crowdmap::lint::rule_catalog()) {
+    std::printf("  %-20s %s\n", std::string(rule.name).c_str(),
+                std::string(rule.summary).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: crowdmap_lint [--list-rules] [path...]\n"
+                  "Lints .cpp/.hpp files under each path (default: src tools "
+                  "bench).\n");
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) roots = {"src", "tools", "bench"};
+
+  bool roots_ok = true;
+  std::size_t scanned = 0;
+  std::size_t total = 0;
+  for (const auto& path : collect(roots, roots_ok)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "crowdmap_lint: cannot read %s\n",
+                   path.string().c_str());
+      roots_ok = false;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ++scanned;
+    const auto findings =
+        crowdmap::lint::lint_content(path.generic_string(), buffer.str());
+    for (const auto& finding : findings) {
+      std::printf("%s\n", crowdmap::lint::format(finding).c_str());
+    }
+    total += findings.size();
+  }
+  std::printf("crowdmap_lint: %zu finding%s in %zu files\n", total,
+              total == 1 ? "" : "s", scanned);
+  if (!roots_ok) return 2;  // a misspelled path must not pass the CI gate
+  return total == 0 ? 0 : 1;
+}

@@ -1,0 +1,346 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace crowdmap::lint {
+
+namespace {
+
+// ----------------------------------------------------------- preprocessing ---
+
+/// Lines of `content` with comments, string literals and char literals
+/// blanked out (replaced by spaces, columns preserved) so rule patterns only
+/// ever match real code. Handles // and /* */ comments, escape sequences,
+/// and R"delim(...)delim" raw strings.
+std::vector<std::string> stripped_lines(std::string_view content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  std::vector<std::string> lines;
+  std::string current;
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the ")delim\"" terminator
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          current += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          current += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = i + 2;
+          std::size_t paren = content.find('(', open);
+          if (paren == std::string_view::npos) {
+            current += c;
+            break;
+          }
+          raw_delim = ")" + std::string(content.substr(open, paren - open)) + "\"";
+          state = State::kRawString;
+          current += "  ";
+          for (std::size_t j = open; j <= paren && j < content.size(); ++j) {
+            current += ' ';
+          }
+          i = paren;
+        } else if (c == '"') {
+          state = State::kString;
+          current += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          current += ' ';
+        } else {
+          current += c;
+        }
+        break;
+      case State::kLineComment:
+        current += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          current += "  ";
+          ++i;
+        } else {
+          current += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          current += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          current += ' ';
+        } else {
+          current += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          current += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          current += ' ';
+        } else {
+          current += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          current.append(raw_delim.size(), ' ');
+          i += raw_delim.size() - 1;
+        } else {
+          current += ' ';
+        }
+        break;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Escape comments per 1-based line: "crowdmap-lint: allow(a, b)" adds
+/// {"a","b"} for that line. An escape suppresses findings on its own line
+/// and on the line directly below (so it can sit above a long statement).
+std::map<int, std::set<std::string>> collect_escapes(std::string_view content) {
+  std::map<int, std::set<std::string>> escapes;
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string_view::npos) eol = content.size();
+    const std::string_view text = content.substr(pos, eol - pos);
+    const std::size_t tag = text.find("crowdmap-lint:");
+    if (tag != std::string_view::npos) {
+      const std::size_t open = text.find("allow(", tag);
+      const std::size_t close =
+          open == std::string_view::npos ? std::string_view::npos
+                                         : text.find(')', open);
+      if (open != std::string_view::npos && close != std::string_view::npos) {
+        std::string names(text.substr(open + 6, close - open - 6));
+        std::replace(names.begin(), names.end(), ',', ' ');
+        std::istringstream in(names);
+        std::string name;
+        while (in >> name) escapes[line].insert(name);
+      }
+    }
+    pos = eol + 1;
+    ++line;
+  }
+  return escapes;
+}
+
+bool is_escaped(const std::map<int, std::set<std::string>>& escapes, int line,
+                const std::string& rule) {
+  for (const int l : {line, line - 1}) {
+    const auto it = escapes.find(l);
+    if (it != escapes.end() && it->second.count(rule)) return true;
+  }
+  return false;
+}
+
+std::string normalized(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ------------------------------------------------------------------ rules ---
+
+const char kRawRng[] = "raw-rng";
+const char kWallClock[] = "wall-clock";
+const char kUnordered[] = "unordered-container";
+const char kNakedNew[] = "naked-new";
+const char kFloatAccumulator[] = "float-accumulator";
+const char kPragmaOnce[] = "pragma-once";
+
+const std::regex& raw_rng_pattern() {
+  static const std::regex re(
+      "\\brand\\s*\\(|\\bsrand\\s*\\(|std::random_device|std::mt19937|"
+      "std::minstd_rand|std::default_random_engine|std::ranlux");
+  return re;
+}
+
+const std::regex& wall_clock_pattern() {
+  static const std::regex re(
+      "std::chrono::system_clock|\\btime\\s*\\(|\\bgettimeofday\\b|"
+      "\\blocaltime\\b|\\bmktime\\b|\\bclock\\s*\\(");
+  return re;
+}
+
+const std::regex& unordered_pattern() {
+  static const std::regex re("std::unordered_(map|set|multimap|multiset)\\b");
+  return re;
+}
+
+const std::regex& new_pattern() {
+  static const std::regex re("\\bnew\\b");
+  return re;
+}
+
+const std::regex& delete_pattern() {
+  static const std::regex re("\\bdelete\\b");
+  return re;
+}
+
+const std::regex& float_decl_pattern() {
+  // "float <name> = 0;" / "= 0.0f," / "{}" / "{0.f}" — a zero-initialized
+  // float local, the accumulator idiom. The name filter below decides.
+  static const std::regex re(
+      "\\bfloat\\s+(\\w+)\\s*(=\\s*0(\\.0*)?f?\\s*[;,]|\\{\\s*(0(\\.0*)?f?)?\\s*\\})");
+  return re;
+}
+
+bool accumulator_name(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  for (const char* hint :
+       {"acc", "sum", "total", "score", "err", "norm", "mean", "avg", "energy"}) {
+    if (name.find(hint) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// True when the previous non-space character before `pos` is '=': that is a
+/// deleted special member ("= delete"), not a deallocation.
+bool preceded_by_equals(const std::string& line, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    const char c = line[pos];
+    if (c == ' ' || c == '\t') continue;
+    return c == '=';
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {kRawRng,
+       "raw generators (rand(), std::random_device, std::mt19937, ...) outside "
+       "src/common/rng.*; draw from the seeded common::Rng instead"},
+      {kWallClock,
+       "wall-clock time (std::chrono::system_clock, time(), localtime, ...) "
+       "in pipeline/scoring code; results must not depend on when they run"},
+      {kUnordered,
+       "std::unordered_map/set: hash iteration order is nondeterministic and "
+       "must not feed reductions or serialized output; use std::map/std::set "
+       "or sorted vectors"},
+      {kNakedNew,
+       "naked new/delete; use std::make_unique, std::make_shared or containers "
+       "so ownership is RAII-managed"},
+      {kFloatAccumulator,
+       "zero-initialized float accumulator; accumulate in double and cast at "
+       "the boundary so score paths keep full precision"},
+      {kPragmaOnce, "every header must start its include guard with #pragma once"},
+  };
+  return catalog;
+}
+
+std::vector<Finding> lint_content(std::string_view path,
+                                  std::string_view content) {
+  const std::string file = normalized(path);
+  const bool is_header = ends_with(file, ".hpp") || ends_with(file, ".h");
+  const bool rng_source = file.find("src/common/rng.") != std::string::npos ||
+                          file.rfind("common/rng.", 0) == 0;
+  const auto escapes = collect_escapes(content);
+  const auto lines = stripped_lines(content);
+
+  std::vector<Finding> findings;
+  const auto report = [&](int line, const char* rule, std::string message) {
+    if (is_escaped(escapes, line, rule)) return;
+    findings.push_back(Finding{file, line, rule, std::move(message)});
+  };
+
+  bool saw_pragma_once = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i];
+    const int line = static_cast<int>(i) + 1;
+
+    if (!saw_pragma_once) {
+      const std::size_t first = code.find_first_not_of(" \t");
+      if (first != std::string::npos &&
+          code.compare(first, 12, "#pragma once") == 0) {
+        saw_pragma_once = true;
+      }
+    }
+
+    if (!rng_source && std::regex_search(code, raw_rng_pattern())) {
+      report(line, kRawRng,
+             "raw random generator; use the seeded common::Rng "
+             "(src/common/rng.hpp) so runs stay reproducible");
+    }
+    if (std::regex_search(code, wall_clock_pattern())) {
+      report(line, kWallClock,
+             "wall-clock time is nondeterministic input; seed explicitly, or "
+             "use steady_clock strictly for latency measurement");
+    }
+    if (std::regex_search(code, unordered_pattern())) {
+      report(line, kUnordered,
+             "unordered container: hash iteration order is nondeterministic; "
+             "use std::map/std::set or sort before iterating");
+    }
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), new_pattern());
+         it != std::sregex_iterator(); ++it) {
+      report(line, kNakedNew,
+             "naked 'new'; use std::make_unique/std::make_shared or a container");
+    }
+    for (auto it =
+             std::sregex_iterator(code.begin(), code.end(), delete_pattern());
+         it != std::sregex_iterator(); ++it) {
+      if (preceded_by_equals(code, static_cast<std::size_t>(it->position()))) {
+        continue;  // "= delete" declares a deleted member, not a deallocation
+      }
+      report(line, kNakedNew,
+             "naked 'delete'; let RAII owners release the allocation");
+    }
+    std::smatch decl;
+    if (std::regex_search(code, decl, float_decl_pattern()) &&
+        accumulator_name(decl[1].str())) {
+      report(line, kFloatAccumulator,
+             "'" + decl[1].str() +
+                 "' accumulates in float; sum in double and cast once at the "
+                 "boundary");
+    }
+  }
+
+  if (is_header && !saw_pragma_once) {
+    report(1, kPragmaOnce, "header is missing '#pragma once'");
+  }
+
+  return findings;
+}
+
+std::string format(const Finding& finding) {
+  return finding.path + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace crowdmap::lint

@@ -1,0 +1,49 @@
+// crowdmap_lint — project-invariant linter for the CrowdMap tree.
+//
+// A plain text scan (no libclang) that enforces the determinism and
+// resource-discipline rules the parallel pipeline depends on: every rule is
+// named, documented, and suppressible with an inline escape comment
+//
+//   // crowdmap-lint: allow(<rule>[, <rule>...])
+//
+// placed on the offending line or the line directly above it. Comments and
+// string literals are stripped before matching, so prose mentioning a
+// forbidden construct does not trip the scan. The library half (this header)
+// lints in-memory content so tests can drive every rule without touching the
+// filesystem; the binary half (tools/crowdmap_lint.cpp) walks the tree and
+// exits non-zero for CI. Rule catalog and rationale: docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdmap::lint {
+
+/// One rule violation at a file location.
+struct Finding {
+  std::string path;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Catalog entry: rule name plus a one-line rationale.
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// Every rule the linter knows, in reporting order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Lints one file's content. `path` is the repo-relative path (it scopes the
+/// path-based exemptions, e.g. src/common/rng.* may use raw generators, and
+/// decides whether the pragma-once rule applies).
+[[nodiscard]] std::vector<Finding> lint_content(std::string_view path,
+                                                std::string_view content);
+
+/// "path:line: [rule] message" — the compiler-style diagnostic line.
+[[nodiscard]] std::string format(const Finding& finding);
+
+}  // namespace crowdmap::lint

@@ -39,24 +39,41 @@ std::vector<Chunk> split_into_chunks(const Blob& data, std::string upload_id,
 
 ChunkAssembler::Status ChunkAssembler::accept(const Chunk& chunk) {
   if (status_ == Status::kCorrupt) return status_;
+  // Structural frame damage: the sender's framing itself is broken, so no
+  // retransmission can help — latch terminal corruption.
   if (chunk.total == 0 || chunk.index >= chunk.total ||
-      checksum(chunk.payload) != chunk.payload_checksum) {
+      (total_ != 0 && chunk.total != total_)) {
     status_ = Status::kCorrupt;
     return status_;
+  }
+  // Payload damage is a property of this transmission, not the upload:
+  // reject the chunk, keep the buffer, and let the sender retransmit.
+  if (checksum(chunk.payload) != chunk.payload_checksum) {
+    return Status::kRejected;
   }
   if (slots_.empty()) {
     total_ = chunk.total;
     slots_.resize(total_);
-  } else if (chunk.total != total_) {
-    status_ = Status::kCorrupt;
-    return status_;
   }
-  if (!slots_[chunk.index]) {
-    slots_[chunk.index] = chunk.payload;
-    ++received_;
+  if (slots_[chunk.index]) {
+    // Identical re-send (network retry) is idempotent; a different payload
+    // under the same index is a conflict we refuse to adjudicate.
+    return *slots_[chunk.index] == chunk.payload ? Status::kDuplicate
+                                                 : Status::kRejected;
   }
+  slots_[chunk.index] = chunk.payload;
+  ++received_;
   if (received_ == total_) status_ = Status::kComplete;
   return status_;
+}
+
+std::vector<std::uint32_t> ChunkAssembler::missing_indices() const {
+  std::vector<std::uint32_t> missing;
+  if (status_ != Status::kPending) return missing;
+  for (std::uint32_t i = 0; i < total_; ++i) {
+    if (!slots_[i]) missing.push_back(i);
+  }
+  return missing;
 }
 
 std::optional<Blob> ChunkAssembler::assemble() const {

@@ -31,17 +31,33 @@ inline constexpr std::size_t kDefaultChunkSize = 5 * 1024 * 1024;  // 5 MB
     const Blob& data, std::string upload_id,
     std::size_t chunk_size = kDefaultChunkSize);
 
-/// Reassembly buffer for one upload.
+/// Reassembly buffer for one upload. Chunks may arrive in any order; each
+/// one is classified on arrival:
+///  - kRejected: recoverable per-chunk fault (checksum mismatch, or a
+///    duplicate index carrying *different* bytes). The buffer keeps its
+///    state so the sender can retransmit the chunk.
+///  - kDuplicate: byte-identical re-send of an already-held chunk (network
+///    retry); idempotently ignored.
+///  - kCorrupt: structural frame damage (zero total, index out of range,
+///    conflicting totals across chunks). Terminal — the upload cannot be
+///    salvaged by retransmission.
 class ChunkAssembler {
  public:
-  enum class Status { kPending, kComplete, kCorrupt };
+  enum class Status { kPending, kComplete, kCorrupt, kRejected, kDuplicate };
 
-  /// Accepts a chunk (any order, duplicates tolerated). Returns the status
-  /// after accepting: kCorrupt on checksum or frame mismatch.
+  /// Accepts a chunk and returns its classification (see class comment).
+  /// kRejected / kDuplicate refer to THIS chunk only; the buffer state is
+  /// whatever status() reports.
   Status accept(const Chunk& chunk);
 
+  /// Overall buffer state: kPending / kComplete / kCorrupt only.
   [[nodiscard]] Status status() const noexcept { return status_; }
   [[nodiscard]] std::size_t received() const noexcept { return received_; }
+  [[nodiscard]] std::uint32_t total() const noexcept { return total_; }
+
+  /// Indices not yet received, in ascending order (for retransmit
+  /// requests). Empty when complete, corrupt, or before the first chunk.
+  [[nodiscard]] std::vector<std::uint32_t> missing_indices() const;
 
   /// The reassembled blob; only valid once status() == kComplete.
   [[nodiscard]] std::optional<Blob> assemble() const;

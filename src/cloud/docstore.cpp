@@ -54,4 +54,38 @@ std::size_t DocumentStore::total_bytes() const {
   return n;
 }
 
+void DocumentStore::quarantine(Document doc, const std::string& reason) {
+  common::MutexLock lock(mutex_);
+  doc.metadata["quarantine_reason"] = reason;
+  // A quarantined id leaves the main collection: downstream floor queries
+  // must never pick up a document we know to be malformed.
+  const auto it = docs_.find(doc.id);
+  if (it != docs_.end()) {
+    index_remove_locked(it->second);
+    docs_.erase(it);
+  }
+  quarantined_[doc.id] = std::move(doc);
+}
+
+std::optional<Document> DocumentStore::get_quarantined(
+    const std::string& id) const {
+  common::MutexLock lock(mutex_);
+  const auto it = quarantined_.find(id);
+  if (it == quarantined_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> DocumentStore::quarantined_ids() const {
+  common::MutexLock lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(quarantined_.size());
+  for (const auto& [id, doc] : quarantined_) ids.push_back(id);
+  return ids;
+}
+
+std::size_t DocumentStore::quarantined_count() const {
+  common::MutexLock lock(mutex_);
+  return quarantined_.size();
+}
+
 }  // namespace crowdmap::cloud

@@ -40,9 +40,25 @@ class DocumentStore {
   [[nodiscard]] std::size_t size() const CM_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t total_bytes() const CM_EXCLUDES(mutex_);
 
+  /// Moves a malformed upload into the quarantine collection instead of
+  /// dropping it: operators can audit what the network mangled (the paper's
+  /// crowdsourcing premise means bad uploads are signal, not noise). The
+  /// reason is recorded under metadata["quarantine_reason"]. Quarantined
+  /// documents never appear in get()/ids_for_floor()/size().
+  void quarantine(Document doc, const std::string& reason)
+      CM_EXCLUDES(mutex_);
+
+  [[nodiscard]] std::optional<Document> get_quarantined(
+      const std::string& id) const CM_EXCLUDES(mutex_);
+  /// Quarantined document ids in insertion-stable (sorted) order.
+  [[nodiscard]] std::vector<std::string> quarantined_ids() const
+      CM_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t quarantined_count() const CM_EXCLUDES(mutex_);
+
  private:
   mutable common::Mutex mutex_;
   std::map<std::string, Document> docs_ CM_GUARDED_BY(mutex_);
+  std::map<std::string, Document> quarantined_ CM_GUARDED_BY(mutex_);
   // Secondary index: (building, floor) -> ids.
   std::map<std::pair<std::string, int>, std::vector<std::string>> floor_index_
       CM_GUARDED_BY(mutex_);

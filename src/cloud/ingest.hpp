@@ -1,27 +1,56 @@
 // Upload ingestion: the Tornado/WebSocket front door of the cloud backend
 // (paper §IV.2). Tracks concurrent chunked upload sessions, validates them,
 // and lands completed datasets in the document store.
+//
+// The front door assumes a hostile network: per-chunk checksums, duplicate
+// idempotency and out-of-order reassembly live in ChunkAssembler; this layer
+// adds the session lifecycle — bounded retransmit with logical-clock
+// timeouts, expiry of stalled sessions, and quarantine (not silent drop) of
+// anything malformed, so operators can audit what the crowd actually sent.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cloud/chunking.hpp"
 #include "cloud/docstore.hpp"
 #include "common/annotations.hpp"
+#include "common/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace crowdmap::cloud {
 
 /// Outcome of one chunk delivery.
 enum class IngestStatus { kAccepted, kUploadComplete, kRejected };
 
+/// Session lifecycle policy. Time is the service's logical clock (one tick
+/// per delivered chunk), never the wall clock, so expiry is deterministic.
+struct IngestConfig {
+  /// Ticks of inactivity after which a pending session is expired and its
+  /// partial upload quarantined.
+  std::uint64_t session_timeout_ticks = 4096;
+  /// missing_chunks() calls allowed per session before it is expired —
+  /// bounds how long a sender can keep retransmitting.
+  std::uint32_t max_retransmit_rounds = 3;
+};
+
+/// Snapshot of the ingest counters. A view over the MetricsRegistry — the
+/// same numbers the Prometheus export reports.
 struct IngestStats {
   std::size_t sessions_opened = 0;
   std::size_t uploads_completed = 0;
   std::size_t uploads_rejected = 0;
   std::size_t chunks_received = 0;
   std::size_t bytes_received = 0;
+  std::size_t chunks_duplicate = 0;    // idempotently ignored re-sends
+  std::size_t chunks_rejected = 0;     // checksum/conflict rejects (retryable)
+  std::size_t unknown_session = 0;     // chunks for never-opened sessions
+  std::size_t sessions_expired = 0;    // timeout or retransmit budget spent
+  std::size_t uploads_quarantined = 0; // malformed uploads kept for audit
+  std::size_t retransmit_requests = 0; // missing_chunks() rounds served
 };
 
 /// Chunked-upload ingestion service. Thread-safe; multiple simulated users
@@ -29,33 +58,84 @@ struct IngestStats {
 class IngestService {
  public:
   /// `on_complete` fires once per successfully reassembled upload with its
-  /// metadata-bearing document already persisted in `store`.
+  /// metadata-bearing document already persisted in `store`. `registry`
+  /// defaults to a fresh one; pass the service registry to share exporters.
   IngestService(DocumentStore& store,
-                std::function<void(const Document&)> on_complete = {});
+                std::function<void(const Document&)> on_complete = {},
+                IngestConfig config = {},
+                std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
 
   /// Declares an upload session with its Task-1 geo-spatial annotation.
   void open_session(const std::string& upload_id, const std::string& building,
                     int floor) CM_EXCLUDES(mutex_);
 
-  /// Delivers one chunk; sessions not opened first are rejected. The session
-  /// lock is released before the store write and the completion callback, so
-  /// mutex_ never nests around the DocumentStore or service locks.
+  /// Delivers one chunk; advances the logical clock and sweeps expired
+  /// sessions first. Sessions not opened first are rejected (warn-logged
+  /// and counted under unknown_session). A checksum-damaged chunk is
+  /// rejected but the session survives for retransmission; structurally
+  /// corrupt framing quarantines the upload. The session lock is released
+  /// before store writes and the completion callback, so mutex_ never nests
+  /// around the DocumentStore or service locks.
   IngestStatus deliver(const Chunk& chunk) CM_EXCLUDES(mutex_);
 
-  [[nodiscard]] IngestStats stats() const CM_EXCLUDES(mutex_);
+  /// Chunk indices the session still needs, for a retransmit round. Each
+  /// call consumes one round of the session's retransmit budget and
+  /// refreshes its activity time; a session that exhausts the budget is
+  /// expired (quarantined) and reports empty. Unknown/complete sessions
+  /// report empty.
+  [[nodiscard]] std::vector<std::uint32_t> missing_chunks(
+      const std::string& upload_id) CM_EXCLUDES(mutex_);
+
+  /// Current logical time (ticks == chunks delivered so far).
+  [[nodiscard]] std::uint64_t logical_now() const noexcept {
+    return clock_.now();
+  }
+
+  /// Pending (opened, not yet completed/expired) session count.
+  [[nodiscard]] std::size_t pending_sessions() const CM_EXCLUDES(mutex_);
+
+  [[nodiscard]] IngestStats stats() const;
+
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics_registry()
+      const noexcept {
+    return registry_;
+  }
 
  private:
   struct Session {
     std::string building;
     int floor = 1;
     ChunkAssembler assembler;
+    std::uint64_t last_activity = 0;
+    std::uint32_t retransmit_rounds = 0;
   };
+
+  /// Expires sessions idle past the timeout. Returns the quarantine
+  /// documents to write once the lock is dropped.
+  [[nodiscard]] std::vector<Document> sweep_expired_locked(std::uint64_t now)
+      CM_REQUIRES(mutex_);
+  /// Builds the audit document for a failed session.
+  [[nodiscard]] static Document quarantine_doc(const std::string& upload_id,
+                                               const Session& session);
 
   DocumentStore& store_;
   std::function<void(const Document&)> on_complete_;
+  IngestConfig config_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter* sessions_opened_ = nullptr;
+  obs::Counter* uploads_completed_ = nullptr;
+  obs::Counter* uploads_rejected_ = nullptr;
+  obs::Counter* chunks_received_ = nullptr;
+  obs::Counter* bytes_received_ = nullptr;
+  obs::Counter* chunks_duplicate_ = nullptr;
+  obs::Counter* chunks_rejected_ = nullptr;
+  obs::Counter* unknown_session_ = nullptr;
+  obs::Counter* sessions_expired_ = nullptr;
+  obs::Counter* uploads_quarantined_ = nullptr;
+  obs::Counter* retransmit_requests_ = nullptr;
+  common::LogicalClock clock_;
   mutable common::Mutex mutex_;
   std::map<std::string, Session> sessions_ CM_GUARDED_BY(mutex_);
-  IngestStats stats_ CM_GUARDED_BY(mutex_);
 };
 
 }  // namespace crowdmap::cloud

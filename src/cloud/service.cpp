@@ -1,5 +1,7 @@
 #include "cloud/service.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "trajectory/trajectory.hpp"
@@ -29,6 +31,9 @@ CrowdMapService::CrowdMapService(core::PipelineConfig config,
   trajectories_dropped_ = &registry_->counter(
       "crowdmap_trajectories_dropped_total", {},
       "Extracted trajectories failing the unqualified-data gates");
+  sensor_dropouts_ = &registry_->counter(
+      "crowdmap_sensor_dropouts_injected_total", {},
+      "Uploads whose sensor tail was truncated by the chaos plan");
   queue_depth_ = &registry_->gauge("crowdmap_worker_queue_depth", {},
                                    "Extraction tasks waiting in the pool");
   extract_seconds_ = &registry_->histogram(
@@ -43,7 +48,9 @@ CrowdMapService::CrowdMapService(core::PipelineConfig config,
   pool_.set_task_observer(
       [&task_seconds](double seconds) { task_seconds.observe(seconds); });
   ingest_ = std::make_unique<IngestService>(
-      store_, [this](const Document& doc) { on_upload_complete(doc); });
+      store_, [this](const Document& doc) { on_upload_complete(doc); },
+      IngestConfig{}, registry_);
+  faults_.arm(config_.faults);
 }
 
 void CrowdMapService::open_session(const std::string& upload_id,
@@ -57,16 +64,50 @@ IngestStatus CrowdMapService::deliver(const Chunk& chunk) {
   return status;
 }
 
+std::vector<std::uint32_t> CrowdMapService::missing_chunks(
+    const std::string& upload_id) {
+  return ingest_->missing_chunks(upload_id);
+}
+
 void CrowdMapService::on_upload_complete(const Document& doc) {
   uploads_completed_->increment();
   // Decode + extract on the worker pool; the ingest thread returns at once.
   (void)pool_.submit([this, doc] {
-    const auto video = decoder_(doc);
+    // Chaos: decode failure, keyed by the upload's stable identity so the
+    // same plan loses the same uploads at any worker count. The document is
+    // quarantined, not dropped — operators can replay it post-incident.
+    if (faults_.should_fire(common::faults::kDecodeFail,
+                            common::stable_string_hash(doc.id))) {
+      decode_failures_->increment();
+      CROWDMAP_LOG(kWarn, "service")
+          << "injected decode failure for upload " << doc.id;
+      store_.quarantine(doc, "fault.decode");
+      return;
+    }
+    auto video = decoder_(doc);
     if (!video) {
       decode_failures_->increment();
       return;
     }
     videos_decoded_->increment();
+    // Chaos: sensor dropout — the phone stopped recording mid-walk. Keep a
+    // deterministic fraction of the head of the capture and truncate the
+    // synchronized IMU tail to match.
+    if (faults_.should_fire(common::faults::kExtractSensorDropout,
+                            common::hash_u64(
+                                static_cast<std::uint64_t>(video->video_id)))) {
+      sensor_dropouts_->increment();
+      const std::size_t keep =
+          std::max<std::size_t>(1, video->frames.size() / 2);
+      if (keep < video->frames.size()) {
+        video->frames.resize(keep);
+        const double cutoff = video->frames.back().t;
+        auto& samples = video->imu.samples;
+        while (!samples.empty() && samples.back().t > cutoff) {
+          samples.pop_back();
+        }
+      }
+    }
     common::Stopwatch timer;
     auto traj = trajectory::extract_trajectory(*video, config_.extraction);
     extract_seconds_->observe(timer.elapsed_seconds());
@@ -100,12 +141,25 @@ core::PipelineResult CrowdMapService::build_floor_plan(
     common::MutexLock lock(mutex_);
     const auto it = trajectories_.find({building, floor});
     if (it != trajectories_.end()) {
+      // Extraction tasks append in pool-completion order, which varies with
+      // worker count; sort by the upload's stable identity so the pipeline
+      // sees one canonical order and the plan bytes are reproducible.
+      std::sort(it->second.begin(), it->second.end(),
+                [](const trajectory::Trajectory& a,
+                   const trajectory::Trajectory& b) {
+                  return a.video_id < b.video_id;
+                });
       for (const auto& traj : it->second) {
         pipeline.ingest_trajectory(traj);
       }
     }
   }
-  return pipeline.run(frame);
+  auto result = pipeline.run(frame);
+  // Fold the service-side losses into the pipeline's degradation report so
+  // the caller sees the whole story, front door included.
+  result.degradation.uploads_lost_decode = decode_failures_->value();
+  result.degradation.sensor_dropouts = sensor_dropouts_->value();
+  return result;
 }
 
 ServiceStats CrowdMapService::stats() const {
@@ -116,6 +170,8 @@ ServiceStats CrowdMapService::stats() const {
   out.decode_failures = decode_failures_->value();
   out.trajectories_extracted = trajectories_extracted_->value();
   out.trajectories_dropped = trajectories_dropped_->value();
+  out.sensor_dropouts = sensor_dropouts_->value();
+  out.ingest = ingest_->stats();
   return out;
 }
 

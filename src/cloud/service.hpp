@@ -36,6 +36,11 @@ struct ServiceStats {
   std::size_t decode_failures = 0;
   std::size_t trajectories_extracted = 0;
   std::size_t trajectories_dropped = 0;
+  /// Injected sensor dropouts applied before extraction (chaos runs only).
+  std::size_t sensor_dropouts = 0;
+  /// The ingest front door's own counters (session lifecycle, chunk-level
+  /// rejects/duplicates, quarantine traffic).
+  IngestStats ingest;
 };
 
 /// End-to-end backend: ingestion -> async feature extraction -> per-floor
@@ -55,6 +60,11 @@ class CrowdMapService {
   /// Delivers one chunk; completed uploads are decoded and feature-extracted
   /// on the worker pool.
   IngestStatus deliver(const Chunk& chunk);
+
+  /// Chunk indices a pending upload still needs (retransmit round); see
+  /// IngestService::missing_chunks for the budget semantics.
+  [[nodiscard]] std::vector<std::uint32_t> missing_chunks(
+      const std::string& upload_id);
 
   /// Blocks until every queued extraction has finished.
   void drain();
@@ -95,10 +105,14 @@ class CrowdMapService {
   obs::Counter* decode_failures_ = nullptr;
   obs::Counter* trajectories_extracted_ = nullptr;
   obs::Counter* trajectories_dropped_ = nullptr;
+  obs::Counter* sensor_dropouts_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Histogram* extract_seconds_ = nullptr;
   common::ThreadPool pool_;
   std::unique_ptr<IngestService> ingest_;
+  /// Service-side chaos plan (decode.fail, extract.sensor_dropout); armed
+  /// from config.faults, disarmed (zero-cost) by default.
+  common::FaultInjector faults_;
 
   mutable common::Mutex mutex_;
   // Extracted trajectories per (building, floor).

@@ -53,6 +53,22 @@ ConfigFile ConfigFile::load(const std::string& path) {
   return parse(buffer.str());
 }
 
+Expected<ConfigFile> ConfigFile::try_parse(const std::string& text) {
+  try {
+    return parse(text);
+  } catch (const std::runtime_error& e) {
+    return make_error("config.parse", e.what());
+  }
+}
+
+Expected<ConfigFile> ConfigFile::try_load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return make_error("config.io", "cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return try_parse(buffer.str());
+}
+
 bool ConfigFile::has(const std::string& key) const {
   return entries_.count(key) > 0;
 }

@@ -7,6 +7,8 @@
 #include <optional>
 #include <string>
 
+#include "common/expected.hpp"
+
 namespace crowdmap::common {
 
 class ConfigFile {
@@ -15,6 +17,12 @@ class ConfigFile {
   [[nodiscard]] static ConfigFile parse(const std::string& text);
   /// Loads and parses a file; throws std::runtime_error on IO failure.
   [[nodiscard]] static ConfigFile load(const std::string& path);
+
+  /// Non-throwing variants for callers that report instead of crash (the
+  /// CLI). Error codes: "config.parse" (malformed line), "config.io"
+  /// (unreadable file).
+  [[nodiscard]] static Expected<ConfigFile> try_parse(const std::string& text);
+  [[nodiscard]] static Expected<ConfigFile> try_load(const std::string& path);
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;

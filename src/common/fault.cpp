@@ -1,0 +1,264 @@
+#include "common/fault.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace crowdmap::common {
+
+namespace {
+
+constexpr std::string_view kPointNames[] = {
+#define CROWDMAP_FAULT_POINT_NAME(ident, name) name,
+    CROWDMAP_FAULT_POINT_LIST(CROWDMAP_FAULT_POINT_NAME)
+#undef CROWDMAP_FAULT_POINT_NAME
+};
+
+constexpr std::size_t kPointCount =
+    sizeof(kPointNames) / sizeof(kPointNames[0]);
+
+std::string catalog_listing() {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < kPointCount; ++i) {
+    if (i != 0) out << ", ";
+    out << kPointNames[i];
+  }
+  return out.str();
+}
+
+/// Parses a double in [0, 1]; Expected-based so spec errors surface as
+/// diagnostics rather than exceptions.
+Expected<double> parse_probability(std::string_view text) {
+  const std::string buffer(text);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno != 0 || end == buffer.c_str() || *end != '\0') {
+    return make_error("fault.spec",
+                      "invalid probability '" + buffer + "'");
+  }
+  if (value < 0.0 || value > 1.0) {
+    return make_error("fault.spec", "probability '" + buffer +
+                                        "' outside [0, 1]");
+  }
+  return value;
+}
+
+Expected<std::uint64_t> parse_u64(std::string_view text,
+                                  std::string_view what) {
+  const std::string buffer(text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(buffer.c_str(), &end, 10);
+  if (errno != 0 || end == buffer.c_str() || *end != '\0') {
+    return make_error("fault.spec", "invalid " + std::string(what) + " '" +
+                                        buffer + "'");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+std::size_t fault_point_count() noexcept { return kPointCount; }
+
+const std::vector<FaultPoint>& all_fault_points() noexcept {
+  static const std::vector<FaultPoint> points = [] {
+    std::vector<FaultPoint> out;
+    out.reserve(kPointCount);
+    for (std::size_t i = 0; i < kPointCount; ++i) {
+      out.push_back(static_cast<FaultPoint>(i));
+    }
+    return out;
+  }();
+  return points;
+}
+
+std::string_view fault_point_name(FaultPoint point) noexcept {
+  const auto index = static_cast<std::size_t>(point);
+  return index < kPointCount ? kPointNames[index]
+                             : std::string_view("<invalid>");
+}
+
+Expected<FaultPoint> fault_point_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kPointCount; ++i) {
+    if (kPointNames[i] == name) return static_cast<FaultPoint>(i);
+  }
+  return make_error("fault.unknown_point",
+                    "unknown fault point '" + std::string(name) +
+                        "'; known points: " + catalog_listing());
+}
+
+Expected<std::vector<FaultSetting>> parse_fault_settings(
+    std::string_view spec) {
+  std::vector<FaultSetting> settings;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) {
+      if (spec.empty()) break;  // empty spec => no settings
+      return make_error("fault.spec", "empty entry in fault spec '" +
+                                          std::string(spec) + "'");
+    }
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return make_error("fault.spec", "expected point=probability in '" +
+                                          std::string(entry) + "'");
+    }
+    auto point = fault_point_from_name(entry.substr(0, eq));
+    if (!point) return point.error();
+
+    std::string_view value = entry.substr(eq + 1);
+    FaultSetting setting;
+    setting.point = point.value();
+    const std::size_t at = value.find('@');
+    if (at != std::string_view::npos) {
+      auto budget = parse_u64(value.substr(at + 1), "budget");
+      if (!budget) return budget.error();
+      setting.budget = budget.value();
+      value = value.substr(0, at);
+    }
+    auto probability = parse_probability(value);
+    if (!probability) return probability.error();
+    setting.probability = probability.value();
+    settings.push_back(setting);
+    if (end == spec.size()) break;
+  }
+  return settings;
+}
+
+Expected<FaultPlan> parse_fault_plan(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    return make_error("fault.spec",
+                      "expected seed:point=prob[,...] but got '" +
+                          std::string(spec) + "'");
+  }
+  auto seed = parse_u64(spec.substr(0, colon), "seed");
+  if (!seed) return seed.error();
+  auto settings = parse_fault_settings(spec.substr(colon + 1));
+  if (!settings) return settings.error();
+
+  FaultPlan plan;
+  plan.seed = seed.value();
+  plan.settings = std::move(settings).take();
+  return plan;
+}
+
+std::string format_fault_plan(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << plan.seed << ':';
+  for (std::size_t i = 0; i < plan.settings.size(); ++i) {
+    const auto& setting = plan.settings[i];
+    if (i != 0) out << ',';
+    out << fault_point_name(setting.point) << '=' << setting.probability;
+    if (setting.budget != FaultSetting::kNoBudget) {
+      out << '@' << setting.budget;
+    }
+  }
+  return out.str();
+}
+
+std::uint64_t stable_string_hash(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool env_fault_seed(std::uint64_t& seed_out) noexcept {
+  const char* raw = std::getenv("CROWDMAP_FAULT_SEED");
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0') return false;
+  seed_out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) noexcept { arm(plan); }
+
+void FaultInjector::copy_from(const FaultInjector& other) noexcept {
+  armed_ = other.armed_;
+  seed_ = other.seed_;
+  for (std::size_t i = 0; i < kMaxPoints; ++i) {
+    points_[i].probability = other.points_[i].probability;
+    points_[i].budget_left.store(
+        other.points_[i].budget_left.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    points_[i].fires.store(
+        other.points_[i].fires.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::arm(const FaultPlan& plan) noexcept {
+  static_assert(kPointCount <= kMaxPoints,
+                "grow FaultInjector::kMaxPoints to fit the catalog");
+  for (auto& state : points_) {
+    state.probability = 0.0;
+    state.budget_left.store(0, std::memory_order_relaxed);
+    state.fires.store(0, std::memory_order_relaxed);
+  }
+  seed_ = plan.seed;
+  armed_ = false;
+  for (const auto& setting : plan.settings) {
+    const auto index = static_cast<std::size_t>(setting.point);
+    if (index >= kPointCount || setting.probability <= 0.0) continue;
+    auto& state = points_[index];
+    state.probability = setting.probability;
+    state.budget_left.store(setting.budget, std::memory_order_relaxed);
+    armed_ = true;
+  }
+}
+
+bool FaultInjector::fire_slow(FaultPoint point, std::uint64_t key) noexcept {
+  const auto index = static_cast<std::size_t>(point);
+  if (index >= kPointCount) return false;
+  auto& state = points_[index];
+  if (state.probability <= 0.0) return false;
+
+  // Stateless decision: (seed, point, key) -> [0, 1). Interrogation order
+  // and thread count cannot change the outcome.
+  const std::uint64_t h = hash_combine(
+      hash_combine(seed_, hash_u64(index + 0x66617565ULL)), key);
+  if (hash_to_unit(h) >= state.probability) return false;
+
+  // Budget accounting. With a finite budget under concurrent interrogation
+  // the *set* of fired keys can depend on arrival order, so deterministic
+  // chaos plans use budgets only on serially-interrogated points (ingest) or
+  // leave them unlimited; see docs/ROBUSTNESS.md.
+  std::uint64_t left = state.budget_left.load(std::memory_order_relaxed);
+  while (left != FaultSetting::kNoBudget) {
+    if (left == 0) return false;
+    if (state.budget_left.compare_exchange_weak(left, left - 1,
+                                                std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  state.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultInjector::fires(FaultPoint point) const noexcept {
+  const auto index = static_cast<std::size_t>(point);
+  if (index >= kPointCount) return 0;
+  return points_[index].fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_fires() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kPointCount; ++i) {
+    total += points_[i].fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace crowdmap::common

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 
+#include "common/fault.hpp"
 #include "floorplan/arrange.hpp"
 #include "mapping/skeleton.hpp"
 #include "room/layout.hpp"
@@ -68,6 +69,10 @@ struct PipelineConfig {
   int layout_hypothesis_cap = 0;
   /// Worker pool, matching fan-out and S2 memo cache settings.
   ParallelConfig parallel;
+  /// Seeded fault-injection plan (chaos testing; docs/ROBUSTNESS.md). Empty
+  /// settings leave every fault point disarmed — the default costs one
+  /// predicted branch per interrogation and changes no output bit.
+  common::FaultPlan faults;
 
   /// A faster profile for unit/integration tests: the layout sweep capped at
   /// 2,000 hypotheses (a documented 10x fidelity cut vs the paper's 20,000)

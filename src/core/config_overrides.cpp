@@ -16,6 +16,7 @@ void apply_config_overrides(PipelineConfig& config,
       "layout.shards",    "layout.hypothesis_cap",
       "stitch.width",     "stitch.height",    "filter.min_keyframes",
       "parallel.threads", "parallel.s2_cache",
+      "faults.seed",      "faults.spec",
   };
   for (const auto& [key, value] : file.entries()) {
     if (kKnown.count(key) == 0) {
@@ -65,6 +66,19 @@ void apply_config_overrides(PipelineConfig& config,
   config.parallel.s2_cache_capacity = static_cast<std::size_t>(
       file.get_int("parallel.s2_cache",
                    static_cast<int>(config.parallel.s2_cache_capacity)));
+
+  // Chaos plan: faults.seed keys the hash decisions, faults.spec arms the
+  // points ("decode.fail=0.2,stage.panorama_fail=0.1@3").
+  config.faults.seed = static_cast<std::uint64_t>(
+      file.get_int("faults.seed", static_cast<int>(config.faults.seed)));
+  if (const auto spec = file.get("faults.spec")) {
+    auto settings = common::parse_fault_settings(*spec);
+    if (!settings.ok()) {
+      throw std::runtime_error("config key 'faults.spec': " +
+                               settings.error().message);
+    }
+    config.faults.settings = std::move(settings).take();
+  }
 }
 
 }  // namespace crowdmap::core

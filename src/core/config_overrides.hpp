@@ -18,6 +18,9 @@ namespace crowdmap::core {
 ///   stitch.width stitch.height
 ///   filter.min_keyframes
 ///   parallel.threads parallel.s2_cache
+///   faults.seed faults.spec
+/// faults.spec is a chaos plan in the "point=prob[@budget],..." syntax of
+/// common::parse_fault_settings (docs/ROBUSTNESS.md has the catalog).
 /// Throws std::runtime_error on an unknown key or unparsable value.
 void apply_config_overrides(PipelineConfig& config,
                             const common::ConfigFile& file);

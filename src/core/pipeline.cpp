@@ -3,12 +3,60 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <thread>
+#include <type_traits>
+#include <vector>
 
 #include "common/log.hpp"
 #include "mapping/occupancy.hpp"
 
 namespace crowdmap::core {
+
+namespace {
+
+/// Runs one stage body under the fault/exception policy: an injected fault
+/// or a thrown exception becomes an Error the caller degrades on, instead of
+/// tearing down the whole reconstruction.
+template <typename Fn>
+auto run_guarded(common::FaultInjector& faults, common::FaultPoint point,
+                 std::uint64_t key, const char* stage, Fn&& fn)
+    -> common::Expected<std::invoke_result_t<Fn>> {
+  if (faults.should_fire(point, key)) {
+    return common::make_error(
+        "fault.injected", std::string(common::fault_point_name(point)));
+  }
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return common::make_error(std::string(stage) + ".exception", e.what());
+  }
+}
+
+const char* action_name(DegradationEvent::Action action) {
+  switch (action) {
+    case DegradationEvent::Action::kSalvaged: return "salvaged";
+    case DegradationEvent::Action::kLost: return "lost";
+    case DegradationEvent::Action::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DegradationReport::to_string() const {
+  std::ostringstream out;
+  out << "degradation: events=" << events.size()
+      << " rooms_lost=" << rooms_lost << " rooms_salvaged=" << rooms_salvaged
+      << " uploads_lost_decode=" << uploads_lost_decode
+      << " sensor_dropouts=" << sensor_dropouts;
+  for (const auto& ev : events) {
+    out << "\n  [" << ev.stage << "] " << ev.error.code << " ("
+        << ev.error.message << ") " << ev.detail << " -> "
+        << action_name(ev.action);
+  }
+  return out.str();
+}
 
 PipelineConfig PipelineConfig::fast_profile() {
   PipelineConfig config;
@@ -54,10 +102,21 @@ CrowdMapPipeline::CrowdMapPipeline(PipelineConfig config,
   s2_cache_misses_ = &registry_->counter(
       "crowdmap_s2_cache_misses_total", {},
       "S2 SURF match-score memo cache misses");
+  stages_degraded_ = &registry_->counter(
+      "crowdmap_pipeline_degradation_events_total", {},
+      "Stage failures the pipeline degraded through instead of aborting");
   if (config_.parallel.s2_cache_capacity > 0) {
     s2_cache_ = std::make_unique<common::BoundedMemoCache>(
         config_.parallel.s2_cache_capacity);
   }
+  faults_.arm(config_.faults);
+}
+
+obs::Counter& CrowdMapPipeline::fault_counter(common::FaultPoint point) {
+  return registry_->counter(
+      "crowdmap_faults_injected_total",
+      {{"point", std::string(common::fault_point_name(point))}},
+      "Fault-point fires injected by the chaos plan");
 }
 
 common::ThreadPool* CrowdMapPipeline::worker_pool() {
@@ -116,18 +175,61 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   const std::uint64_t rooms_before = rooms_reconstructed_->value();
   const std::uint64_t cache_hits_before = s2_cache_ ? s2_cache_->hits() : 0;
   const std::uint64_t cache_misses_before = s2_cache_ ? s2_cache_->misses() : 0;
+  const auto& fault_points = common::all_fault_points();
+  std::vector<std::uint64_t> fires_before(fault_points.size());
+  for (std::size_t i = 0; i < fires_before.size(); ++i) {
+    fires_before[i] = faults_.fires(fault_points[i]);
+  }
+
+  // Whole-stage fault decisions key on the run ordinal so repeated runs of
+  // one pipeline see independent (but reproducible) outcomes.
+  const std::uint64_t run_key = run_serial_++;
+
+  // Degradation bookkeeping: every substituted result is itemized so the
+  // caller can tell a clean plan from a salvaged one.
+  const auto push_event = [&](DegradationEvent event) {
+    CROWDMAP_LOG(kWarn, "pipeline")
+        << "degraded stage " << event.stage << ": " << event.error.code << " ("
+        << event.error.message << ") " << event.detail << " -> "
+        << action_name(event.action);
+    stages_degraded_->increment();
+    result.degradation.events.push_back(std::move(event));
+  };
+  const auto record = [&](const char* stage, common::Error error,
+                          std::string detail, DegradationEvent::Action action) {
+    DegradationEvent event;
+    event.stage = stage;
+    event.error = std::move(error);
+    event.detail = std::move(detail);
+    event.action = action;
+    push_event(std::move(event));
+  };
 
   auto run_span = trace_->scoped("run");
 
   // ---- Sub-process 1a: key-frame based trajectory aggregation (§III.B.I).
   {
     auto span = trace_->scoped("aggregate");
-    trajectory::AggregationRuntime agg_runtime;
-    agg_runtime.pool =
-        config_.parallel.pairwise_matching ? worker_pool() : nullptr;
-    agg_runtime.s2_cache = s2_cache_.get();
-    result.aggregation = trajectory::aggregate_trajectories(
-        trajectories_, config_.aggregation, agg_runtime);
+    auto aggregated = run_guarded(
+        faults_, common::faults::kStageAggregateFail, run_key, "aggregate",
+        [&] {
+          trajectory::AggregationRuntime agg_runtime;
+          agg_runtime.pool =
+              config_.parallel.pairwise_matching ? worker_pool() : nullptr;
+          agg_runtime.s2_cache = s2_cache_.get();
+          return trajectory::aggregate_trajectories(
+              trajectories_, config_.aggregation, agg_runtime);
+        });
+    if (aggregated.ok()) {
+      result.aggregation = std::move(aggregated).take();
+    } else {
+      // No placements: downstream stages see an all-unplaced run and the
+      // result degenerates to an empty (but well-formed) plan.
+      result.aggregation.global_pose.assign(trajectories_.size(),
+                                            std::nullopt);
+      record("aggregate", aggregated.error(), "whole stage",
+             DegradationEvent::Action::kLost);
+    }
     result.diagnostics.aggregate_seconds = span.end();
     stage_histogram("aggregate").observe(result.diagnostics.aggregate_seconds);
   }
@@ -169,19 +271,42 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   // ---- Sub-process 1b: floor path skeleton reconstruction (§III.B.II).
   {
     auto span = trace_->scoped("skeleton");
-    mapping::OccupancyGrid grid(extent, config_.grid_cell_size);
-    for (std::size_t i = 0; i < trajectories_.size(); ++i) {
-      if (!result.aggregation.global_pose[i]) continue;
-      std::vector<geometry::Vec2> pts;
-      pts.reserve(trajectories_[i].points.size());
-      for (const auto& p : trajectories_[i].points) {
-        pts.push_back(
-            to_world.apply(result.aggregation.global_pose[i]->apply(p.position)));
-      }
-      grid.add_polyline(pts, config_.trajectory_brush_width);
+    struct SkeletonOut {
+      mapping::OccupancyGrid grid;
+      mapping::PathSkeleton skeleton;
+    };
+    auto skeletonized = run_guarded(
+        faults_, common::faults::kStageSkeletonFail, run_key, "skeleton", [&] {
+          mapping::OccupancyGrid grid(extent, config_.grid_cell_size);
+          for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+            if (!result.aggregation.global_pose[i]) continue;
+            std::vector<geometry::Vec2> pts;
+            pts.reserve(trajectories_[i].points.size());
+            for (const auto& p : trajectories_[i].points) {
+              pts.push_back(to_world.apply(
+                  result.aggregation.global_pose[i]->apply(p.position)));
+            }
+            grid.add_polyline(pts, config_.trajectory_brush_width);
+          }
+          auto skeleton = mapping::reconstruct_skeleton(grid, config_.skeleton);
+          return SkeletonOut{std::move(grid), std::move(skeleton)};
+        });
+    if (skeletonized.ok()) {
+      result.occupancy = std::move(skeletonized.value().grid);
+      result.skeleton = std::move(skeletonized.value().skeleton);
+    } else {
+      // Rooms-only output: an *empty but correctly-sized* grid and skeleton
+      // stand in (not the 1x1 placeholders), so downstream raster
+      // comparisons stay cell-compatible; room reconstruction proceeds from
+      // the aggregation placements.
+      result.occupancy = mapping::OccupancyGrid(extent, config_.grid_cell_size);
+      result.skeleton.raster =
+          geometry::BoolRaster(extent, config_.grid_cell_size);
+      result.skeleton.binarized =
+          geometry::BoolRaster(extent, config_.grid_cell_size);
+      record("skeleton", skeletonized.error(), "whole stage",
+             DegradationEvent::Action::kLost);
     }
-    result.skeleton = mapping::reconstruct_skeleton(grid, config_.skeleton);
-    result.occupancy = grid;
     result.diagnostics.skeleton_seconds = span.end();
     stage_histogram("skeleton").observe(result.diagnostics.skeleton_seconds);
   }
@@ -215,45 +340,124 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
         config_.parallel.room_reconstruction ? worker_pool() : nullptr;
 
     std::vector<std::optional<ReconstructedRoom>> slots(items.size());
+    // Per-item degradation events land in slots too, merged in discovery
+    // order below, so the report is identical at any thread count.
+    std::vector<std::optional<DegradationEvent>> event_slots(items.size());
     common::parallel_for(rooms_pool, items.size(), [&](std::size_t idx) {
       const auto& [i, cand] = items[idx];
       const auto& traj = trajectories_[i];
-      panoramas_attempted_->increment();
-      const auto pano = room::stitch_candidate(traj, cand, config_.stitch);
-      if (pano.coverage < 0.95) return;
-      panoramas_stitched_->increment();
+      // Stable per-item fault key: (run ordinal, discovery index).
+      const std::uint64_t item_key = common::hash_combine(run_key, idx);
+      const auto item_detail = [&] {
+        return "candidate " + std::to_string(idx) + " of trajectory " +
+               std::to_string(i);
+      };
+      const auto fail_item = [&](common::Error error,
+                                 DegradationEvent::Action action) {
+        DegradationEvent event;
+        event.stage = "panorama";
+        event.error = std::move(error);
+        event.detail = item_detail();
+        event.action = action;
+        event_slots[idx] = std::move(event);
+      };
 
       // Effective vertical focal of the panorama (see DESIGN.md).
-      room::LayoutConfig layout_config = base_layout;
-      if (layout_config.focal_px <= 0 && !cand.keyframe_indices.empty()) {
-        const auto& kf = traj.keyframes[cand.keyframe_indices.front()];
-        const double frame_focal =
-            kf.gray.width() / (2.0 * std::tan(config_.stitch.fov / 2.0));
-        layout_config.focal_px = frame_focal *
-                                 static_cast<double>(config_.stitch.output_height) /
-                                 std::max(kf.gray.height(), 1);
-      }
-      const auto layout =
-          room::estimate_layout(pano.image, layout_config, rooms_pool);
-      if (!layout) return;
+      const auto focal_for = [&](const room::PanoramaCandidate& c) {
+        room::LayoutConfig layout_config = base_layout;
+        if (layout_config.focal_px <= 0 && !c.keyframe_indices.empty()) {
+          const auto& kf = traj.keyframes[c.keyframe_indices.front()];
+          const double frame_focal =
+              kf.gray.width() / (2.0 * std::tan(config_.stitch.fov / 2.0));
+          layout_config.focal_px =
+              frame_focal * static_cast<double>(config_.stitch.output_height) /
+              std::max(kf.gray.height(), 1);
+        }
+        return layout_config;
+      };
+      const auto place_room = [&](const room::RoomLayout& layout) {
+        ReconstructedRoom rec;
+        rec.layout = layout;
+        rec.trajectory_index = i;
+        rec.true_room_id = traj.true_room_id;
+        const geometry::Pose2 place =
+            to_world.compose(*result.aggregation.global_pose[i]);
+        rec.camera_global = place.apply(cand.cell_center);
+        // Room center = camera - (camera offset in the room frame rotated
+        // into the panorama frame and then into the world frame).
+        const geometry::Vec2 offset_pano =
+            rec.layout.camera_offset.rotated(rec.layout.orientation);
+        rec.center_global =
+            rec.camera_global - offset_pano.rotated(place.theta);
+        rec.orientation_global = rec.layout.orientation + place.theta;
+        slots[idx] = rec;
+      };
 
-      ReconstructedRoom rec;
-      rec.layout = *layout;
-      rec.trajectory_index = i;
-      rec.true_room_id = traj.true_room_id;
-      const geometry::Pose2 place =
-          to_world.compose(*result.aggregation.global_pose[i]);
-      rec.camera_global = place.apply(cand.cell_center);
-      // Room center = camera - (camera offset in the room frame rotated into
-      // the panorama frame and then into the world frame).
-      const geometry::Vec2 offset_pano =
-          rec.layout.camera_offset.rotated(rec.layout.orientation);
-      rec.center_global = rec.camera_global - offset_pano.rotated(place.theta);
-      rec.orientation_global = rec.layout.orientation + place.theta;
-      slots[idx] = rec;
+      try {
+        panoramas_attempted_->increment();
+        if (faults_.should_fire(common::faults::kStagePanoramaFail,
+                                item_key)) {
+          // The full stitch "failed": salvage what a single key-frame can
+          // still say about the room instead of dropping the candidate.
+          const common::Error error = common::make_error(
+              "fault.injected",
+              std::string(common::fault_point_name(
+                  common::faults::kStagePanoramaFail)));
+          if (cand.keyframe_indices.empty()) {
+            fail_item(error, DegradationEvent::Action::kLost);
+            return;
+          }
+          room::PanoramaCandidate fallback = cand;
+          fallback.keyframe_indices = {
+              cand.keyframe_indices[cand.keyframe_indices.size() / 2]};
+          const auto pano =
+              room::stitch_candidate(traj, fallback, config_.stitch);
+          const auto layout =
+              room::estimate_layout(pano.image, focal_for(fallback),
+                                    rooms_pool);
+          if (!layout) {
+            fail_item(error, DegradationEvent::Action::kLost);
+            return;
+          }
+          place_room(*layout);
+          fail_item(error, DegradationEvent::Action::kSalvaged);
+          return;
+        }
+        const auto pano = room::stitch_candidate(traj, cand, config_.stitch);
+        if (pano.coverage < 0.95) return;
+        panoramas_stitched_->increment();
+        if (faults_.should_fire(common::faults::kStageLayoutFail, item_key)) {
+          DegradationEvent event;
+          event.stage = "layout";
+          event.error = common::make_error(
+              "fault.injected", std::string(common::fault_point_name(
+                                    common::faults::kStageLayoutFail)));
+          event.detail = item_detail();
+          event.action = DegradationEvent::Action::kLost;
+          event_slots[idx] = std::move(event);
+          return;
+        }
+        const auto layout =
+            room::estimate_layout(pano.image, focal_for(cand), rooms_pool);
+        if (!layout) return;
+        place_room(*layout);
+      } catch (const std::exception& e) {
+        slots[idx].reset();
+        fail_item(common::make_error("panorama.exception", e.what()),
+                  DegradationEvent::Action::kLost);
+      }
     });
     for (auto& slot : slots) {
       if (slot) result.rooms.push_back(std::move(*slot));
+    }
+    for (auto& event : event_slots) {
+      if (!event) continue;
+      if (event->action == DegradationEvent::Action::kSalvaged) {
+        ++result.degradation.rooms_salvaged;
+      } else {
+        ++result.degradation.rooms_lost;
+      }
+      push_event(std::move(*event));
     }
     // Room dedup: nearby implied centers are the same room; best score wins.
     std::sort(result.rooms.begin(), result.rooms.end(),
@@ -278,24 +482,47 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   // ---- Sub-process 3: floor plan modeling (§III.D).
   {
     auto span = trace_->scoped("arrange");
-    result.plan.hallway = result.skeleton.raster;
-    for (const auto& rec : result.rooms) {
-      floorplan::PlacedRoom placed;
-      placed.center = rec.center_global;
-      placed.anchor = rec.center_global;
-      placed.width = rec.layout.width;
-      placed.depth = rec.layout.depth;
-      placed.orientation = rec.orientation_global;
-      placed.true_room_id = rec.true_room_id;
-      placed.layout_score = rec.layout.score;
-      result.plan.rooms.push_back(placed);
+    const auto build_plan = [&](bool arranged) {
+      floorplan::FloorPlan plan;
+      plan.hallway = result.skeleton.raster;
+      for (const auto& rec : result.rooms) {
+        floorplan::PlacedRoom placed;
+        placed.center = rec.center_global;
+        placed.anchor = rec.center_global;
+        placed.width = rec.layout.width;
+        placed.depth = rec.layout.depth;
+        placed.orientation = rec.orientation_global;
+        placed.true_room_id = rec.true_room_id;
+        placed.layout_score = rec.layout.score;
+        plan.rooms.push_back(placed);
+      }
+      if (arranged) {
+        floorplan::arrange_rooms(plan.rooms, plan.hallway, config_.arrange);
+      }
+      return plan;
+    };
+    auto arranged = run_guarded(faults_, common::faults::kStageArrangeFail,
+                                run_key, "arrange",
+                                [&] { return build_plan(true); });
+    if (arranged.ok()) {
+      result.plan = std::move(arranged).take();
+    } else {
+      // Rooms stay at their panorama-implied anchors: overlapping but
+      // complete beats arranged but absent.
+      result.plan = build_plan(false);
+      record("arrange", arranged.error(), "rooms left at anchor placement",
+             DegradationEvent::Action::kSkipped);
     }
-    floorplan::arrange_rooms(result.plan.rooms, result.plan.hallway,
-                             config_.arrange);
     result.diagnostics.arrange_seconds = span.end();
     stage_histogram("arrange").observe(result.diagnostics.arrange_seconds);
   }
   run_span.end();
+
+  // Flush this run's injected-fire deltas into the labelled fault counters.
+  for (std::size_t i = 0; i < fires_before.size(); ++i) {
+    const std::uint64_t delta = faults_.fires(fault_points[i]) - fires_before[i];
+    if (delta > 0) fault_counter(fault_points[i]).increment(delta);
+  }
 
   // Diagnostics view: cumulative counters for ingest-side numbers, this
   // run's deltas for run-side numbers, span durations for stage timings.

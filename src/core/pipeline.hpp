@@ -6,8 +6,11 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/expected.hpp"
+#include "common/fault.hpp"
 #include "common/memo_cache.hpp"
 #include "common/thread_pool.hpp"
 #include "core/config.hpp"
@@ -63,6 +66,36 @@ struct ReconstructedRoom {
   int true_room_id = -1;          // evaluation only
 };
 
+/// One degradation decision made during a run: a stage (or one work item of
+/// a stage) failed and the pipeline substituted a reduced result instead of
+/// aborting. Events are merged in stage/item order, so the list is
+/// deterministic at any thread count.
+struct DegradationEvent {
+  std::string stage;   // "aggregate", "skeleton", "panorama", "layout", ...
+  common::Error error; // code "fault.injected" or "stage.exception"
+  std::string detail;  // item identity ("candidate 3 of trajectory 7")
+  /// What the pipeline did about it.
+  enum class Action { kSalvaged, kLost, kSkipped } action = Action::kLost;
+};
+
+/// Itemized account of what a degraded run salvaged and lost — the paper's
+/// crowdsourcing premise means partial results beat no results, but only if
+/// the caller can see what is missing.
+struct DegradationReport {
+  std::vector<DegradationEvent> events;
+  std::size_t rooms_lost = 0;       // candidates that produced no room
+  std::size_t rooms_salvaged = 0;   // single-keyframe fallback layouts
+  std::size_t uploads_lost_decode = 0;  // filled in by CrowdMapService
+  std::size_t sensor_dropouts = 0;      // filled in by CrowdMapService
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return !events.empty() || uploads_lost_decode > 0 || sensor_dropouts > 0;
+  }
+  /// Canonical one-line-per-event rendering; byte-stable across runs and
+  /// thread counts, so chaos tests compare reports with string equality.
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Full pipeline result.
 struct PipelineResult {
   floorplan::FloorPlan plan;
@@ -72,6 +105,8 @@ struct PipelineResult {
   mapping::OccupancyGrid occupancy{geometry::Aabb{{0, 0}, {1, 1}}, 1.0};
   std::vector<ReconstructedRoom> rooms;
   PipelineDiagnostics diagnostics;
+  /// What this run salvaged/lost under faults; empty on a clean run.
+  DegradationReport degradation;
   /// Span tree of this pipeline's lifetime: per-upload "extract" spans plus
   /// one "run" span with the stage spans beneath it.
   obs::SpanRecord trace;
@@ -132,8 +167,15 @@ class CrowdMapPipeline {
   /// Live trace; PipelineResult::trace is its snapshot at the end of run().
   [[nodiscard]] const obs::Trace& trace() const noexcept { return *trace_; }
 
+  /// The realized fault plan (disarmed unless config.faults has settings).
+  [[nodiscard]] const common::FaultInjector& fault_injector() const noexcept {
+    return faults_;
+  }
+
  private:
   [[nodiscard]] obs::Histogram& stage_histogram(const char* stage);
+  /// Counter of injected fires for one fault point (labelled by point name).
+  [[nodiscard]] obs::Counter& fault_counter(common::FaultPoint point);
 
   PipelineConfig config_;
   std::vector<trajectory::Trajectory> trajectories_;
@@ -152,6 +194,11 @@ class CrowdMapPipeline {
   obs::Counter* rooms_reconstructed_ = nullptr;
   obs::Counter* s2_cache_hits_ = nullptr;
   obs::Counter* s2_cache_misses_ = nullptr;
+  obs::Counter* stages_degraded_ = nullptr;
+  common::FaultInjector faults_;
+  /// run() invocations so far; keys whole-stage fault decisions so repeated
+  /// runs of one pipeline see independent (but reproducible) outcomes.
+  std::uint64_t run_serial_ = 0;
 };
 
 }  // namespace crowdmap::core

@@ -404,4 +404,34 @@ floorplan::FloorPlan decode_floorplan(const Bytes& data) {
   return plan;
 }
 
+namespace {
+
+/// Shared adapter: a DecodeError becomes Error{"io.decode"} so degradation
+/// paths can branch on the code instead of catching exceptions everywhere.
+template <typename Fn>
+auto expected_decode(Fn&& decode)
+    -> common::Expected<decltype(decode())> {
+  try {
+    return decode();
+  } catch (const DecodeError& e) {
+    return common::make_error("io.decode", e.what());
+  }
+}
+
+}  // namespace
+
+common::Expected<sensors::ImuStream> try_decode_imu(const Bytes& data) {
+  return expected_decode([&] { return decode_imu(data); });
+}
+
+common::Expected<trajectory::Trajectory> try_decode_trajectory(
+    const Bytes& data) {
+  return expected_decode([&] { return decode_trajectory(data); });
+}
+
+common::Expected<floorplan::FloorPlan> try_decode_floorplan(
+    const Bytes& data) {
+  return expected_decode([&] { return decode_floorplan(data); });
+}
+
 }  // namespace crowdmap::io

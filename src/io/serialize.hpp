@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "floorplan/floorplan.hpp"
 #include "sensors/imu.hpp"
 #include "trajectory/trajectory.hpp"
@@ -79,5 +80,15 @@ class Reader {
 /// Floor plan <-> bytes.
 [[nodiscard]] Bytes encode_floorplan(const floorplan::FloorPlan& plan);
 [[nodiscard]] floorplan::FloorPlan decode_floorplan(const Bytes& data);
+
+// Non-throwing variants for callers that degrade on malformed input (the
+// cloud backend quarantines rather than crashes): a DecodeError becomes an
+// Error with code "io.decode".
+[[nodiscard]] common::Expected<sensors::ImuStream> try_decode_imu(
+    const Bytes& data);
+[[nodiscard]] common::Expected<trajectory::Trajectory> try_decode_trajectory(
+    const Bytes& data);
+[[nodiscard]] common::Expected<floorplan::FloorPlan> try_decode_floorplan(
+    const Bytes& data);
 
 }  // namespace crowdmap::io

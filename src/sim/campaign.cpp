@@ -4,6 +4,42 @@
 
 namespace crowdmap::sim {
 
+namespace {
+
+// Trims IMU samples recorded after `cutoff` (synchronized streams share the
+// video clock, so a timestamp comparison is the whole truncation).
+void trim_imu_after(SensorRichVideo& video, double cutoff) {
+  auto& samples = video.imu.samples;
+  while (!samples.empty() && samples.back().t > cutoff) samples.pop_back();
+}
+
+// Damages one upload per the adversarial plan. `adv_rng` is a dedicated
+// per-video stream: the base campaign never observes these draws.
+void apply_adversarial(SensorRichVideo& video, const AdversarialOptions& adv,
+                       common::Rng adv_rng) {
+  if (adv_rng.chance(adv.truncate_fraction) &&
+      video.frames.size() > adv.min_keep_frames) {
+    const double frac = adv_rng.uniform(0.4, 0.8);
+    const std::size_t keep = std::max(
+        adv.min_keep_frames,
+        static_cast<std::size_t>(frac *
+                                 static_cast<double>(video.frames.size())));
+    if (keep < video.frames.size()) {
+      video.frames.resize(keep);
+      trim_imu_after(video, video.frames.back().t);
+    }
+  }
+  if (adv_rng.chance(adv.dropout_fraction) && !video.frames.empty()) {
+    // The camera keeps rolling but the IMU dies partway through.
+    const double span = video.frames.back().t - video.frames.front().t;
+    const double cutoff =
+        video.frames.front().t + adv_rng.uniform(0.5, 0.9) * span;
+    trim_imu_after(video, cutoff);
+  }
+}
+
+}  // namespace
+
 void generate_campaign_streaming(
     const FloorPlanSpec& spec, const CampaignOptions& options, std::uint64_t seed,
     const std::function<void(SensorRichVideo&&)>& sink) {
@@ -46,6 +82,12 @@ void generate_campaign_streaming(
       auto video = user.room_visit(room, options.hallway_distance, lighting());
       video.user_id = id;
       video.video_id = next_video_id++;
+      if (options.adversarial.enabled()) {
+        apply_adversarial(
+            video, options.adversarial,
+            rng.stream(0xADB10000u +
+                       static_cast<std::uint64_t>(video.video_id)));
+      }
       sink(std::move(video));
     }
   }
@@ -57,6 +99,11 @@ void generate_campaign_streaming(
                                 : user.hallway_walk(lighting());
     video.user_id = id;
     video.video_id = next_video_id++;
+    if (options.adversarial.enabled()) {
+      apply_adversarial(
+          video, options.adversarial,
+          rng.stream(0xADB10000u + static_cast<std::uint64_t>(video.video_id)));
+    }
     sink(std::move(video));
   }
 }

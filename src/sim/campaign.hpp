@@ -12,6 +12,22 @@
 
 namespace crowdmap::sim {
 
+/// Post-generation damage applied to a deterministic subset of uploads —
+/// the crowd-sourcing failure modes the cloud backend must survive (videos
+/// cut short mid-walk, IMU streams that die before the camera does).
+/// Decisions come from a non-advancing `Rng::stream` keyed by video id, so
+/// enabling these never perturbs the base campaign's draw sequence: the
+/// undamaged videos are bit-identical to an adversarial-free run.
+struct AdversarialOptions {
+  double truncate_fraction = 0.0;  // chance a video keeps only a head prefix
+  double dropout_fraction = 0.0;   // chance a video loses its IMU tail
+  std::size_t min_keep_frames = 4; // frames never truncated away
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return truncate_fraction > 0.0 || dropout_fraction > 0.0;
+  }
+};
+
 struct CampaignOptions {
   int users = 8;                    // distinct simulated contributors
   int room_videos_per_room = 1;     // SRS+walk-out visits per room
@@ -19,6 +35,7 @@ struct CampaignOptions {
   double night_fraction = 0.3;      // recordings under night lighting
   double junk_fraction = 0.05;      // unqualified (shaky) uploads
   double hallway_distance = 12.0;   // meters walked after leaving a room
+  AdversarialOptions adversarial;   // deliberate capture damage (off by default)
   SimOptions sim;
 };
 

@@ -82,13 +82,93 @@ TEST(Assembler, DuplicatesTolerated) {
   EXPECT_EQ(*assembler.assemble(), blob);
 }
 
-TEST(Assembler, CorruptChunkRejected) {
+TEST(Assembler, CorruptChunkRejectedButRetransmittable) {
   const auto blob = make_blob(1500, 9);
   auto chunks = cl::split_into_chunks(blob, "u6", 1000);
-  chunks[0].payload[10] ^= 0xFF;  // corrupt without fixing the checksum
+  auto damaged = chunks[0];
+  damaged.payload[10] ^= 0xFF;  // corrupt without fixing the checksum
   cl::ChunkAssembler assembler;
-  EXPECT_EQ(assembler.accept(chunks[0]), cl::ChunkAssembler::Status::kCorrupt);
-  EXPECT_FALSE(assembler.assemble().has_value());
+  EXPECT_EQ(assembler.accept(damaged), cl::ChunkAssembler::Status::kRejected);
+  // The buffer survives the reject: a clean retransmission completes it.
+  EXPECT_EQ(assembler.status(), cl::ChunkAssembler::Status::kPending);
+  assembler.accept(chunks[1]);
+  EXPECT_EQ(assembler.accept(chunks[0]),
+            cl::ChunkAssembler::Status::kComplete);
+  EXPECT_EQ(*assembler.assemble(), blob);
+}
+
+TEST(Assembler, IdenticalDuplicateReportedAsDuplicate) {
+  const auto blob = make_blob(1500, 21);
+  const auto chunks = cl::split_into_chunks(blob, "u8", 1000);
+  cl::ChunkAssembler assembler;
+  EXPECT_EQ(assembler.accept(chunks[0]), cl::ChunkAssembler::Status::kPending);
+  EXPECT_EQ(assembler.accept(chunks[0]),
+            cl::ChunkAssembler::Status::kDuplicate);
+  EXPECT_EQ(assembler.received(), 1u);
+  EXPECT_EQ(assembler.accept(chunks[1]),
+            cl::ChunkAssembler::Status::kComplete);
+  EXPECT_EQ(*assembler.assemble(), blob);
+}
+
+TEST(Assembler, ConflictingDuplicateRejected) {
+  const auto chunks = cl::split_into_chunks(make_blob(1500, 23), "u9", 1000);
+  cl::ChunkAssembler assembler;
+  assembler.accept(chunks[0]);
+  // Same index, different (validly checksummed) payload: refuse to pick.
+  auto conflicting = chunks[0];
+  conflicting.payload[0] ^= 0xFF;
+  conflicting.payload_checksum = cl::checksum(conflicting.payload);
+  EXPECT_EQ(assembler.accept(conflicting),
+            cl::ChunkAssembler::Status::kRejected);
+  EXPECT_EQ(assembler.received(), 1u);
+}
+
+TEST(Assembler, OverlappingShortFinalChunk) {
+  // A final chunk shorter than the chunk size must land at its own offset
+  // and never bleed into a neighbor.
+  const auto blob = make_blob(1001, 25);  // final chunk carries one byte
+  const auto chunks = cl::split_into_chunks(blob, "u10", 1000);
+  ASSERT_EQ(chunks.size(), 2u);
+  ASSERT_EQ(chunks[1].payload.size(), 1u);
+  cl::ChunkAssembler assembler;
+  assembler.accept(chunks[1]);  // short tail first
+  assembler.accept(chunks[0]);
+  EXPECT_EQ(assembler.status(), cl::ChunkAssembler::Status::kComplete);
+  EXPECT_EQ(*assembler.assemble(), blob);
+}
+
+TEST(Assembler, ZeroLengthChunkRoundTrips) {
+  // An empty upload is legal: one zero-length, checksummed chunk.
+  const auto chunks = cl::split_into_chunks({}, "u11", 1000);
+  ASSERT_EQ(chunks.size(), 1u);
+  cl::ChunkAssembler assembler;
+  EXPECT_EQ(assembler.accept(chunks[0]),
+            cl::ChunkAssembler::Status::kComplete);
+  EXPECT_TRUE(assembler.assemble()->empty());
+}
+
+TEST(Assembler, IndexOutOfRangeIsStructuralCorruption) {
+  cl::Chunk c;
+  c.index = 5;
+  c.total = 2;  // index >= total: the framing itself is broken
+  c.payload_checksum = cl::checksum(c.payload);
+  cl::ChunkAssembler assembler;
+  EXPECT_EQ(assembler.accept(c), cl::ChunkAssembler::Status::kCorrupt);
+  EXPECT_EQ(assembler.status(), cl::ChunkAssembler::Status::kCorrupt);
+}
+
+TEST(Assembler, MissingIndicesTracksHoles) {
+  const auto chunks = cl::split_into_chunks(make_blob(3500, 27), "u12", 1000);
+  ASSERT_EQ(chunks.size(), 4u);
+  cl::ChunkAssembler assembler;
+  EXPECT_TRUE(assembler.missing_indices().empty());  // nothing known yet
+  assembler.accept(chunks[2]);
+  assembler.accept(chunks[0]);
+  EXPECT_EQ(assembler.missing_indices(),
+            (std::vector<std::uint32_t>{1, 3}));
+  assembler.accept(chunks[1]);
+  assembler.accept(chunks[3]);
+  EXPECT_TRUE(assembler.missing_indices().empty());  // complete
 }
 
 TEST(Assembler, FrameMismatchRejected) {
@@ -170,6 +250,26 @@ TEST(DocStore, TotalBytes) {
   EXPECT_EQ(store.total_bytes(), 123u);
 }
 
+TEST(DocStore, QuarantineRemovesFromMainCollection) {
+  cl::DocumentStore store;
+  cl::Document doc;
+  doc.id = "bad";
+  doc.building = "Lab1";
+  doc.floor = 1;
+  store.put(doc);
+  store.quarantine(doc, "checksum_mismatch");
+  // Invisible to normal queries...
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.get("bad").has_value());
+  EXPECT_TRUE(store.ids_for_floor("Lab1", 1).empty());
+  // ...but auditable with its reason.
+  EXPECT_EQ(store.quarantined_count(), 1u);
+  EXPECT_EQ(store.quarantined_ids(), std::vector<std::string>{"bad"});
+  const auto held = store.get_quarantined("bad");
+  ASSERT_TRUE(held.has_value());
+  EXPECT_EQ(held->metadata.at("quarantine_reason"), "checksum_mismatch");
+}
+
 // ----------------------------------------------------------------- ingest ---
 
 TEST(Ingest, HappyPathCompletesUpload) {
@@ -193,7 +293,7 @@ TEST(Ingest, HappyPathCompletesUpload) {
   EXPECT_EQ(stats.chunks_received, 3u);
 }
 
-TEST(Ingest, UnknownSessionRejected) {
+TEST(Ingest, UnknownSessionRejectedAndCountedSeparately) {
   cl::DocumentStore store;
   cl::IngestService ingest(store);
   cl::Chunk c;
@@ -201,19 +301,101 @@ TEST(Ingest, UnknownSessionRejected) {
   c.total = 1;
   c.payload_checksum = cl::checksum(c.payload);
   EXPECT_EQ(ingest.deliver(c), cl::IngestStatus::kRejected);
-  EXPECT_EQ(ingest.stats().uploads_rejected, 1u);
+  const auto stats = ingest.stats();
+  EXPECT_EQ(stats.uploads_rejected, 1u);
+  EXPECT_EQ(stats.unknown_session, 1u);
+  // The dedicated counter is visible through the registry under its own name.
+  EXPECT_EQ(ingest.metrics_registry()->snapshot().value(
+                "crowdmap_ingest_unknown_session_total"),
+            1.0);
 }
 
-TEST(Ingest, CorruptUploadDroppedAndCounted) {
+TEST(Ingest, DamagedChunkSurvivableViaRetransmit) {
   cl::DocumentStore store;
   cl::IngestService ingest(store);
   ingest.open_session("up2", "Lab1", 1);
-  auto chunks = cl::split_into_chunks(make_blob(1500, 15), "up2", 1000);
-  chunks[0].payload[0] ^= 0xFF;
-  EXPECT_EQ(ingest.deliver(chunks[0]), cl::IngestStatus::kRejected);
-  // Session is gone; the remaining chunk is rejected too.
-  EXPECT_EQ(ingest.deliver(chunks[1]), cl::IngestStatus::kRejected);
+  const auto blob = make_blob(1500, 15);
+  auto chunks = cl::split_into_chunks(blob, "up2", 1000);
+  auto damaged = chunks[0];
+  damaged.payload[0] ^= 0xFF;
+  // The damaged chunk is rejected but the session survives.
+  EXPECT_EQ(ingest.deliver(damaged), cl::IngestStatus::kRejected);
+  EXPECT_EQ(ingest.deliver(chunks[1]), cl::IngestStatus::kAccepted);
+  // Retransmit protocol: ask what is missing, re-send it clean.
+  EXPECT_EQ(ingest.missing_chunks("up2"),
+            (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(ingest.deliver(chunks[0]), cl::IngestStatus::kUploadComplete);
+  ASSERT_TRUE(store.get("up2").has_value());
+  EXPECT_EQ(store.get("up2")->payload, blob);
+  const auto stats = ingest.stats();
+  EXPECT_EQ(stats.chunks_rejected, 1u);
+  EXPECT_EQ(stats.retransmit_requests, 1u);
+  EXPECT_EQ(stats.uploads_completed, 1u);
+}
+
+TEST(Ingest, StructuralCorruptionQuarantinesUpload) {
+  cl::DocumentStore store;
+  cl::IngestService ingest(store);
+  ingest.open_session("up3", "Lab1", 1);
+  cl::Chunk broken;
+  broken.upload_id = "up3";
+  broken.index = 9;
+  broken.total = 2;  // index >= total: unsalvageable framing
+  broken.payload_checksum = cl::checksum(broken.payload);
+  EXPECT_EQ(ingest.deliver(broken), cl::IngestStatus::kRejected);
+  // The session is gone and the upload is auditable in quarantine.
+  EXPECT_EQ(ingest.pending_sessions(), 0u);
   EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.quarantined_count(), 1u);
+  const auto doc = store.get_quarantined("up3");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->metadata.at("quarantine_reason"), "structural_corruption");
+}
+
+TEST(Ingest, RetransmitBudgetExhaustionExpiresSession) {
+  cl::DocumentStore store;
+  cl::IngestConfig config;
+  config.max_retransmit_rounds = 2;
+  cl::IngestService ingest(store, {}, config);
+  ingest.open_session("up4", "Lab1", 1);
+  const auto chunks = cl::split_into_chunks(make_blob(2500, 29), "up4", 1000);
+  ingest.deliver(chunks[0]);
+  EXPECT_EQ(ingest.missing_chunks("up4").size(), 2u);  // round 1
+  EXPECT_EQ(ingest.missing_chunks("up4").size(), 2u);  // round 2
+  // Budget spent: the session is expired and quarantined.
+  EXPECT_TRUE(ingest.missing_chunks("up4").empty());
+  EXPECT_EQ(ingest.pending_sessions(), 0u);
+  EXPECT_EQ(store.quarantined_count(), 1u);
+  EXPECT_EQ(store.get_quarantined("up4")->metadata.at("quarantine_reason"),
+            "retransmit_budget_exhausted");
+  const auto stats = ingest.stats();
+  EXPECT_EQ(stats.sessions_expired, 1u);
+  EXPECT_EQ(stats.retransmit_requests, 2u);
+}
+
+TEST(Ingest, IdleSessionExpiresOnLogicalTimeout) {
+  cl::DocumentStore store;
+  cl::IngestConfig config;
+  config.session_timeout_ticks = 4;  // expire quickly: 1 tick per chunk
+  cl::IngestService ingest(store, {}, config);
+  ingest.open_session("stale", "Lab1", 1);
+  const auto stale_chunks =
+      cl::split_into_chunks(make_blob(2000, 31), "stale", 1000);
+  ingest.deliver(stale_chunks[0]);  // 1 of 2 delivered, then silence
+
+  ingest.open_session("busy", "Lab1", 1);
+  const auto busy_chunks =
+      cl::split_into_chunks(make_blob(9000, 33), "busy", 1000);
+  for (const auto& c : busy_chunks) ingest.deliver(c);  // 9 ticks pass
+
+  // The stale session aged out during the busy upload's traffic.
+  EXPECT_EQ(ingest.pending_sessions(), 0u);
+  EXPECT_EQ(ingest.stats().sessions_expired, 1u);
+  EXPECT_EQ(store.quarantined_count(), 1u);
+  EXPECT_EQ(store.get_quarantined("stale")->metadata.at("chunks_received"),
+            "1");
+  // The busy upload itself landed untouched.
+  EXPECT_TRUE(store.get("busy").has_value());
 }
 
 TEST(Ingest, ConcurrentUploadsInterleaved) {

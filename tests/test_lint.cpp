@@ -197,6 +197,46 @@ TEST(Lint, EscapeDoesNotLeakBeyondTheNextLine) {
       "raw-rng"));
 }
 
+// --------------------------------------------------------- fault-point-name ---
+
+TEST(Lint, FaultPointNameFiresOnFromNameParse) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/core/pipeline.cpp",
+                       "auto p = common::fault_point_from_name(spec);\n"),
+      "fault-point-name"));
+}
+
+TEST(Lint, FaultPointNameFiresOnIntegerCast) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content(
+          "src/cloud/service.cpp",
+          "auto p = static_cast<common::FaultPoint>(i);\n"),
+      "fault-point-name"));
+}
+
+TEST(Lint, FaultPointNameFiresOnBraceInit) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/core/pipeline.cpp",
+                       "const auto p = common::FaultPoint{3};\n"),
+      "fault-point-name"));
+}
+
+TEST(Lint, FaultPointNameExemptInsideFaultSources) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/common/fault.cpp",
+                       "auto p = static_cast<FaultPoint>(index);\n"),
+      "fault-point-name"));
+}
+
+TEST(Lint, FaultPointNamedConstantsPass) {
+  EXPECT_TRUE(
+      cl::lint_content(
+          "src/core/pipeline.cpp",
+          "faults_.should_fire(common::faults::kDecodeFail, key);\n"
+          "for (const auto point : common::all_fault_points()) use(point);\n")
+          .empty());
+}
+
 // --------------------------------------------- comments and string literals ---
 
 TEST(Lint, CommentMentionsDoNotFire) {

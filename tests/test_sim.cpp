@@ -355,6 +355,44 @@ TEST(Campaign, StreamingMatchesBatch) {
   }
 }
 
+TEST(Campaign, AdversarialDamageIsScopedAndDeterministic) {
+  cs::CampaignOptions options;
+  options.room_videos_per_room = 0;
+  options.hallway_walks = 6;
+  options.junk_fraction = 0.0;
+  options.sim.fps = 2.0;
+  options.sim.camera.width = 60;
+  options.sim.camera.height = 80;
+  const auto spec = cs::lab1();
+  const auto clean = cs::generate_campaign(spec, options, 109);
+
+  cs::CampaignOptions damaged_options = options;
+  damaged_options.adversarial.truncate_fraction = 1.0;  // every video cut
+  const auto damaged = cs::generate_campaign(spec, damaged_options, 109);
+  ASSERT_EQ(damaged.videos.size(), clean.videos.size());
+  for (std::size_t i = 0; i < damaged.videos.size(); ++i) {
+    const auto& before = clean.videos[i];
+    const auto& after = damaged.videos[i];
+    // Truncation only removes the tail — the surviving head is untouched
+    // (the adversarial draws come from a non-advancing per-video stream).
+    EXPECT_LT(after.frames.size(), before.frames.size());
+    EXPECT_GE(after.frames.size(),
+              damaged_options.adversarial.min_keep_frames);
+    EXPECT_EQ(after.frames.front().t, before.frames.front().t);
+    // The IMU tail is trimmed to the surviving capture.
+    ASSERT_FALSE(after.imu.samples.empty());
+    EXPECT_LE(after.imu.samples.back().t, after.frames.back().t);
+  }
+
+  // Same seed + same adversarial plan -> identical damage.
+  const auto again = cs::generate_campaign(spec, damaged_options, 109);
+  for (std::size_t i = 0; i < damaged.videos.size(); ++i) {
+    EXPECT_EQ(again.videos[i].frames.size(), damaged.videos[i].frames.size());
+    EXPECT_EQ(again.videos[i].imu.samples.size(),
+              damaged.videos[i].imu.samples.size());
+  }
+}
+
 TEST(Campaign, DeterministicInSeed) {
   cs::CampaignOptions options;
   options.room_videos_per_room = 0;

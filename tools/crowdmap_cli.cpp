@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/config_file.hpp"
+#include "common/fault.hpp"
 #include "core/config_overrides.hpp"
 #include "eval/datasets.hpp"
 #include "eval/harness.hpp"
@@ -35,6 +36,7 @@ void usage() {
       "  --config FILE     key=value pipeline overrides (see config_overrides.hpp)\n"
       "  --fast            fast pipeline profile (capped layout hypotheses)\n"
       "  --threads N       pipeline threads (0 = all cores, 1 = serial)\n"
+      "  --faults SEED:SPEC  chaos plan, e.g. 42:decode.fail=0.2,stage.panorama_fail=0.1@3\n"
       "  --svg FILE        write the reconstructed plan as SVG\n"
       "  --pgm FILE        write the hallway skeleton as PGM\n"
       "  --plan FILE       write the binary floor plan\n"
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
   bool coverage = false;
   bool trace = false;
   std::string config_path;
+  std::string faults_spec;
   std::string svg_path;
   std::string pgm_path;
   std::string plan_path;
@@ -93,6 +96,8 @@ int main(int argc, char** argv) {
         std::cerr << "--threads must be >= 0\n";
         return 2;
       }
+    } else if (arg == "--faults") {
+      faults_spec = next();
     } else if (arg == "--ascii") {
       ascii = true;
     } else if (arg == "--coverage") {
@@ -139,12 +144,25 @@ int main(int argc, char** argv) {
       fast ? core::PipelineConfig::fast_profile() : core::PipelineConfig{};
   if (threads >= 0) config.parallel.threads = static_cast<std::size_t>(threads);
   if (!config_path.empty()) {
+    auto file = common::ConfigFile::try_load(config_path);
+    if (!file.ok()) {
+      std::cerr << "config error: " << file.error().message << "\n";
+      return 2;
+    }
     try {
-      core::apply_config_overrides(config, common::ConfigFile::load(config_path));
+      core::apply_config_overrides(config, file.value());
     } catch (const std::exception& e) {
       std::cerr << "config error: " << e.what() << "\n";
       return 2;
     }
+  }
+  if (!faults_spec.empty()) {
+    auto plan = common::parse_fault_plan(faults_spec);
+    if (!plan.ok()) {
+      std::cerr << "--faults error: " << plan.error().message << "\n";
+      return 2;
+    }
+    config.faults = std::move(plan).take();
   }
 
   std::cout << "Reconstructing " << dataset.name << " (seed " << dataset.seed
@@ -172,6 +190,10 @@ int main(int argc, char** argv) {
     std::cout << "rooms    area=" << eval::pct(area / n)
               << "  aspect=" << eval::pct(aspect / n)
               << "  location=" << eval::fmt(loc / n, 2) << " m\n";
+  }
+
+  if (run.result.degradation.degraded()) {
+    std::cout << run.result.degradation.to_string() << "\n";
   }
 
   if (trace) {

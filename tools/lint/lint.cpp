@@ -178,6 +178,7 @@ const char kUnordered[] = "unordered-container";
 const char kNakedNew[] = "naked-new";
 const char kFloatAccumulator[] = "float-accumulator";
 const char kPragmaOnce[] = "pragma-once";
+const char kFaultPointName[] = "fault-point-name";
 
 const std::regex& raw_rng_pattern() {
   static const std::regex re(
@@ -227,6 +228,15 @@ bool accumulator_name(std::string name) {
   return false;
 }
 
+const std::regex& fault_point_pattern() {
+  // Synthesizing a FaultPoint outside the catalog source: parsing one from a
+  // string, casting one from an integer, or brace-initializing the enum.
+  static const std::regex re(
+      "\\bfault_point_from_name\\s*\\(|static_cast<[^>]*FaultPoint\\s*>|"
+      "\\bFaultPoint\\s*\\{");
+  return re;
+}
+
 /// True when the previous non-space character before `pos` is '=': that is a
 /// deleted special member ("= delete"), not a deallocation.
 bool preceded_by_equals(const std::string& line, std::size_t pos) {
@@ -260,6 +270,11 @@ const std::vector<RuleInfo>& rule_catalog() {
        "zero-initialized float accumulator; accumulate in double and cast at "
        "the boundary so score paths keep full precision"},
       {kPragmaOnce, "every header must start its include guard with #pragma once"},
+      {kFaultPointName,
+       "FaultPoint synthesized outside src/common/fault.* (from-name parse, "
+       "integer cast, or brace init); interrogate the named common::faults::k* "
+       "constants or iterate all_fault_points() so the catalog stays the "
+       "single source of truth"},
   };
   return catalog;
 }
@@ -270,6 +285,9 @@ std::vector<Finding> lint_content(std::string_view path,
   const bool is_header = ends_with(file, ".hpp") || ends_with(file, ".h");
   const bool rng_source = file.find("src/common/rng.") != std::string::npos ||
                           file.rfind("common/rng.", 0) == 0;
+  const bool fault_source =
+      file.find("src/common/fault.") != std::string::npos ||
+      file.rfind("common/fault.", 0) == 0;
   const auto escapes = collect_escapes(content);
   const auto lines = stripped_lines(content);
 
@@ -301,6 +319,11 @@ std::vector<Finding> lint_content(std::string_view path,
       report(line, kWallClock,
              "wall-clock time is nondeterministic input; seed explicitly, or "
              "use steady_clock strictly for latency measurement");
+    }
+    if (!fault_source && std::regex_search(code, fault_point_pattern())) {
+      report(line, kFaultPointName,
+             "FaultPoint synthesized outside the catalog; use the named "
+             "common::faults::k* constants or all_fault_points()");
     }
     if (std::regex_search(code, unordered_pattern())) {
       report(line, kUnordered,

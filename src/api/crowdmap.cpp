@@ -1,0 +1,95 @@
+#include "api/crowdmap.hpp"
+
+#include <utility>
+
+#include "cloud/chunking.hpp"
+#include "io/serialize.hpp"
+
+namespace crowdmap::api {
+inline namespace v1 {
+
+Client::Client(ClientOptions options)
+    : chunk_bytes_(options.chunk_bytes == 0 ? 4096 : options.chunk_bytes),
+      fallback_decoder_(std::move(options.decoder)),
+      service_(
+          std::move(options.config),
+          [this](const cloud::Document& doc) { return decode(doc); },
+          options.workers, std::move(options.registry)) {}
+
+std::optional<sim::SensorRichVideo> Client::decode(const cloud::Document& doc) {
+  {
+    common::MutexLock lock(mutex_);
+    const auto it = videos_.find(doc.id);
+    if (it != videos_.end()) return it->second;
+  }
+  if (fallback_decoder_) return fallback_decoder_(doc);
+  return std::nullopt;
+}
+
+SubmitUploadResponse Client::submit_upload(const SubmitUploadRequest& request) {
+  service_.open_session(request.upload_id, request.building, request.floor);
+  SubmitUploadResponse response;
+  for (const auto& chunk : cloud::split_into_chunks(
+           request.payload, request.upload_id, chunk_bytes_)) {
+    ++response.chunks_sent;
+    if (service_.deliver(chunk) == cloud::IngestStatus::kRejected) {
+      ++response.chunks_rejected;
+    }
+  }
+  response.accepted = response.chunks_rejected == 0;
+  return response;
+}
+
+SubmitUploadResponse Client::submit_video(const sim::SensorRichVideo& video) {
+  SubmitUploadRequest request;
+  request.upload_id = "video-" + std::to_string(video.video_id);
+  request.building = video.building;
+  request.floor = video.floor;
+  // The pixels stay in "blob storage" (the side table); the wire payload is
+  // the serialized inertial stream, so chunking sees realistic bytes.
+  request.payload = io::encode_imu(video.imu);
+  {
+    common::MutexLock lock(mutex_);
+    videos_[request.upload_id] = video;
+  }
+  return submit_upload(request);
+}
+
+void Client::drain() { service_.drain(); }
+
+BuildPlanResponse Client::build_plan(const BuildPlanRequest& request) {
+  BuildPlanResponse response;
+  response.result =
+      service_.build_floor_plan(request.building, request.floor, request.frame);
+  response.degradation = response.result.degradation;
+  response.cache = response.result.diagnostics.cache;
+  response.metrics = service_.metrics().snapshot();
+  return response;
+}
+
+std::shared_ptr<const core::PipelineResult> Client::latest_plan(
+    const std::string& building, int floor) const {
+  return service_.latest_plan(building, floor);
+}
+
+std::vector<trajectory::Trajectory> Client::trajectories(
+    const std::string& building, int floor) const {
+  return service_.trajectories(building, floor);
+}
+
+bool Client::persist_artifact_cache(const std::string& building, int floor) {
+  return service_.persist_artifact_cache(building, floor);
+}
+
+std::size_t Client::warm_artifact_cache_from(const cloud::DocumentStore& store) {
+  return service_.warm_artifact_cache_from(store);
+}
+
+cloud::ServiceStats Client::stats() const { return service_.stats(); }
+
+obs::MetricsSnapshot Client::metrics() const {
+  return service_.metrics().snapshot();
+}
+
+}  // namespace v1
+}  // namespace crowdmap::api

@@ -1,0 +1,148 @@
+// crowdmap::api — the versioned public facade of the CrowdMap backend.
+//
+// Everything outside src/ (the CLI, the evaluation harness, service tests,
+// embedders) talks to the system through api::v1::Client. The facade wraps
+// the assembled cloud backend (CrowdMapService): chunked uploads through the
+// real ingestion front door, asynchronous feature extraction, and per-floor
+// incremental reconstruction with content-addressed artifact reuse
+// (docs/API.md, docs/INCREMENTAL.md).
+//
+// Versioning: `v1` is an inline namespace, so `api::Client` resolves to the
+// newest version while `api::v1::Client` pins it. Additive evolution happens
+// in place; breaking changes introduce `v2` alongside — existing callers
+// keep compiling against the pinned name.
+//
+// Construction of core::CrowdMapPipeline directly is an internal concern;
+// the crowdmap_lint `pipeline-construction` rule flags it outside src/.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/service.hpp"
+#include "common/annotations.hpp"
+#include "core/incremental.hpp"
+#include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+
+namespace crowdmap::api {
+inline namespace v1 {
+
+/// Client construction options. Defaults give a self-contained in-process
+/// backend: fresh metrics registry, side-table video decoding, two workers.
+struct ClientOptions {
+  core::PipelineConfig config;
+  /// Extraction/refresh worker threads of the backing service pool.
+  std::size_t workers = 2;
+  /// Shared registry (e.g. one exporter endpoint across services); null
+  /// creates a client-local one.
+  std::shared_ptr<obs::MetricsRegistry> registry;
+  /// Fallback decoder for payloads submit_video() did not register (a
+  /// deployment's real codec). Null: only submit_video uploads decode.
+  cloud::VideoDecoder decoder;
+  /// Wire chunk size for submit_upload/submit_video payload chunking.
+  std::size_t chunk_bytes = 4096;
+};
+
+/// One chunked upload through the ingestion front door.
+struct SubmitUploadRequest {
+  std::string upload_id;
+  std::string building;
+  int floor = 1;
+  cloud::Blob payload;
+};
+
+struct SubmitUploadResponse {
+  /// Every chunk was accepted and the upload reassembled.
+  bool accepted = false;
+  std::size_t chunks_sent = 0;
+  std::size_t chunks_rejected = 0;
+};
+
+/// Builds (or incrementally refreshes) one floor's plan.
+struct BuildPlanRequest {
+  std::string building;
+  int floor = 1;
+  /// Optional output frame (evaluation: align onto ground truth).
+  std::optional<core::WorldFrame> frame;
+};
+
+struct BuildPlanResponse {
+  core::PipelineResult result;
+  /// What a degraded run salvaged/lost, front door included (== result
+  /// .degradation; surfaced separately so callers need not dig).
+  core::DegradationReport degradation;
+  /// How much of the refresh replayed from the artifact cache.
+  core::CacheReuseStats cache;
+  /// Snapshot of the backend's metrics registry after the build.
+  obs::MetricsSnapshot metrics;
+};
+
+/// The versioned entry point. Thread-safe; one instance per backend.
+class Client {
+ public:
+  explicit Client(ClientOptions options = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Submits one pre-encoded upload payload in chunks through ingestion.
+  SubmitUploadResponse submit_upload(const SubmitUploadRequest& request);
+
+  /// Convenience for simulation/evaluation: registers the video with the
+  /// side-table decoder, then submits its serialized inertial stream as the
+  /// wire payload (upload id "video-<video_id>"). Extraction is async —
+  /// drain() or build_plan() to observe the result.
+  SubmitUploadResponse submit_video(const sim::SensorRichVideo& video);
+
+  /// Blocks until queued extraction (and background refresh) work finished.
+  void drain();
+
+  /// Drains, then refreshes the floor's plan. Repeat builds reuse every
+  /// artifact untouched by new uploads and stay byte-identical to a cold
+  /// rebuild (docs/INCREMENTAL.md).
+  [[nodiscard]] BuildPlanResponse build_plan(const BuildPlanRequest& request);
+
+  /// Last complete plan without forcing a rebuild (null before the first);
+  /// pair with ClientOptions::config.incremental.background_refresh.
+  [[nodiscard]] std::shared_ptr<const core::PipelineResult> latest_plan(
+      const std::string& building, int floor = 1) const;
+
+  /// Admitted trajectories of one floor in canonical (video_id) order.
+  [[nodiscard]] std::vector<trajectory::Trajectory> trajectories(
+      const std::string& building, int floor = 1) const;
+
+  /// Snapshots one floor's artifact cache into the service's document store;
+  /// warm_artifact_cache_from() on a future client restores it.
+  bool persist_artifact_cache(const std::string& building, int floor = 1);
+  std::size_t warm_artifact_cache_from(const cloud::DocumentStore& store);
+
+  [[nodiscard]] cloud::ServiceStats stats() const;
+  [[nodiscard]] obs::MetricsSnapshot metrics() const;
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics_registry()
+      const noexcept {
+    return service_.metrics_registry();
+  }
+
+  /// Escape hatch to the backing service for capabilities the facade does
+  /// not (yet) model. Carries no version guarantees.
+  [[nodiscard]] cloud::CrowdMapService& service() noexcept { return service_; }
+
+ private:
+  std::optional<sim::SensorRichVideo> decode(const cloud::Document& doc);
+
+  std::size_t chunk_bytes_;
+  cloud::VideoDecoder fallback_decoder_;
+  mutable common::Mutex mutex_;
+  /// Side table for submit_video: upload id -> video, registered *before*
+  /// the first chunk is delivered (extraction may start immediately after
+  /// the last chunk lands).
+  std::map<std::string, sim::SensorRichVideo> videos_ CM_GUARDED_BY(mutex_);
+  cloud::CrowdMapService service_;  // last: its decoder captures `this`
+};
+
+}  // namespace v1
+}  // namespace crowdmap::api

@@ -1,0 +1,153 @@
+#include "cache/artifact_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace crowdmap::cache {
+
+void KeyBuilder::f64(double v) noexcept {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+std::string_view family_name(Family family) noexcept {
+  switch (family) {
+    case Family::kPairMatch:
+      return "pair";
+    case Family::kRoom:
+      return "room";
+    case Family::kSkeleton:
+      return "skeleton";
+    case Family::kArrange:
+      return "arrange";
+  }
+  return "unknown";
+}
+
+ArtifactCache::ArtifactCache(std::size_t capacity_bytes, std::size_t shards)
+    : capacity_bytes_(capacity_bytes),
+      shards_(std::max<std::size_t>(1, shards)) {
+  per_shard_bytes_ = std::max<std::size_t>(1, capacity_bytes_ / shards_.size());
+}
+
+std::optional<std::vector<std::uint8_t>> ArtifactCache::lookup(
+    Family family, const ArtifactKey& key) {
+  Shard& shard = shard_for(key);
+  const std::size_t f = static_cast<std::size_t>(family);
+  {
+    common::MutexLock lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      family_hits_[f].fetch_add(1, std::memory_order_relaxed);
+      return it->second.payload;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  family_misses_[f].fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ArtifactCache::insert(Family family, const ArtifactKey& key,
+                           std::vector<std::uint8_t> payload) {
+  (void)insert_impl(family, key, std::move(payload), /*allow_fault=*/true);
+}
+
+bool ArtifactCache::insert_impl(Family family, const ArtifactKey& key,
+                                std::vector<std::uint8_t> payload,
+                                bool allow_fault) {
+  if (allow_fault && injector_ != nullptr &&
+      injector_->should_fire(common::faults::kArtifactCacheEvict, key.lo)) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (payload.size() > per_shard_bytes_) {
+    // Oversized artifact can never fit its shard: refuse rather than flush
+    // the whole shard for an entry that would be evicted immediately anyway.
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = shard_for(key);
+  std::uint64_t evicted = 0;
+  {
+    common::MutexLock lock(shard.mutex);
+    if (shard.map.find(key) != shard.map.end()) return true;  // first wins
+    while (!shard.order.empty() &&
+           shard.bytes + payload.size() > per_shard_bytes_) {
+      const ArtifactKey victim = shard.order.front();
+      shard.order.pop_front();
+      const auto it = shard.map.find(victim);
+      if (it != shard.map.end()) {
+        shard.bytes -= it->second.payload.size();
+        shard.map.erase(it);
+        ++evicted;
+      }
+    }
+    shard.bytes += payload.size();
+    shard.order.push_back(key);
+    shard.map.emplace(key, Entry{family, std::move(payload)});
+  }
+  if (evicted != 0) {
+    invalidations_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ArtifactCache::clear() {
+  std::uint64_t dropped = 0;
+  for (Shard& shard : shards_) {
+    common::MutexLock lock(shard.mutex);
+    dropped += shard.map.size();
+    shard.map.clear();
+    shard.order.clear();
+    shard.bytes = 0;
+  }
+  if (dropped != 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ArtifactEntry> ArtifactCache::export_entries() const {
+  std::vector<ArtifactEntry> out;
+  for (const Shard& shard : shards_) {
+    common::MutexLock lock(shard.mutex);
+    for (const auto& [key, entry] : shard.map) {
+      out.push_back(ArtifactEntry{entry.family, key, entry.payload});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ArtifactEntry& a, const ArtifactEntry& b) {
+              if (a.family != b.family) return a.family < b.family;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+std::size_t ArtifactCache::restore(const std::vector<ArtifactEntry>& entries) {
+  std::size_t retained = 0;
+  for (const ArtifactEntry& entry : entries) {
+    if (insert_impl(entry.family, entry.key, entry.payload,
+                    /*allow_fault=*/false)) {
+      ++retained;
+    }
+  }
+  return retained;
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  ArtifactCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (std::size_t f = 0; f < kFamilyCount; ++f) {
+    out.family_hits[f] = family_hits_[f].load(std::memory_order_relaxed);
+    out.family_misses[f] = family_misses_[f].load(std::memory_order_relaxed);
+  }
+  for (const Shard& shard : shards_) {
+    common::MutexLock lock(shard.mutex);
+    out.entries += shard.map.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+}  // namespace crowdmap::cache

@@ -1,12 +1,28 @@
 #include "cloud/service.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "io/serialize.hpp"
 #include "trajectory/trajectory.hpp"
 
 namespace crowdmap::cloud {
+
+namespace {
+
+/// Reserved namespace for service-internal documents: they share the store
+/// with uploads but never collide with a floor query (no real building is
+/// named this) and stay enumerable via the floor index.
+constexpr const char* kSystemBuilding = "sys:crowdmap";
+constexpr int kSystemFloor = 0;
+
+std::string artifact_cache_doc_id(const std::string& building, int floor) {
+  return "sys/artifact-cache/" + building + "#" + std::to_string(floor);
+}
+
+}  // namespace
 
 CrowdMapService::CrowdMapService(core::PipelineConfig config,
                                  VideoDecoder decoder, std::size_t workers,
@@ -69,6 +85,38 @@ std::vector<std::uint32_t> CrowdMapService::missing_chunks(
   return ingest_->missing_chunks(upload_id);
 }
 
+core::IncrementalPlanner& CrowdMapService::planner_for(const FloorKey& key) {
+  common::MutexLock lock(mutex_);
+  auto& slot = planners_[key];
+  if (!slot) {
+    slot = std::make_unique<core::IncrementalPlanner>(config_, registry_);
+    // The extraction pool doubles as the refresh pipeline's worker pool —
+    // unless the config demands serial execution (threads == 1).
+    if (config_.parallel.threads != 1 && pool_.worker_count() > 0) {
+      slot->set_thread_pool(&pool_);
+    }
+  }
+  return *slot;
+}
+
+void CrowdMapService::schedule_refresh(const FloorKey& key) {
+  {
+    common::MutexLock lock(mutex_);
+    bool& pending = refresh_pending_[key];
+    if (pending) return;  // one queued refresh absorbs any number of ingests
+    pending = true;
+  }
+  (void)pool_.submit([this, key] {
+    {
+      // Cleared before running so an admission landing mid-refresh schedules
+      // exactly one follow-up that will see it.
+      common::MutexLock lock(mutex_);
+      refresh_pending_[key] = false;
+    }
+    (void)planner_for(key).refresh();
+  });
+}
+
 void CrowdMapService::on_upload_complete(const Document& doc) {
   uploads_completed_->increment();
   // Decode + extract on the worker pool; the ingest thread returns at once.
@@ -111,16 +159,17 @@ void CrowdMapService::on_upload_complete(const Document& doc) {
     common::Stopwatch timer;
     auto traj = trajectory::extract_trajectory(*video, config_.extraction);
     extract_seconds_->observe(timer.elapsed_seconds());
-    // The same unqualified-data gates the pipeline applies.
-    if (traj.keyframes.size() < config_.min_keyframes) {
+    const FloorKey key{doc.building, doc.floor};
+    // Admission applies the pipeline's unqualified-data gates and hashes the
+    // content key — both on this worker thread, so refresh never pays them.
+    if (!planner_for(key).ingest(std::move(traj))) {
       trajectories_dropped_->increment();
       CROWDMAP_LOG(kInfo, "service")
           << "dropped unqualified upload " << doc.id;
       return;
     }
     trajectories_extracted_->increment();
-    common::MutexLock lock(mutex_);
-    trajectories_[{doc.building, doc.floor}].push_back(std::move(traj));
+    if (config_.incremental.background_refresh) schedule_refresh(key);
   });
 }
 
@@ -130,36 +179,93 @@ core::PipelineResult CrowdMapService::build_floor_plan(
     const std::string& building, int floor,
     const std::optional<core::WorldFrame>& frame) {
   drain();
-  core::CrowdMapPipeline pipeline(config_);
-  // The extraction pool just drained, so lend it to the pipeline's parallel
-  // stages instead of paying for a second pool — unless the config demands
-  // serial execution (threads == 1).
-  if (config_.parallel.threads != 1 && pool_.worker_count() > 0) {
-    pipeline.set_thread_pool(&pool_);
-  }
-  {
-    common::MutexLock lock(mutex_);
-    const auto it = trajectories_.find({building, floor});
-    if (it != trajectories_.end()) {
-      // Extraction tasks append in pool-completion order, which varies with
-      // worker count; sort by the upload's stable identity so the pipeline
-      // sees one canonical order and the plan bytes are reproducible.
-      std::sort(it->second.begin(), it->second.end(),
-                [](const trajectory::Trajectory& a,
-                   const trajectory::Trajectory& b) {
-                  return a.video_id < b.video_id;
-                });
-      for (const auto& traj : it->second) {
-        pipeline.ingest_trajectory(traj);
-      }
-    }
-  }
-  auto result = pipeline.run(frame);
+  auto result = planner_for({building, floor}).refresh(frame);
+  core::PipelineResult out = *result;
   // Fold the service-side losses into the pipeline's degradation report so
   // the caller sees the whole story, front door included.
-  result.degradation.uploads_lost_decode = decode_failures_->value();
-  result.degradation.sensor_dropouts = sensor_dropouts_->value();
-  return result;
+  out.degradation.uploads_lost_decode = decode_failures_->value();
+  out.degradation.sensor_dropouts = sensor_dropouts_->value();
+  return out;
+}
+
+std::shared_ptr<const core::PipelineResult> CrowdMapService::latest_plan(
+    const std::string& building, int floor) const {
+  common::MutexLock lock(mutex_);
+  const auto it = planners_.find({building, floor});
+  if (it == planners_.end()) return nullptr;
+  return it->second->latest();
+}
+
+core::CacheReuseStats CrowdMapService::last_cache_reuse(
+    const std::string& building, int floor) const {
+  common::MutexLock lock(mutex_);
+  const auto it = planners_.find({building, floor});
+  if (it == planners_.end()) return {};
+  return it->second->last_reuse();
+}
+
+std::vector<trajectory::Trajectory> CrowdMapService::trajectories(
+    const std::string& building, int floor) const {
+  core::IncrementalPlanner* planner = nullptr;
+  {
+    common::MutexLock lock(mutex_);
+    const auto it = planners_.find({building, floor});
+    if (it == planners_.end()) return {};
+    planner = it->second.get();
+  }
+  return planner->trajectories();
+}
+
+bool CrowdMapService::persist_artifact_cache(const std::string& building,
+                                             int floor) {
+  cache::ArtifactCache* cache = nullptr;
+  {
+    common::MutexLock lock(mutex_);
+    const auto it = planners_.find({building, floor});
+    if (it != planners_.end()) cache = it->second->artifact_cache();
+  }
+  if (cache == nullptr) return false;
+  Document doc;
+  doc.id = artifact_cache_doc_id(building, floor);
+  doc.building = kSystemBuilding;
+  doc.floor = kSystemFloor;
+  doc.metadata["kind"] = "artifact-cache";
+  doc.metadata["building"] = building;
+  doc.metadata["floor"] = std::to_string(floor);
+  doc.payload = io::encode_artifact_cache(cache->export_entries());
+  store_.put(std::move(doc));
+  return true;
+}
+
+std::size_t CrowdMapService::warm_artifact_cache_from(
+    const DocumentStore& store) {
+  std::size_t restored = 0;
+  for (const auto& id : store.ids_for_floor(kSystemBuilding, kSystemFloor)) {
+    const auto doc = store.get(id);
+    if (!doc) continue;
+    const auto kind = doc->metadata.find("kind");
+    if (kind == doc->metadata.end() || kind->second != "artifact-cache") {
+      continue;
+    }
+    auto entries = io::try_decode_artifact_cache(doc->payload);
+    if (!entries) {
+      CROWDMAP_LOG(kWarn, "service")
+          << "skipping malformed artifact-cache snapshot " << id << ": "
+          << entries.error().message;
+      continue;
+    }
+    const auto building = doc->metadata.find("building");
+    const auto floor = doc->metadata.find("floor");
+    if (building == doc->metadata.end() || floor == doc->metadata.end()) {
+      continue;
+    }
+    cache::ArtifactCache* cache =
+        planner_for({building->second, std::stoi(floor->second)})
+            .artifact_cache();
+    if (cache == nullptr) continue;  // caching disabled in this config
+    restored += cache->restore(entries.value());
+  }
+  return restored;
 }
 
 ServiceStats CrowdMapService::stats() const {
@@ -172,6 +278,23 @@ ServiceStats CrowdMapService::stats() const {
   out.trajectories_dropped = trajectories_dropped_->value();
   out.sensor_dropouts = sensor_dropouts_->value();
   out.ingest = ingest_->stats();
+  {
+    common::MutexLock lock(mutex_);
+    for (const auto& [key, planner] : planners_) {
+      const cache::ArtifactCache* cache = planner->artifact_cache();
+      if (cache == nullptr) continue;
+      const cache::ArtifactCacheStats s = cache->stats();
+      out.artifact_cache.hits += s.hits;
+      out.artifact_cache.misses += s.misses;
+      out.artifact_cache.invalidations += s.invalidations;
+      out.artifact_cache.entries += s.entries;
+      out.artifact_cache.bytes += s.bytes;
+      for (std::size_t f = 0; f < cache::kFamilyCount; ++f) {
+        out.artifact_cache.family_hits[f] += s.family_hits[f];
+        out.artifact_cache.family_misses[f] += s.family_misses[f];
+      }
+    }
+  }
   return out;
 }
 

@@ -1,7 +1,8 @@
 // CrowdMapService — the assembled cloud backend (paper §IV.2): chunked
 // uploads land in the document store through the ingestion service; a worker
 // pool extracts trajectories asynchronously (the Spark-cluster stand-in);
-// floor plans are built on demand per (building, floor).
+// floor plans are built per (building, floor) by incremental planners that
+// reuse content-addressed artifacts across refreshes (docs/INCREMENTAL.md).
 #pragma once
 
 #include <functional>
@@ -14,6 +15,7 @@
 #include "cloud/ingest.hpp"
 #include "common/annotations.hpp"
 #include "common/thread_pool.hpp"
+#include "core/incremental.hpp"
 #include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
 
@@ -41,10 +43,13 @@ struct ServiceStats {
   /// The ingest front door's own counters (session lifecycle, chunk-level
   /// rejects/duplicates, quarantine traffic).
   IngestStats ingest;
+  /// Artifact-cache totals summed over every floor's planner (zeros when
+  /// caching is disabled via config.incremental.artifact_cache_bytes == 0).
+  cache::ArtifactCacheStats artifact_cache;
 };
 
 /// End-to-end backend: ingestion -> async feature extraction -> per-floor
-/// reconstruction. Thread-safe.
+/// incremental reconstruction. Thread-safe.
 class CrowdMapService {
  public:
   /// `registry` defaults to a fresh service-local registry; pass a shared
@@ -66,22 +71,55 @@ class CrowdMapService {
   [[nodiscard]] std::vector<std::uint32_t> missing_chunks(
       const std::string& upload_id);
 
-  /// Blocks until every queued extraction has finished.
+  /// Blocks until every queued extraction (and background refresh) has
+  /// finished.
   void drain();
 
   /// Builds the floor plan for one (building, floor) from every trajectory
-  /// extracted so far. Drains first. mutex_ is only held while copying the
-  /// trajectories into the pipeline, never across the run itself.
+  /// extracted so far. Drains first, then refreshes that floor's planner:
+  /// artifacts untouched by new uploads replay from the cache, so repeat
+  /// builds cost O(delta), not O(corpus), while the returned plan stays
+  /// byte-identical to a cold rebuild.
   [[nodiscard]] core::PipelineResult build_floor_plan(
       const std::string& building, int floor,
       const std::optional<core::WorldFrame>& frame = std::nullopt)
+      CM_EXCLUDES(mutex_);
+
+  /// The last complete plan for one floor without forcing a rebuild: what a
+  /// read-path endpoint serves while ingestion (and, with
+  /// config.incremental.background_refresh, the refresh itself) proceeds in
+  /// the background. Null before the floor's first refresh.
+  [[nodiscard]] std::shared_ptr<const core::PipelineResult> latest_plan(
+      const std::string& building, int floor) const CM_EXCLUDES(mutex_);
+
+  /// Cache reuse of the floor's most recent refresh (zeros before it).
+  [[nodiscard]] core::CacheReuseStats last_cache_reuse(
+      const std::string& building, int floor) const CM_EXCLUDES(mutex_);
+
+  /// Admitted trajectories of one floor, sorted by video_id (the canonical
+  /// refresh order). Call drain() first if extractions may be in flight.
+  [[nodiscard]] std::vector<trajectory::Trajectory> trajectories(
+      const std::string& building, int floor) const CM_EXCLUDES(mutex_);
+
+  /// Snapshots one floor's artifact cache into this service's document store
+  /// (a reserved system document; invisible to upload queries). Returns
+  /// false when that floor has no planner or caching is disabled.
+  bool persist_artifact_cache(const std::string& building, int floor)
+      CM_EXCLUDES(mutex_);
+
+  /// Warms per-floor artifact caches from snapshots previously written by
+  /// persist_artifact_cache() into `store` (typically a restarted service
+  /// pointing at its predecessor's store). Malformed snapshots are skipped,
+  /// not fatal. Returns the number of artifacts restored.
+  std::size_t warm_artifact_cache_from(const DocumentStore& store)
       CM_EXCLUDES(mutex_);
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const DocumentStore& store() const noexcept { return store_; }
 
   /// Service-level metrics: per-upload ingest/decode/extract counters, the
-  /// worker-pool queue-depth gauge, extraction and task latency histograms.
+  /// worker-pool queue-depth gauge, extraction and task latency histograms,
+  /// and (shared with the planners) the pipeline's stage/cache metrics.
   [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
     return *registry_;
   }
@@ -91,9 +129,21 @@ class CrowdMapService {
   }
 
  private:
+  using FloorKey = std::pair<std::string, int>;
+
   /// Runs on the ingest thread; hands decode + extraction to the pool. The
-  /// extraction task takes mutex_ only for the final trajectory append.
+  /// extraction task admits the trajectory into the floor's planner.
   void on_upload_complete(const Document& doc) CM_EXCLUDES(mutex_);
+
+  /// The floor's planner, created on first use (shares the service registry
+  /// and borrows the worker pool). The returned reference is stable:
+  /// planners are never destroyed while the service lives.
+  core::IncrementalPlanner& planner_for(const FloorKey& key)
+      CM_EXCLUDES(mutex_);
+
+  /// Coalesced background refresh: at most one pending refresh task per
+  /// floor; admissions while one runs schedule exactly one more.
+  void schedule_refresh(const FloorKey& key) CM_EXCLUDES(mutex_);
 
   core::PipelineConfig config_;
   VideoDecoder decoder_;
@@ -115,9 +165,11 @@ class CrowdMapService {
   common::FaultInjector faults_;
 
   mutable common::Mutex mutex_;
-  // Extracted trajectories per (building, floor).
-  std::map<std::pair<std::string, int>, std::vector<trajectory::Trajectory>>
-      trajectories_ CM_GUARDED_BY(mutex_);
+  // One incremental planner per (building, floor) — each owns that floor's
+  // corpus, artifact cache and S2 memo.
+  std::map<FloorKey, std::unique_ptr<core::IncrementalPlanner>> planners_
+      CM_GUARDED_BY(mutex_);
+  std::map<FloorKey, bool> refresh_pending_ CM_GUARDED_BY(mutex_);
 };
 
 }  // namespace crowdmap::cloud

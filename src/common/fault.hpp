@@ -38,7 +38,8 @@ namespace crowdmap::common {
   X(kStageSkeletonFail, "stage.skeleton_fail")                            \
   X(kStagePanoramaFail, "stage.panorama_fail")                            \
   X(kStageLayoutFail, "stage.layout_fail")                                \
-  X(kStageArrangeFail, "stage.arrange_fail")
+  X(kStageArrangeFail, "stage.arrange_fail")                              \
+  X(kArtifactCacheEvict, "cache.artifact_evict")
 
 enum class FaultPoint : std::size_t {
 #define CROWDMAP_FAULT_POINT_ENUM(ident, name) ident,
@@ -147,6 +148,15 @@ class FaultInjector {
 
   [[nodiscard]] bool armed() const noexcept { return armed_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Whether `point` carries a non-zero probability in the armed plan. Cache
+  /// seams use this to bypass artifact reuse for stages whose per-item fault
+  /// interrogations must still happen (a cached hit would skip them and
+  /// change which items a budgeted plan fires on).
+  [[nodiscard]] bool point_armed(FaultPoint point) const noexcept {
+    if (!armed_) return false;
+    return points_[static_cast<std::size_t>(point)].probability > 0.0;
+  }
 
   /// Whether the fault at `point` fires for the work item identified by
   /// `key`. The key must be a stable identity of the item (chunk index,

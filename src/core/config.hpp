@@ -37,6 +37,19 @@ struct ParallelConfig {
   std::size_t s2_cache_capacity = 1 << 15;
 };
 
+/// Incremental recomputation (docs/INCREMENTAL.md): the content-addressed
+/// artifact cache that lets a refresh after one new upload reuse every stage
+/// output whose inputs did not change. Reuse never changes a result — the
+/// incremental plan is byte-identical to a cold rebuild by construction.
+struct IncrementalConfig {
+  /// Byte budget of the artifact cache shared across refreshes of one floor
+  /// (0 disables caching entirely; every refresh is then a cold rebuild).
+  std::size_t artifact_cache_bytes = std::size_t{32} << 20;
+  /// Refresh the floor plan on a background worker after each completed
+  /// upload, serving the last complete plan meanwhile (CrowdMapService).
+  bool background_refresh = false;
+};
+
 struct PipelineConfig {
   // §III.B.I — key-frame selection and trajectory extraction.
   trajectory::ExtractionConfig extraction;
@@ -69,6 +82,8 @@ struct PipelineConfig {
   int layout_hypothesis_cap = 0;
   /// Worker pool, matching fan-out and S2 memo cache settings.
   ParallelConfig parallel;
+  /// Artifact cache + background refresh (incremental recomputation).
+  IncrementalConfig incremental;
   /// Seeded fault-injection plan (chaos testing; docs/ROBUSTNESS.md). Empty
   /// settings leave every fault point disarmed — the default costs one
   /// predicted branch per interrogation and changes no output bit.

@@ -1,83 +1,225 @@
 #include "core/config_overrides.hpp"
 
+#include <cstdlib>
+#include <mutex>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "common/fault.hpp"
+#include "common/log.hpp"
 
 namespace crowdmap::core {
 
-void apply_config_overrides(PipelineConfig& config,
-                            const common::ConfigFile& file) {
-  static const std::set<std::string> kKnown = {
-      "match.h_s",        "match.h_d",        "match.h_f",
-      "match.h_l",        "match.nn_ratio",   "lcss.epsilon",
-      "lcss.delta",       "grid.cell_size",   "grid.brush_width",
-      "skeleton.alpha",   "skeleton.min_access_count",
-      "skeleton.dilate",  "layout.hypotheses", "layout.corner_weight",
-      "layout.shards",    "layout.hypothesis_cap",
-      "stitch.width",     "stitch.height",    "filter.min_keyframes",
-      "parallel.threads", "parallel.s2_cache",
-      "faults.seed",      "faults.spec",
-  };
-  for (const auto& [key, value] : file.entries()) {
-    if (kKnown.count(key) == 0) {
-      throw std::runtime_error("unknown config key: " + key);
+namespace {
+
+// ------------------------------------------------------- value parsing ---
+// Mirrors common::ConfigFile's strictness: the whole token must parse.
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::runtime_error("config key '" + key +
+                             "': not a number: " + value);
+  }
+  return parsed;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::runtime_error("config key '" + key +
+                             "': not an integer: " + value);
+  }
+  return static_cast<int>(parsed);
+}
+
+std::size_t parse_size(const std::string& key, const std::string& value) {
+  const int parsed = parse_int(key, value);
+  if (parsed < 0) {
+    throw std::runtime_error("config key '" + key +
+                             "': must be >= 0: " + value);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "1" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "off") return false;
+  throw std::runtime_error("config key '" + key +
+                           "': not a boolean: " + value);
+}
+
+// ---------------------------------------------------------- the table ---
+// Sorted by canonical key. CM_KEY_* wrap the repetitive setter lambdas so a
+// row stays one readable line; the table itself is the single source the
+// apply path, --help-config and docs/CONFIG.md all share.
+
+#define CM_KEY_DOUBLE(key_str, alias_str, target, help_str)              \
+  {key_str, alias_str, "double", help_str,                               \
+   [](PipelineConfig& c, const std::string& v) {                         \
+     c.target = parse_double(key_str, v);                                \
+   }}
+#define CM_KEY_INT(key_str, alias_str, target, help_str)                 \
+  {key_str, alias_str, "int", help_str,                                  \
+   [](PipelineConfig& c, const std::string& v) {                         \
+     c.target = parse_int(key_str, v);                                   \
+   }}
+#define CM_KEY_SIZE(key_str, alias_str, target, help_str)                \
+  {key_str, alias_str, "size", help_str,                                 \
+   [](PipelineConfig& c, const std::string& v) {                         \
+     c.target = parse_size(key_str, v);                                  \
+   }}
+#define CM_KEY_BOOL(key_str, alias_str, target, help_str)                \
+  {key_str, alias_str, "bool", help_str,                                 \
+   [](PipelineConfig& c, const std::string& v) {                         \
+     c.target = parse_bool(key_str, v);                                  \
+   }}
+
+constexpr ConfigKeyInfo kConfigKeys[] = {
+    CM_KEY_SIZE("cache.artifact_bytes", nullptr,
+                incremental.artifact_cache_bytes,
+                "Artifact-cache byte budget per floor (0 disables reuse)"),
+    CM_KEY_BOOL("cache.background_refresh", nullptr,
+                incremental.background_refresh,
+                "Refresh plans on the worker pool as uploads land"),
+    {"faults.seed", nullptr, "int",
+     "Seed keying every chaos-plan fire decision",
+     [](PipelineConfig& c, const std::string& v) {
+       c.faults.seed = static_cast<std::uint64_t>(parse_int("faults.seed", v));
+     }},
+    {"faults.spec", nullptr, "string",
+     "Chaos plan, e.g. decode.fail=0.2,stage.panorama_fail=0.1@3",
+     [](PipelineConfig& c, const std::string& v) {
+       auto settings = common::parse_fault_settings(v);
+       if (!settings.ok()) {
+         throw std::runtime_error("config key 'faults.spec': " +
+                                  settings.error().message);
+       }
+       c.faults.settings = std::move(settings).take();
+     }},
+    CM_KEY_SIZE("filter.min_keyframes", nullptr, min_keyframes,
+                "Unqualified-data gate: minimum key-frames per upload"),
+    CM_KEY_DOUBLE("grid.brush_width", nullptr, trajectory_brush_width,
+                  "Occupancy brush width in meters per trajectory stroke"),
+    CM_KEY_DOUBLE("grid.cell_size", nullptr, grid_cell_size,
+                  "Occupancy-grid cell size in meters"),
+    CM_KEY_DOUBLE("layout.corner_weight", nullptr, layout.corner_weight,
+                  "Corner-term weight in room-layout scoring"),
+    CM_KEY_INT("layout.hypotheses", nullptr, layout.hypotheses,
+               "Room-layout hypotheses sampled per panorama"),
+    CM_KEY_INT("layout.hypothesis_cap", nullptr, layout_hypothesis_cap,
+               "Global cap on layout hypotheses (fast profile)"),
+    CM_KEY_INT("layout.scoring_shards", "layout.shards", layout.scoring_shards,
+               "Deterministic parallel shards for hypothesis scoring"),
+    CM_KEY_INT("lcss.delta", nullptr, aggregation.match.lcss.delta,
+               "LCSS index window for trajectory similarity"),
+    CM_KEY_DOUBLE("lcss.epsilon", nullptr, aggregation.match.lcss.epsilon,
+                  "LCSS distance tolerance in meters"),
+    CM_KEY_DOUBLE("match.h_d", nullptr, aggregation.match.h_d,
+                  "S2 descriptor-distance gate for key-frame matches"),
+    CM_KEY_DOUBLE("match.h_f", nullptr, aggregation.match.h_f,
+                  "Fraction of consistent anchors required per pair"),
+    CM_KEY_DOUBLE("match.h_l", nullptr, aggregation.match.h_l,
+                  "LCSS similarity gate for accepting a pair"),
+    CM_KEY_DOUBLE("match.h_s", nullptr, aggregation.match.h_s,
+                  "S1 appearance-similarity gate for candidate pairs"),
+    CM_KEY_DOUBLE("match.nn_ratio", nullptr, aggregation.match.nn_ratio,
+                  "Lowe nearest-neighbor ratio for descriptor matches"),
+    CM_KEY_SIZE("parallel.s2_cache_capacity", "parallel.s2_cache",
+                parallel.s2_cache_capacity,
+                "Bounded S2 match-score memo entries (0 disables)"),
+    CM_KEY_SIZE("parallel.threads", nullptr, parallel.threads,
+                "Worker threads (0 = all cores, 1 = serial)"),
+    CM_KEY_DOUBLE("skeleton.alpha", nullptr, skeleton.alpha,
+                  "Alpha-shape radius for hallway boundary extraction"),
+    CM_KEY_INT("skeleton.final_dilate_cells", "skeleton.dilate",
+               skeleton.final_dilate_cells,
+               "Dilation (cells) applied to the final skeleton raster"),
+    CM_KEY_DOUBLE("skeleton.min_access_count", nullptr,
+                  skeleton.min_access_count,
+                  "Occupancy evidence required to keep a skeleton cell"),
+    CM_KEY_INT("stitch.height", nullptr, stitch.output_height,
+               "Panorama height in pixels"),
+    CM_KEY_INT("stitch.width", nullptr, stitch.output_width,
+               "Panorama width in pixels"),
+};
+
+#undef CM_KEY_DOUBLE
+#undef CM_KEY_INT
+#undef CM_KEY_SIZE
+#undef CM_KEY_BOOL
+
+const ConfigKeyInfo* find_binding(const std::string& key, bool* via_alias) {
+  for (const ConfigKeyInfo& info : kConfigKeys) {
+    if (key == info.key) {
+      *via_alias = false;
+      return &info;
+    }
+    if (info.alias != nullptr && key == info.alias) {
+      *via_alias = true;
+      return &info;
     }
   }
+  return nullptr;
+}
 
-  auto& match = config.aggregation.match;
-  match.h_s = file.get_double("match.h_s", match.h_s);
-  match.h_d = file.get_double("match.h_d", match.h_d);
-  match.h_f = file.get_double("match.h_f", match.h_f);
-  match.h_l = file.get_double("match.h_l", match.h_l);
-  match.nn_ratio = file.get_double("match.nn_ratio", match.nn_ratio);
-  match.lcss.epsilon = file.get_double("lcss.epsilon", match.lcss.epsilon);
-  match.lcss.delta = file.get_int("lcss.delta", match.lcss.delta);
+void warn_deprecated_once(const std::string& alias, const char* canonical) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!warned.insert(alias).second) return;
+  }
+  CROWDMAP_LOG(kWarn, "config")
+      << "config key '" << alias << "' is deprecated; use '" << canonical
+      << "'";
+}
 
-  config.grid_cell_size = file.get_double("grid.cell_size", config.grid_cell_size);
-  config.trajectory_brush_width =
-      file.get_double("grid.brush_width", config.trajectory_brush_width);
+}  // namespace
 
-  config.skeleton.alpha = file.get_double("skeleton.alpha", config.skeleton.alpha);
-  config.skeleton.min_access_count = file.get_double(
-      "skeleton.min_access_count", config.skeleton.min_access_count);
-  config.skeleton.final_dilate_cells =
-      file.get_int("skeleton.dilate", config.skeleton.final_dilate_cells);
+std::span<const ConfigKeyInfo> config_key_table() noexcept {
+  return kConfigKeys;
+}
 
-  config.layout.hypotheses =
-      file.get_int("layout.hypotheses", config.layout.hypotheses);
-  config.layout.corner_weight =
-      file.get_double("layout.corner_weight", config.layout.corner_weight);
-  config.layout.scoring_shards =
-      file.get_int("layout.shards", config.layout.scoring_shards);
-  config.layout_hypothesis_cap =
-      file.get_int("layout.hypothesis_cap", config.layout_hypothesis_cap);
-  config.stitch.output_width =
-      file.get_int("stitch.width", config.stitch.output_width);
-  config.stitch.output_height =
-      file.get_int("stitch.height", config.stitch.output_height);
-
-  config.min_keyframes = static_cast<std::size_t>(
-      file.get_int("filter.min_keyframes",
-                   static_cast<int>(config.min_keyframes)));
-
-  config.parallel.threads = static_cast<std::size_t>(
-      file.get_int("parallel.threads",
-                   static_cast<int>(config.parallel.threads)));
-  config.parallel.s2_cache_capacity = static_cast<std::size_t>(
-      file.get_int("parallel.s2_cache",
-                   static_cast<int>(config.parallel.s2_cache_capacity)));
-
-  // Chaos plan: faults.seed keys the hash decisions, faults.spec arms the
-  // points ("decode.fail=0.2,stage.panorama_fail=0.1@3").
-  config.faults.seed = static_cast<std::uint64_t>(
-      file.get_int("faults.seed", static_cast<int>(config.faults.seed)));
-  if (const auto spec = file.get("faults.spec")) {
-    auto settings = common::parse_fault_settings(*spec);
-    if (!settings.ok()) {
-      throw std::runtime_error("config key 'faults.spec': " +
-                               settings.error().message);
+std::string config_key_help() {
+  std::ostringstream out;
+  for (const ConfigKeyInfo& info : kConfigKeys) {
+    out << "  " << info.key << " (" << info.type << ")";
+    for (std::size_t pad = std::string(info.key).size() +
+                           std::string(info.type).size();
+         pad < 40; ++pad) {
+      out << ' ';
     }
-    config.faults.settings = std::move(settings).take();
+    out << info.help;
+    if (info.alias != nullptr) {
+      out << " [deprecated alias: " << info.alias << "]";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void apply_config_overrides(PipelineConfig& config,
+                            const common::ConfigFile& file) {
+  for (const auto& [key, value] : file.entries()) {
+    bool via_alias = false;
+    const ConfigKeyInfo* info = find_binding(key, &via_alias);
+    if (info == nullptr) {
+      throw std::runtime_error("unknown config key: " + key);
+    }
+    if (via_alias) {
+      if (file.has(info->key)) {
+        throw std::runtime_error("config key '" + std::string(info->key) +
+                                 "' also given through deprecated alias '" +
+                                 key + "'");
+      }
+      warn_deprecated_once(key, info->key);
+    }
+    info->apply(config, value);
   }
 }
 

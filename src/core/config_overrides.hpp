@@ -1,27 +1,42 @@
 // Binds configuration-file keys onto PipelineConfig so every paper
-// threshold is tunable at run time (CLI --config). Unknown keys are errors:
-// a typo should fail loudly, not silently run defaults.
+// threshold is tunable at run time (CLI --config). One table
+// (config_key_table) is the single source of truth: apply_config_overrides,
+// the CLI's --help-config listing and docs/CONFIG.md all derive from it, so
+// the three can never drift. Unknown keys are errors: a typo should fail
+// loudly, not silently run defaults.
 #pragma once
+
+#include <span>
+#include <string>
 
 #include "common/config_file.hpp"
 #include "core/config.hpp"
 
 namespace crowdmap::core {
 
-/// Applies overrides in `file` to `config`. Supported keys:
-///   match.h_s match.h_d match.h_f match.h_l match.nn_ratio
-///   lcss.epsilon lcss.delta
-///   grid.cell_size grid.brush_width
-///   skeleton.alpha skeleton.min_access_count skeleton.dilate
-///   layout.hypotheses layout.corner_weight layout.shards
-///   layout.hypothesis_cap
-///   stitch.width stitch.height
-///   filter.min_keyframes
-///   parallel.threads parallel.s2_cache
-///   faults.seed faults.spec
-/// faults.spec is a chaos plan in the "point=prob[@budget],..." syntax of
-/// common::parse_fault_settings (docs/ROBUSTNESS.md has the catalog).
-/// Throws std::runtime_error on an unknown key or unparsable value.
+/// One bindable key: canonical spelling, optional deprecated alias, value
+/// type, one-line help, and the setter. The table is ordered by key.
+struct ConfigKeyInfo {
+  const char* key;    // canonical spelling ("layout.scoring_shards")
+  const char* alias;  // deprecated spelling still accepted, or nullptr
+  const char* type;   // "double" | "int" | "size" | "bool" | "string"
+  const char* help;   // one line, shown by --help-config and docs/CONFIG.md
+  void (*apply)(PipelineConfig& config, const std::string& value);
+};
+
+/// Every supported key, sorted by canonical name.
+[[nodiscard]] std::span<const ConfigKeyInfo> config_key_table() noexcept;
+
+/// Human-readable listing of config_key_table() — one "key (type)  help"
+/// line per key, with deprecated aliases noted. The CLI prints this for
+/// --help-config; docs/CONFIG.md mirrors it (tests/test_config.cpp pins the
+/// two together).
+[[nodiscard]] std::string config_key_help();
+
+/// Applies overrides in `file` to `config`. Keys are the canonical names in
+/// config_key_table(); deprecated aliases are accepted with a once-per-alias
+/// warning. Throws std::runtime_error on an unknown key, an unparsable
+/// value, or a key given through both its canonical and alias spellings.
 void apply_config_overrides(PipelineConfig& config,
                             const common::ConfigFile& file);
 

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "core/stage_artifacts.hpp"
 #include "mapping/occupancy.hpp"
 
 namespace crowdmap::core {
@@ -43,6 +45,17 @@ const char* action_name(DegradationEvent::Action action) {
 }
 
 }  // namespace
+
+std::string CacheReuseStats::to_string() const {
+  std::ostringstream out;
+  out << "cache: pairs " << pairs_reused << "/" << pairs_total << " rooms "
+      << rooms_reused << "/" << rooms_total << " skeleton "
+      << (skeleton_reused ? "reused" : "computed") << " arrange "
+      << (arrange_reused ? "reused" : "computed") << " hits=" << artifact_hits
+      << " misses=" << artifact_misses
+      << " invalidations=" << artifact_invalidations;
+  return out.str();
+}
 
 std::string DegradationReport::to_string() const {
   std::ostringstream out;
@@ -109,6 +122,12 @@ CrowdMapPipeline::CrowdMapPipeline(PipelineConfig config,
     s2_cache_ = std::make_unique<common::BoundedMemoCache>(
         config_.parallel.s2_cache_capacity);
   }
+  // With a shared registry (IncrementalPlanner builds a fresh pipeline per
+  // refresh against the service's registry) the ingest counters carry prior
+  // pipelines' traffic; diagnostics must report this pipeline's share only.
+  ingested_baseline_ = videos_ingested_->value();
+  kept_baseline_ = trajectories_kept_->value();
+  dropped_baseline_ = trajectories_dropped_->value();
   faults_.arm(config_.faults);
 }
 
@@ -146,14 +165,24 @@ void CrowdMapPipeline::ingest(const sim::SensorRichVideo& video) {
   ingest_trajectory(std::move(traj));
 }
 
-void CrowdMapPipeline::ingest_trajectory(trajectory::Trajectory traj) {
-  videos_ingested_->increment();
+bool CrowdMapPipeline::passes_quality_gates(const trajectory::Trajectory& traj,
+                                            const PipelineConfig& config) {
   // Unqualified-data gates ("divide and conquer" filtering, §I challenge 1).
-  const bool too_few_frames = traj.keyframes.size() < config_.min_keyframes;
+  const bool too_few_frames = traj.keyframes.size() < config.min_keyframes;
   const bool no_motion =
-      sensors::track_length(traj.points) < config_.min_track_length &&
+      sensors::track_length(traj.points) < config.min_track_length &&
       traj.keyframes.size() < 8;  // SRS-only clips are legitimately stationary
-  if (too_few_frames || no_motion) {
+  return !(too_few_frames || no_motion);
+}
+
+void CrowdMapPipeline::ingest_trajectory(trajectory::Trajectory traj) {
+  ingest_trajectory(std::move(traj), cache::ArtifactKey{});
+}
+
+void CrowdMapPipeline::ingest_trajectory(trajectory::Trajectory traj,
+                                         const cache::ArtifactKey& content_key) {
+  videos_ingested_->increment();
+  if (!passes_quality_gates(traj, config_)) {
     trajectories_dropped_->increment();
     CROWDMAP_LOG(kInfo, "pipeline")
         << "dropped unqualified upload video_id=" << traj.video_id
@@ -162,6 +191,7 @@ void CrowdMapPipeline::ingest_trajectory(trajectory::Trajectory traj) {
   }
   trajectories_kept_->increment();
   trajectories_.push_back(std::move(traj));
+  content_keys_.push_back(content_key);
 }
 
 PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
@@ -173,8 +203,9 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   const std::uint64_t attempted_before = panoramas_attempted_->value();
   const std::uint64_t stitched_before = panoramas_stitched_->value();
   const std::uint64_t rooms_before = rooms_reconstructed_->value();
-  const std::uint64_t cache_hits_before = s2_cache_ ? s2_cache_->hits() : 0;
-  const std::uint64_t cache_misses_before = s2_cache_ ? s2_cache_->misses() : 0;
+  common::BoundedMemoCache* s2 = s2_cache();
+  const std::uint64_t cache_hits_before = s2 ? s2->hits() : 0;
+  const std::uint64_t cache_misses_before = s2 ? s2->misses() : 0;
   const auto& fault_points = common::all_fault_points();
   std::vector<std::uint64_t> fires_before(fault_points.size());
   for (std::size_t i = 0; i < fires_before.size(); ++i) {
@@ -184,6 +215,31 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   // Whole-stage fault decisions key on the run ordinal so repeated runs of
   // one pipeline see independent (but reproducible) outcomes.
   const std::uint64_t run_key = run_serial_++;
+
+  // Artifact-cache bookkeeping. Traffic is counted in per-run atomics (the
+  // cache object may be shared by other pipelines, so global-counter deltas
+  // would misattribute), and invalidations are reported from a start/end
+  // snapshot — exact in the planner's one-refresh-at-a-time usage.
+  cache::ArtifactCache* artifacts = artifact_cache_;
+  std::atomic<std::uint64_t> artifact_hits{0};
+  std::atomic<std::uint64_t> artifact_misses{0};
+  std::atomic<std::size_t> pairs_reused{0};
+  std::atomic<std::size_t> rooms_reused{0};
+  bool skeleton_reused = false;
+  bool arrange_reused = false;
+  std::size_t rooms_total = 0;
+  const std::uint64_t invalidations_before =
+      artifacts != nullptr ? artifacts->invalidations() : 0;
+  if (artifacts != nullptr) {
+    // Content keys for trajectories ingested without one (hashing is cheap
+    // relative to any cached stage, and each slot is independent).
+    common::ThreadPool* pool = worker_pool();
+    common::parallel_for(pool, trajectories_.size(), [&](std::size_t i) {
+      if (content_keys_[i] == cache::ArtifactKey{}) {
+        content_keys_[i] = trajectory_content_key(trajectories_[i]);
+      }
+    });
+  }
 
   // Degradation bookkeeping: every substituted result is itemized so the
   // caller can tell a clean plan from a salvaged one.
@@ -216,10 +272,42 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
           trajectory::AggregationRuntime agg_runtime;
           agg_runtime.pool =
               config_.parallel.pairwise_matching ? worker_pool() : nullptr;
-          agg_runtime.s2_cache = s2_cache_.get();
+          agg_runtime.s2_cache = s2_cache();
+          if (artifacts != nullptr) {
+            agg_runtime.pair_lookup =
+                [&](std::size_t i,
+                    std::size_t j) -> std::optional<trajectory::PairDecision> {
+              const cache::ArtifactKey key = pair_decision_key(
+                  content_keys_[i], content_keys_[j], config_.aggregation);
+              if (auto payload =
+                      artifacts->lookup(cache::Family::kPairMatch, key)) {
+                if (auto decision = decode_pair_decision(*payload)) {
+                  artifact_hits.fetch_add(1, std::memory_order_relaxed);
+                  pairs_reused.fetch_add(1, std::memory_order_relaxed);
+                  return decision;
+                }
+              }
+              artifact_misses.fetch_add(1, std::memory_order_relaxed);
+              return std::nullopt;
+            };
+            agg_runtime.pair_store = [&](std::size_t i, std::size_t j,
+                                         const trajectory::PairDecision& d) {
+              artifacts->insert(
+                  cache::Family::kPairMatch,
+                  pair_decision_key(content_keys_[i], content_keys_[j],
+                                    config_.aggregation),
+                  encode_pair_decision(d));
+            };
+          }
           return trajectory::aggregate_trajectories(
               trajectories_, config_.aggregation, agg_runtime);
         });
+    if (artifacts != nullptr) {
+      const std::size_t n = trajectories_.size();
+      trace_->annotate("cache",
+                       std::to_string(pairs_reused.load()) + "/" +
+                           std::to_string(n > 1 ? n * (n - 1) / 2 : 0));
+    }
     if (aggregated.ok()) {
       result.aggregation = std::move(aggregated).take();
     } else {
@@ -277,6 +365,10 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
     };
     auto skeletonized = run_guarded(
         faults_, common::faults::kStageSkeletonFail, run_key, "skeleton", [&] {
+          // Rasterization is cheap and always runs; the cache covers the
+          // expensive binarize + alpha-shape + repair work behind it, keyed
+          // on the grid *content* so any input change that rasterizes
+          // identically still reuses the skeleton.
           mapping::OccupancyGrid grid(extent, config_.grid_cell_size);
           for (std::size_t i = 0; i < trajectories_.size(); ++i) {
             if (!result.aggregation.global_pose[i]) continue;
@@ -288,9 +380,28 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
             }
             grid.add_polyline(pts, config_.trajectory_brush_width);
           }
+          std::optional<cache::ArtifactKey> key;
+          if (artifacts != nullptr) {
+            key = skeleton_key(grid, config_.skeleton);
+            if (auto payload = artifacts->lookup(cache::Family::kSkeleton, *key)) {
+              if (auto cached = decode_skeleton(*payload)) {
+                artifact_hits.fetch_add(1, std::memory_order_relaxed);
+                skeleton_reused = true;
+                return SkeletonOut{std::move(grid), std::move(*cached)};
+              }
+            }
+            artifact_misses.fetch_add(1, std::memory_order_relaxed);
+          }
           auto skeleton = mapping::reconstruct_skeleton(grid, config_.skeleton);
+          if (key) {
+            artifacts->insert(cache::Family::kSkeleton, *key,
+                              encode_skeleton(skeleton));
+          }
           return SkeletonOut{std::move(grid), std::move(skeleton)};
         });
+    if (artifacts != nullptr) {
+      trace_->annotate("cache", skeleton_reused ? "hit" : "miss");
+    }
     if (skeletonized.ok()) {
       result.occupancy = std::move(skeletonized.value().grid);
       result.skeleton = std::move(skeletonized.value().skeleton);
@@ -338,6 +449,13 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
     }
     common::ThreadPool* rooms_pool =
         config_.parallel.room_reconstruction ? worker_pool() : nullptr;
+    rooms_total = items.size();
+    // Cache bypass under per-item chaos: a cached hit would skip this item's
+    // fault interrogations and change which items a budgeted plan fires on,
+    // so armed panorama/layout faults force the live path for every item.
+    const bool room_faults_armed =
+        faults_.point_armed(common::faults::kStagePanoramaFail) ||
+        faults_.point_armed(common::faults::kStageLayoutFail);
 
     std::vector<std::optional<ReconstructedRoom>> slots(items.size());
     // Per-item degradation events land in slots too, merged in discovery
@@ -395,6 +513,26 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
 
       try {
         panoramas_attempted_->increment();
+        // Content-addressed reuse of this candidate's stitch + layout work.
+        // The artifact replays the counter increments and layout outcome the
+        // live path would produce; placement below stays live (it depends on
+        // the aggregation poses and is cheap).
+        std::optional<cache::ArtifactKey> item_cache_key;
+        if (artifacts != nullptr && !room_faults_armed) {
+          item_cache_key = room_artifact_key(content_keys_[i], cand,
+                                             config_.stitch, focal_for(cand));
+          if (auto payload =
+                  artifacts->lookup(cache::Family::kRoom, *item_cache_key)) {
+            if (auto artifact = decode_room_artifact(*payload)) {
+              artifact_hits.fetch_add(1, std::memory_order_relaxed);
+              rooms_reused.fetch_add(1, std::memory_order_relaxed);
+              if (artifact->stitched) panoramas_stitched_->increment();
+              if (artifact->has_layout) place_room(artifact->layout);
+              return;
+            }
+          }
+          artifact_misses.fetch_add(1, std::memory_order_relaxed);
+        }
         if (faults_.should_fire(common::faults::kStagePanoramaFail,
                                 item_key)) {
           // The full stitch "failed": salvage what a single key-frame can
@@ -424,7 +562,17 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
           return;
         }
         const auto pano = room::stitch_candidate(traj, cand, config_.stitch);
-        if (pano.coverage < 0.95) return;
+        RoomArtifact artifact;
+        if (pano.coverage < 0.95) {
+          // Negative results are artifacts too: an uncoverable candidate
+          // stays uncoverable, so the next refresh skips the stitch as well.
+          if (item_cache_key) {
+            artifacts->insert(cache::Family::kRoom, *item_cache_key,
+                              encode_room_artifact(artifact));
+          }
+          return;
+        }
+        artifact.stitched = true;
         panoramas_stitched_->increment();
         if (faults_.should_fire(common::faults::kStageLayoutFail, item_key)) {
           DegradationEvent event;
@@ -439,6 +587,14 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
         }
         const auto layout =
             room::estimate_layout(pano.image, focal_for(cand), rooms_pool);
+        if (layout) {
+          artifact.has_layout = true;
+          artifact.layout = *layout;
+        }
+        if (item_cache_key) {
+          artifacts->insert(cache::Family::kRoom, *item_cache_key,
+                            encode_room_artifact(artifact));
+        }
         if (!layout) return;
         place_room(*layout);
       } catch (const std::exception& e) {
@@ -475,6 +631,10 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
     }
     result.rooms = std::move(unique_rooms);
     rooms_reconstructed_->increment(result.rooms.size());
+    if (artifacts != nullptr) {
+      trace_->annotate("cache", std::to_string(rooms_reused.load()) + "/" +
+                                    std::to_string(rooms_total));
+    }
     result.diagnostics.rooms_seconds = span.end();
     stage_histogram("rooms").observe(result.diagnostics.rooms_seconds);
   }
@@ -482,7 +642,8 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   // ---- Sub-process 3: floor plan modeling (§III.D).
   {
     auto span = trace_->scoped("arrange");
-    const auto build_plan = [&](bool arranged) {
+    // Anchor placement (pre-arrangement): also the arrange seam's key input.
+    const auto build_plan = [&] {
       floorplan::FloorPlan plan;
       plan.hallway = result.skeleton.raster;
       for (const auto& rec : result.rooms) {
@@ -496,20 +657,42 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
         placed.layout_score = rec.layout.score;
         plan.rooms.push_back(placed);
       }
-      if (arranged) {
-        floorplan::arrange_rooms(plan.rooms, plan.hallway, config_.arrange);
-      }
       return plan;
     };
-    auto arranged = run_guarded(faults_, common::faults::kStageArrangeFail,
-                                run_key, "arrange",
-                                [&] { return build_plan(true); });
+    auto arranged = run_guarded(
+        faults_, common::faults::kStageArrangeFail, run_key, "arrange", [&] {
+          floorplan::FloorPlan plan = build_plan();
+          std::optional<cache::ArtifactKey> key;
+          if (artifacts != nullptr) {
+            key = arrange_key(plan.rooms, plan.hallway, config_.arrange);
+            if (auto payload =
+                    artifacts->lookup(cache::Family::kArrange, *key)) {
+              if (auto cached = decode_placed_rooms(*payload);
+                  cached && cached->size() == plan.rooms.size()) {
+                artifact_hits.fetch_add(1, std::memory_order_relaxed);
+                arrange_reused = true;
+                plan.rooms = std::move(*cached);
+                return plan;
+              }
+            }
+            artifact_misses.fetch_add(1, std::memory_order_relaxed);
+          }
+          floorplan::arrange_rooms(plan.rooms, plan.hallway, config_.arrange);
+          if (key) {
+            artifacts->insert(cache::Family::kArrange, *key,
+                              encode_placed_rooms(plan.rooms));
+          }
+          return plan;
+        });
+    if (artifacts != nullptr) {
+      trace_->annotate("cache", arrange_reused ? "hit" : "miss");
+    }
     if (arranged.ok()) {
       result.plan = std::move(arranged).take();
     } else {
       // Rooms stay at their panorama-implied anchors: overlapping but
       // complete beats arranged but absent.
-      result.plan = build_plan(false);
+      result.plan = build_plan();
       record("arrange", arranged.error(), "rooms left at anchor placement",
              DegradationEvent::Action::kSkipped);
     }
@@ -527,9 +710,12 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
   // Diagnostics view: cumulative counters for ingest-side numbers, this
   // run's deltas for run-side numbers, span durations for stage timings.
   result.trace = trace_->snapshot();
-  result.diagnostics.videos_ingested = videos_ingested_->value();
-  result.diagnostics.trajectories_kept = trajectories_kept_->value();
-  result.diagnostics.trajectories_dropped = trajectories_dropped_->value();
+  result.diagnostics.videos_ingested =
+      videos_ingested_->value() - ingested_baseline_;
+  result.diagnostics.trajectories_kept =
+      trajectories_kept_->value() - kept_baseline_;
+  result.diagnostics.trajectories_dropped =
+      trajectories_dropped_->value() - dropped_baseline_;
   result.diagnostics.trajectories_placed = trajectories_placed_->value() - placed_before;
   result.diagnostics.match_edges = match_edges_->value() - edges_before;
   result.diagnostics.panoramas_attempted =
@@ -538,14 +724,56 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
       panoramas_stitched_->value() - stitched_before;
   result.diagnostics.rooms_reconstructed =
       rooms_reconstructed_->value() - rooms_before;
-  if (s2_cache_) {
-    result.diagnostics.s2_cache_hits = s2_cache_->hits() - cache_hits_before;
-    result.diagnostics.s2_cache_misses =
-        s2_cache_->misses() - cache_misses_before;
+  if (s2) {
+    result.diagnostics.s2_cache_hits = s2->hits() - cache_hits_before;
+    result.diagnostics.s2_cache_misses = s2->misses() - cache_misses_before;
     s2_cache_hits_->increment(result.diagnostics.s2_cache_hits);
     s2_cache_misses_->increment(result.diagnostics.s2_cache_misses);
   }
   result.diagnostics.extract_seconds = result.trace.total_seconds("extract");
+
+  // Artifact-cache reuse view + metric mirrors.
+  {
+    const std::size_t n = trajectories_.size();
+    CacheReuseStats& cs = result.diagnostics.cache;
+    cs.pairs_total = n > 1 ? n * (n - 1) / 2 : 0;
+    cs.pairs_reused = pairs_reused.load(std::memory_order_relaxed);
+    cs.rooms_total = rooms_total;
+    cs.rooms_reused = rooms_reused.load(std::memory_order_relaxed);
+    cs.skeleton_reused = skeleton_reused;
+    cs.arrange_reused = arrange_reused;
+    cs.artifact_hits = artifact_hits.load(std::memory_order_relaxed);
+    cs.artifact_misses = artifact_misses.load(std::memory_order_relaxed);
+    if (artifacts != nullptr) {
+      cs.artifact_invalidations = artifacts->invalidations();
+      registry_->counter("crowdmap_artifact_cache_hits_total", {},
+                         "Artifact cache hits across the stage seams")
+          .increment(cs.artifact_hits);
+      registry_->counter("crowdmap_artifact_cache_misses_total", {},
+                         "Artifact cache misses across the stage seams")
+          .increment(cs.artifact_misses);
+      registry_->counter("crowdmap_artifact_cache_invalidations_total", {},
+                         "Artifact cache entries dropped (FIFO + fault evicts)")
+          .increment(cs.artifact_invalidations - invalidations_before);
+      const auto reuse_gauge = [&](const char* stage, double value) {
+        registry_->gauge("crowdmap_artifact_stage_reuse",
+                         {{"stage", stage}},
+                         "Fraction of the stage served from the artifact "
+                         "cache in the most recent run")
+            .set(value);
+      };
+      reuse_gauge("pair", cs.pairs_total > 0
+                              ? static_cast<double>(cs.pairs_reused) /
+                                    static_cast<double>(cs.pairs_total)
+                              : 0.0);
+      reuse_gauge("room", cs.rooms_total > 0
+                              ? static_cast<double>(cs.rooms_reused) /
+                                    static_cast<double>(cs.rooms_total)
+                              : 0.0);
+      reuse_gauge("skeleton", cs.skeleton_reused ? 1.0 : 0.0);
+      reuse_gauge("arrange", cs.arrange_reused ? 1.0 : 0.0);
+    }
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.hpp"
 #include "common/expected.hpp"
 #include "common/fault.hpp"
 #include "common/memo_cache.hpp"
@@ -33,6 +34,26 @@ struct WorldFrame {
   geometry::Aabb extent;
 };
 
+/// Artifact-cache traffic of one run: how much of each stage was served
+/// from the content-addressed cache instead of recomputed. All zeros when no
+/// cache is attached (cold runs) — reuse never changes the result bytes,
+/// only where they came from.
+struct CacheReuseStats {
+  std::size_t pairs_reused = 0;
+  std::size_t pairs_total = 0;
+  std::size_t rooms_reused = 0;
+  std::size_t rooms_total = 0;
+  bool skeleton_reused = false;
+  bool arrange_reused = false;
+  std::uint64_t artifact_hits = 0;    // this run's lookups that hit
+  std::uint64_t artifact_misses = 0;  // this run's lookups that missed
+  /// Entries the shared cache dropped (FIFO pressure, fault-forced evicts)
+  /// over its lifetime up to the end of this run.
+  std::uint64_t artifact_invalidations = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Per-stage wall-clock timings and data-quality counters. Since the
 /// observability layer landed this is a *view*: run() computes it from the
 /// pipeline's MetricsRegistry counters and the trace span durations rather
@@ -54,6 +75,8 @@ struct PipelineDiagnostics {
   /// S2 memo cache traffic during this run (0/0 when the cache is disabled).
   std::size_t s2_cache_hits = 0;
   std::size_t s2_cache_misses = 0;
+  /// Artifact-cache reuse during this run (all zeros when detached).
+  CacheReuseStats cache;
 };
 
 /// One reconstructed room before floor-plan merge, with provenance.
@@ -112,6 +135,13 @@ struct PipelineResult {
   obs::SpanRecord trace;
 };
 
+/// The reconstruction engine. INTERNAL-ONLY construction: since the
+/// versioned facade landed (src/api/crowdmap.hpp), code outside src/ goes
+/// through api::v1::Client (or core::IncrementalPlanner for embedded use)
+/// rather than building pipelines directly — the facade owns corpus
+/// management, artifact caching and degradation reporting, and is the
+/// surface the compatibility guarantees cover. Direct construction outside
+/// src/ is flagged by the crowdmap_lint `pipeline-construction` rule.
 class CrowdMapPipeline {
  public:
   /// `registry` defaults to a fresh per-pipeline registry so counters don't
@@ -126,6 +156,17 @@ class CrowdMapPipeline {
 
   /// Ingests a pre-extracted trajectory (e.g. from a stored dataset).
   void ingest_trajectory(trajectory::Trajectory traj);
+
+  /// Ingest with a precomputed content key (IncrementalPlanner hashes each
+  /// trajectory once at corpus admission instead of per run).
+  void ingest_trajectory(trajectory::Trajectory traj,
+                         const cache::ArtifactKey& content_key);
+
+  /// The unqualified-data gates ingest_trajectory applies, as a pure
+  /// predicate — CrowdMapService uses the same one so its kept-upload list
+  /// matches the pipeline's exactly.
+  [[nodiscard]] static bool passes_quality_gates(
+      const trajectory::Trajectory& traj, const PipelineConfig& config);
 
   /// Runs aggregation, skeleton reconstruction, room layout modeling and
   /// force-directed arrangement over everything ingested so far. The
@@ -142,6 +183,21 @@ class CrowdMapPipeline {
     external_pool_ = pool;
   }
 
+  /// Attaches a content-addressed artifact cache (docs/INCREMENTAL.md): the
+  /// pair, room, skeleton and arrange seams then consult it before
+  /// recomputing. Not owned; must outlive the pipeline; nullptr detaches.
+  /// Reuse is byte-transparent — results are identical with or without it.
+  void set_artifact_cache(cache::ArtifactCache* cache) noexcept {
+    artifact_cache_ = cache;
+  }
+
+  /// Shares an external S2 memo cache (overrides the config-sized owned one)
+  /// so S2 scores persist across the fresh pipelines an IncrementalPlanner
+  /// builds per refresh. Not owned; nullptr returns to the owned cache.
+  void set_s2_cache(common::BoundedMemoCache* cache) noexcept {
+    external_s2_cache_ = cache;
+  }
+
   /// The pool run() fans work out on: the external pool if one was shared,
   /// else a lazily created config-sized pool, else nullptr when
   /// config.parallel.threads == 1 (serial legacy execution).
@@ -153,7 +209,7 @@ class CrowdMapPipeline {
   }
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t dropped_count() const noexcept {
-    return trajectories_dropped_->value();
+    return trajectories_dropped_->value() - dropped_baseline_;
   }
 
   /// The pipeline's metrics registry (counters, stage latency histograms).
@@ -177,13 +233,22 @@ class CrowdMapPipeline {
   /// Counter of injected fires for one fault point (labelled by point name).
   [[nodiscard]] obs::Counter& fault_counter(common::FaultPoint point);
 
+  [[nodiscard]] common::BoundedMemoCache* s2_cache() noexcept {
+    return external_s2_cache_ != nullptr ? external_s2_cache_ : s2_cache_.get();
+  }
+
   PipelineConfig config_;
   std::vector<trajectory::Trajectory> trajectories_;
+  /// Content key per kept trajectory ({0,0} = not yet hashed; run() fills
+  /// missing keys lazily when an artifact cache is attached).
+  std::vector<cache::ArtifactKey> content_keys_;
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::shared_ptr<obs::Trace> trace_;
   common::ThreadPool* external_pool_ = nullptr;
   std::unique_ptr<common::ThreadPool> owned_pool_;
   std::unique_ptr<common::BoundedMemoCache> s2_cache_;
+  common::BoundedMemoCache* external_s2_cache_ = nullptr;
+  cache::ArtifactCache* artifact_cache_ = nullptr;
   obs::Counter* videos_ingested_ = nullptr;
   obs::Counter* trajectories_kept_ = nullptr;
   obs::Counter* trajectories_dropped_ = nullptr;
@@ -196,6 +261,11 @@ class CrowdMapPipeline {
   obs::Counter* s2_cache_misses_ = nullptr;
   obs::Counter* stages_degraded_ = nullptr;
   common::FaultInjector faults_;
+  /// Ingest-counter values at construction: a shared registry carries other
+  /// pipelines' traffic, and diagnostics report this pipeline's delta only.
+  std::uint64_t ingested_baseline_ = 0;
+  std::uint64_t kept_baseline_ = 0;
+  std::uint64_t dropped_baseline_ = 0;
   /// run() invocations so far; keys whole-stage fault decisions so repeated
   /// runs of one pipeline see independent (but reproducible) outcomes.
   std::uint64_t run_serial_ = 0;

@@ -1,0 +1,385 @@
+#include "core/stage_artifacts.hpp"
+
+#include <bit>
+
+namespace crowdmap::core {
+
+namespace {
+
+// Payload framing: a one-byte tag guards against a (vanishingly unlikely)
+// cross-family key collision being decoded as the wrong type, and the schema
+// version rides along so decode rejects stale layouts instead of misreading.
+enum : std::uint8_t {
+  kTagPair = 0x50,      // 'P'
+  kTagRoom = 0x52,      // 'R'
+  kTagSkeleton = 0x53,  // 'S'
+  kTagArrange = 0x41,   // 'A'
+};
+
+void write_header(io::Writer& w, std::uint8_t tag) {
+  w.u8(tag);
+  w.u64(kArtifactSchemaVersion);
+}
+
+[[nodiscard]] bool read_header(io::Reader& r, std::uint8_t tag) {
+  return r.u8() == tag && r.u64() == kArtifactSchemaVersion;
+}
+
+void write_vec2(io::Writer& w, const geometry::Vec2& v) {
+  w.f64(v.x);
+  w.f64(v.y);
+}
+
+[[nodiscard]] geometry::Vec2 read_vec2(io::Reader& r) {
+  geometry::Vec2 v;
+  v.x = r.f64();
+  v.y = r.f64();
+  return v;
+}
+
+void write_raster(io::Writer& w, const geometry::BoolRaster& raster) {
+  w.f64(raster.extent().min.x);
+  w.f64(raster.extent().min.y);
+  w.f64(raster.extent().max.x);
+  w.f64(raster.extent().max.y);
+  w.f64(raster.cell_size());
+  w.u32(static_cast<std::uint32_t>(raster.width()));
+  w.u32(static_cast<std::uint32_t>(raster.height()));
+  w.u64(raster.data().size());
+  w.bytes_raw(raster.data());
+}
+
+[[nodiscard]] geometry::BoolRaster read_raster(io::Reader& r) {
+  geometry::Aabb extent;
+  extent.min.x = r.f64();
+  extent.min.y = r.f64();
+  extent.max.x = r.f64();
+  extent.max.y = r.f64();
+  const double cell_size = r.f64();
+  const auto width = r.u32();
+  const auto height = r.u32();
+  geometry::BoolRaster raster(extent, cell_size);
+  if (raster.width() != static_cast<int>(width) ||
+      raster.height() != static_cast<int>(height)) {
+    throw io::DecodeError("artifact raster dimensions disagree with extent");
+  }
+  const std::uint64_t n = r.u64();
+  if (n != raster.data().size()) {
+    throw io::DecodeError("artifact raster cell count mismatch");
+  }
+  for (std::uint64_t i = 0; i < n; ++i) raster.data()[i] = r.u8();
+  return raster;
+}
+
+void key_raster(cache::KeyBuilder& k, const geometry::BoolRaster& raster) {
+  k.f64(raster.extent().min.x);
+  k.f64(raster.extent().min.y);
+  k.f64(raster.extent().max.x);
+  k.f64(raster.extent().max.y);
+  k.f64(raster.cell_size());
+  k.u64(static_cast<std::uint64_t>(raster.width()));
+  k.u64(static_cast<std::uint64_t>(raster.height()));
+  k.bytes(raster.data());
+}
+
+void write_layout(io::Writer& w, const room::RoomLayout& layout) {
+  w.f64(layout.width);
+  w.f64(layout.depth);
+  w.f64(layout.orientation);
+  write_vec2(w, layout.camera_offset);
+  w.f64(layout.score);
+  w.f64(layout.coverage);
+}
+
+[[nodiscard]] room::RoomLayout read_layout(io::Reader& r) {
+  room::RoomLayout layout;
+  layout.width = r.f64();
+  layout.depth = r.f64();
+  layout.orientation = r.f64();
+  layout.camera_offset = read_vec2(r);
+  layout.score = r.f64();
+  layout.coverage = r.f64();
+  return layout;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- content keys ---
+
+cache::ArtifactKey trajectory_content_key(const trajectory::Trajectory& traj) {
+  cache::KeyBuilder k;
+  k.u64(kArtifactSchemaVersion);
+  k.str("trajectory");
+  k.bytes(io::encode_trajectory(traj));
+  // encode_trajectory quantizes key-frame pixels to 8 bits; fold the exact
+  // float bits in as well so sub-quantization pixel differences cannot alias
+  // two distinct trajectories onto one key.
+  for (const auto& kf : traj.keyframes) {
+    for (const float px : kf.gray.data()) {
+      k.u64(std::bit_cast<std::uint32_t>(px));
+    }
+  }
+  return k.finish();
+}
+
+// ------------------------------------------------------------- pair seam ---
+
+cache::ArtifactKey pair_decision_key(const cache::ArtifactKey& content_a,
+                                     const cache::ArtifactKey& content_b,
+                                     const trajectory::AggregationConfig& config) {
+  cache::KeyBuilder k;
+  k.u64(kArtifactSchemaVersion);
+  k.str("pair");
+  k.u64(content_a.hi);
+  k.u64(content_a.lo);
+  k.u64(content_b.hi);
+  k.u64(content_b.lo);
+  k.u64(static_cast<std::uint64_t>(config.method));
+  const trajectory::MatchConfig& m = config.match;
+  k.f64(m.h_s);
+  k.f64(m.h_d);
+  k.f64(m.nn_ratio);
+  k.f64(m.h_f);
+  k.f64(m.h_l);
+  k.i64(m.min_consistent_anchors);
+  k.f64(m.consensus_dist);
+  k.f64(m.consensus_angle);
+  k.f64(m.lcss.epsilon);
+  k.i64(m.lcss.delta);
+  k.f64(m.s1_weights.color);
+  k.f64(m.s1_weights.shape);
+  k.f64(m.s1_weights.wavelet);
+  k.f64(m.resample_spacing);
+  k.i64(m.max_candidates);
+  k.i64(m.max_s2_evaluations);
+  k.i64(m.max_anchors);
+  return k.finish();
+}
+
+io::Bytes encode_pair_decision(const trajectory::PairDecision& decision) {
+  io::Writer w;
+  write_header(w, kTagPair);
+  w.u8(decision.matched ? 1 : 0);
+  w.f64(decision.b_to_a.position.x);
+  w.f64(decision.b_to_a.position.y);
+  w.f64(decision.b_to_a.theta);
+  w.f64(decision.s3);
+  w.u64(decision.anchor_count);
+  return std::move(w).take();
+}
+
+std::optional<trajectory::PairDecision> decode_pair_decision(
+    const io::Bytes& data) {
+  try {
+    io::Reader r(data);
+    if (!read_header(r, kTagPair)) return std::nullopt;
+    trajectory::PairDecision d;
+    d.matched = r.u8() != 0;
+    d.b_to_a.position.x = r.f64();
+    d.b_to_a.position.y = r.f64();
+    d.b_to_a.theta = r.f64();
+    d.s3 = r.f64();
+    d.anchor_count = r.u64();
+    if (!r.exhausted()) return std::nullopt;
+    return d;
+  } catch (const io::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+// ------------------------------------------------------------- room seam ---
+
+cache::ArtifactKey room_artifact_key(const cache::ArtifactKey& content,
+                                     const room::PanoramaCandidate& candidate,
+                                     const vision::StitchParams& stitch,
+                                     const room::LayoutConfig& layout) {
+  cache::KeyBuilder k;
+  k.u64(kArtifactSchemaVersion);
+  k.str("room");
+  k.u64(content.hi);
+  k.u64(content.lo);
+  k.u64(candidate.keyframe_indices.size());
+  for (const std::size_t idx : candidate.keyframe_indices) k.u64(idx);
+  k.f64(candidate.cell_center.x);
+  k.f64(candidate.cell_center.y);
+  k.i64(stitch.output_width);
+  k.i64(stitch.output_height);
+  k.f64(stitch.fov);
+  k.i64(stitch.max_refine_px);
+  k.u64(stitch.refine_alignment ? 1 : 0);
+  // Effective layout config; scoring_shards deliberately omitted (the shard
+  // count tunes pool granularity, not the winning hypothesis).
+  k.i64(layout.hypotheses);
+  k.f64(layout.camera_height);
+  k.f64(layout.pitch);
+  k.f64(layout.boundary_height);
+  k.f64(layout.min_side);
+  k.f64(layout.max_side);
+  k.f64(layout.max_center_offset);
+  k.u64(layout.seed);
+  k.u64(layout.use_seed_hypotheses ? 1 : 0);
+  k.f64(layout.corner_weight);
+  k.f64(layout.focal_px);
+  return k.finish();
+}
+
+io::Bytes encode_room_artifact(const RoomArtifact& artifact) {
+  io::Writer w;
+  write_header(w, kTagRoom);
+  w.u8(artifact.stitched ? 1 : 0);
+  w.u8(artifact.has_layout ? 1 : 0);
+  if (artifact.has_layout) write_layout(w, artifact.layout);
+  return std::move(w).take();
+}
+
+std::optional<RoomArtifact> decode_room_artifact(const io::Bytes& data) {
+  try {
+    io::Reader r(data);
+    if (!read_header(r, kTagRoom)) return std::nullopt;
+    RoomArtifact artifact;
+    artifact.stitched = r.u8() != 0;
+    artifact.has_layout = r.u8() != 0;
+    if (artifact.has_layout) artifact.layout = read_layout(r);
+    if (!r.exhausted()) return std::nullopt;
+    return artifact;
+  } catch (const io::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+// --------------------------------------------------------- skeleton seam ---
+
+cache::ArtifactKey skeleton_key(const mapping::OccupancyGrid& grid,
+                                const mapping::SkeletonConfig& config) {
+  cache::KeyBuilder k;
+  k.u64(kArtifactSchemaVersion);
+  k.str("skeleton");
+  k.f64(grid.extent().min.x);
+  k.f64(grid.extent().min.y);
+  k.f64(grid.extent().max.x);
+  k.f64(grid.extent().max.y);
+  k.f64(grid.cell_size());
+  k.u64(static_cast<std::uint64_t>(grid.width()));
+  k.u64(static_cast<std::uint64_t>(grid.height()));
+  for (int row = 0; row < grid.height(); ++row) {
+    for (int col = 0; col < grid.width(); ++col) {
+      k.f64(grid.count_at(col, row));
+    }
+  }
+  k.f64(config.min_access_count);
+  k.f64(config.alpha);
+  k.i64(config.close_radius);
+  k.i64(config.bridge_max_gap_cells);
+  k.u64(config.min_component_cells);
+  k.i64(config.final_dilate_cells);
+  return k.finish();
+}
+
+io::Bytes encode_skeleton(const mapping::PathSkeleton& skeleton) {
+  io::Writer w;
+  write_header(w, kTagSkeleton);
+  write_raster(w, skeleton.raster);
+  write_raster(w, skeleton.binarized);
+  w.u64(skeleton.boundary.size());
+  for (const auto& seg : skeleton.boundary) {
+    write_vec2(w, seg.a);
+    write_vec2(w, seg.b);
+  }
+  return std::move(w).take();
+}
+
+std::optional<mapping::PathSkeleton> decode_skeleton(const io::Bytes& data) {
+  try {
+    io::Reader r(data);
+    if (!read_header(r, kTagSkeleton)) return std::nullopt;
+    mapping::PathSkeleton skeleton;
+    skeleton.raster = read_raster(r);
+    skeleton.binarized = read_raster(r);
+    const std::uint64_t n = r.u64();
+    skeleton.boundary.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      geometry::Segment seg;
+      seg.a = read_vec2(r);
+      seg.b = read_vec2(r);
+      skeleton.boundary.push_back(seg);
+    }
+    if (!r.exhausted()) return std::nullopt;
+    return skeleton;
+  } catch (const io::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------- arrange seam ---
+
+cache::ArtifactKey arrange_key(const std::vector<floorplan::PlacedRoom>& rooms,
+                               const geometry::BoolRaster& hallway,
+                               const floorplan::ArrangeConfig& config) {
+  cache::KeyBuilder k;
+  k.u64(kArtifactSchemaVersion);
+  k.str("arrange");
+  k.u64(rooms.size());
+  for (const auto& room : rooms) {
+    k.f64(room.center.x);
+    k.f64(room.center.y);
+    k.f64(room.width);
+    k.f64(room.depth);
+    k.f64(room.orientation);
+    k.f64(room.anchor.x);
+    k.f64(room.anchor.y);
+    k.i64(room.true_room_id);
+    k.f64(room.layout_score);
+  }
+  key_raster(k, hallway);
+  k.f64(config.spring_k);
+  k.f64(config.room_repulsion);
+  k.f64(config.hall_repulsion);
+  k.f64(config.step);
+  k.f64(config.converge_force);
+  k.i64(config.max_iterations);
+  return k.finish();
+}
+
+io::Bytes encode_placed_rooms(const std::vector<floorplan::PlacedRoom>& rooms) {
+  io::Writer w;
+  write_header(w, kTagArrange);
+  w.u64(rooms.size());
+  for (const auto& room : rooms) {
+    write_vec2(w, room.center);
+    w.f64(room.width);
+    w.f64(room.depth);
+    w.f64(room.orientation);
+    write_vec2(w, room.anchor);
+    w.i32(room.true_room_id);
+    w.f64(room.layout_score);
+  }
+  return std::move(w).take();
+}
+
+std::optional<std::vector<floorplan::PlacedRoom>> decode_placed_rooms(
+    const io::Bytes& data) {
+  try {
+    io::Reader r(data);
+    if (!read_header(r, kTagArrange)) return std::nullopt;
+    const std::uint64_t n = r.u64();
+    std::vector<floorplan::PlacedRoom> rooms;
+    rooms.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      floorplan::PlacedRoom room;
+      room.center = read_vec2(r);
+      room.width = r.f64();
+      room.depth = r.f64();
+      room.orientation = r.f64();
+      room.anchor = read_vec2(r);
+      room.true_room_id = r.i32();
+      room.layout_score = r.f64();
+      rooms.push_back(room);
+    }
+    if (!r.exhausted()) return std::nullopt;
+    return rooms;
+  } catch (const io::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace crowdmap::core

@@ -3,7 +3,9 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
+#include "api/crowdmap.hpp"
 #include "common/stats.hpp"
 
 namespace crowdmap::eval {
@@ -18,24 +20,40 @@ ExperimentRun run_experiment(const DatasetSpec& dataset,
   ExperimentRun run;
   run.dataset = dataset;
 
-  core::CrowdMapPipeline pipeline(config);
+  api::ClientOptions options;
+  options.config = config;
+  api::Client client(std::move(options));
+  std::string building = dataset.building.name;
+  int floor = 1;
+  bool have_target = false;
   sim::generate_campaign_streaming(
       dataset.building, dataset.options, dataset.seed,
-      [&pipeline](sim::SensorRichVideo&& video) { pipeline.ingest(video); });
+      [&](sim::SensorRichVideo&& video) {
+        if (!have_target) {
+          building = video.building;
+          floor = video.floor;
+          have_target = true;
+        }
+        (void)client.submit_video(video);
+      });
+  client.drain();
 
-  // First pass: aggregate in the pipeline's own frame to estimate the
-  // alignment onto ground truth, then rerun the spatial stages in the truth
-  // frame so rasters are directly comparable (the paper's overlay step).
-  const auto aggregation = trajectory::aggregate_trajectories(
-      pipeline.trajectories(), config.aggregation);
+  // First pass: build in the backend's own frame to estimate the alignment
+  // onto ground truth, then rebuild in the truth frame so rasters are
+  // directly comparable (the paper's overlay step). The second build replays
+  // the first's frame-independent artifacts from the cache.
+  const auto plan0 = client.build_plan({building, floor, std::nullopt});
+  run.trajectories = client.trajectories(building, floor);
   const auto alignment =
-      floorplan::align_to_truth(pipeline.trajectories(), aggregation);
+      floorplan::align_to_truth(run.trajectories, plan0.result.aggregation);
   run.global_to_truth = alignment.value_or(geometry::Pose2{});
 
   core::WorldFrame frame;
   frame.global_to_world = run.global_to_truth;
   frame.extent = dataset.building.extent();
-  run.result = pipeline.run(frame);
+  auto final_build = client.build_plan({building, floor, frame});
+  run.result = std::move(final_build.result);
+  run.cache = final_build.cache;
 
   // Table I metrics: cut room paths (the paper does this manually), align
   // residually, compare.
@@ -50,8 +68,7 @@ ExperimentRun run_experiment(const DatasetSpec& dataset,
   // Fig. 8 metrics: rooms are already in the truth frame (identity residual).
   run.room_errors = floorplan::evaluate_rooms(run.result.plan, dataset.building,
                                               geometry::Pose2{});
-  run.trajectories = pipeline.trajectories();
-  run.metrics = pipeline.metrics().snapshot();
+  run.metrics = std::move(final_build.metrics);
   return run;
 }
 

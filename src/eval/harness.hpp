@@ -25,15 +25,19 @@ struct ExperimentRun {
   geometry::OverlapMetrics hallway;      // Table I metrics
   std::vector<floorplan::RoomError> room_errors;  // Fig. 8 metrics
   std::vector<trajectory::Trajectory> trajectories;  // kept extracted data
-  /// Dump of the pipeline's metrics registry at the end of the run, so
+  /// Artifact reuse of the final (truth-frame) build: the harness builds
+  /// twice — once to estimate the alignment, once in the truth frame — and
+  /// the second build replays the first's pair artifacts from the cache.
+  core::CacheReuseStats cache;
+  /// Dump of the backend's metrics registry at the end of the run, so
   /// experiment records carry their counters and stage latencies (export
   /// with obs::to_prometheus / obs::to_json; the trace is in result.trace).
   obs::MetricsSnapshot metrics;
 };
 
-/// Streams the dataset's videos through a pipeline and evaluates the result
-/// against ground truth. The alignment onto the truth frame is estimated
-/// from key-frame correspondences (the paper's max-cover overlay).
+/// Streams the dataset's videos through the api::v1 backend and evaluates
+/// the result against ground truth. The alignment onto the truth frame is
+/// estimated from key-frame correspondences (the paper's max-cover overlay).
 [[nodiscard]] ExperimentRun run_experiment(const DatasetSpec& dataset,
                                            const core::PipelineConfig& config);
 

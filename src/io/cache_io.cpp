@@ -1,0 +1,72 @@
+#include "io/serialize.hpp"
+
+namespace crowdmap::io {
+
+namespace {
+
+constexpr std::uint32_t kCacheMagic = 0x434D4331;  // "CMC1"
+constexpr std::uint32_t kCacheVersion = 1;
+
+/// Sanity bounds mirroring serialize.cpp: malformed length fields must not
+/// trigger giant allocations.
+constexpr std::uint64_t kMaxEntries = 1u << 22;
+constexpr std::uint64_t kMaxPayload = 256u * 1024u * 1024u;
+
+}  // namespace
+
+Bytes encode_artifact_cache(const std::vector<cache::ArtifactEntry>& entries) {
+  Writer w;
+  w.u32(kCacheMagic);
+  w.u32(kCacheVersion);
+  w.u64(entries.size());
+  for (const auto& entry : entries) {
+    w.u8(static_cast<std::uint8_t>(entry.family));
+    w.u64(entry.key.hi);
+    w.u64(entry.key.lo);
+    w.u64(entry.payload.size());
+    w.bytes_raw(entry.payload);
+  }
+  return std::move(w).take();
+}
+
+std::vector<cache::ArtifactEntry> decode_artifact_cache(const Bytes& data) {
+  Reader r(data);
+  if (r.u32() != kCacheMagic) throw DecodeError("not an artifact cache");
+  if (r.u32() != kCacheVersion) {
+    throw DecodeError("unsupported artifact cache version");
+  }
+  const std::uint64_t n = r.u64();
+  if (n > kMaxEntries) {
+    throw DecodeError("implausible artifact cache entry count");
+  }
+  std::vector<cache::ArtifactEntry> entries;
+  entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cache::ArtifactEntry entry;
+    const std::uint8_t family = r.u8();
+    if (family >= cache::kFamilyCount) {
+      throw DecodeError("unknown artifact family");
+    }
+    entry.family = static_cast<cache::Family>(family);
+    entry.key.hi = r.u64();
+    entry.key.lo = r.u64();
+    const std::uint64_t size = r.u64();
+    if (size > kMaxPayload) throw DecodeError("implausible artifact payload");
+    entry.payload.reserve(size);
+    for (std::uint64_t b = 0; b < size; ++b) entry.payload.push_back(r.u8());
+    entries.push_back(std::move(entry));
+  }
+  if (!r.exhausted()) throw DecodeError("trailing bytes after artifact cache");
+  return entries;
+}
+
+common::Expected<std::vector<cache::ArtifactEntry>> try_decode_artifact_cache(
+    const Bytes& data) {
+  try {
+    return decode_artifact_cache(data);
+  } catch (const DecodeError& e) {
+    return common::make_error("io.decode", e.what());
+  }
+}
+
+}  // namespace crowdmap::io

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.hpp"
 #include "common/expected.hpp"
 #include "floorplan/floorplan.hpp"
 #include "sensors/imu.hpp"
@@ -81,6 +82,17 @@ class Reader {
 [[nodiscard]] Bytes encode_floorplan(const floorplan::FloorPlan& plan);
 [[nodiscard]] floorplan::FloorPlan decode_floorplan(const Bytes& data);
 
+/// Artifact-cache contents <-> bytes: the persistence half of incremental
+/// recomputation (docs/INCREMENTAL.md). A restarted CrowdMapService decodes
+/// a previously exported snapshot out of its DocumentStore and warms the
+/// cache, so the first refresh after a restart reuses artifacts instead of
+/// recomputing the corpus. Entries round-trip exactly (keys and payload
+/// bytes verbatim).
+[[nodiscard]] Bytes encode_artifact_cache(
+    const std::vector<cache::ArtifactEntry>& entries);
+[[nodiscard]] std::vector<cache::ArtifactEntry> decode_artifact_cache(
+    const Bytes& data);
+
 // Non-throwing variants for callers that degrade on malformed input (the
 // cloud backend quarantines rather than crashes): a DecodeError becomes an
 // Error with code "io.decode".
@@ -90,5 +102,7 @@ class Reader {
     const Bytes& data);
 [[nodiscard]] common::Expected<floorplan::FloorPlan> try_decode_floorplan(
     const Bytes& data);
+[[nodiscard]] common::Expected<std::vector<cache::ArtifactEntry>>
+try_decode_artifact_cache(const Bytes& data);
 
 }  // namespace crowdmap::io

@@ -13,6 +13,13 @@ double SpanRecord::exclusive_seconds() const {
   return duration_seconds - children_total;
 }
 
+const std::string* SpanRecord::attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
 const SpanRecord* SpanRecord::find(std::string_view target) const {
   if (name == target) return this;
   for (const auto& child : children) {
@@ -35,6 +42,9 @@ void render(const SpanRecord& span, int depth, std::ostringstream& out) {
       << span.duration_seconds * 1e3 << " ms";
   if (!span.children.empty()) {
     out << " (self " << span.exclusive_seconds() * 1e3 << " ms)";
+  }
+  for (const auto& [key, value] : span.attributes) {
+    out << "  " << key << "=" << value;
   }
   out << '\n';
   for (const auto& child : span.children) render(child, depth + 1, out);
@@ -95,6 +105,17 @@ double Trace::end_span() {
   return seconds;
 }
 
+void Trace::annotate(std::string_view key, std::string value) {
+  common::MutexLock lock(mutex_);
+  for (auto& [k, v] : open_->attributes) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  open_->attributes.emplace_back(std::string(key), std::move(value));
+}
+
 SpanRecord Trace::snapshot_node(const Node& node, Clock::time_point now) const {
   SpanRecord record;
   record.name = node.name;
@@ -103,6 +124,7 @@ SpanRecord Trace::snapshot_node(const Node& node, Clock::time_point now) const {
   const Clock::time_point end = node.closed ? node.end : now;
   record.duration_seconds =
       std::chrono::duration<double>(end - node.start).count();
+  record.attributes = node.attributes;
   record.children.reserve(node.children.size());
   for (const auto& child : node.children) {
     record.children.push_back(snapshot_node(*child, now));

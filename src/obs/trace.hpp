@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/annotations.hpp"
@@ -18,7 +19,13 @@ struct SpanRecord {
   std::string name;
   double start_seconds = 0.0;     // offset from the trace epoch
   double duration_seconds = 0.0;  // inclusive wall-clock time
+  /// Key/value annotations in insertion order (e.g. cache=hit). Kept as a
+  /// vector, not a map, so the rendered order is the annotation order.
+  std::vector<std::pair<std::string, std::string>> attributes;
   std::vector<SpanRecord> children;
+
+  /// Value of the attribute named `key`, or nullptr when absent.
+  [[nodiscard]] const std::string* attribute(std::string_view key) const;
 
   /// Inclusive time minus the children's inclusive times (self time).
   [[nodiscard]] double exclusive_seconds() const;
@@ -66,6 +73,10 @@ class Trace {
   void begin_span(std::string name) CM_EXCLUDES(mutex_);
   /// Closes the innermost open span; returns its inclusive seconds.
   double end_span() CM_EXCLUDES(mutex_);
+  /// Attaches a key/value attribute to the innermost open span (the cache
+  /// seams tag their stage spans with cache=hit/miss reuse summaries). A
+  /// repeated key overwrites the earlier value in place.
+  void annotate(std::string_view key, std::string value) CM_EXCLUDES(mutex_);
   /// RAII convenience for begin/end pairs.
   [[nodiscard]] ScopedSpan scoped(std::string name) {
     return ScopedSpan(*this, std::move(name));
@@ -83,6 +94,7 @@ class Trace {
     std::string name;
     Clock::time_point start;
     Clock::time_point end;
+    std::vector<std::pair<std::string, std::string>> attributes;
     bool closed = false;
     Node* parent = nullptr;
     std::vector<std::unique_ptr<Node>> children;

@@ -253,25 +253,40 @@ AggregationResult aggregate_trajectories(std::span<const Trajectory> trajectorie
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
   }
-  std::vector<std::optional<PairMatch>> slots(n_pairs);
+  std::vector<PairDecision> slots(n_pairs);
   common::parallel_for(runtime.pool, n_pairs, [&](std::size_t p) {
     const auto [i, j] = pairs[p];
-    slots[p] =
+    if (runtime.pair_lookup) {
+      if (auto cached = runtime.pair_lookup(i, j)) {
+        slots[p] = *cached;
+        return;
+      }
+    }
+    const std::optional<PairMatch> match =
         config.method == AggregationMethod::kSequenceBased
             ? match_trajectories(trajectories[i], trajectories[j], config.match,
                                  s2_cache)
             : match_single_image(trajectories[i], trajectories[j], config.match,
                                  s2_cache);
+    PairDecision decision;
+    if (match) {
+      decision.matched = true;
+      decision.b_to_a = match->b_to_a;
+      decision.s3 = match->s3;
+      decision.anchor_count = match->anchors.size();
+    }
+    slots[p] = decision;
+    if (runtime.pair_store) runtime.pair_store(i, j, decision);
   });
   std::vector<MatchEdge> edges;
   for (std::size_t p = 0; p < n_pairs; ++p) {
-    if (!slots[p]) continue;
+    if (!slots[p].matched) continue;
     MatchEdge edge;
     edge.a = pairs[p].first;
     edge.b = pairs[p].second;
-    edge.b_to_a = slots[p]->b_to_a;
-    edge.s3 = slots[p]->s3;
-    edge.anchor_count = slots[p]->anchors.size();
+    edge.b_to_a = slots[p].b_to_a;
+    edge.s3 = slots[p].s3;
+    edge.anchor_count = slots[p].anchor_count;
     edges.push_back(edge);
   }
   return place_edges(n, std::move(edges), config);

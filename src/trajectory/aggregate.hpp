@@ -3,6 +3,7 @@
 // act as the "anchor points" of §III.B.I).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -12,9 +13,20 @@
 
 namespace crowdmap::trajectory {
 
+/// Outcome of one pairwise comparison, reduced to exactly what the pose
+/// graph consumes. This is the unit the artifact cache stores: replaying a
+/// stored decision reproduces the same MatchEdge bit for bit, because edges
+/// are built from these fields alone (anchors themselves are discarded).
+struct PairDecision {
+  bool matched = false;
+  Pose2 b_to_a;
+  double s3 = 0.0;
+  std::size_t anchor_count = 0;
+};
+
 /// Shared runtime resources for aggregation, owned by the caller (the
-/// pipeline shares one pool and one S2 memo across every stage). Both
-/// pointers are optional; the default runs the exact serial legacy path.
+/// pipeline shares one pool and one S2 memo across every stage). Every
+/// member is optional; the default runs the exact serial legacy path.
 struct AggregationRuntime {
   /// Fans the O(N^2) pairwise matching out over the pool (plus the calling
   /// thread). Results are merged per-pair in index order, so any worker
@@ -24,6 +36,15 @@ struct AggregationRuntime {
   /// when every trajectory in the batch has a distinct video_id (the cache
   /// key is keyed on video identity); otherwise silently bypassed.
   common::BoundedMemoCache* s2_cache = nullptr;
+  /// Pair-decision seam for the artifact cache (the pipeline wires these to
+  /// content-addressed lookups; see src/core/stage_artifacts.hpp). When
+  /// `pair_lookup(i, j)` returns a decision it is used verbatim and the
+  /// match is never computed; otherwise the computed decision is offered to
+  /// `pair_store`. Keeping the hooks as plain functions keeps this library
+  /// free of any cache dependency.
+  std::function<std::optional<PairDecision>(std::size_t, std::size_t)>
+      pair_lookup;
+  std::function<void(std::size_t, std::size_t, const PairDecision&)> pair_store;
 };
 
 /// Aggregation method selector (Fig. 7(a) compares the two).

@@ -1,0 +1,207 @@
+// Tests for the api::v1 facade and incremental recomputation semantics:
+// submission-order independence, warm-vs-cold byte identity, cache reuse
+// across rebuilds, persistence warm-start, and background refresh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "api/crowdmap.hpp"
+#include "common/rng.hpp"
+#include "io/serialize.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+namespace ap = crowdmap::api;
+namespace cs = crowdmap::sim;
+namespace co = crowdmap::core;
+namespace cc = crowdmap::common;
+namespace io = crowdmap::io;
+
+namespace {
+
+std::vector<cs::SensorRichVideo> tiny_campaign(std::uint64_t seed) {
+  std::vector<cs::SensorRichVideo> out;
+  cc::Rng rng(seed);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options;
+  options.users = 2;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 4;
+  options.junk_fraction = 0.0;
+  options.sim.fps = 3.0;
+  cs::generate_campaign_streaming(spec, options, seed,
+                                  [&out](cs::SensorRichVideo&& video) {
+                                    out.push_back(std::move(video));
+                                  });
+  return out;
+}
+
+ap::Client make_client(co::PipelineConfig config = co::PipelineConfig::fast_profile()) {
+  ap::ClientOptions options;
+  options.config = std::move(config);
+  return ap::Client(std::move(options));
+}
+
+std::string plan_bytes(const co::PipelineResult& result) {
+  const auto bytes = io::encode_floorplan(result.plan);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+TEST(Api, SubmissionOrderDoesNotChangeThePlan) {
+  const auto videos = tiny_campaign(810);
+  ASSERT_GE(videos.size(), 3u);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+
+  auto forward = make_client();
+  for (const auto& video : videos) ASSERT_TRUE(forward.submit_video(video).accepted);
+  const auto plan_fwd = forward.build_plan({building, floor, std::nullopt});
+
+  auto reversed = make_client();
+  for (auto it = videos.rbegin(); it != videos.rend(); ++it) {
+    ASSERT_TRUE(reversed.submit_video(*it).accepted);
+  }
+  const auto plan_rev = reversed.build_plan({building, floor, std::nullopt});
+
+  EXPECT_EQ(plan_bytes(plan_fwd.result), plan_bytes(plan_rev.result));
+  EXPECT_EQ(plan_fwd.result.degradation.to_string(),
+            plan_rev.result.degradation.to_string());
+}
+
+TEST(Api, IncrementalRefreshMatchesColdRebuildByteForByte) {
+  const auto videos = tiny_campaign(811);
+  ASSERT_GE(videos.size(), 2u);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+
+  // Warm path: N-1 uploads, build, then the last upload arrives and we
+  // rebuild incrementally.
+  auto warm = make_client();
+  for (std::size_t v = 0; v + 1 < videos.size(); ++v) {
+    ASSERT_TRUE(warm.submit_video(videos[v]).accepted);
+  }
+  (void)warm.build_plan({building, floor, std::nullopt});
+  ASSERT_TRUE(warm.submit_video(videos.back()).accepted);
+  const auto incremental = warm.build_plan({building, floor, std::nullopt});
+
+  // Cold path: all uploads, one build, no cache history.
+  auto cold = make_client();
+  for (const auto& video : videos) ASSERT_TRUE(cold.submit_video(video).accepted);
+  const auto scratch = cold.build_plan({building, floor, std::nullopt});
+
+  EXPECT_EQ(plan_bytes(incremental.result), plan_bytes(scratch.result));
+  EXPECT_EQ(incremental.result.diagnostics.trajectories_kept,
+            scratch.result.diagnostics.trajectories_kept);
+
+  // The refresh replayed prior-corpus pair decisions instead of recomputing.
+  EXPECT_GT(incremental.cache.pairs_reused, 0u);
+  EXPECT_GT(incremental.cache.artifact_hits, 0u);
+  EXPECT_EQ(scratch.cache.artifact_hits, 0u);  // first build is all misses
+}
+
+TEST(Api, RepeatBuildReusesEverythingAndKeepsConfigHoisted) {
+  // Regression for the per-build config/state rebuild: a second build over
+  // an unchanged corpus must replay every cached stage (the planner keeps
+  // the artifact cache, S2 memo and hashed corpus across refreshes) and
+  // still return the same bytes.
+  const auto videos = tiny_campaign(812);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+
+  auto client = make_client();
+  for (const auto& video : videos) ASSERT_TRUE(client.submit_video(video).accepted);
+  const auto first = client.build_plan({building, floor, std::nullopt});
+  const auto second = client.build_plan({building, floor, std::nullopt});
+
+  EXPECT_EQ(plan_bytes(first.result), plan_bytes(second.result));
+  EXPECT_EQ(second.cache.pairs_reused, second.cache.pairs_total);
+  EXPECT_GT(second.cache.rooms_total, 0u);
+  EXPECT_EQ(second.cache.rooms_reused, second.cache.rooms_total);
+  EXPECT_TRUE(second.cache.skeleton_reused);
+  EXPECT_TRUE(second.cache.arrange_reused);
+  EXPECT_EQ(second.cache.artifact_misses, 0u);
+  // The S2 memo also persists across refreshes now that the planner owns it.
+  EXPECT_EQ(second.result.diagnostics.s2_cache_misses, 0u);
+}
+
+TEST(Api, PersistedCacheWarmsARestartedBackend) {
+  const auto videos = tiny_campaign(813);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+
+  auto original = make_client();
+  for (const auto& video : videos) ASSERT_TRUE(original.submit_video(video).accepted);
+  const auto before = original.build_plan({building, floor, std::nullopt});
+  ASSERT_TRUE(original.persist_artifact_cache(building, floor));
+  // The snapshot is a reserved system document: floor queries still return
+  // only the uploads themselves.
+  for (const auto& id :
+       original.service().store().ids_for_floor(building, floor)) {
+    EXPECT_EQ(id.rfind("video-", 0), 0u) << "snapshot leaked into " << id;
+  }
+
+  auto restarted = make_client();
+  EXPECT_GT(restarted.warm_artifact_cache_from(original.service().store()), 0u);
+  for (const auto& video : videos) ASSERT_TRUE(restarted.submit_video(video).accepted);
+  const auto after = restarted.build_plan({building, floor, std::nullopt});
+
+  EXPECT_EQ(plan_bytes(before.result), plan_bytes(after.result));
+  // First build after the restart already replays warmed artifacts.
+  EXPECT_GT(after.cache.artifact_hits, 0u);
+  EXPECT_EQ(after.cache.pairs_reused, after.cache.pairs_total);
+}
+
+TEST(Api, BackgroundRefreshServesLatestPlanWithoutABuildCall) {
+  auto config = co::PipelineConfig::fast_profile();
+  config.incremental.background_refresh = true;
+  auto client = make_client(std::move(config));
+
+  const auto videos = tiny_campaign(814);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+  EXPECT_EQ(client.latest_plan(building, floor), nullptr);
+  for (const auto& video : videos) ASSERT_TRUE(client.submit_video(video).accepted);
+  client.drain();
+
+  const auto latest = client.latest_plan(building, floor);
+  ASSERT_NE(latest, nullptr);
+  EXPECT_GT(latest->diagnostics.trajectories_kept, 0u);
+
+  // A foreground build over the same corpus returns the same bytes the
+  // background refresh computed.
+  const auto built = client.build_plan({building, floor, std::nullopt});
+  EXPECT_EQ(plan_bytes(*latest), plan_bytes(built.result));
+}
+
+TEST(Api, VersionAliasResolvesToV1) {
+  // api::Client and api::v1::Client are the same type (inline namespace).
+  static_assert(std::is_same_v<ap::Client, crowdmap::api::v1::Client>);
+  SUCCEED();
+}
+
+TEST(Api, DisabledCacheStillBuildsIdenticalPlans) {
+  auto config = co::PipelineConfig::fast_profile();
+  config.incremental.artifact_cache_bytes = 0;  // caching off
+  auto uncached = make_client(config);
+  auto cached = make_client(co::PipelineConfig::fast_profile());
+
+  const auto videos = tiny_campaign(815);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+  for (const auto& video : videos) {
+    ASSERT_TRUE(uncached.submit_video(video).accepted);
+    ASSERT_TRUE(cached.submit_video(video).accepted);
+  }
+  (void)cached.build_plan({building, floor, std::nullopt});
+  const auto warm = cached.build_plan({building, floor, std::nullopt});
+  const auto plain = uncached.build_plan({building, floor, std::nullopt});
+  (void)uncached.build_plan({building, floor, std::nullopt});
+
+  EXPECT_EQ(plan_bytes(warm.result), plan_bytes(plain.result));
+  EXPECT_EQ(uncached.stats().artifact_cache.hits, 0u);
+  EXPECT_FALSE(uncached.persist_artifact_cache(building, floor));
+}

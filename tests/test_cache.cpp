@@ -1,0 +1,193 @@
+// Tests for the content-addressed artifact cache: key stability, bounding,
+// fault-forced eviction, and the persistence round-trip through io/serialize.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/artifact_cache.hpp"
+#include "common/fault.hpp"
+#include "io/serialize.hpp"
+
+namespace ca = crowdmap::cache;
+namespace cc = crowdmap::common;
+namespace io = crowdmap::io;
+
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+ca::ArtifactKey key_of(std::uint64_t salt) {
+  ca::KeyBuilder k;
+  k.u64(salt);
+  return k.finish();
+}
+
+}  // namespace
+
+TEST(KeyBuilder, DeterministicAndSensitive) {
+  ca::KeyBuilder a;
+  a.u64(7);
+  a.f64(1.5);
+  a.str("room");
+  ca::KeyBuilder b;
+  b.u64(7);
+  b.f64(1.5);
+  b.str("room");
+  EXPECT_EQ(a.finish(), b.finish());
+
+  ca::KeyBuilder c;  // one field differs -> different key
+  c.u64(7);
+  c.f64(1.5);
+  c.str("rooms");
+  EXPECT_NE(a.finish(), c.finish());
+
+  ca::KeyBuilder d;  // field order is part of the preimage
+  d.f64(1.5);
+  d.u64(7);
+  d.str("room");
+  EXPECT_NE(a.finish(), d.finish());
+}
+
+TEST(KeyBuilder, HashesExactFloatBits) {
+  ca::KeyBuilder pos;
+  pos.f64(0.0);
+  ca::KeyBuilder neg;
+  neg.f64(-0.0);
+  // 0.0 and -0.0 compare equal but are different bit patterns — the cache
+  // keys byte-exact reproduction, so they must hash differently.
+  EXPECT_NE(pos.finish(), neg.finish());
+}
+
+TEST(KeyBuilder, EmptyInputStillMixes) {
+  const ca::ArtifactKey k = ca::KeyBuilder{}.finish();
+  EXPECT_NE(k.hi, 0u);
+  EXPECT_NE(k.lo, 0u);
+  EXPECT_NE(k.hi, k.lo);
+}
+
+TEST(ArtifactCache, HitMissAndFamilyCounters) {
+  ca::ArtifactCache cache(1 << 20);
+  const auto key = key_of(1);
+  EXPECT_FALSE(cache.lookup(ca::Family::kRoom, key).has_value());
+  cache.insert(ca::Family::kRoom, key, payload_of(8, 0xAB));
+  const auto hit = cache.lookup(ca::Family::kRoom, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload_of(8, 0xAB));
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 8u);
+  const auto room = static_cast<std::size_t>(ca::Family::kRoom);
+  EXPECT_EQ(stats.family_hits[room], 1u);
+  EXPECT_EQ(stats.family_misses[room], 1u);
+}
+
+TEST(ArtifactCache, DuplicateInsertKeepsFirstValue) {
+  ca::ArtifactCache cache(1 << 20);
+  const auto key = key_of(2);
+  cache.insert(ca::Family::kPairMatch, key, payload_of(4, 1));
+  cache.insert(ca::Family::kPairMatch, key, payload_of(4, 2));
+  EXPECT_EQ(*cache.lookup(ca::Family::kPairMatch, key), payload_of(4, 1));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ArtifactCache, FifoEvictionHoldsByteBudget) {
+  // One shard so the budget math is exact.
+  ca::ArtifactCache cache(64, /*shards=*/1);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    cache.insert(ca::Family::kSkeleton, key_of(i), payload_of(16, 0x11));
+  }
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.bytes, 64u);
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.invalidations, 12u);  // each over-budget insert evicted one
+}
+
+TEST(ArtifactCache, OversizedPayloadRefused) {
+  ca::ArtifactCache cache(64, /*shards=*/1);
+  cache.insert(ca::Family::kArrange, key_of(3), payload_of(65, 0x22));
+  EXPECT_FALSE(cache.lookup(ca::Family::kArrange, key_of(3)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(ArtifactCache, FaultPointRefusesInsertsDeterministically) {
+  auto plan = cc::parse_fault_plan("9:cache.artifact_evict=1.0");
+  ASSERT_TRUE(plan.ok());
+  cc::FaultInjector injector;
+  injector.arm(plan.value());
+
+  ca::ArtifactCache cache(1 << 20);
+  cache.set_fault_injector(&injector);
+  cache.insert(ca::Family::kRoom, key_of(4), payload_of(8, 0x33));
+  EXPECT_FALSE(cache.lookup(ca::Family::kRoom, key_of(4)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_GE(cache.invalidations(), 1u);
+
+  // restore() bypasses the chaos point: warming a restarted service must
+  // not consume fault budget.
+  EXPECT_EQ(cache.restore({{ca::Family::kRoom, key_of(4), payload_of(8, 3)}}),
+            1u);
+  EXPECT_TRUE(cache.lookup(ca::Family::kRoom, key_of(4)).has_value());
+}
+
+TEST(ArtifactCache, ExportIsSortedAndRoundTripsThroughSerialize) {
+  ca::ArtifactCache cache(1 << 20);
+  cache.insert(ca::Family::kArrange, key_of(7), payload_of(3, 7));
+  cache.insert(ca::Family::kPairMatch, key_of(9), payload_of(5, 9));
+  cache.insert(ca::Family::kPairMatch, key_of(8), payload_of(4, 8));
+
+  const auto entries = cache.export_entries();
+  ASSERT_EQ(entries.size(), 3u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const bool ordered =
+        entries[i - 1].family < entries[i].family ||
+        (entries[i - 1].family == entries[i].family &&
+         entries[i - 1].key < entries[i].key);
+    EXPECT_TRUE(ordered) << "export not sorted at " << i;
+  }
+
+  const io::Bytes encoded = io::encode_artifact_cache(entries);
+  const auto decoded = io::decode_artifact_cache(encoded);
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i].family, entries[i].family);
+    EXPECT_EQ(decoded[i].key, entries[i].key);
+    EXPECT_EQ(decoded[i].payload, entries[i].payload);
+  }
+
+  ca::ArtifactCache warmed(1 << 20);
+  EXPECT_EQ(warmed.restore(decoded), entries.size());
+  EXPECT_EQ(*warmed.lookup(ca::Family::kArrange, key_of(7)), payload_of(3, 7));
+}
+
+TEST(ArtifactCacheCodec, RejectsMalformedInput) {
+  EXPECT_FALSE(io::try_decode_artifact_cache(io::Bytes{1, 2, 3}).ok());
+
+  io::Bytes encoded = io::encode_artifact_cache(
+      {{ca::Family::kRoom, key_of(5), payload_of(6, 5)}});
+  encoded.push_back(0);  // trailing garbage
+  const auto trailing = io::try_decode_artifact_cache(encoded);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.error().code, "io.decode");
+
+  io::Bytes truncated = io::encode_artifact_cache(
+      {{ca::Family::kRoom, key_of(5), payload_of(6, 5)}});
+  truncated.resize(truncated.size() - 2);
+  EXPECT_FALSE(io::try_decode_artifact_cache(truncated).ok());
+
+  // An unknown family byte is structural corruption, not a new version.
+  io::Bytes bad_family = io::encode_artifact_cache(
+      {{ca::Family::kRoom, key_of(5), payload_of(6, 5)}});
+  bad_family[4 + 4 + 8] = 200;  // magic + version + count, then family
+  EXPECT_FALSE(io::try_decode_artifact_cache(bad_family).ok());
+}
+
+TEST(ArtifactCacheCodec, EmptyCacheRoundTrips) {
+  const io::Bytes encoded = io::encode_artifact_cache({});
+  EXPECT_TRUE(io::decode_artifact_cache(encoded).empty());
+}

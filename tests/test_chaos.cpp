@@ -14,6 +14,7 @@
 // the same seed (docs/ROBUSTNESS.md).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -209,7 +210,11 @@ struct ChaosRun {
 /// chunks per the plan's ingest.* points (keyed by (upload id, chunk index),
 /// never by delivery order), followed by clean retransmit rounds; the
 /// service and pipeline honor the decode/extract/stage points themselves.
-ChaosRun run_backend(const cc::FaultPlan& plan, std::size_t threads) {
+/// `cache_bytes` overrides the artifact-cache budget when not SIZE_MAX (0
+/// disables caching); `builds` repeats build_floor_plan so warm-path reuse
+/// and eviction pressure are exercised — the returned run is the last build.
+ChaosRun run_backend(const cc::FaultPlan& plan, std::size_t threads,
+                     std::size_t cache_bytes = SIZE_MAX, int builds = 1) {
   cc::Rng rng(4242);
   const auto spec = cs::random_building(2, rng);
   cs::CampaignOptions options;
@@ -227,6 +232,9 @@ ChaosRun run_backend(const cc::FaultPlan& plan, std::size_t threads) {
   co::PipelineConfig config = co::PipelineConfig::fast_profile();
   config.parallel.threads = threads;
   config.faults = plan;
+  if (cache_bytes != SIZE_MAX) {
+    config.incremental.artifact_cache_bytes = cache_bytes;
+  }
 
   Fixture fixture;
   cl::CrowdMapService service(config, fixture.decoder(), threads);
@@ -276,9 +284,10 @@ ChaosRun run_backend(const cc::FaultPlan& plan, std::size_t threads) {
   frame.global_to_world = crowdmap::geometry::Pose2{};
   frame.extent = spec.extent();
   ChaosRun run;
-  run.result =
-      service.build_floor_plan(videos.front().building, videos.front().floor,
-                               frame);
+  for (int b = 0; b < builds; ++b) {
+    run.result = service.build_floor_plan(videos.front().building,
+                                          videos.front().floor, frame);
+  }
   run.plan_bytes = crowdmap::io::encode_floorplan(run.result.plan);
   run.degradation = run.result.degradation.to_string();
   run.stats = service.stats();
@@ -334,6 +343,38 @@ TEST(ChaosDeterminism, ArmedPlanThatNeverFiresMatchesDisarmed) {
   EXPECT_EQ(clean.plan_bytes, armed.plan_bytes);
   EXPECT_FALSE(clean.result.degradation.degraded());
   EXPECT_FALSE(armed.result.degradation.degraded());
+}
+
+TEST(ChaosDeterminism, CacheEvictionUnderPressureStaysByteIdentical) {
+  // A starved artifact cache (constant FIFO eviction) and a disabled one
+  // must both serialize the same bytes as the roomy default: eviction only
+  // costs recomputation, never changes results. Two builds per run so the
+  // second build actually exercises the reuse-vs-evicted paths.
+  const auto plan = full_chaos_plan(chaos_seed());
+  const auto roomy = run_backend(plan, 2, SIZE_MAX, 2);
+  const auto starved = run_backend(plan, 2, 2048, 2);
+  const auto disabled = run_backend(plan, 2, 0, 2);
+  ASSERT_FALSE(roomy.plan_bytes.empty());
+  EXPECT_EQ(roomy.plan_bytes, starved.plan_bytes);
+  EXPECT_EQ(roomy.plan_bytes, disabled.plan_bytes);
+  EXPECT_EQ(roomy.degradation, starved.degradation);
+  EXPECT_EQ(roomy.degradation, disabled.degradation);
+}
+
+TEST(ChaosDeterminism, ArtifactEvictFaultIsInvisibleInTheOutput) {
+  // cache.artifact_evict refuses inserts at the injection point; lookups
+  // then miss and the stage recomputes. The fault must not surface in the
+  // bytes or in the degradation report — the cache is an optimization, and
+  // chaos there degrades performance, not correctness.
+  cc::FaultPlan evict_plan;
+  evict_plan.seed = chaos_seed();
+  evict_plan.settings = {
+      cc::FaultSetting{cc::faults::kArtifactCacheEvict, 0.5}};
+  const auto clean = run_backend(cc::FaultPlan{}, 2, SIZE_MAX, 2);
+  const auto evicting = run_backend(evict_plan, 2, SIZE_MAX, 2);
+  ASSERT_FALSE(clean.plan_bytes.empty());
+  EXPECT_EQ(clean.plan_bytes, evicting.plan_bytes);
+  EXPECT_FALSE(evicting.result.degradation.degraded());
 }
 
 TEST(Chaos, DegradesInsteadOfCollapsing) {

@@ -1,5 +1,11 @@
-// Tests for configuration files and pipeline config overrides.
+// Tests for configuration files and pipeline config overrides, plus the
+// drift pins that keep config_key_table(), --help-config and docs/CONFIG.md
+// describing the same key set.
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "common/config_file.hpp"
 #include "core/config_overrides.hpp"
@@ -75,4 +81,98 @@ TEST(ConfigOverrides, AbsentKeysLeaveDefaults) {
   EXPECT_EQ(config.aggregation.match.h_s, defaults.aggregation.match.h_s);
   EXPECT_EQ(config.grid_cell_size, defaults.grid_cell_size);
   EXPECT_EQ(config.layout.hypotheses, defaults.layout.hypotheses);
+}
+
+TEST(ConfigOverrides, DeprecatedAliasesStillApply) {
+  co::PipelineConfig config;
+  const auto file = cc::ConfigFile::parse(
+      "layout.shards = 3\n"
+      "skeleton.dilate = 4\n"
+      "parallel.s2_cache = 123\n");
+  co::apply_config_overrides(config, file);
+  EXPECT_EQ(config.layout.scoring_shards, 3);
+  EXPECT_EQ(config.skeleton.final_dilate_cells, 4);
+  EXPECT_EQ(config.parallel.s2_cache_capacity, 123u);
+}
+
+TEST(ConfigOverrides, CanonicalAndAliasTogetherThrow) {
+  co::PipelineConfig config;
+  const auto file = cc::ConfigFile::parse(
+      "layout.scoring_shards = 3\n"
+      "layout.shards = 5\n");
+  EXPECT_THROW(co::apply_config_overrides(config, file), std::runtime_error);
+}
+
+TEST(ConfigOverrides, CacheKeysApply) {
+  co::PipelineConfig config;
+  const auto file = cc::ConfigFile::parse(
+      "cache.artifact_bytes = 1024\n"
+      "cache.background_refresh = true\n");
+  co::apply_config_overrides(config, file);
+  EXPECT_EQ(config.incremental.artifact_cache_bytes, 1024u);
+  EXPECT_TRUE(config.incremental.background_refresh);
+}
+
+TEST(ConfigOverrides, UnparsableValueThrows) {
+  co::PipelineConfig config;
+  EXPECT_THROW(co::apply_config_overrides(
+                   config, cc::ConfigFile::parse("layout.hypotheses = abc\n")),
+               std::runtime_error);
+  EXPECT_THROW(co::apply_config_overrides(
+                   config, cc::ConfigFile::parse("match.h_s = 1.5zz\n")),
+               std::runtime_error);
+  EXPECT_THROW(co::apply_config_overrides(
+                   config,
+                   cc::ConfigFile::parse("cache.background_refresh = maybe\n")),
+               std::runtime_error);
+  EXPECT_THROW(co::apply_config_overrides(
+                   config, cc::ConfigFile::parse("cache.artifact_bytes = -1\n")),
+               std::runtime_error);
+}
+
+TEST(ConfigKeyTable, SortedUniqueAndCoveredByHelp) {
+  const auto table = co::config_key_table();
+  ASSERT_FALSE(table.empty());
+  const std::string help = co::config_key_help();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(std::string(table[i - 1].key), std::string(table[i].key))
+          << "table not sorted at " << table[i].key;
+    }
+    EXPECT_NE(help.find(table[i].key), std::string::npos)
+        << "help is missing " << table[i].key;
+    if (table[i].alias != nullptr) {
+      EXPECT_NE(help.find(table[i].alias), std::string::npos)
+          << "help is missing alias " << table[i].alias;
+    }
+  }
+}
+
+TEST(ConfigKeyTable, DocsConfigMdMatchesTable) {
+  // docs/CONFIG.md mirrors config_key_table(): every canonical key (and
+  // alias) appears as a backticked table row, and the doc has exactly one
+  // row per key — so adding a key without documenting it fails here.
+  std::ifstream in(std::string(CROWDMAP_SOURCE_DIR) + "/docs/CONFIG.md");
+  ASSERT_TRUE(in.good()) << "docs/CONFIG.md is missing";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+
+  const auto table = co::config_key_table();
+  std::size_t rows = 0;
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `", 0) == 0) ++rows;
+  }
+  EXPECT_EQ(rows, table.size()) << "docs/CONFIG.md row count drifted";
+  for (const auto& info : table) {
+    EXPECT_NE(doc.find("`" + std::string(info.key) + "`"), std::string::npos)
+        << "docs/CONFIG.md is missing " << info.key;
+    if (info.alias != nullptr) {
+      EXPECT_NE(doc.find("`" + std::string(info.alias) + "`"),
+                std::string::npos)
+          << "docs/CONFIG.md is missing alias " << info.alias;
+    }
+  }
 }

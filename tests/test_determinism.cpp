@@ -5,12 +5,16 @@
 // must not leak into the bytes either.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "api/crowdmap.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
 #include "io/serialize.hpp"
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
+namespace ap = crowdmap::api;
 namespace cc = crowdmap::common;
 namespace co = crowdmap::core;
 namespace cs = crowdmap::sim;
@@ -33,11 +37,67 @@ crowdmap::io::Bytes serialized_run(std::uint64_t seed, std::size_t threads) {
 
   co::PipelineConfig config = co::PipelineConfig::fast_profile();
   config.parallel.threads = threads;
+  // The bare stage executor is the unit under test here.
+  // crowdmap-lint: allow(pipeline-construction)
   co::CrowdMapPipeline pipeline(config);
   cs::generate_campaign_streaming(
       spec, options, seed,
       [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
   return crowdmap::io::encode_floorplan(pipeline.run().plan);
+}
+
+std::vector<cs::SensorRichVideo> campaign_videos(std::uint64_t seed) {
+  cc::Rng rng(seed);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options;
+  options.users = 2;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 4;
+  options.junk_fraction = 0.0;
+  options.sim.fps = 3.0;
+  std::vector<cs::SensorRichVideo> out;
+  cs::generate_campaign_streaming(spec, options, seed,
+                                  [&out](cs::SensorRichVideo&& video) {
+                                    out.push_back(std::move(video));
+                                  });
+  return out;
+}
+
+ap::Client client_with_threads(std::size_t threads) {
+  ap::ClientOptions options;
+  options.config = co::PipelineConfig::fast_profile();
+  options.config.parallel.threads = threads;
+  return ap::Client(std::move(options));
+}
+
+/// Cold rebuild: every upload submitted, one build, no cache history.
+std::string cold_plan(const std::vector<cs::SensorRichVideo>& videos,
+                      std::size_t threads) {
+  auto client = client_with_threads(threads);
+  for (const auto& video : videos) {
+    if (!client.submit_video(video).accepted) return {};
+  }
+  const auto response = client.build_plan(
+      {videos.front().building, videos.front().floor, std::nullopt});
+  const auto bytes = crowdmap::io::encode_floorplan(response.result.plan);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+/// Warm refresh: N-1 uploads built first, then the last upload lands and the
+/// planner recomputes only invalidated artifacts.
+std::string incremental_plan(const std::vector<cs::SensorRichVideo>& videos,
+                             std::size_t threads) {
+  auto client = client_with_threads(threads);
+  for (std::size_t v = 0; v + 1 < videos.size(); ++v) {
+    if (!client.submit_video(videos[v]).accepted) return {};
+  }
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+  (void)client.build_plan({building, floor, std::nullopt});
+  if (!client.submit_video(videos.back()).accepted) return {};
+  const auto response = client.build_plan({building, floor, std::nullopt});
+  const auto bytes = crowdmap::io::encode_floorplan(response.result.plan);
+  return std::string(bytes.begin(), bytes.end());
 }
 
 }  // namespace
@@ -59,4 +119,20 @@ TEST(Determinism, ThreadCountDoesNotLeakIntoTheBytes) {
 TEST(Determinism, DifferentSeedsProduceDifferentPlans) {
   // Guards against the degenerate pass where serialization ignores its input.
   EXPECT_NE(serialized_run(271, 2), serialized_run(911, 2));
+}
+
+TEST(Determinism, IncrementalRefreshMatchesColdAtAnyThreadCount) {
+  // The artifact cache must be invisible in the output: a warm refresh after
+  // one more upload returns the same bytes as a cold rebuild of the full
+  // corpus, at every thread count, for multiple seeds.
+  for (const std::uint64_t seed : {631u, 912u}) {
+    const auto videos = campaign_videos(seed);
+    ASSERT_GE(videos.size(), 2u) << "seed " << seed;
+
+    const std::string reference = cold_plan(videos, 1);
+    ASSERT_FALSE(reference.empty()) << "seed " << seed;
+    EXPECT_EQ(cold_plan(videos, 3), reference) << "seed " << seed;
+    EXPECT_EQ(incremental_plan(videos, 1), reference) << "seed " << seed;
+    EXPECT_EQ(incremental_plan(videos, 3), reference) << "seed " << seed;
+  }
 }

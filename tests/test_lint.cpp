@@ -237,6 +237,46 @@ TEST(Lint, FaultPointNamedConstantsPass) {
           .empty());
 }
 
+// ------------------------------------------------- pipeline construction ---
+
+TEST(Lint, PipelineConstructionFiresOutsideSrc) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("tests/test_core.cpp",
+                       "co::CrowdMapPipeline pipeline(config);\n"),
+      "pipeline-construction"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("bench/micro.cpp",
+                       "auto p = std::make_unique<core::CrowdMapPipeline>(c);\n"),
+      "pipeline-construction"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("examples/demo.cpp",
+                       "auto* p = new core::CrowdMapPipeline(c);\n"),
+      "pipeline-construction"));
+}
+
+TEST(Lint, PipelineConstructionAllowedInsideSrc) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/core/incremental.cpp",
+                       "CrowdMapPipeline pipeline(config_, registry_);\n"),
+      "pipeline-construction"));
+}
+
+TEST(Lint, PipelineReferencesAndMentionsPass) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("tests/test_x.cpp",
+                       "// CrowdMapPipeline is internal; go through the api\n"
+                       "void drive(core::CrowdMapPipeline& pipeline);\n"),
+      "pipeline-construction"));
+}
+
+TEST(Lint, PipelineConstructionEscapable) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("bench/micro.cpp",
+                       "// crowdmap-lint: allow(pipeline-construction)\n"
+                       "core::CrowdMapPipeline pipeline(config);\n"),
+      "pipeline-construction"));
+}
+
 // --------------------------------------------- comments and string literals ---
 
 TEST(Lint, CommentMentionsDoNotFire) {

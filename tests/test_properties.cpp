@@ -3,13 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "api/crowdmap.hpp"
 #include "common/mathutil.hpp"
 #include "common/rng.hpp"
 #include "geometry/polygon.hpp"
 #include "io/serialize.hpp"
 #include "room/layout.hpp"
 #include "sensors/dead_reckoning.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
 #include "trajectory/lcss.hpp"
 #include "vision/matcher.hpp"
 #include "vision/surf.hpp"
@@ -226,3 +231,70 @@ TEST_P(SerializationProperty, ImuRoundTripExact) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializationProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ------------------------------------- incremental upload-order invariance ---
+
+TEST(IncrementalProperty, AnyUploadInterleavingMatchesTheBatchBuild) {
+  // Property: for any permutation of the campaign, and with build_plan calls
+  // interleaved at arbitrary points between submissions, the final plan is
+  // byte-identical to the batch build (all uploads, one build). Seeded
+  // Fisher-Yates permutations keep the sweep reproducible.
+  namespace ap = crowdmap::api;
+  namespace cs = crowdmap::sim;
+  namespace co = crowdmap::core;
+
+  cc::Rng campaign_rng(0xF1A7);
+  const auto spec = cs::random_building(2, campaign_rng);
+  cs::CampaignOptions options;
+  options.users = 2;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 4;
+  options.junk_fraction = 0.0;
+  options.sim.fps = 3.0;
+  std::vector<cs::SensorRichVideo> videos;
+  cs::generate_campaign_streaming(spec, options, 0xF1A7,
+                                  [&videos](cs::SensorRichVideo&& video) {
+                                    videos.push_back(std::move(video));
+                                  });
+  ASSERT_GE(videos.size(), 3u);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+
+  const auto build_bytes = [&](ap::Client& client) {
+    const auto response = client.build_plan({building, floor, std::nullopt});
+    const auto bytes = crowdmap::io::encode_floorplan(response.result.plan);
+    return std::string(bytes.begin(), bytes.end());
+  };
+  const auto fresh_client = [] {
+    ap::ClientOptions client_options;
+    client_options.config = co::PipelineConfig::fast_profile();
+    return ap::Client(std::move(client_options));
+  };
+
+  auto batch = fresh_client();
+  for (const auto& video : videos) {
+    ASSERT_TRUE(batch.submit_video(video).accepted);
+  }
+  const std::string reference = build_bytes(batch);
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::uint64_t perm_seed : {11u, 23u}) {
+    cc::Rng rng(perm_seed);
+    std::vector<std::size_t> order(videos.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+
+    auto client = fresh_client();
+    for (const auto index : order) {
+      ASSERT_TRUE(client.submit_video(videos[index]).accepted);
+      // Sometimes build mid-stream: partial builds must not perturb the
+      // final plan (their artifacts are either reused or invalidated).
+      if (rng.uniform_int(0, 2) == 0) (void)build_bytes(client);
+    }
+    EXPECT_EQ(build_bytes(client), reference) << "permutation " << perm_seed;
+  }
+}

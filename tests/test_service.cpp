@@ -1,15 +1,16 @@
-// Tests for the assembled cloud backend: concurrent chunked uploads through
-// ingestion, async extraction on the worker pool, per-floor plan builds.
+// Tests for the assembled cloud backend through the versioned api::v1
+// facade: chunked uploads through ingestion, async extraction on the worker
+// pool, per-floor incremental plan builds.
 #include <gtest/gtest.h>
 
-#include <map>
 #include <thread>
 
-#include "cloud/service.hpp"
+#include "api/crowdmap.hpp"
 #include "common/rng.hpp"
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
+namespace ap = crowdmap::api;
 namespace cl = crowdmap::cloud;
 namespace cs = crowdmap::sim;
 namespace co = crowdmap::core;
@@ -17,19 +18,12 @@ namespace cc = crowdmap::common;
 
 namespace {
 
-/// Harness: videos travel by side table keyed by upload id; the wire payload
-/// is the serialized IMU stream (pixels stay in "blob storage").
-struct Fixture {
-  std::map<std::string, cs::SensorRichVideo> videos;
-
-  cl::VideoDecoder decoder() {
-    return [this](const cl::Document& doc) -> std::optional<cs::SensorRichVideo> {
-      const auto it = videos.find(doc.id);
-      if (it == videos.end()) return std::nullopt;
-      return it->second;
-    };
-  }
-};
+ap::Client make_client(std::size_t workers = 2) {
+  ap::ClientOptions options;
+  options.config = co::PipelineConfig::fast_profile();
+  options.workers = workers;
+  return ap::Client(std::move(options));
+}
 
 std::vector<cs::SensorRichVideo> small_campaign(std::uint64_t seed) {
   std::vector<cs::SensorRichVideo> out;
@@ -51,51 +45,34 @@ std::vector<cs::SensorRichVideo> small_campaign(std::uint64_t seed) {
 }  // namespace
 
 TEST(Service, EndToEndUploadsBuildPlan) {
-  Fixture fixture;
-  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
-                              fixture.decoder(), 2);
+  auto client = make_client();
   const auto videos = small_campaign(701);
-  for (std::size_t v = 0; v < videos.size(); ++v) {
-    const std::string id = "u" + std::to_string(v);
-    fixture.videos[id] = videos[v];
-    service.open_session(id, videos[v].building, videos[v].floor);
-    const cl::Blob payload(256, static_cast<std::uint8_t>(v));
-    for (const auto& chunk : cl::split_into_chunks(payload, id, 100)) {
-      EXPECT_NE(service.deliver(chunk), cl::IngestStatus::kRejected);
-    }
+  for (const auto& video : videos) {
+    const auto response = client.submit_video(video);
+    EXPECT_TRUE(response.accepted);
+    EXPECT_EQ(response.chunks_rejected, 0u);
   }
-  service.drain();
-  const auto stats = service.stats();
+  client.drain();
+  const auto stats = client.stats();
   EXPECT_EQ(stats.uploads_completed, videos.size());
   EXPECT_EQ(stats.videos_decoded, videos.size());
   EXPECT_GT(stats.trajectories_extracted, 0u);
 
-  const auto result =
-      service.build_floor_plan(videos.front().building, videos.front().floor);
-  EXPECT_GT(result.diagnostics.trajectories_kept, 0u);
-  EXPECT_GT(result.skeleton.raster.count_set(), 0u);
+  const auto response = client.build_plan(
+      {videos.front().building, videos.front().floor, std::nullopt});
+  EXPECT_GT(response.result.diagnostics.trajectories_kept, 0u);
+  EXPECT_GT(response.result.skeleton.raster.count_set(), 0u);
 }
 
 TEST(Service, StatsMatchMetricsRegistry) {
-  Fixture fixture;
-  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
-                              fixture.decoder(), 2);
+  auto client = make_client();
   const auto videos = small_campaign(702);
-  for (std::size_t v = 0; v < videos.size(); ++v) {
-    const std::string id = "m" + std::to_string(v);
-    fixture.videos[id] = videos[v];
-    service.open_session(id, videos[v].building, videos[v].floor);
-    for (const auto& chunk :
-         cl::split_into_chunks(cl::Blob(128, static_cast<std::uint8_t>(v)), id,
-                               64)) {
-      service.deliver(chunk);
-    }
-  }
-  service.drain();
+  for (const auto& video : videos) (void)client.submit_video(video);
+  client.drain();
 
   // stats() is a view over the registry, so the two must agree exactly.
-  const auto stats = service.stats();
-  const auto snap = service.metrics().snapshot();
+  const auto stats = client.stats();
+  const auto snap = client.metrics();
   EXPECT_EQ(stats.uploads_completed,
             static_cast<std::size_t>(snap.value("crowdmap_uploads_completed_total")));
   EXPECT_EQ(stats.uploads_rejected,
@@ -120,52 +97,60 @@ TEST(Service, StatsMatchMetricsRegistry) {
   EXPECT_DOUBLE_EQ(snap.value("crowdmap_worker_queue_depth"), 0.0);
 }
 
+TEST(Service, ArtifactCacheCountersSurfaceInStatsAndMetrics) {
+  auto client = make_client();
+  const auto videos = small_campaign(705);
+  for (const auto& video : videos) (void)client.submit_video(video);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+  (void)client.build_plan({building, floor, std::nullopt});
+  const auto warm = client.build_plan({building, floor, std::nullopt});
+
+  // The repeat build replayed artifacts; the service-level view agrees with
+  // the per-build reuse report and with the exported counters.
+  EXPECT_GT(warm.cache.artifact_hits, 0u);
+  const auto stats = client.stats();
+  EXPECT_GE(stats.artifact_cache.hits, warm.cache.artifact_hits);
+  const auto snap = client.metrics();
+  EXPECT_GE(snap.value("crowdmap_artifact_cache_hits_total"),
+            static_cast<double>(warm.cache.artifact_hits));
+}
+
 TEST(Service, DecodeFailureCounted) {
-  Fixture fixture;  // empty side table: every decode fails
-  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
-                              fixture.decoder(), 1);
-  service.open_session("ghost", "Lab1", 1);
-  const cl::Blob payload(64, 7);
-  for (const auto& chunk : cl::split_into_chunks(payload, "ghost", 32)) {
-    service.deliver(chunk);
-  }
-  service.drain();
-  const auto stats = service.stats();
+  auto client = make_client(1);  // nothing registered: every decode fails
+  ap::SubmitUploadRequest request;
+  request.upload_id = "ghost";
+  request.building = "Lab1";
+  request.floor = 1;
+  request.payload = cl::Blob(64, 7);
+  const auto response = client.submit_upload(request);
+  EXPECT_TRUE(response.accepted);
+  client.drain();
+  const auto stats = client.stats();
   EXPECT_EQ(stats.uploads_completed, 1u);
   EXPECT_EQ(stats.decode_failures, 1u);
   EXPECT_EQ(stats.trajectories_extracted, 0u);
 }
 
 TEST(Service, UnknownFloorBuildsEmptyPlan) {
-  Fixture fixture;
-  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
-                              fixture.decoder(), 1);
-  const auto result = service.build_floor_plan("Nowhere", 9);
-  EXPECT_EQ(result.diagnostics.trajectories_kept, 0u);
+  auto client = make_client(1);
+  const auto response = client.build_plan({"Nowhere", 9, std::nullopt});
+  EXPECT_EQ(response.result.diagnostics.trajectories_kept, 0u);
 }
 
-TEST(Service, ConcurrentDeliveryFromManyClients) {
-  Fixture fixture;
-  cl::CrowdMapService service(co::PipelineConfig::fast_profile(),
-                              fixture.decoder(), 2);
+TEST(Service, ConcurrentSubmissionFromManyClients) {
+  auto client = make_client();
   const auto videos = small_campaign(703);
-  // Register sessions and payloads first.
-  std::vector<std::vector<cl::Chunk>> chunk_sets;
-  for (std::size_t v = 0; v < videos.size(); ++v) {
-    const std::string id = "c" + std::to_string(v);
-    fixture.videos[id] = videos[v];
-    service.open_session(id, videos[v].building, videos[v].floor);
-    chunk_sets.push_back(
-        cl::split_into_chunks(cl::Blob(512, static_cast<std::uint8_t>(v)), id, 64));
-  }
   std::vector<std::thread> clients;
-  for (auto& chunks : chunk_sets) {
-    clients.emplace_back([&service, &chunks] {
-      for (const auto& chunk : chunks) service.deliver(chunk);
+  clients.reserve(videos.size());
+  for (const auto& video : videos) {
+    clients.emplace_back([&client, &video] {
+      const auto response = client.submit_video(video);
+      EXPECT_TRUE(response.accepted);
     });
   }
   for (auto& t : clients) t.join();
-  service.drain();
-  EXPECT_EQ(service.stats().uploads_completed, videos.size());
-  EXPECT_EQ(service.store().size(), videos.size());
+  client.drain();
+  EXPECT_EQ(client.stats().uploads_completed, videos.size());
+  EXPECT_EQ(client.service().store().size(), videos.size());
 }

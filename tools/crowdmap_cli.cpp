@@ -33,7 +33,8 @@ void usage() {
       "  --rooms N         rooms for --building random (default 6)\n"
       "  --scale S         campaign scale factor (default 1.0)\n"
       "  --seed N          simulation seed override\n"
-      "  --config FILE     key=value pipeline overrides (see config_overrides.hpp)\n"
+      "  --config FILE     key=value pipeline overrides (--help-config lists keys)\n"
+      "  --help-config     list every supported --config key and exit\n"
       "  --fast            fast pipeline profile (capped layout hypotheses)\n"
       "  --threads N       pipeline threads (0 = all cores, 1 = serial)\n"
       "  --faults SEED:SPEC  chaos plan, e.g. 42:decode.fail=0.2,stage.panorama_fail=0.1@3\n"
@@ -112,6 +113,10 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--help-config") {
+      std::cout << "supported --config keys (key = value per line):\n"
+                << core::config_key_help();
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -195,6 +200,9 @@ int main(int argc, char** argv) {
   if (run.result.degradation.degraded()) {
     std::cout << run.result.degradation.to_string() << "\n";
   }
+  // The harness builds twice (alignment pass, then the truth frame); the
+  // reuse line shows how much of the second build replayed cached artifacts.
+  std::cout << run.cache.to_string() << "\n";
 
   if (trace) {
     std::cout << "\ntrace (inclusive ms, self ms):\n"

@@ -45,6 +45,46 @@ std::vector<fs::path> collect(const std::vector<std::string>& roots,
   return files;
 }
 
+/// Documentation gate (--check-docs): every doc in the required list must
+/// exist under docs/ and be referenced from README.md, so a new subsystem
+/// can't land without its page being discoverable. Returns the number of
+/// problems found (0 = pass).
+int check_docs() {
+  static const char* kRequiredDocs[] = {
+      "API.md",         "CONFIG.md",      "EXAMPLES.md",
+      "INCREMENTAL.md", "OBSERVABILITY.md", "PERFORMANCE.md",
+      "ROBUSTNESS.md",  "STATIC_ANALYSIS.md",
+  };
+  std::ifstream readme("README.md", std::ios::binary);
+  if (!readme) {
+    std::fprintf(stderr, "crowdmap_lint: cannot read README.md "
+                         "(run from the repo root)\n");
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << readme.rdbuf();
+  const std::string readme_text = buffer.str();
+
+  int problems = 0;
+  for (const char* doc : kRequiredDocs) {
+    const fs::path path = fs::path("docs") / doc;
+    if (!fs::is_regular_file(path)) {
+      std::printf("docs/%s: [missing-doc] required document does not exist\n",
+                  doc);
+      ++problems;
+      continue;
+    }
+    if (readme_text.find(std::string("docs/") + doc) == std::string::npos) {
+      std::printf("README.md: [unreferenced-doc] docs/%s is never linked\n",
+                  doc);
+      ++problems;
+    }
+  }
+  std::printf("crowdmap_lint --check-docs: %d problem%s in %zu required docs\n",
+              problems, problems == 1 ? "" : "s", std::size(kRequiredDocs));
+  return problems;
+}
+
 void print_rules() {
   std::printf("crowdmap_lint rules (suppress with "
               "'// crowdmap-lint: allow(<rule>)'):\n");
@@ -64,10 +104,16 @@ int main(int argc, char** argv) {
       print_rules();
       return 0;
     }
+    if (arg == "--check-docs") {
+      return check_docs() == 0 ? 0 : 1;
+    }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: crowdmap_lint [--list-rules] [path...]\n"
+      std::printf("usage: crowdmap_lint [--list-rules] [--check-docs] "
+                  "[path...]\n"
                   "Lints .cpp/.hpp files under each path (default: src tools "
-                  "bench).\n");
+                  "bench).\n"
+                  "--check-docs verifies the required docs/ pages exist and "
+                  "are linked from README.md.\n");
       return 0;
     }
     roots.push_back(arg);

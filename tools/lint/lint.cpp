@@ -179,6 +179,7 @@ const char kNakedNew[] = "naked-new";
 const char kFloatAccumulator[] = "float-accumulator";
 const char kPragmaOnce[] = "pragma-once";
 const char kFaultPointName[] = "fault-point-name";
+const char kPipelineConstruction[] = "pipeline-construction";
 
 const std::regex& raw_rng_pattern() {
   static const std::regex re(
@@ -228,6 +229,16 @@ bool accumulator_name(std::string name) {
   return false;
 }
 
+const std::regex& pipeline_construction_pattern() {
+  // Direct CrowdMapPipeline construction: a by-value declaration, a naked
+  // new, or a make_unique/make_shared instantiation. References and mentions
+  // in comments/strings (already stripped) do not match.
+  static const std::regex re(
+      "\\bCrowdMapPipeline\\s+\\w+\\s*[({;]|\\bnew\\s+[\\w:]*CrowdMapPipeline\\b|"
+      "make_(unique|shared)\\s*<[^>]*CrowdMapPipeline");
+  return re;
+}
+
 const std::regex& fault_point_pattern() {
   // Synthesizing a FaultPoint outside the catalog source: parsing one from a
   // string, casting one from an integer, or brace-initializing the enum.
@@ -275,6 +286,11 @@ const std::vector<RuleInfo>& rule_catalog() {
        "integer cast, or brace init); interrogate the named common::faults::k* "
        "constants or iterate all_fault_points() so the catalog stays the "
        "single source of truth"},
+      {kPipelineConstruction,
+       "core::CrowdMapPipeline constructed outside src/; the pipeline is an "
+       "internal stage executor — go through api::Client (or "
+       "core::IncrementalPlanner) so callers get the versioned surface, "
+       "artifact caching and background refresh"},
   };
   return catalog;
 }
@@ -288,6 +304,11 @@ std::vector<Finding> lint_content(std::string_view path,
   const bool fault_source =
       file.find("src/common/fault.") != std::string::npos ||
       file.rfind("common/fault.", 0) == 0;
+  // The pipeline-construction rule only applies outside the src/ tree: the
+  // library composes the pipeline internally; everyone else goes through the
+  // api::v1 facade.
+  const bool in_src =
+      file.rfind("src/", 0) == 0 || file.find("/src/") != std::string::npos;
   const auto escapes = collect_escapes(content);
   const auto lines = stripped_lines(content);
 
@@ -319,6 +340,11 @@ std::vector<Finding> lint_content(std::string_view path,
       report(line, kWallClock,
              "wall-clock time is nondeterministic input; seed explicitly, or "
              "use steady_clock strictly for latency measurement");
+    }
+    if (!in_src && std::regex_search(code, pipeline_construction_pattern())) {
+      report(line, kPipelineConstruction,
+             "direct CrowdMapPipeline construction outside src/; use "
+             "api::Client (api/crowdmap.hpp) instead");
     }
     if (!fault_source && std::regex_search(code, fault_point_pattern())) {
       report(line, kFaultPointName,

@@ -85,6 +85,12 @@ std::size_t Client::warm_artifact_cache_from(const cloud::DocumentStore& store) 
   return service_.warm_artifact_cache_from(store);
 }
 
+std::optional<obs::FlightDump> Client::flight_dump(bool deterministic) {
+  obs::FlightRecorder* flight = service_.flight_recorder();
+  if (flight == nullptr) return std::nullopt;
+  return deterministic ? flight->deterministic_dump() : flight->dump();
+}
+
 cloud::ServiceStats Client::stats() const { return service_.stats(); }
 
 obs::MetricsSnapshot Client::metrics() const {

@@ -26,6 +26,7 @@
 #include "common/annotations.hpp"
 #include "core/incremental.hpp"
 #include "core/pipeline.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace crowdmap::api {
@@ -119,6 +120,13 @@ class Client {
   /// warm_artifact_cache_from() on a future client restores it.
   bool persist_artifact_cache(const std::string& building, int floor = 1);
   std::size_t warm_artifact_cache_from(const cloud::DocumentStore& store);
+
+  /// On-demand dump of the backend's flight-recorder rings; std::nullopt
+  /// when ClientOptions::config.flight.enabled == false. `deterministic`
+  /// filters inherently racy kinds and zeroes wall/thread stamps so the
+  /// dump is byte-stable across thread counts (docs/OBSERVABILITY.md).
+  [[nodiscard]] std::optional<obs::FlightDump> flight_dump(
+      bool deterministic = false);
 
   [[nodiscard]] cloud::ServiceStats stats() const;
   [[nodiscard]] obs::MetricsSnapshot metrics() const;

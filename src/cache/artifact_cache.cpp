@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/flight.hpp"
+
 namespace crowdmap::cache {
 
 void KeyBuilder::f64(double v) noexcept {
@@ -39,11 +41,19 @@ std::optional<std::vector<std::uint8_t>> ArtifactCache::lookup(
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       family_hits_[f].fetch_add(1, std::memory_order_relaxed);
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightEventKind::kCacheHit,
+                        static_cast<std::uint32_t>(f), key.hi, key.lo);
+      }
       return it->second.payload;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   family_misses_[f].fetch_add(1, std::memory_order_relaxed);
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightEventKind::kCacheMiss,
+                    static_cast<std::uint32_t>(f), key.hi, key.lo);
+  }
   return std::nullopt;
 }
 
@@ -58,6 +68,10 @@ bool ArtifactCache::insert_impl(Family family, const ArtifactKey& key,
   if (allow_fault && injector_ != nullptr &&
       injector_->should_fire(common::faults::kArtifactCacheEvict, key.lo)) {
     invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightEventKind::kCacheEvict,
+                      static_cast<std::uint32_t>(family), key.hi, key.lo);
+    }
     return false;
   }
   if (payload.size() > per_shard_bytes_) {
@@ -77,6 +91,11 @@ bool ArtifactCache::insert_impl(Family family, const ArtifactKey& key,
       shard.order.pop_front();
       const auto it = shard.map.find(victim);
       if (it != shard.map.end()) {
+        if (flight_ != nullptr) {
+          flight_->record(obs::FlightEventKind::kCacheEvict,
+                          static_cast<std::uint32_t>(it->second.family),
+                          victim.hi, victim.lo);
+        }
         shard.bytes -= it->second.payload.size();
         shard.map.erase(it);
         ++evicted;

@@ -33,6 +33,10 @@
 #include "common/annotations.hpp"
 #include "common/fault.hpp"
 
+namespace crowdmap::obs {
+class FlightRecorder;
+}  // namespace crowdmap::obs
+
 namespace crowdmap::cache {
 
 /// 128-bit content hash. Two independent 64-bit streams make accidental
@@ -167,6 +171,13 @@ class ArtifactCache {
     injector_ = injector;
   }
 
+  /// Mirrors cache traffic into the flight recorder (cache_hit/cache_miss/
+  /// cache_evict events keyed by artifact key and family). Not owned; pass
+  /// nullptr to detach. The recorder must outlive the attachment.
+  void set_flight_recorder(obs::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
   /// Drops every entry (counted as invalidations).
   void clear();
 
@@ -221,6 +232,7 @@ class ArtifactCache {
   std::size_t per_shard_bytes_;
   std::vector<Shard> shards_;
   common::FaultInjector* injector_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> invalidations_{0};

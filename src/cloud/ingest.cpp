@@ -1,6 +1,7 @@
 #include "cloud/ingest.hpp"
 
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 
 namespace crowdmap::cloud {
 
@@ -91,6 +92,9 @@ std::vector<Document> IngestService::sweep_expired_locked(std::uint64_t now) {
 
 IngestStatus IngestService::deliver(const Chunk& chunk) {
   const std::uint64_t now = clock_.advance();
+  // One flight tick per delivered chunk mirrors the ingest logical clock, so
+  // dump ordering lines up with session-expiry reasoning in a post-mortem.
+  if (flight_ != nullptr) flight_->advance_tick();
   Document completed;
   bool fire = false;
   bool corrupt = false;
@@ -148,10 +152,19 @@ IngestStatus IngestService::deliver(const Chunk& chunk) {
   for (auto& doc : expired) {
     sessions_expired_->increment();
     uploads_quarantined_->increment();
+    if (flight_ != nullptr) {
+      flight_->record_named(obs::FlightEventKind::kIngestQuarantine, 0, doc.id,
+                            flight_->intern("session_expired"));
+    }
     store_.quarantine(std::move(doc), "session_expired");
   }
   if (corrupt) {
     uploads_quarantined_->increment();
+    if (flight_ != nullptr) {
+      flight_->record_named(obs::FlightEventKind::kIngestQuarantine, 0,
+                            corrupted.id,
+                            flight_->intern("structural_corruption"));
+    }
     store_.quarantine(std::move(corrupted), "structural_corruption");
   }
   if (fire) {
@@ -188,9 +201,18 @@ std::vector<std::uint32_t> IngestService::missing_chunks(
   if (expire) {
     sessions_expired_->increment();
     uploads_quarantined_->increment();
+    if (flight_ != nullptr) {
+      flight_->record_named(obs::FlightEventKind::kIngestQuarantine, 0,
+                            exhausted.id,
+                            flight_->intern("retransmit_budget_exhausted"));
+    }
     store_.quarantine(std::move(exhausted), "retransmit_budget_exhausted");
   } else {
     retransmit_requests_->increment();
+    if (flight_ != nullptr) {
+      flight_->record_named(obs::FlightEventKind::kIngestRetransmit, 0,
+                            upload_id, missing.size());
+    }
   }
   return missing;
 }

@@ -21,6 +21,10 @@
 #include "common/fault.hpp"
 #include "obs/metrics.hpp"
 
+namespace crowdmap::obs {
+class FlightRecorder;
+}  // namespace crowdmap::obs
+
 namespace crowdmap::cloud {
 
 /// Outcome of one chunk delivery.
@@ -101,6 +105,12 @@ class IngestService {
     return registry_;
   }
 
+  /// Lends a flight recorder (not owned; may be nullptr). Retransmit rounds,
+  /// quarantines and per-chunk logical ticks land in its rings.
+  void set_flight_recorder(obs::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
  private:
   struct Session {
     std::string building;
@@ -133,6 +143,7 @@ class IngestService {
   obs::Counter* sessions_expired_ = nullptr;
   obs::Counter* uploads_quarantined_ = nullptr;
   obs::Counter* retransmit_requests_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   common::LogicalClock clock_;
   mutable common::Mutex mutex_;
   std::map<std::string, Session> sessions_ CM_GUARDED_BY(mutex_);

@@ -58,14 +58,57 @@ CrowdMapService::CrowdMapService(core::PipelineConfig config,
   obs::Histogram& task_seconds = registry_->histogram(
       "crowdmap_worker_task_seconds", {}, {},
       "Worker-pool task wall-clock latency");
-  pool_.set_queue_observer([gauge = queue_depth_](std::size_t depth) {
-    gauge->set(static_cast<double>(depth));
-  });
+  if (config_.flight.enabled) {
+    obs::FlightOptions opts;
+    opts.ring_capacity = config_.flight.ring_capacity;
+    opts.dump_on_anomaly = config_.flight.dump_on_anomaly;
+    flight_ = std::make_unique<obs::FlightRecorder>(opts);
+  }
+  pool_.set_queue_observer(
+      [gauge = queue_depth_, flight = flight_.get()](std::size_t depth) {
+        gauge->set(static_cast<double>(depth));
+        if (flight != nullptr) {
+          flight->record(obs::FlightEventKind::kQueueDepth, 0, depth);
+        }
+      });
   pool_.set_task_observer(
       [&task_seconds](double seconds) { task_seconds.observe(seconds); });
   ingest_ = std::make_unique<IngestService>(
       store_, [this](const Document& doc) { on_upload_complete(doc); },
       IngestConfig{}, registry_);
+  ingest_->set_flight_recorder(flight_.get());
+  if (config_.slo.plan_refresh_p99_ms > 0 || config_.slo.extract_p99_ms > 0 ||
+      config_.slo.ingest_queue_depth_max > 0) {
+    watchdog_ = std::make_unique<obs::SloWatchdog>(registry_, flight_.get());
+    if (config_.slo.plan_refresh_p99_ms > 0) {
+      obs::SloSpec spec;
+      spec.name = "plan_refresh_p99_ms";
+      spec.metric = "crowdmap_plan_refresh_seconds";
+      spec.kind = obs::SloKind::kHistogramQuantile;
+      spec.quantile = 0.99;
+      spec.scale = 1000.0;  // histogram records seconds; the SLO is in ms
+      spec.threshold = config_.slo.plan_refresh_p99_ms;
+      watchdog_->add(spec);
+    }
+    if (config_.slo.extract_p99_ms > 0) {
+      obs::SloSpec spec;
+      spec.name = "extract_p99_ms";
+      spec.metric = "crowdmap_extract_seconds";
+      spec.kind = obs::SloKind::kHistogramQuantile;
+      spec.quantile = 0.99;
+      spec.scale = 1000.0;
+      spec.threshold = config_.slo.extract_p99_ms;
+      watchdog_->add(spec);
+    }
+    if (config_.slo.ingest_queue_depth_max > 0) {
+      obs::SloSpec spec;
+      spec.name = "ingest_queue_depth_max";
+      spec.metric = "crowdmap_worker_queue_depth";
+      spec.kind = obs::SloKind::kGaugeMax;
+      spec.threshold = static_cast<double>(config_.slo.ingest_queue_depth_max);
+      watchdog_->add(spec);
+    }
+  }
   faults_.arm(config_.faults);
 }
 
@@ -95,6 +138,8 @@ core::IncrementalPlanner& CrowdMapService::planner_for(const FloorKey& key) {
     if (config_.parallel.threads != 1 && pool_.worker_count() > 0) {
       slot->set_thread_pool(&pool_);
     }
+    // All floors share the service recorder: one black box for the backend.
+    if (flight_ != nullptr) slot->set_flight_recorder(flight_.get());
   }
   return *slot;
 }
@@ -114,6 +159,7 @@ void CrowdMapService::schedule_refresh(const FloorKey& key) {
       refresh_pending_[key] = false;
     }
     (void)planner_for(key).refresh();
+    if (watchdog_ != nullptr) watchdog_->evaluate();
   });
 }
 
@@ -180,6 +226,7 @@ core::PipelineResult CrowdMapService::build_floor_plan(
     const std::optional<core::WorldFrame>& frame) {
   drain();
   auto result = planner_for({building, floor}).refresh(frame);
+  if (watchdog_ != nullptr) watchdog_->evaluate();
   core::PipelineResult out = *result;
   // Fold the service-side losses into the pipeline's degradation report so
   // the caller sees the whole story, front door included.

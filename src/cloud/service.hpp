@@ -17,7 +17,9 @@
 #include "common/thread_pool.hpp"
 #include "core/incremental.hpp"
 #include "core/pipeline.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 
 namespace crowdmap::cloud {
 
@@ -128,6 +130,20 @@ class CrowdMapService {
     return registry_;
   }
 
+  /// The service-wide flight recorder: one set of rings behind ingest, the
+  /// worker pool and every floor's refresh pipelines. nullptr when
+  /// config.flight.enabled == false.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() noexcept {
+    return flight_.get();
+  }
+
+  /// The SLO watchdog built from config.slo (nullptr when every threshold
+  /// is 0/disabled). Evaluated after each foreground build and each
+  /// background refresh; evaluate() it directly for an on-demand check.
+  [[nodiscard]] obs::SloWatchdog* slo_watchdog() noexcept {
+    return watchdog_.get();
+  }
+
  private:
   using FloorKey = std::pair<std::string, int>;
 
@@ -158,6 +174,11 @@ class CrowdMapService {
   obs::Counter* sensor_dropouts_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Histogram* extract_seconds_ = nullptr;
+  /// Declared before pool_ (and destroyed after it): the pool's queue
+  /// observer records into these rings from worker threads until the pool
+  /// joins in ~CrowdMapService.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::SloWatchdog> watchdog_;
   common::ThreadPool pool_;
   std::unique_ptr<IngestService> ingest_;
   /// Service-side chaos plan (decode.fail, extract.sensor_dropout); armed

@@ -50,6 +50,31 @@ struct IncrementalConfig {
   bool background_refresh = false;
 };
 
+/// Flight recorder (docs/OBSERVABILITY.md): always-on black-box event rings
+/// behind every pipeline/service this config builds. Recording is cheap
+/// (tens of ns/event, bench/micro_obs.cpp) and never changes an output bit —
+/// the determinism suite pins serialized FloorPlans recorder-on == off.
+struct FlightConfig {
+  /// Arm the recorder (false builds it disarmed: one branch per record call).
+  bool enabled = true;
+  /// Events retained per recording thread before ring wraparound.
+  std::size_t ring_capacity = 4096;
+  /// Auto-dump the rings to the configured sink when an anomalous event
+  /// lands (fault fired, stage degraded, upload quarantined, SLO breached).
+  bool dump_on_anomaly = false;
+};
+
+/// Declarative service-level objectives the SloWatchdog evaluates against
+/// the metrics registry (docs/OBSERVABILITY.md). 0 disables a check.
+struct SloConfig {
+  /// p99 of crowdmap_plan_refresh_seconds must stay under this many ms.
+  double plan_refresh_p99_ms = 0.0;
+  /// p99 of crowdmap_extract_seconds must stay under this many ms.
+  double extract_p99_ms = 0.0;
+  /// crowdmap_queue_depth must stay at or under this many queued tasks.
+  int ingest_queue_depth_max = 0;
+};
+
 struct PipelineConfig {
   // §III.B.I — key-frame selection and trajectory extraction.
   trajectory::ExtractionConfig extraction;
@@ -84,6 +109,10 @@ struct PipelineConfig {
   ParallelConfig parallel;
   /// Artifact cache + background refresh (incremental recomputation).
   IncrementalConfig incremental;
+  /// Flight-recorder rings (always-on observability).
+  FlightConfig flight;
+  /// SLO thresholds the service watchdog enforces.
+  SloConfig slo;
   /// Seeded fault-injection plan (chaos testing; docs/ROBUSTNESS.md). Empty
   /// settings leave every fault point disarmed — the default costs one
   /// predicted branch per interrogation and changes no output bit.

@@ -103,6 +103,12 @@ constexpr ConfigKeyInfo kConfigKeys[] = {
      }},
     CM_KEY_SIZE("filter.min_keyframes", nullptr, min_keyframes,
                 "Unqualified-data gate: minimum key-frames per upload"),
+    CM_KEY_BOOL("flight.dump_on_anomaly", nullptr, flight.dump_on_anomaly,
+                "Auto-dump flight rings on fault/degradation/SLO breach"),
+    CM_KEY_BOOL("flight.enabled", nullptr, flight.enabled,
+                "Arm the flight recorder (black-box event rings)"),
+    CM_KEY_SIZE("flight.ring_capacity", nullptr, flight.ring_capacity,
+                "Flight-recorder events retained per thread"),
     CM_KEY_DOUBLE("grid.brush_width", nullptr, trajectory_brush_width,
                   "Occupancy brush width in meters per trajectory stroke"),
     CM_KEY_DOUBLE("grid.cell_size", nullptr, grid_cell_size,
@@ -142,6 +148,13 @@ constexpr ConfigKeyInfo kConfigKeys[] = {
     CM_KEY_DOUBLE("skeleton.min_access_count", nullptr,
                   skeleton.min_access_count,
                   "Occupancy evidence required to keep a skeleton cell"),
+    CM_KEY_DOUBLE("slo.extract_p99_ms", nullptr, slo.extract_p99_ms,
+                  "SLO: p99 upload-extraction latency ceiling in ms (0 off)"),
+    CM_KEY_INT("slo.ingest_queue_depth_max", nullptr,
+               slo.ingest_queue_depth_max,
+               "SLO: worker-queue depth ceiling in tasks (0 off)"),
+    CM_KEY_DOUBLE("slo.plan_refresh_p99_ms", nullptr, slo.plan_refresh_p99_ms,
+                  "SLO: p99 plan-refresh latency ceiling in ms (0 off)"),
     CM_KEY_INT("stitch.height", nullptr, stitch.output_height,
                "Panorama height in pixels"),
     CM_KEY_INT("stitch.width", nullptr, stitch.output_width,

@@ -1,6 +1,7 @@
 #include "core/incremental.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/stage_artifacts.hpp"
 
@@ -38,6 +39,19 @@ IncrementalPlanner::IncrementalPlanner(
     s2_cache_ = std::make_unique<common::BoundedMemoCache>(
         config_.parallel.s2_cache_capacity);
   }
+  if (config_.flight.enabled) {
+    // One recorder for the planner's whole life: refresh N's events stay in
+    // the rings next to refresh N+1's, which is exactly what a post-mortem
+    // of "the plan got worse after that upload" needs.
+    obs::FlightOptions opts;
+    opts.ring_capacity = config_.flight.ring_capacity;
+    opts.dump_on_anomaly = config_.flight.dump_on_anomaly;
+    flight_ = std::make_unique<obs::FlightRecorder>(opts);
+  }
+  refresh_hist_ = &registry_->histogram(
+      "crowdmap_plan_refresh_seconds", {},
+      obs::Histogram::default_latency_buckets(),
+      "Wall-clock latency of one incremental floor-plan refresh");
 }
 
 bool IncrementalPlanner::ingest(trajectory::Trajectory traj) {
@@ -75,10 +89,17 @@ std::shared_ptr<const PipelineResult> IncrementalPlanner::refresh(
   pipeline.set_artifact_cache(cache_.get());
   pipeline.set_s2_cache(s2_cache_.get());
   if (pool_ != nullptr) pipeline.set_thread_pool(pool_);
+  if (obs::FlightRecorder* flight = flight_recorder(); flight != nullptr) {
+    pipeline.set_flight_recorder(flight);
+  }
   for (auto& [traj, key] : corpus) {
     pipeline.ingest_trajectory(std::move(traj), key);
   }
+  const auto started = std::chrono::steady_clock::now();
   auto result = std::make_shared<PipelineResult>(pipeline.run(frame));
+  refresh_hist_->observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count());
 
   {
     common::MutexLock lock(mutex_);

@@ -27,6 +27,7 @@
 #include "common/memo_cache.hpp"
 #include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
+#include "obs/flight.hpp"
 
 namespace crowdmap::core {
 
@@ -93,6 +94,21 @@ class IncrementalPlanner {
     return cache_.get();
   }
 
+  /// Lends an external flight recorder (not owned; nullptr reverts to the
+  /// planner's own). The service passes its recorder here so every floor's
+  /// refreshes land in one set of rings.
+  void set_flight_recorder(obs::FlightRecorder* flight) noexcept {
+    external_flight_ = flight;
+  }
+
+  /// The recorder every refresh pipeline records into: the lent one when
+  /// set, else the planner-lifetime recorder (a black box spanning
+  /// refreshes, unlike the per-run Trace); nullptr when
+  /// config.flight.enabled == false and none was lent.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() noexcept {
+    return external_flight_ != nullptr ? external_flight_ : flight_.get();
+  }
+
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
   [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>& metrics_registry()
       const noexcept {
@@ -103,6 +119,9 @@ class IncrementalPlanner {
   PipelineConfig config_;
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<cache::ArtifactCache> cache_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  obs::FlightRecorder* external_flight_ = nullptr;
+  obs::Histogram* refresh_hist_ = nullptr;  // owned by registry_
   std::unique_ptr<common::BoundedMemoCache> s2_cache_;
   common::FaultInjector cache_faults_;  // drives kArtifactCacheEvict
   common::ThreadPool* pool_ = nullptr;

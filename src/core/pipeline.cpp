@@ -129,6 +129,19 @@ CrowdMapPipeline::CrowdMapPipeline(PipelineConfig config,
   kept_baseline_ = trajectories_kept_->value();
   dropped_baseline_ = trajectories_dropped_->value();
   faults_.arm(config_.faults);
+  if (config_.flight.enabled) {
+    obs::FlightOptions flight_options;
+    flight_options.ring_capacity = config_.flight.ring_capacity;
+    flight_options.dump_on_anomaly = config_.flight.dump_on_anomaly;
+    owned_flight_ = std::make_unique<obs::FlightRecorder>(flight_options);
+    owned_flight_->set_dump_on_anomaly(config_.flight.dump_on_anomaly);
+    trace_->set_flight_recorder(owned_flight_.get());
+  }
+}
+
+void CrowdMapPipeline::set_flight_recorder(obs::FlightRecorder* flight) noexcept {
+  external_flight_ = flight;
+  trace_->set_flight_recorder(flight_recorder());
 }
 
 obs::Counter& CrowdMapPipeline::fault_counter(common::FaultPoint point) {
@@ -241,14 +254,28 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
     });
   }
 
+  // Flight recording: stage boundaries advance the recorder's logical tick
+  // (the deterministic half of every event's dual stamp), and the shared
+  // artifact cache mirrors its traffic into this run's recorder. Detached
+  // again before returning — the cache may outlive a pipeline-owned recorder.
+  obs::FlightRecorder* flight = flight_recorder();
+  if (artifacts != nullptr) artifacts->set_flight_recorder(flight);
+  if (flight != nullptr) flight->advance_tick();
+
   // Degradation bookkeeping: every substituted result is itemized so the
-  // caller can tell a clean plan from a salvaged one.
+  // caller can tell a clean plan from a salvaged one. Only ever called from
+  // the orchestrating thread (parallel stages merge their event slots here),
+  // so the flight events it records are deterministic.
   const auto push_event = [&](DegradationEvent event) {
     CROWDMAP_LOG(kWarn, "pipeline")
         << "degraded stage " << event.stage << ": " << event.error.code << " ("
         << event.error.message << ") " << event.detail << " -> "
         << action_name(event.action);
     stages_degraded_->increment();
+    if (flight != nullptr) {
+      flight->record_named(obs::FlightEventKind::kDegradation, 0, event.stage,
+                           flight->intern(event.detail));
+    }
     result.degradation.events.push_back(std::move(event));
   };
   const auto record = [&](const char* stage, common::Error error,
@@ -321,6 +348,7 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
     result.diagnostics.aggregate_seconds = span.end();
     stage_histogram("aggregate").observe(result.diagnostics.aggregate_seconds);
   }
+  if (flight != nullptr) flight->advance_tick();
   trajectories_placed_->increment(result.aggregation.placed_count);
   match_edges_->increment(result.aggregation.edges.size());
 
@@ -421,6 +449,7 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
     result.diagnostics.skeleton_seconds = span.end();
     stage_histogram("skeleton").observe(result.diagnostics.skeleton_seconds);
   }
+  if (flight != nullptr) flight->advance_tick();
 
   // ---- Sub-process 2: room layout modeling (§III.C).
   {
@@ -638,6 +667,7 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
     result.diagnostics.rooms_seconds = span.end();
     stage_histogram("rooms").observe(result.diagnostics.rooms_seconds);
   }
+  if (flight != nullptr) flight->advance_tick();
 
   // ---- Sub-process 3: floor plan modeling (§III.D).
   {
@@ -700,11 +730,21 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
     stage_histogram("arrange").observe(result.diagnostics.arrange_seconds);
   }
   run_span.end();
+  if (flight != nullptr) flight->advance_tick();
 
-  // Flush this run's injected-fire deltas into the labelled fault counters.
+  // Flush this run's injected-fire deltas into the labelled fault counters
+  // (and the flight recorder — common/ cannot depend on obs/, so fires are
+  // recorded here at the flush site rather than inside FaultInjector).
   for (std::size_t i = 0; i < fires_before.size(); ++i) {
     const std::uint64_t delta = faults_.fires(fault_points[i]) - fires_before[i];
-    if (delta > 0) fault_counter(fault_points[i]).increment(delta);
+    if (delta > 0) {
+      fault_counter(fault_points[i]).increment(delta);
+      if (flight != nullptr) {
+        flight->record_named(obs::FlightEventKind::kFaultFired,
+                             static_cast<std::uint32_t>(i),
+                             common::fault_point_name(fault_points[i]), delta);
+      }
+    }
   }
 
   // Diagnostics view: cumulative counters for ingest-side numbers, this
@@ -774,6 +814,9 @@ PipelineResult CrowdMapPipeline::run(const std::optional<WorldFrame>& frame) {
       reuse_gauge("arrange", cs.arrange_reused ? 1.0 : 0.0);
     }
   }
+  // Detach the recorder from the shared cache: the cache can outlive this
+  // pipeline (and with it a pipeline-owned recorder).
+  if (artifacts != nullptr) artifacts->set_flight_recorder(nullptr);
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "floorplan/floorplan.hpp"
 #include "mapping/occupancy.hpp"
 #include "geometry/pose2.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/user_sim.hpp"
@@ -198,6 +199,18 @@ class CrowdMapPipeline {
     external_s2_cache_ = cache;
   }
 
+  /// Shares an external flight recorder (IncrementalPlanner keeps one across
+  /// the fresh pipelines it builds per refresh) instead of the owned one the
+  /// pipeline creates when config.flight.enabled. Not owned; must outlive
+  /// the pipeline; nullptr returns to the owned recorder.
+  void set_flight_recorder(obs::FlightRecorder* flight) noexcept;
+
+  /// The effective flight recorder: the external one if shared, else the
+  /// config-built owned one, else nullptr (flight.enabled = false).
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const noexcept {
+    return external_flight_ != nullptr ? external_flight_ : owned_flight_.get();
+  }
+
   /// The pool run() fans work out on: the external pool if one was shared,
   /// else a lazily created config-sized pool, else nullptr when
   /// config.parallel.threads == 1 (serial legacy execution).
@@ -249,6 +262,8 @@ class CrowdMapPipeline {
   std::unique_ptr<common::BoundedMemoCache> s2_cache_;
   common::BoundedMemoCache* external_s2_cache_ = nullptr;
   cache::ArtifactCache* artifact_cache_ = nullptr;
+  std::unique_ptr<obs::FlightRecorder> owned_flight_;
+  obs::FlightRecorder* external_flight_ = nullptr;
   obs::Counter* videos_ingested_ = nullptr;
   obs::Counter* trajectories_kept_ = nullptr;
   obs::Counter* trajectories_dropped_ = nullptr;

@@ -69,6 +69,7 @@ ExperimentRun run_experiment(const DatasetSpec& dataset,
   run.room_errors = floorplan::evaluate_rooms(run.result.plan, dataset.building,
                                               geometry::Pose2{});
   run.metrics = std::move(final_build.metrics);
+  run.flight = client.flight_dump();
   return run;
 }
 

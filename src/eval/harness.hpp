@@ -5,6 +5,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "floorplan/eval.hpp"
 #include "geometry/raster.hpp"
 #include "mapping/skeleton.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace crowdmap::eval {
@@ -33,6 +35,10 @@ struct ExperimentRun {
   /// experiment records carry their counters and stage latencies (export
   /// with obs::to_prometheus / obs::to_json; the trace is in result.trace).
   obs::MetricsSnapshot metrics;
+  /// Flight-recorder dump taken after the final build (std::nullopt when
+  /// config.flight.enabled == false). Merge into a Perfetto timeline with
+  /// obs::to_trace_event_json(result.trace, &*flight).
+  std::optional<obs::FlightDump> flight;
 };
 
 /// Streams the dataset's videos through the api::v1 backend and evaluates

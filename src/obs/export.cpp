@@ -44,6 +44,21 @@ std::string escape(std::string_view text) {
   return out;
 }
 
+/// The exposition format escapes only backslash and newline in HELP text —
+/// double quotes stay literal there, unlike in label values.
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// {key="value",...} — empty string for an empty label set.
 std::string prometheus_labels(const Labels& labels, std::string_view extra_key = {},
                               std::string_view extra_value = {}) {
@@ -69,7 +84,8 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   for (const auto& family : snapshot.families) {
     if (!family.help.empty()) {
-      out << "# HELP " << family.name << ' ' << escape(family.help) << '\n';
+      out << "# HELP " << family.name << ' ' << escape_help(family.help)
+          << '\n';
     }
     out << "# TYPE " << family.name << ' ' << type_name(family.type) << '\n';
     for (const auto& series : family.series) {

@@ -1,0 +1,229 @@
+// Flight recorder: always-on, lock-free per-thread ring buffers of fixed-
+// size structured events (span begin/end, cache traffic, fault fires, ingest
+// retransmits/quarantines, degradation entries, queue-depth samples). The
+// black box the SLO watchdog and the chaos harness dump when something goes
+// wrong: "what exactly happened in the 200 ms before this breach".
+//
+// Every event is dual-stamped: a steady-clock offset from the recorder's
+// epoch (wall ordering for Perfetto rendering) and a LogicalClock tick
+// advanced only at deterministic points (pipeline stage boundaries, ingest
+// chunk deliveries). deterministic_dump() drops the wall/thread stamps and
+// the inherently racy kinds, then sorts by content — so dumps in
+// deterministic mode are byte-identical at any thread count, the same
+// contract the serialized FloorPlans obey (docs/OBSERVABILITY.md).
+//
+// Hot path: record() on a disarmed recorder is one relaxed load + branch;
+// armed it is a steady_clock read plus five relaxed atomic stores into the
+// caller's thread-local ring (~tens of ns, measured in bench/micro_obs.cpp).
+// Rings are single-writer; dumps read them concurrently without locks, so
+// the event words are atomics rather than plain structs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/expected.hpp"
+#include "common/fault.hpp"
+
+namespace crowdmap::obs {
+
+/// Catalog of recorded event kinds. Values are part of the binary dump
+/// format — append only, never renumber.
+enum class FlightEventKind : std::uint16_t {
+  kSpanBegin = 1,         // a = name hash
+  kSpanEnd = 2,           // a = name hash, b = duration nanos
+  kCacheHit = 3,          // detail = family, a/b = artifact key hi/lo
+  kCacheMiss = 4,         // detail = family, a/b = artifact key hi/lo
+  kCacheEvict = 5,        // detail = family, a/b = artifact key hi/lo
+  kFaultFired = 6,        // detail = fault point index, a = point name hash
+  kIngestRetransmit = 7,  // a = upload id hash, b = missing chunk count
+  kIngestQuarantine = 8,  // a = upload id hash, b = reason hash
+  kDegradation = 9,       // a = stage name hash, b = detail hash
+  kQueueDepth = 10,       // a = queue depth sample
+  kSloBreach = 11,        // a = SLO name hash, b = observed value millis/units
+};
+
+/// Catalog name of an event kind ("cache_hit"); "unknown" for junk input.
+[[nodiscard]] std::string_view flight_event_kind_name(
+    FlightEventKind kind) noexcept;
+
+/// One decoded event. `thread` is the recorder-assigned ring slot of the
+/// writing thread (not an OS tid); `steady_nanos` is the offset from the
+/// recorder epoch. Both are zeroed in deterministic dumps.
+struct FlightEventRecord {
+  FlightEventKind kind = FlightEventKind::kSpanBegin;
+  std::uint32_t thread = 0;
+  std::uint32_t detail = 0;
+  std::uint64_t tick = 0;
+  std::uint64_t steady_nanos = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const FlightEventRecord&,
+                         const FlightEventRecord&) = default;
+};
+
+/// A dump: the recorder's surviving events plus the hash -> string intern
+/// table that makes name hashes readable again. `deterministic` marks a
+/// normalized dump (wall/thread stamps zeroed, racy kinds filtered, events
+/// sorted by content).
+struct FlightDump {
+  bool deterministic = false;
+  std::uint64_t dropped = 0;  // events overwritten by ring wraparound
+  std::vector<FlightEventRecord> events;
+  std::map<std::uint64_t, std::string> strings;  // hash -> interned name
+};
+
+/// Versioned binary codec ("CMFD" magic; docs/OBSERVABILITY.md has the
+/// layout). encode/decode round-trip exactly; decode rejects junk with error
+/// codes "flight.magic" / "flight.version" / "flight.truncated".
+[[nodiscard]] std::vector<std::uint8_t> encode_flight_dump(
+    const FlightDump& dump);
+[[nodiscard]] common::Expected<FlightDump> decode_flight_dump(
+    const std::uint8_t* data, std::size_t size);
+[[nodiscard]] common::Expected<FlightDump> decode_flight_dump(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Human-readable JSON rendering of a dump (stable field order; byte-
+/// deterministic for deterministic dumps).
+[[nodiscard]] std::string flight_dump_to_json(const FlightDump& dump);
+
+/// Recorder tunables; core::FlightConfig mirrors these through the config
+/// table (flight.* keys).
+struct FlightOptions {
+  /// Events retained per writing thread before wraparound.
+  std::size_t ring_capacity = 4096;
+  /// Auto-dump to the sink when an anomalous event (fault fired, stage
+  /// degraded, SLO breached) is recorded.
+  bool dump_on_anomaly = false;
+  /// Ceiling on automatic anomaly dumps, so a fault storm cannot flood the
+  /// sink (dump-on-demand is never limited).
+  std::uint64_t max_anomaly_dumps = 4;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightOptions options = {});
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Arm/disarm recording. Disarmed record() is one relaxed load + branch
+  /// and writes nothing. Recorders start armed ("always-on").
+  void arm() noexcept { armed_.store(true, std::memory_order_relaxed); }
+  void disarm() noexcept { armed_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one event into the calling thread's ring. Lock-free after the
+  /// thread's first event (which registers its ring under the mutex).
+  void record(FlightEventKind kind, std::uint32_t detail, std::uint64_t a,
+              std::uint64_t b = 0) noexcept {
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    record_armed(kind, detail, a, b);
+  }
+
+  /// record() with a name payload: interns `name` (mutex-guarded map; cheap
+  /// at span/degradation frequency, not for per-artifact traffic) so dumps
+  /// can render the hash back to text, then records with a = hash(name).
+  void record_named(FlightEventKind kind, std::uint32_t detail,
+                    std::string_view name, std::uint64_t b = 0);
+
+  /// Interns a name into the dump string table; returns its stable hash.
+  std::uint64_t intern(std::string_view name) CM_EXCLUDES(strings_mutex_);
+
+  /// Logical tick stamped onto subsequent events. Advanced only at
+  /// deterministic points: the pipeline ticks per stage boundary, ingest
+  /// per delivered chunk — never from racy worker-side code.
+  std::uint64_t advance_tick(std::uint64_t ticks = 1) noexcept {
+    return clock_.advance(ticks);
+  }
+  [[nodiscard]] std::uint64_t tick() const noexcept { return clock_.now(); }
+
+  /// Wall dump: every surviving event in (thread, write order), wall and
+  /// thread stamps intact. The debugging view.
+  [[nodiscard]] FlightDump dump() const
+      CM_EXCLUDES(rings_mutex_, strings_mutex_);
+
+  /// Deterministic dump: drops kinds that legitimately race across thread
+  /// counts (queue-depth samples, FIFO evictions), zeroes wall/thread
+  /// stamps, sorts events by content. Byte-identical at any thread count
+  /// when every remaining event is tick-stamped deterministically.
+  [[nodiscard]] FlightDump deterministic_dump() const
+      CM_EXCLUDES(rings_mutex_, strings_mutex_);
+
+  /// Sink for automatic anomaly dumps (and dump_now). Invoked inline on the
+  /// recording thread, so keep it cheap and thread-safe.
+  using DumpSink =
+      std::function<void(const FlightDump& dump, std::string_view reason)>;
+  void set_dump_sink(DumpSink sink);
+  void set_dump_on_anomaly(bool enabled) noexcept {
+    dump_on_anomaly_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Dump-on-demand through the sink (no-op without one). Not counted
+  /// against the anomaly-dump budget.
+  void dump_now(std::string_view reason);
+
+  /// Automatic anomaly dumps fired so far.
+  [[nodiscard]] std::uint64_t anomaly_dumps() const noexcept {
+    return anomaly_dump_count_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten by ring wraparound so far.
+  [[nodiscard]] std::uint64_t dropped() const noexcept
+      CM_EXCLUDES(rings_mutex_);
+
+  [[nodiscard]] const FlightOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  // One event = 5 consecutive atomic words in its ring:
+  //   [0] kind<<48 | thread_slot<<32 | detail
+  //   [1] tick   [2] steady_nanos   [3] a   [4] b
+  static constexpr std::size_t kWordsPerEvent = 5;
+
+  struct Ring {
+    explicit Ring(std::size_t capacity_events, std::uint32_t slot);
+    std::uint32_t slot;
+    std::size_t capacity;  // events, power of two
+    std::atomic<std::uint64_t> head{0};  // monotonic next-write index
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+  };
+
+  void record_armed(FlightEventKind kind, std::uint32_t detail,
+                    std::uint64_t a, std::uint64_t b) noexcept;
+  Ring* ring_for_this_thread() CM_EXCLUDES(rings_mutex_);
+  void maybe_anomaly_dump(FlightEventKind kind);
+  [[nodiscard]] FlightDump dump_impl(bool deterministic) const
+      CM_EXCLUDES(rings_mutex_, strings_mutex_);
+
+  const FlightOptions options_;
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> armed_{true};
+  std::atomic<bool> dump_on_anomaly_{false};
+  std::atomic<std::uint64_t> anomaly_dump_count_{0};
+  common::LogicalClock clock_;
+
+  mutable common::Mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_ CM_GUARDED_BY(rings_mutex_);
+
+  mutable common::Mutex strings_mutex_;
+  std::map<std::uint64_t, std::string> strings_ CM_GUARDED_BY(strings_mutex_);
+
+  mutable common::Mutex sink_mutex_;
+  DumpSink sink_ CM_GUARDED_BY(sink_mutex_);
+};
+
+}  // namespace crowdmap::obs

@@ -135,13 +135,21 @@ const FamilySnapshot* MetricsSnapshot::find(std::string_view name) const {
   return nullptr;
 }
 
-double MetricsSnapshot::value(std::string_view name, const Labels& labels) const {
+const SeriesSnapshot* MetricsSnapshot::find_series(std::string_view name,
+                                                   const Labels& labels) const {
   const FamilySnapshot* family = find(name);
-  if (!family) return 0.0;
+  if (!family) return nullptr;
   Labels key = labels;
   std::sort(key.begin(), key.end());
   for (const auto& series : family->series) {
-    if (series.labels == key) return series.value;
+    if (series.labels == key) return &series;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(std::string_view name, const Labels& labels) const {
+  if (const SeriesSnapshot* series = find_series(name, labels)) {
+    return series->value;
   }
   return 0.0;
 }

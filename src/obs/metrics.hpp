@@ -116,7 +116,17 @@ struct MetricsSnapshot {
   std::vector<FamilySnapshot> families;
 
   [[nodiscard]] const FamilySnapshot* find(std::string_view name) const;
-  /// Counter/gauge value of one series; 0 if absent.
+  /// Series of family `name` whose labels match exactly (any key order);
+  /// nullptr when the family or series is absent. The only way to tell a
+  /// missing series from a series that truly reads 0.
+  [[nodiscard]] const SeriesSnapshot* find_series(
+      std::string_view name, const Labels& labels = {}) const;
+  /// Whether the series exists in this snapshot.
+  [[nodiscard]] bool has(std::string_view name, const Labels& labels = {}) const {
+    return find_series(name, labels) != nullptr;
+  }
+  /// Counter/gauge value of one series; 0 if absent. Callers that must
+  /// distinguish "absent" from "zero" use find_series()/has().
   [[nodiscard]] double value(std::string_view name, const Labels& labels = {}) const;
 };
 

@@ -1,0 +1,90 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdmap::obs {
+
+double histogram_quantile(const HistogramSnapshot& histogram, double q) {
+  if (histogram.count == 0 || histogram.bucket_counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(histogram.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+    const std::uint64_t in_bucket = histogram.bucket_counts[i];
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= histogram.upper_bounds.size()) {
+      // +Inf bucket: no upper edge to interpolate toward; clamp to the
+      // highest finite bound (Prometheus does the same).
+      return histogram.upper_bounds.empty() ? 0.0
+                                            : histogram.upper_bounds.back();
+    }
+    const double upper = histogram.upper_bounds[i];
+    const double lower = i == 0 ? 0.0 : histogram.upper_bounds[i - 1];
+    if (in_bucket == 0) return upper;
+    const double within =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+  }
+  return histogram.upper_bounds.empty() ? 0.0 : histogram.upper_bounds.back();
+}
+
+Percentiles percentiles(const HistogramSnapshot& histogram) {
+  Percentiles out;
+  out.p50 = histogram_quantile(histogram, 0.50);
+  out.p95 = histogram_quantile(histogram, 0.95);
+  out.p99 = histogram_quantile(histogram, 0.99);
+  return out;
+}
+
+SloWatchdog::SloWatchdog(std::shared_ptr<MetricsRegistry> registry,
+                         FlightRecorder* flight)
+    : registry_(std::move(registry)), flight_(flight) {}
+
+void SloWatchdog::add(SloSpec spec) {
+  breach_counters_.push_back(&registry_->counter(
+      "crowdmap_slo_breaches_total", {{"slo", spec.name}},
+      "SLO threshold crossings detected by the watchdog"));
+  specs_.push_back(std::move(spec));
+}
+
+std::vector<SloBreach> SloWatchdog::evaluate() {
+  std::vector<SloBreach> breaches;
+  if (specs_.empty()) return breaches;
+  const MetricsSnapshot snapshot = registry_->snapshot();
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const SloSpec& spec = specs_[i];
+    const SeriesSnapshot* series =
+        snapshot.find_series(spec.metric, spec.labels);
+    // Absent series means nothing has been observed yet — not a breach
+    // (and not a silent zero: find_series() keeps the two distinct).
+    if (series == nullptr) continue;
+    double observed = 0.0;
+    switch (spec.kind) {
+      case SloKind::kHistogramQuantile:
+        if (series->histogram.count == 0) continue;
+        observed = histogram_quantile(series->histogram, spec.quantile);
+        break;
+      case SloKind::kGaugeMax:
+        observed = series->value;
+        break;
+    }
+    observed *= spec.scale;
+    if (observed <= spec.threshold) continue;
+    breach_counters_[i]->increment();
+    ++breaches_total_;
+    if (flight_ != nullptr) {
+      flight_->record_named(
+          FlightEventKind::kSloBreach, static_cast<std::uint32_t>(i),
+          spec.name,
+          static_cast<std::uint64_t>(std::llround(std::max(observed, 0.0))));
+    }
+    breaches.push_back({spec.name, observed, spec.threshold});
+  }
+  return breaches;
+}
+
+}  // namespace crowdmap::obs

@@ -1,0 +1,96 @@
+// Percentile derivation and SLO watchdog over the metrics registry.
+//
+// histogram_quantile() turns a fixed-bucket HistogramSnapshot into the
+// Prometheus-style quantile estimate (linear interpolation within the
+// containing bucket), Percentiles bundles the p50/p95/p99 trio every latency
+// report wants, and SloWatchdog evaluates declarative SloSpecs against a
+// registry snapshot: each breach increments
+// crowdmap_slo_breaches_total{slo=...} and records a kSloBreach flight
+// event, which triggers an automatic flight-recorder dump when
+// dump-on-anomaly is armed (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+namespace crowdmap::obs {
+
+/// Prometheus-style quantile estimate (q in [0, 1]) from a fixed-bucket
+/// histogram: linear interpolation inside the bucket containing the target
+/// rank. An empty histogram yields 0; a rank landing in the +Inf bucket
+/// clamps to the highest finite bound (there is no upper edge to lerp to).
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& histogram,
+                                        double q);
+
+/// The latency trio derived from one histogram.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+[[nodiscard]] Percentiles percentiles(const HistogramSnapshot& histogram);
+
+/// What one SLO watches: a histogram quantile or a gauge level.
+enum class SloKind { kHistogramQuantile, kGaugeMax };
+
+/// Declarative SLO: breach when `scale * observed > threshold`. `scale`
+/// converts metric units into threshold units (latency histograms record
+/// seconds, thresholds read in milliseconds => scale 1000).
+struct SloSpec {
+  std::string name;    // breach-counter label, e.g. "plan_refresh_p99_ms"
+  std::string metric;  // metric family to read
+  Labels labels;       // series selector within the family
+  SloKind kind = SloKind::kHistogramQuantile;
+  double quantile = 0.99;  // kHistogramQuantile only
+  double threshold = 0.0;
+  double scale = 1.0;
+};
+
+/// One evaluate() verdict that crossed its threshold.
+struct SloBreach {
+  std::string slo;
+  double observed = 0.0;  // already scaled into threshold units
+  double threshold = 0.0;
+};
+
+/// Evaluates SLO specs against registry snapshots. Not a sampler thread —
+/// the owner decides the cadence (CrowdMapService evaluates after builds
+/// and refreshes; tests call evaluate() directly).
+class SloWatchdog {
+ public:
+  explicit SloWatchdog(std::shared_ptr<MetricsRegistry> registry,
+                       FlightRecorder* flight = nullptr);
+
+  void add(SloSpec spec);
+  void set_flight_recorder(FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+  [[nodiscard]] const std::vector<SloSpec>& specs() const noexcept {
+    return specs_;
+  }
+
+  /// Evaluates every spec against a fresh registry snapshot. A series that
+  /// does not exist yet is not a breach (nothing has been observed). Each
+  /// breach increments crowdmap_slo_breaches_total{slo=name} and records a
+  /// kSloBreach flight event (b = scaled observed value, rounded).
+  std::vector<SloBreach> evaluate();
+
+  /// Total breaches across all specs since construction.
+  [[nodiscard]] std::uint64_t breaches_total() const noexcept {
+    return breaches_total_;
+  }
+
+ private:
+  std::shared_ptr<MetricsRegistry> registry_;
+  FlightRecorder* flight_ = nullptr;
+  std::vector<SloSpec> specs_;
+  std::vector<Counter*> breach_counters_;  // parallel to specs_
+  std::uint64_t breaches_total_ = 0;
+};
+
+}  // namespace crowdmap::obs

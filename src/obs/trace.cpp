@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/flight.hpp"
+
 namespace crowdmap::obs {
 
 // ----------------------------------------------------------- SpanRecord ---
@@ -92,6 +94,9 @@ void Trace::begin_span(std::string name) {
   Node* raw = node.get();
   open_->children.push_back(std::move(node));
   open_ = raw;
+  if (flight_ != nullptr) {
+    flight_->record_named(FlightEventKind::kSpanBegin, 0, raw->name);
+  }
 }
 
 double Trace::end_span() {
@@ -101,6 +106,10 @@ double Trace::end_span() {
   open_->closed = true;
   const double seconds =
       std::chrono::duration<double>(open_->end - open_->start).count();
+  if (flight_ != nullptr) {
+    flight_->record_named(FlightEventKind::kSpanEnd, 0, open_->name,
+                          static_cast<std::uint64_t>(seconds * 1e9));
+  }
   open_ = open_->parent;
   return seconds;
 }
@@ -130,6 +139,11 @@ SpanRecord Trace::snapshot_node(const Node& node, Clock::time_point now) const {
     record.children.push_back(snapshot_node(*child, now));
   }
   return record;
+}
+
+void Trace::set_flight_recorder(FlightRecorder* flight) {
+  common::MutexLock lock(mutex_);
+  flight_ = flight;
 }
 
 SpanRecord Trace::snapshot() const {

@@ -42,6 +42,7 @@ struct SpanRecord {
 };
 
 class Trace;
+class FlightRecorder;
 
 /// RAII span: closes on destruction; end() closes early and returns the
 /// inclusive duration (useful for feeding a latency histogram).
@@ -82,6 +83,11 @@ class Trace {
     return ScopedSpan(*this, std::move(name));
   }
 
+  /// Mirrors every span begin/end into the flight recorder as
+  /// span_begin/span_end events (null detaches). The recorder must outlive
+  /// this trace or be detached first.
+  void set_flight_recorder(FlightRecorder* flight) CM_EXCLUDES(mutex_);
+
   /// Copies the tree; still-open spans (root included) are reported as
   /// running up to "now".
   [[nodiscard]] SpanRecord snapshot() const CM_EXCLUDES(mutex_);
@@ -106,6 +112,7 @@ class Trace {
   mutable common::Mutex mutex_;
   Node root_ CM_GUARDED_BY(mutex_);
   Node* open_ CM_GUARDED_BY(mutex_) = nullptr;  // innermost open span
+  FlightRecorder* flight_ CM_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace crowdmap::obs

@@ -1,0 +1,112 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+
+namespace crowdmap::obs {
+
+namespace {
+
+void escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Microseconds with fixed precision so output is byte-stable.
+void append_micros(std::string& out, double micros) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", micros);
+  out += buf;
+}
+
+void append_span(std::string& out, const SpanRecord& span, bool& first) {
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += R"(    {"name": ")";
+  escape_into(out, span.name);
+  out += R"(", "ph": "X", "ts": )";
+  append_micros(out, span.start_seconds * 1e6);
+  out += ", \"dur\": ";
+  append_micros(out, span.duration_seconds * 1e6);
+  out += R"(, "pid": 1, "tid": 1)";
+  if (!span.attributes.empty()) {
+    out += ", \"args\": {";
+    bool first_attr = true;
+    for (const auto& [key, value] : span.attributes) {
+      if (!first_attr) out += ", ";
+      first_attr = false;
+      out += '"';
+      escape_into(out, key);
+      out += "\": \"";
+      escape_into(out, value);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += '}';
+  for (const auto& child : span.children) {
+    append_span(out, child, first);
+  }
+}
+
+void append_flight_event(std::string& out, const FlightEventRecord& event,
+                         const FlightDump& dump, bool& first) {
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += R"(    {"name": ")";
+  const auto named = dump.strings.find(event.a);
+  if (named != dump.strings.end()) {
+    escape_into(out, named->second);
+  } else {
+    escape_into(out, flight_event_kind_name(event.kind));
+  }
+  out += R"(", "ph": "i", "ts": )";
+  append_micros(out, static_cast<double>(event.steady_nanos) / 1e3);
+  // Flight tracks sit above the span track: tid 1 is the span stack.
+  out += R"(, "pid": 1, "tid": )";
+  out += std::to_string(2 + event.thread);
+  out += R"(, "s": "t", "args": {"kind": ")";
+  out += flight_event_kind_name(event.kind);
+  out += "\", \"tick\": ";
+  out += std::to_string(event.tick);
+  out += ", \"detail\": ";
+  out += std::to_string(event.detail);
+  out += ", \"a\": ";
+  out += std::to_string(event.a);
+  out += ", \"b\": ";
+  out += std::to_string(event.b);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string to_trace_event_json(const SpanRecord& root,
+                                const FlightDump* flight) {
+  std::string out;
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  append_span(out, root, first);
+  if (flight != nullptr) {
+    for (const auto& event : flight->events) {
+      append_flight_event(out, event, *flight, first);
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace crowdmap::obs

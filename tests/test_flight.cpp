@@ -1,0 +1,339 @@
+// Flight-recorder suite: ring semantics (wraparound, drop accounting,
+// disarmed no-ops), the versioned binary codec and its error codes, the
+// deterministic-dump normalization contract (byte-identical at any thread
+// count, same as serialized FloorPlans), anomaly dump budgeting, the chaos
+// harness firing dump-on-anomaly, and the recorder never changing plan
+// bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/crowdmap.hpp"
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "io/serialize.hpp"
+#include "obs/flight.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+namespace ap = crowdmap::api;
+namespace cc = crowdmap::common;
+namespace co = crowdmap::core;
+namespace cs = crowdmap::sim;
+namespace obs = crowdmap::obs;
+
+namespace {
+
+using obs::FlightEventKind;
+
+// ---------------------------------------------------------------- rings ---
+
+TEST(Flight, RecordsEventsWithPayloads) {
+  obs::FlightRecorder flight;
+  ASSERT_TRUE(flight.armed());
+  flight.advance_tick(3);
+  flight.record(FlightEventKind::kCacheHit, 7, 0xAAAA, 0xBBBB);
+  const obs::FlightDump dump = flight.dump();
+  ASSERT_EQ(dump.events.size(), 1u);
+  EXPECT_EQ(dump.events[0].kind, FlightEventKind::kCacheHit);
+  EXPECT_EQ(dump.events[0].detail, 7u);
+  EXPECT_EQ(dump.events[0].tick, 3u);
+  EXPECT_EQ(dump.events[0].a, 0xAAAAu);
+  EXPECT_EQ(dump.events[0].b, 0xBBBBu);
+  EXPECT_FALSE(dump.deterministic);
+  EXPECT_EQ(dump.dropped, 0u);
+}
+
+TEST(Flight, DisarmedRecordsNothing) {
+  obs::FlightRecorder flight;
+  flight.disarm();
+  for (int i = 0; i < 100; ++i) {
+    flight.record(FlightEventKind::kCacheMiss, 0, i);
+  }
+  EXPECT_TRUE(flight.dump().events.empty());
+  flight.arm();
+  flight.record(FlightEventKind::kCacheMiss, 0, 1);
+  EXPECT_EQ(flight.dump().events.size(), 1u);
+}
+
+TEST(Flight, RingWraparoundKeepsNewestAndCountsDropped) {
+  obs::FlightOptions options;
+  options.ring_capacity = 8;
+  obs::FlightRecorder flight(options);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    flight.record(FlightEventKind::kCacheHit, 0, i);
+  }
+  const obs::FlightDump dump = flight.dump();
+  ASSERT_EQ(dump.events.size(), 8u);
+  EXPECT_EQ(dump.dropped, 12u);
+  EXPECT_EQ(flight.dropped(), 12u);
+  // The survivors are the newest 12..19, in write order.
+  for (std::size_t i = 0; i < dump.events.size(); ++i) {
+    EXPECT_EQ(dump.events[i].a, 12 + i);
+  }
+}
+
+TEST(Flight, InternedNamesLandInTheDumpStringTable) {
+  obs::FlightRecorder flight;
+  flight.record_named(FlightEventKind::kDegradation, 0, "panorama",
+                      flight.intern("skipped"));
+  const obs::FlightDump dump = flight.dump();
+  ASSERT_EQ(dump.events.size(), 1u);
+  EXPECT_EQ(dump.strings.count(dump.events[0].a), 1u);
+  EXPECT_EQ(dump.strings.at(dump.events[0].a), "panorama");
+  EXPECT_EQ(dump.strings.at(dump.events[0].b), "skipped");
+  // Interning is stable: the same name hashes identically every time.
+  EXPECT_EQ(flight.intern("panorama"), dump.events[0].a);
+}
+
+// ---------------------------------------------------------------- codec ---
+
+TEST(Flight, CodecRoundTripsExactly) {
+  obs::FlightRecorder flight;
+  flight.advance_tick();
+  flight.record_named(FlightEventKind::kSpanBegin, 0, "aggregate");
+  flight.record(FlightEventKind::kCacheMiss, 2, 123, 456);
+  flight.record_named(FlightEventKind::kSloBreach, 1, "lat_p99_ms", 750);
+  const obs::FlightDump dump = flight.dump();
+
+  const auto bytes = obs::encode_flight_dump(dump);
+  const auto decoded = obs::decode_flight_dump(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().events, dump.events);
+  EXPECT_EQ(decoded.value().strings, dump.strings);
+  EXPECT_EQ(decoded.value().dropped, dump.dropped);
+  EXPECT_EQ(decoded.value().deterministic, dump.deterministic);
+  // Re-encoding the decoded dump is byte-identical.
+  EXPECT_EQ(obs::encode_flight_dump(decoded.value()), bytes);
+}
+
+TEST(Flight, CodecRejectsJunkWithTypedErrors) {
+  const auto magic = obs::decode_flight_dump(
+      std::vector<std::uint8_t>{'n', 'o', 'p', 'e', 0, 0, 0, 0});
+  ASSERT_FALSE(magic.ok());
+  EXPECT_EQ(magic.error().code, "flight.magic");
+
+  auto bytes = obs::encode_flight_dump(obs::FlightDump{});
+  bytes[4] = 99;  // version field
+  const auto version = obs::decode_flight_dump(bytes);
+  ASSERT_FALSE(version.ok());
+  EXPECT_EQ(version.error().code, "flight.version");
+
+  obs::FlightRecorder flight;
+  flight.record_named(FlightEventKind::kFaultFired, 3, "decode.fail");
+  const auto full = obs::encode_flight_dump(flight.dump());
+  for (const std::size_t cut :
+       {std::size_t{5}, std::size_t{20}, full.size() - 1}) {
+    const auto truncated =
+        obs::decode_flight_dump(full.data(), std::min(cut, full.size()));
+    ASSERT_FALSE(truncated.ok()) << "cut at " << cut;
+    EXPECT_EQ(truncated.error().code, "flight.truncated");
+  }
+}
+
+TEST(Flight, JsonRenderingIsStable) {
+  obs::FlightRecorder flight;
+  flight.record_named(FlightEventKind::kDegradation, 0, "rooms",
+                      flight.intern("fallback"));
+  const std::string json = obs::flight_dump_to_json(flight.dump());
+  EXPECT_NE(json.find("\"deterministic\": false"), std::string::npos);
+  EXPECT_NE(json.find("degradation"), std::string::npos);
+  EXPECT_NE(json.find("rooms"), std::string::npos);
+}
+
+// ------------------------------------------------- deterministic dumps ---
+
+TEST(Flight, DeterministicDumpFiltersRacyKindsAndNormalizes) {
+  obs::FlightRecorder flight;
+  flight.advance_tick();
+  flight.record(FlightEventKind::kQueueDepth, 0, 9);
+  flight.record(FlightEventKind::kCacheEvict, 1, 5, 6);
+  flight.record(FlightEventKind::kCacheHit, 1, 5, 6);
+  flight.record_named(FlightEventKind::kFaultFired, 2, "decode.fail");
+
+  const obs::FlightDump dump = flight.deterministic_dump();
+  EXPECT_TRUE(dump.deterministic);
+  ASSERT_EQ(dump.events.size(), 2u);
+  for (const auto& event : dump.events) {
+    EXPECT_NE(event.kind, FlightEventKind::kQueueDepth);
+    EXPECT_NE(event.kind, FlightEventKind::kCacheEvict);
+    EXPECT_EQ(event.thread, 0u);
+    EXPECT_EQ(event.steady_nanos, 0u);
+  }
+  // Sorted by content: cache_hit (kind 3) before fault_fired (kind 6).
+  EXPECT_EQ(dump.events[0].kind, FlightEventKind::kCacheHit);
+  EXPECT_EQ(dump.events[1].kind, FlightEventKind::kFaultFired);
+}
+
+// ---------------------------------------------------------- anomaly dumps ---
+
+TEST(Flight, AnomalyDumpsAreBudgetedAndDumpNowIsNot) {
+  obs::FlightOptions options;
+  options.dump_on_anomaly = true;
+  options.max_anomaly_dumps = 2;
+  obs::FlightRecorder flight(options);
+  flight.set_dump_on_anomaly(true);
+  int dumps = 0;
+  std::vector<std::string> reasons;
+  flight.set_dump_sink([&](const obs::FlightDump&, std::string_view reason) {
+    ++dumps;
+    reasons.emplace_back(reason);
+  });
+
+  for (int i = 0; i < 5; ++i) {
+    flight.record_named(FlightEventKind::kFaultFired, 0, "decode.fail");
+  }
+  EXPECT_EQ(dumps, 2);
+  EXPECT_EQ(flight.anomaly_dumps(), 2u);
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[0], "anomaly:fault_fired");
+
+  // Non-anomalous kinds never trigger a dump.
+  flight.record(FlightEventKind::kCacheHit, 0, 1);
+  EXPECT_EQ(dumps, 2);
+
+  // dump_now() bypasses the budget.
+  flight.dump_now("operator");
+  EXPECT_EQ(dumps, 3);
+  EXPECT_EQ(reasons.back(), "operator");
+  EXPECT_EQ(flight.anomaly_dumps(), 2u);
+}
+
+// --------------------------------------------------- pipeline contracts ---
+
+/// Seeded campaign ingested into a bare pipeline; returns the pipeline after
+/// run() so tests can inspect both the plan bytes and the flight recorder.
+struct PipelineRun {
+  crowdmap::io::Bytes plan_bytes;
+  obs::FlightDump deterministic_dump;
+  std::uint64_t dropped = 0;
+};
+
+PipelineRun seeded_run(std::size_t threads, bool flight_enabled,
+                       cc::FaultPlan faults = {}) {
+  cc::Rng rng(777);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options;
+  options.users = 2;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 4;
+  options.junk_fraction = 0.0;
+  options.sim.fps = 3.0;
+
+  co::PipelineConfig config = co::PipelineConfig::fast_profile();
+  config.parallel.threads = threads;
+  config.flight.enabled = flight_enabled;
+  config.flight.ring_capacity = 1u << 16;  // no wraparound in this workload
+  config.faults = std::move(faults);
+  // The bare stage executor is the unit under test here.
+  // crowdmap-lint: allow(pipeline-construction)
+  co::CrowdMapPipeline pipeline(config);
+  cs::generate_campaign_streaming(
+      spec, options, 777,
+      [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
+
+  PipelineRun out;
+  out.plan_bytes = crowdmap::io::encode_floorplan(pipeline.run().plan);
+  if (obs::FlightRecorder* flight = pipeline.flight_recorder()) {
+    out.deterministic_dump = flight->deterministic_dump();
+    out.dropped = flight->dropped();
+  }
+  return out;
+}
+
+TEST(Flight, RecorderDoesNotChangeFloorPlanBytes) {
+  const auto with_recorder = seeded_run(2, true);
+  const auto without_recorder = seeded_run(2, false);
+  ASSERT_FALSE(with_recorder.plan_bytes.empty());
+  EXPECT_EQ(with_recorder.plan_bytes, without_recorder.plan_bytes);
+  // The enabled run actually recorded something.
+  EXPECT_FALSE(with_recorder.deterministic_dump.events.empty());
+  EXPECT_TRUE(without_recorder.deterministic_dump.events.empty());
+}
+
+TEST(Flight, DeterministicDumpIsByteIdenticalAcrossThreadCounts) {
+  const auto serial = seeded_run(1, true);
+  const auto parallel = seeded_run(4, true);
+  ASSERT_EQ(serial.dropped, 0u);
+  ASSERT_EQ(parallel.dropped, 0u);
+  EXPECT_EQ(serial.plan_bytes, parallel.plan_bytes);
+  EXPECT_EQ(obs::encode_flight_dump(serial.deterministic_dump),
+            obs::encode_flight_dump(parallel.deterministic_dump));
+}
+
+TEST(Flight, ChaosFaultFiresAnomalyDump) {
+  cc::FaultPlan plan;
+  plan.seed = 99;
+  plan.settings.push_back(
+      cc::FaultSetting{cc::faults::kStagePanoramaFail, 1.0,
+                       cc::FaultSetting::kNoBudget});
+
+  cc::Rng rng(777);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options;
+  options.users = 2;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 4;
+  options.junk_fraction = 0.0;
+  options.sim.fps = 3.0;
+
+  co::PipelineConfig config = co::PipelineConfig::fast_profile();
+  config.parallel.threads = 2;
+  config.flight.enabled = true;
+  config.flight.dump_on_anomaly = true;
+  config.faults = plan;
+  // crowdmap-lint: allow(pipeline-construction)
+  co::CrowdMapPipeline pipeline(config);
+
+  int dumps = 0;
+  std::string first_reason;
+  ASSERT_NE(pipeline.flight_recorder(), nullptr);
+  pipeline.flight_recorder()->set_dump_sink(
+      [&](const obs::FlightDump& dump, std::string_view reason) {
+        if (dumps++ == 0) first_reason = std::string(reason);
+        EXPECT_FALSE(dump.events.empty());
+      });
+
+  cs::generate_campaign_streaming(
+      spec, options, 777,
+      [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
+  const auto result = pipeline.run();
+  ASSERT_FALSE(crowdmap::io::encode_floorplan(result.plan).empty());
+
+  EXPECT_GE(pipeline.flight_recorder()->anomaly_dumps(), 1u);
+  EXPECT_GE(dumps, 1);
+  EXPECT_EQ(first_reason.rfind("anomaly:", 0), 0u) << first_reason;
+
+  // The fired fault is in the dump, with its point name interned.
+  const obs::FlightDump dump = pipeline.flight_recorder()->dump();
+  bool saw_fault = false;
+  for (const auto& event : dump.events) {
+    if (event.kind == FlightEventKind::kFaultFired) saw_fault = true;
+  }
+  EXPECT_TRUE(saw_fault);
+}
+
+// ----------------------------------------------------------- api surface ---
+
+TEST(Flight, ApiClientExposesDumps) {
+  ap::ClientOptions enabled;
+  enabled.config = co::PipelineConfig::fast_profile();
+  enabled.config.flight.enabled = true;
+  ap::Client client(std::move(enabled));
+  const auto dump = client.flight_dump();
+  ASSERT_TRUE(dump.has_value());
+  const auto deterministic = client.flight_dump(/*deterministic=*/true);
+  ASSERT_TRUE(deterministic.has_value());
+  EXPECT_TRUE(deterministic->deterministic);
+
+  ap::ClientOptions disabled;
+  disabled.config = co::PipelineConfig::fast_profile();
+  disabled.config.flight.enabled = false;
+  ap::Client dark(std::move(disabled));
+  EXPECT_FALSE(dark.flight_dump().has_value());
+}
+
+}  // namespace

@@ -277,6 +277,63 @@ TEST(Lint, PipelineConstructionEscapable) {
       "pipeline-construction"));
 }
 
+// ------------------------------------------------------ metric-help-required ---
+
+TEST(Lint, MetricHelpFiresOnMissingHelp) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "auto& c = registry.counter(\"crowdmap_x_total\", {});\n"),
+      "metric-help-required"));
+  // histogram() takes buckets before help, so three args is still help-less.
+  EXPECT_TRUE(has_rule(
+      cl::lint_content(
+          "src/cloud/x.cpp",
+          "auto& h = registry->histogram(\"crowdmap_x_seconds\", {},\n"
+          "                              obs::Histogram::default_latency_buckets());\n"),
+      "metric-help-required"));
+}
+
+TEST(Lint, MetricHelpFiresOnEmptyHelp) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "registry.gauge(\"crowdmap_depth\", {}, \"\");\n"),
+      "metric-help-required"));
+}
+
+TEST(Lint, MetricHelpPassesWithHelpAcrossLinesAndNestedBraces) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content(
+          "src/cloud/x.cpp",
+          "auto& c = registry.counter(\n"
+          "    \"crowdmap_slo_breaches_total\", {{\"slo\", spec.name}},\n"
+          "    \"SLO threshold crossings detected by the watchdog\");\n"),
+      "metric-help-required"));
+  EXPECT_FALSE(has_rule(
+      cl::lint_content(
+          "src/cloud/x.cpp",
+          "auto& h = registry.histogram(\"crowdmap_x_seconds\", {},\n"
+          "                             {0.1, 1.0}, \"latency\");\n"),
+      "metric-help-required"));
+}
+
+TEST(Lint, MetricHelpIgnoresNonLiteralNames) {
+  // Lookup helpers that forward a runtime name are not registrations the
+  // rule can judge; only literal-name call sites are flagged.
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "auto& c = registry.counter(name, labels);\n"),
+      "metric-help-required"));
+}
+
+TEST(Lint, MetricHelpEscapable) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content(
+          "src/cloud/x.cpp",
+          "// crowdmap-lint: allow(metric-help-required)\n"
+          "registry.counter(\"crowdmap_x_total\", {});\n"),
+      "metric-help-required"));
+}
+
 // --------------------------------------------- comments and string literals ---
 
 TEST(Lint, CommentMentionsDoNotFire) {

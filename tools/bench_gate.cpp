@@ -1,0 +1,180 @@
+// bench_gate — CI perf-regression gate over BENCH_*.json result lines.
+//
+//   bench_gate --check [--baselines DIR]
+//       Validates the committed baselines against bench/baselines/
+//       TOLERANCES.conf: every bound must have a baseline series and that
+//       series must satisfy its own bound. This is the cheap CI mode — no
+//       bench binaries run.
+//
+//   bench_gate [--baselines DIR] FILE...
+//       Parses fresh BENCH lines out of FILE(s) ('-' reads stdin; raw bench
+//       output and full CI logs both work) and gates them against the
+//       committed baselines: bounded series re-checked on the fresh means,
+//       baseline series of covered benches must not disappear.
+//
+// Exits 0 when the gate passes, 1 on regression/malformed input, 2 on usage
+// errors. Rationale and the tolerance format: docs/PERFORMANCE.md.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gate/gate.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using crowdmap::gate::BenchSeries;
+using crowdmap::gate::GateReport;
+using crowdmap::gate::Tolerance;
+
+void usage() {
+  std::cout << "usage: bench_gate --check [--baselines DIR]\n"
+               "       bench_gate [--baselines DIR] FILE...\n"
+               "  --check          validate committed baselines against "
+               "TOLERANCES.conf\n"
+               "  --baselines DIR  baseline directory (default "
+               "bench/baselines)\n"
+               "  FILE             fresh bench output to gate ('-' = stdin)\n";
+}
+
+std::string read_file(const std::string& path, bool* ok) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *ok = true;
+    return buffer.str();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *ok = true;
+  return buffer.str();
+}
+
+/// Loads every committed BENCH_*.json under `dir` plus TOLERANCES.conf.
+bool load_baselines(const std::string& dir, std::vector<BenchSeries>* series,
+                    std::vector<Tolerance>* tolerances, GateReport* report) {
+  if (!fs::is_directory(dir)) {
+    std::cerr << "bench_gate: baseline directory not found: " << dir << "\n";
+    return false;
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    bool ok = false;
+    const std::string text = read_file(file, &ok);
+    if (!ok) {
+      std::cerr << "bench_gate: cannot read " << file << "\n";
+      return false;
+    }
+    const auto parsed = crowdmap::gate::parse_bench_lines(file, text, *report);
+    series->insert(series->end(), parsed.begin(), parsed.end());
+  }
+  const std::string manifest = dir + "/TOLERANCES.conf";
+  bool ok = false;
+  const std::string text = read_file(manifest, &ok);
+  if (!ok) {
+    std::cerr << "bench_gate: cannot read " << manifest << "\n";
+    return false;
+  }
+  *tolerances = crowdmap::gate::parse_tolerances(manifest, text, *report);
+  return true;
+}
+
+int report_and_exit(const GateReport& report) {
+  for (const std::string& note : report.notes) {
+    std::cout << "bench_gate: ok: " << note << "\n";
+  }
+  for (const std::string& error : report.errors) {
+    std::cerr << "bench_gate: error: " << error << "\n";
+  }
+  for (const std::string& failure : report.failures) {
+    std::cerr << "bench_gate: FAIL: " << failure << "\n";
+  }
+  if (!report.ok()) {
+    std::cerr << "bench_gate: " << report.failures.size() << " failure(s), "
+              << report.errors.size() << " error(s)\n";
+    return 1;
+  }
+  std::cout << "bench_gate: PASS (" << report.notes.size()
+            << " check(s))\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string baselines_dir = "bench/baselines";
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--baselines") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --baselines\n";
+        return 2;
+      }
+      baselines_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "-" || arg[0] != '-') {
+      inputs.push_back(arg);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (!check && inputs.empty()) {
+    std::cerr << "bench_gate: nothing to do (pass --check or FILEs)\n";
+    usage();
+    return 2;
+  }
+
+  GateReport report;
+  std::vector<BenchSeries> baselines;
+  std::vector<Tolerance> tolerances;
+  if (!load_baselines(baselines_dir, &baselines, &tolerances, &report)) {
+    return 1;
+  }
+
+  if (check) {
+    crowdmap::gate::check_baselines(baselines, tolerances, report);
+    return report_and_exit(report);
+  }
+
+  std::vector<BenchSeries> current;
+  for (const std::string& input : inputs) {
+    bool ok = false;
+    const std::string text = read_file(input, &ok);
+    if (!ok) {
+      std::cerr << "bench_gate: cannot read " << input << "\n";
+      return 1;
+    }
+    const auto parsed = crowdmap::gate::parse_bench_lines(input, text, report);
+    current.insert(current.end(), parsed.begin(), parsed.end());
+  }
+  if (current.empty()) {
+    std::cerr << "bench_gate: no BENCH lines found in input\n";
+    return 1;
+  }
+  crowdmap::gate::gate_run(baselines, current, tolerances, report);
+  return report_and_exit(report);
+}

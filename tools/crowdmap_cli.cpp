@@ -4,10 +4,12 @@
 //                [--seed N] [--config FILE] [--fast]
 //                [--svg OUT.svg] [--pgm OUT.pgm] [--plan OUT.cmplan]
 //                [--ascii] [--metrics-out OUT.prom] [--trace]
+//                [--trace-out OUT.json] [--flight-out OUT.cmflight]
 //
 // Prints the Table-I metrics and room-error summary; optionally writes an
-// SVG floor plan, a PGM of the hallway skeleton, the binary plan, and the
-// pipeline's metrics registry in Prometheus text format.
+// SVG floor plan, a PGM of the hallway skeleton, the binary plan, the
+// pipeline's metrics registry in Prometheus text format, the run timeline
+// as a Perfetto/chrome://tracing JSON, and the flight-recorder black box.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -22,6 +24,8 @@
 #include "io/image_io.hpp"
 #include "io/serialize.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/buildings.hpp"
 
 namespace {
@@ -44,7 +48,9 @@ void usage() {
       "  --ascii           print the ASCII floor plan\n"
       "  --coverage        print coverage analysis + suggested walk tasks\n"
       "  --metrics-out F   write the pipeline metrics (Prometheus text) to F\n"
-      "  --trace           print the pipeline trace tree (per-stage timings)\n";
+      "  --trace           print the pipeline trace tree (per-stage timings)\n"
+      "  --trace-out F     write spans + flight events as Perfetto trace JSON\n"
+      "  --flight-out F    write the flight-recorder dump (versioned binary)\n";
 }
 
 }  // namespace
@@ -68,6 +74,8 @@ int main(int argc, char** argv) {
   std::string pgm_path;
   std::string plan_path;
   std::string metrics_path;
+  std::string trace_out_path;
+  std::string flight_out_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -113,6 +121,10 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--trace-out") {
+      trace_out_path = next();
+    } else if (arg == "--flight-out") {
+      flight_out_path = next();
     } else if (arg == "--help-config") {
       std::cout << "supported --config keys (key = value per line):\n"
                 << core::config_key_help();
@@ -230,6 +242,34 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "wrote " << metrics_path << "\n";
+  }
+  if (!trace_out_path.empty()) {
+    std::ofstream out(trace_out_path);
+    out << obs::to_trace_event_json(
+        run.result.trace, run.flight ? &run.flight.value() : nullptr);
+    if (!out) {
+      std::cerr << "failed to write " << trace_out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << trace_out_path
+              << " (open in ui.perfetto.dev or chrome://tracing)\n";
+  }
+  if (!flight_out_path.empty()) {
+    if (!run.flight) {
+      std::cerr << "--flight-out: flight recorder disabled "
+                   "(set flight.enabled=true in --config)\n";
+      return 1;
+    }
+    const auto bytes = obs::encode_flight_dump(*run.flight);
+    std::ofstream out(flight_out_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::cerr << "failed to write " << flight_out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flight_out_path << " (" << bytes.size()
+              << " bytes, " << run.flight->events.size() << " events)\n";
   }
   if (!svg_path.empty()) {
     std::ofstream(svg_path) << run.result.plan.to_svg();

@@ -180,6 +180,7 @@ const char kFloatAccumulator[] = "float-accumulator";
 const char kPragmaOnce[] = "pragma-once";
 const char kFaultPointName[] = "fault-point-name";
 const char kPipelineConstruction[] = "pipeline-construction";
+const char kMetricHelp[] = "metric-help-required";
 
 const std::regex& raw_rng_pattern() {
   static const std::regex re(
@@ -248,6 +249,93 @@ const std::regex& fault_point_pattern() {
   return re;
 }
 
+const std::regex& metric_registration_pattern() {
+  // A counter()/gauge()/histogram() registration call. Matched against the
+  // *stripped* line (so prose mentioning the methods does not trip it), but
+  // the arguments are then parsed from the raw content: the help text is a
+  // string literal, which stripping blanks out.
+  static const std::regex re("(?:->|\\.)\\s*(counter|gauge|histogram)\\s*\\(");
+  return re;
+}
+
+/// Splits the raw argument list starting at `open` (the offset of '(' in
+/// `content`) into top-level argument substrings. Understands nested
+/// (), {}, [], <> never (templates in args are rare and commas inside them
+/// would mis-split — acceptable for this rule), string/char literals with
+/// escapes. Returns false when the call is unterminated.
+bool parse_call_args(std::string_view content, std::size_t open,
+                     std::vector<std::string>* args) {
+  int depth = 0;
+  bool in_string = false;
+  bool in_char = false;
+  std::string current;
+  for (std::size_t i = open; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_string || in_char) {
+      current += c;
+      if (c == '\\' && i + 1 < content.size()) {
+        current += content[++i];
+      } else if ((in_string && c == '"') || (in_char && c == '\'')) {
+        in_string = in_char = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        current += c;
+        continue;
+      case '\'':
+        in_char = true;
+        current += c;
+        continue;
+      case '(':
+      case '{':
+      case '[':
+        ++depth;
+        if (depth == 1) continue;  // the registration call's own paren
+        break;
+      case ')':
+      case '}':
+      case ']':
+        --depth;
+        if (depth == 0) {
+          args->push_back(current);
+          return true;
+        }
+        break;
+      case ',':
+        if (depth == 1) {
+          args->push_back(current);
+          current.clear();
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    if (depth >= 1) current += c;
+  }
+  return false;
+}
+
+/// Trims ASCII whitespace (the argument substrings keep raw spacing).
+std::string trimmed(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\n\r");
+  if (first == std::string::npos) return {};
+  const std::size_t last = text.find_last_not_of(" \t\n\r");
+  return text.substr(first, last - first + 1);
+}
+
+/// True for a string-literal argument; `*empty` reports whether every
+/// literal fragment is empty ("" or "" "" — adjacent concatenation).
+bool string_literal_arg(const std::string& arg, bool* empty) {
+  const std::string t = trimmed(arg);
+  if (t.empty() || t[0] != '"') return false;
+  *empty = t.find_first_not_of("\" \t\n\r") == std::string::npos;
+  return true;
+}
+
 /// True when the previous non-space character before `pos` is '=': that is a
 /// deleted special member ("= delete"), not a deallocation.
 bool preceded_by_equals(const std::string& line, std::size_t pos) {
@@ -291,6 +379,10 @@ const std::vector<RuleInfo>& rule_catalog() {
        "internal stage executor — go through api::Client (or "
        "core::IncrementalPlanner) so callers get the versioned surface, "
        "artifact caching and background refresh"},
+      {kMetricHelp,
+       "counter()/gauge()/histogram() registration without non-empty help "
+       "text; the Prometheus export ships # HELP lines and an unexplained "
+       "metric is unusable at 3am — pass the help argument"},
   };
   return catalog;
 }
@@ -311,6 +403,12 @@ std::vector<Finding> lint_content(std::string_view path,
       file.rfind("src/", 0) == 0 || file.find("/src/") != std::string::npos;
   const auto escapes = collect_escapes(content);
   const auto lines = stripped_lines(content);
+  // Byte offset of each line's first character, for rules that re-read the
+  // raw content (metric-help-required needs the blanked string literals).
+  std::vector<std::size_t> line_starts(1, 0);
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') line_starts.push_back(i + 1);
+  }
 
   std::vector<Finding> findings;
   const auto report = [&](int line, const char* rule, std::string message) {
@@ -377,6 +475,34 @@ std::vector<Finding> lint_content(std::string_view path,
              "'" + decl[1].str() +
                  "' accumulates in float; sum in double and cast once at the "
                  "boundary");
+    }
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        metric_registration_pattern());
+         it != std::sregex_iterator(); ++it) {
+      // The match ends at '('; columns are preserved by stripping, so the
+      // same offset indexes the raw content.
+      const std::size_t paren =
+          line_starts[i] +
+          static_cast<std::size_t>(it->position() + it->length()) - 1;
+      std::vector<std::string> args;
+      if (!parse_call_args(content, paren, &args) || args.empty()) continue;
+      bool empty = false;
+      // Only metric registrations pass a literal metric name first; other
+      // .counter()-shaped APIs (if any) are left alone.
+      if (!string_literal_arg(args[0], &empty) || empty) continue;
+      const std::string method = (*it)[1].str();
+      const std::size_t min_args = method == "histogram" ? 4 : 3;
+      if (args.size() < min_args) {
+        report(line, kMetricHelp,
+               "metric " + trimmed(args[0]) + " registered via " + method +
+                   "() without help text; add the trailing help argument");
+        continue;
+      }
+      if (string_literal_arg(args.back(), &empty) && empty) {
+        report(line, kMetricHelp,
+               "metric " + trimmed(args[0]) + " registered via " + method +
+                   "() with empty help text");
+      }
     }
   }
 

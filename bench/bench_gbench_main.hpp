@@ -7,7 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -39,14 +41,36 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
 };
 
 /// Drop-in replacement for BENCHMARK_MAIN()'s body with JSON-line emission.
+/// Each benchmark is repeated (default 5x, override with an explicit
+/// --benchmark_repetitions flag) and the per-repetition timings of one name
+/// aggregate into a single BENCH line with a real sample count, so the
+/// committed baselines carry usable stddev/median/p90 columns instead of
+/// the degenerate samples:1 rows the old single-pass emitter produced.
 inline int run_benchmarks_with_json(const std::string& bench, int argc,
                                     char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::vector<char*> args(argv, argv + argc);
+  std::string default_reps = "--benchmark_repetitions=5";
+  bool has_reps = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_repetitions", 0) == 0) {
+      has_reps = true;
+    }
+  }
+  if (!has_reps) args.push_back(default_reps.data());
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
   JsonLineReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> samples;
   for (const auto& [name, seconds] : reporter.collected()) {
-    emit_bench_scalar(bench, name + ".real_seconds", seconds);
+    auto [it, inserted] = samples.try_emplace(name);
+    if (inserted) order.push_back(name);
+    it->second.push_back(seconds);
+  }
+  for (const auto& name : order) {
+    emit_bench_json(bench, name + ".real_seconds", samples[name]);
   }
   benchmark::Shutdown();
   return 0;

@@ -1,0 +1,61 @@
+#include "common/simd.hpp"
+
+namespace crowdmap::common::simd {
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool runtime_cpu_supports(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("sse2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kAvx2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architecturally mandatory on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::string capability_report() {
+  std::string out = "compiled=";
+  out += backend_name(compiled_backend());
+  out += " active=";
+  out += backend_name(active_backend());
+  out += " cpu:";
+  for (const Backend b : {Backend::kSse2, Backend::kAvx2, Backend::kNeon}) {
+    out += ' ';
+    out += backend_name(b);
+    out += runtime_cpu_supports(b) ? "=yes" : "=no";
+  }
+  return out;
+}
+
+}  // namespace crowdmap::common::simd

@@ -140,6 +140,10 @@ constexpr ConfigKeyInfo kConfigKeys[] = {
                 "Bounded S2 match-score memo entries (0 disables)"),
     CM_KEY_SIZE("parallel.threads", nullptr, parallel.threads,
                 "Worker threads (0 = all cores, 1 = serial)"),
+    CM_KEY_BOOL("simd.force_scalar", nullptr, simd.force_scalar,
+                "Route SIMD kernels through the scalar reference path"),
+    CM_KEY_SIZE("simd.match_tile", nullptr, simd.match_tile,
+                "SoA matcher candidate tile (multiple of 8, clamped to [8,256])"),
     CM_KEY_DOUBLE("skeleton.alpha", nullptr, skeleton.alpha,
                   "Alpha-shape radius for hallway boundary extraction"),
     CM_KEY_INT("skeleton.final_dilate_cells", "skeleton.dilate",

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/simd.hpp"
 #include "core/stage_artifacts.hpp"
 #include "mapping/occupancy.hpp"
 
@@ -88,6 +89,9 @@ CrowdMapPipeline::CrowdMapPipeline(PipelineConfig config,
       registry_(registry ? std::move(registry)
                          : std::make_shared<obs::MetricsRegistry>()),
       trace_(std::make_shared<obs::Trace>("pipeline")) {
+  // Process-wide dispatch switches; both are result-invariant (SimdConfig).
+  common::simd::set_force_scalar(config_.simd.force_scalar);
+  common::simd::set_match_tile(config_.simd.match_tile);
   videos_ingested_ = &registry_->counter(
       "crowdmap_videos_ingested_total", {}, "Uploads presented to the pipeline");
   trajectories_kept_ = &registry_->counter(

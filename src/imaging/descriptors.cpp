@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace crowdmap::imaging {
 
 std::vector<float> color_histogram(const ColorImage& img, int bins_per_channel) {
@@ -36,11 +38,7 @@ std::vector<float> color_histogram(const ColorImage& img, int bins_per_channel) 
 double histogram_intersection(const std::vector<float>& a,
                               const std::vector<float>& b) {
   if (a.size() != b.size()) throw std::invalid_argument("histogram size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += std::min(a[i], b[i]);
-  }
-  return acc;
+  return common::simd::sum_min_f32(a.data(), b.data(), a.size());
 }
 
 std::vector<float> shape_descriptor(const Image& img, int grid) {
@@ -49,15 +47,21 @@ std::vector<float> shape_descriptor(const Image& img, int grid) {
   std::vector<float> desc(static_cast<std::size_t>(grid) * grid * kBins, 0.0f);
   if (img.empty()) return desc;
   const auto grads = sobel_gradients(img);
+  std::vector<float> mag_row(static_cast<std::size_t>(img.width()));
+  std::vector<float> ang_row(static_cast<std::size_t>(img.width()));
   for (int y = 0; y < img.height(); ++y) {
     const int cy = std::min(y * grid / img.height(), grid - 1);
+    // Row-strip magnitude + polynomial atan2 (common::simd::mag_angle_f32);
+    // the bin index is clamped below, so the polynomial's ~1e-5 rad error is
+    // deterministic and harmless.
+    common::simd::mag_angle_f32(grads.gx.row(y), grads.gy.row(y),
+                                mag_row.data(), ang_row.data(),
+                                static_cast<std::size_t>(img.width()));
     for (int x = 0; x < img.width(); ++x) {
       const int cx = std::min(x * grid / img.width(), grid - 1);
-      const double gx = grads.gx.at(x, y);
-      const double gy = grads.gy.at(x, y);
-      const double mag = std::hypot(gx, gy);
+      const double mag = mag_row[static_cast<std::size_t>(x)];
       if (mag < 1e-6) continue;
-      double angle = std::atan2(gy, gx);  // [-pi, pi]
+      double angle = ang_row[static_cast<std::size_t>(x)];  // (-pi, pi]
       if (angle < 0) angle += 2.0 * 3.14159265358979323846;
       const int bin =
           std::min(kBins - 1, static_cast<int>(angle / (2.0 * 3.14159265358979323846) * kBins));
@@ -65,8 +69,8 @@ std::vector<float> shape_descriptor(const Image& img, int grid) {
           static_cast<float>(mag);
     }
   }
-  double norm_sq = 0.0;
-  for (const float v : desc) norm_sq += v * v;
+  const double norm_sq =
+      common::simd::dot_f32(desc.data(), desc.data(), desc.size());
   const double norm = std::sqrt(norm_sq) + 1e-9;
   for (float& v : desc) v = static_cast<float>(v / norm);
   return desc;
@@ -74,11 +78,7 @@ std::vector<float> shape_descriptor(const Image& img, int grid) {
 
 double shape_similarity(const std::vector<float>& a, const std::vector<float>& b) {
   if (a.size() != b.size()) throw std::invalid_argument("shape size mismatch");
-  double dist_sq = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    dist_sq += d * d;
-  }
+  const double dist_sq = common::simd::l2sq_f32(a.data(), b.data(), a.size());
   // Both descriptors are unit-norm, so distance is in [0, 2].
   return std::max(0.0, 1.0 - std::sqrt(dist_sq) / 2.0);
 }

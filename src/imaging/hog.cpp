@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace crowdmap::imaging {
 
 std::vector<float> hog_descriptor(const Image& img, const HogParams& params) {
@@ -24,13 +26,20 @@ std::vector<float> hog_descriptor(const Image& img, const HogParams& params) {
   auto hist_at = [&](int cx, int cy, int bin) -> float& {
     return cell_hist[(static_cast<std::size_t>(cy) * cells_x + cx) * params.bins + bin];
   };
+  const int span_x = cells_x * params.cell_size;
+  std::vector<float> mag_row(static_cast<std::size_t>(span_x));
+  std::vector<float> ang_row(static_cast<std::size_t>(span_x));
   for (int y = 0; y < cells_y * params.cell_size; ++y) {
-    for (int x = 0; x < cells_x * params.cell_size; ++x) {
-      const double gx = grads.gx.at(x, y);
-      const double gy = grads.gy.at(x, y);
-      const double mag = std::hypot(gx, gy);
+    // Magnitude and angle for the whole row at once. The angle comes from
+    // the SIMD wrapper's polynomial atan2 (~1e-5 rad of libm's), identical
+    // on every backend — see common::simd::mag_angle_f32.
+    common::simd::mag_angle_f32(grads.gx.row(y), grads.gy.row(y),
+                                mag_row.data(), ang_row.data(),
+                                static_cast<std::size_t>(span_x));
+    for (int x = 0; x < span_x; ++x) {
+      const double mag = mag_row[static_cast<std::size_t>(x)];
       if (mag < 1e-9) continue;
-      double angle = std::atan2(gy, gx);
+      double angle = ang_row[static_cast<std::size_t>(x)];
       if (!params.signed_gradients && angle < 0) angle += std::numbers::pi;
       if (params.signed_gradients && angle < 0) angle += 2.0 * std::numbers::pi;
       const double bin_f = angle / range * params.bins;
@@ -50,8 +59,9 @@ std::vector<float> hog_descriptor(const Image& img, const HogParams& params) {
   const int blocks_y = cells_y - params.block_size + 1;
   if (blocks_x <= 0 || blocks_y <= 0) {
     // Image smaller than one block: return globally normalized cell hists.
-    double norm_sq = 0.0;
-    for (const float v : cell_hist) norm_sq += v * v;
+    const double norm_sq =
+        common::simd::dot_f32(cell_hist.data(), cell_hist.data(),
+                              cell_hist.size());
     const double norm = std::sqrt(norm_sq) + 1e-6;
     for (float& v : cell_hist) v = static_cast<float>(v / norm);
     return cell_hist;
@@ -68,10 +78,9 @@ std::vector<float> hog_descriptor(const Image& img, const HogParams& params) {
           }
         }
       }
-      double norm_sq = 0.0;
-      for (std::size_t i = start; i < descriptor.size(); ++i) {
-        norm_sq += descriptor[i] * descriptor[i];
-      }
+      const double norm_sq = common::simd::dot_f32(
+          descriptor.data() + start, descriptor.data() + start,
+          descriptor.size() - start);
       const double norm = std::sqrt(norm_sq) + 1e-6;
       for (std::size_t i = start; i < descriptor.size(); ++i) {
         descriptor[i] = static_cast<float>(descriptor[i] / norm);
@@ -84,26 +93,16 @@ std::vector<float> hog_descriptor(const Image& img, const HogParams& params) {
 double descriptor_cosine_similarity(const std::vector<float>& a,
                                     const std::vector<float>& b) {
   if (a.empty() || a.size() != b.size()) return 0.0;
-  double num = 0.0;
-  double na = 0.0;
-  double nb = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    num += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
+  const auto s = common::simd::dot3_f32(a.data(), b.data(), a.size());
+  if (s.aa < 1e-12 || s.bb < 1e-12) {
+    return s.aa < 1e-12 && s.bb < 1e-12 ? 1.0 : 0.0;
   }
-  if (na < 1e-12 || nb < 1e-12) return na < 1e-12 && nb < 1e-12 ? 1.0 : 0.0;
-  return num / std::sqrt(na * nb);
+  return s.ab / std::sqrt(s.aa * s.bb);
 }
 
 double descriptor_distance(const std::vector<float>& a, const std::vector<float>& b) {
   if (a.size() != b.size()) throw std::invalid_argument("descriptor size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(common::simd::l2sq_f32(a.data(), b.data(), a.size()));
 }
 
 }  // namespace crowdmap::imaging

@@ -35,6 +35,15 @@ class Image {
   [[nodiscard]] const std::vector<float>& data() const noexcept { return data_; }
   [[nodiscard]] std::vector<float>& data() noexcept { return data_; }
 
+  /// Raw pointer to pixel row y — contiguous width() floats, for the SIMD
+  /// row kernels in common/simd.hpp.
+  [[nodiscard]] const float* row(int y) const noexcept {
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+  [[nodiscard]] float* row(int y) noexcept {
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+
   /// Nearest/bilinear resize.
   [[nodiscard]] Image resized(int new_width, int new_height) const;
   /// Sub-rectangle copy; clamps to bounds.

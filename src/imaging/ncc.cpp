@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace crowdmap::imaging {
 
 double normalized_cross_correlation(const Image& a, const Image& b) {
@@ -13,21 +15,14 @@ double normalized_cross_correlation(const Image& a, const Image& b) {
   if (a.empty()) return 0.0;
   const double ma = a.mean();
   const double mb = b.mean();
-  double num = 0.0;
-  double da = 0.0;
-  double db = 0.0;
-  const auto& ad = a.data();
-  const auto& bd = b.data();
-  for (std::size_t i = 0; i < ad.size(); ++i) {
-    const double va = ad[i] - ma;
-    const double vb = bd[i] - mb;
-    num += va * vb;
-    da += va * va;
-    db += vb * vb;
-  }
-  if (da < 1e-12 && db < 1e-12) return 1.0;  // both constant: identical up to offset
-  if (da < 1e-12 || db < 1e-12) return 0.0;
-  return num / std::sqrt(da * db);
+  // The three mean-subtracted sums in one pass, pinned 4-lane order (see
+  // common::simd::ncc_accum_f32).
+  const auto s =
+      common::simd::ncc_accum_f32(a.data().data(), b.data().data(), ma, mb,
+                                  a.pixel_count());
+  if (s.da < 1e-12 && s.db < 1e-12) return 1.0;  // both constant: identical up to offset
+  if (s.da < 1e-12 || s.db < 1e-12) return 0.0;
+  return s.num / std::sqrt(s.da * s.db);
 }
 
 double shifted_ncc(const Image& a, const Image& b, int dx, int dy) {
@@ -38,14 +33,16 @@ double shifted_ncc(const Image& a, const Image& b, int dx, int dy) {
   const int y1 = std::min(a.height(), b.height() + dy);
   if (x1 - x0 < 2 || y1 - y0 < 2) return 0.0;
 
+  // The overlap rows are contiguous in both images, so each row runs the
+  // pinned-order SIMD reduction; row results combine sequentially in double
+  // (top to bottom) — a fixed order, deterministic on every backend.
+  const std::size_t row_n = static_cast<std::size_t>(x1 - x0);
+  const long n = static_cast<long>(x1 - x0) * (y1 - y0);
   double sa = 0.0;
   double sb = 0.0;
-  const long n = static_cast<long>(x1 - x0) * (y1 - y0);
   for (int y = y0; y < y1; ++y) {
-    for (int x = x0; x < x1; ++x) {
-      sa += a.at(x, y);
-      sb += b.at(x - dx, y - dy);
-    }
+    sa += common::simd::sum_f32(a.row(y) + x0, row_n);
+    sb += common::simd::sum_f32(b.row(y - dy) + (x0 - dx), row_n);
   }
   const double ma = sa / n;
   const double mb = sb / n;
@@ -53,13 +50,11 @@ double shifted_ncc(const Image& a, const Image& b, int dx, int dy) {
   double da = 0.0;
   double db = 0.0;
   for (int y = y0; y < y1; ++y) {
-    for (int x = x0; x < x1; ++x) {
-      const double va = a.at(x, y) - ma;
-      const double vb = b.at(x - dx, y - dy) - mb;
-      num += va * vb;
-      da += va * va;
-      db += vb * vb;
-    }
+    const auto s = common::simd::ncc_accum_f32(
+        a.row(y) + x0, b.row(y - dy) + (x0 - dx), ma, mb, row_n);
+    num += s.num;
+    da += s.da;
+    db += s.db;
   }
   if (da < 1e-12 || db < 1e-12) return 0.0;
   return num / std::sqrt(da * db);

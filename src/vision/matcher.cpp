@@ -1,34 +1,56 @@
 #include "vision/matcher.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <limits>
+
+#include "common/simd.hpp"
 
 namespace crowdmap::vision {
 
 namespace {
 
-struct TwoNearest {
-  std::size_t best = 0;
-  double best_dist = std::numeric_limits<double>::max();
-  double second_dist = std::numeric_limits<double>::max();
-};
+namespace simd = common::simd;
 
-/// Nearest and second-nearest neighbors of `query` in `set`, honoring the
-/// Laplacian-sign fast reject. best == set.size() when no candidate exists.
-[[nodiscard]] TwoNearest two_nearest(const SurfFeature& query,
-                                     const std::vector<SurfFeature>& set) {
-  TwoNearest out;
-  out.best = set.size();
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    if (set[i].keypoint.laplacian_positive != query.keypoint.laplacian_positive) {
-      continue;
-    }
-    const double d = descriptor_distance(query.descriptor, set[i].descriptor);
-    if (d < out.best_dist) {
-      out.second_dist = out.best_dist;
-      out.best_dist = d;
-      out.best = i;
-    } else if (d < out.second_dist) {
-      out.second_dist = d;
+/// At or below this many features on BOTH sides the matcher skips the SoA
+/// blocks and scans descriptors directly: four block constructions (heap
+/// allocations plus the dim-major fill) per call dominate the handful of
+/// distance evaluations tiny frames need. The cutoff only picks between two
+/// bit-identical implementations, so any value is result-invariant.
+constexpr std::size_t kDirectScanMax = 32;
+
+/// Nearest-two scan of `query` against a sign-matched SoA block: the blocked
+/// SIMD kernel with partial-distance early exit. Candidate order inside the
+/// block is ascending original index (build_descriptor_block preserves
+/// feature order), and the kernel's strict-< update keeps the FIRST minimum,
+/// so ties resolve exactly as the old linear AoS scan did.
+[[nodiscard]] simd::NearestTwo nearest2(const DescriptorBlock& block,
+                                        const SurfDescriptor& query) {
+  return simd::nearest2_soa_f32(block.data.data(), block.stride,
+                                kSurfDescriptorDims, block.count,
+                                query.data());
+}
+
+/// Small-N twin of the blocked scan: ascending-index walk over the features
+/// whose Laplacian sign is `positive`, with the same strict-< /
+/// else-if-strict-< update. descriptor_distance_sq is the metric the SoA
+/// kernel reproduces bit-for-bit, so the returned (best, best_d2, second_d2)
+/// triple is identical to the blocked path's — except `best` is already an
+/// original feature index. `cands.size()` in `best` means no candidate.
+[[nodiscard]] simd::NearestTwo nearest2_direct(
+    const std::vector<SurfFeature>& cands, bool positive,
+    const SurfDescriptor& query) {
+  simd::NearestTwo out;
+  out.best = cands.size();
+  for (std::size_t j = 0; j < cands.size(); ++j) {
+    if (cands[j].keypoint.laplacian_positive != positive) continue;
+    const float d = descriptor_distance_sq(query, cands[j].descriptor);
+    if (d < out.best_d2) {
+      out.second_d2 = out.best_d2;
+      out.best_d2 = d;
+      out.best = j;
+    } else if (d < out.second_d2) {
+      out.second_d2 = d;
     }
   }
   return out;
@@ -42,17 +64,67 @@ std::vector<FeatureMatch> mutual_nn_matches(const std::vector<SurfFeature>& f1,
                                             double nn_ratio) {
   std::vector<FeatureMatch> matches;
   if (f1.empty() || f2.empty()) return matches;
-  for (std::size_t i = 0; i < f1.size(); ++i) {
-    const auto fwd = two_nearest(f1[i], f2);
-    if (fwd.best >= f2.size()) continue;
-    if (fwd.best_dist >= distance_threshold) continue;
-    if (nn_ratio < 1.0 && fwd.second_dist > 0 &&
-        fwd.best_dist / fwd.second_dist >= nn_ratio) {
-      continue;  // ambiguous: nearly as close to a second feature
+
+  const bool direct =
+      f1.size() <= kDirectScanMax && f2.size() <= kDirectScanMax;
+
+  // SoA blocks partitioned by Laplacian sign: the partition replaces the
+  // per-candidate sign branch of the scalar scan, and the dim-major layout
+  // feeds the vectorized distance kernel. Tiny inputs take the direct scan
+  // instead and never build the blocks.
+  DescriptorBlock f1_pos, f1_neg, f2_pos, f2_neg;
+  if (!direct) {
+    f1_pos = build_descriptor_block(f1, true);
+    f1_neg = build_descriptor_block(f1, false);
+    f2_pos = build_descriptor_block(f2, true);
+    f2_neg = build_descriptor_block(f2, false);
+  }
+
+  // Backward pass once per f2 feature (the old code redid it per forward
+  // candidate): nearest same-sign f1 feature, for the mutual check.
+  constexpr std::uint32_t kNoBack = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> back_best(f2.size(), kNoBack);
+  for (std::size_t j = 0; j < f2.size(); ++j) {
+    const bool positive = f2[j].keypoint.laplacian_positive;
+    if (direct) {
+      const auto back = nearest2_direct(f1, positive, f2[j].descriptor);
+      if (back.best < f1.size()) {
+        back_best[j] = static_cast<std::uint32_t>(back.best);
+      }
+    } else {
+      const DescriptorBlock& targets = positive ? f1_pos : f1_neg;
+      const auto back = nearest2(targets, f2[j].descriptor);
+      if (back.best < targets.count) back_best[j] = targets.index[back.best];
     }
-    const auto back = two_nearest(f2[fwd.best], f1);
-    if (back.best != i) continue;  // not mutual
-    matches.push_back({i, fwd.best, fwd.best_dist});
+  }
+
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    const bool positive = f1[i].keypoint.laplacian_positive;
+    simd::NearestTwo fwd;
+    std::size_t j = 0;
+    if (direct) {
+      fwd = nearest2_direct(f2, positive, f1[i].descriptor);
+      if (fwd.best >= f2.size()) continue;
+      j = fwd.best;
+    } else {
+      const DescriptorBlock& targets = positive ? f2_pos : f2_neg;
+      fwd = nearest2(targets, f1[i].descriptor);
+      if (fwd.best >= targets.count) continue;
+      j = targets.index[fwd.best];
+    }
+    const double best_dist = std::sqrt(static_cast<double>(fwd.best_d2));
+    if (best_dist >= distance_threshold) continue;
+    if (nn_ratio < 1.0 &&
+        fwd.second_d2 < std::numeric_limits<float>::max()) {
+      // With no second candidate the old scan's DBL_MAX second distance made
+      // the ratio pass trivially; skipping the test preserves that.
+      const double second_dist = std::sqrt(static_cast<double>(fwd.second_d2));
+      if (second_dist > 0 && best_dist / second_dist >= nn_ratio) {
+        continue;  // ambiguous: nearly as close to a second feature
+      }
+    }
+    if (back_best[j] != i) continue;  // not mutual
+    matches.push_back({i, j, best_dist});
   }
   return matches;
 }

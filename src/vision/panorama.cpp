@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/mathutil.hpp"
+#include "common/simd.hpp"
 #include "imaging/ncc.hpp"
 
 namespace crowdmap::vision {
@@ -87,37 +88,77 @@ Panorama stitch_panorama(std::vector<PanoFrame> frames, const StitchParams& para
     }
   }
 
-  // Feather-blended composite.
-  std::vector<float> acc(static_cast<std::size_t>(params.output_width) *
+  // Feather-blended composite, restructured row-outer so each slice row
+  // becomes one or two contiguous SIMD segments (split at the wrap column).
+  // Every output cell receives exactly the same addends in the same order as
+  // the old per-pixel loop — one addend per overlapping slice, slices in
+  // ascending index, acc updated as acc + (wgt * src) — so the composite is
+  // bit-identical to the scalar form.
+  const int pano_w = params.output_width;
+  std::vector<float> acc(static_cast<std::size_t>(pano_w) *
                              params.output_height,
                          0.0f);
   std::vector<float> weight(acc.size(), 0.0f);
+  // Feather weight: triangular, peaking at slice center. Depends only on the
+  // slice column, so it is precomputed once (same expression per element).
+  std::vector<float> feather(static_cast<std::size_t>(slice_width));
+  for (int sc = 0; sc < slice_width; ++sc) {
+    feather[static_cast<std::size_t>(sc)] =
+        1.0f - std::abs(2.0f * sc / slice_width - 1.0f) * 0.9f;
+  }
+  const std::vector<float> ones(static_cast<std::size_t>(slice_width), 1.0f);
   for (std::size_t i = 0; i < slices.size(); ++i) {
-    const int start_col =
-        column_of(headings[i] - params.fov / 2.0, params.output_width);
-    for (int sc = 0; sc < slice_width; ++sc) {
-      const int pc = (start_col + sc) % params.output_width;
-      // Feather weight: triangular, peaking at slice center.
-      const float wgt = 1.0f - std::abs(2.0f * sc / slice_width - 1.0f) * 0.9f;
-      for (int row = 0; row < params.output_height; ++row) {
-        const std::size_t idx =
-            static_cast<std::size_t>(row) * params.output_width + pc;
-        acc[idx] += wgt * slices[i].at(sc, row);
-        weight[idx] += wgt;
+    const int start_col = column_of(headings[i] - params.fov / 2.0, pano_w);
+    if (slice_width > pano_w) {
+      // Degenerate (> 360-degree slice): columns alias; keep the old loop.
+      for (int sc = 0; sc < slice_width; ++sc) {
+        const int pc = (start_col + sc) % pano_w;
+        const float wgt = feather[static_cast<std::size_t>(sc)];
+        for (int row = 0; row < params.output_height; ++row) {
+          const std::size_t idx = static_cast<std::size_t>(row) * pano_w + pc;
+          acc[idx] += wgt * slices[i].at(sc, row);
+          weight[idx] += wgt;
+        }
+      }
+      continue;
+    }
+    const int len_a = std::min(slice_width, pano_w - start_col);
+    const int len_b = slice_width - len_a;  // wrapped tail, lands at column 0
+    for (int row = 0; row < params.output_height; ++row) {
+      float* acc_row = acc.data() + static_cast<std::size_t>(row) * pano_w;
+      float* wgt_row = weight.data() + static_cast<std::size_t>(row) * pano_w;
+      const float* src = slices[i].row(row);
+      common::simd::weighted_accumulate_f32(
+          acc_row + start_col, feather.data(), src,
+          static_cast<std::size_t>(len_a));
+      common::simd::weighted_accumulate_f32(
+          wgt_row + start_col, feather.data(), ones.data(),
+          static_cast<std::size_t>(len_a));
+      if (len_b > 0) {
+        common::simd::weighted_accumulate_f32(acc_row, feather.data() + len_a,
+                                              src + len_a,
+                                              static_cast<std::size_t>(len_b));
+        common::simd::weighted_accumulate_f32(wgt_row, feather.data() + len_a,
+                                              ones.data() + len_a,
+                                              static_cast<std::size_t>(len_b));
       }
     }
   }
   int covered = 0;
-  for (int col = 0; col < params.output_width; ++col) {
-    bool any = false;
+  if (params.output_height > 0) {
     for (int row = 0; row < params.output_height; ++row) {
-      const std::size_t idx = static_cast<std::size_t>(row) * params.output_width + col;
-      if (weight[idx] > 0) {
-        out.image.at(col, row) = acc[idx] / weight[idx];
-        any = true;
-      }
+      // out = weight > 0 ? acc / weight : 0 — the image is zero-filled, so
+      // this matches the old "write only covered cells" loop bit-for-bit.
+      common::simd::normalize_by_weight_f32(
+          out.image.row(row), acc.data() + static_cast<std::size_t>(row) * pano_w,
+          weight.data() + static_cast<std::size_t>(row) * pano_w,
+          static_cast<std::size_t>(pano_w));
     }
-    covered += any;
+    for (int col = 0; col < pano_w; ++col) {
+      // Every slice adds its feather weight to all rows of a column, so
+      // weight is row-invariant: row 0 decides coverage for the column.
+      covered += weight[static_cast<std::size_t>(col)] > 0 ? 1 : 0;
+    }
   }
   out.coverage = static_cast<double>(covered) / params.output_width;
   out.headings = std::move(headings);

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numbers>
+
+#include "common/simd.hpp"
 
 namespace crowdmap::vision {
 
 namespace {
 
+namespace simd = common::simd;
 using imaging::IntegralImage;
 
 /// Box-filter approximations of second-order Gaussian derivatives, as in the
@@ -17,27 +21,34 @@ struct HessianResponse {
   double trace = 0.0;
 };
 
+/// All box accesses below are provably inside the image for the positions
+/// the detector visits (x, y at least `margin` = filter/2 + 1 from every
+/// edge), so they use IntegralImage::box_sum_fast — same value and FP order
+/// as box_sum, minus 8 clamp branches per box.
 [[nodiscard]] HessianResponse hessian_at(const IntegralImage& ii, int x, int y,
                                          int size) {
   const int lobe = size / 3;            // e.g. 3 for the 9x9 filter
   const int half = size / 2;
   const double area = static_cast<double>(size) * size;
 
+  // The outer size x size box is shared by Dyy and Dxx (it appears in both
+  // three-lobe stacks); box_sum is pure, so computing it once is exact.
+  const double big = ii.box_sum_fast(x - half, y - half, x + half, y + half);
   // Dyy: three stacked horizontal lobes (middle weighted -2).
   const double dyy =
-      ii.box_sum(x - half, y - half, x + half, y + half) -
-      3.0 * ii.box_sum(x - half, y - lobe / 2 - (lobe - 1) / 2, x + half,
-                       y + lobe / 2 + (lobe - 1) / 2);
+      big -
+      3.0 * ii.box_sum_fast(x - half, y - lobe / 2 - (lobe - 1) / 2, x + half,
+                            y + lobe / 2 + (lobe - 1) / 2);
   // Dxx: transpose.
   const double dxx =
-      ii.box_sum(x - half, y - half, x + half, y + half) -
-      3.0 * ii.box_sum(x - lobe / 2 - (lobe - 1) / 2, y - half,
-                       x + lobe / 2 + (lobe - 1) / 2, y + half);
+      big -
+      3.0 * ii.box_sum_fast(x - lobe / 2 - (lobe - 1) / 2, y - half,
+                            x + lobe / 2 + (lobe - 1) / 2, y + half);
   // Dxy: four diagonal lobes.
-  const double dxy = ii.box_sum(x - lobe, y - lobe, x - 1, y - 1) +
-                     ii.box_sum(x + 1, y + 1, x + lobe, y + lobe) -
-                     ii.box_sum(x + 1, y - lobe, x + lobe, y - 1) -
-                     ii.box_sum(x - lobe, y + 1, x - 1, y + lobe);
+  const double dxy = ii.box_sum_fast(x - lobe, y - lobe, x - 1, y - 1) +
+                     ii.box_sum_fast(x + 1, y + 1, x + lobe, y + lobe) -
+                     ii.box_sum_fast(x + 1, y - lobe, x + lobe, y - 1) -
+                     ii.box_sum_fast(x - lobe, y + 1, x - 1, y + lobe);
 
   const double nxx = dxx / area;
   const double nyy = dyy / area;
@@ -49,16 +60,119 @@ struct HessianResponse {
   return r;
 }
 
-/// Haar wavelet responses (dx, dy) of side `s` at integer position.
+/// Fills one response-map row at vertical position y, horizontal positions
+/// x0 + k for k in [0, n), step 1 (the full-resolution octave). The 4-wide
+/// body evaluates the identical floating-point tree as hessian_at — the
+/// same box corners combined in the same order, per position — so its
+/// output is bit-for-bit equal to the scalar path on every backend; the
+/// n % 4 tail simply calls hessian_at.
+void hessian_row(const IntegralImage& ii, int y, int x0, int n, int size,
+                 double* det_out, std::uint8_t* lap_out) {
+  const int lobe = size / 3;
+  const int half = size / 2;
+  const int mid = lobe / 2 + (lobe - 1) / 2;  // half-extent of the -2 lobe
+  const double area = static_cast<double>(size) * size;
+  // Integral-table rows touched by the five boxes at this y.
+  const double* top_big = ii.row(y - half);
+  const double* bot_big = ii.row(y + half + 1);
+  const double* top_mid = ii.row(y - mid);
+  const double* bot_mid = ii.row(y + mid + 1);
+  const double* top_lobe = ii.row(y - lobe);
+  const double* row_y0 = ii.row(y);
+  const double* row_y1 = ii.row(y + 1);
+  const double* bot_lobe = ii.row(y + lobe + 1);
+  const int lanes = static_cast<int>(simd::kF64Lanes);
+  const int main_n = n - n % lanes;
+  simd::dispatch([&](auto tag) {
+    using D4 = typename decltype(tag)::f64x4;
+    const D4 three = D4::broadcast(3.0);
+    const D4 w = D4::broadcast(0.81);
+    const D4 varea = D4::broadcast(area);
+    // box_sum_fast's tree — ((s11 - s01) - s10) + s00 — over the inclusive
+    // x-range [xa, xb] on the given top/bottom table-row pair.
+    const auto box = [](const double* top, const double* bot, int xa, int xb) {
+      const D4 s11 = D4::load(bot + xb + 1);
+      const D4 s01 = D4::load(bot + xa);
+      const D4 s10 = D4::load(top + xb + 1);
+      const D4 s00 = D4::load(top + xa);
+      return ((s11 - s01) - s10) + s00;
+    };
+    for (int k = 0; k < main_n; k += lanes) {
+      const int x = x0 + k;
+      const D4 big = box(top_big, bot_big, x - half, x + half);
+      const D4 dyy = big - three * box(top_mid, bot_mid, x - half, x + half);
+      const D4 dxx = big - three * box(top_big, bot_big, x - mid, x + mid);
+      const D4 dxy = ((box(top_lobe, row_y0, x - lobe, x - 1) +
+                       box(row_y1, bot_lobe, x + 1, x + lobe)) -
+                      box(top_lobe, row_y0, x + 1, x + lobe)) -
+                     box(row_y1, bot_lobe, x - lobe, x - 1);
+      const D4 nxx = dxx / varea;
+      const D4 nyy = dyy / varea;
+      const D4 nxy = dxy / varea;
+      const D4 wxy = w * nxy;
+      const D4 det = nxx * nyy - wxy * nxy;
+      const D4 trace = nxx + nyy;
+      det.store(det_out + k);
+      double tr[simd::kF64Lanes];
+      trace.store(tr);
+      for (int l = 0; l < lanes; ++l) {
+        lap_out[k + l] = tr[l] > 0.0 ? 1 : 0;
+      }
+    }
+  });
+  for (int k = main_n; k < n; ++k) {
+    const auto h = hessian_at(ii, x0 + k, y, size);
+    det_out[k] = h.det;
+    lap_out[k] = h.trace > 0.0 ? 1 : 0;
+  }
+}
+
+/// Haar wavelet responses (dx, dy) of side `s` at integer position. Callers
+/// bounds-check (x, y) against a margin of at least s/2 first, so the
+/// unclamped box path applies.
 [[nodiscard]] std::pair<double, double> haar_xy(const IntegralImage& ii, int x,
                                                 int y, int s) {
   const int half = s / 2;
-  const double dx = ii.box_sum(x, y - half, x + half - 1, y + half - 1) -
-                    ii.box_sum(x - half, y - half, x - 1, y + half - 1);
-  const double dy = ii.box_sum(x - half, y, x + half - 1, y + half - 1) -
-                    ii.box_sum(x - half, y - half, x + half - 1, y - 1);
+  const double dx = ii.box_sum_fast(x, y - half, x + half - 1, y + half - 1) -
+                    ii.box_sum_fast(x - half, y - half, x - 1, y + half - 1);
+  const double dy = ii.box_sum_fast(x - half, y, x + half - 1, y + half - 1) -
+                    ii.box_sum_fast(x - half, y - half, x + half - 1, y - 1);
   const double norm = static_cast<double>(s) * s / 2.0;
   return {dx / norm, dy / norm};
+}
+
+/// exp(-r2 / (2 * 2.5^2)) for r2 = i^2 + j^2 <= 36 — the orientation
+/// window's Gaussian weight, tabulated once. Same std::exp inputs as the
+/// inline formula it replaces, so the values are bit-identical.
+[[nodiscard]] const std::array<double, 37>& orientation_gauss() {
+  static const std::array<double, 37> table = [] {
+    std::array<double, 37> t{};
+    for (int r2 = 0; r2 <= 36; ++r2) {
+      t[static_cast<std::size_t>(r2)] = std::exp(-r2 / (2.0 * 2.5 * 2.5));
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// exp(-(u^2 + v^2) / (2 * 3.3^2)) over the descriptor's fixed 20x20 sample
+/// grid, u = (ku - 10 + 0.5) * 0.8 — tabulated once, bit-identical to the
+/// inline formula.
+[[nodiscard]] const std::array<std::array<double, 20>, 20>&
+descriptor_gauss() {
+  static const std::array<std::array<double, 20>, 20> table = [] {
+    std::array<std::array<double, 20>, 20> t{};
+    for (int ku = 0; ku < 20; ++ku) {
+      for (int kv = 0; kv < 20; ++kv) {
+        const double u = (ku - 10 + 0.5) * 0.8;
+        const double v = (kv - 10 + 0.5) * 0.8;
+        t[static_cast<std::size_t>(ku)][static_cast<std::size_t>(kv)] =
+            std::exp(-(u * u + v * v) / (2.0 * 3.3 * 3.3));
+      }
+    }
+    return t;
+  }();
+  return table;
 }
 
 /// Dominant orientation from Haar responses in a circular neighborhood,
@@ -83,7 +197,7 @@ struct HessianResponse {
       }
       auto [dx, dy] = haar_xy(ii, px, py, 4 * s);
       // Gaussian weighting by distance from the keypoint.
-      const double g = std::exp(-(i * i + j * j) / (2.0 * 2.5 * 2.5));
+      const double g = orientation_gauss()[static_cast<std::size_t>(i * i + j * j)];
       dx *= g;
       dy *= g;
       if (std::abs(dx) + std::abs(dy) > 1e-12) {
@@ -150,7 +264,9 @@ struct HessianResponse {
           // Rotate the response into the keypoint frame.
           const double dx = co * rdx + si * rdy;
           const double dy = -si * rdx + co * rdy;
-          const double g = std::exp(-(u * u + v * v) / (2.0 * 3.3 * 3.3));
+          const double g =
+              descriptor_gauss()[static_cast<std::size_t>(sub_x * 5 + jx + 10)]
+                                [static_cast<std::size_t>(sub_y * 5 + jy + 10)];
           sum_dx += dx * g;
           sum_dy += dy * g;
           sum_adx += std::abs(dx) * g;
@@ -197,16 +313,28 @@ std::vector<SurfFeature> detect_and_describe(const imaging::Image& img,
     const int rh = (img.height() - 2 * margin) / step + 1;
     std::vector<std::vector<double>> det(
         sizes.size(), std::vector<double>(static_cast<std::size_t>(rw) * rh, 0.0));
-    std::vector<std::vector<bool>> lap(
-        sizes.size(), std::vector<bool>(static_cast<std::size_t>(rw) * rh, false));
+    std::vector<std::vector<std::uint8_t>> lap(
+        sizes.size(),
+        std::vector<std::uint8_t>(static_cast<std::size_t>(rw) * rh, 0));
     for (std::size_t layer = 0; layer < sizes.size(); ++layer) {
+      if (step == 1) {
+        // Full-resolution octave: contiguous x positions — the vectorized
+        // row kernel applies (bit-identical to hessian_at per position).
+        for (int ry = 0; ry < rh; ++ry) {
+          hessian_row(ii, margin + ry, margin, rw, sizes[layer],
+                      det[layer].data() + static_cast<std::size_t>(ry) * rw,
+                      lap[layer].data() + static_cast<std::size_t>(ry) * rw);
+        }
+        continue;
+      }
       for (int ry = 0; ry < rh; ++ry) {
         for (int rx = 0; rx < rw; ++rx) {
           const int x = margin + rx * step;
           const int y = margin + ry * step;
           const auto h = hessian_at(ii, x, y, sizes[layer]);
           det[layer][static_cast<std::size_t>(ry) * rw + rx] = h.det;
-          lap[layer][static_cast<std::size_t>(ry) * rw + rx] = h.trace > 0;
+          lap[layer][static_cast<std::size_t>(ry) * rw + rx] =
+              h.trace > 0 ? 1 : 0;
         }
       }
     }
@@ -235,7 +363,7 @@ std::vector<SurfFeature> detect_and_describe(const imaging::Image& img,
           kp.scale = 1.2 * sizes[layer] / 9.0;  // SURF scale convention
           kp.response = v;
           kp.laplacian_positive =
-              lap[layer][static_cast<std::size_t>(ry) * rw + rx];
+              lap[layer][static_cast<std::size_t>(ry) * rw + rx] != 0;
           candidates.push_back({kp});
         }
       }
@@ -265,13 +393,44 @@ std::vector<SurfFeature> detect_and_describe(const imaging::Image& img,
   return features;
 }
 
-double descriptor_distance(const SurfDescriptor& a, const SurfDescriptor& b) noexcept {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
+DescriptorBlock build_descriptor_block(const std::vector<SurfFeature>& features,
+                                       bool laplacian_positive) {
+  DescriptorBlock block;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (features[i].keypoint.laplacian_positive == laplacian_positive) {
+      block.index.push_back(static_cast<std::uint32_t>(i));
+    }
   }
-  return std::sqrt(acc);
+  block.count = block.index.size();
+  if (block.count == 0) return block;
+  const std::size_t rem = block.count % simd::kF32Lanes;
+  block.stride = block.count + (rem == 0 ? 0 : simd::kF32Lanes - rem);
+  block.data.assign(kSurfDescriptorDims * block.stride, DescriptorBlock::kPad);
+  for (std::size_t j = 0; j < block.count; ++j) {
+    const SurfDescriptor& d = features[block.index[j]].descriptor;
+    for (std::size_t dim = 0; dim < kSurfDescriptorDims; ++dim) {
+      block.data[dim * block.stride + j] = d[dim];
+    }
+  }
+  return block;
+}
+
+float descriptor_distance_sq(const SurfDescriptor& a,
+                             const SurfDescriptor& b) noexcept {
+  // Sequential float accumulation with explicit sub/mul/add steps — the
+  // exact op sequence the SoA matcher kernel runs per candidate.
+  float d2 = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float diff = a[i] - b[i];
+    const float sq = diff * diff;
+    d2 = d2 + sq;
+  }
+  return d2;
+}
+
+double descriptor_distance(const SurfDescriptor& a,
+                           const SurfDescriptor& b) noexcept {
+  return std::sqrt(static_cast<double>(descriptor_distance_sq(a, b)));
 }
 
 }  // namespace crowdmap::vision

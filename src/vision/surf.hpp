@@ -9,6 +9,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "imaging/image.hpp"
@@ -26,8 +28,11 @@ struct SurfKeypoint {
   bool laplacian_positive = false;  // sign of trace, speeds up matching
 };
 
+/// Descriptor dimensionality (4x4 subregions x 4 sums).
+inline constexpr std::size_t kSurfDescriptorDims = 64;
+
 /// 64-dimensional SURF descriptor.
-using SurfDescriptor = std::array<float, 64>;
+using SurfDescriptor = std::array<float, kSurfDescriptorDims>;
 
 /// Keypoint with descriptor.
 struct SurfFeature {
@@ -47,7 +52,38 @@ struct SurfParams {
 [[nodiscard]] std::vector<SurfFeature> detect_and_describe(
     const imaging::Image& img, const SurfParams& params = {});
 
-/// Euclidean distance between descriptors.
+/// Dim-major (structure-of-arrays) descriptor storage: `data` holds
+/// kSurfDescriptorDims rows of `stride` floats, where lane j of every row
+/// belongs to the j-th stored descriptor. `stride` is `count` rounded up to
+/// the SIMD lane count so vector loads stay in-bounds; lanes in
+/// [count, stride) hold kPad, which puts them at squared distance >= 6e7
+/// from any unit-norm descriptor (real pairs are <= 4) so padding can never
+/// win a nearest-neighbor scan. `index[j]` maps lane j back to the original
+/// feature index the block was built from.
+struct DescriptorBlock {
+  static constexpr float kPad = 1.0e3f;
+  std::size_t count = 0;             // real descriptors
+  std::size_t stride = 0;            // padded lane count (multiple of 8)
+  std::vector<float> data;           // dim-major, dims x stride
+  std::vector<std::uint32_t> index;  // lane -> original feature index
+};
+
+/// Builds the SoA block over the features whose Laplacian sign equals
+/// `laplacian_positive` (the matcher's fast-reject partition), preserving
+/// feature order within the block.
+[[nodiscard]] DescriptorBlock build_descriptor_block(
+    const std::vector<SurfFeature>& features, bool laplacian_positive);
+
+/// Squared Euclidean distance between descriptors, accumulated SEQUENTIALLY
+/// in float over dims 0..63. This is the canonical matching metric: the SoA
+/// matcher kernel (common::simd::l2sq_soa_accum_f32) reproduces it
+/// bit-for-bit on every backend.
+[[nodiscard]] float descriptor_distance_sq(const SurfDescriptor& a,
+                                           const SurfDescriptor& b) noexcept;
+
+/// Euclidean distance between descriptors. Defined as
+/// sqrt(double(descriptor_distance_sq(a, b))) so the rooted and squared
+/// forms always agree on ordering.
 [[nodiscard]] double descriptor_distance(const SurfDescriptor& a,
                                          const SurfDescriptor& b) noexcept;
 

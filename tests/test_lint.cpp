@@ -356,6 +356,72 @@ TEST(Lint, CodeAfterBlockCommentStillFires) {
       "raw-rng"));
 }
 
+// ----------------------------------------------------------- raw-intrinsics ---
+
+TEST(Lint, RawIntrinsicsFiresOnIntelInclude) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/vision/x.cpp", "#include <immintrin.h>\n"),
+      "raw-intrinsics"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/vision/x.cpp", "#include <emmintrin.h>\n"),
+      "raw-intrinsics"));
+}
+
+TEST(Lint, RawIntrinsicsFiresOnNeonInclude) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/vision/x.cpp", "#include <arm_neon.h>\n"),
+      "raw-intrinsics"));
+}
+
+TEST(Lint, RawIntrinsicsFiresOnIntrinsicCallsAndTypes) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp", "auto v = _mm_loadu_ps(p);\n"),
+      "raw-intrinsics"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp", "auto v = _mm256_add_pd(a, b);\n"),
+      "raw-intrinsics"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp", "auto v = vld1q_f32(p);\n"),
+      "raw-intrinsics"));
+  EXPECT_TRUE(has_rule(cl::lint_content("src/a.cpp", "__m128 acc4;\n"),
+                       "raw-intrinsics"));
+}
+
+TEST(Lint, RawIntrinsicsExemptInsideSimdWrapper) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/common/simd.hpp",
+                       "#include <immintrin.h>\nauto v = _mm_loadu_ps(p);\n"),
+      "raw-intrinsics"));
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/common/simd.cpp", "auto v = vld1q_f32(p);\n"),
+      "raw-intrinsics"));
+}
+
+TEST(Lint, RawIntrinsicsEscapeSuppresses) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "// crowdmap-lint: allow(raw-intrinsics)\n"
+                       "auto v = _mm_loadu_ps(p);\n"),
+      "raw-intrinsics"));
+}
+
+TEST(Lint, RawIntrinsicsIgnoresCommentAndStringMentions) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "// faster than _mm_loadu_ps on this target\n"
+                       "const char* s = \"#include <immintrin.h>\";\n"),
+      "raw-intrinsics"));
+}
+
+TEST(Lint, RawIntrinsicsAllowsLookalikeIdentifiers) {
+  // User identifiers that merely resemble intrinsics must not fire: no
+  // leading _mm_ prefix, no vendor vector type.
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "int comm_mm_count = 0; auto svld = svld1q_helper();\n"),
+      "raw-intrinsics"));
+}
+
 // ------------------------------------------------------------------ catalog ---
 
 TEST(Lint, CatalogNamesEveryFiringRule) {

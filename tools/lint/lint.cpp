@@ -181,6 +181,7 @@ const char kPragmaOnce[] = "pragma-once";
 const char kFaultPointName[] = "fault-point-name";
 const char kPipelineConstruction[] = "pipeline-construction";
 const char kMetricHelp[] = "metric-help-required";
+const char kRawIntrinsics[] = "raw-intrinsics";
 
 const std::regex& raw_rng_pattern() {
   static const std::regex re(
@@ -246,6 +247,20 @@ const std::regex& fault_point_pattern() {
   static const std::regex re(
       "\\bfault_point_from_name\\s*\\(|static_cast<[^>]*FaultPoint\\s*>|"
       "\\bFaultPoint\\s*\\{");
+  return re;
+}
+
+const std::regex& raw_intrinsics_pattern() {
+  // A vendor intrinsics header include or a raw intrinsic/vector-type token.
+  // All SIMD lives behind src/common/simd.hpp (exempted by path below) so
+  // scalar-vs-vector bit-exactness is provable in one place; code elsewhere
+  // uses the wrapper's kernels and lane types.
+  static const std::regex re(
+      "#\\s*include\\s*<(immintrin|emmintrin|xmmintrin|pmmintrin|smmintrin|"
+      "tmmintrin|nmmintrin|wmmintrin|avxintrin|arm_neon|arm_sve)\\.h>|"
+      "\\b_mm_\\w+|\\b_mm256_\\w+|\\b_mm512_\\w+|\\bvld[1-4]q?_\\w+|"
+      "\\bvst[1-4]q?_\\w+|\\b__m128\\b|\\b__m128[id]\\b|\\b__m256\\b|"
+      "\\b__m256[id]\\b|\\b__m512\\b|\\bfloat32x4_t\\b|\\bfloat64x2_t\\b");
   return re;
 }
 
@@ -383,6 +398,11 @@ const std::vector<RuleInfo>& rule_catalog() {
        "counter()/gauge()/histogram() registration without non-empty help "
        "text; the Prometheus export ships # HELP lines and an unexplained "
        "metric is unusable at 3am — pass the help argument"},
+      {kRawIntrinsics,
+       "raw SIMD intrinsics (<immintrin.h>/<arm_neon.h> includes, _mm_*/"
+       "vld1q_* calls, __m128/__m256 types) outside src/common/simd.hpp; use "
+       "the portable wrapper's kernels and lane types so every hot path keeps "
+       "the scalar-vs-vector bit-exactness contract"},
   };
   return catalog;
 }
@@ -396,6 +416,9 @@ std::vector<Finding> lint_content(std::string_view path,
   const bool fault_source =
       file.find("src/common/fault.") != std::string::npos ||
       file.rfind("common/fault.", 0) == 0;
+  const bool simd_source =
+      file.find("src/common/simd.") != std::string::npos ||
+      file.rfind("common/simd.", 0) == 0;
   // The pipeline-construction rule only applies outside the src/ tree: the
   // library composes the pipeline internally; everyone else goes through the
   // api::v1 facade.
@@ -448,6 +471,12 @@ std::vector<Finding> lint_content(std::string_view path,
       report(line, kFaultPointName,
              "FaultPoint synthesized outside the catalog; use the named "
              "common::faults::k* constants or all_fault_points()");
+    }
+    if (!simd_source && std::regex_search(code, raw_intrinsics_pattern())) {
+      report(line, kRawIntrinsics,
+             "raw SIMD intrinsics outside src/common/simd.hpp; use the "
+             "portable wrapper (common/simd.hpp) so the bit-exactness "
+             "contract holds on every backend");
     }
     if (std::regex_search(code, unordered_pattern())) {
       report(line, kUnordered,

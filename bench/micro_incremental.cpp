@@ -24,7 +24,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
-#include "io/serialize.hpp"
+#include "floorplan/serialize.hpp"
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
@@ -66,7 +66,7 @@ std::string build_bytes(Client& client, const std::string& building,
   crowdmap::common::Stopwatch timer;
   const auto response = client.build_plan({building, floor, std::nullopt});
   if (seconds != nullptr) *seconds = timer.elapsed_seconds();
-  const auto bytes = crowdmap::io::encode_floorplan(response.result.plan);
+  const auto bytes = crowdmap::floorplan::encode_floorplan(response.result.plan);
   return std::string(bytes.begin(), bytes.end());
 }
 

@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "cloud/chunking.hpp"
-#include "io/serialize.hpp"
+#include "sensors/serialize.hpp"
 
 namespace crowdmap::api {
 inline namespace v1 {
@@ -47,7 +47,7 @@ SubmitUploadResponse Client::submit_video(const sim::SensorRichVideo& video) {
   request.floor = video.floor;
   // The pixels stay in "blob storage" (the side table); the wire payload is
   // the serialized inertial stream, so chunking sees realistic bytes.
-  request.payload = io::encode_imu(video.imu);
+  request.payload = sensors::encode_imu(video.imu);
   {
     common::MutexLock lock(mutex_);
     videos_[request.upload_id] = video;

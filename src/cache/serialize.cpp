@@ -1,0 +1,72 @@
+#include "cache/serialize.hpp"
+
+namespace crowdmap::cache {
+
+namespace {
+
+constexpr std::uint32_t kCacheMagic = 0x434D4331;  // "CMC1"
+constexpr std::uint32_t kCacheVersion = 1;
+
+/// Sanity bounds: malformed length fields must not trigger giant
+/// allocations.
+constexpr std::uint64_t kMaxEntries = 1u << 22;
+constexpr std::uint64_t kMaxPayload = 256u * 1024u * 1024u;
+
+}  // namespace
+
+io::Bytes encode_artifact_cache(const std::vector<ArtifactEntry>& entries) {
+  io::Writer w;
+  w.u32(kCacheMagic);
+  w.u32(kCacheVersion);
+  w.u64(entries.size());
+  for (const auto& entry : entries) {
+    w.u8(static_cast<std::uint8_t>(entry.family));
+    w.u64(entry.key.hi);
+    w.u64(entry.key.lo);
+    w.u64(entry.payload.size());
+    w.bytes_raw(entry.payload);
+  }
+  return std::move(w).take();
+}
+
+std::vector<ArtifactEntry> decode_artifact_cache(const io::Bytes& data) {
+  io::Reader r(data);
+  if (r.u32() != kCacheMagic) throw io::DecodeError("not an artifact cache");
+  if (r.u32() != kCacheVersion) {
+    throw io::DecodeError("unsupported artifact cache version");
+  }
+  const std::uint64_t n = r.u64();
+  if (n > kMaxEntries) {
+    throw io::DecodeError("implausible artifact cache entry count");
+  }
+  std::vector<ArtifactEntry> entries;
+  entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ArtifactEntry entry;
+    const std::uint8_t family = r.u8();
+    if (family >= kFamilyCount) {
+      throw io::DecodeError("unknown artifact family");
+    }
+    entry.family = static_cast<Family>(family);
+    entry.key.hi = r.u64();
+    entry.key.lo = r.u64();
+    const std::uint64_t size = r.u64();
+    if (size > kMaxPayload) {
+      throw io::DecodeError("implausible artifact payload");
+    }
+    entry.payload.reserve(size);
+    for (std::uint64_t b = 0; b < size; ++b) entry.payload.push_back(r.u8());
+    entries.push_back(std::move(entry));
+  }
+  if (!r.exhausted()) {
+    throw io::DecodeError("trailing bytes after artifact cache");
+  }
+  return entries;
+}
+
+common::Expected<std::vector<ArtifactEntry>> try_decode_artifact_cache(
+    const io::Bytes& data) {
+  return io::expected_decode([&] { return decode_artifact_cache(data); });
+}
+
+}  // namespace crowdmap::cache

@@ -1,0 +1,30 @@
+// Versioned binary codec for artifact-cache snapshots ("CMC1"): the
+// persistence half of incremental recomputation (docs/INCREMENTAL.md). A
+// restarted CrowdMapService decodes a previously exported snapshot out of
+// its DocumentStore and warms the cache, so the first refresh after a
+// restart reuses artifacts instead of recomputing the corpus. Entries
+// round-trip exactly (keys and payload bytes verbatim). Lives with the
+// cache types (not in io/) so serialization never pulls domain modules
+// into the io layer — see docs/STATIC_ANALYSIS.md for the layering
+// contract.
+#pragma once
+
+#include <vector>
+
+#include "cache/artifact_cache.hpp"
+#include "io/serialize.hpp"
+
+namespace crowdmap::cache {
+
+/// Artifact-cache contents <-> bytes.
+[[nodiscard]] io::Bytes encode_artifact_cache(
+    const std::vector<ArtifactEntry>& entries);
+[[nodiscard]] std::vector<ArtifactEntry> decode_artifact_cache(
+    const io::Bytes& data);
+
+/// Non-throwing variant for callers that degrade on malformed input: a
+/// DecodeError becomes an Error with code "io.decode".
+[[nodiscard]] common::Expected<std::vector<ArtifactEntry>>
+try_decode_artifact_cache(const io::Bytes& data);
+
+}  // namespace crowdmap::cache

@@ -5,7 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
-#include "io/serialize.hpp"
+#include "cache/serialize.hpp"
 #include "trajectory/trajectory.hpp"
 
 namespace crowdmap::cloud {
@@ -279,7 +279,7 @@ bool CrowdMapService::persist_artifact_cache(const std::string& building,
   doc.metadata["kind"] = "artifact-cache";
   doc.metadata["building"] = building;
   doc.metadata["floor"] = std::to_string(floor);
-  doc.payload = io::encode_artifact_cache(cache->export_entries());
+  doc.payload = cache::encode_artifact_cache(cache->export_entries());
   store_.put(std::move(doc));
   return true;
 }
@@ -294,7 +294,7 @@ std::size_t CrowdMapService::warm_artifact_cache_from(
     if (kind == doc->metadata.end() || kind->second != "artifact-cache") {
       continue;
     }
-    auto entries = io::try_decode_artifact_cache(doc->payload);
+    auto entries = cache::try_decode_artifact_cache(doc->payload);
     if (!entries) {
       CROWDMAP_LOG(kWarn, "service")
           << "skipping malformed artifact-cache snapshot " << id << ": "

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "trajectory/serialize.hpp"
+
 namespace crowdmap::core {
 
 namespace {
@@ -110,7 +112,7 @@ cache::ArtifactKey trajectory_content_key(const trajectory::Trajectory& traj) {
   cache::KeyBuilder k;
   k.u64(kArtifactSchemaVersion);
   k.str("trajectory");
-  k.bytes(io::encode_trajectory(traj));
+  k.bytes(trajectory::encode_trajectory(traj));
   // encode_trajectory quantizes key-frame pixels to 8 bits; fold the exact
   // float bits in as well so sub-quantization pixel differences cannot alias
   // two distinct trajectories onto one key.

@@ -1,0 +1,108 @@
+#include "floorplan/serialize.hpp"
+
+namespace crowdmap::floorplan {
+
+namespace {
+
+constexpr std::uint32_t kPlanMagic = 0x434D5031;  // "CMP1"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+io::Bytes encode_floorplan(const FloorPlan& plan) {
+  io::Writer w;
+  w.u32(kPlanMagic);
+  w.u32(kVersion);
+  w.f64(plan.hallway.extent().min.x);
+  w.f64(plan.hallway.extent().min.y);
+  w.f64(plan.hallway.extent().max.x);
+  w.f64(plan.hallway.extent().max.y);
+  w.f64(plan.hallway.cell_size());
+  // Raster cells as a bit-packed row-major stream.
+  const auto& cells = plan.hallway.data();
+  w.u32(static_cast<std::uint32_t>(cells.size()));
+  std::uint8_t acc = 0;
+  int bit = 0;
+  for (const auto c : cells) {
+    acc |= static_cast<std::uint8_t>((c ? 1 : 0) << bit);
+    if (++bit == 8) {
+      w.u8(acc);
+      acc = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) w.u8(acc);
+
+  w.u32(static_cast<std::uint32_t>(plan.rooms.size()));
+  for (const auto& room : plan.rooms) {
+    w.f64(room.center.x);
+    w.f64(room.center.y);
+    w.f64(room.width);
+    w.f64(room.depth);
+    w.f64(room.orientation);
+    w.f64(room.anchor.x);
+    w.f64(room.anchor.y);
+    w.i32(room.true_room_id);
+    w.f64(room.layout_score);
+  }
+  return std::move(w).take();
+}
+
+FloorPlan decode_floorplan(const io::Bytes& data) {
+  io::Reader r(data);
+  if (r.u32() != kPlanMagic) throw io::DecodeError("not a floor plan");
+  if (r.u32() != kVersion) {
+    throw io::DecodeError("unsupported floor plan version");
+  }
+  FloorPlan plan;
+  geometry::Aabb extent;
+  extent.min.x = r.f64();
+  extent.min.y = r.f64();
+  extent.max.x = r.f64();
+  extent.max.y = r.f64();
+  const double cell_size = r.f64();
+  if (!(cell_size > 0) || !(extent.max.x > extent.min.x) ||
+      !(extent.max.y > extent.min.y)) {
+    throw io::DecodeError("invalid floor plan geometry");
+  }
+  plan.hallway = geometry::BoolRaster(extent, cell_size);
+  const std::uint32_t n_cells = r.u32();
+  io::check_count(n_cells, "raster cells");
+  if (n_cells != plan.hallway.data().size()) {
+    throw io::DecodeError("raster size does not match extent");
+  }
+  std::uint8_t acc = 0;
+  int bit = 8;
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    if (bit == 8) {
+      acc = r.u8();
+      bit = 0;
+    }
+    plan.hallway.data()[i] = (acc >> bit) & 1;
+    ++bit;
+  }
+
+  const std::uint32_t n_rooms = r.u32();
+  io::check_count(n_rooms, "rooms");
+  plan.rooms.reserve(n_rooms);
+  for (std::uint32_t i = 0; i < n_rooms; ++i) {
+    PlacedRoom room;
+    room.center.x = r.f64();
+    room.center.y = r.f64();
+    room.width = r.f64();
+    room.depth = r.f64();
+    room.orientation = r.f64();
+    room.anchor.x = r.f64();
+    room.anchor.y = r.f64();
+    room.true_room_id = r.i32();
+    room.layout_score = r.f64();
+    plan.rooms.push_back(room);
+  }
+  return plan;
+}
+
+common::Expected<FloorPlan> try_decode_floorplan(const io::Bytes& data) {
+  return io::expected_decode([&] { return decode_floorplan(data); });
+}
+
+}  // namespace crowdmap::floorplan

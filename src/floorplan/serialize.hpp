@@ -1,0 +1,23 @@
+// Versioned binary codec for reconstructed floor plans ("CMP1"): hallway
+// raster (bit-packed), placed rooms, layout scores. This byte stream is the
+// repo's determinism yardstick — test_determinism compares it across thread
+// counts, nodes and cache states. Lives with the floorplan types (not in
+// io/) so serialization never pulls domain modules into the io layer — see
+// docs/STATIC_ANALYSIS.md for the layering contract.
+#pragma once
+
+#include "floorplan/floorplan.hpp"
+#include "io/serialize.hpp"
+
+namespace crowdmap::floorplan {
+
+/// Floor plan <-> bytes.
+[[nodiscard]] io::Bytes encode_floorplan(const FloorPlan& plan);
+[[nodiscard]] FloorPlan decode_floorplan(const io::Bytes& data);
+
+/// Non-throwing variant for callers that degrade on malformed input: a
+/// DecodeError becomes an Error with code "io.decode".
+[[nodiscard]] common::Expected<FloorPlan> try_decode_floorplan(
+    const io::Bytes& data);
+
+}  // namespace crowdmap::floorplan

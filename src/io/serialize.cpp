@@ -1,29 +1,14 @@
 #include "io/serialize.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <cstring>
 
 namespace crowdmap::io {
 
-namespace {
-
-constexpr std::uint32_t kImuMagic = 0x434D4931;   // "CMI1"
-constexpr std::uint32_t kTrajMagic = 0x434D5431;  // "CMT1"
-constexpr std::uint32_t kPlanMagic = 0x434D5031;  // "CMP1"
-constexpr std::uint32_t kVersion = 1;
-
-/// Sanity bound on decoded element counts: malformed length fields must not
-/// trigger giant allocations.
-constexpr std::uint32_t kMaxCount = 64u * 1024u * 1024u;
-
-void check_count(std::uint32_t n, const char* what) {
-  if (n > kMaxCount) {
+void check_count(std::uint64_t n, const char* what) {
+  if (n > kMaxDecodeCount) {
     throw DecodeError(std::string("implausible element count for ") + what);
   }
 }
-
-}  // namespace
 
 // ----------------------------------------------------------------- Writer ---
 
@@ -108,330 +93,6 @@ std::string Reader::str() {
   std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
   pos_ += n;
   return s;
-}
-
-// -------------------------------------------------------------------- IMU ---
-
-Bytes encode_imu(const sensors::ImuStream& stream) {
-  Writer w;
-  w.u32(kImuMagic);
-  w.u32(kVersion);
-  w.f64(stream.sample_rate_hz);
-  w.u32(static_cast<std::uint32_t>(stream.samples.size()));
-  for (const auto& s : stream.samples) {
-    w.f64(s.t);
-    w.f64(s.accel_magnitude);
-    w.f64(s.gyro_z);
-    w.f64(s.compass);
-  }
-  return std::move(w).take();
-}
-
-sensors::ImuStream decode_imu(const Bytes& data) {
-  Reader r(data);
-  if (r.u32() != kImuMagic) throw DecodeError("not an IMU stream");
-  if (r.u32() != kVersion) throw DecodeError("unsupported IMU version");
-  sensors::ImuStream stream;
-  stream.sample_rate_hz = r.f64();
-  const std::uint32_t n = r.u32();
-  check_count(n, "imu samples");
-  stream.samples.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    sensors::ImuSample s;
-    s.t = r.f64();
-    s.accel_magnitude = r.f64();
-    s.gyro_z = r.f64();
-    s.compass = r.f64();
-    stream.samples.push_back(s);
-  }
-  return stream;
-}
-
-// ------------------------------------------------------------------ image ---
-
-namespace {
-
-void encode_gray_u8(Writer& w, const imaging::Image& img) {
-  w.u32(static_cast<std::uint32_t>(img.width()));
-  w.u32(static_cast<std::uint32_t>(img.height()));
-  for (const float v : img.data()) {
-    w.u8(static_cast<std::uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f));
-  }
-}
-
-imaging::Image decode_gray_u8(Reader& r) {
-  const std::uint32_t width = r.u32();
-  const std::uint32_t height = r.u32();
-  check_count(width, "image width");
-  check_count(height, "image height");
-  if (width * static_cast<std::uint64_t>(height) > kMaxCount) {
-    throw DecodeError("implausible image size");
-  }
-  imaging::Image img(static_cast<int>(width), static_cast<int>(height));
-  for (auto& v : img.data()) v = static_cast<float>(r.u8()) / 255.0f;
-  return img;
-}
-
-}  // namespace
-
-// ------------------------------------------------------------- trajectory ---
-
-Bytes encode_trajectory(const trajectory::Trajectory& traj) {
-  Writer w;
-  w.u32(kTrajMagic);
-  w.u32(kVersion);
-  w.i32(traj.video_id);
-  w.i32(traj.user_id);
-  w.str(traj.building);
-  w.i32(traj.true_room_id);
-  w.u8(traj.true_junk ? 1 : 0);
-  w.f64(traj.lighting.lux);
-  w.u8(traj.lighting.incandescent ? 1 : 0);
-
-  w.u32(static_cast<std::uint32_t>(traj.points.size()));
-  for (const auto& p : traj.points) {
-    w.f64(p.position.x);
-    w.f64(p.position.y);
-    w.f64(p.t);
-    w.f64(p.heading);
-  }
-
-  w.u32(static_cast<std::uint32_t>(traj.keyframes.size()));
-  for (const auto& kf : traj.keyframes) {
-    w.u64(kf.frame_index);
-    w.f64(kf.t);
-    w.f64(kf.position.x);
-    w.f64(kf.position.y);
-    w.f64(kf.heading);
-    w.f64(kf.true_position.x);
-    w.f64(kf.true_position.y);
-    w.f64(kf.true_heading);
-    encode_gray_u8(w, kf.gray);
-    // Cheap descriptors.
-    w.u32(static_cast<std::uint32_t>(kf.cheap.color_hist.size()));
-    for (const float v : kf.cheap.color_hist) w.f32(v);
-    w.u32(static_cast<std::uint32_t>(kf.cheap.shape.size()));
-    for (const float v : kf.cheap.shape) w.f32(v);
-    w.f32(kf.cheap.wavelet.dc);
-    w.i32(kf.cheap.wavelet.size);
-    w.u32(static_cast<std::uint32_t>(kf.cheap.wavelet.positions.size()));
-    for (std::size_t i = 0; i < kf.cheap.wavelet.positions.size(); ++i) {
-      w.i32(kf.cheap.wavelet.positions[i]);
-      w.u8(kf.cheap.wavelet.signs[i] >= 0 ? 1 : 0);
-    }
-    // SURF features.
-    w.u32(static_cast<std::uint32_t>(kf.surf.size()));
-    for (const auto& f : kf.surf) {
-      w.f64(f.keypoint.x);
-      w.f64(f.keypoint.y);
-      w.f64(f.keypoint.scale);
-      w.f64(f.keypoint.orientation);
-      w.f64(f.keypoint.response);
-      w.u8(f.keypoint.laplacian_positive ? 1 : 0);
-      for (const float v : f.descriptor) w.f32(v);
-    }
-  }
-  return std::move(w).take();
-}
-
-trajectory::Trajectory decode_trajectory(const Bytes& data) {
-  Reader r(data);
-  if (r.u32() != kTrajMagic) throw DecodeError("not a trajectory");
-  if (r.u32() != kVersion) throw DecodeError("unsupported trajectory version");
-  trajectory::Trajectory traj;
-  traj.video_id = r.i32();
-  traj.user_id = r.i32();
-  traj.building = r.str();
-  traj.true_room_id = r.i32();
-  traj.true_junk = r.u8() != 0;
-  traj.lighting.lux = r.f64();
-  traj.lighting.incandescent = r.u8() != 0;
-
-  const std::uint32_t n_points = r.u32();
-  check_count(n_points, "track points");
-  traj.points.reserve(n_points);
-  for (std::uint32_t i = 0; i < n_points; ++i) {
-    sensors::TrackPoint p;
-    p.position.x = r.f64();
-    p.position.y = r.f64();
-    p.t = r.f64();
-    p.heading = r.f64();
-    traj.points.push_back(p);
-  }
-
-  const std::uint32_t n_kf = r.u32();
-  check_count(n_kf, "keyframes");
-  traj.keyframes.reserve(n_kf);
-  for (std::uint32_t i = 0; i < n_kf; ++i) {
-    trajectory::KeyFrame kf;
-    kf.frame_index = static_cast<std::size_t>(r.u64());
-    kf.t = r.f64();
-    kf.position.x = r.f64();
-    kf.position.y = r.f64();
-    kf.heading = r.f64();
-    kf.true_position.x = r.f64();
-    kf.true_position.y = r.f64();
-    kf.true_heading = r.f64();
-    kf.gray = decode_gray_u8(r);
-    const std::uint32_t n_color = r.u32();
-    check_count(n_color, "color hist");
-    kf.cheap.color_hist.reserve(n_color);
-    for (std::uint32_t k = 0; k < n_color; ++k) {
-      kf.cheap.color_hist.push_back(r.f32());
-    }
-    const std::uint32_t n_shape = r.u32();
-    check_count(n_shape, "shape descriptor");
-    kf.cheap.shape.reserve(n_shape);
-    for (std::uint32_t k = 0; k < n_shape; ++k) kf.cheap.shape.push_back(r.f32());
-    kf.cheap.wavelet.dc = r.f32();
-    kf.cheap.wavelet.size = r.i32();
-    const std::uint32_t n_coeff = r.u32();
-    check_count(n_coeff, "wavelet coefficients");
-    kf.cheap.wavelet.positions.reserve(n_coeff);
-    kf.cheap.wavelet.signs.reserve(n_coeff);
-    for (std::uint32_t k = 0; k < n_coeff; ++k) {
-      kf.cheap.wavelet.positions.push_back(r.i32());
-      kf.cheap.wavelet.signs.push_back(r.u8() ? 1 : -1);
-    }
-    const std::uint32_t n_surf = r.u32();
-    check_count(n_surf, "surf features");
-    kf.surf.reserve(n_surf);
-    for (std::uint32_t k = 0; k < n_surf; ++k) {
-      vision::SurfFeature f;
-      f.keypoint.x = r.f64();
-      f.keypoint.y = r.f64();
-      f.keypoint.scale = r.f64();
-      f.keypoint.orientation = r.f64();
-      f.keypoint.response = r.f64();
-      f.keypoint.laplacian_positive = r.u8() != 0;
-      for (auto& v : f.descriptor) v = r.f32();
-      kf.surf.push_back(f);
-    }
-    traj.keyframes.push_back(std::move(kf));
-  }
-  return traj;
-}
-
-// -------------------------------------------------------------- floor plan ---
-
-Bytes encode_floorplan(const floorplan::FloorPlan& plan) {
-  Writer w;
-  w.u32(kPlanMagic);
-  w.u32(kVersion);
-  w.f64(plan.hallway.extent().min.x);
-  w.f64(plan.hallway.extent().min.y);
-  w.f64(plan.hallway.extent().max.x);
-  w.f64(plan.hallway.extent().max.y);
-  w.f64(plan.hallway.cell_size());
-  // Raster cells as a bit-packed row-major stream.
-  const auto& cells = plan.hallway.data();
-  w.u32(static_cast<std::uint32_t>(cells.size()));
-  std::uint8_t acc = 0;
-  int bit = 0;
-  for (const auto c : cells) {
-    acc |= static_cast<std::uint8_t>((c ? 1 : 0) << bit);
-    if (++bit == 8) {
-      w.u8(acc);
-      acc = 0;
-      bit = 0;
-    }
-  }
-  if (bit != 0) w.u8(acc);
-
-  w.u32(static_cast<std::uint32_t>(plan.rooms.size()));
-  for (const auto& room : plan.rooms) {
-    w.f64(room.center.x);
-    w.f64(room.center.y);
-    w.f64(room.width);
-    w.f64(room.depth);
-    w.f64(room.orientation);
-    w.f64(room.anchor.x);
-    w.f64(room.anchor.y);
-    w.i32(room.true_room_id);
-    w.f64(room.layout_score);
-  }
-  return std::move(w).take();
-}
-
-floorplan::FloorPlan decode_floorplan(const Bytes& data) {
-  Reader r(data);
-  if (r.u32() != kPlanMagic) throw DecodeError("not a floor plan");
-  if (r.u32() != kVersion) throw DecodeError("unsupported floor plan version");
-  floorplan::FloorPlan plan;
-  geometry::Aabb extent;
-  extent.min.x = r.f64();
-  extent.min.y = r.f64();
-  extent.max.x = r.f64();
-  extent.max.y = r.f64();
-  const double cell_size = r.f64();
-  if (!(cell_size > 0) || !(extent.max.x > extent.min.x) ||
-      !(extent.max.y > extent.min.y)) {
-    throw DecodeError("invalid floor plan geometry");
-  }
-  plan.hallway = geometry::BoolRaster(extent, cell_size);
-  const std::uint32_t n_cells = r.u32();
-  check_count(n_cells, "raster cells");
-  if (n_cells != plan.hallway.data().size()) {
-    throw DecodeError("raster size does not match extent");
-  }
-  std::uint8_t acc = 0;
-  int bit = 8;
-  for (std::uint32_t i = 0; i < n_cells; ++i) {
-    if (bit == 8) {
-      acc = r.u8();
-      bit = 0;
-    }
-    plan.hallway.data()[i] = (acc >> bit) & 1;
-    ++bit;
-  }
-
-  const std::uint32_t n_rooms = r.u32();
-  check_count(n_rooms, "rooms");
-  plan.rooms.reserve(n_rooms);
-  for (std::uint32_t i = 0; i < n_rooms; ++i) {
-    floorplan::PlacedRoom room;
-    room.center.x = r.f64();
-    room.center.y = r.f64();
-    room.width = r.f64();
-    room.depth = r.f64();
-    room.orientation = r.f64();
-    room.anchor.x = r.f64();
-    room.anchor.y = r.f64();
-    room.true_room_id = r.i32();
-    room.layout_score = r.f64();
-    plan.rooms.push_back(room);
-  }
-  return plan;
-}
-
-namespace {
-
-/// Shared adapter: a DecodeError becomes Error{"io.decode"} so degradation
-/// paths can branch on the code instead of catching exceptions everywhere.
-template <typename Fn>
-auto expected_decode(Fn&& decode)
-    -> common::Expected<decltype(decode())> {
-  try {
-    return decode();
-  } catch (const DecodeError& e) {
-    return common::make_error("io.decode", e.what());
-  }
-}
-
-}  // namespace
-
-common::Expected<sensors::ImuStream> try_decode_imu(const Bytes& data) {
-  return expected_decode([&] { return decode_imu(data); });
-}
-
-common::Expected<trajectory::Trajectory> try_decode_trajectory(
-    const Bytes& data) {
-  return expected_decode([&] { return decode_trajectory(data); });
-}
-
-common::Expected<floorplan::FloorPlan> try_decode_floorplan(
-    const Bytes& data) {
-  return expected_decode([&] { return decode_floorplan(data); });
 }
 
 }  // namespace crowdmap::io

@@ -1,8 +1,12 @@
-// Versioned binary serialization for the data the cloud backend persists:
-// inertial streams, extracted trajectories (including key-frame images and
-// descriptors) and reconstructed floor plans. Little-endian, magic-tagged,
-// explicitly versioned; decoding validates structure and throws
-// io::DecodeError on malformed input rather than reading garbage.
+// Byte-level serialization primitives shared by every persisted format:
+// a little-endian append-only Writer, a bounds-checked Reader, the
+// DecodeError hierarchy and the Expected adapter the degradation paths use.
+//
+// The per-domain codecs (IMU streams, trajectories, floor plans, artifact
+// caches) live with the types they encode — sensors/serialize.hpp,
+// trajectory/serialize.hpp, floorplan/serialize.hpp, cache/serialize.hpp —
+// so the io layer never depends upward on domain modules (the module
+// layering contract enforced by crowdmap_analyze; docs/STATIC_ANALYSIS.md).
 #pragma once
 
 #include <cstdint>
@@ -10,11 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "cache/artifact_cache.hpp"
 #include "common/expected.hpp"
-#include "floorplan/floorplan.hpp"
-#include "sensors/imu.hpp"
-#include "trajectory/trajectory.hpp"
 
 namespace crowdmap::io {
 
@@ -66,43 +66,23 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-// ------------------------------------------------------------ top level ---
+/// Sanity bound on decoded element counts: malformed length fields must not
+/// trigger giant allocations. Shared by every codec so the bound stays one
+/// number.
+inline constexpr std::uint32_t kMaxDecodeCount = 64u * 1024u * 1024u;
 
-/// Inertial stream <-> bytes.
-[[nodiscard]] Bytes encode_imu(const sensors::ImuStream& stream);
-[[nodiscard]] sensors::ImuStream decode_imu(const Bytes& data);
+/// Throws DecodeError when a decoded count exceeds kMaxDecodeCount.
+void check_count(std::uint64_t n, const char* what);
 
-/// Extracted trajectory <-> bytes. Key-frame gray images are quantized to
-/// 8 bits (their only consumer, panorama stitching, is insensitive to the
-/// quantization); descriptors are stored exactly.
-[[nodiscard]] Bytes encode_trajectory(const trajectory::Trajectory& traj);
-[[nodiscard]] trajectory::Trajectory decode_trajectory(const Bytes& data);
-
-/// Floor plan <-> bytes.
-[[nodiscard]] Bytes encode_floorplan(const floorplan::FloorPlan& plan);
-[[nodiscard]] floorplan::FloorPlan decode_floorplan(const Bytes& data);
-
-/// Artifact-cache contents <-> bytes: the persistence half of incremental
-/// recomputation (docs/INCREMENTAL.md). A restarted CrowdMapService decodes
-/// a previously exported snapshot out of its DocumentStore and warms the
-/// cache, so the first refresh after a restart reuses artifacts instead of
-/// recomputing the corpus. Entries round-trip exactly (keys and payload
-/// bytes verbatim).
-[[nodiscard]] Bytes encode_artifact_cache(
-    const std::vector<cache::ArtifactEntry>& entries);
-[[nodiscard]] std::vector<cache::ArtifactEntry> decode_artifact_cache(
-    const Bytes& data);
-
-// Non-throwing variants for callers that degrade on malformed input (the
-// cloud backend quarantines rather than crashes): a DecodeError becomes an
-// Error with code "io.decode".
-[[nodiscard]] common::Expected<sensors::ImuStream> try_decode_imu(
-    const Bytes& data);
-[[nodiscard]] common::Expected<trajectory::Trajectory> try_decode_trajectory(
-    const Bytes& data);
-[[nodiscard]] common::Expected<floorplan::FloorPlan> try_decode_floorplan(
-    const Bytes& data);
-[[nodiscard]] common::Expected<std::vector<cache::ArtifactEntry>>
-try_decode_artifact_cache(const Bytes& data);
+/// Shared adapter: a DecodeError becomes Error{"io.decode"} so degradation
+/// paths can branch on the code instead of catching exceptions everywhere.
+template <typename Fn>
+auto expected_decode(Fn&& decode) -> common::Expected<decltype(decode())> {
+  try {
+    return decode();
+  } catch (const DecodeError& e) {
+    return common::make_error("io.decode", e.what());
+  }
+}
 
 }  // namespace crowdmap::io

@@ -1,0 +1,51 @@
+#include "sensors/serialize.hpp"
+
+namespace crowdmap::sensors {
+
+namespace {
+
+constexpr std::uint32_t kImuMagic = 0x434D4931;  // "CMI1"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+io::Bytes encode_imu(const ImuStream& stream) {
+  io::Writer w;
+  w.u32(kImuMagic);
+  w.u32(kVersion);
+  w.f64(stream.sample_rate_hz);
+  w.u32(static_cast<std::uint32_t>(stream.samples.size()));
+  for (const auto& s : stream.samples) {
+    w.f64(s.t);
+    w.f64(s.accel_magnitude);
+    w.f64(s.gyro_z);
+    w.f64(s.compass);
+  }
+  return std::move(w).take();
+}
+
+ImuStream decode_imu(const io::Bytes& data) {
+  io::Reader r(data);
+  if (r.u32() != kImuMagic) throw io::DecodeError("not an IMU stream");
+  if (r.u32() != kVersion) throw io::DecodeError("unsupported IMU version");
+  ImuStream stream;
+  stream.sample_rate_hz = r.f64();
+  const std::uint32_t n = r.u32();
+  io::check_count(n, "imu samples");
+  stream.samples.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ImuSample s;
+    s.t = r.f64();
+    s.accel_magnitude = r.f64();
+    s.gyro_z = r.f64();
+    s.compass = r.f64();
+    stream.samples.push_back(s);
+  }
+  return stream;
+}
+
+common::Expected<ImuStream> try_decode_imu(const io::Bytes& data) {
+  return io::expected_decode([&] { return decode_imu(data); });
+}
+
+}  // namespace crowdmap::sensors

@@ -1,0 +1,22 @@
+// Versioned binary codec for inertial streams ("CMI1"). Little-endian,
+// magic-tagged; decoding validates structure and throws io::DecodeError on
+// malformed input rather than reading garbage. Lives with the sensor types
+// (not in io/) so serialization never pulls domain modules into the io
+// layer — see docs/STATIC_ANALYSIS.md for the layering contract.
+#pragma once
+
+#include "io/serialize.hpp"
+#include "sensors/imu.hpp"
+
+namespace crowdmap::sensors {
+
+/// Inertial stream <-> bytes.
+[[nodiscard]] io::Bytes encode_imu(const ImuStream& stream);
+[[nodiscard]] ImuStream decode_imu(const io::Bytes& data);
+
+/// Non-throwing variant for callers that degrade on malformed input (the
+/// cloud backend quarantines rather than crashes): a DecodeError becomes an
+/// Error with code "io.decode".
+[[nodiscard]] common::Expected<ImuStream> try_decode_imu(const io::Bytes& data);
+
+}  // namespace crowdmap::sensors

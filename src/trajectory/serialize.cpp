@@ -1,0 +1,177 @@
+#include "trajectory/serialize.hpp"
+
+#include <algorithm>
+
+namespace crowdmap::trajectory {
+
+namespace {
+
+constexpr std::uint32_t kTrajMagic = 0x434D5431;  // "CMT1"
+constexpr std::uint32_t kVersion = 1;
+
+void encode_gray_u8(io::Writer& w, const imaging::Image& img) {
+  w.u32(static_cast<std::uint32_t>(img.width()));
+  w.u32(static_cast<std::uint32_t>(img.height()));
+  for (const float v : img.data()) {
+    w.u8(static_cast<std::uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f));
+  }
+}
+
+imaging::Image decode_gray_u8(io::Reader& r) {
+  const std::uint32_t width = r.u32();
+  const std::uint32_t height = r.u32();
+  io::check_count(width, "image width");
+  io::check_count(height, "image height");
+  if (width * static_cast<std::uint64_t>(height) > io::kMaxDecodeCount) {
+    throw io::DecodeError("implausible image size");
+  }
+  imaging::Image img(static_cast<int>(width), static_cast<int>(height));
+  for (auto& v : img.data()) v = static_cast<float>(r.u8()) / 255.0f;
+  return img;
+}
+
+}  // namespace
+
+io::Bytes encode_trajectory(const Trajectory& traj) {
+  io::Writer w;
+  w.u32(kTrajMagic);
+  w.u32(kVersion);
+  w.i32(traj.video_id);
+  w.i32(traj.user_id);
+  w.str(traj.building);
+  w.i32(traj.true_room_id);
+  w.u8(traj.true_junk ? 1 : 0);
+  w.f64(traj.lighting.lux);
+  w.u8(traj.lighting.incandescent ? 1 : 0);
+
+  w.u32(static_cast<std::uint32_t>(traj.points.size()));
+  for (const auto& p : traj.points) {
+    w.f64(p.position.x);
+    w.f64(p.position.y);
+    w.f64(p.t);
+    w.f64(p.heading);
+  }
+
+  w.u32(static_cast<std::uint32_t>(traj.keyframes.size()));
+  for (const auto& kf : traj.keyframes) {
+    w.u64(kf.frame_index);
+    w.f64(kf.t);
+    w.f64(kf.position.x);
+    w.f64(kf.position.y);
+    w.f64(kf.heading);
+    w.f64(kf.true_position.x);
+    w.f64(kf.true_position.y);
+    w.f64(kf.true_heading);
+    encode_gray_u8(w, kf.gray);
+    // Cheap descriptors.
+    w.u32(static_cast<std::uint32_t>(kf.cheap.color_hist.size()));
+    for (const float v : kf.cheap.color_hist) w.f32(v);
+    w.u32(static_cast<std::uint32_t>(kf.cheap.shape.size()));
+    for (const float v : kf.cheap.shape) w.f32(v);
+    w.f32(kf.cheap.wavelet.dc);
+    w.i32(kf.cheap.wavelet.size);
+    w.u32(static_cast<std::uint32_t>(kf.cheap.wavelet.positions.size()));
+    for (std::size_t i = 0; i < kf.cheap.wavelet.positions.size(); ++i) {
+      w.i32(kf.cheap.wavelet.positions[i]);
+      w.u8(kf.cheap.wavelet.signs[i] >= 0 ? 1 : 0);
+    }
+    // SURF features.
+    w.u32(static_cast<std::uint32_t>(kf.surf.size()));
+    for (const auto& f : kf.surf) {
+      w.f64(f.keypoint.x);
+      w.f64(f.keypoint.y);
+      w.f64(f.keypoint.scale);
+      w.f64(f.keypoint.orientation);
+      w.f64(f.keypoint.response);
+      w.u8(f.keypoint.laplacian_positive ? 1 : 0);
+      for (const float v : f.descriptor) w.f32(v);
+    }
+  }
+  return std::move(w).take();
+}
+
+Trajectory decode_trajectory(const io::Bytes& data) {
+  io::Reader r(data);
+  if (r.u32() != kTrajMagic) throw io::DecodeError("not a trajectory");
+  if (r.u32() != kVersion) {
+    throw io::DecodeError("unsupported trajectory version");
+  }
+  Trajectory traj;
+  traj.video_id = r.i32();
+  traj.user_id = r.i32();
+  traj.building = r.str();
+  traj.true_room_id = r.i32();
+  traj.true_junk = r.u8() != 0;
+  traj.lighting.lux = r.f64();
+  traj.lighting.incandescent = r.u8() != 0;
+
+  const std::uint32_t n_points = r.u32();
+  io::check_count(n_points, "track points");
+  traj.points.reserve(n_points);
+  for (std::uint32_t i = 0; i < n_points; ++i) {
+    sensors::TrackPoint p;
+    p.position.x = r.f64();
+    p.position.y = r.f64();
+    p.t = r.f64();
+    p.heading = r.f64();
+    traj.points.push_back(p);
+  }
+
+  const std::uint32_t n_kf = r.u32();
+  io::check_count(n_kf, "keyframes");
+  traj.keyframes.reserve(n_kf);
+  for (std::uint32_t i = 0; i < n_kf; ++i) {
+    KeyFrame kf;
+    kf.frame_index = static_cast<std::size_t>(r.u64());
+    kf.t = r.f64();
+    kf.position.x = r.f64();
+    kf.position.y = r.f64();
+    kf.heading = r.f64();
+    kf.true_position.x = r.f64();
+    kf.true_position.y = r.f64();
+    kf.true_heading = r.f64();
+    kf.gray = decode_gray_u8(r);
+    const std::uint32_t n_color = r.u32();
+    io::check_count(n_color, "color hist");
+    kf.cheap.color_hist.reserve(n_color);
+    for (std::uint32_t k = 0; k < n_color; ++k) {
+      kf.cheap.color_hist.push_back(r.f32());
+    }
+    const std::uint32_t n_shape = r.u32();
+    io::check_count(n_shape, "shape descriptor");
+    kf.cheap.shape.reserve(n_shape);
+    for (std::uint32_t k = 0; k < n_shape; ++k) kf.cheap.shape.push_back(r.f32());
+    kf.cheap.wavelet.dc = r.f32();
+    kf.cheap.wavelet.size = r.i32();
+    const std::uint32_t n_coeff = r.u32();
+    io::check_count(n_coeff, "wavelet coefficients");
+    kf.cheap.wavelet.positions.reserve(n_coeff);
+    kf.cheap.wavelet.signs.reserve(n_coeff);
+    for (std::uint32_t k = 0; k < n_coeff; ++k) {
+      kf.cheap.wavelet.positions.push_back(r.i32());
+      kf.cheap.wavelet.signs.push_back(r.u8() ? 1 : -1);
+    }
+    const std::uint32_t n_surf = r.u32();
+    io::check_count(n_surf, "surf features");
+    kf.surf.reserve(n_surf);
+    for (std::uint32_t k = 0; k < n_surf; ++k) {
+      vision::SurfFeature f;
+      f.keypoint.x = r.f64();
+      f.keypoint.y = r.f64();
+      f.keypoint.scale = r.f64();
+      f.keypoint.orientation = r.f64();
+      f.keypoint.response = r.f64();
+      f.keypoint.laplacian_positive = r.u8() != 0;
+      for (auto& v : f.descriptor) v = r.f32();
+      kf.surf.push_back(f);
+    }
+    traj.keyframes.push_back(std::move(kf));
+  }
+  return traj;
+}
+
+common::Expected<Trajectory> try_decode_trajectory(const io::Bytes& data) {
+  return io::expected_decode([&] { return decode_trajectory(data); });
+}
+
+}  // namespace crowdmap::trajectory

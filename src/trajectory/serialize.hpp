@@ -1,0 +1,23 @@
+// Versioned binary codec for extracted trajectories ("CMT1"), including
+// key-frame images and descriptors. Key-frame gray images are quantized to
+// 8 bits (their only consumer, panorama stitching, is insensitive to the
+// quantization); descriptors are stored exactly. Lives with the trajectory
+// types (not in io/) so serialization never pulls domain modules into the
+// io layer — see docs/STATIC_ANALYSIS.md for the layering contract.
+#pragma once
+
+#include "io/serialize.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace crowdmap::trajectory {
+
+/// Extracted trajectory <-> bytes.
+[[nodiscard]] io::Bytes encode_trajectory(const Trajectory& traj);
+[[nodiscard]] Trajectory decode_trajectory(const io::Bytes& data);
+
+/// Non-throwing variant for callers that degrade on malformed input: a
+/// DecodeError becomes an Error with code "io.decode".
+[[nodiscard]] common::Expected<Trajectory> try_decode_trajectory(
+    const io::Bytes& data);
+
+}  // namespace crowdmap::trajectory

@@ -1,0 +1,511 @@
+// Tests for crowdmap_analyze: tokenizer edge cases (raw strings, line-spliced
+// comments), the per-file source model, and the three whole-program passes on
+// seeded true-positive fixtures — a layering violation and module cycle, an
+// AB/BA two-mutex deadlock (same-TU and cross-TU through the call graph), a
+// CM_EXCLUDES-while-held call, and a determinism-taint leak with propagation
+// to its caller. Plus the baseline round-trip and the SARIF 2.1.0 shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "analyze/model.hpp"
+#include "analyze/token.hpp"
+
+namespace an = crowdmap::analyze;
+
+namespace {
+
+using FileSpec = std::pair<std::string, std::string>;  // path, content
+
+std::vector<an::Finding> run(const std::vector<FileSpec>& files) {
+  std::vector<an::FileModel> models;
+  for (const auto& [path, content] : files) {
+    models.push_back(an::build_model(path, content));
+  }
+  return an::analyze(models);
+}
+
+bool has_rule(const std::vector<an::Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const an::Finding& f) { return f.rule == rule; });
+}
+
+const an::Finding* find_rule(const std::vector<an::Finding>& findings,
+                             const std::string& rule) {
+  for (const an::Finding& f : findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- tokenizer ---
+
+TEST(AnalyzeTokenizer, RawStringBecomesOneToken) {
+  const auto tokens =
+      an::tokenize("auto s = R\"(hi \"there\" // not a comment)\";\n");
+  ASSERT_EQ(tokens.size(), 5u);  // auto s = <string> ;
+  EXPECT_EQ(tokens[3].kind, an::TokKind::kString);
+  EXPECT_EQ(tokens[3].text, "hi \"there\" // not a comment");
+}
+
+TEST(AnalyzeTokenizer, RawStringWithDelimiter) {
+  const auto tokens = an::tokenize("auto s = R\"xy(a)\" )xy\";\n");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[3].kind, an::TokKind::kString);
+  EXPECT_EQ(tokens[3].text, "a)\" ");
+}
+
+TEST(AnalyzeTokenizer, LineSplicedCommentSwallowsNextLine) {
+  // The backslash-newline splice joins the comment with the next physical
+  // line, so `int b = 2;` is part of the comment — exactly what a compiler
+  // sees.
+  const auto tokens = an::tokenize(
+      "int a = 1; // trailing \\\n"
+      "int b = 2;\n"
+      "int c = 3;\n");
+  std::vector<std::string> idents;
+  for (const auto& t : tokens) {
+    if (t.kind == an::TokKind::kIdentifier) idents.push_back(t.text);
+  }
+  EXPECT_EQ(idents, (std::vector<std::string>{"int", "a", "int", "c"}));
+  // `c` sits on physical line 3 even though splicing removed characters.
+  for (const auto& t : tokens) {
+    if (t.kind == an::TokKind::kIdentifier && t.text == "c") {
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+}
+
+TEST(AnalyzeTokenizer, SplicedIdentifierJoins) {
+  const auto tokens = an::tokenize("in\\\nt x;\n");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(AnalyzeTokenizer, ScopeAndArrowAreSingleTokens) {
+  const auto tokens = an::tokenize("a::b->c;\n");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[1].text, "::");
+  EXPECT_EQ(tokens[3].text, "->");
+}
+
+TEST(AnalyzeTokenizer, BlockCommentsAndStringsDropped) {
+  const auto tokens = an::tokenize(
+      "/* MutexLock in a comment */ int x = 0; const char* s = \"rand()\";\n");
+  for (const auto& t : tokens) {
+    EXPECT_NE(t.text, "MutexLock");
+    if (t.kind == an::TokKind::kString) {
+      EXPECT_EQ(t.text, "rand()");
+    }
+  }
+}
+
+// -------------------------------------------------------------------- model ---
+
+TEST(AnalyzeModel, IncludesCaptured) {
+  const auto m = an::build_model("src/vision/x.cpp",
+                                 "#include \"common/log.hpp\"\n"
+                                 "#include <vector>\n");
+  ASSERT_EQ(m.includes.size(), 2u);
+  EXPECT_EQ(m.includes[0].target, "common/log.hpp");
+  EXPECT_FALSE(m.includes[0].system);
+  EXPECT_TRUE(m.includes[1].system);
+}
+
+TEST(AnalyzeModel, QualifiedFunctionAndAcquisition) {
+  const auto m = an::build_model(
+      "src/cloud/x.cpp",
+      "namespace crowdmap::cloud {\n"
+      "void Store::tick() {\n"
+      "  common::MutexLock lock(mutex_);\n"
+      "}\n"
+      "}  // namespace\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].qualified, "crowdmap::cloud::Store::tick");
+  ASSERT_EQ(m.functions[0].acquisitions.size(), 1u);
+  EXPECT_EQ(m.functions[0].acquisitions[0].mutex,
+            "crowdmap::cloud::Store::mutex_");
+}
+
+TEST(AnalyzeModel, FieldAndMutexDeclsCaptured) {
+  const auto m = an::build_model(
+      "src/cloud/x.hpp",
+      "namespace crowdmap::cloud {\n"
+      "class Svc {\n"
+      " public:\n"
+      "  void go();\n"
+      " private:\n"
+      "  mutable common::Mutex mutex_;\n"
+      "  DocumentStore store_;\n"
+      "};\n"
+      "}  // namespace\n");
+  ASSERT_EQ(m.mutexes.size(), 1u);
+  EXPECT_EQ(m.mutexes[0].qualified, "crowdmap::cloud::Svc::mutex_");
+  bool store_field = false;
+  for (const auto& f : m.fields) {
+    if (f.name == "store_") {
+      store_field = true;
+      EXPECT_EQ(f.owner, "crowdmap::cloud::Svc");
+      EXPECT_EQ(f.type, "DocumentStore");
+    }
+  }
+  EXPECT_TRUE(store_field);
+}
+
+// ----------------------------------------------------------------- layering ---
+
+TEST(AnalyzeLayering, UpwardIncludeFires) {
+  const auto findings = run({
+      {"src/io/a.hpp", "#pragma once\n#include \"cache/x.hpp\"\n"},
+      {"src/cache/x.hpp", "#pragma once\n"},
+  });
+  const an::Finding* f = find_rule(findings, "layering-upward");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->symbol, "io->cache");
+  EXPECT_EQ(f->path, "src/io/a.hpp");
+  EXPECT_EQ(f->line, 2);
+}
+
+TEST(AnalyzeLayering, DownwardAndAllowlistedEdgesAreClean) {
+  const auto findings = run({
+      // Downward: core -> common is the normal direction.
+      {"src/core/p.hpp", "#pragma once\n#include \"common/log.hpp\"\n"},
+      {"src/common/log.hpp", "#pragma once\n"},
+      // Upward but allowlisted: the cloud service owns core planners.
+      {"src/cloud/s.hpp", "#pragma once\n#include \"core/q.hpp\"\n"},
+      {"src/core/q.hpp", "#pragma once\n"},
+  });
+  EXPECT_FALSE(has_rule(findings, "layering-upward"));
+}
+
+TEST(AnalyzeLayering, ModuleCycleDetected) {
+  const auto findings = run({
+      {"src/vision/v.hpp", "#pragma once\n#include \"room/r.hpp\"\n"},
+      {"src/room/r.hpp", "#pragma once\n#include \"vision/w.hpp\"\n"},
+      {"src/vision/w.hpp", "#pragma once\n"},
+  });
+  const an::Finding* f = find_rule(findings, "module-cycle");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->symbol, "room<->vision");
+}
+
+TEST(AnalyzeLayering, FileLevelIncludeCycleDetected) {
+  const auto findings = run({
+      {"src/vision/a.hpp", "#pragma once\n#include \"vision/b.hpp\"\n"},
+      {"src/vision/b.hpp", "#pragma once\n#include \"vision/a.hpp\"\n"},
+  });
+  EXPECT_TRUE(has_rule(findings, "include-cycle"));
+  // Same-module includes never trip the module-level pass.
+  EXPECT_FALSE(has_rule(findings, "module-cycle"));
+}
+
+// --------------------------------------------------------------- lock order ---
+
+namespace {
+
+const char kAbBaFixture[] =
+    "namespace crowdmap::cloud {\n"
+    "class Pair {\n"
+    " public:\n"
+    "  void ab();\n"
+    "  void ba();\n"
+    " private:\n"
+    "  common::Mutex a_;\n"
+    "  common::Mutex b_;\n"
+    "};\n"
+    "void Pair::ab() {\n"
+    "  common::MutexLock la(a_);\n"
+    "  common::MutexLock lb(b_);\n"
+    "}\n"
+    "void Pair::ba() {\n"
+    "  common::MutexLock lb(b_);\n"
+    "  common::MutexLock la(a_);\n"
+    "}\n"
+    "}  // namespace\n";
+
+}  // namespace
+
+TEST(AnalyzeLockOrder, AbBaDeadlockDetected) {
+  const auto findings = run({{"src/cloud/pair.cpp", kAbBaFixture}});
+  const an::Finding* f = find_rule(findings, "lock-order");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->symbol, "a_<->b_");
+}
+
+TEST(AnalyzeLockOrder, CrossTuDeadlockThroughCallGraph) {
+  // TU 1 locks Svc::a_ then calls into Worker (which locks b_); TU 2 locks
+  // Worker::b_ then calls back into Svc (which locks a_). Neither TU alone
+  // shows a cycle — only the merged call graph does.
+  const char* header =
+      "#pragma once\n"
+      "namespace crowdmap::cloud {\n"
+      "class Worker;\n"
+      "class Svc {\n"
+      " public:\n"
+      "  void lock_then_pump();\n"
+      "  void relock();\n"
+      " private:\n"
+      "  common::Mutex a_;\n"
+      "  Worker* worker_;\n"
+      "};\n"
+      "class Worker {\n"
+      " public:\n"
+      "  void pump();\n"
+      "  void reenter();\n"
+      " private:\n"
+      "  common::Mutex b_;\n"
+      "  Svc* svc_;\n"
+      "};\n"
+      "}  // namespace\n";
+  const char* tu1 =
+      "#include \"cloud/svc.hpp\"\n"
+      "namespace crowdmap::cloud {\n"
+      "void Svc::lock_then_pump() {\n"
+      "  common::MutexLock lock(a_);\n"
+      "  worker_->pump();\n"
+      "}\n"
+      "void Svc::relock() {\n"
+      "  common::MutexLock lock(a_);\n"
+      "}\n"
+      "}  // namespace\n";
+  const char* tu2 =
+      "#include \"cloud/svc.hpp\"\n"
+      "namespace crowdmap::cloud {\n"
+      "void Worker::pump() {\n"
+      "  common::MutexLock lock(b_);\n"
+      "}\n"
+      "void Worker::reenter() {\n"
+      "  common::MutexLock lock(b_);\n"
+      "  svc_->relock();\n"
+      "}\n"
+      "}  // namespace\n";
+  const auto findings = run({{"src/cloud/svc.hpp", header},
+                             {"src/cloud/svc_a.cpp", tu1},
+                             {"src/cloud/svc_b.cpp", tu2}});
+  const an::Finding* f = find_rule(findings, "lock-order");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->symbol, "a_<->b_");
+}
+
+TEST(AnalyzeLockOrder, ExcludesWhileHeldDetected) {
+  const auto findings = run({{
+      "src/cloud/store.cpp",
+      "namespace crowdmap::cloud {\n"
+      "class Store {\n"
+      " public:\n"
+      "  bool erase(int id) CM_EXCLUDES(mutex_);\n"
+      "  void compact();\n"
+      " private:\n"
+      "  mutable common::Mutex mutex_;\n"
+      "};\n"
+      "bool Store::erase(int id) {\n"
+      "  common::MutexLock lock(mutex_);\n"
+      "  return id > 0;\n"
+      "}\n"
+      "void Store::compact() {\n"
+      "  common::MutexLock lock(mutex_);\n"
+      "  erase(1);\n"
+      "}\n"
+      "}  // namespace\n",
+  }});
+  const an::Finding* f = find_rule(findings, "lock-excludes-held");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->symbol, "crowdmap::cloud::Store::compact!mutex_");
+}
+
+TEST(AnalyzeLockOrder, ScopedReleaseIsNotHeldAtLaterCall) {
+  // The lock dies with its block; the call after the block is lock-free, so
+  // the CM_EXCLUDES callee is fine. Regression test for the release-aware
+  // held-set (a naive line-ordered model flags this).
+  const auto findings = run({{
+      "src/cloud/r.cpp",
+      "namespace crowdmap::cloud {\n"
+      "class R {\n"
+      " public:\n"
+      "  void go();\n"
+      "  void target() CM_EXCLUDES(m_);\n"
+      " private:\n"
+      "  common::Mutex m_;\n"
+      "};\n"
+      "void R::go() {\n"
+      "  {\n"
+      "    common::MutexLock lock(m_);\n"
+      "  }\n"
+      "  target();\n"
+      "}\n"
+      "void R::target() {\n"
+      "  common::MutexLock lock(m_);\n"
+      "}\n"
+      "}  // namespace\n",
+  }});
+  EXPECT_FALSE(has_rule(findings, "lock-excludes-held"));
+  EXPECT_FALSE(has_rule(findings, "lock-order"));
+}
+
+TEST(AnalyzeLockOrder, UntypedReceiverDoesNotAliasProjectMethods) {
+  // `ids.erase(...)` on a vector must not resolve to Store::erase just
+  // because the method names collide — the receiver's type is unknown, so
+  // the call stays unresolved.
+  const auto findings = run({{
+      "src/cloud/v.cpp",
+      "namespace crowdmap::cloud {\n"
+      "class Store {\n"
+      " public:\n"
+      "  bool erase(int id) CM_EXCLUDES(mutex_);\n"
+      "  void trim();\n"
+      " private:\n"
+      "  mutable common::Mutex mutex_;\n"
+      "};\n"
+      "bool Store::erase(int id) { return id > 0; }\n"
+      "void Store::trim() {\n"
+      "  common::MutexLock lock(mutex_);\n"
+      "  auto& ids = index_;\n"
+      "  ids.erase(3);\n"
+      "}\n"
+      "}  // namespace\n",
+  }});
+  EXPECT_FALSE(has_rule(findings, "lock-excludes-held"));
+}
+
+// -------------------------------------------------------- determinism taint ---
+
+TEST(AnalyzeTaint, LeakAndPropagationToCaller) {
+  const auto findings = run({{
+      "src/vision/seed.cpp",
+      "namespace crowdmap::vision {\n"
+      "int leaky_seed() {\n"
+      "  return static_cast<int>(std::time(nullptr));\n"
+      "}\n"
+      "int uses_leak() { return leaky_seed() + 1; }\n"
+      "}  // namespace\n",
+  }});
+  ASSERT_TRUE(has_rule(findings, "determinism-taint"));
+  bool origin = false;
+  bool propagated = false;
+  for (const auto& f : findings) {
+    if (f.rule != "determinism-taint") continue;
+    if (f.symbol == "crowdmap::vision::leaky_seed") origin = true;
+    if (f.symbol == "crowdmap::vision::uses_leak") propagated = true;
+  }
+  EXPECT_TRUE(origin);
+  EXPECT_TRUE(propagated);
+}
+
+TEST(AnalyzeTaint, QualifiedWallClockDetected) {
+  const auto findings = run({{
+      "src/vision/t.cpp",
+      "namespace crowdmap::vision {\n"
+      "double stamp() {\n"
+      "  return std::chrono::system_clock::now().time_since_epoch().count();\n"
+      "}\n"
+      "}  // namespace\n",
+  }});
+  EXPECT_TRUE(has_rule(findings, "determinism-taint"));
+}
+
+TEST(AnalyzeTaint, SinksAbsorb) {
+  // Wall clock inside logging and obs is the allowlisted exception; a
+  // steady_clock latency stamp is never a source at all.
+  const auto findings = run({
+      {"src/common/log.cpp",
+       "namespace crowdmap::common {\n"
+       "long stamp() { return std::time(nullptr); }\n"
+       "}  // namespace\n"},
+      {"src/obs/flight.cpp",
+       "namespace crowdmap::obs {\n"
+       "long wall() { return std::time(nullptr); }\n"
+       "}  // namespace\n"},
+      {"src/core/lat.cpp",
+       "namespace crowdmap::core {\n"
+       "double lat() {\n"
+       "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+       "}\n"
+       "}  // namespace\n"},
+  });
+  EXPECT_FALSE(has_rule(findings, "determinism-taint"));
+}
+
+TEST(AnalyzeTaint, UnorderedIterationIsASource) {
+  const auto findings = run({{
+      "src/vision/acc.cpp",
+      "#include <unordered_map>\n"
+      "namespace crowdmap::vision {\n"
+      "class Acc {\n"
+      " public:\n"
+      "  double sum();\n"
+      " private:\n"
+      "  std::unordered_map<int, double> weights_;\n"
+      "};\n"
+      "double Acc::sum() {\n"
+      "  double s = 0.0;\n"
+      "  for (const auto& [k, v] : weights_) s += v;\n"
+      "  return s;\n"
+      "}\n"
+      "}  // namespace\n",
+  }});
+  const an::Finding* f = find_rule(findings, "determinism-taint");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->symbol, "crowdmap::vision::Acc::sum");
+}
+
+// ------------------------------------------------------------ baseline/sarif ---
+
+TEST(AnalyzeBaseline, RoundTripSuppressesKnownFindings) {
+  const std::vector<an::Finding> findings = {
+      {"lock-order", "src/cloud/pair.cpp", 15, "a_<->b_", "cycle"},
+      {"determinism-taint", "src/vision/seed.cpp", 3,
+       "crowdmap::vision::leaky_seed", "leak"},
+  };
+  const std::string body = an::render_baseline(findings);
+  const auto keys = an::parse_baseline(body);
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_TRUE(an::new_findings(findings, keys).empty());
+
+  // A finding not in the baseline survives; line drift does not resurrect
+  // baselined ones (keys carry no line numbers).
+  std::vector<an::Finding> next = findings;
+  next[0].line = 99;
+  next.push_back({"layering-upward", "src/io/a.hpp", 2, "io->cache", "up"});
+  const auto fresh = an::new_findings(next, keys);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].rule, "layering-upward");
+}
+
+TEST(AnalyzeBaseline, ParserSkipsCommentsAndBlanks) {
+  const auto keys = an::parse_baseline(
+      "# comment\n"
+      "\n"
+      "  lock-order|src/a.cpp|m1<->m2  \n"
+      "# another\n");
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_TRUE(keys.count("lock-order|src/a.cpp|m1<->m2"));
+}
+
+TEST(AnalyzeSarif, MinimalShape) {
+  const std::vector<an::Finding> findings = {
+      {"lock-order", "src/cloud/pair.cpp", 15, "a_<->b_", "cycle \"x\""},
+  };
+  const std::string sarif = an::to_sarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-order\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/cloud/pair.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 15"), std::string::npos);
+  // The quote inside the message is escaped.
+  EXPECT_NE(sarif.find("cycle \\\"x\\\""), std::string::npos);
+}
+
+TEST(AnalyzeCatalog, RulesAndLayersExposed) {
+  EXPECT_EQ(an::rule_catalog().size(), 6u);
+  EXPECT_FALSE(an::layer_table().empty());
+  EXPECT_EQ(an::layer_table().front().module, "api");
+  EXPECT_EQ(an::layer_table().back().module, "common");
+  for (const auto& exc : an::layering_allowlist()) {
+    EXPECT_FALSE(std::string(exc.why).empty());
+  }
+}

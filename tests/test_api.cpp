@@ -9,7 +9,7 @@
 
 #include "api/crowdmap.hpp"
 #include "common/rng.hpp"
-#include "io/serialize.hpp"
+#include "floorplan/serialize.hpp"
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
@@ -17,7 +17,7 @@ namespace ap = crowdmap::api;
 namespace cs = crowdmap::sim;
 namespace co = crowdmap::core;
 namespace cc = crowdmap::common;
-namespace io = crowdmap::io;
+namespace fp = crowdmap::floorplan;
 
 namespace {
 
@@ -45,7 +45,7 @@ ap::Client make_client(co::PipelineConfig config = co::PipelineConfig::fast_prof
 }
 
 std::string plan_bytes(const co::PipelineResult& result) {
-  const auto bytes = io::encode_floorplan(result.plan);
+  const auto bytes = fp::encode_floorplan(result.plan);
   return std::string(bytes.begin(), bytes.end());
 }
 

@@ -1,12 +1,12 @@
 // Tests for the content-addressed artifact cache: key stability, bounding,
-// fault-forced eviction, and the persistence round-trip through io/serialize.
+// fault-forced eviction, and the persistence round-trip through cache/serialize.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "cache/artifact_cache.hpp"
+#include "cache/serialize.hpp"
 #include "common/fault.hpp"
-#include "io/serialize.hpp"
 
 namespace ca = crowdmap::cache;
 namespace cc = crowdmap::common;
@@ -151,8 +151,8 @@ TEST(ArtifactCache, ExportIsSortedAndRoundTripsThroughSerialize) {
     EXPECT_TRUE(ordered) << "export not sorted at " << i;
   }
 
-  const io::Bytes encoded = io::encode_artifact_cache(entries);
-  const auto decoded = io::decode_artifact_cache(encoded);
+  const io::Bytes encoded = ca::encode_artifact_cache(entries);
+  const auto decoded = ca::decode_artifact_cache(encoded);
   ASSERT_EQ(decoded.size(), entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     EXPECT_EQ(decoded[i].family, entries[i].family);
@@ -166,28 +166,28 @@ TEST(ArtifactCache, ExportIsSortedAndRoundTripsThroughSerialize) {
 }
 
 TEST(ArtifactCacheCodec, RejectsMalformedInput) {
-  EXPECT_FALSE(io::try_decode_artifact_cache(io::Bytes{1, 2, 3}).ok());
+  EXPECT_FALSE(ca::try_decode_artifact_cache(io::Bytes{1, 2, 3}).ok());
 
-  io::Bytes encoded = io::encode_artifact_cache(
+  io::Bytes encoded = ca::encode_artifact_cache(
       {{ca::Family::kRoom, key_of(5), payload_of(6, 5)}});
   encoded.push_back(0);  // trailing garbage
-  const auto trailing = io::try_decode_artifact_cache(encoded);
+  const auto trailing = ca::try_decode_artifact_cache(encoded);
   ASSERT_FALSE(trailing.ok());
   EXPECT_EQ(trailing.error().code, "io.decode");
 
-  io::Bytes truncated = io::encode_artifact_cache(
+  io::Bytes truncated = ca::encode_artifact_cache(
       {{ca::Family::kRoom, key_of(5), payload_of(6, 5)}});
   truncated.resize(truncated.size() - 2);
-  EXPECT_FALSE(io::try_decode_artifact_cache(truncated).ok());
+  EXPECT_FALSE(ca::try_decode_artifact_cache(truncated).ok());
 
   // An unknown family byte is structural corruption, not a new version.
-  io::Bytes bad_family = io::encode_artifact_cache(
+  io::Bytes bad_family = ca::encode_artifact_cache(
       {{ca::Family::kRoom, key_of(5), payload_of(6, 5)}});
   bad_family[4 + 4 + 8] = 200;  // magic + version + count, then family
-  EXPECT_FALSE(io::try_decode_artifact_cache(bad_family).ok());
+  EXPECT_FALSE(ca::try_decode_artifact_cache(bad_family).ok());
 }
 
 TEST(ArtifactCacheCodec, EmptyCacheRoundTrips) {
-  const io::Bytes encoded = io::encode_artifact_cache({});
-  EXPECT_TRUE(io::decode_artifact_cache(encoded).empty());
+  const io::Bytes encoded = ca::encode_artifact_cache({});
+  EXPECT_TRUE(ca::decode_artifact_cache(encoded).empty());
 }

@@ -23,7 +23,7 @@
 #include "cloud/service.hpp"
 #include "common/fault.hpp"
 #include "common/rng.hpp"
-#include "io/serialize.hpp"
+#include "floorplan/serialize.hpp"
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
@@ -288,7 +288,7 @@ ChaosRun run_backend(const cc::FaultPlan& plan, std::size_t threads,
     run.result = service.build_floor_plan(videos.front().building,
                                           videos.front().floor, frame);
   }
-  run.plan_bytes = crowdmap::io::encode_floorplan(run.result.plan);
+  run.plan_bytes = crowdmap::floorplan::encode_floorplan(run.result.plan);
   run.degradation = run.result.degradation.to_string();
   run.stats = service.stats();
   return run;

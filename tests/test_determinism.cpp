@@ -10,7 +10,7 @@
 #include "api/crowdmap.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
-#include "io/serialize.hpp"
+#include "floorplan/serialize.hpp"
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
@@ -43,7 +43,7 @@ crowdmap::io::Bytes serialized_run(std::uint64_t seed, std::size_t threads) {
   cs::generate_campaign_streaming(
       spec, options, seed,
       [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
-  return crowdmap::io::encode_floorplan(pipeline.run().plan);
+  return crowdmap::floorplan::encode_floorplan(pipeline.run().plan);
 }
 
 std::vector<cs::SensorRichVideo> campaign_videos(std::uint64_t seed) {
@@ -79,7 +79,7 @@ std::string cold_plan(const std::vector<cs::SensorRichVideo>& videos,
   }
   const auto response = client.build_plan(
       {videos.front().building, videos.front().floor, std::nullopt});
-  const auto bytes = crowdmap::io::encode_floorplan(response.result.plan);
+  const auto bytes = crowdmap::floorplan::encode_floorplan(response.result.plan);
   return std::string(bytes.begin(), bytes.end());
 }
 
@@ -96,7 +96,7 @@ std::string incremental_plan(const std::vector<cs::SensorRichVideo>& videos,
   (void)client.build_plan({building, floor, std::nullopt});
   if (!client.submit_video(videos.back()).accepted) return {};
   const auto response = client.build_plan({building, floor, std::nullopt});
-  const auto bytes = crowdmap::io::encode_floorplan(response.result.plan);
+  const auto bytes = crowdmap::floorplan::encode_floorplan(response.result.plan);
   return std::string(bytes.begin(), bytes.end());
 }
 

@@ -14,7 +14,7 @@
 #include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
-#include "io/serialize.hpp"
+#include "floorplan/serialize.hpp"
 #include "obs/flight.hpp"
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
@@ -236,7 +236,7 @@ PipelineRun seeded_run(std::size_t threads, bool flight_enabled,
       [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
 
   PipelineRun out;
-  out.plan_bytes = crowdmap::io::encode_floorplan(pipeline.run().plan);
+  out.plan_bytes = crowdmap::floorplan::encode_floorplan(pipeline.run().plan);
   if (obs::FlightRecorder* flight = pipeline.flight_recorder()) {
     out.deterministic_dump = flight->deterministic_dump();
     out.dropped = flight->dropped();
@@ -301,7 +301,7 @@ TEST(Flight, ChaosFaultFiresAnomalyDump) {
       spec, options, 777,
       [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
   const auto result = pipeline.run();
-  ASSERT_FALSE(crowdmap::io::encode_floorplan(result.plan).empty());
+  ASSERT_FALSE(crowdmap::floorplan::encode_floorplan(result.plan).empty());
 
   EXPECT_GE(pipeline.flight_recorder()->anomaly_dumps(), 1u);
   EXPECT_GE(dumps, 1);

@@ -6,13 +6,19 @@
 #include <filesystem>
 
 #include "common/rng.hpp"
+#include "floorplan/serialize.hpp"
 #include "io/image_io.hpp"
 #include "io/serialize.hpp"
+#include "sensors/serialize.hpp"
 #include "sim/buildings.hpp"
 #include "sim/user_sim.hpp"
+#include "trajectory/serialize.hpp"
 #include "trajectory/trajectory.hpp"
 
 namespace cio = crowdmap::io;
+namespace csens = crowdmap::sensors;
+namespace ctraj = crowdmap::trajectory;
+namespace cfp = crowdmap::floorplan;
 namespace cs = crowdmap::sim;
 namespace cc = crowdmap::common;
 
@@ -69,8 +75,8 @@ TEST(Serialize, TruncatedReadThrows) {
 
 TEST(Serialize, ImuRoundTrip) {
   const auto video = sample_video();
-  const auto bytes = cio::encode_imu(video.imu);
-  const auto decoded = cio::decode_imu(bytes);
+  const auto bytes = csens::encode_imu(video.imu);
+  const auto decoded = csens::decode_imu(bytes);
   ASSERT_EQ(decoded.samples.size(), video.imu.samples.size());
   EXPECT_EQ(decoded.sample_rate_hz, video.imu.sample_rate_hz);
   for (std::size_t i = 0; i < decoded.samples.size(); i += 97) {
@@ -82,15 +88,15 @@ TEST(Serialize, ImuRoundTrip) {
 
 TEST(Serialize, ImuWrongMagicThrows) {
   cio::Bytes garbage = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
-  EXPECT_THROW((void)cio::decode_imu(garbage), cio::DecodeError);
+  EXPECT_THROW((void)csens::decode_imu(garbage), cio::DecodeError);
 }
 
 // ------------------------------------------------------------ trajectory ---
 
 TEST(Serialize, TrajectoryRoundTrip) {
   const auto traj = crowdmap::trajectory::extract_trajectory(sample_video());
-  const auto bytes = cio::encode_trajectory(traj);
-  const auto decoded = cio::decode_trajectory(bytes);
+  const auto bytes = ctraj::encode_trajectory(traj);
+  const auto decoded = ctraj::decode_trajectory(bytes);
 
   EXPECT_EQ(decoded.video_id, traj.video_id);
   EXPECT_EQ(decoded.building, traj.building);
@@ -120,10 +126,10 @@ TEST(Serialize, TrajectoryRoundTrip) {
 
 TEST(Serialize, TrajectoryTamperedLengthThrows) {
   const auto traj = crowdmap::trajectory::extract_trajectory(sample_video());
-  auto bytes = cio::encode_trajectory(traj);
+  auto bytes = ctraj::encode_trajectory(traj);
   // Corrupt a length field deep inside: set four consecutive bytes to 0xFF.
   for (std::size_t i = 40; i < 44 && i < bytes.size(); ++i) bytes[i] = 0xFF;
-  EXPECT_THROW((void)cio::decode_trajectory(bytes), cio::DecodeError);
+  EXPECT_THROW((void)ctraj::decode_trajectory(bytes), cio::DecodeError);
 }
 
 // ------------------------------------------------------------- floor plan ---
@@ -143,8 +149,8 @@ TEST(Serialize, FloorPlanRoundTrip) {
   room.layout_score = 0.31;
   plan.rooms.push_back(room);
 
-  const auto bytes = cio::encode_floorplan(plan);
-  const auto decoded = cio::decode_floorplan(bytes);
+  const auto bytes = cfp::encode_floorplan(plan);
+  const auto decoded = cfp::decode_floorplan(bytes);
   EXPECT_EQ(decoded.hallway.count_set(), plan.hallway.count_set());
   EXPECT_EQ(decoded.hallway.width(), plan.hallway.width());
   ASSERT_EQ(decoded.rooms.size(), 1u);
@@ -157,8 +163,8 @@ TEST(Serialize, FloorPlanRoundTrip) {
 
 TEST(Serialize, FloorPlanWrongMagicThrows) {
   const auto traj = crowdmap::trajectory::extract_trajectory(sample_video());
-  const auto bytes = cio::encode_trajectory(traj);
-  EXPECT_THROW((void)cio::decode_floorplan(bytes), cio::DecodeError);
+  const auto bytes = ctraj::encode_trajectory(traj);
+  EXPECT_THROW((void)cfp::decode_floorplan(bytes), cio::DecodeError);
 }
 
 // --------------------------------------------------------------- image IO ---

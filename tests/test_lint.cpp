@@ -197,6 +197,36 @@ TEST(Lint, EscapeDoesNotLeakBeyondTheNextLine) {
       "raw-rng"));
 }
 
+TEST(Lint, MultilineEscapeSpansCommentBlock) {
+  // An allow(...) list may continue across consecutive // comment lines;
+  // the escape covers every spanned line plus the statement below the block.
+  const auto findings = cl::lint_content(
+      "src/a.cpp",
+      "// crowdmap-lint: allow(raw-rng,\n"
+      "//   wall-clock)\n"
+      "long t = time(nullptr) + rand();\n");
+  EXPECT_FALSE(has_rule(findings, "raw-rng"));
+  EXPECT_FALSE(has_rule(findings, "wall-clock"));
+}
+
+TEST(Lint, MultilineEscapeOnlyListsItsRules) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "// crowdmap-lint: allow(wall-clock,\n"
+                       "//   unordered-container)\n"
+                       "int x = rand();\n"),
+      "raw-rng"));
+}
+
+TEST(Lint, UnterminatedMultilineEscapeDoesNotSuppress) {
+  // The list never closes before a non-comment line, so no escape applies.
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/a.cpp",
+                       "// crowdmap-lint: allow(raw-rng,\n"
+                       "int x = rand();\n"),
+      "raw-rng"));
+}
+
 // --------------------------------------------------------- fault-point-name ---
 
 TEST(Lint, FaultPointNameFiresOnFromNameParse) {

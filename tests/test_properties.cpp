@@ -10,7 +10,8 @@
 #include "common/mathutil.hpp"
 #include "common/rng.hpp"
 #include "geometry/polygon.hpp"
-#include "io/serialize.hpp"
+#include "floorplan/serialize.hpp"
+#include "sensors/serialize.hpp"
 #include "room/layout.hpp"
 #include "sensors/dead_reckoning.hpp"
 #include "sim/buildings.hpp"
@@ -218,7 +219,7 @@ TEST_P(SerializationProperty, ImuRoundTripExact) {
     stream.samples.push_back({rng.uniform(0, 100), rng.normal(9.81, 3),
                               rng.normal(0, 1), rng.uniform(-3.14, 3.14)});
   }
-  const auto decoded = crowdmap::io::decode_imu(crowdmap::io::encode_imu(stream));
+  const auto decoded = crowdmap::sensors::decode_imu(crowdmap::sensors::encode_imu(stream));
   ASSERT_EQ(decoded.samples.size(), stream.samples.size());
   for (std::size_t i = 0; i < decoded.samples.size(); ++i) {
     EXPECT_EQ(decoded.samples[i].t, stream.samples[i].t);
@@ -262,7 +263,7 @@ TEST(IncrementalProperty, AnyUploadInterleavingMatchesTheBatchBuild) {
 
   const auto build_bytes = [&](ap::Client& client) {
     const auto response = client.build_plan({building, floor, std::nullopt});
-    const auto bytes = crowdmap::io::encode_floorplan(response.result.plan);
+    const auto bytes = crowdmap::floorplan::encode_floorplan(response.result.plan);
     return std::string(bytes.begin(), bytes.end());
   };
   const auto fresh_client = [] {

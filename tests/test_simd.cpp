@@ -21,7 +21,7 @@
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "core/pipeline.hpp"
-#include "io/serialize.hpp"
+#include "floorplan/serialize.hpp"
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 #include "vision/matcher.hpp"
@@ -587,7 +587,7 @@ TEST(SimdPipeline, FloorPlanBytesInvariantToDispatchAndThreads) {
     cs::generate_campaign_streaming(
         spec, options, 0x51D8,
         [&pipeline](cs::SensorRichVideo&& video) { pipeline.ingest(video); });
-    return crowdmap::io::encode_floorplan(pipeline.run().plan);
+    return crowdmap::floorplan::encode_floorplan(pipeline.run().plan);
   };
   const auto baseline = run(false, 1);
   ASSERT_FALSE(baseline.empty());

@@ -1,0 +1,235 @@
+#include "analyze/token.hpp"
+
+#include <cctype>
+
+namespace crowdmap::analyze {
+
+namespace {
+
+/// One logical character after line-splice resolution: `text[i]` with the
+/// physical line it came from. Building this up front means every later
+/// stage (comments, literals, directives) sees spliced lines already joined,
+/// which is exactly how the preprocessor behaves — a `// comment \` splice
+/// swallows the next physical line into the comment.
+struct LogicalChar {
+  char c;
+  int line;
+};
+
+std::vector<LogicalChar> splice(std::string_view src) {
+  std::vector<LogicalChar> out;
+  out.reserve(src.size());
+  int line = 1;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\\') {
+      // A backslash followed by a newline (optionally \r\n) is a splice.
+      std::size_t j = i + 1;
+      if (j < src.size() && src[j] == '\r') ++j;
+      if (j < src.size() && src[j] == '\n') {
+        ++line;
+        i = j;
+        continue;
+      }
+    }
+    out.push_back({c, line});
+    if (c == '\n') ++line;
+  }
+  return out;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when the identifier ending at position `end` (exclusive) is a valid
+/// string-literal prefix (u8, u, U, L, R, uR, u8R, UR, LR).
+bool string_prefix(const std::string& ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L" ||
+         ident == "R" || ident == "uR" || ident == "u8R" || ident == "UR" ||
+         ident == "LR";
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  const std::vector<LogicalChar> text = splice(src);
+  const std::size_t n = text.size();
+  std::vector<Token> tokens;
+
+  const auto at = [&](std::size_t i) -> char { return i < n ? text[i].c : '\0'; };
+
+  // True when only whitespace precedes position `i` on its logical line —
+  // i.e. a '#' here starts a directive.
+  bool line_start = true;
+
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = text[i].c;
+    const int line = text[i].line;
+
+    // --- whitespace ---
+    if (c == '\n') {
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // --- comments ---
+    if (c == '/' && at(i + 1) == '/') {
+      while (i < n && text[i].c != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      i += 2;
+      while (i < n && !(text[i].c == '*' && at(i + 1) == '/')) ++i;
+      i = i < n ? i + 2 : n;
+      continue;
+    }
+
+    // --- preprocessor directive (captured whole; comments elided) ---
+    if (c == '#' && line_start) {
+      std::string body;
+      ++i;
+      while (i < n && text[i].c != '\n') {
+        if (text[i].c == '/' && at(i + 1) == '/') {
+          while (i < n && text[i].c != '\n') ++i;
+          break;
+        }
+        if (text[i].c == '/' && at(i + 1) == '*') {
+          i += 2;
+          while (i < n && !(text[i].c == '*' && at(i + 1) == '/')) ++i;
+          i = i < n ? i + 2 : n;
+          body += ' ';
+          continue;
+        }
+        body += text[i].c;
+        ++i;
+      }
+      tokens.push_back({TokKind::kDirective, body, line});
+      continue;
+    }
+    line_start = false;
+
+    // --- identifiers (and possibly prefixed string literals) ---
+    if (ident_start(c)) {
+      std::string ident;
+      while (i < n && ident_char(text[i].c)) ident += text[i++].c;
+      // R"delim( ... )delim" — raw string (with or without extra prefix).
+      if (at(i) == '"' && string_prefix(ident) && ident.back() == 'R') {
+        std::string delim;
+        std::size_t j = i + 1;
+        while (j < n && text[j].c != '(' && text[j].c != '\n' &&
+               delim.size() <= 16) {
+          delim += text[j++].c;
+        }
+        if (at(j) == '(') {
+          const std::string terminator = ")" + delim + "\"";
+          std::string body;
+          std::size_t k = j + 1;
+          while (k < n) {
+            bool match = true;
+            for (std::size_t t = 0; t < terminator.size(); ++t) {
+              if (at(k + t) != terminator[t]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) break;
+            body += text[k++].c;
+          }
+          tokens.push_back({TokKind::kString, body, line});
+          i = k < n ? k + terminator.size() : n;
+          continue;
+        }
+        // 'R' not followed by a raw string: fall through as identifier.
+      }
+      if (at(i) == '"' && string_prefix(ident)) {
+        // Prefixed ordinary string (u8"...", L"...") — scan as a string.
+        std::string body;
+        ++i;
+        while (i < n && text[i].c != '"') {
+          if (text[i].c == '\\' && i + 1 < n) body += text[i++].c;
+          body += text[i++].c;
+        }
+        if (i < n) ++i;
+        tokens.push_back({TokKind::kString, body, line});
+        continue;
+      }
+      tokens.push_back({TokKind::kIdentifier, ident, line});
+      continue;
+    }
+
+    // --- numbers (pp-number: digits, letters, ', and exponent signs) ---
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(at(i + 1))))) {
+      std::string num;
+      while (i < n) {
+        const char d = text[i].c;
+        if (ident_char(d) || d == '.' || d == '\'') {
+          num += d;
+          ++i;
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+              (at(i) == '+' || at(i) == '-')) {
+            num += text[i++].c;
+          }
+          continue;
+        }
+        break;
+      }
+      tokens.push_back({TokKind::kNumber, num, line});
+      continue;
+    }
+
+    // --- string literal ---
+    if (c == '"') {
+      std::string body;
+      ++i;
+      while (i < n && text[i].c != '"') {
+        if (text[i].c == '\\' && i + 1 < n) body += text[i++].c;
+        body += text[i++].c;
+      }
+      if (i < n) ++i;
+      tokens.push_back({TokKind::kString, body, line});
+      continue;
+    }
+
+    // --- char literal ---
+    if (c == '\'') {
+      std::string body;
+      ++i;
+      while (i < n && text[i].c != '\'') {
+        if (text[i].c == '\\' && i + 1 < n) body += text[i++].c;
+        body += text[i++].c;
+      }
+      if (i < n) ++i;
+      tokens.push_back({TokKind::kChar, body, line});
+      continue;
+    }
+
+    // --- punctuation; keep :: and -> whole (scope/member chains) ---
+    if (c == ':' && at(i + 1) == ':') {
+      tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && at(i + 1) == '>') {
+      tokens.push_back({TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace crowdmap::analyze

@@ -22,7 +22,7 @@
 #include "eval/harness.hpp"
 #include "mapping/coverage.hpp"
 #include "io/image_io.hpp"
-#include "io/serialize.hpp"
+#include "floorplan/serialize.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "obs/trace_export.hpp"
@@ -280,7 +280,7 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << pgm_path << "\n";
   }
   if (!plan_path.empty()) {
-    const auto bytes = io::encode_floorplan(run.result.plan);
+    const auto bytes = floorplan::encode_floorplan(run.result.plan);
     std::ofstream out(plan_path, std::ios::binary);
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));

@@ -122,6 +122,9 @@ std::vector<std::string> stripped_lines(std::string_view content) {
 /// Escape comments per 1-based line: "crowdmap-lint: allow(a, b)" adds
 /// {"a","b"} for that line. An escape suppresses findings on its own line
 /// and on the line directly below (so it can sit above a long statement).
+/// A long allow(...) list may continue across consecutive '//' comment
+/// lines until its closing parenthesis; the whole block then escapes every
+/// line it spans plus the line directly below it.
 std::map<int, std::set<std::string>> collect_escapes(std::string_view content) {
   std::map<int, std::set<std::string>> escapes;
   int line = 1;
@@ -133,15 +136,50 @@ std::map<int, std::set<std::string>> collect_escapes(std::string_view content) {
     const std::size_t tag = text.find("crowdmap-lint:");
     if (tag != std::string_view::npos) {
       const std::size_t open = text.find("allow(", tag);
-      const std::size_t close =
-          open == std::string_view::npos ? std::string_view::npos
-                                         : text.find(')', open);
-      if (open != std::string_view::npos && close != std::string_view::npos) {
-        std::string names(text.substr(open + 6, close - open - 6));
-        std::replace(names.begin(), names.end(), ',', ' ');
-        std::istringstream in(names);
-        std::string name;
-        while (in >> name) escapes[line].insert(name);
+      if (open != std::string_view::npos) {
+        std::string names;
+        int last_line = line;
+        bool closed = false;
+        const std::size_t close = text.find(')', open);
+        if (close != std::string_view::npos) {
+          names.assign(text.substr(open + 6, close - open - 6));
+          closed = true;
+        } else {
+          // Multiline escape: keep consuming while the following lines are
+          // pure '//' comments, until the closing parenthesis.
+          names.assign(text.substr(open + 6));
+          std::size_t next = eol + 1;
+          while (next <= content.size() && !closed) {
+            std::size_t next_eol = content.find('\n', next);
+            if (next_eol == std::string_view::npos) next_eol = content.size();
+            std::string_view cont = content.substr(next, next_eol - next);
+            const std::size_t ws = cont.find_first_not_of(" \t");
+            if (ws == std::string_view::npos ||
+                cont.compare(ws, 2, "//") != 0) {
+              break;
+            }
+            cont.remove_prefix(ws + 2);
+            ++last_line;
+            const std::size_t cclose = cont.find(')');
+            if (cclose != std::string_view::npos) {
+              cont = cont.substr(0, cclose);
+              closed = true;
+            }
+            names.append(" ");
+            names.append(cont);
+            next = next_eol + 1;
+          }
+        }
+        if (closed) {
+          std::replace(names.begin(), names.end(), ',', ' ');
+          std::istringstream in(names);
+          std::string name;
+          std::set<std::string> rules;
+          while (in >> name) rules.insert(name);
+          for (int l = line; l <= last_line; ++l) {
+            escapes[l].insert(rules.begin(), rules.end());
+          }
+        }
       }
     }
     pos = eol + 1;

@@ -14,7 +14,8 @@ Client::Client(ClientOptions options)
       service_(
           std::move(options.config),
           [this](const cloud::Document& doc) { return decode(doc); },
-          options.workers, std::move(options.registry)) {}
+          options.workers, std::move(options.registry),
+          options.storage_env) {}
 
 std::optional<sim::SensorRichVideo> Client::decode(const cloud::Document& doc) {
   {
@@ -83,6 +84,18 @@ bool Client::persist_artifact_cache(const std::string& building, int floor) {
 
 std::size_t Client::warm_artifact_cache_from(const cloud::DocumentStore& store) {
   return service_.warm_artifact_cache_from(store);
+}
+
+common::Expected<storage::RecoveryReport> Client::recover_storage() {
+  return service_.recover_from_storage();
+}
+
+storage::Status Client::checkpoint_storage() {
+  return service_.checkpoint_storage();
+}
+
+cloud::DurabilityStats Client::durability_stats() const {
+  return service_.stats().durability;
 }
 
 std::optional<obs::FlightDump> Client::flight_dump(bool deterministic) {

@@ -46,6 +46,10 @@ struct ClientOptions {
   cloud::VideoDecoder decoder;
   /// Wire chunk size for submit_upload/submit_video payload chunking.
   std::size_t chunk_bytes = 4096;
+  /// Filesystem the durable store writes through (borrowed, must outlive
+  /// the client); null uses the real posix env. Only consulted when
+  /// config.storage.dir is non-empty. Chaos tests pass a storage::FaultEnv.
+  storage::Env* storage_env = nullptr;
 };
 
 /// One chunked upload through the ingestion front door.
@@ -120,6 +124,20 @@ class Client {
   /// warm_artifact_cache_from() on a future client restores it.
   bool persist_artifact_cache(const std::string& building, int floor = 1);
   std::size_t warm_artifact_cache_from(const cloud::DocumentStore& store);
+
+  /// Replays the durable store (config.storage.dir) back into the backend:
+  /// snapshot + WAL with damaged tails quarantined, artifact-cache
+  /// warm-start, extraction re-dispatch. Never throws; "storage.disabled"
+  /// when persistence is off. Call once, before submitting new uploads
+  /// (docs/DURABILITY.md).
+  common::Expected<storage::RecoveryReport> recover_storage();
+
+  /// Drains, persists artifact caches, snapshots the store and compacts the
+  /// WAL — the clean-shutdown/flush path of a durable backend.
+  storage::Status checkpoint_storage();
+
+  /// Durable-store facts (stats().durability shorthand).
+  [[nodiscard]] cloud::DurabilityStats durability_stats() const;
 
   /// On-demand dump of the backend's flight-recorder rings; std::nullopt
   /// when ClientOptions::config.flight.enabled == false. `deterministic`

@@ -4,13 +4,19 @@
 
 namespace crowdmap::cloud {
 
+void DocumentStore::set_journal(Journal* journal) {
+  common::MutexLock lock(mutex_);
+  journal_ = journal;
+}
+
 bool DocumentStore::put(Document doc) {
   common::MutexLock lock(mutex_);
   const auto it = docs_.find(doc.id);
   const bool fresh = it == docs_.end();
   if (!fresh) index_remove_locked(it->second);
   floor_index_[{doc.building, doc.floor}].push_back(doc.id);
-  docs_[doc.id] = std::move(doc);
+  Document& stored = docs_[doc.id] = std::move(doc);
+  if (journal_ != nullptr) journal_->on_put(stored);
   return fresh;
 }
 
@@ -27,6 +33,7 @@ bool DocumentStore::erase(const std::string& id) {
   if (it == docs_.end()) return false;
   index_remove_locked(it->second);
   docs_.erase(it);
+  if (journal_ != nullptr) journal_->on_erase(id);
   return true;
 }
 
@@ -64,7 +71,8 @@ void DocumentStore::quarantine(Document doc, const std::string& reason) {
     index_remove_locked(it->second);
     docs_.erase(it);
   }
-  quarantined_[doc.id] = std::move(doc);
+  Document& stored = quarantined_[doc.id] = std::move(doc);
+  if (journal_ != nullptr) journal_->on_quarantine(stored, reason);
 }
 
 std::optional<Document> DocumentStore::get_quarantined(
@@ -86,6 +94,36 @@ std::vector<std::string> DocumentStore::quarantined_ids() const {
 std::size_t DocumentStore::quarantined_count() const {
   common::MutexLock lock(mutex_);
   return quarantined_.size();
+}
+
+std::vector<Document> DocumentStore::export_documents() const {
+  common::MutexLock lock(mutex_);
+  std::vector<Document> out;
+  out.reserve(docs_.size());
+  for (const auto& [id, doc] : docs_) out.push_back(doc);
+  return out;
+}
+
+std::vector<Document> DocumentStore::export_quarantined() const {
+  common::MutexLock lock(mutex_);
+  std::vector<Document> out;
+  out.reserve(quarantined_.size());
+  for (const auto& [id, doc] : quarantined_) out.push_back(doc);
+  return out;
+}
+
+void DocumentStore::with_exported_state(
+    const std::function<void(const std::vector<Document>& docs,
+                             const std::vector<Document>& quarantined)>& fn)
+    const {
+  common::MutexLock lock(mutex_);
+  std::vector<Document> docs;
+  docs.reserve(docs_.size());
+  for (const auto& [id, doc] : docs_) docs.push_back(doc);
+  std::vector<Document> quarantined;
+  quarantined.reserve(quarantined_.size());
+  for (const auto& [id, doc] : quarantined_) quarantined.push_back(doc);
+  fn(docs, quarantined);
 }
 
 }  // namespace crowdmap::cloud

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -25,7 +26,33 @@ struct Document {
 
 class DocumentStore {
  public:
-  /// Inserts or replaces by document id. Returns false on replace.
+  /// Mutation hook for the durable backend (cloud/durable_store.hpp). Each
+  /// callback fires under the store's lock, after the in-memory mutation,
+  /// so the journal's op order always matches the in-memory outcome under
+  /// concurrent writers. Implementations must not call back into the store
+  /// (the lock is not recursive) and should be fast — every put/erase/
+  /// quarantine pays for the callback inline.
+  class Journal {
+   public:
+    virtual ~Journal() = default;
+    virtual void on_put(const Document& doc) = 0;
+    virtual void on_erase(const std::string& id) = 0;
+    virtual void on_quarantine(const Document& doc,
+                               const std::string& reason) = 0;
+  };
+
+  /// Attaches (or detaches, with nullptr) the mutation journal. Mutations
+  /// already in flight complete under the previous journal.
+  void set_journal(Journal* journal) CM_EXCLUDES(mutex_);
+
+  /// Inserts or replaces by document id. Returns true when `doc.id` was not
+  /// present (fresh insert) and false when an existing document was
+  /// replaced — callers branch on it to distinguish first-time uploads from
+  /// re-uploads. Quarantined-id collision: putting an id that currently sits
+  /// in the quarantine collection inserts into the main collection (and
+  /// returns true, since the *main* collection had no such id) while the
+  /// quarantine record stays untouched — a re-upload never expunges the
+  /// audit trail, and get()/get_quarantined() then both answer for the id.
   bool put(Document doc) CM_EXCLUDES(mutex_);
 
   [[nodiscard]] std::optional<Document> get(const std::string& id) const
@@ -55,8 +82,29 @@ class DocumentStore {
       CM_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t quarantined_count() const CM_EXCLUDES(mutex_);
 
+  /// Snapshot exports for the durable backend's checkpoints: every live
+  /// (resp. quarantined) document, in sorted-id order — the deterministic
+  /// iteration order the byte-identical snapshot contract needs.
+  [[nodiscard]] std::vector<Document> export_documents() const
+      CM_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<Document> export_quarantined() const
+      CM_EXCLUDES(mutex_);
+
+  /// Runs `fn` over a consistent export of both collections while holding
+  /// the store's lock. Every journal append also fires under this lock, so
+  /// a caller that persists the exported state before returning observes a
+  /// true prefix of the mutation stream: no op record can land between the
+  /// export and the persist. The durable backend's checkpoint depends on
+  /// exactly this to retire WAL segments without losing a racing append.
+  /// `fn` must not call back into the store (the lock is not recursive).
+  void with_exported_state(
+      const std::function<void(const std::vector<Document>& docs,
+                               const std::vector<Document>& quarantined)>& fn)
+      const CM_EXCLUDES(mutex_);
+
  private:
   mutable common::Mutex mutex_;
+  Journal* journal_ CM_GUARDED_BY(mutex_) = nullptr;
   std::map<std::string, Document> docs_ CM_GUARDED_BY(mutex_);
   std::map<std::string, Document> quarantined_ CM_GUARDED_BY(mutex_);
   // Secondary index: (building, floor) -> ids.

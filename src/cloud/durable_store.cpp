@@ -1,0 +1,258 @@
+#include "cloud/durable_store.hpp"
+
+#include <utility>
+
+namespace crowdmap::cloud {
+
+namespace {
+
+constexpr std::uint8_t kOpCodecVersion = 1;
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpErase = 2;
+constexpr std::uint8_t kOpQuarantine = 3;
+constexpr std::uint32_t kStateVersion = 1;
+
+void encode_document(io::Writer& w, const Document& doc) {
+  w.str(doc.id);
+  w.str(doc.building);
+  w.i32(doc.floor);
+  w.u32(static_cast<std::uint32_t>(doc.metadata.size()));
+  for (const auto& [key, value] : doc.metadata) {  // std::map: sorted
+    w.str(key);
+    w.str(value);
+  }
+  w.u64(doc.payload.size());
+  w.bytes_raw(doc.payload);
+}
+
+Document decode_document(io::Reader& r) {
+  Document doc;
+  doc.id = r.str();
+  doc.building = r.str();
+  doc.floor = r.i32();
+  const std::uint32_t n_meta = r.u32();
+  io::check_count(n_meta, "document metadata");
+  for (std::uint32_t i = 0; i < n_meta; ++i) {
+    std::string key = r.str();
+    doc.metadata[std::move(key)] = r.str();
+  }
+  const std::uint64_t n_payload = r.u64();
+  io::check_count(n_payload, "document payload");
+  doc.payload.reserve(static_cast<std::size_t>(n_payload));
+  for (std::uint64_t i = 0; i < n_payload; ++i) doc.payload.push_back(r.u8());
+  return doc;
+}
+
+}  // namespace
+
+io::Bytes encode_put_op(const Document& doc) {
+  io::Writer w;
+  w.u8(kOpCodecVersion);
+  w.u8(kOpPut);
+  encode_document(w, doc);
+  return std::move(w).take();
+}
+
+io::Bytes encode_erase_op(const std::string& id) {
+  io::Writer w;
+  w.u8(kOpCodecVersion);
+  w.u8(kOpErase);
+  w.str(id);
+  return std::move(w).take();
+}
+
+io::Bytes encode_quarantine_op(const Document& doc, const std::string& reason) {
+  io::Writer w;
+  w.u8(kOpCodecVersion);
+  w.u8(kOpQuarantine);
+  encode_document(w, doc);
+  w.str(reason);
+  return std::move(w).take();
+}
+
+io::Bytes encode_store_state(const DocumentStore& store) {
+  return encode_store_state(store.export_documents(),
+                            store.export_quarantined());
+}
+
+io::Bytes encode_store_state(const std::vector<Document>& docs,
+                             const std::vector<Document>& quarantined) {
+  io::Writer w;
+  w.u32(kStateVersion);
+  w.u64(docs.size());
+  for (const Document& doc : docs) encode_document(w, doc);
+  w.u64(quarantined.size());
+  for (const Document& doc : quarantined) encode_document(w, doc);
+  return std::move(w).take();
+}
+
+DurableDocumentStore::DurableDocumentStore(
+    DocumentStore& store, storage::Env& env, DurableStoreOptions options,
+    std::shared_ptr<obs::MetricsRegistry> registry, obs::FlightRecorder* flight)
+    : store_(store),
+      log_(env,
+           storage::LogStoreOptions{options.dir, options.segment_bytes,
+                                    options.snapshot_every, options.fsync},
+           std::move(registry), flight) {}
+
+DurableDocumentStore::~DurableDocumentStore() {
+  if (attached_) store_.set_journal(nullptr);
+}
+
+void DurableDocumentStore::apply_record(const io::Bytes& record) {
+  auto applied = io::expected_decode([&] {
+    io::Reader r(record);
+    if (r.u8() != kOpCodecVersion) throw io::DecodeError("op codec version");
+    const std::uint8_t op = r.u8();
+    switch (op) {
+      case kOpPut: {
+        Document doc = decode_document(r);
+        if (!r.exhausted()) throw io::DecodeError("put op trailing bytes");
+        store_.put(std::move(doc));
+        break;
+      }
+      case kOpErase: {
+        const std::string id = r.str();
+        if (!r.exhausted()) throw io::DecodeError("erase op trailing bytes");
+        store_.erase(id);
+        break;
+      }
+      case kOpQuarantine: {
+        Document doc = decode_document(r);
+        const std::string reason = r.str();
+        if (!r.exhausted()) {
+          throw io::DecodeError("quarantine op trailing bytes");
+        }
+        store_.quarantine(std::move(doc), reason);
+        break;
+      }
+      default:
+        throw io::DecodeError("unknown op " + std::to_string(op));
+    }
+    return true;
+  });
+  if (!applied) {
+    // CRC-valid but undecodable (codec drift): keep the evidence, keep
+    // replaying — op records are independent.
+    Document evidence;
+    evidence.id =
+        "sys/wal-damage/replay#" + std::to_string(replay_damage_++);
+    evidence.building = kWalDamageBuilding;
+    evidence.floor = 0;
+    evidence.payload = record;
+    store_.quarantine(std::move(evidence), applied.error().message);
+  }
+}
+
+common::Expected<storage::RecoveryReport> DurableDocumentStore::open_and_recover() {
+  auto report_or = log_.open(
+      [&](const io::Bytes& state) -> storage::Status {
+        auto restored = io::expected_decode([&] {
+          io::Reader r(state);
+          if (r.u32() != kStateVersion) {
+            throw io::DecodeError("state version");
+          }
+          const std::uint64_t n_docs = r.u64();
+          io::check_count(n_docs, "snapshot documents");
+          for (std::uint64_t i = 0; i < n_docs; ++i) {
+            store_.put(decode_document(r));
+          }
+          const std::uint64_t n_quarantined = r.u64();
+          io::check_count(n_quarantined, "snapshot quarantined");
+          for (std::uint64_t i = 0; i < n_quarantined; ++i) {
+            Document doc = decode_document(r);
+            const std::string reason = doc.metadata.count("quarantine_reason")
+                                           ? doc.metadata.at("quarantine_reason")
+                                           : "unknown";
+            store_.quarantine(std::move(doc), reason);
+          }
+          if (!r.exhausted()) throw io::DecodeError("state trailing bytes");
+          return true;
+        });
+        if (!restored) {
+          return common::make_error("storage.snapshot_corrupt",
+                                    restored.error().message);
+        }
+        return storage::ok_status();
+      },
+      [&](const io::Bytes& record) { apply_record(record); });
+  if (!report_or) return report_or;
+  const storage::RecoveryReport& report = report_or.value();
+
+  // Preserve damaged tail records as auditable quarantine documents.
+  for (const storage::QuarantinedRecord& damaged : report.quarantined) {
+    Document evidence;
+    evidence.id = "sys/wal-damage/" + damaged.segment + "#" +
+                  std::to_string(damaged.index);
+    evidence.building = kWalDamageBuilding;
+    evidence.floor = 0;
+    evidence.metadata["wal_segment"] = damaged.segment;
+    evidence.payload = damaged.bytes;
+    store_.quarantine(std::move(evidence), damaged.reason);
+  }
+
+  recovered_ = true;
+  recovery_snapshot_loaded_ = report.snapshot_loaded;
+  recovery_records_replayed_ = report.records_replayed;
+  recovery_truncated_records_ = report.truncated_records();
+
+  // A dirty recovery checkpoints before any new mutation: the truncated
+  // segment is retired so its damage can never be re-read, and the damage
+  // evidence itself becomes durable.
+  if (!report.quarantined.empty() || replay_damage_ != 0) {
+    if (storage::Status s = checkpoint(); !s) return s.error();
+  }
+
+  store_.set_journal(this);
+  attached_ = true;
+  return report_or;
+}
+
+storage::Status DurableDocumentStore::checkpoint() {
+  // store lock -> log lock, matching the journal append path: no op record
+  // can slip between the state export and the segment retirement.
+  storage::Status status = storage::ok_status();
+  store_.with_exported_state(
+      [&](const std::vector<Document>& docs,
+          const std::vector<Document>& quarantined) {
+        status = log_.checkpoint(encode_store_state(docs, quarantined));
+      });
+  return status;
+}
+
+void DurableDocumentStore::maybe_checkpoint() {
+  if (log_.checkpoint_due()) checkpoint();
+}
+
+DurabilityStats DurableDocumentStore::stats() const {
+  const storage::LogStructuredStore::Stats log_stats = log_.stats();
+  DurabilityStats out;
+  out.enabled = true;
+  out.recovered = recovered_;
+  out.healthy = log_stats.healthy;
+  out.wal_appends = log_stats.appends;
+  out.wal_append_failures = log_stats.append_failures;
+  out.wal_bytes = log_stats.bytes_appended;
+  out.segments_created = log_stats.segments_created;
+  out.live_segments = log_stats.live_segments;
+  out.checkpoints = log_stats.checkpoints;
+  out.recovery_snapshot_loaded = recovery_snapshot_loaded_;
+  out.recovery_records_replayed = recovery_records_replayed_;
+  out.recovery_truncated_records = recovery_truncated_records_;
+  return out;
+}
+
+void DurableDocumentStore::on_put(const Document& doc) {
+  log_.append(encode_put_op(doc));
+}
+
+void DurableDocumentStore::on_erase(const std::string& id) {
+  log_.append(encode_erase_op(id));
+}
+
+void DurableDocumentStore::on_quarantine(const Document& doc,
+                                         const std::string& reason) {
+  log_.append(encode_quarantine_op(doc, reason));
+}
+
+}  // namespace crowdmap::cloud

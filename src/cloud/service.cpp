@@ -26,7 +26,8 @@ std::string artifact_cache_doc_id(const std::string& building, int floor) {
 
 CrowdMapService::CrowdMapService(core::PipelineConfig config,
                                  VideoDecoder decoder, std::size_t workers,
-                                 std::shared_ptr<obs::MetricsRegistry> registry)
+                                 std::shared_ptr<obs::MetricsRegistry> registry,
+                                 storage::Env* storage_env)
     : config_(std::move(config)),
       decoder_(std::move(decoder)),
       registry_(registry ? std::move(registry)
@@ -50,6 +51,9 @@ CrowdMapService::CrowdMapService(core::PipelineConfig config,
   sensor_dropouts_ = &registry_->counter(
       "crowdmap_sensor_dropouts_injected_total", {},
       "Uploads whose sensor tail was truncated by the chaos plan");
+  cache_warmstart_rejected_ = &registry_->counter(
+      "crowdmap_cache_warmstart_rejected_total", {},
+      "Artifact-cache warm-start snapshots rejected as truncated or corrupt");
   queue_depth_ = &registry_->gauge("crowdmap_worker_queue_depth", {},
                                    "Extraction tasks waiting in the pool");
   extract_seconds_ = &registry_->histogram(
@@ -63,6 +67,17 @@ CrowdMapService::CrowdMapService(core::PipelineConfig config,
     opts.ring_capacity = config_.flight.ring_capacity;
     opts.dump_on_anomaly = config_.flight.dump_on_anomaly;
     flight_ = std::make_unique<obs::FlightRecorder>(opts);
+  }
+  if (!config_.storage.dir.empty()) {
+    storage::Env& env =
+        storage_env != nullptr ? *storage_env : storage::posix_env();
+    DurableStoreOptions opts;
+    opts.dir = config_.storage.dir;
+    opts.segment_bytes = config_.storage.segment_bytes;
+    opts.snapshot_every = config_.storage.snapshot_every;
+    opts.fsync = config_.storage.fsync;
+    durable_ = std::make_unique<DurableDocumentStore>(store_, env, opts,
+                                                      registry_, flight_.get());
   }
   pool_.set_queue_observer(
       [gauge = queue_depth_, flight = flight_.get()](std::size_t depth) {
@@ -165,7 +180,15 @@ void CrowdMapService::schedule_refresh(const FloorKey& key) {
 
 void CrowdMapService::on_upload_complete(const Document& doc) {
   uploads_completed_->increment();
-  // Decode + extract on the worker pool; the ingest thread returns at once.
+  dispatch_extraction(doc);
+  // Auto-checkpoint (storage.snapshot_every) rides the upload-completion
+  // path: the store's put for this upload has already been journaled, and
+  // the ingest thread holds no lock the checkpoint needs.
+  if (durable_ != nullptr) durable_->maybe_checkpoint();
+}
+
+void CrowdMapService::dispatch_extraction(const Document& doc) {
+  // Decode + extract on the worker pool; the calling thread returns at once.
   (void)pool_.submit([this, doc] {
     // Chaos: decode failure, keyed by the upload's stable identity so the
     // same plan loses the same uploads at any worker count. The document is
@@ -296,6 +319,7 @@ std::size_t CrowdMapService::warm_artifact_cache_from(
     }
     auto entries = cache::try_decode_artifact_cache(doc->payload);
     if (!entries) {
+      cache_warmstart_rejected_->increment();
       CROWDMAP_LOG(kWarn, "service")
           << "skipping malformed artifact-cache snapshot " << id << ": "
           << entries.error().message;
@@ -315,6 +339,47 @@ std::size_t CrowdMapService::warm_artifact_cache_from(
   return restored;
 }
 
+common::Expected<storage::RecoveryReport>
+CrowdMapService::recover_from_storage() {
+  if (durable_ == nullptr) {
+    return common::make_error("storage.disabled",
+                              "config.storage.dir is empty");
+  }
+  auto report = durable_->open_and_recover();
+  if (!report.ok()) return report;
+  // Warm the per-floor artifact caches before re-dispatching extraction, so
+  // the replayed refreshes reuse their predecessor's artifacts.
+  (void)warm_artifact_cache_from(store_);
+  // Planners are memory-only: rebuild each floor's corpus by re-running
+  // extraction over the recovered uploads. ingest() replaces by video_id,
+  // so replay converges to exactly one trajectory per recovered upload.
+  for (const Document& doc : store_.export_documents()) {
+    if (doc.building == kSystemBuilding) continue;
+    dispatch_extraction(doc);
+  }
+  return report;
+}
+
+storage::Status CrowdMapService::checkpoint_storage() {
+  if (durable_ == nullptr) {
+    return common::make_error("storage.disabled",
+                              "config.storage.dir is empty");
+  }
+  drain();
+  std::vector<FloorKey> keys;
+  {
+    common::MutexLock lock(mutex_);
+    keys.reserve(planners_.size());
+    for (const auto& [key, planner] : planners_) keys.push_back(key);
+  }
+  // Snapshot every floor's artifact cache into the store (journaled like any
+  // put) so the checkpoint carries warm-start state alongside the documents.
+  for (const FloorKey& key : keys) {
+    (void)persist_artifact_cache(key.first, key.second);
+  }
+  return durable_->checkpoint();
+}
+
 ServiceStats CrowdMapService::stats() const {
   ServiceStats out;
   out.uploads_completed = uploads_completed_->value();
@@ -324,7 +389,9 @@ ServiceStats CrowdMapService::stats() const {
   out.trajectories_extracted = trajectories_extracted_->value();
   out.trajectories_dropped = trajectories_dropped_->value();
   out.sensor_dropouts = sensor_dropouts_->value();
+  out.cache_warmstart_rejected = cache_warmstart_rejected_->value();
   out.ingest = ingest_->stats();
+  if (durable_ != nullptr) out.durability = durable_->stats();
   {
     common::MutexLock lock(mutex_);
     for (const auto& [key, planner] : planners_) {

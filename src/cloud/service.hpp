@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cloud/docstore.hpp"
+#include "cloud/durable_store.hpp"
 #include "cloud/ingest.hpp"
 #include "common/annotations.hpp"
 #include "common/thread_pool.hpp"
@@ -20,6 +21,7 @@
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
+#include "storage/env.hpp"
 
 namespace crowdmap::cloud {
 
@@ -48,6 +50,12 @@ struct ServiceStats {
   /// Artifact-cache totals summed over every floor's planner (zeros when
   /// caching is disabled via config.incremental.artifact_cache_bytes == 0).
   cache::ArtifactCacheStats artifact_cache;
+  /// Warm-start snapshots rejected as truncated/corrupt (the service fell
+  /// back to a cold build for those floors instead of failing).
+  std::size_t cache_warmstart_rejected = 0;
+  /// Durable-store facts (enabled == false when config.storage.dir is
+  /// empty; all other fields are then zero).
+  DurabilityStats durability;
 };
 
 /// End-to-end backend: ingestion -> async feature extraction -> per-floor
@@ -56,9 +64,14 @@ class CrowdMapService {
  public:
   /// `registry` defaults to a fresh service-local registry; pass a shared
   /// one to co-locate several services behind one exporter endpoint.
+  /// `storage_env` (borrowed, must outlive the service) overrides the
+  /// filesystem the durable store writes through — tests pass a FaultEnv;
+  /// nullptr uses the real posix env. Ignored when config.storage.dir is
+  /// empty (persistence disabled, the historical in-memory behavior).
   CrowdMapService(core::PipelineConfig config, VideoDecoder decoder,
                   std::size_t workers = 2,
-                  std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
+                  std::shared_ptr<obs::MetricsRegistry> registry = nullptr,
+                  storage::Env* storage_env = nullptr);
 
   /// Opens an upload session (the Task-1 geo-spatial annotation).
   void open_session(const std::string& upload_id, const std::string& building,
@@ -116,6 +129,22 @@ class CrowdMapService {
   std::size_t warm_artifact_cache_from(const DocumentStore& store)
       CM_EXCLUDES(mutex_);
 
+  /// Replays the durable store back into memory (docs/DURABILITY.md): opens
+  /// the log, restores snapshot + WAL with damaged tail records quarantined,
+  /// warms per-floor artifact caches from recovered snapshots, re-dispatches
+  /// extraction for every recovered upload (planner ingest is idempotent by
+  /// video_id), and attaches the journal so new mutations persist. Call once
+  /// before serving traffic; never throws. Errors ("storage.disabled" when
+  /// config.storage.dir is empty, manifest corruption, env failures) come
+  /// back through the Expected.
+  common::Expected<storage::RecoveryReport> recover_from_storage()
+      CM_EXCLUDES(mutex_);
+
+  /// Drains in-flight work, snapshots every floor's artifact cache into the
+  /// store, then checkpoints the durable log (snapshot + segment
+  /// compaction). The clean-shutdown path; also callable mid-flight.
+  storage::Status checkpoint_storage() CM_EXCLUDES(mutex_);
+
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const DocumentStore& store() const noexcept { return store_; }
 
@@ -151,6 +180,10 @@ class CrowdMapService {
   /// extraction task admits the trajectory into the floor's planner.
   void on_upload_complete(const Document& doc) CM_EXCLUDES(mutex_);
 
+  /// The pool half of on_upload_complete, shared with recovery replay
+  /// (which re-dispatches stored uploads without re-counting completions).
+  void dispatch_extraction(const Document& doc) CM_EXCLUDES(mutex_);
+
   /// The floor's planner, created on first use (shares the service registry
   /// and borrows the worker pool). The returned reference is stable:
   /// planners are never destroyed while the service lives.
@@ -172,6 +205,7 @@ class CrowdMapService {
   obs::Counter* trajectories_extracted_ = nullptr;
   obs::Counter* trajectories_dropped_ = nullptr;
   obs::Counter* sensor_dropouts_ = nullptr;
+  obs::Counter* cache_warmstart_rejected_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Histogram* extract_seconds_ = nullptr;
   /// Declared before pool_ (and destroyed after it): the pool's queue
@@ -179,6 +213,10 @@ class CrowdMapService {
   /// joins in ~CrowdMapService.
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<obs::SloWatchdog> watchdog_;
+  /// Declared after store_/flight_ (borrows both) and before pool_: worker
+  /// threads journal through it until the pool joins, and its destructor
+  /// detaches from the still-live store.
+  std::unique_ptr<DurableDocumentStore> durable_;
   common::ThreadPool pool_;
   std::unique_ptr<IngestService> ingest_;
   /// Service-side chaos plan (decode.fail, extract.sensor_dropout); armed

@@ -39,7 +39,11 @@ namespace crowdmap::common {
   X(kStagePanoramaFail, "stage.panorama_fail")                            \
   X(kStageLayoutFail, "stage.layout_fail")                                \
   X(kStageArrangeFail, "stage.arrange_fail")                              \
-  X(kArtifactCacheEvict, "cache.artifact_evict")
+  X(kArtifactCacheEvict, "cache.artifact_evict")                          \
+  X(kFsWriteTorn, "fs.write_torn")                                        \
+  X(kFsFsyncFail, "fs.fsync_fail")                                        \
+  X(kFsCrashAt, "fs.crash_at")                                            \
+  X(kFsReadCorrupt, "fs.read_corrupt")
 
 enum class FaultPoint : std::size_t {
 #define CROWDMAP_FAULT_POINT_ENUM(ident, name) ident,

@@ -89,6 +89,24 @@ struct SimdConfig {
   std::size_t match_tile = 64;
 };
 
+/// Durable persistence for the cloud DocumentStore (docs/DURABILITY.md).
+/// An empty dir leaves the service purely in-memory (the historical
+/// behavior); a non-empty dir routes every put/erase/quarantine through the
+/// log-structured storage backend on a storage::Env.
+struct StorageConfig {
+  /// Directory of the log-structured store (MANIFEST, wal-*.log segments,
+  /// state-*.snap snapshots). Empty = persistence disabled.
+  std::string dir;
+  /// Active-segment rotation threshold in bytes.
+  std::size_t segment_bytes = std::size_t{4} << 20;
+  /// Auto-checkpoint (snapshot + compaction) every N WAL appends; 0 keeps
+  /// checkpoints manual (api::Client::checkpoint_storage).
+  std::size_t snapshot_every = 0;
+  /// fsync every appended record and installed manifest/snapshot. Turning
+  /// this off trades the crash-durability guarantee for throughput.
+  bool fsync = true;
+};
+
 struct PipelineConfig {
   // §III.B.I — key-frame selection and trajectory extraction.
   trajectory::ExtractionConfig extraction;
@@ -133,6 +151,8 @@ struct PipelineConfig {
   /// settings leave every fault point disarmed — the default costs one
   /// predicted branch per interrogation and changes no output bit.
   common::FaultPlan faults;
+  /// Durable persistence of the document store (docs/DURABILITY.md).
+  StorageConfig storage;
 
   /// A faster profile for unit/integration tests: the layout sweep capped at
   /// 2,000 hypotheses (a documented 10x fidelity cut vs the paper's 20,000)

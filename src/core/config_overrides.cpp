@@ -163,6 +163,15 @@ constexpr ConfigKeyInfo kConfigKeys[] = {
                "Panorama height in pixels"),
     CM_KEY_INT("stitch.width", nullptr, stitch.output_width,
                "Panorama width in pixels"),
+    {"storage.dir", nullptr, "string",
+     "Durable store directory (empty disables persistence)",
+     [](PipelineConfig& c, const std::string& v) { c.storage.dir = v; }},
+    CM_KEY_BOOL("storage.fsync", nullptr, storage.fsync,
+                "fsync every WAL append and manifest/snapshot install"),
+    CM_KEY_SIZE("storage.segment_bytes", nullptr, storage.segment_bytes,
+                "WAL segment rotation threshold in bytes"),
+    CM_KEY_SIZE("storage.snapshot_every", nullptr, storage.snapshot_every,
+                "Auto-checkpoint every N WAL appends (0 = manual only)"),
 };
 
 #undef CM_KEY_DOUBLE

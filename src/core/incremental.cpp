@@ -61,6 +61,16 @@ bool IncrementalPlanner::ingest(trajectory::Trajectory traj) {
   const cache::ArtifactKey key =
       cache_ ? trajectory_content_key(traj) : cache::ArtifactKey{};
   common::MutexLock lock(mutex_);
+  // Idempotent by video_id: re-submitting an upload (retry storms, replays
+  // after crash recovery) replaces the earlier extraction instead of
+  // duplicating a trajectory — the corpus converges to one entry per video.
+  for (auto& [existing, existing_key] : corpus_) {
+    if (existing.video_id == traj.video_id) {
+      existing = std::move(traj);
+      existing_key = key;
+      return true;
+    }
+  }
   corpus_.emplace_back(std::move(traj), key);
   return true;
 }

@@ -60,8 +60,10 @@ class IncrementalPlanner {
 
   /// Admits one extracted trajectory: applies the pipeline's quality gates,
   /// hashes the content key (outside any lock — safe to call from worker
-  /// threads) and appends to the corpus. Returns false when the gates
-  /// rejected the upload.
+  /// threads) and appends to the corpus. Idempotent by video_id — a
+  /// re-submitted upload (retry storm, post-crash replay) replaces its
+  /// earlier extraction rather than duplicating it. Returns false when the
+  /// gates rejected the upload.
   bool ingest(trajectory::Trajectory traj) CM_EXCLUDES(mutex_);
 
   /// Rebuilds the floor plan over the whole corpus, reusing every artifact

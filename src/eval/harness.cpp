@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/crowdmap.hpp"
+#include "common/log.hpp"
 #include "common/stats.hpp"
 
 namespace crowdmap::eval {
@@ -23,6 +24,14 @@ ExperimentRun run_experiment(const DatasetSpec& dataset,
   api::ClientOptions options;
   options.config = config;
   api::Client client(std::move(options));
+  if (!config.storage.dir.empty()) {
+    // Replay whatever an earlier (possibly crashed) run left in the store
+    // before this campaign's uploads land on top of it.
+    if (auto recovered = client.recover_storage(); !recovered.ok()) {
+      CROWDMAP_LOG(kWarn, "eval")
+          << "storage recovery failed: " << recovered.error().message;
+    }
+  }
   std::string building = dataset.building.name;
   int floor = 1;
   bool have_target = false;
@@ -70,6 +79,13 @@ ExperimentRun run_experiment(const DatasetSpec& dataset,
                                               geometry::Pose2{});
   run.metrics = std::move(final_build.metrics);
   run.flight = client.flight_dump();
+  if (!config.storage.dir.empty()) {
+    if (auto status = client.checkpoint_storage(); !status.ok()) {
+      CROWDMAP_LOG(kWarn, "eval")
+          << "storage checkpoint failed: " << status.error().message;
+    }
+  }
+  run.durability = client.durability_stats();
   return run;
 }
 

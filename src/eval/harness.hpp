@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/durable_store.hpp"
 #include "core/pipeline.hpp"
 #include "eval/datasets.hpp"
 #include "floorplan/eval.hpp"
@@ -39,6 +40,10 @@ struct ExperimentRun {
   /// config.flight.enabled == false). Merge into a Perfetto timeline with
   /// obs::to_trace_event_json(result.trace, &*flight).
   std::optional<obs::FlightDump> flight;
+  /// Durable-store facts (enabled == false when config.storage.dir is
+  /// empty). When enabled, the harness recovers before submitting and
+  /// checkpoints after the final build (docs/DURABILITY.md).
+  cloud::DurabilityStats durability;
 };
 
 /// Streams the dataset's videos through the api::v1 backend and evaluates

@@ -21,15 +21,21 @@ constexpr std::uint32_t kDumpVersion = 1;
 /// queue-depth samples race with the pool, FIFO evictions depend on cross-
 /// thread insertion order. Everything else is keyed by stable identities.
 bool kind_is_deterministic(FlightEventKind kind) noexcept {
+  // WAL appends/checkpoints are also dropped: their *contents* are stable,
+  // but auto-checkpoint timing shifts with pool interleaving, so the event
+  // stream is not byte-identical across thread counts.
   return kind != FlightEventKind::kQueueDepth &&
-         kind != FlightEventKind::kCacheEvict;
+         kind != FlightEventKind::kCacheEvict &&
+         kind != FlightEventKind::kWalAppend &&
+         kind != FlightEventKind::kWalCheckpoint;
 }
 
 bool kind_is_anomaly(FlightEventKind kind) noexcept {
   return kind == FlightEventKind::kFaultFired ||
          kind == FlightEventKind::kDegradation ||
          kind == FlightEventKind::kSloBreach ||
-         kind == FlightEventKind::kIngestQuarantine;
+         kind == FlightEventKind::kIngestQuarantine ||
+         kind == FlightEventKind::kRecoveryTruncate;
 }
 
 std::size_t round_up_pow2(std::size_t n) noexcept {
@@ -171,6 +177,9 @@ std::string_view flight_event_kind_name(FlightEventKind kind) noexcept {
     case FlightEventKind::kDegradation: return "degradation";
     case FlightEventKind::kQueueDepth: return "queue_depth";
     case FlightEventKind::kSloBreach: return "slo_breach";
+    case FlightEventKind::kWalAppend: return "wal_append";
+    case FlightEventKind::kWalCheckpoint: return "wal_checkpoint";
+    case FlightEventKind::kRecoveryTruncate: return "recovery_truncate";
   }
   return "unknown";
 }

@@ -50,6 +50,9 @@ enum class FlightEventKind : std::uint16_t {
   kDegradation = 9,       // a = stage name hash, b = detail hash
   kQueueDepth = 10,       // a = queue depth sample
   kSloBreach = 11,        // a = SLO name hash, b = observed value millis/units
+  kWalAppend = 12,        // a = segment seqno, b = record bytes
+  kWalCheckpoint = 13,    // a = snapshot seqno, b = retired segment count
+  kRecoveryTruncate = 14, // a = segment seqno, b = damaged tail bytes
 };
 
 /// Catalog name of an event kind ("cache_hit"); "unknown" for junk input.

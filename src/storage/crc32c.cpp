@@ -1,0 +1,38 @@
+#include "storage/crc32c.hpp"
+
+#include <array>
+
+namespace crowdmap::storage {
+
+namespace {
+
+/// 256-entry lookup table for the reflected Castagnoli polynomial
+/// 0x82F63B78, built once at first use.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t size,
+                     std::uint32_t seed) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace crowdmap::storage

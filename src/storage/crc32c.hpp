@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the frame checksum of the
+// CMWL write-ahead log. Software table implementation: the WAL appends are
+// dominated by fsync cost, not checksumming, so a hardware SSE4.2 path is
+// deliberately out of scope (and would need a runtime dispatch story the
+// SIMD wrapper does not yet cover for scalar integer CRC).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "io/serialize.hpp"
+
+namespace crowdmap::storage {
+
+/// CRC32C of `size` bytes starting at `data`. `seed` chains incremental
+/// computations: crc32c(b, crc32c(a)) == crc32c(a + b).
+[[nodiscard]] std::uint32_t crc32c(const std::uint8_t* data, std::size_t size,
+                                   std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32c(const io::Bytes& bytes,
+                                          std::uint32_t seed = 0) noexcept {
+  return crc32c(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace crowdmap::storage

@@ -1,0 +1,343 @@
+#include "storage/env.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace crowdmap::storage {
+
+namespace {
+
+common::Error errno_error(const char* code, const std::string& what) {
+  return common::make_error(code, what + ": " + std::strerror(errno));
+}
+
+// ---------------------------------------------------------------- posix ---
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  PosixWritableFile(const PosixWritableFile&) = delete;
+  PosixWritableFile& operator=(const PosixWritableFile&) = delete;
+
+  Status append(const io::Bytes& data) override {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_error("storage.io", "write failed");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return ok_status();
+  }
+
+  Status sync() override {
+    if (::fsync(fd_) != 0) return errno_error("storage.fsync", "fsync failed");
+    return ok_status();
+  }
+
+  Status close() override {
+    if (fd_ < 0) return ok_status();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return errno_error("storage.io", "close failed");
+    return ok_status();
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+common::Expected<std::unique_ptr<WritableFile>> PosixEnv::open_writable(
+    const std::string& path, bool truncate) {
+  const int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return errno_error("storage.io", "open failed for " + path);
+  return std::unique_ptr<WritableFile>(std::make_unique<PosixWritableFile>(fd));
+}
+
+common::Expected<io::Bytes> PosixEnv::read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return common::make_error("storage.not_found", "no such file: " + path);
+    }
+    return errno_error("storage.io", "open failed for " + path);
+  }
+  io::Bytes bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return errno_error("storage.io", "read failed for " + path);
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+bool PosixEnv::file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status PosixEnv::rename_file(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return errno_error("storage.io", "rename failed " + from + " -> " + to);
+  }
+  return ok_status();
+}
+
+Status PosixEnv::remove_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // idempotent: missing file is success
+  if (ec) {
+    return common::make_error("storage.io",
+                              "remove failed for " + path + ": " + ec.message());
+  }
+  return ok_status();
+}
+
+common::Expected<std::vector<std::string>> PosixEnv::list_dir(
+    const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return common::make_error("storage.io",
+                              "list failed for " + dir + ": " + ec.message());
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec)) names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status PosixEnv::make_dirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return common::make_error("storage.io",
+                              "mkdir failed for " + dir + ": " + ec.message());
+  }
+  return ok_status();
+}
+
+Env& posix_env() {
+  static PosixEnv env;
+  return env;
+}
+
+// ------------------------------------------------------------- fault env ---
+
+namespace {
+
+/// Stable fault key for the Nth append (or read) touching `path`. A pure
+/// function of the identity pair, so fault decisions survive thread-count
+/// changes and replays.
+std::uint64_t fault_key(const std::string& path, const char* op,
+                        std::uint64_t ordinal) {
+  return common::stable_string_hash(path + op + std::to_string(ordinal));
+}
+
+}  // namespace
+
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status append(const io::Bytes& data) override {
+    return env_->append_entry(path_, data);
+  }
+  Status sync() override { return env_->sync_entry(path_); }
+  Status close() override { return ok_status(); }
+
+ private:
+  FaultEnv* env_;
+  std::string path_;
+};
+
+common::Expected<std::unique_ptr<WritableFile>> FaultEnv::open_writable(
+    const std::string& path, bool truncate) {
+  common::MutexLock lock(mutex_);
+  if (crashed_) return crashed_error();
+  FileState& file = files_[path];
+  if (truncate) file.bytes.clear();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, path));
+}
+
+Status FaultEnv::append_entry(const std::string& path, const io::Bytes& data) {
+  common::MutexLock lock(mutex_);
+  if (crashed_) return crashed_error();
+  if (data.empty()) return ok_status();
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return common::make_error("storage.io", "append to unopened file " + path);
+  }
+  FileState& file = it->second;
+  const std::uint64_t ordinal = file.append_ordinal++;
+
+  std::size_t apply = data.size();
+  bool crash = false;
+  std::string reason;
+  if (injector_ != nullptr) {
+    const std::uint64_t key = fault_key(path, "#append#", ordinal);
+    if (injector_->should_fire(common::faults::kFsWriteTorn, key)) {
+      apply = static_cast<std::size_t>(fault_key(path, "#torn#", ordinal) %
+                                       data.size());
+      crash = true;
+      reason = "fault-injected torn write (fs.write_torn)";
+    } else if (injector_->should_fire(common::faults::kFsCrashAt, key)) {
+      apply = static_cast<std::size_t>(fault_key(path, "#crash#", ordinal) %
+                                       data.size());
+      crash = true;
+      reason = "fault-injected crash mid-write (fs.crash_at)";
+    }
+  }
+  if (crash_at_ != kNoCrash && appended_total_ + apply > crash_at_) {
+    apply = crash_at_ > appended_total_
+                ? static_cast<std::size_t>(crash_at_ - appended_total_)
+                : 0;
+    crash = true;
+    reason = "crash_at byte limit reached";
+  }
+
+  file.bytes.insert(file.bytes.end(), data.begin(),
+                    data.begin() + static_cast<std::ptrdiff_t>(apply));
+  appended_total_ += apply;
+  if (crash) {
+    crashed_ = true;
+    return common::make_error("storage.crashed", reason);
+  }
+  return ok_status();
+}
+
+Status FaultEnv::sync_entry(const std::string& path) {
+  common::MutexLock lock(mutex_);
+  if (crashed_) return crashed_error();
+  const auto it = files_.find(path);
+  const std::uint64_t ordinal =
+      it == files_.end() ? 0 : it->second.append_ordinal;
+  if (injector_ != nullptr &&
+      injector_->should_fire(common::faults::kFsFsyncFail,
+                             fault_key(path, "#sync#", ordinal))) {
+    return common::make_error("storage.fsync",
+                              "fault-injected fsync failure (fs.fsync_fail)");
+  }
+  return ok_status();
+}
+
+common::Expected<io::Bytes> FaultEnv::read_file(const std::string& path) {
+  common::MutexLock lock(mutex_);
+  if (crashed_) return crashed_error();
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return common::make_error("storage.not_found", "no such file: " + path);
+  }
+  io::Bytes bytes = it->second.bytes;
+  if (injector_ != nullptr && !bytes.empty() &&
+      injector_->should_fire(common::faults::kFsReadCorrupt,
+                             fault_key(path, "#read#", 0))) {
+    const std::uint64_t where = fault_key(path, "#rot#", 0);
+    bytes[static_cast<std::size_t>(where % bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << (where % 8));
+  }
+  return bytes;
+}
+
+bool FaultEnv::file_exists(const std::string& path) {
+  common::MutexLock lock(mutex_);
+  return files_.count(path) != 0;
+}
+
+Status FaultEnv::rename_file(const std::string& from, const std::string& to) {
+  common::MutexLock lock(mutex_);
+  if (crashed_) return crashed_error();
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    return common::make_error("storage.not_found", "no such file: " + from);
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return ok_status();
+}
+
+Status FaultEnv::remove_file(const std::string& path) {
+  common::MutexLock lock(mutex_);
+  if (crashed_) return crashed_error();
+  files_.erase(path);  // idempotent, like PosixEnv
+  return ok_status();
+}
+
+common::Expected<std::vector<std::string>> FaultEnv::list_dir(
+    const std::string& dir) {
+  common::MutexLock lock(mutex_);
+  if (crashed_) return crashed_error();
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, file] : files_) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // files_ is sorted by path, so names are sorted
+}
+
+Status FaultEnv::make_dirs(const std::string& /*dir*/) {
+  common::MutexLock lock(mutex_);
+  if (crashed_) return crashed_error();
+  return ok_status();  // directories are name prefixes in this Env
+}
+
+void FaultEnv::set_crash_at_bytes(std::uint64_t offset) {
+  common::MutexLock lock(mutex_);
+  crash_at_ = offset;
+}
+
+void FaultEnv::set_injector(common::FaultInjector* injector) {
+  common::MutexLock lock(mutex_);
+  injector_ = injector;
+}
+
+bool FaultEnv::crashed() const {
+  common::MutexLock lock(mutex_);
+  return crashed_;
+}
+
+std::uint64_t FaultEnv::bytes_appended() const {
+  common::MutexLock lock(mutex_);
+  return appended_total_;
+}
+
+std::unique_ptr<FaultEnv> FaultEnv::fork_survivor() const {
+  common::MutexLock lock(mutex_);
+  auto survivor = std::make_unique<FaultEnv>();
+  for (const auto& [path, file] : files_) {
+    FileState copy;
+    copy.bytes = file.bytes;
+    survivor->files_[path] = std::move(copy);
+  }
+  return survivor;
+}
+
+}  // namespace crowdmap::storage

@@ -1,0 +1,122 @@
+#include "storage/wal.hpp"
+
+#include <utility>
+
+#include "storage/crc32c.hpp"
+
+namespace crowdmap::storage {
+
+namespace {
+
+std::uint32_t read_u32(const io::Bytes& bytes, std::size_t pos) {
+  return static_cast<std::uint32_t>(bytes[pos]) |
+         static_cast<std::uint32_t>(bytes[pos + 1]) << 8 |
+         static_cast<std::uint32_t>(bytes[pos + 2]) << 16 |
+         static_cast<std::uint32_t>(bytes[pos + 3]) << 24;
+}
+
+std::uint64_t read_u64(const io::Bytes& bytes, std::size_t pos) {
+  return static_cast<std::uint64_t>(read_u32(bytes, pos)) |
+         static_cast<std::uint64_t>(read_u32(bytes, pos + 4)) << 32;
+}
+
+}  // namespace
+
+SegmentWriter::SegmentWriter(Env& env, std::string path, std::uint64_t seqno,
+                             bool fsync)
+    : env_(env), path_(std::move(path)), seqno_(seqno), fsync_(fsync) {}
+
+Status SegmentWriter::create() {
+  auto file = env_.open_writable(path_, /*truncate=*/true);
+  if (!file) return file.error();
+  file_ = std::move(file).take();
+  io::Writer header;
+  header.u32(kWalMagic);
+  header.u32(kWalVersion);
+  header.u64(seqno_);
+  const io::Bytes bytes = std::move(header).take();
+  if (Status s = file_->append(bytes); !s) return s;
+  bytes_ += bytes.size();
+  if (fsync_) return file_->sync();
+  return ok_status();
+}
+
+Status SegmentWriter::append(const io::Bytes& record) {
+  if (file_ == nullptr) {
+    return common::make_error("storage.io", "segment writer not created");
+  }
+  io::Writer frame;
+  frame.u32(static_cast<std::uint32_t>(record.size()));
+  frame.u32(crc32c(record));
+  frame.bytes_raw(record);
+  const io::Bytes bytes = std::move(frame).take();
+  if (Status s = file_->append(bytes); !s) return s;
+  bytes_ += bytes.size();
+  ++records_;
+  if (fsync_) return file_->sync();
+  return ok_status();
+}
+
+Status SegmentWriter::sync() {
+  if (file_ == nullptr) return ok_status();
+  return file_->sync();
+}
+
+Status SegmentWriter::close() {
+  if (file_ == nullptr) return ok_status();
+  Status s = file_->close();
+  file_.reset();
+  return s;
+}
+
+common::Expected<SegmentScan> scan_segment(const io::Bytes& bytes) {
+  if (bytes.size() < kWalHeaderBytes || read_u32(bytes, 0) != kWalMagic ||
+      read_u32(bytes, 4) != kWalVersion) {
+    return common::make_error("storage.segment_header",
+                              "not a CMWL v1 segment");
+  }
+  SegmentScan scan;
+  scan.seqno = read_u64(bytes, 8);
+  std::size_t pos = kWalHeaderBytes;
+  std::uint64_t index = 0;
+  const auto quarantine_tail = [&](const char* reason) {
+    DamagedFrame frame;
+    frame.index = index;
+    frame.reason = reason;
+    frame.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                       bytes.end());
+    scan.damaged.push_back(std::move(frame));
+    scan.clean = false;
+  };
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kWalFrameOverhead) {
+      quarantine_tail("torn_frame_header");
+      break;
+    }
+    const std::uint32_t len = read_u32(bytes, pos);
+    const std::uint32_t crc = read_u32(bytes, pos + 4);
+    if (len > kWalMaxRecordBytes) {
+      quarantine_tail("bad_length");
+      break;
+    }
+    if (bytes.size() - pos - kWalFrameOverhead < len) {
+      quarantine_tail("torn_frame");
+      break;
+    }
+    const auto payload_begin =
+        bytes.begin() + static_cast<std::ptrdiff_t>(pos + kWalFrameOverhead);
+    io::Bytes payload(payload_begin, payload_begin + len);
+    if (crc32c(payload) != crc) {
+      // Frame boundaries after a corrupt frame cannot be trusted:
+      // truncate here, keeping the whole suspect tail as evidence.
+      quarantine_tail("crc_mismatch");
+      break;
+    }
+    scan.records.push_back(std::move(payload));
+    pos += kWalFrameOverhead + len;
+    ++index;
+  }
+  return scan;
+}
+
+}  // namespace crowdmap::storage

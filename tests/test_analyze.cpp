@@ -184,6 +184,27 @@ TEST(AnalyzeLayering, DownwardAndAllowlistedEdgesAreClean) {
   EXPECT_FALSE(has_rule(findings, "layering-upward"));
 }
 
+TEST(AnalyzeLayering, StorageSitsBelowCloudAndAboveCommon) {
+  // The durable store (PR 9) is a rank-4 infrastructure module: the cloud
+  // service may include it, it may include common, and it must never reach
+  // back up into its consumers.
+  const auto clean = run({
+      {"src/cloud/s.hpp", "#pragma once\n#include \"storage/log_store.hpp\"\n"},
+      {"src/storage/log_store.hpp",
+       "#pragma once\n#include \"common/expected.hpp\"\n"},
+      {"src/common/expected.hpp", "#pragma once\n"},
+  });
+  EXPECT_FALSE(has_rule(clean, "layering-upward"));
+
+  const auto upward = run({
+      {"src/storage/env.hpp", "#pragma once\n#include \"cloud/docstore.hpp\"\n"},
+      {"src/cloud/docstore.hpp", "#pragma once\n"},
+  });
+  const an::Finding* f = find_rule(upward, "layering-upward");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->symbol, "storage->cloud");
+}
+
 TEST(AnalyzeLayering, ModuleCycleDetected) {
   const auto findings = run({
       {"src/vision/v.hpp", "#pragma once\n#include \"room/r.hpp\"\n"},

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "api/crowdmap.hpp"
+#include "cloud/docstore.hpp"
 #include "common/rng.hpp"
 #include "floorplan/serialize.hpp"
 #include "sim/buildings.hpp"
@@ -153,6 +154,57 @@ TEST(Api, PersistedCacheWarmsARestartedBackend) {
   // First build after the restart already replays warmed artifacts.
   EXPECT_GT(after.cache.artifact_hits, 0u);
   EXPECT_EQ(after.cache.pairs_reused, after.cache.pairs_total);
+}
+
+TEST(Api, MalformedCacheSnapshotRejectsCleanlyAndFallsBackCold) {
+  // Warm-start resilience (docs/DURABILITY.md): truncated or corrupt CMC1
+  // snapshot bytes must produce a clean rejection — counted in
+  // crowdmap_cache_warmstart_rejected_total — and the restarted backend
+  // must fall back to a cold build that still serializes the same plan.
+  const auto videos = tiny_campaign(816);
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+
+  auto original = make_client();
+  for (const auto& video : videos) ASSERT_TRUE(original.submit_video(video).accepted);
+  const auto before = original.build_plan({building, floor, std::nullopt});
+  ASSERT_TRUE(original.persist_artifact_cache(building, floor));
+
+  // A predecessor store whose snapshot bytes were mangled at rest: one
+  // truncated mid-entry, one with the CMC1 magic flipped.
+  crowdmap::cloud::DocumentStore truncated_store;
+  crowdmap::cloud::DocumentStore corrupted_store;
+  std::size_t snapshots_seen = 0;
+  for (const auto& doc : original.service().store().export_documents()) {
+    const auto kind = doc.metadata.find("kind");
+    if (kind != doc.metadata.end() && kind->second == "artifact-cache") {
+      ++snapshots_seen;
+      ASSERT_GT(doc.payload.size(), 8u);
+      auto truncated = doc;
+      truncated.payload.resize(truncated.payload.size() / 2);
+      truncated_store.put(std::move(truncated));
+      auto corrupted = doc;
+      corrupted.payload[0] ^= 0xFF;
+      corrupted_store.put(std::move(corrupted));
+    } else {
+      truncated_store.put(doc);
+      corrupted_store.put(doc);
+    }
+  }
+  ASSERT_EQ(snapshots_seen, 1u);
+
+  auto restarted = make_client();
+  EXPECT_EQ(restarted.warm_artifact_cache_from(truncated_store), 0u);
+  EXPECT_EQ(restarted.stats().cache_warmstart_rejected, 1u);
+  EXPECT_EQ(restarted.warm_artifact_cache_from(corrupted_store), 0u);
+  EXPECT_EQ(restarted.stats().cache_warmstart_rejected, 2u);
+
+  // Cold fallback: nothing was warmed, the first build is all misses, and
+  // the plan bytes still match the original backend's.
+  for (const auto& video : videos) ASSERT_TRUE(restarted.submit_video(video).accepted);
+  const auto after = restarted.build_plan({building, floor, std::nullopt});
+  EXPECT_EQ(plan_bytes(before.result), plan_bytes(after.result));
+  EXPECT_EQ(after.cache.artifact_hits, 0u);
 }
 
 TEST(Api, BackgroundRefreshServesLatestPlanWithoutABuildCall) {

@@ -270,6 +270,153 @@ TEST(DocStore, QuarantineRemovesFromMainCollection) {
   EXPECT_EQ(held->metadata.at("quarantine_reason"), "checksum_mismatch");
 }
 
+TEST(DocStore, EraseRemovesIdFromFloorIndex) {
+  // Regression: an erased id must vanish from ids_for_floor(), not linger as
+  // a dangling index entry pointing at a deleted document.
+  cl::DocumentStore store;
+  for (int i = 0; i < 3; ++i) {
+    cl::Document doc;
+    doc.id = "d" + std::to_string(i);
+    doc.building = "Lab1";
+    doc.floor = 1;
+    store.put(doc);
+  }
+  EXPECT_TRUE(store.erase("d1"));
+  const auto ids = store.ids_for_floor("Lab1", 1);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), "d1"), 0);
+  // Every surviving index entry must still resolve.
+  for (const auto& id : ids) EXPECT_TRUE(store.get(id).has_value());
+}
+
+TEST(DocStore, ReplaceAcrossBuildingsLeavesNoStaleIndexEntry) {
+  // Regression: replacing a document whose (building, floor) changed must
+  // drop the old index entry — a floor query for the old location finding
+  // the id would hand the reconstruction a document from another building.
+  cl::DocumentStore store;
+  cl::Document doc;
+  doc.id = "d1";
+  doc.building = "Lab1";
+  doc.floor = 3;
+  EXPECT_TRUE(store.put(doc));
+  doc.building = "Gym";  // moves buildings, not just floors
+  doc.floor = 1;
+  EXPECT_FALSE(store.put(doc));
+  EXPECT_TRUE(store.ids_for_floor("Lab1", 3).empty());
+  ASSERT_EQ(store.ids_for_floor("Gym", 1).size(), 1u);
+  EXPECT_EQ(store.ids_for_floor("Gym", 1)[0], "d1");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(DocStore, PutReturnValueContract) {
+  // put() returns true exactly when the id was not in the *main* collection
+  // (fresh insert), false when it replaced an existing document.
+  cl::DocumentStore store;
+  cl::Document doc;
+  doc.id = "d1";
+  doc.building = "Lab1";
+  doc.floor = 1;
+  EXPECT_TRUE(store.put(doc));    // fresh
+  EXPECT_FALSE(store.put(doc));   // replace, same coordinates
+  doc.floor = 2;
+  EXPECT_FALSE(store.put(doc));   // replace, moved coordinates
+  EXPECT_TRUE(store.erase("d1"));
+  EXPECT_TRUE(store.put(doc));    // fresh again after erase
+}
+
+TEST(DocStore, PutAfterQuarantineKeepsAuditTrail) {
+  // Quarantined-id collision: a re-upload of a quarantined id inserts into
+  // the main collection (returns true — the main collection had no such id)
+  // and never expunges the quarantine record. Both views then answer.
+  cl::DocumentStore store;
+  cl::Document bad;
+  bad.id = "u1";
+  bad.building = "Lab1";
+  bad.floor = 1;
+  store.quarantine(bad, "checksum_mismatch");
+  cl::Document retry;
+  retry.id = "u1";
+  retry.building = "Lab1";
+  retry.floor = 1;
+  retry.payload = make_blob(10);
+  EXPECT_TRUE(store.put(retry));
+  EXPECT_TRUE(store.get("u1").has_value());
+  ASSERT_TRUE(store.get_quarantined("u1").has_value());
+  EXPECT_EQ(store.get_quarantined("u1")->metadata.at("quarantine_reason"),
+            "checksum_mismatch");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.quarantined_count(), 1u);
+}
+
+namespace {
+
+/// Records the journal callback stream for assertions.
+struct RecordingJournal final : cl::DocumentStore::Journal {
+  std::vector<std::string> ops;
+  void on_put(const cl::Document& doc) override {
+    ops.push_back("put:" + doc.id);
+  }
+  void on_erase(const std::string& id) override { ops.push_back("erase:" + id); }
+  void on_quarantine(const cl::Document& doc,
+                     const std::string& reason) override {
+    ops.push_back("quarantine:" + doc.id + ":" + reason);
+  }
+};
+
+}  // namespace
+
+TEST(DocStore, JournalSeesEveryMutationInOrder) {
+  cl::DocumentStore store;
+  RecordingJournal journal;
+  store.set_journal(&journal);
+  cl::Document doc;
+  doc.id = "d1";
+  doc.building = "Lab1";
+  doc.floor = 1;
+  store.put(doc);
+  store.put(doc);  // replace journals too: replay must reproduce the replace
+  store.quarantine(doc, "bad");
+  store.erase("missing");  // no-op mutations are not journaled
+  doc.id = "d2";
+  store.put(doc);
+  store.erase("d2");
+  store.set_journal(nullptr);
+  store.put(doc);  // detached: silent
+  const std::vector<std::string> expected{"put:d1", "put:d1",
+                                          "quarantine:d1:bad", "put:d2",
+                                          "erase:d2"};
+  EXPECT_EQ(journal.ops, expected);
+}
+
+TEST(DocStore, ExportedStateIsSortedAndConsistent) {
+  cl::DocumentStore store;
+  for (const char* id : {"zeta", "alpha", "mid"}) {
+    cl::Document doc;
+    doc.id = id;
+    doc.building = "Lab1";
+    doc.floor = 1;
+    store.put(doc);
+  }
+  cl::Document bad;
+  bad.id = "broken";
+  store.quarantine(bad, "r");
+  bool ran = false;
+  store.with_exported_state([&](const std::vector<cl::Document>& docs,
+                                const std::vector<cl::Document>& quarantined) {
+    ran = true;
+    ASSERT_EQ(docs.size(), 3u);
+    EXPECT_EQ(docs[0].id, "alpha");
+    EXPECT_EQ(docs[1].id, "mid");
+    EXPECT_EQ(docs[2].id, "zeta");
+    ASSERT_EQ(quarantined.size(), 1u);
+    EXPECT_EQ(quarantined[0].id, "broken");
+  });
+  EXPECT_TRUE(ran);
+  const auto exported = store.export_documents();
+  ASSERT_EQ(exported.size(), 3u);
+  EXPECT_EQ(exported[0].id, "alpha");
+}
+
 // ----------------------------------------------------------------- ingest ---
 
 TEST(Ingest, HappyPathCompletesUpload) {

@@ -452,6 +452,94 @@ TEST(Lint, RawIntrinsicsAllowsLookalikeIdentifiers) {
       "raw-intrinsics"));
 }
 
+// -------------------------------------------------------------- raw-file-io ---
+
+TEST(Lint, RawFileIoFiresOnStreamsAndStdio) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/cloud/x.cpp", "std::ofstream out(path);\n"),
+      "raw-file-io"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/cloud/x.cpp", "std::ifstream in(path);\n"),
+      "raw-file-io"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/core/x.cpp", "FILE* f = fopen(path, \"wb\");\n"),
+      "raw-file-io"));
+}
+
+TEST(Lint, RawFileIoFiresOnFilesystemMutation) {
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "std::filesystem::rename(tmp, final);\n"),
+      "raw-file-io"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "std::filesystem::remove_all(dir);\n"),
+      "raw-file-io"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "std::filesystem::create_directories(dir);\n"),
+      "raw-file-io"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/core/x.cpp", "std::rename(a, b);\n"),
+      "raw-file-io"));
+  EXPECT_TRUE(has_rule(
+      cl::lint_content("src/core/x.cpp", "unlink(path.c_str());\n"),
+      "raw-file-io"));
+}
+
+TEST(Lint, RawFileIoExemptInsideStorageAndIoLayers) {
+  // The Env implementations and the image/asset codecs are the two layers
+  // allowed to touch the filesystem directly.
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/storage/env.cpp",
+                       "std::rename(tmp.c_str(), path.c_str());\n"),
+      "raw-file-io"));
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/io/image_io.cpp", "std::ofstream out(path);\n"),
+      "raw-file-io"));
+}
+
+TEST(Lint, RawFileIoOnlyAppliesUnderSrc) {
+  // Tools, tests and benches manage their own files; the rule guards the
+  // library's durable state only.
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("tools/gate/gate.cpp", "std::ofstream out(path);\n"),
+      "raw-file-io"));
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("tests/test_x.cpp", "FILE* f = fopen(p, \"rb\");\n"),
+      "raw-file-io"));
+}
+
+TEST(Lint, RawFileIoIgnoresTheRemoveAlgorithm) {
+  // std::remove the iterator algorithm (and erase/remove_if idioms) must not
+  // match — only the filesystem spellings do.
+  EXPECT_FALSE(has_rule(
+      cl::lint_content(
+          "src/cloud/x.cpp",
+          "v.erase(std::remove(v.begin(), v.end(), id), v.end());\n"),
+      "raw-file-io"));
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "auto it = std::remove_if(v.begin(), v.end(), pred);\n"),
+      "raw-file-io"));
+}
+
+TEST(Lint, RawFileIoEscapeSuppresses) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "// crowdmap-lint: allow(raw-file-io)\n"
+                       "std::ofstream out(path);\n"),
+      "raw-file-io"));
+}
+
+TEST(Lint, RawFileIoIgnoresCommentAndStringMentions) {
+  EXPECT_FALSE(has_rule(
+      cl::lint_content("src/cloud/x.cpp",
+                       "// previously wrote via std::ofstream + fopen()\n"
+                       "const char* s = \"std::filesystem::rename\";\n"),
+      "raw-file-io"));
+}
+
 // ------------------------------------------------------------------ catalog ---
 
 TEST(Lint, CatalogNamesEveryFiringRule) {

@@ -42,6 +42,7 @@ void usage() {
       "  --fast            fast pipeline profile (capped layout hypotheses)\n"
       "  --threads N       pipeline threads (0 = all cores, 1 = serial)\n"
       "  --faults SEED:SPEC  chaos plan, e.g. 42:decode.fail=0.2,stage.panorama_fail=0.1@3\n"
+      "  --storage-dir DIR durable store: recover on start, checkpoint at end\n"
       "  --svg FILE        write the reconstructed plan as SVG\n"
       "  --pgm FILE        write the hallway skeleton as PGM\n"
       "  --plan FILE       write the binary floor plan\n"
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   std::string config_path;
   std::string faults_spec;
+  std::string storage_dir;
   std::string svg_path;
   std::string pgm_path;
   std::string plan_path;
@@ -107,6 +109,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--faults") {
       faults_spec = next();
+    } else if (arg == "--storage-dir") {
+      storage_dir = next();
     } else if (arg == "--ascii") {
       ascii = true;
     } else if (arg == "--coverage") {
@@ -181,6 +185,7 @@ int main(int argc, char** argv) {
     }
     config.faults = std::move(plan).take();
   }
+  if (!storage_dir.empty()) config.storage.dir = storage_dir;
 
   std::cout << "Reconstructing " << dataset.name << " (seed " << dataset.seed
             << ", scale " << scale << ")...\n";
@@ -211,6 +216,13 @@ int main(int argc, char** argv) {
 
   if (run.result.degradation.degraded()) {
     std::cout << run.result.degradation.to_string() << "\n";
+  }
+  if (run.durability.enabled) {
+    std::cout << "storage  wal_appends=" << run.durability.wal_appends
+              << "  checkpoints=" << run.durability.checkpoints
+              << "  replayed=" << run.durability.recovery_records_replayed
+              << "  truncated=" << run.durability.recovery_truncated_records
+              << (run.durability.healthy ? "" : "  UNHEALTHY") << "\n";
   }
   // The harness builds twice (alignment pass, then the truth frame); the
   // reuse line shows how much of the second build replayed cached artifacts.

@@ -220,6 +220,7 @@ const char kFaultPointName[] = "fault-point-name";
 const char kPipelineConstruction[] = "pipeline-construction";
 const char kMetricHelp[] = "metric-help-required";
 const char kRawIntrinsics[] = "raw-intrinsics";
+const char kRawFileIo[] = "raw-file-io";
 
 const std::regex& raw_rng_pattern() {
   static const std::regex re(
@@ -299,6 +300,20 @@ const std::regex& raw_intrinsics_pattern() {
       "\\b_mm_\\w+|\\b_mm256_\\w+|\\b_mm512_\\w+|\\bvld[1-4]q?_\\w+|"
       "\\bvst[1-4]q?_\\w+|\\b__m128\\b|\\b__m128[id]\\b|\\b__m256\\b|"
       "\\b__m256[id]\\b|\\b__m512\\b|\\bfloat32x4_t\\b|\\bfloat64x2_t\\b");
+  return re;
+}
+
+const std::regex& raw_file_io_pattern() {
+  // Direct filesystem access inside src/ but outside the storage/io layers:
+  // stream or stdio file handles, filesystem renames/deletes/mkdirs, raw
+  // unlink. Durable state must flow through storage::Env so every write is
+  // fault-injectable and crash-tested (docs/DURABILITY.md); image/asset
+  // files go through src/io. The std::remove *algorithm* never matches —
+  // only the filesystem spellings below do.
+  static const std::regex re(
+      "\\bfopen\\s*\\(|\\bfreopen\\s*\\(|std::[oi]?fstream\\b|"
+      "std::filesystem::(remove_all|remove|rename|create_director)\\w*\\s*\\(|"
+      "std::rename\\s*\\(|\\bunlink\\s*\\(");
   return re;
 }
 
@@ -441,6 +456,11 @@ const std::vector<RuleInfo>& rule_catalog() {
        "vld1q_* calls, __m128/__m256 types) outside src/common/simd.hpp; use "
        "the portable wrapper's kernels and lane types so every hot path keeps "
        "the scalar-vs-vector bit-exactness contract"},
+      {kRawFileIo,
+       "raw file I/O (fopen, std::ofstream/ifstream, std::filesystem "
+       "remove/rename/mkdir, unlink, std::rename) in src/ outside "
+       "src/storage/ and src/io/; route durable state through storage::Env "
+       "so writes stay fault-injectable and crash recovery stays provable"},
   };
   return catalog;
 }
@@ -457,6 +477,12 @@ std::vector<Finding> lint_content(std::string_view path,
   const bool simd_source =
       file.find("src/common/simd.") != std::string::npos ||
       file.rfind("common/simd.", 0) == 0;
+  // The two layers allowed to touch the filesystem directly: the durable
+  // store's Env implementations and the image/asset codecs.
+  const bool file_io_source =
+      file.find("src/storage/") != std::string::npos ||
+      file.rfind("storage/", 0) == 0 ||
+      file.find("src/io/") != std::string::npos || file.rfind("io/", 0) == 0;
   // The pipeline-construction rule only applies outside the src/ tree: the
   // library composes the pipeline internally; everyone else goes through the
   // api::v1 facade.
@@ -515,6 +541,12 @@ std::vector<Finding> lint_content(std::string_view path,
              "raw SIMD intrinsics outside src/common/simd.hpp; use the "
              "portable wrapper (common/simd.hpp) so the bit-exactness "
              "contract holds on every backend");
+    }
+    if (in_src && !file_io_source &&
+        std::regex_search(code, raw_file_io_pattern())) {
+      report(line, kRawFileIo,
+             "raw file I/O outside src/storage/ and src/io/; go through "
+             "storage::Env (fault-injectable, crash-tested) or the io layer");
     }
     if (std::regex_search(code, unordered_pattern())) {
       report(line, kUnordered,

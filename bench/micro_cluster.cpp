@@ -1,0 +1,117 @@
+// Cluster routing capacity: what sharding uploads over N nodes buys.
+//
+// CI hosts for this repo are single-core, so wall-clock "N nodes finish N
+// times faster" is unmeasurable — every simulated node shares one CPU. The
+// headline metric is therefore *capacity-normalized*: route a corpus of
+// uploads spread over many (building, floor) shards through a 4-node ring
+// and compute
+//
+//   upload_throughput_scaling_4x = total_uploads / max_node_routed_share
+//
+// i.e. the throughput multiple a 4-node deployment sustains over a single
+// node when every node processes its routed share in parallel (the bottleneck
+// is the most-loaded node). The shard->node map is a pure function of the
+// FNV-1a ring tokens, so the number is exact and host-independent; the
+// acceptance bar (>= 2.5x at 4 nodes, perfect balance being 4.0x) is pinned
+// in bench/baselines/TOLERANCES.conf. Wall-clock series here are
+// presence-checked only.
+//
+// Emits BENCH_cluster.json lines:
+//   - route_submit_seconds:    4-node routed run, per repeat (wall clock),
+//   - route_submit_rf2_seconds: same corpus at replication_factor 2,
+//   - max_node_share:          most-loaded node's fraction of the corpus,
+//   - upload_throughput_scaling_4x: the gated capacity multiple
+//     (`--check` exits non-zero below 2.5x).
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "common/stopwatch.hpp"
+
+namespace {
+
+constexpr const char* kBench = "cluster";
+constexpr int kRepeats = 3;
+constexpr std::size_t kShards = 256;
+constexpr double kRequiredScaling = 2.5;
+
+crowdmap::cluster::ClusterOptions cluster_options(std::size_t nodes,
+                                                  std::size_t replication) {
+  crowdmap::cluster::ClusterOptions options;
+  options.config = crowdmap::core::PipelineConfig::fast_profile();
+  options.config.cluster.nodes = nodes;
+  options.config.cluster.replication_factor = replication;
+  options.workers_per_node = 1;
+  return options;
+}
+
+/// Routes one small upload per shard; returns elapsed seconds.
+double route_corpus(crowdmap::cluster::Cluster& cluster) {
+  const crowdmap::cloud::Blob payload(128, 0x5A);
+  crowdmap::common::Stopwatch timer;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    const std::string building = "bldg-" + std::to_string(shard);
+    const auto ticket =
+        cluster.submit_upload("upload-" + std::to_string(shard), building,
+                              /*floor=*/1, payload);
+    if (ticket.outcome != crowdmap::cluster::SubmitOutcome::kAccepted) {
+      std::cerr << "upload refused for shard " << shard << "\n";
+      std::exit(1);
+    }
+  }
+  const double seconds = timer.elapsed_seconds();
+  cluster.drain();
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crowdmap;
+
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  std::vector<double> routed_seconds;
+  std::vector<double> rf2_seconds;
+  double max_share = 1.0;
+  for (int r = 0; r < kRepeats; ++r) {
+    cluster::Cluster lean(cluster_options(4, 1));
+    routed_seconds.push_back(route_corpus(lean));
+
+    const auto metrics = lean.metrics();
+    double max_routed = 0.0;
+    for (std::size_t node = 0; node < lean.node_count(); ++node) {
+      max_routed = std::max(
+          max_routed,
+          metrics.value("crowdmap_cluster_uploads_routed_total",
+                        {{"node", lean.node_name(node)}}));
+    }
+    max_share = max_routed / static_cast<double>(kShards);
+
+    cluster::Cluster replicated(cluster_options(4, 2));
+    rf2_seconds.push_back(route_corpus(replicated));
+  }
+  std::cout << "# " << kShards << " shards over 4 nodes, most-loaded share "
+            << max_share << "\n";
+
+  bench::emit_bench_json(kBench, "route_submit_seconds", routed_seconds);
+  bench::emit_bench_json(kBench, "route_submit_rf2_seconds", rf2_seconds);
+  bench::emit_bench_scalar(kBench, "max_node_share", max_share);
+
+  const double scaling = max_share > 0.0 ? 1.0 / max_share : 0.0;
+  bench::emit_bench_scalar(kBench, "upload_throughput_scaling_4x", scaling);
+
+  if (check && scaling < kRequiredScaling) {
+    std::cerr << "FAIL: capacity scaling " << scaling
+              << "x at 4 nodes is below the " << kRequiredScaling
+              << "x acceptance bar\n";
+    return 1;
+  }
+  return 0;
+}

@@ -64,7 +64,7 @@ Client fresh_client() {
 std::string build_bytes(Client& client, const std::string& building,
                         int floor, double* seconds) {
   crowdmap::common::Stopwatch timer;
-  const auto response = client.build_plan({building, floor, std::nullopt});
+  const auto response = client.build_plan({building, floor, std::nullopt, {}});
   if (seconds != nullptr) *seconds = timer.elapsed_seconds();
   const auto bytes = crowdmap::floorplan::encode_floorplan(response.result.plan);
   return std::string(bytes.begin(), bytes.end());
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
     // Cold: every upload lands in a fresh backend, then one full build.
     auto cold = fresh_client();
     for (const auto& video : videos) {
-      if (!cold.submit_video(video).accepted) {
+      if (!cold.submit_video(video).status.ok()) {
         std::cerr << "upload rejected in cold run\n";
         return 1;
       }
@@ -108,13 +108,13 @@ int main(int argc, char** argv) {
     // upload lands and only the refresh is timed.
     auto warm = fresh_client();
     for (std::size_t v = 0; v + 1 < videos.size(); ++v) {
-      if (!warm.submit_video(videos[v]).accepted) {
+      if (!warm.submit_video(videos[v]).status.ok()) {
         std::cerr << "upload rejected in warm run\n";
         return 1;
       }
     }
     (void)build_bytes(warm, building, floor, nullptr);
-    if (!warm.submit_video(videos.back()).accepted) {
+    if (!warm.submit_video(videos.back()).status.ok()) {
       std::cerr << "final upload rejected in warm run\n";
       return 1;
     }

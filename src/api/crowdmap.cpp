@@ -6,7 +6,7 @@
 #include "sensors/serialize.hpp"
 
 namespace crowdmap::api {
-inline namespace v1 {
+namespace v1 {
 
 Client::Client(ClientOptions options)
     : chunk_bytes_(options.chunk_bytes == 0 ? 4096 : options.chunk_bytes),

@@ -1,16 +1,16 @@
 // crowdmap::api — the versioned public facade of the CrowdMap backend.
 //
 // Everything outside src/ (the CLI, the evaluation harness, service tests,
-// embedders) talks to the system through api::v1::Client. The facade wraps
-// the assembled cloud backend (CrowdMapService): chunked uploads through the
-// real ingestion front door, asynchronous feature extraction, and per-floor
-// incremental reconstruction with content-addressed artifact reuse
-// (docs/API.md, docs/INCREMENTAL.md).
+// embedders) talks to the system through api::Client. The newest version is
+// the inline namespace — today `v2` (api/v2.hpp), the cluster-aware facade —
+// while `api::v1::Client` pins this file's single-service surface for
+// existing callers. Additive evolution happens in place; breaking changes
+// introduce the next version alongside, and pinned callers keep compiling.
 //
-// Versioning: `v1` is an inline namespace, so `api::Client` resolves to the
-// newest version while `api::v1::Client` pins it. Additive evolution happens
-// in place; breaking changes introduce `v2` alongside — existing callers
-// keep compiling against the pinned name.
+// v1 wraps one assembled cloud backend (CrowdMapService): chunked uploads
+// through the real ingestion front door, asynchronous feature extraction,
+// and per-floor incremental reconstruction with content-addressed artifact
+// reuse (docs/API.md, docs/INCREMENTAL.md).
 //
 // Construction of core::CrowdMapPipeline directly is an internal concern;
 // the crowdmap_lint `pipeline-construction` rule flags it outside src/.
@@ -30,7 +30,7 @@
 #include "obs/metrics.hpp"
 
 namespace crowdmap::api {
-inline namespace v1 {
+namespace v1 {
 
 /// Client construction options. Defaults give a self-contained in-process
 /// backend: fresh metrics registry, side-table video decoding, two workers.
@@ -153,8 +153,16 @@ class Client {
     return service_.metrics_registry();
   }
 
+  /// The backing store (read-only) — the narrow accessor callers should
+  /// prefer over the service() escape hatch.
+  [[nodiscard]] const cloud::DocumentStore& document_store() const noexcept {
+    return service_.store();
+  }
+
   /// Escape hatch to the backing service for capabilities the facade does
-  /// not (yet) model. Carries no version guarantees.
+  /// not (yet) model. Carries no version guarantees. Deprecated: v2 removed
+  /// it in favor of narrow versioned accessors, and the crowdmap_lint
+  /// `api-escape-hatch` rule flags calls outside src/.
   [[nodiscard]] cloud::CrowdMapService& service() noexcept { return service_; }
 
  private:
@@ -172,3 +180,6 @@ class Client {
 
 }  // namespace v1
 }  // namespace crowdmap::api
+
+// The current version: api::Client resolves to api::v2::Client.
+#include "api/v2.hpp"  // IWYU pragma: export

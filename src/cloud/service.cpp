@@ -143,6 +143,11 @@ std::vector<std::uint32_t> CrowdMapService::missing_chunks(
   return ingest_->missing_chunks(upload_id);
 }
 
+void CrowdMapService::ingest_document(const Document& doc) {
+  store_.put(doc);
+  on_upload_complete(doc);
+}
+
 core::IncrementalPlanner& CrowdMapService::planner_for(const FloorKey& key) {
   common::MutexLock lock(mutex_);
   auto& slot = planners_[key];

@@ -86,6 +86,16 @@ class CrowdMapService {
   [[nodiscard]] std::vector<std::uint32_t> missing_chunks(
       const std::string& upload_id);
 
+  /// Replication/rebalance seam (crowdmap::cluster): admits an already
+  /// reassembled upload document as if its final chunk had just cleared
+  /// ingestion — store put plus async decode/extraction. Bypasses the
+  /// chunked front door: replication is a reliable internal transport, so
+  /// ingest chunk faults never re-fire for replicated copies, keeping the
+  /// client-facing fault interrogations once-per-upload across the cluster.
+  /// Idempotent per document id (the store put replaces, planner admission
+  /// dedupes by video id).
+  void ingest_document(const Document& doc);
+
   /// Blocks until every queued extraction (and background refresh) has
   /// finished.
   void drain();
@@ -217,18 +227,21 @@ class CrowdMapService {
   /// threads journal through it until the pool joins, and its destructor
   /// detaches from the still-live store.
   std::unique_ptr<DurableDocumentStore> durable_;
-  common::ThreadPool pool_;
-  std::unique_ptr<IngestService> ingest_;
   /// Service-side chaos plan (decode.fail, extract.sensor_dropout); armed
   /// from config.faults, disarmed (zero-cost) by default.
   common::FaultInjector faults_;
 
   mutable common::Mutex mutex_;
   // One incremental planner per (building, floor) — each owns that floor's
-  // corpus, artifact cache and S2 memo.
+  // corpus, artifact cache and S2 memo. The mutex and both maps are declared
+  // before pool_ (and so destroyed after it joins): extraction/refresh tasks
+  // reach planner_for() until the last worker exits — a service torn down
+  // with work still queued (the cluster's node-crash fault) must join first.
   std::map<FloorKey, std::unique_ptr<core::IncrementalPlanner>> planners_
       CM_GUARDED_BY(mutex_);
   std::map<FloorKey, bool> refresh_pending_ CM_GUARDED_BY(mutex_);
+  common::ThreadPool pool_;
+  std::unique_ptr<IngestService> ingest_;
 };
 
 }  // namespace crowdmap::cloud

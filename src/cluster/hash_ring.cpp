@@ -1,0 +1,59 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/fault.hpp"
+
+namespace crowdmap::cluster {
+
+HashRing::HashRing(const std::vector<std::size_t>& members, std::size_t vnodes)
+    : vnodes_(vnodes == 0 ? 1 : vnodes) {
+  rebuild(members);
+}
+
+void HashRing::rebuild(const std::vector<std::size_t>& members) {
+  tokens_.clear();
+  members_ = members.size();
+  tokens_.reserve(members.size() * vnodes_);
+  for (const std::size_t node : members) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      // String-hashed tokens: stable across platforms and identical for a
+      // node index regardless of what other members exist, so a rebuild
+      // leaves surviving nodes' tokens exactly where they were.
+      const std::string token_id = "node-" + std::to_string(node) +
+                                   "/vnode-" + std::to_string(v);
+      tokens_.push_back({common::stable_string_hash(token_id), node});
+    }
+  }
+  std::sort(tokens_.begin(), tokens_.end(),
+            [](const Token& a, const Token& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+            });
+}
+
+std::vector<std::size_t> HashRing::preference(std::uint64_t key_hash,
+                                              std::size_t count) const {
+  std::vector<std::size_t> out;
+  if (tokens_.empty() || count == 0) return out;
+  const std::size_t want = std::min(count, members_);
+  out.reserve(want);
+  // First token clockwise of the key (wrapping), then walk until `want`
+  // distinct nodes are collected.
+  std::size_t start = std::lower_bound(
+                          tokens_.begin(), tokens_.end(), key_hash,
+                          [](const Token& t, std::uint64_t h) {
+                            return t.hash < h;
+                          }) -
+                      tokens_.begin();
+  for (std::size_t step = 0; step < tokens_.size() && out.size() < want;
+       ++step) {
+    const std::size_t node = tokens_[(start + step) % tokens_.size()].node;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdmap::cluster

@@ -1,0 +1,43 @@
+// Consistent-hash ring for shard routing (docs/CLUSTER.md). Each member
+// node projects `vnodes` tokens onto the 64-bit ring via the platform-stable
+// FNV-1a string hash; a key's preference list walks clockwise from the key's
+// hash collecting distinct members. Membership changes therefore move only
+// the shards adjacent to the joining/leaving node's tokens — the property
+// that makes rebalancing O(moved shards), not O(all shards).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crowdmap::cluster {
+
+class HashRing {
+ public:
+  HashRing() = default;
+  explicit HashRing(const std::vector<std::size_t>& members,
+                    std::size_t vnodes = 64);
+
+  /// Rebuilds the ring over a new member set (node join/leave). Member
+  /// indices need not be contiguous — removed nodes simply stay out.
+  void rebuild(const std::vector<std::size_t>& members);
+
+  /// Ordered preference list for a key: the first `count` distinct members
+  /// clockwise of `key_hash` (fewer when the ring has fewer members, empty
+  /// on an empty ring). Deterministic for a given member set.
+  [[nodiscard]] std::vector<std::size_t> preference(std::uint64_t key_hash,
+                                                    std::size_t count) const;
+
+  [[nodiscard]] std::size_t member_count() const noexcept { return members_; }
+
+ private:
+  struct Token {
+    std::uint64_t hash = 0;
+    std::size_t node = 0;
+  };
+  std::vector<Token> tokens_;  // sorted by (hash, node)
+  std::size_t members_ = 0;
+  std::size_t vnodes_ = 64;
+};
+
+}  // namespace crowdmap::cluster

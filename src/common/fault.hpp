@@ -43,7 +43,11 @@ namespace crowdmap::common {
   X(kFsWriteTorn, "fs.write_torn")                                        \
   X(kFsFsyncFail, "fs.fsync_fail")                                        \
   X(kFsCrashAt, "fs.crash_at")                                            \
-  X(kFsReadCorrupt, "fs.read_corrupt")
+  X(kFsReadCorrupt, "fs.read_corrupt")                                    \
+  X(kClusterNodeCrash, "cluster.node_crash")                              \
+  X(kClusterPartition, "cluster.partition")                               \
+  X(kClusterReplicationDelay, "cluster.replication_delay")                \
+  X(kClusterReplicationDuplicate, "cluster.replication_duplicate")
 
 enum class FaultPoint : std::size_t {
 #define CROWDMAP_FAULT_POINT_ENUM(ident, name) ident,

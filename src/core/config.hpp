@@ -107,6 +107,26 @@ struct StorageConfig {
   bool fsync = true;
 };
 
+/// Sharded multi-node simulation (docs/CLUSTER.md): N in-process nodes each
+/// running a full CrowdMapService, a router sharding uploads by consistent
+/// hashing on (building, floor), and primary/replica replication through a
+/// deterministic CMWL-framed log. One node (the default) degenerates to the
+/// single-service backend — plans stay byte-identical at any node count.
+struct ClusterConfig {
+  /// In-process node instances behind the api::v2 client (>= 1).
+  std::size_t nodes = 1;
+  /// Copies of each shard's replication log applied across the ring
+  /// (clamped to the node count; 1 = no replicas, primary only).
+  std::size_t replication_factor = 2;
+  /// Eagerly re-replicate shard logs onto their new owners when membership
+  /// changes (node join/leave). Off: new owners catch up lazily on first
+  /// access — routing still moves immediately.
+  bool rebalance = true;
+  /// Shed uploads (api::StatusCode::kShedding) when the acting primary's
+  /// worker queue is deeper than this many tasks. 0 disables shedding.
+  std::size_t max_node_queue = 0;
+};
+
 struct PipelineConfig {
   // §III.B.I — key-frame selection and trajectory extraction.
   trajectory::ExtractionConfig extraction;
@@ -153,6 +173,8 @@ struct PipelineConfig {
   common::FaultPlan faults;
   /// Durable persistence of the document store (docs/DURABILITY.md).
   StorageConfig storage;
+  /// Sharded multi-node topology behind api::v2 (docs/CLUSTER.md).
+  ClusterConfig cluster;
 
   /// A faster profile for unit/integration tests: the layout sweep capped at
   /// 2,000 hypotheses (a documented 10x fidelity cut vs the paper's 20,000)

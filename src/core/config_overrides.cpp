@@ -86,6 +86,15 @@ constexpr ConfigKeyInfo kConfigKeys[] = {
     CM_KEY_BOOL("cache.background_refresh", nullptr,
                 incremental.background_refresh,
                 "Refresh plans on the worker pool as uploads land"),
+    CM_KEY_SIZE("cluster.max_node_queue", nullptr, cluster.max_node_queue,
+                "Shed uploads when a node's worker queue exceeds this (0 off)"),
+    CM_KEY_SIZE("cluster.nodes", nullptr, cluster.nodes,
+                "In-process cluster nodes behind the api::v2 client"),
+    CM_KEY_BOOL("cluster.rebalance", nullptr, cluster.rebalance,
+                "Eagerly re-replicate shard logs on node join/leave"),
+    CM_KEY_SIZE("cluster.replication_factor", "cluster.replicas",
+                cluster.replication_factor,
+                "Replication-log copies per shard (clamped to node count)"),
     {"faults.seed", nullptr, "int",
      "Seed keying every chaos-plan fire decision",
      [](PipelineConfig& c, const std::string& v) {

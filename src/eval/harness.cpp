@@ -51,7 +51,7 @@ ExperimentRun run_experiment(const DatasetSpec& dataset,
   // onto ground truth, then rebuild in the truth frame so rasters are
   // directly comparable (the paper's overlay step). The second build replays
   // the first's frame-independent artifacts from the cache.
-  const auto plan0 = client.build_plan({building, floor, std::nullopt});
+  const auto plan0 = client.build_plan({building, floor, std::nullopt, {}});
   run.trajectories = client.trajectories(building, floor);
   const auto alignment =
       floorplan::align_to_truth(run.trajectories, plan0.result.aggregation);
@@ -60,7 +60,7 @@ ExperimentRun run_experiment(const DatasetSpec& dataset,
   core::WorldFrame frame;
   frame.global_to_world = run.global_to_truth;
   frame.extent = dataset.building.extent();
-  auto final_build = client.build_plan({building, floor, frame});
+  auto final_build = client.build_plan({building, floor, frame, {}});
   run.result = std::move(final_build.result);
   run.cache = final_build.cache;
 

@@ -46,7 +46,7 @@ struct ExperimentRun {
   cloud::DurabilityStats durability;
 };
 
-/// Streams the dataset's videos through the api::v1 backend and evaluates
+/// Streams the dataset's videos through the api::v2 backend (cluster.nodes sizes the topology) and evaluates
 /// the result against ground truth. The alignment onto the truth frame is
 /// estimated from key-frame correspondences (the paper's max-cover overlay).
 [[nodiscard]] ExperimentRun run_experiment(const DatasetSpec& dataset,

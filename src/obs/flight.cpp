@@ -27,7 +27,8 @@ bool kind_is_deterministic(FlightEventKind kind) noexcept {
   return kind != FlightEventKind::kQueueDepth &&
          kind != FlightEventKind::kCacheEvict &&
          kind != FlightEventKind::kWalAppend &&
-         kind != FlightEventKind::kWalCheckpoint;
+         kind != FlightEventKind::kWalCheckpoint &&
+         kind != FlightEventKind::kClusterShed;
 }
 
 bool kind_is_anomaly(FlightEventKind kind) noexcept {
@@ -35,7 +36,9 @@ bool kind_is_anomaly(FlightEventKind kind) noexcept {
          kind == FlightEventKind::kDegradation ||
          kind == FlightEventKind::kSloBreach ||
          kind == FlightEventKind::kIngestQuarantine ||
-         kind == FlightEventKind::kRecoveryTruncate;
+         kind == FlightEventKind::kRecoveryTruncate ||
+         kind == FlightEventKind::kClusterFailover ||
+         kind == FlightEventKind::kClusterShed;
 }
 
 std::size_t round_up_pow2(std::size_t n) noexcept {
@@ -180,6 +183,9 @@ std::string_view flight_event_kind_name(FlightEventKind kind) noexcept {
     case FlightEventKind::kWalAppend: return "wal_append";
     case FlightEventKind::kWalCheckpoint: return "wal_checkpoint";
     case FlightEventKind::kRecoveryTruncate: return "recovery_truncate";
+    case FlightEventKind::kClusterReplicate: return "cluster_replicate";
+    case FlightEventKind::kClusterFailover: return "cluster_failover";
+    case FlightEventKind::kClusterShed: return "cluster_shed";
   }
   return "unknown";
 }

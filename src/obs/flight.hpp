@@ -53,6 +53,9 @@ enum class FlightEventKind : std::uint16_t {
   kWalAppend = 12,        // a = segment seqno, b = record bytes
   kWalCheckpoint = 13,    // a = snapshot seqno, b = retired segment count
   kRecoveryTruncate = 14, // a = segment seqno, b = damaged tail bytes
+  kClusterReplicate = 15, // detail = node index, a = floor key hash, b = seqno
+  kClusterFailover = 16,  // detail = acting node index, a = floor key hash
+  kClusterShed = 17,      // detail = node index, a = queue depth
 };
 
 /// Catalog name of an event kind ("cache_hit"); "unknown" for junk input.

@@ -205,6 +205,29 @@ TEST(AnalyzeLayering, StorageSitsBelowCloudAndAboveCommon) {
   EXPECT_EQ(f->symbol, "storage->cloud");
 }
 
+TEST(AnalyzeLayering, ClusterSitsBetweenApiAndCloud) {
+  // The cluster router (PR 10) shares core's rank: the api facade may
+  // include it, it may include the cloud service it shards, and the cloud
+  // service must never reach back up into the router.
+  const auto clean = run({
+      {"src/api/v2.hpp", "#pragma once\n#include \"cluster/cluster.hpp\"\n"},
+      {"src/cluster/cluster.hpp",
+       "#pragma once\n#include \"cloud/service.hpp\"\n"},
+      {"src/cloud/service.hpp", "#pragma once\n"},
+  });
+  EXPECT_FALSE(has_rule(clean, "layering-upward"));
+
+  const auto upward = run({
+      {"src/cloud/service.hpp",
+       "#pragma once\n#include \"cluster/replication.hpp\"\n"},
+      {"src/cluster/replication.hpp", "#pragma once\n"},
+  });
+  const an::Finding* f = find_rule(upward, "layering-upward");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->symbol, "cloud->cluster");
+  EXPECT_EQ(f->path, "src/cloud/service.hpp");
+}
+
 TEST(AnalyzeLayering, ModuleCycleDetected) {
   const auto findings = run({
       {"src/vision/v.hpp", "#pragma once\n#include \"room/r.hpp\"\n"},

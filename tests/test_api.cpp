@@ -14,7 +14,7 @@
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
-namespace ap = crowdmap::api;
+namespace ap = crowdmap::api::v1;
 namespace cs = crowdmap::sim;
 namespace co = crowdmap::core;
 namespace cc = crowdmap::common;
@@ -141,12 +141,12 @@ TEST(Api, PersistedCacheWarmsARestartedBackend) {
   // The snapshot is a reserved system document: floor queries still return
   // only the uploads themselves.
   for (const auto& id :
-       original.service().store().ids_for_floor(building, floor)) {
+       original.document_store().ids_for_floor(building, floor)) {
     EXPECT_EQ(id.rfind("video-", 0), 0u) << "snapshot leaked into " << id;
   }
 
   auto restarted = make_client();
-  EXPECT_GT(restarted.warm_artifact_cache_from(original.service().store()), 0u);
+  EXPECT_GT(restarted.warm_artifact_cache_from(original.document_store()), 0u);
   for (const auto& video : videos) ASSERT_TRUE(restarted.submit_video(video).accepted);
   const auto after = restarted.build_plan({building, floor, std::nullopt});
 
@@ -175,7 +175,7 @@ TEST(Api, MalformedCacheSnapshotRejectsCleanlyAndFallsBackCold) {
   crowdmap::cloud::DocumentStore truncated_store;
   crowdmap::cloud::DocumentStore corrupted_store;
   std::size_t snapshots_seen = 0;
-  for (const auto& doc : original.service().store().export_documents()) {
+  for (const auto& doc : original.document_store().export_documents()) {
     const auto kind = doc.metadata.find("kind");
     if (kind != doc.metadata.end() && kind->second == "artifact-cache") {
       ++snapshots_seen;
@@ -229,9 +229,12 @@ TEST(Api, BackgroundRefreshServesLatestPlanWithoutABuildCall) {
   EXPECT_EQ(plan_bytes(*latest), plan_bytes(built.result));
 }
 
-TEST(Api, VersionAliasResolvesToV1) {
-  // api::Client and api::v1::Client are the same type (inline namespace).
+TEST(Api, VersionAliasResolvesToV2AndV1StaysPinned) {
+  // api::Client resolves to the newest version (v2, the inline namespace);
+  // the pinned v1 name this suite uses is a distinct, still-compiling type.
+  static_assert(std::is_same_v<crowdmap::api::Client, crowdmap::api::v2::Client>);
   static_assert(std::is_same_v<ap::Client, crowdmap::api::v1::Client>);
+  static_assert(!std::is_same_v<crowdmap::api::Client, crowdmap::api::v1::Client>);
   SUCCEED();
 }
 

@@ -1,0 +1,431 @@
+// Tests for crowdmap::cluster — the sharded multi-node simulation: hash-ring
+// routing, the CMWL-framed shard replication log, and the determinism
+// contract the whole design exists for: serialized FloorPlans are
+// byte-identical across node counts and failure schedules (crash, partition,
+// duplicate delivery), at any per-node worker count (docs/CLUSTER.md).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/hash_ring.hpp"
+#include "cluster/replication.hpp"
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "floorplan/serialize.hpp"
+#include "sensors/serialize.hpp"
+#include "sim/buildings.hpp"
+#include "sim/campaign.hpp"
+
+namespace cl = crowdmap::cluster;
+namespace cc = crowdmap::common;
+namespace co = crowdmap::core;
+namespace cs = crowdmap::sim;
+namespace cd = crowdmap::cloud;
+namespace fp = crowdmap::floorplan;
+
+namespace {
+
+/// Seed for the chaos schedules: the CI cluster-chaos matrix overrides it
+/// via CROWDMAP_FAULT_SEED so the same binary covers several timelines —
+/// the byte-identity assertions must hold for every seed.
+std::string chaos_seed() {
+  std::uint64_t seed = 0;
+  if (cc::env_fault_seed(seed)) return std::to_string(seed);
+  return "42";
+}
+
+std::vector<cs::SensorRichVideo> tiny_campaign(std::uint64_t seed) {
+  std::vector<cs::SensorRichVideo> out;
+  cc::Rng rng(seed);
+  const auto spec = cs::random_building(2, rng);
+  cs::CampaignOptions options;
+  options.users = 2;
+  options.room_videos_per_room = 1;
+  options.hallway_walks = 4;
+  options.junk_fraction = 0.0;
+  options.sim.fps = 3.0;
+  cs::generate_campaign_streaming(spec, options, seed,
+                                  [&out](cs::SensorRichVideo&& video) {
+                                    out.push_back(std::move(video));
+                                  });
+  return out;
+}
+
+using VideoTable = std::map<std::string, cs::SensorRichVideo>;
+
+/// Cluster-wide side-table decoder, the same shape api::v2 uses.
+cd::VideoDecoder table_decoder(std::shared_ptr<VideoTable> table) {
+  return [table = std::move(table)](const cd::Document& doc)
+             -> std::optional<cs::SensorRichVideo> {
+    const auto it = table->find(doc.id);
+    if (it == table->end()) return std::nullopt;
+    return it->second;
+  };
+}
+
+cl::ClusterOptions make_options(std::shared_ptr<VideoTable> table,
+                                std::size_t nodes, std::size_t workers,
+                                const cc::FaultPlan& faults = {}) {
+  cl::ClusterOptions options;
+  options.config = co::PipelineConfig::fast_profile();
+  options.config.cluster.nodes = nodes;
+  options.config.faults = faults;
+  options.decoder = table_decoder(std::move(table));
+  options.workers_per_node = workers;
+  return options;
+}
+
+std::string run_campaign(const std::vector<cs::SensorRichVideo>& videos,
+                         cl::Cluster& cluster) {
+  const std::string building = videos.front().building;
+  const int floor = videos.front().floor;
+  for (const auto& video : videos) {
+    const auto ticket = cluster.submit_upload(
+        "video-" + std::to_string(video.video_id), video.building, video.floor,
+        crowdmap::sensors::encode_imu(video.imu));
+    EXPECT_EQ(ticket.outcome, cl::SubmitOutcome::kAccepted);
+    EXPECT_GT(ticket.seqno, 0u);
+  }
+  const auto result = cluster.build_floor_plan(building, floor);
+  const auto bytes = fp::encode_floorplan(result.plan);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::shared_ptr<VideoTable> make_table(
+    const std::vector<cs::SensorRichVideo>& videos) {
+  auto table = std::make_shared<VideoTable>();
+  for (const auto& video : videos) {
+    (*table)["video-" + std::to_string(video.video_id)] = video;
+  }
+  return table;
+}
+
+/// On divergence, keep both serialized plans so CI uploads them as
+/// artifacts (the cluster-chaos job's debugging trail).
+void dump_divergence(const std::string& label, const std::string& reference,
+                     const std::string& actual) {
+  const std::filesystem::path dir = "cluster_divergence";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir / (label + ".reference.cmplan"), std::ios::binary)
+      << reference;
+  std::ofstream(dir / (label + ".actual.cmplan"), std::ios::binary) << actual;
+}
+
+cd::Document sample_doc(const std::string& id, int floor) {
+  cd::Document doc;
+  doc.id = id;
+  doc.building = "lab";
+  doc.floor = floor;
+  doc.metadata["kind"] = "upload";
+  doc.metadata["codec"] = "imu-v1";
+  doc.payload = {0x01, 0x02, 0x03, 0xFF, 0x00, 0x42};
+  return doc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- hash ring ---
+
+TEST(HashRing, PreferenceListsAreDistinctAndClampedToMembership) {
+  cl::HashRing ring({0, 1, 2});
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const auto pref = ring.preference(cc::hash_u64(key), 3);
+    ASSERT_EQ(pref.size(), 3u);
+    EXPECT_EQ(std::set<std::size_t>(pref.begin(), pref.end()).size(), 3u);
+  }
+  EXPECT_EQ(ring.preference(7, 8).size(), 3u) << "clamped to member count";
+  EXPECT_TRUE(cl::HashRing(std::vector<std::size_t>{}).preference(7, 2).empty());
+}
+
+TEST(HashRing, SurvivingNodesKeepTheirTokensAcrossRebuilds) {
+  // Consistent hashing's point: adding a member re-homes only the keys the
+  // new member takes over; every other key keeps its primary.
+  cl::HashRing before({0, 1, 2});
+  cl::HashRing after({0, 1, 2, 3});
+  std::size_t moved = 0;
+  constexpr std::size_t kKeys = 256;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const auto old_primary = before.preference(cc::hash_u64(key), 1).front();
+    const auto new_primary = after.preference(cc::hash_u64(key), 1).front();
+    if (new_primary != old_primary) {
+      EXPECT_EQ(new_primary, 3u)
+          << "a key moved to a node that was present before the join";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kKeys / 2) << "join re-homed a majority of keys";
+}
+
+// --------------------------------------------------- replication codec ---
+
+TEST(ReplicationRecord, CodecRoundTripsDocuments) {
+  const auto doc = sample_doc("video-42", 3);
+  const auto decoded = cl::decode_record(cl::encode_record(doc));
+  EXPECT_EQ(decoded.id, doc.id);
+  EXPECT_EQ(decoded.building, doc.building);
+  EXPECT_EQ(decoded.floor, doc.floor);
+  EXPECT_EQ(decoded.metadata, doc.metadata);
+  EXPECT_EQ(decoded.payload, doc.payload);
+}
+
+TEST(ReplicationRecord, DecodeRejectsForeignBytes) {
+  auto bytes = cl::encode_record(sample_doc("video-1", 1));
+  bytes[0] ^= 0xFF;  // break the CMRR magic
+  EXPECT_THROW((void)cl::decode_record(bytes), crowdmap::io::DecodeError);
+}
+
+TEST(ReplicationLog, ShippedSegmentsReplayThroughTheStorageScanner) {
+  cl::ReplicationLog log(7);
+  std::vector<crowdmap::io::Bytes> appended;
+  for (int i = 0; i < 3; ++i) {
+    appended.push_back(cl::encode_record(sample_doc("v" + std::to_string(i), i)));
+    EXPECT_EQ(log.append(appended.back()), static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(log.head(), 3u);
+  EXPECT_EQ(log.record(2), appended[1]);
+
+  const auto replayed = cl::ReplicationLog::replay(log.segment());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value(), appended);
+}
+
+TEST(ReplicationLog, ReplayRefusesDamagedTransport) {
+  cl::ReplicationLog log(7);
+  (void)log.append(cl::encode_record(sample_doc("v0", 1)));
+  auto segment = log.segment();
+  segment.back() ^= 0xFF;  // tear the last frame's payload
+  const auto replayed = cl::ReplicationLog::replay(segment);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.error().code, "cluster.replication_damage");
+}
+
+// ------------------------------------------------ determinism contract ---
+
+TEST(ClusterDeterminism, PlansAreByteIdenticalAcrossNodesFaultsAndWorkers) {
+  const auto videos = tiny_campaign(910);
+  ASSERT_GE(videos.size(), 3u);
+
+  // Reference: one node, no faults.
+  std::string reference;
+  {
+    cl::Cluster cluster(make_options(make_table(videos), 1, 2));
+    reference = run_campaign(videos, cluster);
+  }
+  ASSERT_FALSE(reference.empty());
+
+  const std::vector<std::pair<std::string, std::string>> schedules = {
+      {"crash", "cluster.node_crash=0.3"},
+      {"partition", "cluster.partition=0.4"},
+      {"duplicate", "cluster.replication_duplicate=0.6"},
+  };
+  for (const std::size_t nodes : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+    for (const auto& [name, spec] : schedules) {
+      for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+        auto plan = cc::parse_fault_plan(chaos_seed() + ":" + spec);
+        ASSERT_TRUE(plan.ok());
+        cl::Cluster cluster(
+            make_options(make_table(videos), nodes, workers, plan.value()));
+        const std::string actual = run_campaign(videos, cluster);
+        const std::string label = name + "-n" + std::to_string(nodes) + "-w" +
+                                  std::to_string(workers);
+        if (actual != reference) dump_divergence(label, reference, actual);
+        ASSERT_EQ(actual, reference)
+            << label << ": plan bytes diverged from the single-node "
+            << "no-fault reference (artifacts in cluster_divergence/)";
+      }
+    }
+  }
+}
+
+TEST(ClusterDeterminism, InjectedFaultsActuallyFire) {
+  // Guard against a vacuous matrix: under the same seeds the schedules use,
+  // crashes and duplicate deliveries must actually happen.
+  const auto videos = tiny_campaign(910);
+  {
+    auto plan = cc::parse_fault_plan(chaos_seed() + ":cluster.node_crash=0.3");
+    ASSERT_TRUE(plan.ok());
+    cl::Cluster cluster(make_options(make_table(videos), 3, 1, plan.value()));
+    (void)run_campaign(videos, cluster);
+    EXPECT_GT(cluster.metrics().value("crowdmap_cluster_node_crashes_total"),
+              0.0);
+  }
+  {
+    auto plan = cc::parse_fault_plan(chaos_seed() + ":cluster.replication_duplicate=0.6");
+    ASSERT_TRUE(plan.ok());
+    cl::Cluster cluster(make_options(make_table(videos), 3, 1, plan.value()));
+    (void)run_campaign(videos, cluster);
+    EXPECT_GT(
+        cluster.metrics().value("crowdmap_cluster_replication_duplicates_total"),
+        0.0);
+  }
+}
+
+TEST(ClusterDeterminism, DelayedReplicationConvergesOnDrain) {
+  const auto videos = tiny_campaign(911);
+  auto plan = cc::parse_fault_plan(chaos_seed() + ":cluster.replication_delay=1.0");
+  ASSERT_TRUE(plan.ok());
+  auto options = make_options(make_table(videos), 3, 1, plan.value());
+  options.config.cluster.replication_factor = 3;
+  cl::Cluster cluster(std::move(options));
+
+  const std::string reference = [&] {
+    cl::Cluster single(make_options(make_table(videos), 1, 2));
+    return run_campaign(videos, single);
+  }();
+  EXPECT_EQ(run_campaign(videos, cluster), reference);
+  EXPECT_GT(cluster.metrics().value(
+                "crowdmap_cluster_replication_delayed_total"),
+            0.0);
+
+  // After drain, every parked delivery has landed: all three replicas hold
+  // the full committed upload set.
+  cluster.drain();
+  const auto view =
+      cluster.shard_of(videos.front().building, videos.front().floor);
+  ASSERT_EQ(view.replicas.size(), 3u);
+  for (const std::size_t node : view.replicas) {
+    for (const auto& video : videos) {
+      EXPECT_TRUE(cluster.document_store(node)
+                      .get("video-" + std::to_string(video.video_id))
+                      .has_value())
+          << "node " << node << " missing a committed upload after drain";
+    }
+  }
+}
+
+// --------------------------------------------------- routing semantics ---
+
+TEST(Cluster, DirectSubmitToANonPrimaryIsRefusedAsWrongShard) {
+  const auto videos = tiny_campaign(912);
+  cl::Cluster cluster(make_options(make_table(videos), 3, 1));
+  const auto& video = videos.front();
+  const auto view = cluster.shard_of(video.building, video.floor);
+  std::size_t wrong = 0;
+  while (wrong == view.primary) ++wrong;
+
+  const auto payload = crowdmap::sensors::encode_imu(video.imu);
+  const std::string id = "video-" + std::to_string(video.video_id);
+  const auto refused =
+      cluster.submit_upload_to(wrong, id, video.building, video.floor, payload);
+  EXPECT_EQ(refused.outcome, cl::SubmitOutcome::kWrongShard);
+  EXPECT_EQ(refused.node, view.primary) << "ticket names the right node";
+  EXPECT_EQ(cluster.metrics().value("crowdmap_cluster_wrong_shard_total"), 1.0);
+
+  const auto accepted = cluster.submit_upload_to(view.primary, id,
+                                                 video.building, video.floor,
+                                                 payload);
+  EXPECT_EQ(accepted.outcome, cl::SubmitOutcome::kAccepted);
+}
+
+TEST(Cluster, OverloadedPrimaryShedsUploads) {
+  const auto videos = tiny_campaign(913);
+  auto options = make_options(make_table(videos), 2, 1);
+  options.config.cluster.max_node_queue = 4;
+  cl::Cluster cluster(std::move(options));
+
+  const auto& video = videos.front();
+  const auto view = cluster.shard_of(video.building, video.floor);
+  // Backpressure reads the service's own queue-depth gauge; registration is
+  // idempotent, so the test grabs the same handle and simulates a backlog.
+  cluster.node_registry(view.primary)
+      ->gauge("crowdmap_worker_queue_depth", {},
+              "Extraction tasks waiting in the pool")
+      .set(100.0);
+
+  const auto shed = cluster.submit_upload(
+      "video-" + std::to_string(video.video_id), video.building, video.floor,
+      crowdmap::sensors::encode_imu(video.imu));
+  EXPECT_EQ(shed.outcome, cl::SubmitOutcome::kShedding);
+  EXPECT_EQ(shed.seqno, 0u) << "a shed upload must not reach the shard log";
+  EXPECT_EQ(cluster.metrics().value("crowdmap_cluster_sheds_total"), 1.0);
+  EXPECT_EQ(cluster.shard_log_head(video.building, video.floor), 0u);
+}
+
+TEST(Cluster, ExpiredDeadlinesAreRejectedAtAdmission) {
+  const auto videos = tiny_campaign(914);
+  const auto& video = videos.front();
+  const auto payload = crowdmap::sensors::encode_imu(video.imu);
+  cl::Cluster cluster(make_options(make_table(videos), 1, 1));
+
+  // A generous deadline admits; each routed request advances the clock.
+  const auto early = cluster.submit_upload("video-early", video.building,
+                                           video.floor, payload,
+                                           /*deadline=*/100);
+  EXPECT_EQ(early.outcome, cl::SubmitOutcome::kAccepted);
+  ASSERT_GE(cluster.now_tick(), 1u);
+
+  const auto late = cluster.submit_upload("video-late", video.building,
+                                          video.floor, payload,
+                                          /*deadline=*/1);
+  EXPECT_EQ(late.outcome, cl::SubmitOutcome::kDeadlineExceeded);
+  EXPECT_EQ(late.seqno, 0u);
+  EXPECT_EQ(cluster.shard_log_head(video.building, video.floor), 1u)
+      << "the late upload must not have been committed";
+}
+
+// ------------------------------------------------------- membership ---
+
+TEST(Cluster, MembershipChangesRebalanceAndPreservePlanBytes) {
+  const auto videos = tiny_campaign(915);
+  ASSERT_GE(videos.size(), 4u);
+  const std::string reference = [&] {
+    cl::Cluster single(make_options(make_table(videos), 1, 2));
+    return run_campaign(videos, single);
+  }();
+
+  cl::Cluster cluster(make_options(make_table(videos), 1, 2));
+  const std::size_t half = videos.size() / 2;
+  auto submit = [&](const cs::SensorRichVideo& video) {
+    const auto ticket = cluster.submit_upload(
+        "video-" + std::to_string(video.video_id), video.building, video.floor,
+        crowdmap::sensors::encode_imu(video.imu));
+    ASSERT_EQ(ticket.outcome, cl::SubmitOutcome::kAccepted);
+  };
+  for (std::size_t i = 0; i < half; ++i) submit(videos[i]);
+
+  // Join: re-homed shards are eagerly resynced (RF=2 over 2 nodes means the
+  // new node must receive every committed record).
+  const std::size_t joined = cluster.add_node();
+  EXPECT_EQ(cluster.node_count(), 2u);
+  EXPECT_GT(cluster.metrics().value("crowdmap_cluster_rebalance_moves_total"),
+            0.0);
+  for (std::size_t i = half; i < videos.size(); ++i) submit(videos[i]);
+
+  // Leave: the survivor resyncs anything it did not own and serves alone.
+  ASSERT_TRUE(cluster.remove_node(0));
+  EXPECT_FALSE(cluster.remove_node(joined)) << "refuses to empty the ring";
+  EXPECT_EQ(cluster.node_count(), 1u);
+
+  const auto result =
+      cluster.build_floor_plan(videos.front().building, videos.front().floor);
+  const auto bytes = fp::encode_floorplan(result.plan);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), reference);
+}
+
+TEST(Cluster, ShardLogSegmentsShipAndReplayByteForByte) {
+  const auto videos = tiny_campaign(916);
+  cl::Cluster cluster(make_options(make_table(videos), 2, 1));
+  (void)run_campaign(videos, cluster);
+  const auto& front = videos.front();
+  const auto head = cluster.shard_log_head(front.building, front.floor);
+  EXPECT_EQ(head, videos.size());
+
+  const auto segment = cluster.shard_log_segment(front.building, front.floor);
+  const auto replayed = cl::ReplicationLog::replay(segment);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed.value().size(), head);
+  // Every shipped record decodes back to a committed upload document.
+  std::set<std::string> ids;
+  for (const auto& bytes : replayed.value()) {
+    ids.insert(cl::decode_record(bytes).id);
+  }
+  EXPECT_EQ(ids.size(), videos.size());
+}

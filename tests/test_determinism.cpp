@@ -14,7 +14,7 @@
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
-namespace ap = crowdmap::api;
+namespace ap = crowdmap::api::v1;
 namespace cc = crowdmap::common;
 namespace co = crowdmap::core;
 namespace cs = crowdmap::sim;

@@ -240,7 +240,7 @@ TEST(IncrementalProperty, AnyUploadInterleavingMatchesTheBatchBuild) {
   // interleaved at arbitrary points between submissions, the final plan is
   // byte-identical to the batch build (all uploads, one build). Seeded
   // Fisher-Yates permutations keep the sweep reproducible.
-  namespace ap = crowdmap::api;
+  namespace ap = crowdmap::api::v1;
   namespace cs = crowdmap::sim;
   namespace co = crowdmap::core;
 

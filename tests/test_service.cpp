@@ -10,7 +10,7 @@
 #include "sim/buildings.hpp"
 #include "sim/campaign.hpp"
 
-namespace ap = crowdmap::api;
+namespace ap = crowdmap::api::v1;
 namespace cl = crowdmap::cloud;
 namespace cs = crowdmap::sim;
 namespace co = crowdmap::core;
@@ -152,5 +152,5 @@ TEST(Service, ConcurrentSubmissionFromManyClients) {
   for (auto& t : clients) t.join();
   client.drain();
   EXPECT_EQ(client.stats().uploads_completed, videos.size());
-  EXPECT_EQ(client.service().store().size(), videos.size());
+  EXPECT_EQ(client.document_store().size(), videos.size());
 }

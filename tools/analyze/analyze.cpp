@@ -42,7 +42,7 @@ const std::vector<RuleInfo> kRules = {
 // are additionally guarded by module-cycle detection).
 const std::vector<LayerInfo> kLayers = {
     {0, "api"},
-    {1, "core"},
+    {1, "cluster"},    {1, "core"},
     {2, "cache"},      {2, "cloud"},     {2, "eval"},
     {3, "vision"},     {3, "room"},      {3, "floorplan"}, {3, "mapping"},
     {3, "trajectory"}, {3, "localize"},  {3, "wifi"},      {3, "baselines"},

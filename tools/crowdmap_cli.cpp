@@ -41,6 +41,7 @@ void usage() {
       "  --help-config     list every supported --config key and exit\n"
       "  --fast            fast pipeline profile (capped layout hypotheses)\n"
       "  --threads N       pipeline threads (0 = all cores, 1 = serial)\n"
+      "  --nodes N         simulated cluster nodes (default 1; docs/CLUSTER.md)\n"
       "  --faults SEED:SPEC  chaos plan, e.g. 42:decode.fail=0.2,stage.panorama_fail=0.1@3\n"
       "  --storage-dir DIR durable store: recover on start, checkpoint at end\n"
       "  --svg FILE        write the reconstructed plan as SVG\n"
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
   bool have_seed = false;
   bool fast = false;
   long threads = -1;
+  long cluster_nodes = -1;
   bool ascii = false;
   bool coverage = false;
   bool trace = false;
@@ -105,6 +107,12 @@ int main(int argc, char** argv) {
       threads = std::stol(next());
       if (threads < 0) {
         std::cerr << "--threads must be >= 0\n";
+        return 2;
+      }
+    } else if (arg == "--nodes") {
+      cluster_nodes = std::stol(next());
+      if (cluster_nodes < 1) {
+        std::cerr << "--nodes must be >= 1\n";
         return 2;
       }
     } else if (arg == "--faults") {
@@ -186,6 +194,9 @@ int main(int argc, char** argv) {
     config.faults = std::move(plan).take();
   }
   if (!storage_dir.empty()) config.storage.dir = storage_dir;
+  if (cluster_nodes >= 1) {
+    config.cluster.nodes = static_cast<std::size_t>(cluster_nodes);
+  }
 
   std::cout << "Reconstructing " << dataset.name << " (seed " << dataset.seed
             << ", scale " << scale << ")...\n";

@@ -51,9 +51,10 @@ std::vector<fs::path> collect(const std::vector<std::string>& roots,
 /// problems found (0 = pass).
 int check_docs() {
   static const char* kRequiredDocs[] = {
-      "API.md",         "CONFIG.md",      "DURABILITY.md",
-      "EXAMPLES.md",    "INCREMENTAL.md", "OBSERVABILITY.md",
-      "PERFORMANCE.md", "ROBUSTNESS.md",  "STATIC_ANALYSIS.md",
+      "API.md",         "CLUSTER.md",     "CONFIG.md",
+      "DURABILITY.md",  "EXAMPLES.md",    "INCREMENTAL.md",
+      "OBSERVABILITY.md", "PERFORMANCE.md", "ROBUSTNESS.md",
+      "STATIC_ANALYSIS.md",
   };
   std::ifstream readme("README.md", std::ios::binary);
   if (!readme) {
